@@ -1,0 +1,33 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper: it times
+the analysis step with pytest-benchmark, prints the reproduced
+rows/series, and records them under ``benchmarks/output/`` so the
+paper-vs-measured comparison of EXPERIMENTS.md can be refreshed.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+
+#: Fraction of the paper's capture durations the benches simulate.
+#: Override with REPRO_BENCH_SCALE=0.1 (or 1.0 for full length).
+BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.05"))
+
+OUTPUT_DIR = pathlib.Path(__file__).parent / "output"
+
+
+def record(name: str, text: str) -> None:
+    """Print a reproduced artifact and save it to benchmarks/output/."""
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    path = OUTPUT_DIR / f"{name}.txt"
+    path.write_text(text + "\n")
+    print(f"\n=== {name} ===")
+    print(text)
+
+
+def run_once(benchmark, func):
+    """Benchmark ``func`` with few rounds (analysis steps are heavy)."""
+    return benchmark.pedantic(func, rounds=3, iterations=1,
+                              warmup_rounds=0)

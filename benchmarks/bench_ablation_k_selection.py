@@ -1,0 +1,39 @@
+"""Ablation: selecting K by elbow, explained variance and Silhouette.
+
+The paper reports that all three criteria point to K=5 on its session
+features; this bench sweeps K and prints the three curves.
+"""
+
+from _common import record, run_once
+
+from repro.analysis import (extract_sessions, feature_matrix,
+                            render_table, select_k)
+
+
+def test_ablation_k_selection(benchmark, y1_extraction):
+    def sweep():
+        sessions = extract_sessions(y1_extraction)
+        matrix = feature_matrix(sessions)
+        return select_k(matrix, range(2, 9), seed=104)
+
+    selection = run_once(benchmark, sweep)
+
+    rows = [(k, f"{sse:.1f}", f"{sil:.3f}", f"{ev:.3f}")
+            for k, sse, sil, ev in zip(selection.ks, selection.sse,
+                                       selection.silhouette,
+                                       selection.explained)]
+    record("ablation_k_selection", render_table(
+        ["K", "SSE (elbow)", "Silhouette", "Explained variance"], rows,
+        title=f"Ablation — K selection (paper: K=5; "
+              f"silhouette-best here: K={selection.best_by_silhouette}, "
+              f"elbow: K={selection.elbow})"))
+
+    # SSE decreases monotonically with K.
+    assert all(a >= b for a, b in zip(selection.sse, selection.sse[1:]))
+    # Explained variance increases monotonically.
+    assert all(a <= b + 1e-9 for a, b in
+               zip(selection.explained, selection.explained[1:]))
+    # A K in the paper's neighbourhood scores near the best silhouette.
+    by_k = dict(zip(selection.ks, selection.silhouette))
+    assert max(by_k[k] for k in (4, 5, 6)) \
+        >= max(selection.silhouette) - 0.05

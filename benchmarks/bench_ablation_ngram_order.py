@@ -1,0 +1,40 @@
+"""Ablation: N-gram order for the APDU language model.
+
+Fits unigram/bigram/trigram models on half the Y1 connections and
+evaluates held-out perplexity on the other half.
+"""
+
+from _common import record, run_once
+
+from repro.analysis import NgramModel, render_table, tokenize
+
+
+def test_ablation_ngram_order(benchmark, y1_extraction):
+    def evaluate():
+        sequences = [tokenize(events) for events in
+                     y1_extraction.by_connection().values()
+                     if len(events) >= 8]
+        sequences.sort(key=len)
+        train = sequences[0::2]
+        held_out = sequences[1::2]
+        perplexities = {}
+        for order in (1, 2, 3):
+            model = NgramModel(order=order, smoothing_k=0.05)
+            model.fit(train)
+            perplexities[order] = model.perplexity(held_out)
+        return perplexities, len(train), len(held_out)
+
+    perplexities, n_train, n_test = run_once(benchmark, evaluate)
+
+    rows = [(order, f"{value:.2f}")
+            for order, value in perplexities.items()]
+    record("ablation_ngram_order", render_table(
+        ["N-gram order", "held-out perplexity"], rows,
+        title=f"Ablation — model order ({n_train} train / {n_test} "
+              "held-out connections)"))
+
+    # SCADA token streams are highly regular: conditioning on one
+    # token of history must help substantially.
+    assert perplexities[2] < perplexities[1]
+    # All models stay far below the vocabulary-size ceiling.
+    assert perplexities[2] < 8.0

@@ -1,0 +1,52 @@
+"""Extension: Hypothesis 1 at capture-day granularity.
+
+The paper compares the network across years; the captures themselves
+span multiple days. This bench measures per-session behavioural drift
+across the Y1 capture days: the overwhelming majority of sessions keep
+their behaviour, and the drifting ones are the known dynamic cases
+(switchover days, type-4 server alternation).
+"""
+
+from _common import record, run_once
+
+from repro.analysis import render_table
+from repro.analysis.drift import (day_boundaries, session_drift,
+                                  summarize_drift)
+
+
+def test_extension_drift(benchmark, y1_extraction):
+    def analyze():
+        boundaries = day_boundaries(y1_extraction)
+        drifts = session_drift(y1_extraction, boundaries=boundaries)
+        return boundaries, drifts, summarize_drift(drifts)
+
+    boundaries, drifts, summary = run_once(benchmark, analyze)
+
+    worst = sorted(drifts, key=lambda record: -record.drift)[:10]
+    rows = [(f"{src}->{dst}", record.observed_days,
+             f"{record.drift:.2f}",
+             "yes" if record.intermittent else "no")
+            for record in worst
+            for src, dst in [record.session]]
+    text = render_table(
+        ["Session", "Days seen", "Drift", "Intermittent"], rows,
+        title="Extension — top drifting sessions across Y1 days")
+    text += (f"\n\ncapture days detected: {len(boundaries) + 1}; "
+             f"sessions: {summary.sessions}; multi-day: "
+             f"{summary.multi_day_sessions}; stable: "
+             f"{summary.stable_sessions} "
+             f"({100 * summary.stability_fraction:.1f}%)")
+    record("extension_drift", text)
+
+    assert len(boundaries) == 4  # five Y1 capture days
+    assert summary.stability_fraction > 0.8
+    # The dynamic outstations surface among drifters/intermittents.
+    flagged = {session for record in drifts
+               if record.drift > 0.6 or record.intermittent
+               for session in [record.session]}
+    flagged_outstations = {host for session in flagged
+                           for host in session
+                           if not host.startswith("C")}
+    assert flagged_outstations & {"O27", "O29", "O31", "O32", "O12",
+                                  "O17", "O20", "O36", "O41", "O42",
+                                  "O44"}

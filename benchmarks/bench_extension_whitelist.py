@@ -1,0 +1,56 @@
+"""Extension: the cyber-physical whitelist IDS (paper future work).
+
+Trains the combined detector on Y1 and evaluates: (a) false-positive
+behaviour on held-out Y2 traffic from unchanged outstations, and
+(b) detection of an injected Industroyer-style command sweep.
+"""
+
+from _common import record, run_once
+
+from repro.analysis import render_table, tokenize
+from repro.analysis.whitelist import CombinedDetector, CyberWhitelist
+
+
+def test_extension_whitelist(benchmark, y1_extraction, y2_extraction):
+    def evaluate():
+        detector = CombinedDetector().fit(y1_extraction)
+        train_alerts = detector.detect(y1_extraction)
+
+        # Per-connection cyber whitelist scored on Y2: connections
+        # whose outstation persisted unchanged should mostly pass.
+        verdicts = detector.cyber.score_extraction(y2_extraction)
+        known = [v for v in verdicts
+                 if v.connection in detector.cyber.learned_connections]
+        quiet = sum(1 for v in known if not v.is_alert())
+
+        # The attack: a global whitelist over all Y1 connections,
+        # scored against an Industroyer-style sequence.
+        attack = (["U1", "U2", "I100"] + ["I45"] * 8 + ["I46"] * 8)
+        global_whitelist = CyberWhitelist(per_connection=False)
+        for events in y1_extraction.by_connection().values():
+            global_whitelist.fit_sequence(tokenize(events))
+        attack_verdict = global_whitelist.score(attack)
+        return detector, train_alerts, known, quiet, attack_verdict
+
+    detector, train_alerts, known, quiet, attack = run_once(benchmark,
+                                                            evaluate)
+
+    rows = [
+        ("connections learned (Y1)",
+         len(detector.cyber.learned_connections)),
+        ("physical points learned (Y1)", detector.physical.point_count),
+        ("alerts on training capture", len(train_alerts)),
+        ("known Y2 connections scored", len(known)),
+        ("... of which quiet", quiet),
+        ("Industroyer sweep unseen-transition fraction",
+         f"{100 * attack.unseen_fraction:.1f}%"),
+        ("Industroyer sweep flagged", attack.is_alert()),
+    ]
+    record("extension_whitelist", render_table(
+        ["Quantity", "Value"], rows,
+        title="Extension — cyber-physical whitelist IDS"))
+
+    assert train_alerts == []                  # no training alarms
+    assert quiet / max(1, len(known)) > 0.7    # Y2 mostly quiet
+    assert attack.is_alert()                   # the attack is caught
+    assert attack.unseen_fraction > 0.5

@@ -1,0 +1,38 @@
+"""Fig. 10: PCA projection of K-means++ clustered Y1 sessions (K=5)."""
+
+import numpy as np
+
+from _common import record, run_once
+
+from repro.analysis import (extract_sessions, feature_matrix, fit_pca,
+                            kmeans, render_table, silhouette_score)
+
+
+def test_fig10_session_clusters(benchmark, y1_extraction):
+    def cluster():
+        sessions = extract_sessions(y1_extraction)
+        matrix = feature_matrix(sessions)
+        result = kmeans(matrix, 5, seed=104)
+        projection = fit_pca(matrix, 2)
+        return sessions, matrix, result, projection
+
+    sessions, matrix, result, projection = run_once(benchmark, cluster)
+
+    projected = projection.transform(matrix)
+    rows = []
+    for cluster_id in range(5):
+        members = np.where(result.labels == cluster_id)[0]
+        center = projected[members].mean(axis=0)
+        examples = ", ".join(sessions[i].name for i in members[:3])
+        rows.append((cluster_id, len(members),
+                     f"({center[0]:+.2f}, {center[1]:+.2f})", examples))
+    evr = projection.explained_variance_ratio
+    record("fig10_session_clusters", render_table(
+        ["Cluster", "Sessions", "PCA centroid", "Examples"], rows,
+        title=f"Fig. 10 — K=5 session clusters in PCA plane "
+              f"(PC1+PC2 explain {100 * evr.sum():.0f}% of variance)"))
+
+    assert result.k == 5
+    assert len(sessions) > 80
+    assert silhouette_score(matrix, result.labels) > 0.4
+    assert evr.sum() > 0.5

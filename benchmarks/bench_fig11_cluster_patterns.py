@@ -1,0 +1,56 @@
+"""Fig. 11: the communication pattern each session cluster captures.
+
+Paper's five roles: (0) extreme inter-arrival outliers — the C2-O30
+misconfigured backup and the C4-O22 test RTU; (1) heavy spontaneous
+I-format senders; (2) the 'average' outstation; (3) acknowledgement
+(S-format) streams from the servers; (4) backup keep-alive traffic.
+"""
+
+import numpy as np
+
+from _common import record, run_once
+
+from repro.analysis import (extract_sessions, feature_matrix, kmeans,
+                            render_table)
+
+
+def test_fig11_cluster_patterns(benchmark, y1_extraction):
+    def cluster():
+        sessions = extract_sessions(y1_extraction)
+        matrix = feature_matrix(sessions)
+        return sessions, kmeans(matrix, 5, seed=104)
+
+    sessions, result = run_once(benchmark, cluster)
+
+    raw = np.vstack([np.array([s.dt, s.num, s.pct_i, s.pct_s, s.pct_u])
+                     for s in sessions])
+    rows = []
+    roles = {}
+    for cluster_id in range(5):
+        members = np.where(result.labels == cluster_id)[0]
+        mean = raw[members].mean(axis=0)
+        share = 100.0 * len(members) / len(sessions)
+        rows.append((cluster_id, len(members), f"{share:.1f}%",
+                     f"{mean[0]:.1f}s", f"{mean[1]:.0f}",
+                     f"{mean[2]:.2f}", f"{mean[3]:.2f}",
+                     f"{mean[4]:.2f}"))
+        roles[cluster_id] = mean
+    record("fig11_cluster_patterns", render_table(
+        ["Cluster", "Sessions", "Share", "mean dt", "mean num",
+         "pct I", "pct S", "pct U"], rows,
+        title="Fig. 11 — per-cluster communication patterns"))
+
+    # The paper's roles must all be represented:
+    means = {cid: roles[cid] for cid in roles}
+    # an outlier cluster with the largest inter-arrival times,
+    outlier = max(means, key=lambda c: means[c][0])
+    outlier_sessions = [sessions[i].name
+                        for i in np.where(result.labels == outlier)[0]]
+    assert any("O30" in name or "O22" in name
+               for name in outlier_sessions), outlier_sessions
+    # a keep-alive cluster (pct U ~ 1),
+    assert max(means[c][4] for c in means) > 0.8
+    # an S-dominated (server acknowledgement) cluster,
+    assert max(means[c][3] for c in means) > 0.5
+    # and an I-dominated measurement cluster.
+    assert max(means[c][2] for c in means) > 0.7

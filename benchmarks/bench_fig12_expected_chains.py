@@ -1,0 +1,60 @@
+"""Fig. 12: the two simplest expected communication patterns.
+
+Left: a primary connection — I36 reports periodically acknowledged by
+S-format frames. Right: an ideal secondary connection — the U16/U32
+keep-alive loop.
+"""
+
+from _common import record, run_once
+
+from repro.analysis import ConnectionChains
+from repro.analysis.markov import MarkovChain
+
+
+def test_fig12_expected_chains(benchmark, y1_extraction):
+    def infer():
+        chains = ConnectionChains.from_extraction(y1_extraction)
+        primary = None
+        secondary = None
+        for connection, chain in chains.chains.items():
+            tokens = set(chain.nodes)
+            if tokens <= {"U16", "U32"} and chain.edge_count >= 2 \
+                    and secondary is None:
+                secondary = (connection, chain)
+            if {"I36", "S"} <= tokens and "U16" not in tokens \
+                    and "I100" not in tokens and primary is None:
+                primary = (connection, chain)
+        return primary, secondary
+
+    primary, secondary = run_once(benchmark, infer)
+
+    assert primary is not None, "no pure primary connection found"
+    assert secondary is not None, "no ideal secondary connection found"
+    text = (f"Primary connection {primary[0]} (Fig. 12 left):\n"
+            f"{primary[1].render()}\n\n"
+            f"Secondary connection {secondary[0]} (Fig. 12 right):\n"
+            f"{secondary[1].render()}")
+    record("fig12_expected_chains", text)
+
+    # Left pattern: I-format reports acknowledged by S.
+    assert primary[1].probability("S", "I36") > 0.0 \
+        or primary[1].probability("I36", "S") > 0.0
+    # Right pattern: strict U16 <-> U32 alternation dominates.
+    chain = secondary[1]
+    assert chain.probability("U32", "U16") > 0.9
+    assert chain.probability("U16", "U32") > 0.9
+    # Repeated U16/U32 (TCP retransmissions) are rare but possible.
+    assert chain.probability("U16", "U16") < 0.1
+
+
+def test_fig12_synthetic_ideals(benchmark):
+    """The idealized chains themselves, built from clean sequences."""
+    def build():
+        primary = MarkovChain.from_tokens(
+            ["I36", "I36", "I36", "S"] * 20)
+        secondary = MarkovChain.from_tokens(["U16", "U32"] * 30)
+        return primary, secondary
+
+    primary, secondary = run_once(benchmark, build)
+    assert primary.size == (2, 3)
+    assert secondary.size == (2, 2)

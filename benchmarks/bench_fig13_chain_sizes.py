@@ -1,0 +1,51 @@
+"""Fig. 13: Markov chain sizes (nodes, edges) for every connection.
+
+Paper shape: three groups — the point (1,1) of reset-backup
+connections; a 'square' of ordinary connections; an 'ellipse' of
+connections containing the I100 interrogation command, with markedly
+more edges.
+"""
+
+from _common import record, run_once
+
+from repro.analysis import ChainCluster, ConnectionChains, render_table
+
+
+def test_fig13_chain_sizes(benchmark, y1_extraction):
+    def infer():
+        chains = ConnectionChains.from_extraction(y1_extraction)
+        return chains, chains.by_cluster()
+
+    chains, clusters = run_once(benchmark, infer)
+
+    rows = []
+    for connection, nodes, edges in chains.sizes():
+        cluster = next(cluster for cluster, members in clusters.items()
+                       if connection in members)
+        label = {ChainCluster.RESET_POINT: "(1,1) point",
+                 ChainCluster.PLAIN: "square",
+                 ChainCluster.INTERROGATION: "ellipse"}[cluster]
+        rows.append((f"{connection[0]}-{connection[1]}", nodes, edges,
+                     label))
+    rows.sort(key=lambda row: (row[3], row[0]))
+    record("fig13_chain_sizes", render_table(
+        ["Connection", "Nodes", "Edges", "Fig. 13 region"], rows,
+        title="Fig. 13 — Markov chain sizes per connection"))
+
+    reset = clusters[ChainCluster.RESET_POINT]
+    plain = clusters[ChainCluster.PLAIN]
+    ellipse = clusters[ChainCluster.INTERROGATION]
+    assert len(reset) >= 7      # the paper found 10 such connections
+    assert len(plain) > len(ellipse)
+    # Reset connections all sit exactly at (1,1).
+    for connection in reset:
+        assert chains.chains[connection].size == (1, 1)
+    # Ellipse chains have more edges than plain ones on average.
+    mean = lambda cs: (sum(chains.chains[c].edge_count for c in cs)
+                       / len(cs))
+    assert mean(ellipse) > 1.5 * mean(plain)
+    # Ellipse members come in pairs per outstation where a switchover
+    # occurred (paper: O20 with C3/C4, O29 with C1/C2).
+    ellipse_outstations = [c[1] for c in ellipse]
+    assert ellipse_outstations.count("O29") == 2
+    assert ellipse_outstations.count("O20") == 2

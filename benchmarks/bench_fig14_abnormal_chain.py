@@ -1,0 +1,36 @@
+"""Fig. 14: the abnormal point-(1,1) chain — U16 with no U32.
+
+Paper: connections C2-O28, C2-O24, C1-O7, C1-O9, C1-O6, C1-O8, C1-O35,
+C2-O30, C1-O15, C1-O5 all show only repeated, unanswered TESTFR acts.
+"""
+
+from _common import record, run_once
+
+from repro.analysis import ConnectionChains
+from repro.datasets import Y1_RESET_CONNECTIONS
+
+
+def test_fig14_abnormal_chain(benchmark, y1_extraction):
+    def infer():
+        chains = ConnectionChains.from_extraction(y1_extraction)
+        return chains, chains.reset_connections()
+
+    chains, reset = run_once(benchmark, infer)
+
+    lines = ["Fig. 14 — connections whose whole chain is the U16 "
+             "self-loop:"]
+    for connection in reset:
+        chain = chains.chains[connection]
+        lines.append(f"  {connection[0]}-{connection[1]}: "
+                     f"U16 -> U16 (p={chain.probability('U16', 'U16'):.2f})")
+    record("fig14_abnormal_chain", "\n".join(lines))
+
+    observed = set(reset)
+    allowed = {tuple(connection) for connection in Y1_RESET_CONNECTIONS}
+    assert observed <= allowed
+    assert len(observed) >= 7
+    for connection in reset:
+        chain = chains.chains[connection]
+        assert chain.is_reset_backup
+        assert chain.probability("U16", "U16") == 1.0
+        assert not chain.has_token("U32")

@@ -1,0 +1,38 @@
+"""Fig. 15: a chain from the ellipse — STARTDT, then interrogation.
+
+Paper: U1 (STARTDT act) is answered by U2, the first I-format frame is
+the I100 interrogation command, and the outstation then transmits its
+regular I types (I13, I36, ...).
+"""
+
+from _common import record, run_once
+
+from repro.analysis import ChainCluster, ConnectionChains
+
+
+def test_fig15_interrogation_chain(benchmark, y1_extraction):
+    def infer():
+        chains = ConnectionChains.from_extraction(y1_extraction)
+        ellipse = chains.by_cluster()[ChainCluster.INTERROGATION]
+        # A fresh type-4 connection (no keep-alive history) shows the
+        # pattern most cleanly.
+        for connection in ellipse:
+            chain = chains.chains[connection]
+            if not chain.has_token("U16"):
+                return connection, chain
+        return ellipse[0], chains.chains[ellipse[0]]
+
+    connection, chain = run_once(benchmark, infer)
+
+    record("fig15_interrogation_chain",
+           f"Fig. 15 — interrogation chain for "
+           f"{connection[0]}-{connection[1]}:\n{chain.render(40)}")
+
+    assert chain.has_token("U1") and chain.has_token("U2")
+    assert chain.has_interrogation
+    # STARTDT act is always answered by STARTDT con...
+    assert chain.probability("U1", "U2") == 1.0
+    # ...and the interrogation follows immediately after.
+    assert chain.probability("U2", "I100") > 0.9
+    # The burst introduces regular measurement types.
+    assert any(token in chain.nodes for token in ("I13", "I36"))

@@ -1,0 +1,43 @@
+"""Fig. 16: a server switchover captured inside one connection.
+
+Paper: the chain contains keep-alive pairs (U16/U32) from its life as
+a secondary connection, then U1/U2 and I100 from the moment it was
+promoted to primary, then regular I-format traffic.
+"""
+
+from _common import record, run_once
+
+from repro.analysis import ConnectionChains, switchover_chain, tokenize
+
+
+def test_fig16_switchover(benchmark, y1_extraction):
+    def infer():
+        chains = ConnectionChains.from_extraction(y1_extraction)
+        switchovers = {connection: chain
+                       for connection, chain in chains.chains.items()
+                       if chain.has_switchover}
+        return switchovers
+
+    switchovers = run_once(benchmark, infer)
+
+    assert switchovers, "no switchover chain captured"
+    connection, chain = sorted(switchovers.items())[0]
+    record("fig16_switchover",
+           f"Fig. 16 — switchover chain for "
+           f"{connection[0]}-{connection[1]}:\n{chain.render(40)}")
+
+    # The promoted connection belongs to a switchover outstation.
+    assert {c[1] for c in switchovers} <= {"O20", "O29"}
+    # Chain carries the secondary phase AND the primary phase.
+    assert chain.has_token("U16") and chain.has_token("U32")
+    assert chain.has_token("U1") and chain.has_interrogation
+    assert any(token in chain.nodes for token in ("I13", "I36"))
+
+    # Temporal order check on the raw token sequence: keep-alives come
+    # before the STARTDT (the defining Fig. 16 property).
+    events = y1_extraction.by_connection()[connection]
+    tokens = tokenize(events)
+    assert tokens.index("U16") < tokens.index("U1")
+    # Also reachable through the convenience accessor.
+    same = switchover_chain(y1_extraction, *connection)
+    assert same.size == chain.size

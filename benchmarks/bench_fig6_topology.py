@@ -1,0 +1,58 @@
+"""Fig. 6: the observed network topology with Y1 -> Y2 deltas.
+
+Regenerates the figure's content as text: servers, substations,
+outstations, per-outstation IOA-count clouds and the change arrows.
+"""
+
+from _common import record, run_once
+
+from repro.analysis import render_table
+from repro.analysis.topology_diff import (ObservedTopology,
+                                          diff_topologies)
+from repro.datasets import roster, spec_by_name
+
+
+def test_fig6_topology(benchmark, y1_extraction, y2_extraction):
+    def observe():
+        before = ObservedTopology.from_extraction(y1_extraction)
+        after = ObservedTopology.from_extraction(y2_extraction)
+        return before, after, diff_topologies(before, after)
+
+    before, after, diff = run_once(benchmark, observe)
+
+    substation_of = {spec.name: spec.substation
+                     for spec in roster(1) + roster(2)}
+    rows = []
+    for name in sorted(before.outstations | after.outstations,
+                       key=lambda n: int(n[1:])):
+        ioa_y1 = before.ioa_counts.get(name)
+        ioa_y2 = after.ioa_counts.get(name)
+        if name in diff.added_outstations:
+            status = "added (green)"
+        elif name in diff.removed_outstations:
+            status = "removed (red)"
+        elif any(c.outstation == name for c in diff.ioa_changes):
+            change = next(c for c in diff.ioa_changes
+                          if c.outstation == name)
+            status = f"IOAs {change.direction} (arrow)"
+        else:
+            status = "unchanged"
+        servers = sorted(before.peers.get(name, set())
+                         | after.peers.get(name, set()))
+        rows.append((name, substation_of.get(name, "?"),
+                     "/".join(servers),
+                     "-" if ioa_y1 is None else ioa_y1,
+                     "-" if ioa_y2 is None else ioa_y2, status))
+    record("fig6_topology", render_table(
+        ["Outstation", "Substation", "Servers", "IOAs Y1", "IOAs Y2",
+         "Y1->Y2"], rows,
+        title="Fig. 6 — observed topology with year-over-year deltas"))
+
+    assert before.servers == {"C1", "C2", "C3", "C4"}
+    assert len(before.outstations) == 49
+    assert len(after.outstations) == 51
+    # The stability statistic of Hypothesis 1 (paper: ~25%).
+    assert 0.10 <= diff.outstation_stability <= 0.45
+    # Every outstation talks only to servers of its own pair.
+    for name, servers in before.peers.items():
+        assert servers <= set(spec_by_name(name).pair)

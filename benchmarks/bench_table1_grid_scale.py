@@ -1,0 +1,20 @@
+"""Table 1: transmission vs distribution system scale."""
+
+from _common import record, run_once
+
+from repro.analysis import render_table
+from repro.grid import TABLE1_ROWS
+
+
+def test_table1_grid_scale(benchmark):
+    def build():
+        return [(row.name, f"{row.power_watts:.0e}",
+                 f"{row.area_km2:,.0f}", row.voltage_kv_bound)
+                for row in TABLE1_ROWS]
+
+    rows = run_once(benchmark, build)
+    record("table1_grid_scale", render_table(
+        ["Segment", "Power [W]", "Area [km^2]", "Voltage level [kV]"],
+        rows, title="Table 1 — transmission vs distribution"))
+    assert rows[0][1] == "1e+09"
+    assert rows[1][1] == "1e+06"

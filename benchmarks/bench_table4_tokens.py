@@ -1,0 +1,33 @@
+"""Table 4: the APDU token catalog, checked against live traffic."""
+
+from collections import Counter
+
+from _common import record, run_once
+
+from repro.analysis import (TOKEN_DESCRIPTIONS, is_valid_token,
+                            render_table, tokenize)
+
+
+def test_table4_tokens(benchmark, y1_extraction):
+    def build():
+        tokens = tokenize(y1_extraction.events)
+        assert all(is_valid_token(token) for token in tokens)
+        return Counter(tokens)
+
+    counts = run_once(benchmark, build)
+
+    rows = [(token, description, counts.get(token, 0))
+            for token, description in TOKEN_DESCRIPTIONS.items()]
+    i_tokens = sorted((t for t in counts if t.startswith("I")),
+                      key=lambda t: -counts[t])
+    for token in i_tokens:
+        rows.append((token, "Sensor and Control Values", counts[token]))
+    record("table4_tokens", render_table(
+        ["Token", "Description", "Observed count"], rows,
+        title="Table 4 — APDU token catalog with Y1 observations"))
+
+    # Every traffic token obeys the Table 4 grammar, and the session
+    # contains all three APDU families.
+    assert counts["S"] > 0
+    assert counts["U16"] > 0 and counts["U32"] > 0
+    assert any(token.startswith("I") for token in counts)

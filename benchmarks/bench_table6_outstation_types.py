@@ -1,0 +1,36 @@
+"""Table 6 + Fig. 17: outstation behaviour classification.
+
+Paper shape: Type 3 (backup, U-only) is the most common at 34.3%;
+Type 4 is the second most common; Type 7 is roughly a fourth of all
+backup outstations.
+"""
+
+from _common import record, run_once
+
+from repro.analysis import classify_all, render_table, type_distribution
+from repro.simnet.behaviors import OutstationType
+
+
+def test_table6_outstation_types(benchmark, y1_extraction):
+    def classify():
+        return type_distribution(classify_all(y1_extraction))
+
+    distribution = run_once(benchmark, classify)
+
+    rows = [(kind, description, count, f"{pct:.1f}%")
+            for kind, description, count, pct in distribution.rows()]
+    record("table6_outstation_types", render_table(
+        ["Type", "Description", "Count", "Share"], rows,
+        title="Table 6 / Fig. 17 — Y1 outstation classification "
+              "(paper: type 3 most common at 34.3%, type 4 second)"))
+
+    assert distribution.most_common is OutstationType.BACKUP_U_ONLY
+    counts = distribution.counts
+    non_backup = {kind: count for kind, count in counts.items()
+                  if kind is not OutstationType.BACKUP_U_ONLY}
+    assert max(non_backup, key=non_backup.get) \
+        is OutstationType.I_ONLY_BOTH_SERVERS
+    backups = (counts.get(OutstationType.BACKUP_U_ONLY, 0)
+               + counts.get(OutstationType.BACKUP_REJECTS, 0))
+    fraction = counts.get(OutstationType.BACKUP_REJECTS, 0) / backups
+    assert 0.15 <= fraction <= 0.45  # paper: "just a fourth"

@@ -1,0 +1,59 @@
+"""Table 8: typeID -> physical symbols + transmitting-station counts.
+
+Paper landmarks: I13 at 20 stations and I36 at 13 (both carrying
+I/P/Q/U/Freq), I100 at 9, I50 (AGC set points) at exactly 4, I31 at 4,
+I1 at 3, I103 at 3, I70 at 2, and one station each for I5/I9/I7/I30.
+"""
+
+from _common import record, run_once
+
+from repro.analysis import render_table, symbol_table
+
+
+def test_table8_physical_symbols(benchmark, y1_extraction,
+                                 y2_extraction):
+    def analyze():
+        combined = {}
+        for extraction in (y1_extraction, y2_extraction):
+            for row in symbol_table(extraction):
+                stations, symbols = combined.get(row.token,
+                                                 (set(), set()))
+                combined[row.token] = (stations | {row.station_count},
+                                       symbols | set(row.symbols))
+        # Recompute station counts over the union of both years.
+        union = {}
+        for extraction in (y1_extraction, y2_extraction):
+            for event in extraction.events:
+                from repro.iec104.apci import IFrame
+                if not isinstance(event.apdu, IFrame):
+                    continue
+                station = (event.dst if event.src.startswith("C")
+                           else event.src)
+                union.setdefault(event.apdu.asdu.type_id.token,
+                                 set()).add(station)
+        return {token: (len(stations),
+                        tuple(sorted(combined[token][1])))
+                for token, stations in union.items()}
+
+    table = run_once(benchmark, analyze)
+
+    rows = [(token, count, ",".join(symbols))
+            for token, (count, symbols) in
+            sorted(table.items(), key=lambda item: -item[1][0])]
+    record("table8_physical_symbols", render_table(
+        ["ASDU TypeID", "Transmitting Station Count",
+         "Physical Symbols Reported"], rows,
+        title="Table 8 — typeIDs and physical measurements, Y1+Y2 "
+              "(paper: I13@20, I36@13, I100@9, I50@4, ...)"))
+
+    count = {token: stations for token, (stations, _) in table.items()}
+    assert count["I13"] > count["I36"] >= 8
+    assert count["I50"] == 4          # the four AGC participants
+    assert count["I100"] >= 8         # interrogated connections
+    assert count["I31"] == 4 and count["I1"] == 3
+    assert count["I103"] == 3 and count["I70"] == 2
+    for rare in ("I5", "I9", "I7", "I30"):
+        assert count[rare] == 1
+    symbols = {token: set(syms) for token, (_, syms) in table.items()}
+    assert {"P", "U", "Freq"} <= symbols["I36"]
+    assert symbols["I50"] == {"AGC-SP"}

@@ -1,0 +1,37 @@
+"""Session-scoped synthetic captures shared by every benchmark."""
+
+from __future__ import annotations
+
+import sys
+import pathlib
+
+import pytest
+
+sys.path.insert(0, str(pathlib.Path(__file__).parent))
+
+from _common import BENCH_SCALE  # noqa: E402
+
+from repro.analysis import extract_apdus  # noqa: E402
+from repro.datasets import CaptureConfig, generate_capture  # noqa: E402
+
+
+@pytest.fixture(scope="session")
+def y1_capture():
+    return generate_capture(1, CaptureConfig(time_scale=BENCH_SCALE))
+
+
+@pytest.fixture(scope="session")
+def y2_capture():
+    return generate_capture(2, CaptureConfig(time_scale=BENCH_SCALE))
+
+
+@pytest.fixture(scope="session")
+def y1_extraction(y1_capture):
+    return extract_apdus(y1_capture.packets,
+                         names=y1_capture.host_names())
+
+
+@pytest.fixture(scope="session")
+def y2_extraction(y2_capture):
+    return extract_apdus(y2_capture.packets,
+                         names=y2_capture.host_names())

@@ -1,0 +1,101 @@
+#!/usr/bin/env python3
+"""Physical-world events seen through the network tap (paper §6.4).
+
+Reproduces the paper's deep-packet-inspection findings on the synthetic
+capture: the unmet-load event (Figs. 18-19), the generator
+synchronization sequence (Fig. 20), and the Fig. 21 behaviour
+signature verified against the DPI-extracted series.
+
+Run:  python examples/agc_event_analysis.py
+"""
+
+from repro.analysis import (agc_command_series, extract_apdus,
+                            interesting_events, render_series,
+                            station_series)
+from repro.datasets import CaptureConfig, SYNC_GENERATOR, generate_capture
+from repro.grid import ActivationSignature
+
+
+def main() -> None:
+    print("Generating the Year-1 capture (5% time scale)...")
+    capture = generate_capture(1, CaptureConfig(time_scale=0.05))
+    extraction = extract_apdus(capture.packets,
+                               names=capture.host_names())
+    print(f"  {len(extraction.events)} APDUs decoded\n")
+
+    # --- normalized-variance screening --------------------------------
+    print("Points changing more than usual (normalized variance):")
+    for event in interesting_events(extraction, top=5):
+        print(f"  {event.key.station} IOA {event.key.ioa} "
+              f"[{event.symbol}] nv={event.normalized_variance:.3f} "
+              f"({event.samples} samples)")
+    print()
+
+    # --- AGC commands and the generators' response (Fig. 19) ----------
+    commands = agc_command_series(extraction)
+    for station, series in sorted(commands.items())[:1]:
+        print(render_series(series.times, series.values,
+                            title=f"AGC set points sent to {station} "
+                                  "(I50 commands, Fig. 19 bottom)"))
+        power = station_series(extraction, station, symbol="P")
+        if power:
+            response = power[0]
+            print(render_series(response.times, response.values,
+                                title=f"{station} active power response "
+                                      "(Fig. 19 top)"))
+    print()
+
+    # --- generator synchronization (Fig. 20) --------------------------
+    # Identify the activation series from the data shapes, as the
+    # paper's authors did by inspection: the terminal voltage is the
+    # ramp that settles at the ~130 kV nominal level; the breaker is
+    # the double-point status that steps 0 -> 2; the unit's power is a
+    # ramp from zero that is neither of those.
+    station = SYNC_GENERATOR
+    everything = station_series(extraction, station, min_samples=1)
+    ramps = [s for s in everything
+             if min(s.values) < 5.0 and max(s.values) > 5.0]
+    voltage = min((s for s in ramps if max(s.values) > 100.0),
+                  key=lambda s: abs(s.values[-1] - 130.0), default=None)
+    # The breaker only shows its 0 -> 2 (closed) transition on the
+    # wire; the disconnector status hops between 1 and 2 instead.
+    breaker = max((s for s in everything
+                   if {int(v) for v in s.values} <= {0, 2}
+                   and 2 in {int(v) for v in s.values}),
+                  key=len, default=None)
+    power = max((s for s in ramps if s is not voltage
+                 and s is not breaker), key=lambda s: max(s.values),
+                default=None)
+    if voltage is not None:
+        print(render_series(voltage.times, voltage.values,
+                            title=f"{station} terminal voltage: the "
+                                  "0 -> nominal jump (Fig. 20 top)"))
+
+    # --- Fig. 21 signature over the DPI series -------------------------
+    if voltage and breaker is not None and power is not None:
+        samples = {}
+        for kind, series in (("U", voltage), ("P", power),
+                             ("B", breaker)):
+            for time, value in zip(series.times, series.values):
+                samples.setdefault(round(time), {})[kind] = value
+        signature = ActivationSignature()
+        last = {"U": 0.0, "P": 0.0, "B": 0}
+        for time in sorted(samples):
+            last.update(samples[time])
+            signature.observe(float(time), last["U"], int(last["B"]),
+                              last["P"])
+        print("\nFig. 21 signature state machine over the extracted "
+              "series:")
+        for event in signature.events:
+            marker = (f"ANOMALY ({event.anomaly}) "
+                      if event.is_anomaly else "")
+            print(f"  t={event.time:8.1f}s  {marker}{event.state.value}")
+        verdict = ("matches the expected activation signature"
+                   if signature.completed_activation
+                   else "did NOT complete the expected signature")
+        print(f"  -> the {station} activation {verdict}; "
+              f"{len(signature.anomalies)} anomalies.")
+
+
+if __name__ == "__main__":
+    main()

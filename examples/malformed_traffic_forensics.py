@@ -1,0 +1,109 @@
+#!/usr/bin/env python3
+"""Forensics on non-compliant IEC 104 traffic (paper Section 6.1).
+
+The paper found RTUs whose every packet was flagged malformed by
+Wireshark: legacy IEC 101 field widths had survived a protocol upgrade.
+This example rebuilds that investigation in miniature:
+
+1. craft frames the way outstation O37 (2-octet IOA) and O53 (1-octet
+   COT) emit them;
+2. show the standard parser failing exactly like Wireshark did;
+3. let the tolerant parser infer each link's profile;
+4. print the Fig. 7-style field diff explaining the root cause.
+
+Run:  python examples/malformed_traffic_forensics.py
+"""
+
+from repro.analysis import field_diffs, render_table
+from repro.iec104 import (IFrame, LEGACY_COT_PROFILE, LEGACY_IOA_PROFILE,
+                          ShortFloat, StrictParser, TolerantParser,
+                          TypeID, measurement)
+
+
+def craft(profile, ioa, value):
+    asdu = measurement(TypeID.M_ME_NC_1, ioa, ShortFloat(value=value))
+    return IFrame(asdu=asdu).encode(profile)
+
+
+def main() -> None:
+    traffic = {
+        "O37": [craft(LEGACY_IOA_PROFILE, ioa, 130.0 + i)
+                for i, ioa in enumerate((2001, 2002, 2003))],
+        "O53": [craft(LEGACY_COT_PROFILE, ioa, 59.9 + i / 100)
+                for i, ioa in enumerate((3001, 3002, 3003))],
+        "O1":  [craft(LEGACY_COT_PROFILE.__class__(), ioa, 75.0)
+                for ioa in (4001, 4002)],  # standard profile
+    }
+
+    print("Step 1: a Wireshark-like standard-compliant parse")
+    strict = StrictParser()
+    rows = []
+    for host, frames in traffic.items():
+        failures = sum(0 if strict.parse_frame(f).ok else 1
+                       for f in frames)
+        rows.append((host, len(frames), failures,
+                     f"{100 * failures / len(frames):.0f}%"))
+    print(render_table(["RTU", "frames", "malformed", "rate"], rows))
+    print()
+
+    print("Step 2: the tolerant parser infers each link's profile")
+    tolerant = TolerantParser()
+    for host, frames in traffic.items():
+        for frame in frames:
+            result = tolerant.parse_frame(frame, link_key=host)
+            assert result.ok, f"{host}: {result.error}"
+    rows = []
+    for host in traffic:
+        profile = tolerant.profile_for(host)
+        rows.append((host, profile.describe()))
+    print(render_table(["RTU", "inferred link profile"], rows))
+    print()
+
+    print("Step 3: field-level diagnosis (paper Fig. 7)")
+    for host in ("O37", "O53"):
+        profile = tolerant.profile_for(host)
+        print(f"  {host}:")
+        for diff in field_diffs(profile):
+            print(f"    - {diff}")
+    print()
+
+    print("Step 4: the decoded measurements are sane telemetry")
+    rows = []
+    for host, frames in traffic.items():
+        for frame in frames:
+            result = tolerant.parse_frame(frame, link_key=host)
+            obj = result.apdu.asdu.objects[0]
+            rows.append((host, obj.address,
+                         f"{obj.element.value:.2f}"))
+    print(render_table(["RTU", "IOA", "value"], rows))
+    print()
+
+    print("Step 5: how this happens — a 101->104 gateway demo")
+    from repro.iec104 import (GatewayMode, Iec101To104Gateway,
+                              LinkControl, LinkFunction,
+                              encode_variable)
+
+    serial_asdu = measurement(TypeID.M_ME_NC_1, 700,
+                              ShortFloat(value=59.96),
+                              common_address=3)
+    serial_frame = encode_variable(
+        LinkControl(function=LinkFunction.USER_DATA_CONFIRMED,
+                    prm=True), address=17, asdu=serial_asdu)
+    print(f"  serial RTU emits an FT1.2 frame "
+          f"({len(serial_frame)} octets, IEC 101 field widths)")
+    for mode in (GatewayMode.REWRITE, GatewayMode.PASSTHROUGH):
+        gateway = Iec101To104Gateway(mode=mode)
+        tcp_frame = gateway.from_serial(serial_frame)[0]
+        verdict = ("standard-compliant"
+                   if StrictParser().parse_frame(tcp_frame).ok
+                   else "flagged malformed by standard parsers")
+        print(f"  gateway in {mode.name:12s} mode -> 104 frame is "
+              f"{verdict}")
+    print("\nConclusion: the 'malformed' packets were valid IEC 101-"
+          "width telemetry\ncarried over TCP/IP — a passthrough "
+          "gateway configuration kept from the\nserial era, exactly "
+          "what the tolerant parser's profile inference reveals.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Quickstart: generate a synthetic bulk-power capture and analyze it.
+
+This walks the full pipeline of the paper in one page:
+
+1. simulate the federated SCADA network (Year 1, scaled down),
+2. export / re-import real pcap bytes,
+3. decode IEC 104 with the tolerant parser,
+4. print the headline results: flow summary (Table 3), non-compliant
+   RTUs (Section 6.1) and the ASDU typeID distribution (Table 7).
+
+Run:  python examples/quickstart.py
+"""
+
+import io
+
+from repro.analysis import (FlowAnalysis, analyze_compliance,
+                            extract_apdus, render_table,
+                            type_id_distribution)
+from repro.datasets import CaptureConfig, generate_capture
+from repro.netstack import CapturedPacket, PcapReader
+
+
+def main() -> None:
+    print("Generating the Year-1 synthetic capture (2% time scale)...")
+    capture = generate_capture(1, CaptureConfig(time_scale=0.02))
+    names = capture.host_names()
+    print(f"  {len(capture.packets)} packets across "
+          f"{len(capture.windows)} capture windows "
+          f"({capture.duration:.0f} s of traffic)\n")
+
+    # The capture round-trips through real pcap bytes, exactly as the
+    # paper's tooling consumed its tap output.
+    buffer = io.BytesIO()
+    capture.to_pcap(buffer)
+    buffer.seek(0)
+    packets = [CapturedPacket.decode(record.timestamp, record.data)
+               for record in PcapReader(buffer)]
+    print(f"pcap round-trip: {len(packets)} frames re-imported "
+          f"({len(buffer.getvalue())} bytes on disk)\n")
+
+    # --- Section 6.2: TCP flows --------------------------------------
+    flows = FlowAnalysis.from_packets("Y1", packets, names=names)
+    print(render_table(["Flow class", "Count (proportion)"],
+                       flows.summary().rows(),
+                       title="TCP flows (paper Table 3 shape)"))
+    print()
+
+    # --- Section 6.1: compliance -------------------------------------
+    report = analyze_compliance(packets, names=names)
+    rows = [(host.host, f"{100 * host.strict_malformed_fraction:.0f}%",
+             host.explanation)
+            for host in report.non_compliant_hosts()]
+    print(render_table(["RTU", "flagged by standard parser", "why"],
+                       rows, title="Non-compliant outstations (§6.1)"))
+    print()
+
+    # --- Section 6.4: typeID distribution ----------------------------
+    extraction = extract_apdus(packets, names=names)
+    distribution = type_id_distribution(extraction)
+    rows = [(token, count, f"{pct:.2f}%")
+            for token, count, pct in distribution.rows()[:8]]
+    print(render_table(["ASDU typeID", "count", "share"],
+                       rows, title="TypeID distribution (Table 7 shape)"))
+    print(f"\nI36+I13 carry {distribution.top_two_share():.1f}% of all "
+          f"ASDUs (paper: 97%)")
+
+
+if __name__ == "__main__":
+    main()

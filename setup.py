@@ -1,0 +1,5 @@
+"""Legacy setup shim: this offline environment lacks the `wheel` package,
+so pip must use the setup.py develop path for editable installs."""
+from setuptools import setup
+
+setup()

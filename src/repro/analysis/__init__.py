@@ -1,0 +1,91 @@
+"""The measurement/analysis pipeline — the paper's core methodology.
+
+Front-end: :func:`extract_apdus` turns captured packets into APDU event
+streams. On top of that sit the five analyses of Section 6: compliance
+(6.1), TCP flows (6.2), session clustering and Markov/N-gram profiling
+(6.3), outstation classification (Table 6), and physical DPI (6.4).
+"""
+
+from .apdu_stream import (ApduEvent, StreamExtraction, cause_distribution,
+                          extract_apdus, has_interrogation, is_iec104,
+                          observed_ioas, observed_type_ids, tokenize,
+                          u_function_counts)
+from .bandwidth import (InterArrivalStats, Periodicity,
+                        SessionTimingProfile, ThroughputSeries,
+                        detect_period, inter_arrival_stats, throughput,
+                        timing_profiles)
+from .classification import (ConnectionProfile, OutstationClassification,
+                             TYPE_DESCRIPTIONS, TypeDistribution,
+                             classify_all, classify_outstation,
+                             connection_profile, switchover_chain,
+                             type_distribution)
+from .clustering import (KMeansResult, KSelection, explained_variance,
+                         kmeans, per_feature_silhouette, select_k,
+                         silhouette_score)
+from .compliance import (ComplianceReport, FieldDiff, HostCompliance,
+                         analyze_compliance, field_diffs)
+from .drift import (DayProfile, DriftSummary, SessionDrift,
+                    day_boundaries, session_drift, summarize_drift)
+from .flows import FlowAnalysis, FlowSummary, RejectingPair
+from .hypotheses import (HypothesisResult, Verdict, evaluate_all,
+                         evaluate_h1_stability, evaluate_h2_compliance,
+                         evaluate_h3_flows, evaluate_h4_clusters,
+                         evaluate_h5_physical)
+from .markov import (ChainCluster, ConnectionChains, MarkovChain,
+                     Transition, classify_chain)
+from .ngram import (END_TOKEN, NgramModel, START_TOKEN,
+                    TOKEN_DESCRIPTIONS, is_valid_token)
+from .pca import PCAResult, fit_pca
+from .physical import (InterestingEvent, PointKey, PointSeries,
+                       SymbolRow, TypeIDDistribution, agc_command_series,
+                       extract_series, interesting_events, station_series,
+                       symbol_table, type_id_distribution)
+from .report import render_histogram, render_series, render_table
+from .sessions import (ALL_FEATURES, CLUSTER_ROLES, SELECTED_FEATURES,
+                       SessionFeatures, extract_sessions,
+                       feature_matrix, label_clusters, session_features)
+from .timeline import (ConnectionTimeline, TimelineEntry,
+                       TimelineEvent, build_timelines,
+                       rejected_backup_timelines, switchover_timelines)
+from .topology_diff import (IOAChange, ObservedTopology, TopologyDiff,
+                            diff_topologies)
+from .whitelist import (CombinedAlert, CombinedDetector, CyberVerdict,
+                        CyberWhitelist, Envelope, PhysicalViolation,
+                        PhysicalWhitelist)
+
+__all__ = [
+    "ALL_FEATURES", "ApduEvent", "ChainCluster", "CombinedAlert",
+    "CombinedDetector", "ComplianceReport", "CyberVerdict",
+    "CyberWhitelist", "Envelope", "InterArrivalStats", "Periodicity",
+    "PhysicalViolation", "PhysicalWhitelist", "SessionTimingProfile",
+    "ThroughputSeries", "detect_period", "inter_arrival_stats",
+    "throughput", "timing_profiles",
+    "ConnectionChains", "ConnectionProfile", "END_TOKEN",
+    "FieldDiff", "FlowAnalysis", "FlowSummary", "HostCompliance",
+    "HypothesisResult", "Verdict", "evaluate_all",
+    "evaluate_h1_stability", "evaluate_h2_compliance",
+    "evaluate_h3_flows", "evaluate_h4_clusters", "evaluate_h5_physical",
+    "IOAChange", "InterestingEvent", "KMeansResult", "KSelection",
+    "MarkovChain", "NgramModel", "ObservedTopology",
+    "OutstationClassification", "PCAResult", "PointKey", "PointSeries",
+    "RejectingPair", "SELECTED_FEATURES", "START_TOKEN", "SessionFeatures",
+    "StreamExtraction", "SymbolRow", "TOKEN_DESCRIPTIONS",
+    "TYPE_DESCRIPTIONS", "TopologyDiff", "Transition",
+    "TypeDistribution", "TypeIDDistribution", "agc_command_series",
+    "DayProfile", "DriftSummary", "SessionDrift", "day_boundaries",
+    "session_drift", "summarize_drift",
+    "analyze_compliance", "cause_distribution", "classify_all", "classify_chain",
+    "classify_outstation", "connection_profile", "diff_topologies",
+    "explained_variance", "extract_apdus", "extract_series",
+    "extract_sessions", "feature_matrix", "field_diffs",
+    "CLUSTER_ROLES", "label_clusters",
+    "fit_pca", "has_interrogation", "interesting_events", "is_iec104",
+    "is_valid_token", "kmeans", "observed_ioas", "observed_type_ids",
+    "per_feature_silhouette", "render_histogram", "render_series",
+    "render_table", "select_k", "session_features", "silhouette_score",
+    "ConnectionTimeline", "TimelineEntry", "TimelineEvent",
+    "build_timelines", "rejected_backup_timelines",
+    "switchover_timelines",
+    "station_series", "switchover_chain", "symbol_table", "tokenize",
+    "type_distribution", "type_id_distribution", "u_function_counts",
+]

@@ -1,0 +1,207 @@
+"""Bandwidth and timing characteristics (paper §1, §6: "traffic
+analysis of TCP flows, bandwidth used, and timing characteristics").
+
+Provides per-session throughput series, inter-arrival statistics, and
+autocorrelation-based periodicity detection — SCADA traffic is largely
+machine-paced, so strong periodic components are the expected baseline
+and their absence (or change) is itself a signal.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from .apdu_stream import ApduEvent, StreamExtraction
+
+
+@dataclass(frozen=True)
+class ThroughputSeries:
+    """Bytes-per-second over fixed bins for one traffic subset."""
+
+    start: float
+    bin_size: float
+    bytes_per_bin: tuple[float, ...]
+
+    @property
+    def times(self) -> list[float]:
+        return [self.start + (index + 0.5) * self.bin_size
+                for index in range(len(self.bytes_per_bin))]
+
+    @property
+    def rates(self) -> list[float]:
+        return [value / self.bin_size for value in self.bytes_per_bin]
+
+    @property
+    def mean_rate(self) -> float:
+        if not self.bytes_per_bin:
+            return 0.0
+        return float(np.mean(self.bytes_per_bin)) / self.bin_size
+
+    @property
+    def peak_rate(self) -> float:
+        if not self.bytes_per_bin:
+            return 0.0
+        return max(self.bytes_per_bin) / self.bin_size
+
+
+def throughput(events: Sequence[ApduEvent],
+               bin_size: float = 10.0) -> ThroughputSeries:
+    """Wire-byte throughput of a set of APDU events."""
+    if bin_size <= 0:
+        raise ValueError("bin_size must be positive")
+    if not events:
+        return ThroughputSeries(start=0.0, bin_size=bin_size,
+                                bytes_per_bin=())
+    ordered = sorted(events, key=lambda event: event.timestamp)
+    start = ordered[0].timestamp
+    end = ordered[-1].timestamp
+    bins = max(1, int((end - start) / bin_size) + 1)
+    totals = [0.0] * bins
+    for event in ordered:
+        index = min(bins - 1, int((event.timestamp - start) / bin_size))
+        totals[index] += event.wire_bytes
+    return ThroughputSeries(start=start, bin_size=bin_size,
+                            bytes_per_bin=tuple(totals))
+
+
+@dataclass(frozen=True)
+class InterArrivalStats:
+    """Timing statistics of one event stream."""
+
+    count: int
+    mean: float
+    median: float
+    p95: float
+    #: Coefficient of variation: ~0 for periodic, ~1 for Poisson,
+    #: > 1 for bursty traffic.
+    cv: float
+
+    @property
+    def is_machine_paced(self) -> bool:
+        """Heuristic for strongly regular (machine-driven) timing."""
+        return self.count >= 5 and self.cv < 0.5
+
+
+def inter_arrival_stats(events: Sequence[ApduEvent],
+                        max_gap: float | None = None
+                        ) -> InterArrivalStats:
+    """Inter-arrival statistics of an event stream.
+
+    ``max_gap`` drops gaps larger than the given value — use it to
+    exclude the idle time between separate capture days, which would
+    otherwise swamp the within-capture timing statistics.
+    """
+    times = sorted(event.timestamp for event in events)
+    gaps = np.diff(times)
+    if max_gap is not None:
+        gaps = gaps[gaps <= max_gap]
+    if len(gaps) == 0:
+        return InterArrivalStats(count=len(times), mean=0.0, median=0.0,
+                                 p95=0.0, cv=0.0)
+    mean = float(gaps.mean())
+    cv = float(gaps.std() / mean) if mean > 0 else 0.0
+    return InterArrivalStats(count=len(times), mean=mean,
+                             median=float(np.median(gaps)),
+                             p95=float(np.percentile(gaps, 95)), cv=cv)
+
+
+@dataclass(frozen=True)
+class Periodicity:
+    """Dominant periodic component of an event stream."""
+
+    period: float | None
+    strength: float  # normalized autocorrelation peak, 0..1
+
+    @property
+    def is_periodic(self) -> bool:
+        return self.period is not None and self.strength > 0.3
+
+
+def detect_period(timestamps: Sequence[float], bin_size: float = 1.0,
+                  max_period: float = 600.0) -> Periodicity:
+    """Find the dominant period via autocorrelation of binned counts.
+
+    Returns the lag (in seconds) of the highest autocorrelation peak
+    within (bin_size, max_period], or ``None`` when nothing repeats.
+    """
+    if bin_size <= 0 or max_period <= bin_size:
+        raise ValueError("need 0 < bin_size < max_period")
+    times = sorted(timestamps)
+    if len(times) < 4:
+        return Periodicity(period=None, strength=0.0)
+    start, end = times[0], times[-1]
+    bins = int((end - start) / bin_size) + 1
+    counts = np.zeros(bins)
+    for time in times:
+        counts[min(bins - 1, int((time - start) / bin_size))] += 1
+    centered = counts - counts.mean()
+    denominator = float((centered ** 2).sum())
+    if denominator <= 0:
+        return Periodicity(period=None, strength=0.0)
+    max_lag = min(bins - 1, int(max_period / bin_size))
+    if max_lag < 1:
+        return Periodicity(period=None, strength=0.0)
+    best_lag, best_value = None, 0.0
+    previous = None
+    values = []
+    for lag in range(1, max_lag + 1):
+        value = float((centered[:-lag] * centered[lag:]).sum()
+                      ) / denominator
+        values.append(value)
+    # Pick the first local maximum above threshold; fall back to the
+    # global maximum.
+    for index in range(1, len(values) - 1):
+        if values[index] >= values[index - 1] \
+                and values[index] >= values[index + 1] \
+                and values[index] > 0.1:
+            best_lag, best_value = index + 1, values[index]
+            break
+    if best_lag is None and values:
+        best_index = int(np.argmax(values))
+        if values[best_index] > 0.1:
+            best_lag, best_value = best_index + 1, values[best_index]
+    if best_lag is None:
+        return Periodicity(period=None, strength=0.0)
+    return Periodicity(period=best_lag * bin_size,
+                       strength=max(0.0, min(1.0, best_value)))
+
+
+@dataclass(frozen=True)
+class SessionTimingProfile:
+    """Combined timing profile of one session."""
+
+    session: tuple[str, str]
+    stats: InterArrivalStats
+    periodicity: Periodicity
+    mean_rate_bps: float
+
+
+def timing_profiles(extraction: StreamExtraction,
+                    min_packets: int = 10,
+                    bin_size: float = 1.0,
+                    max_gap: float = 600.0
+                    ) -> list[SessionTimingProfile]:
+    """Timing profile per session — SCADA's predictability made
+    measurable (the paper's Hypothesis 1 at the session level).
+
+    ``max_gap`` excludes idle stretches longer than the given number of
+    seconds (the boundaries between capture days)."""
+    profiles = []
+    for session, events in sorted(extraction.by_session().items()):
+        if len(events) < min_packets:
+            continue
+        stats = inter_arrival_stats(events, max_gap=max_gap)
+        duration = (events[-1].timestamp - events[0].timestamp
+                    if len(events) > 1 else 0.0)
+        max_period = max(bin_size * 4, min(600.0, duration / 2))
+        periodicity = detect_period(
+            [event.timestamp for event in events],
+            bin_size=bin_size, max_period=max_period)
+        series = throughput(events, bin_size=max(10.0, bin_size))
+        profiles.append(SessionTimingProfile(
+            session=session, stats=stats, periodicity=periodicity,
+            mean_rate_bps=8.0 * series.mean_rate))
+    return profiles

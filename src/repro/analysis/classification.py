@@ -1,0 +1,189 @@
+"""Outstation behaviour classification (paper Table 6 / Fig. 17).
+
+Classifies each outstation into the paper's eight types from the
+observed per-connection token sequences alone (no access to simulator
+ground truth):
+
+  1  No secondary connection and I-format only
+  2  With secondary connection and U16 & U32
+  3  U-format only (redundant/backup RTU)
+  4  I-format only, to both servers (switched between captures)
+  5  Single server with both I and U formats
+  6  With secondary connection, I-format and U16 only
+  7  Backup RTU that resets every connection attempt (point (1,1))
+  8  Switchover from secondary to primary observed in-capture
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..simnet.behaviors import OutstationType
+from .apdu_stream import StreamExtraction, tokenize
+from .markov import MarkovChain
+
+#: Table 6 descriptions, by type number.
+TYPE_DESCRIPTIONS = {
+    OutstationType.PRIMARY_ONLY:
+        "No secondary connection and I-format only",
+    OutstationType.IDEAL:
+        "With secondary connection and U16&U32",
+    OutstationType.BACKUP_U_ONLY: "U-format only",
+    OutstationType.I_ONLY_BOTH_SERVERS: "I-format only to both servers",
+    OutstationType.SINGLE_SERVER_I_AND_U:
+        "Single server with both I and U formats",
+    OutstationType.REJECTS_SECONDARY:
+        "With secondary connection I-format and U16 only",
+    OutstationType.BACKUP_REJECTS:
+        "Backup RTU resetting every connection attempt (point (1,1))",
+    OutstationType.SWITCHOVER_OBSERVED:
+        "Secondary-to-primary switchover observed in capture",
+}
+
+
+@dataclass(frozen=True)
+class ConnectionProfile:
+    """Token-level summary of one (server, outstation) connection."""
+
+    server: str
+    outstation: str
+    packets: int
+    has_i: bool
+    has_u16: bool
+    has_u32: bool
+    has_startdt: bool
+    has_interrogation: bool
+
+    @property
+    def is_reset_backup(self) -> bool:
+        return self.has_u16 and not self.has_u32 and not self.has_i
+
+    @property
+    def is_switchover(self) -> bool:
+        return (self.has_u16 and self.has_u32 and self.has_startdt
+                and self.has_interrogation and self.has_i)
+
+
+def connection_profile(server: str, outstation: str,
+                       tokens: list[str]) -> ConnectionProfile:
+    token_set = set(tokens)
+    has_i_measurement = any(
+        token.startswith("I") and token not in ("I100",)
+        for token in token_set)
+    return ConnectionProfile(
+        server=server, outstation=outstation, packets=len(tokens),
+        has_i=has_i_measurement,
+        has_u16="U16" in token_set, has_u32="U32" in token_set,
+        has_startdt="U1" in token_set,
+        has_interrogation="I100" in token_set)
+
+
+@dataclass
+class OutstationClassification:
+    """Classification result for one outstation."""
+
+    outstation: str
+    outstation_type: OutstationType
+    profiles: list[ConnectionProfile] = field(default_factory=list)
+
+    @property
+    def description(self) -> str:
+        return TYPE_DESCRIPTIONS[self.outstation_type]
+
+
+def classify_outstation(outstation: str,
+                        profiles: list[ConnectionProfile]
+                        ) -> OutstationClassification:
+    """Apply the Table 6 decision rules to one outstation."""
+    i_profiles = [p for p in profiles if p.has_i]
+    u_only = [p for p in profiles if not p.has_i]
+
+    if not i_profiles:
+        if any(p.is_reset_backup for p in profiles):
+            kind = OutstationType.BACKUP_REJECTS
+        else:
+            kind = OutstationType.BACKUP_U_ONLY
+    elif len(i_profiles) >= 2:
+        if any(p.is_switchover for p in profiles):
+            kind = OutstationType.SWITCHOVER_OBSERVED
+        else:
+            kind = OutstationType.I_ONLY_BOTH_SERVERS
+    else:  # exactly one I-carrying connection
+        primary = i_profiles[0]
+        if not u_only:
+            if primary.has_u16 and primary.has_u32:
+                kind = OutstationType.SINGLE_SERVER_I_AND_U
+            else:
+                kind = OutstationType.PRIMARY_ONLY
+        else:
+            backup = u_only[0]
+            if backup.has_u16 and not backup.has_u32:
+                kind = OutstationType.REJECTS_SECONDARY
+            else:
+                kind = OutstationType.IDEAL
+    return OutstationClassification(outstation=outstation,
+                                    outstation_type=kind,
+                                    profiles=profiles)
+
+
+def classify_all(extraction: StreamExtraction,
+                 server_prefix: str = "C"
+                 ) -> dict[str, OutstationClassification]:
+    """Classify every outstation observed in a capture."""
+    per_connection: dict[tuple[str, str], list] = (
+        extraction.by_connection())
+    by_outstation: dict[str, list[ConnectionProfile]] = {}
+    for (first, second), events in sorted(per_connection.items()):
+        if first.startswith(server_prefix):
+            server, outstation = first, second
+        else:
+            server, outstation = second, first
+        tokens = tokenize(events)
+        by_outstation.setdefault(outstation, []).append(
+            connection_profile(server, outstation, tokens))
+    return {outstation: classify_outstation(outstation, profiles)
+            for outstation, profiles in sorted(by_outstation.items())}
+
+
+@dataclass(frozen=True)
+class TypeDistribution:
+    """Fig. 17: the share of outstations in each behaviour type."""
+
+    counts: dict[OutstationType, int]
+
+    @property
+    def total(self) -> int:
+        return sum(self.counts.values())
+
+    def percentage(self, kind: OutstationType) -> float:
+        if not self.total:
+            return 0.0
+        return 100.0 * self.counts.get(kind, 0) / self.total
+
+    def rows(self) -> list[tuple[int, str, int, float]]:
+        return [(int(kind), TYPE_DESCRIPTIONS[kind],
+                 self.counts.get(kind, 0), self.percentage(kind))
+                for kind in OutstationType]
+
+    @property
+    def most_common(self) -> OutstationType:
+        return max(OutstationType,
+                   key=lambda kind: self.counts.get(kind, 0))
+
+
+def type_distribution(classifications: dict[str, OutstationClassification]
+                      ) -> TypeDistribution:
+    counts: dict[OutstationType, int] = {}
+    for classification in classifications.values():
+        kind = classification.outstation_type
+        counts[kind] = counts.get(kind, 0) + 1
+    return TypeDistribution(counts=counts)
+
+
+def switchover_chain(extraction: StreamExtraction, server: str,
+                     outstation: str) -> MarkovChain:
+    """The Fig. 16 chain for one (server, outstation) connection."""
+    for connection, events in extraction.by_connection().items():
+        if set(connection) == {server, outstation}:
+            return MarkovChain.from_events(events)
+    raise KeyError(f"no connection between {server} and {outstation}")

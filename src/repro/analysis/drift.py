@@ -1,0 +1,155 @@
+"""Behavioural drift across capture days (Hypothesis 1, fine-grained).
+
+The paper compares the network across two *years*; its captures are
+themselves split over several days. This module measures how stable
+each session's behaviour is across those days — the day-granular
+version of Hypothesis 1 — and flags the sessions that changed.
+
+A session's per-day behaviour is summarized by its (rate, %I, %S, %U)
+vector; drift is the maximum pairwise distance between its day vectors.
+Machine-to-machine SCADA sessions should barely move; sessions that do
+move (a switchover day, a reconfigured RTU) are exactly the events an
+operator wants surfaced.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..iec104.apci import IFrame, SFrame
+from .apdu_stream import ApduEvent, StreamExtraction
+
+
+@dataclass(frozen=True)
+class DayProfile:
+    """One session's behaviour during one capture day."""
+
+    day: int
+    packets: int
+    rate_per_s: float
+    pct_i: float
+    pct_s: float
+    pct_u: float
+
+    def vector(self) -> np.ndarray:
+        return np.array([self.rate_per_s, self.pct_i, self.pct_s,
+                         self.pct_u])
+
+
+@dataclass
+class SessionDrift:
+    """Day-over-day stability of one session."""
+
+    session: tuple[str, str]
+    days: list[DayProfile] = field(default_factory=list)
+
+    @property
+    def observed_days(self) -> int:
+        return len(self.days)
+
+    @property
+    def drift(self) -> float:
+        """Largest pairwise distance between day vectors (rates are
+        log-scaled so a 2x rate change counts like a mix change)."""
+        if len(self.days) < 2:
+            return 0.0
+        vectors = []
+        for day in self.days:
+            vector = day.vector()
+            vector[0] = np.log1p(vector[0])
+            vectors.append(vector)
+        worst = 0.0
+        for i in range(len(vectors)):
+            for j in range(i + 1, len(vectors)):
+                worst = max(worst, float(np.linalg.norm(
+                    vectors[i] - vectors[j])))
+        return worst
+
+    @property
+    def intermittent(self) -> bool:
+        """Session missing from one or more days it should cover."""
+        return len(self.days) >= 1 and self.days[-1].day \
+            - self.days[0].day + 1 > len(self.days)
+
+
+def _split_days(events: list[ApduEvent],
+                boundaries: list[float]) -> dict[int, list[ApduEvent]]:
+    by_day: dict[int, list[ApduEvent]] = {}
+    for event in events:
+        day = 0
+        for index, boundary in enumerate(boundaries):
+            if event.timestamp >= boundary:
+                day = index + 1
+        by_day.setdefault(day, []).append(event)
+    return by_day
+
+
+def day_boundaries(extraction: StreamExtraction,
+                   min_gap: float = 300.0) -> list[float]:
+    """Infer capture-day boundaries from global traffic gaps."""
+    times = sorted(event.timestamp for event in extraction.events)
+    boundaries = []
+    for earlier, later in zip(times, times[1:]):
+        if later - earlier >= min_gap:
+            boundaries.append((earlier + later) / 2.0)
+    return boundaries
+
+
+def session_drift(extraction: StreamExtraction,
+                  boundaries: list[float] | None = None,
+                  min_packets_per_day: int = 5) -> list[SessionDrift]:
+    """Per-session drift profiles across capture days."""
+    if boundaries is None:
+        boundaries = day_boundaries(extraction)
+    drifts = []
+    for session, events in sorted(extraction.by_session().items()):
+        record = SessionDrift(session=session)
+        for day, day_events in sorted(
+                _split_days(events, boundaries).items()):
+            if len(day_events) < min_packets_per_day:
+                continue
+            times = [event.timestamp for event in day_events]
+            duration = max(times) - min(times)
+            total = len(day_events)
+            i_count = sum(1 for e in day_events
+                          if isinstance(e.apdu, IFrame))
+            s_count = sum(1 for e in day_events
+                          if isinstance(e.apdu, SFrame))
+            record.days.append(DayProfile(
+                day=day, packets=total,
+                rate_per_s=total / duration if duration > 0 else 0.0,
+                pct_i=i_count / total, pct_s=s_count / total,
+                pct_u=(total - i_count - s_count) / total))
+        if record.days:
+            drifts.append(record)
+    return drifts
+
+
+@dataclass(frozen=True)
+class DriftSummary:
+    """Capture-level stability summary."""
+
+    sessions: int
+    multi_day_sessions: int
+    stable_sessions: int
+    drifting_sessions: tuple[tuple[str, str], ...]
+
+    @property
+    def stability_fraction(self) -> float:
+        if not self.multi_day_sessions:
+            return 1.0
+        return self.stable_sessions / self.multi_day_sessions
+
+
+def summarize_drift(drifts: list[SessionDrift],
+                    threshold: float = 0.6) -> DriftSummary:
+    """Classify sessions as stable vs drifting by ``threshold``."""
+    multi = [record for record in drifts if record.observed_days >= 2]
+    drifting = tuple(record.session for record in multi
+                     if record.drift > threshold)
+    return DriftSummary(sessions=len(drifts),
+                        multi_day_sessions=len(multi),
+                        stable_sessions=len(multi) - len(drifting),
+                        drifting_sessions=drifting)

@@ -1,0 +1,127 @@
+"""N-gram language models over APDU token sequences (§6.3.1, Eq. 1-2).
+
+The paper tokenizes each APDU per Table 4 (``S``, ``U1``..``U32``,
+``I<typeID>``) and fits maximum-likelihood N-gram models:
+
+    P(t_n | t_{n-1}) = C(t_{n-1} t_n) / C(t_{n-1})
+
+Sequence boundaries are padded with ``<s>``/``</s>`` markers so the
+model is a proper distribution over finite sequences.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+#: Paper Table 4 token catalog (descriptions verbatim).
+TOKEN_DESCRIPTIONS: dict[str, str] = {
+    "S": "Ack of I APDUs",
+    "U1": "Start sending I APDUs",
+    "U2": "Ack of STARTDT",
+    "U4": "Stop sending I APDUs",
+    "U8": "Ack of STOPDT",
+    "U16": "Test status of connection",
+    "U32": "Ack of TESTFR",
+}
+
+START_TOKEN = "<s>"
+END_TOKEN = "</s>"
+
+
+def is_valid_token(token: str) -> bool:
+    """Check a token against the Table 4 grammar."""
+    if token in TOKEN_DESCRIPTIONS or token in (START_TOKEN, END_TOKEN):
+        return True
+    if token.startswith("I") and token[1:].isdigit():
+        return 1 <= int(token[1:]) <= 127
+    return False
+
+
+@dataclass
+class NgramModel:
+    """MLE N-gram model with optional add-k smoothing."""
+
+    order: int = 2
+    smoothing_k: float = 0.0
+    _context_counts: dict[tuple[str, ...], int] = field(
+        default_factory=dict)
+    _ngram_counts: dict[tuple[str, ...], int] = field(default_factory=dict)
+    vocabulary: set[str] = field(default_factory=set)
+
+    def __post_init__(self) -> None:
+        if self.order < 1:
+            raise ValueError("order must be >= 1")
+        if self.smoothing_k < 0:
+            raise ValueError("smoothing_k must be >= 0")
+
+    def _pad(self, sequence: Sequence[str]) -> list[str]:
+        return ([START_TOKEN] * (self.order - 1) + list(sequence)
+                + [END_TOKEN])
+
+    def fit(self, sequences: Iterable[Sequence[str]]) -> "NgramModel":
+        for sequence in sequences:
+            for token in sequence:
+                if not is_valid_token(token):
+                    raise ValueError(f"invalid APDU token {token!r}")
+            padded = self._pad(sequence)
+            self.vocabulary.update(padded)
+            for index in range(len(padded) - self.order + 1):
+                ngram = tuple(padded[index:index + self.order])
+                context = ngram[:-1]
+                self._ngram_counts[ngram] = (
+                    self._ngram_counts.get(ngram, 0) + 1)
+                self._context_counts[context] = (
+                    self._context_counts.get(context, 0) + 1)
+        return self
+
+    def probability(self, token: str, context: Sequence[str] = ()) -> float:
+        """P(token | context) by MLE (paper Eq. 2), with add-k backup."""
+        context = tuple(context)[-(self.order - 1):] if self.order > 1 \
+            else ()
+        if self.order > 1 and len(context) < self.order - 1:
+            context = ((START_TOKEN,) * (self.order - 1 - len(context))
+                       + context)
+        ngram = context + (token,)
+        count = self._ngram_counts.get(ngram, 0)
+        context_total = self._context_counts.get(context, 0)
+        if self.smoothing_k > 0:
+            vocab = max(1, len(self.vocabulary))
+            return ((count + self.smoothing_k)
+                    / (context_total + self.smoothing_k * vocab))
+        if context_total == 0:
+            return 0.0
+        return count / context_total
+
+    def sequence_log_probability(self, sequence: Sequence[str]) -> float:
+        """log P(w_1..w_n) by the chain rule (paper Eq. 1)."""
+        padded = self._pad(sequence)
+        log_prob = 0.0
+        for index in range(self.order - 1, len(padded)):
+            context = tuple(padded[index - self.order + 1:index])
+            probability = self.probability(padded[index], context)
+            if probability <= 0.0:
+                return float("-inf")
+            log_prob += math.log(probability)
+        return log_prob
+
+    def perplexity(self, sequences: Iterable[Sequence[str]]) -> float:
+        """Per-token perplexity over held-out sequences."""
+        total_log = 0.0
+        total_tokens = 0
+        for sequence in sequences:
+            log_prob = self.sequence_log_probability(sequence)
+            if math.isinf(log_prob):
+                return float("inf")
+            total_log += log_prob
+            total_tokens += len(sequence) + 1  # + END token
+        if total_tokens == 0:
+            raise ValueError("no tokens to evaluate")
+        return math.exp(-total_log / total_tokens)
+
+    def bigrams(self) -> dict[tuple[str, ...], float]:
+        """All learned N-grams with their MLE probabilities."""
+        return {ngram: self._ngram_counts[ngram]
+                / self._context_counts[ngram[:-1]]
+                for ngram in self._ngram_counts}

@@ -1,0 +1,49 @@
+"""Principal Component Analysis, from scratch on numpy.
+
+Used to project the five-dimensional session feature space onto the 2D
+plane of paper Fig. 10.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class PCAResult:
+    """A fitted PCA projection."""
+
+    mean: np.ndarray
+    components: np.ndarray        # (k, d), rows are principal axes
+    explained_variance: np.ndarray
+    explained_variance_ratio: np.ndarray
+
+    def transform(self, matrix: np.ndarray) -> np.ndarray:
+        return (matrix - self.mean) @ self.components.T
+
+    def inverse_transform(self, projected: np.ndarray) -> np.ndarray:
+        return projected @ self.components + self.mean
+
+
+def fit_pca(matrix: np.ndarray, n_components: int = 2) -> PCAResult:
+    """Fit PCA by SVD of the centered data matrix."""
+    data = np.asarray(matrix, dtype=float)
+    if data.ndim != 2:
+        raise ValueError("PCA expects a 2D matrix")
+    n, d = data.shape
+    if n < 2:
+        raise ValueError("PCA needs at least two samples")
+    if not 1 <= n_components <= d:
+        raise ValueError(f"n_components must be in [1, {d}]")
+    mean = data.mean(axis=0)
+    centered = data - mean
+    _, singular, vt = np.linalg.svd(centered, full_matrices=False)
+    variance = (singular ** 2) / (n - 1)
+    total = variance.sum()
+    ratio = variance / total if total > 0 else np.zeros_like(variance)
+    return PCAResult(mean=mean,
+                     components=vt[:n_components],
+                     explained_variance=variance[:n_components],
+                     explained_variance_ratio=ratio[:n_components])

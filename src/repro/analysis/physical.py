@@ -1,0 +1,285 @@
+"""Physical-measurement DPI (paper Section 6.4).
+
+Extracts per-point time series from the decoded I-frames, reproduces
+the typeID distribution (Table 7) and the typeID-to-physical-symbol
+mapping with transmitting-station counts (Table 8), performs the
+normalized-variance screening the paper used to find "interesting"
+events, and assembles the series behind Figs. 18-20.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..iec104.apci import IFrame
+from ..iec104.constants import Cause, TypeID
+from .apdu_stream import StreamExtraction
+
+#: TypeIDs whose elements carry numeric process values.
+_VALUE_TYPES = {
+    TypeID.M_SP_NA_1, TypeID.M_DP_NA_1, TypeID.M_ST_NA_1,
+    TypeID.M_BO_NA_1, TypeID.M_ME_NA_1, TypeID.M_ME_NB_1,
+    TypeID.M_ME_NC_1, TypeID.M_SP_TB_1, TypeID.M_DP_TB_1,
+    TypeID.M_ST_TB_1, TypeID.M_BO_TB_1, TypeID.M_ME_TD_1,
+    TypeID.M_ME_TE_1, TypeID.M_ME_TF_1, TypeID.C_SE_NA_1,
+    TypeID.C_SE_NB_1, TypeID.C_SE_NC_1,
+}
+
+_STATUS_TYPES = {TypeID.M_SP_NA_1, TypeID.M_SP_TB_1, TypeID.M_DP_NA_1,
+                 TypeID.M_DP_TB_1}
+
+_SETPOINT_TYPES = {TypeID.C_SE_NA_1, TypeID.C_SE_NB_1, TypeID.C_SE_NC_1}
+
+
+@dataclass(frozen=True)
+class PointKey:
+    """Identity of one field point: reporting host + IOA + typeID."""
+
+    station: str
+    ioa: int
+    type_id: TypeID
+
+
+@dataclass
+class PointSeries:
+    """A time series extracted for one field point."""
+
+    key: PointKey
+    times: list[float] = field(default_factory=list)
+    values: list[float] = field(default_factory=list)
+
+    def append(self, time: float, value: float) -> None:
+        self.times.append(time)
+        self.values.append(value)
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    @property
+    def array(self) -> np.ndarray:
+        return np.asarray(self.values, dtype=float)
+
+    def normalized_variance(self) -> float:
+        """Variance normalized by squared scale (the paper's screen for
+        variables "changing more than usual")."""
+        data = self.array
+        if len(data) < 2:
+            return 0.0
+        scale = max(1e-9, float(np.abs(data).mean()))
+        return float(data.var() / (scale * scale))
+
+    def inferred_symbol(self) -> str:
+        """Heuristic physical-symbol inference (paper Table 8 legend).
+
+        The paper identified symbols by inspecting value semantics; this
+        reproduces that inspection: frequencies sit at ~50/60 Hz with
+        tiny variance, voltages near the nominal kV level, statuses are
+        small non-negative integers, reactive power changes sign, set
+        points are known from the command typeIDs.
+        """
+        if self.key.type_id in _SETPOINT_TYPES:
+            return "AGC-SP"
+        data = self.array
+        if len(data) == 0:
+            return "-"
+        if self.key.type_id in (TypeID.M_BO_NA_1, TypeID.M_BO_TB_1,
+                                TypeID.M_ST_NA_1, TypeID.M_ST_TB_1):
+            # Bitstrings and step positions have no scalar physical
+            # meaning the paper could assign (Table 8 marks them "-").
+            return "-"
+        if self.key.type_id in _STATUS_TYPES:
+            return "Status"
+        if np.allclose(data, np.round(data)) and data.min() >= 0 \
+                and data.max() <= 3:
+            return "Status"
+        mean = float(data.mean())
+        spread = float(data.std())
+        if 45.0 <= mean <= 65.0 and spread < 0.5:
+            return "Freq"
+        if 90.0 <= abs(mean) <= 550.0 and spread < 0.1 * abs(mean) + 5.0:
+            return "U"
+        if data.min() < 0.0 < data.max():
+            return "Q"
+        if 0.0 <= mean < 5.0:
+            return "I"
+        return "P"
+
+
+def _element_value(element) -> float | None:
+    value = getattr(element, "value", None)
+    if value is None:
+        return None
+    if isinstance(value, bool):
+        return float(value)
+    if isinstance(value, (int, float)):
+        return float(value)
+    return None
+
+
+def extract_series(extraction: StreamExtraction
+                   ) -> dict[PointKey, PointSeries]:
+    """Collect every numeric point series from the decoded traffic.
+
+    Monitor-direction values are attributed to the sending outstation;
+    set-point commands to the *target* outstation (that is where the
+    physical set point applies)."""
+    series: dict[PointKey, PointSeries] = {}
+    for event in extraction.events:
+        if not isinstance(event.apdu, IFrame):
+            continue
+        asdu = event.apdu.asdu
+        if asdu.type_id not in _VALUE_TYPES:
+            continue
+        is_setpoint = asdu.type_id in _SETPOINT_TYPES
+        if is_setpoint and asdu.cause is not Cause.ACTIVATION:
+            continue  # count each command once (skip the mirror con)
+        station = event.dst if is_setpoint else event.src
+        for obj in asdu.objects:
+            value = _element_value(obj.element)
+            if value is None:
+                continue
+            key = PointKey(station=station, ioa=obj.address,
+                           type_id=asdu.type_id)
+            entry = series.get(key)
+            if entry is None:
+                entry = PointSeries(key=key)
+                series[key] = entry
+            entry.append(event.timestamp, value)
+    return series
+
+
+@dataclass(frozen=True)
+class TypeIDDistribution:
+    """Paper Table 7: share of ASDUs per observed typeID."""
+
+    counts: dict[TypeID, int]
+
+    @property
+    def total(self) -> int:
+        return sum(self.counts.values())
+
+    def percentage(self, type_id: TypeID) -> float:
+        if not self.total:
+            return 0.0
+        return 100.0 * self.counts.get(type_id, 0) / self.total
+
+    def rows(self) -> list[tuple[str, int, float]]:
+        ordered = sorted(self.counts.items(),
+                         key=lambda item: -item[1])
+        return [(type_id.token, count, self.percentage(type_id))
+                for type_id, count in ordered]
+
+    def top_two_share(self) -> float:
+        """Combined share of the two dominant typeIDs (paper: I36+I13
+        carry 97% of ASDUs)."""
+        ordered = sorted(self.counts.values(), reverse=True)
+        if not self.total:
+            return 0.0
+        return 100.0 * sum(ordered[:2]) / self.total
+
+
+def type_id_distribution(extraction: StreamExtraction
+                         ) -> TypeIDDistribution:
+    counts: dict[TypeID, int] = {}
+    for event in extraction.events:
+        if isinstance(event.apdu, IFrame):
+            type_id = event.apdu.asdu.type_id
+            counts[type_id] = counts.get(type_id, 0) + 1
+    return TypeIDDistribution(counts=counts)
+
+
+@dataclass(frozen=True)
+class SymbolRow:
+    """One row of paper Table 8."""
+
+    token: str
+    station_count: int
+    symbols: tuple[str, ...]
+
+
+def symbol_table(extraction: StreamExtraction,
+                 server_prefix: str = "C") -> list[SymbolRow]:
+    """Paper Table 8: typeID, transmitting-station count, symbols.
+
+    Station counts are attributed to the *field* side of each
+    connection (the outstation), so a command typeID counts the RTUs it
+    is exchanged with, not the control servers that issue it."""
+    stations: dict[TypeID, set[str]] = {}
+    symbols: dict[TypeID, set[str]] = {}
+    for event in extraction.events:
+        if not isinstance(event.apdu, IFrame):
+            continue
+        asdu = event.apdu.asdu
+        station = (event.dst if event.src.startswith(server_prefix)
+                   else event.src)
+        stations.setdefault(asdu.type_id, set()).add(station)
+    for key, series in extract_series(extraction).items():
+        if len(series) >= 2:
+            symbols.setdefault(key.type_id, set()).add(
+                series.inferred_symbol())
+    rows = []
+    for type_id, senders in sorted(stations.items(),
+                                   key=lambda item: -len(item[1])):
+        row_symbols = tuple(sorted(symbols.get(type_id, set())))
+        if type_id is TypeID.C_IC_NA_1:
+            row_symbols = ("Inter(global)",)
+        rows.append(SymbolRow(token=type_id.token,
+                              station_count=len(senders),
+                              symbols=row_symbols or ("-",)))
+    return rows
+
+
+@dataclass(frozen=True)
+class InterestingEvent:
+    """A point flagged by the normalized-variance screening."""
+
+    key: PointKey
+    normalized_variance: float
+    symbol: str
+    samples: int
+
+
+def interesting_events(extraction: StreamExtraction, top: int = 10,
+                       min_samples: int = 5) -> list[InterestingEvent]:
+    """The paper's screening for variables changing more than usual."""
+    flagged = []
+    for key, series in extract_series(extraction).items():
+        if len(series) < min_samples:
+            continue
+        flagged.append(InterestingEvent(
+            key=key, normalized_variance=series.normalized_variance(),
+            symbol=series.inferred_symbol(), samples=len(series)))
+    flagged.sort(key=lambda event: -event.normalized_variance)
+    return flagged[:top]
+
+
+def station_series(extraction: StreamExtraction, station: str,
+                   symbol: str | None = None,
+                   min_samples: int = 2) -> list[PointSeries]:
+    """All series reported by one station (for Figs. 18-20), optionally
+    filtered by inferred physical symbol.
+
+    ``min_samples`` defaults to 2 (a single sample has no dynamics);
+    pass 1 to include rarely-reported points such as breaker statuses
+    that only show their transition on the wire."""
+    matches = []
+    for key, series in extract_series(extraction).items():
+        if key.station != station or len(series) < min_samples:
+            continue
+        if symbol is not None and series.inferred_symbol() != symbol:
+            continue
+        matches.append(series)
+    matches.sort(key=lambda series: series.key.ioa)
+    return matches
+
+
+def agc_command_series(extraction: StreamExtraction
+                       ) -> dict[str, PointSeries]:
+    """AGC set-point command series per target station (Fig. 19)."""
+    commands: dict[str, PointSeries] = {}
+    for key, series in extract_series(extraction).items():
+        if key.type_id in _SETPOINT_TYPES:
+            commands[key.station] = series
+    return commands

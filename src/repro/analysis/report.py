@@ -1,0 +1,65 @@
+"""Plain-text table rendering for the benchmark harness output."""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+
+def render_table(headers: Sequence[str],
+                 rows: Iterable[Sequence[object]],
+                 title: str | None = None) -> str:
+    """Render an ASCII table with padded columns."""
+    body = [[str(cell) for cell in row] for row in rows]
+    widths = [len(header) for header in headers]
+    for row in body:
+        if len(row) != len(headers):
+            raise ValueError("row width does not match headers")
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    separator = "-+-".join("-" * width for width in widths)
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(" | ".join(header.ljust(width)
+                            for header, width in zip(headers, widths)))
+    lines.append(separator)
+    for row in body:
+        lines.append(" | ".join(cell.ljust(width)
+                                for cell, width in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def render_histogram(bins: Sequence[tuple[float, float, int]],
+                     width: int = 40, title: str | None = None) -> str:
+    """Render a horizontal bar histogram (Fig. 8-style)."""
+    lines = [title] if title else []
+    peak = max((count for _, _, count in bins), default=0)
+    for low, high, count in bins:
+        bar = "#" * (round(width * count / peak) if peak else 0)
+        lines.append(f"[{low:9.3f}s, {high:9.3f}s) {count:6d} {bar}")
+    return "\n".join(lines)
+
+
+def render_series(times: Sequence[float], values: Sequence[float],
+                  width: int = 60, height: int = 12,
+                  title: str | None = None) -> str:
+    """Render a coarse ASCII line chart for a time series."""
+    if len(times) != len(values):
+        raise ValueError("times and values must have equal length")
+    lines = [title] if title else []
+    if not values:
+        lines.append("(empty series)")
+        return "\n".join(lines)
+    low, high = min(values), max(values)
+    span = (high - low) or 1.0
+    t0, t1 = times[0], times[-1]
+    t_span = (t1 - t0) or 1.0
+    grid = [[" "] * width for _ in range(height)]
+    for time, value in zip(times, values):
+        x = min(width - 1, int((time - t0) / t_span * (width - 1)))
+        y = min(height - 1, int((value - low) / span * (height - 1)))
+        grid[height - 1 - y][x] = "*"
+    lines.append(f"max={high:.3f}")
+    lines.extend("".join(row) for row in grid)
+    lines.append(f"min={low:.3f}  (t: {t0:.1f}s .. {t1:.1f}s)")
+    return "\n".join(lines)

@@ -1,0 +1,160 @@
+"""Session feature extraction (paper Section 6.3).
+
+A *session* is all packets sent in one direction between the same pair
+of endpoints. The paper started from ten statistical features and kept
+the five with the best single-feature Silhouette scores:
+
+    dt      — average inter-arrival time between consecutive packets
+    num     — total packets in the direction
+    pct_i   — fraction of I-format data units
+    pct_s   — fraction of S-format data units
+    pct_u   — fraction of U-format data units
+
+The full ten-feature vector is retained for the feature-selection
+ablation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..iec104.apci import IFrame, SFrame
+from .apdu_stream import ApduEvent, StreamExtraction
+
+#: The paper's selected five features, in order.
+SELECTED_FEATURES = ("dt", "num", "pct_i", "pct_s", "pct_u")
+
+#: The full candidate set (ten features).
+ALL_FEATURES = ("dt", "num", "pct_i", "pct_s", "pct_u",
+                "total_bytes", "mean_size", "from_server",
+                "ioa_count", "type_variety")
+
+
+@dataclass(frozen=True)
+class SessionFeatures:
+    """Feature vector for one directional session."""
+
+    src: str
+    dst: str
+    dt: float
+    num: int
+    pct_i: float
+    pct_s: float
+    pct_u: float
+    total_bytes: int
+    mean_size: float
+    from_server: float
+    ioa_count: int
+    type_variety: int
+
+    @property
+    def name(self) -> str:
+        return f"{self.src}->{self.dst}"
+
+    def vector(self, features=SELECTED_FEATURES) -> np.ndarray:
+        return np.array([float(getattr(self, feature))
+                         for feature in features])
+
+
+def session_features(session: tuple[str, str],
+                     events: list[ApduEvent]) -> SessionFeatures:
+    """Compute the feature vector of one session."""
+    src, dst = session
+    ordered = sorted(events, key=lambda event: event.timestamp)
+    times = [event.timestamp for event in ordered]
+    gaps = [b - a for a, b in zip(times, times[1:])]
+    dt = float(np.mean(gaps)) if gaps else 0.0
+    total = len(ordered)
+    i_count = sum(1 for event in ordered if isinstance(event.apdu, IFrame))
+    s_count = sum(1 for event in ordered if isinstance(event.apdu, SFrame))
+    u_count = total - i_count - s_count
+    ioas = set()
+    type_ids = set()
+    for event in ordered:
+        if isinstance(event.apdu, IFrame):
+            type_ids.add(event.apdu.asdu.type_id)
+            for obj in event.apdu.asdu.objects:
+                ioas.add(obj.address)
+    total_bytes = sum(event.wire_bytes for event in ordered)
+    return SessionFeatures(
+        src=src, dst=dst, dt=dt, num=total,
+        pct_i=i_count / total, pct_s=s_count / total,
+        pct_u=u_count / total, total_bytes=total_bytes,
+        mean_size=total_bytes / total if total else 0.0,
+        from_server=1.0 if src.startswith("C") else 0.0,
+        ioa_count=len(ioas), type_variety=len(type_ids))
+
+
+def extract_sessions(extraction: StreamExtraction,
+                     min_packets: int = 2) -> list[SessionFeatures]:
+    """Feature vectors for every session with >= ``min_packets``."""
+    features = []
+    for session, events in sorted(extraction.by_session().items()):
+        if len(events) < min_packets:
+            continue
+        features.append(session_features(session, events))
+    return features
+
+
+#: The five behavioural roles of paper Fig. 11.
+CLUSTER_ROLES = ("outlier-long-gaps", "i-heavy-spontaneous",
+                 "average-reporting", "server-acks", "keepalive")
+
+
+def label_clusters(sessions: list[SessionFeatures],
+                   labels) -> dict[int, str]:
+    """Assign each K-means cluster one of the paper's Fig. 11 roles.
+
+    Roles are matched greedily on the cluster means: the largest mean
+    inter-arrival time is the outlier cluster (paper cluster 0), the
+    highest %U is the keep-alive cluster (4), the highest %S the
+    server-acknowledgement cluster (3), the highest %I the heavy
+    I-format cluster (1), and the remainder the average case (2).
+    """
+    import numpy as np
+    labels = np.asarray(labels)
+    cluster_ids = sorted(set(int(label) for label in labels))
+    means = {}
+    for cluster_id in cluster_ids:
+        members = [session for session, label in zip(sessions, labels)
+                   if label == cluster_id]
+        means[cluster_id] = {
+            "dt": float(np.mean([m.dt for m in members])),
+            "pct_i": float(np.mean([m.pct_i for m in members])),
+            "pct_s": float(np.mean([m.pct_s for m in members])),
+            "pct_u": float(np.mean([m.pct_u for m in members])),
+        }
+    assigned: dict[int, str] = {}
+    remaining = set(cluster_ids)
+
+    def take(metric: str, role: str) -> None:
+        if not remaining:
+            return
+        best = max(remaining, key=lambda c: means[c][metric])
+        assigned[best] = role
+        remaining.discard(best)
+
+    take("dt", "outlier-long-gaps")
+    take("pct_u", "keepalive")
+    take("pct_s", "server-acks")
+    take("pct_i", "i-heavy-spontaneous")
+    for cluster_id in sorted(remaining):
+        assigned[cluster_id] = "average-reporting"
+    return assigned
+
+
+def feature_matrix(sessions: list[SessionFeatures],
+                   features=SELECTED_FEATURES,
+                   standardize: bool = True) -> np.ndarray:
+    """Stack session vectors into an (n, d) matrix, optionally z-scored."""
+    if not sessions:
+        raise ValueError("no sessions to build a matrix from")
+    matrix = np.vstack([session.vector(features) for session in sessions])
+    if standardize:
+        mean = matrix.mean(axis=0)
+        std = matrix.std(axis=0)
+        std[std == 0.0] = 1.0
+        matrix = (matrix - mean) / std
+    return matrix

@@ -1,0 +1,137 @@
+"""Topology observation and year-over-year diffing (Fig. 6, Table 2).
+
+Builds the observed network picture from traffic alone — which servers
+and outstations appear, how many IOAs each outstation reports — and
+diffs two years to reproduce the paper's change analysis, including the
+stability statistic of Hypothesis 1 (26% of substations / 25% of
+outstations unchanged).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .apdu_stream import StreamExtraction, observed_ioas
+
+
+@dataclass
+class ObservedTopology:
+    """What the tap reveals about the network in one year."""
+
+    servers: set[str] = field(default_factory=set)
+    outstations: set[str] = field(default_factory=set)
+    #: Distinct IOAs reported by each outstation (Fig. 6 clouds).
+    ioa_counts: dict[str, int] = field(default_factory=dict)
+    #: Which servers each outstation talked to.
+    peers: dict[str, set[str]] = field(default_factory=dict)
+
+    @classmethod
+    def from_extraction(cls, extraction: StreamExtraction,
+                        server_prefix: str = "C") -> "ObservedTopology":
+        topology = cls()
+        sessions = extraction.by_session()
+        for (src, dst), events in sessions.items():
+            for host in (src, dst):
+                if host.startswith(server_prefix):
+                    topology.servers.add(host)
+                else:
+                    topology.outstations.add(host)
+            server, outstation = ((src, dst)
+                                  if src.startswith(server_prefix)
+                                  else (dst, src))
+            topology.peers.setdefault(outstation, set()).add(server)
+        for outstation in topology.outstations:
+            events = [event for event in extraction.events
+                      if outstation in (event.src, event.dst)]
+            topology.ioa_counts[outstation] = len(
+                observed_ioas(events, source=outstation))
+        return topology
+
+
+@dataclass(frozen=True)
+class IOAChange:
+    """One Fig. 6 arrow: an outstation's IOA count changed."""
+
+    outstation: str
+    before: int
+    after: int
+
+    @property
+    def direction(self) -> str:
+        return "up" if self.after > self.before else "down"
+
+
+@dataclass
+class TopologyDiff:
+    """Year-over-year comparison (the content of Fig. 6 + Table 2)."""
+
+    added_outstations: list[str]
+    removed_outstations: list[str]
+    persisting: list[str]
+    ioa_changes: list[IOAChange]
+    stable_outstations: list[str]
+    before: ObservedTopology
+    after: ObservedTopology
+
+    @property
+    def outstation_stability(self) -> float:
+        """Fraction of all observed outstations that persisted with an
+        unchanged IOA count (the paper's 25%)."""
+        universe = set(self.before.outstations) | set(
+            self.after.outstations)
+        if not universe:
+            return 0.0
+        return len(self.stable_outstations) / len(universe)
+
+    def substation_stability(self,
+                             substation_of: dict[str, str]) -> float:
+        """Fraction of substations fully stable (the paper's 26%).
+
+        ``substation_of`` maps outstation name to substation name (from
+        operator documentation, as the paper had)."""
+        all_subs = {substation_of[o]
+                    for o in (set(self.before.outstations)
+                              | set(self.after.outstations))
+                    if o in substation_of}
+        if not all_subs:
+            return 0.0
+        changed = set()
+        for outstation in self.added_outstations:
+            changed.add(substation_of.get(outstation))
+        for outstation in self.removed_outstations:
+            changed.add(substation_of.get(outstation))
+        for change in self.ioa_changes:
+            changed.add(substation_of.get(change.outstation))
+        stable = {sub for sub in all_subs if sub not in changed}
+        return len(stable) / len(all_subs)
+
+
+def diff_topologies(before: ObservedTopology,
+                    after: ObservedTopology) -> TopologyDiff:
+    added = sorted(after.outstations - before.outstations,
+                   key=_outstation_sort_key)
+    removed = sorted(before.outstations - after.outstations,
+                     key=_outstation_sort_key)
+    persisting = sorted(before.outstations & after.outstations,
+                        key=_outstation_sort_key)
+    changes = []
+    stable = []
+    for outstation in persisting:
+        count_before = before.ioa_counts.get(outstation, 0)
+        count_after = after.ioa_counts.get(outstation, 0)
+        if count_before != count_after:
+            changes.append(IOAChange(outstation=outstation,
+                                     before=count_before,
+                                     after=count_after))
+        else:
+            stable.append(outstation)
+    return TopologyDiff(added_outstations=added,
+                        removed_outstations=removed,
+                        persisting=persisting, ioa_changes=changes,
+                        stable_outstations=stable, before=before,
+                        after=after)
+
+
+def _outstation_sort_key(name: str):
+    digits = "".join(ch for ch in name if ch.isdigit())
+    return (0, int(digits)) if digits else (1, name)

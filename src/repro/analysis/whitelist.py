@@ -1,0 +1,257 @@
+"""Cyber-physical whitelisting — the paper's proposed future work.
+
+The conclusion of the paper proposes "white lists that correlate cyber
+(e.g., Markov networks) and physical (time-series analysis) network
+measurements to identify suspicious activities". This module implements
+that proposal on top of the repository's building blocks:
+
+* :class:`CyberWhitelist` — learns the set of observed APDU-token
+  transitions per connection (a Markov whitelist) and scores new
+  sequences by their fraction of never-seen transitions;
+* :class:`PhysicalWhitelist` — learns per-point value envelopes from
+  clean DPI series and checks new samples against them, plus the
+  Fig. 21 physics rules (no power through an open breaker);
+* :class:`CombinedDetector` — correlates both layers, as the paper
+  suggests a grid SOC should.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from ..grid.signature import ActivationSignature
+from .apdu_stream import StreamExtraction, tokenize
+from .ngram import is_valid_token
+from .physical import PointKey, extract_series
+
+
+@dataclass(frozen=True)
+class CyberVerdict:
+    """Score of one token sequence against the cyber whitelist."""
+
+    connection: object
+    tokens: int
+    unseen_transitions: tuple[tuple[str, str], ...]
+    unknown_tokens: tuple[str, ...]
+
+    @property
+    def unseen_fraction(self) -> float:
+        if self.tokens < 2:
+            return 0.0
+        return len(self.unseen_transitions) / (self.tokens - 1)
+
+    def is_alert(self, threshold: float = 0.2) -> bool:
+        return bool(self.unknown_tokens) \
+            or self.unseen_fraction > threshold
+
+
+@dataclass
+class CyberWhitelist:
+    """Markov-transition whitelist over APDU token sequences.
+
+    ``per_connection`` keeps one whitelist per connection (stricter:
+    a token legal on an AGC link may be illegal on a backup link);
+    otherwise a single global whitelist is learned.
+    """
+
+    per_connection: bool = True
+    _transitions: dict[object, set[tuple[str, str]]] = (
+        field(default_factory=dict))
+    _vocabulary: set[str] = field(default_factory=set)
+
+    #: Key used for the global whitelist.
+    GLOBAL = "<global>"
+
+    def _key(self, connection: object) -> object:
+        return connection if self.per_connection else self.GLOBAL
+
+    def fit(self, extraction: StreamExtraction) -> "CyberWhitelist":
+        """Learn transitions from a clean capture."""
+        for connection, events in extraction.by_connection().items():
+            self.fit_sequence(tokenize(events), connection)
+        return self
+
+    def fit_sequence(self, tokens: Sequence[str],
+                     connection: object = GLOBAL) -> None:
+        for token in tokens:
+            if not is_valid_token(token):
+                raise ValueError(f"invalid APDU token {token!r}")
+        key = self._key(connection)
+        transitions = self._transitions.setdefault(key, set())
+        transitions.update(zip(tokens, tokens[1:]))
+        self._vocabulary.update(tokens)
+
+    @property
+    def learned_connections(self) -> list[object]:
+        return sorted(self._transitions, key=str)
+
+    def score(self, tokens: Sequence[str],
+              connection: object = GLOBAL) -> CyberVerdict:
+        """Score a token sequence for one connection."""
+        key = self._key(connection)
+        transitions = self._transitions.get(key)
+        if transitions is None:
+            # Unknown connection: everything about it is anomalous.
+            return CyberVerdict(
+                connection=connection, tokens=len(tokens),
+                unseen_transitions=tuple(zip(tokens, tokens[1:])),
+                unknown_tokens=tuple(dict.fromkeys(tokens)))
+        unseen = tuple(pair for pair in zip(tokens, tokens[1:])
+                       if pair not in transitions)
+        unknown = tuple(dict.fromkeys(
+            token for token in tokens if token not in self._vocabulary))
+        return CyberVerdict(connection=connection, tokens=len(tokens),
+                            unseen_transitions=unseen,
+                            unknown_tokens=unknown)
+
+    def score_extraction(self, extraction: StreamExtraction
+                         ) -> list[CyberVerdict]:
+        return [self.score(tokenize(events), connection)
+                for connection, events
+                in sorted(extraction.by_connection().items())]
+
+
+@dataclass(frozen=True)
+class Envelope:
+    """Learned value envelope for one point."""
+
+    low: float
+    high: float
+
+    def contains(self, value: float) -> bool:
+        return self.low <= value <= self.high
+
+
+@dataclass(frozen=True)
+class PhysicalViolation:
+    """One physical-whitelist violation."""
+
+    key: PointKey
+    time: float
+    value: float
+    reason: str
+
+
+@dataclass
+class PhysicalWhitelist:
+    """Per-point value envelopes plus physics rules.
+
+    ``margin`` widens each learned [min, max] envelope by a fraction of
+    its span (value ranges in a short training window understate the
+    long-run range).
+    """
+
+    margin: float = 0.25
+    _envelopes: dict[PointKey, Envelope] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.margin < 0:
+            raise ValueError("margin must be >= 0")
+
+    def fit(self, extraction: StreamExtraction) -> "PhysicalWhitelist":
+        for key, series in extract_series(extraction).items():
+            if len(series) == 0:
+                continue
+            low, high = min(series.values), max(series.values)
+            span = max(high - low, 0.05 * max(abs(low), abs(high), 1.0))
+            pad = self.margin * span
+            self._envelopes[key] = Envelope(low=low - pad,
+                                            high=high + pad)
+        return self
+
+    @property
+    def point_count(self) -> int:
+        return len(self._envelopes)
+
+    def envelope(self, key: PointKey) -> Envelope | None:
+        return self._envelopes.get(key)
+
+    def check_sample(self, key: PointKey, time: float,
+                     value: float) -> PhysicalViolation | None:
+        envelope = self._envelopes.get(key)
+        if envelope is None:
+            return PhysicalViolation(key=key, time=time, value=value,
+                                     reason="point never seen during "
+                                            "training")
+        if not envelope.contains(value):
+            return PhysicalViolation(
+                key=key, time=time, value=value,
+                reason=f"value outside learned envelope "
+                       f"[{envelope.low:.2f}, {envelope.high:.2f}]")
+        return None
+
+    def check_extraction(self, extraction: StreamExtraction
+                         ) -> list[PhysicalViolation]:
+        violations = []
+        for key, series in extract_series(extraction).items():
+            for time, value in zip(series.times, series.values):
+                violation = self.check_sample(key, time, value)
+                if violation is not None:
+                    violations.append(violation)
+        return violations
+
+    @staticmethod
+    def check_activation(times: Iterable[float],
+                         voltages: Iterable[float],
+                         breakers: Iterable[int],
+                         powers: Iterable[float]) -> list[str]:
+        """Physics rules over an activation trace (Fig. 21)."""
+        signature = ActivationSignature()
+        for time, voltage, breaker, power in zip(times, voltages,
+                                                 breakers, powers):
+            signature.observe(time, voltage, breaker, power)
+        return [f"t={event.time:.1f}s: {event.anomaly}"
+                for event in signature.anomalies]
+
+
+@dataclass(frozen=True)
+class CombinedAlert:
+    """One correlated alert from the combined detector."""
+
+    connection: object
+    cyber: CyberVerdict | None
+    physical: tuple[PhysicalViolation, ...]
+
+    @property
+    def correlated(self) -> bool:
+        """Both layers flagged the same connection."""
+        return (self.cyber is not None and self.cyber.is_alert()
+                and bool(self.physical))
+
+
+@dataclass
+class CombinedDetector:
+    """Correlates cyber and physical whitelists per connection."""
+
+    cyber: CyberWhitelist = field(default_factory=CyberWhitelist)
+    physical: PhysicalWhitelist = field(
+        default_factory=PhysicalWhitelist)
+
+    def fit(self, extraction: StreamExtraction) -> "CombinedDetector":
+        self.cyber.fit(extraction)
+        self.physical.fit(extraction)
+        return self
+
+    def detect(self, extraction: StreamExtraction,
+               cyber_threshold: float = 0.2) -> list[CombinedAlert]:
+        """Return one alert per connection that trips either layer."""
+        cyber_verdicts = {verdict.connection: verdict
+                          for verdict in
+                          self.cyber.score_extraction(extraction)}
+        violations_by_station: dict[str, list[PhysicalViolation]] = {}
+        for violation in self.physical.check_extraction(extraction):
+            violations_by_station.setdefault(
+                violation.key.station, []).append(violation)
+
+        alerts = []
+        for connection, verdict in sorted(cyber_verdicts.items(),
+                                          key=lambda item: str(item[0])):
+            station = connection[1] if isinstance(connection, tuple) \
+                else connection
+            physical = tuple(violations_by_station.get(station, ()))
+            if verdict.is_alert(cyber_threshold) or physical:
+                alerts.append(CombinedAlert(connection=connection,
+                                            cyber=verdict,
+                                            physical=physical))
+        return alerts

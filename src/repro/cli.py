@@ -1,0 +1,350 @@
+"""Command-line interface.
+
+Two subcommands mirror the paper's workflow:
+
+* ``repro generate`` — produce a synthetic Y1/Y2 capture as a classic
+  pcap file plus a JSON host-name map (the "operator documentation");
+* ``repro analyze`` — run any of the Section 6 analyses over a pcap
+  (ours or anyone else's IEC 104 capture) and print the tables.
+
+Usage::
+
+    python -m repro.cli generate --year 1 --scale 0.02 --out y1.pcap
+    python -m repro.cli analyze y1.pcap --names y1.names.json \
+        --report flows compliance typeids classify markov timing
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from .analysis import (ConnectionChains, FlowAnalysis,
+                       analyze_compliance, classify_all, extract_apdus,
+                       render_table, symbol_table, timing_profiles,
+                       type_distribution, type_id_distribution)
+from .datasets import CaptureConfig, generate_capture
+from .netstack.addresses import IPv4Address
+from .netstack.packet import CapturedPacket
+from .netstack.pcap import PcapReader
+from .netstack.pcapng import PcapngReader, sniff_format
+
+REPORTS = ("flows", "compliance", "typeids", "symbols", "classify",
+           "markov", "timing")
+
+
+def _names_path(pcap_path: Path) -> Path:
+    return pcap_path.with_suffix(".names.json")
+
+
+def cmd_generate(args: argparse.Namespace,
+                 out=sys.stdout) -> int:
+    config = CaptureConfig(seed=args.seed, time_scale=args.scale)
+    capture = generate_capture(args.year, config)
+    pcap_path = Path(args.out)
+    with open(pcap_path, "wb") as stream:
+        count = capture.to_pcap(stream)
+    names = {str(address): name
+             for address, name in capture.host_names().items()}
+    names_path = _names_path(pcap_path)
+    names_path.write_text(json.dumps(names, indent=2, sort_keys=True))
+    print(f"wrote {count} packets to {pcap_path} "
+          f"({pcap_path.stat().st_size} bytes)", file=out)
+    print(f"wrote host names to {names_path}", file=out)
+    return 0
+
+
+def _load_names(path: str | None) -> dict[IPv4Address, str]:
+    if path is None:
+        return {}
+    raw = json.loads(Path(path).read_text())
+    return {IPv4Address.parse(address): name
+            for address, name in raw.items()}
+
+
+def _load_packets(path: str) -> list[CapturedPacket]:
+    packets = []
+    with open(path, "rb") as stream:
+        if sniff_format(stream) == "pcapng":
+            reader = PcapngReader(stream)
+        else:
+            reader = PcapReader(stream)
+        for record in reader:
+            packet = CapturedPacket.decode(record.timestamp, record.data)
+            if packet is not None:
+                packets.append(packet)
+    return packets
+
+
+def cmd_analyze(args: argparse.Namespace, out=sys.stdout) -> int:
+    names = _load_names(args.names)
+    packets = _load_packets(args.pcap)
+    if getattr(args, "filter", None):
+        from .netstack.filter import filter_packets
+        before = len(packets)
+        packets = filter_packets(packets, args.filter, names=names)
+        print(f"filter {args.filter!r}: {len(packets)} of {before} "
+              "packets kept\n", file=out)
+    if not packets:
+        print("no TCP/IPv4 packets found in capture", file=out)
+        return 1
+    reports = args.report or ["flows", "compliance", "typeids"]
+    extraction = None
+    if set(reports) - {"flows", "compliance"} \
+            or getattr(args, "json", False):
+        extraction = extract_apdus(packets, names=names)
+
+    if getattr(args, "json", False):
+        document = _analyze_json(reports, packets, extraction, names,
+                                 Path(args.pcap).stem)
+        print(json.dumps(document, indent=2, sort_keys=True), file=out)
+        return 0
+
+    for report in reports:
+        if report == "flows":
+            analysis = FlowAnalysis.from_packets(
+                Path(args.pcap).stem, packets, names=names)
+            print(render_table(["Flow class", "Count (proportion)"],
+                               analysis.summary().rows(),
+                               title="TCP flows (Table 3)"), file=out)
+        elif report == "compliance":
+            compliance = analyze_compliance(packets, names=names)
+            rows = [(host.host, host.frames,
+                     f"{100 * host.strict_malformed_fraction:.1f}%",
+                     host.explanation)
+                    for host in sorted(compliance.hosts.values(),
+                                       key=lambda h: h.host)
+                    if host.frames]
+            print(render_table(["Host", "I-frames", "Strict-malformed",
+                                "Verdict"], rows,
+                               title="IEC 104 compliance (§6.1)"),
+                  file=out)
+        elif report == "typeids":
+            distribution = type_id_distribution(extraction)
+            rows = [(token, count, f"{pct:.3f}%")
+                    for token, count, pct in distribution.rows()]
+            print(render_table(["TypeID", "Count", "Share"], rows,
+                               title="ASDU typeIDs (Table 7)"),
+                  file=out)
+        elif report == "symbols":
+            rows = [(row.token, row.station_count,
+                     ",".join(row.symbols))
+                    for row in symbol_table(extraction)]
+            print(render_table(["TypeID", "Stations", "Symbols"], rows,
+                               title="Physical symbols (Table 8)"),
+                  file=out)
+        elif report == "classify":
+            distribution = type_distribution(classify_all(extraction))
+            rows = [(kind, description, count, f"{pct:.1f}%")
+                    for kind, description, count, pct
+                    in distribution.rows()]
+            print(render_table(["Type", "Description", "Count",
+                                "Share"], rows,
+                               title="Outstation types (Table 6)"),
+                  file=out)
+        elif report == "markov":
+            chains = ConnectionChains.from_extraction(extraction)
+            rows = [(f"{a}-{b}", nodes, edges)
+                    for (a, b), nodes, edges in chains.sizes()]
+            print(render_table(["Connection", "Nodes", "Edges"], rows,
+                               title="Markov chain sizes (Fig. 13)"),
+                  file=out)
+        elif report == "timing":
+            profiles = timing_profiles(extraction)
+            rows = [(f"{src}->{dst}", profile.stats.count,
+                     f"{profile.stats.mean:.2f}s",
+                     f"{profile.stats.cv:.2f}",
+                     (f"{profile.periodicity.period:.0f}s"
+                      if profile.periodicity.is_periodic else "-"),
+                     f"{profile.mean_rate_bps:.0f}")
+                    for (src, dst), profile in
+                    ((p.session, p) for p in profiles)]
+            print(render_table(["Session", "Packets", "Mean gap", "CV",
+                                "Period", "bps"], rows,
+                               title="Session timing profiles"),
+                  file=out)
+        else:  # pragma: no cover - argparse choices prevent this
+            raise AssertionError(report)
+        print(file=out)
+    return 0
+
+
+def _analyze_json(reports, packets, extraction, names,
+                  label: str) -> dict:
+    """Machine-readable form of the analysis reports."""
+    document: dict = {"capture": label, "packets": len(packets)}
+    if "flows" in reports:
+        summary = FlowAnalysis.from_packets(label, packets,
+                                            names=names).summary()
+        document["flows"] = {
+            "sub_second_short": summary.sub_second_short,
+            "longer_short": summary.longer_short,
+            "short_lived": summary.short_lived,
+            "long_lived": summary.long_lived,
+            "short_fraction": round(summary.short_fraction, 4),
+        }
+    if "compliance" in reports:
+        report = analyze_compliance(packets, names=names)
+        document["compliance"] = {
+            host.host: {
+                "frames": host.frames,
+                "strict_malformed": host.strict_malformed,
+                "verdict": host.explanation,
+            }
+            for host in report.hosts.values() if host.frames}
+    if "typeids" in reports:
+        distribution = type_id_distribution(extraction)
+        document["typeids"] = {
+            token: {"count": count, "share": round(share, 4)}
+            for token, count, share in distribution.rows()}
+    if "symbols" in reports:
+        document["symbols"] = {
+            row.token: {"stations": row.station_count,
+                        "symbols": list(row.symbols)}
+            for row in symbol_table(extraction)}
+    if "classify" in reports:
+        distribution = type_distribution(classify_all(extraction))
+        document["outstation_types"] = {
+            str(int(kind)): {"description": description,
+                             "count": count,
+                             "share": round(share, 2)}
+            for kind, description, count, share in distribution.rows()}
+    if "markov" in reports:
+        chains = ConnectionChains.from_extraction(extraction)
+        document["markov"] = {
+            f"{a}-{b}": {"nodes": nodes, "edges": edges}
+            for (a, b), nodes, edges in chains.sizes()}
+    if "timing" in reports:
+        document["timing"] = {
+            f"{src}->{dst}": {
+                "packets": profile.stats.count,
+                "mean_gap_s": round(profile.stats.mean, 4),
+                "cv": round(profile.stats.cv, 4),
+                "period_s": (round(profile.periodicity.period, 2)
+                             if profile.periodicity.is_periodic
+                             else None),
+                "mean_rate_bps": round(profile.mean_rate_bps, 1),
+            }
+            for profile in timing_profiles(extraction)
+            for src, dst in [profile.session]}
+    return document
+
+
+def cmd_attack(args: argparse.Namespace, out=sys.stdout) -> int:
+    """Generate a labelled Industroyer-style attack capture."""
+    from .iec104.constants import TypeID
+    from .simnet.attacker import ReconnaissanceMode, run_attack
+    from .simnet.behaviors import (OutstationBehavior, OutstationType,
+                                   PointConfig)
+    points = [PointConfig(ioa=2001 + index, type_id=TypeID.M_ME_NC_1,
+                          symbol="P", source=lambda _t: 100.0,
+                          threshold=1e9)
+              for index in range(args.points)]
+    behavior = OutstationBehavior(
+        name="O99", substation="S99",
+        outstation_type=OutstationType.IDEAL, points=points)
+    mode = (ReconnaissanceMode.INTERROGATION
+            if args.mode == "interrogation"
+            else ReconnaissanceMode.ITERATIVE_SCAN)
+    result = run_attack(behavior, mode,
+                        scan_range=(2001, 2001 + args.scan_range - 1),
+                        seed=args.seed)
+    pcap_path = Path(args.out)
+    with open(pcap_path, "wb") as stream:
+        count = result.tap.to_pcap(stream)
+    names = {str(address): name
+             for address, name in result.host_names().items()}
+    _names_path(pcap_path).write_text(
+        json.dumps(names, indent=2, sort_keys=True))
+    print(f"attack mode: {mode.value}", file=out)
+    print(f"probes sent: {result.probes_sent}; IOAs discovered: "
+          f"{len(result.discovered_ioas)}; commands sent: "
+          f"{result.commands_sent}", file=out)
+    print(f"wrote {count} packets to {pcap_path}", file=out)
+    return 0
+
+
+def cmd_hypotheses(args: argparse.Namespace, out=sys.stdout) -> int:
+    """Evaluate the paper's five hypotheses on a pair of captures."""
+    from .analysis import evaluate_all
+    names = _load_names(args.names)
+    y1_packets = _load_packets(args.pcap_y1)
+    y2_packets = _load_packets(args.pcap_y2)
+    y1 = extract_apdus(y1_packets, names=names)
+    y2 = extract_apdus(y2_packets, names=names)
+    for result in evaluate_all(y1_packets, y1, y2, names=names):
+        print(result, file=out)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Bulk-power SCADA measurement reproduction "
+                    "(IMC 2020)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    generate = sub.add_parser(
+        "generate", help="generate a synthetic Y1/Y2 capture as pcap")
+    generate.add_argument("--year", type=int, choices=(1, 2),
+                          default=1)
+    generate.add_argument("--scale", type=float, default=0.02,
+                          help="fraction of the paper's capture "
+                               "duration (default 0.02)")
+    generate.add_argument("--seed", type=int, default=104)
+    generate.add_argument("--out", required=True,
+                          help="output pcap path")
+    generate.set_defaults(func=cmd_generate)
+
+    analyze = sub.add_parser(
+        "analyze", help="run the paper's analyses over a pcap")
+    analyze.add_argument("pcap", help="input pcap file")
+    analyze.add_argument("--names",
+                         help="JSON host-name map (ip -> name)")
+    analyze.add_argument("--report", nargs="+", choices=REPORTS,
+                         help="which analyses to run "
+                              f"(default: flows compliance typeids)")
+    analyze.add_argument("--filter",
+                         help="display filter, e.g. "
+                              "'iec104 and host == O37'")
+    analyze.add_argument("--json", action="store_true",
+                         help="emit machine-readable JSON instead of "
+                              "tables")
+    analyze.set_defaults(func=cmd_analyze)
+
+    attack = sub.add_parser(
+        "attack", help="generate a labelled Industroyer-style attack "
+                       "capture against a synthetic RTU")
+    attack.add_argument("--mode", choices=("scan", "interrogation"),
+                        default="scan")
+    attack.add_argument("--points", type=int, default=8,
+                        help="points defined at the victim RTU")
+    attack.add_argument("--scan-range", type=int, default=40,
+                        dest="scan_range",
+                        help="IOAs probed in scan mode")
+    attack.add_argument("--seed", type=int, default=66)
+    attack.add_argument("--out", required=True,
+                        help="output pcap path")
+    attack.set_defaults(func=cmd_attack)
+
+    hypotheses = sub.add_parser(
+        "hypotheses", help="evaluate the paper's five hypotheses over "
+                           "two yearly captures")
+    hypotheses.add_argument("pcap_y1")
+    hypotheses.add_argument("pcap_y2")
+    hypotheses.add_argument("--names",
+                            help="JSON host-name map (ip -> name)")
+    hypotheses.set_defaults(func=cmd_hypotheses)
+    return parser
+
+
+def main(argv: list[str] | None = None, out=sys.stdout) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args, out=out)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,21 @@
+"""Synthetic datasets: the paper's topology as data, and deterministic
+generation of the Y1/Y2 captures."""
+
+from .generate import (CaptureConfig, SYNC_GENERATOR, capture_windows,
+                       generate_capture)
+from .paper_topology import (ALL_SERVERS, NON_COMPLIANT,
+                             NORMAL_KEEPALIVE_S, O30_KEEPALIVE_S,
+                             OUTSTATIONS, OutstationSpec, SERVER_PAIR_A,
+                             SERVER_PAIR_B, TABLE2_ADDED, TABLE2_REMOVED,
+                             Y1_RESET_CONNECTIONS, roster, spec_by_name,
+                             stable_outstations, substations)
+from .points import AGC_SETPOINT_IOA, build_points
+
+__all__ = [
+    "AGC_SETPOINT_IOA", "ALL_SERVERS", "CaptureConfig", "NON_COMPLIANT",
+    "NORMAL_KEEPALIVE_S", "O30_KEEPALIVE_S", "OUTSTATIONS",
+    "OutstationSpec", "SERVER_PAIR_A", "SERVER_PAIR_B", "SYNC_GENERATOR",
+    "TABLE2_ADDED", "TABLE2_REMOVED", "Y1_RESET_CONNECTIONS",
+    "build_points", "capture_windows", "generate_capture", "roster",
+    "spec_by_name", "stable_outstations", "substations",
+]

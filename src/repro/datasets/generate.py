@@ -1,0 +1,225 @@
+"""Canonical synthetic Y1/Y2 capture generation.
+
+``generate_capture(year)`` reproduces (at a configurable time scale) the
+paper's two datasets: Year 1 is five capture windows totalling ~8 hours,
+Year 2 three windows totalling ~3 hours. All topology, behaviour types,
+pathologies and physical events come from
+:mod:`repro.datasets.paper_topology` and the scenario engine.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from ..grid.generator import GeneratorState
+from ..grid.simulation import GridEventScript, GridSimulation, \
+    build_default_grid
+from ..simnet.behaviors import (OutstationBehavior, OutstationType,
+                                RejectMode)
+from ..simnet.capture import CaptureWindow
+from ..simnet.scenario import LinkPlan, Scenario, SyntheticCapture
+from ..simnet.topology import NetworkMap
+from .paper_topology import (ALL_SERVERS, NORMAL_KEEPALIVE_S,
+                             OutstationSpec, roster)
+from .points import (AGC_SETPOINT_IOA, CLOCK_SYNC_STATIONS,
+                     END_OF_INIT_STATIONS, build_points)
+
+#: Default reject-loop retry period (seconds). The paper's sub-second
+#: flow counts imply the misbehaving RTUs were re-contacted every few
+#: seconds; O30's misconfiguration stretches this to 430 s.
+REJECT_RETRY_S = 8.0
+
+#: The generator brought online mid-capture (paper Figs. 18/20/21).
+SYNC_GENERATOR = "O34"
+
+#: Y1 outstations whose backup attempts are silently ignored rather
+#: than RST — producing the large long-lived flow count of Table 3 Y1.
+#: Both were removed in Y2 (Table 2), collapsing that count.
+IGNORE_SYN_STATIONS = ("O15", "O28")
+
+#: Variety per the paper: "reject ... with FIN or RST packets".
+FIN_REJECT_STATIONS = ("O24",)
+
+#: Real capture durations (seconds): Y1 five ~96-minute days (~8 h
+#: total), Y2 three ~60-minute days (~3 h total).
+_REAL_WINDOWS = {1: (5, 5760.0), 2: (3, 3600.0)}
+
+
+@dataclass(frozen=True)
+class CaptureConfig:
+    """Knobs for synthetic capture generation."""
+
+    seed: int = 104
+    #: Fraction of the paper's real capture duration to simulate.
+    time_scale: float = 0.1
+    #: Idle gap between capture windows ("different days", compressed).
+    window_gap: float = 1500.0
+    retransmission_probability: float = 0.004
+    #: Mean interval between reporting sweeps per outstation.
+    report_interval: float = 2.0
+    #: Optional cap on the roster size (smoke tests); None = full roster.
+    max_outstations: int | None = None
+    #: Include the paper's ICCP and C37.118 background traffic (§5).
+    include_background: bool = True
+    #: Probability that the tap misses any given frame (capture loss).
+    capture_loss_probability: float = 0.0
+    #: TCP acknowledgement realism: "none" (piggyback only, the
+    #: calibrated default) or "delayed" (coalesced pure ACKs).
+    ack_policy: str = "none"
+
+    def __post_init__(self) -> None:
+        if not 0 < self.time_scale <= 1.0:
+            raise ValueError("time_scale must be in (0, 1]")
+        if self.window_gap < 0:
+            raise ValueError("window_gap must be >= 0")
+
+
+def capture_windows(year: int, config: CaptureConfig
+                    ) -> tuple[CaptureWindow, ...]:
+    """The capture days of one year, scaled by ``config.time_scale``."""
+    count, real_duration = _REAL_WINDOWS[year]
+    duration = real_duration * config.time_scale
+    windows = []
+    start = 200.0
+    for index in range(count):
+        windows.append(CaptureWindow(start=start, end=start + duration,
+                                     label=f"Y{year}-day{index + 1}"))
+        start += duration + config.window_gap
+    return tuple(windows)
+
+
+def _reject_mode(spec: OutstationSpec, year: int) -> RejectMode:
+    if spec.name in IGNORE_SYN_STATIONS and year == 1:
+        return RejectMode.IGNORE_SYN
+    if spec.name in FIN_REJECT_STATIONS:
+        return RejectMode.FIN_AFTER_TESTFR
+    return RejectMode.RST_AFTER_TESTFR
+
+
+def build_grid(year: int, specs: list[OutstationSpec],
+               windows: tuple[CaptureWindow, ...],
+               rng: random.Random) -> GridSimulation:
+    """Balancing-area physics for the year's generator fleet."""
+    names = [spec.name for spec in specs if spec.has_generator]
+    script = GridEventScript()
+    # Generator synchronization (Figs. 20-21) in the third window.
+    sync_window = windows[min(2, len(windows) - 1)]
+    if SYNC_GENERATOR in names:
+        script.generator_syncs.append((
+            sync_window.start + 0.25 * sync_window.duration,
+            SYNC_GENERATOR))
+    grid = build_default_grid(names, rng=rng, script=script)
+    if SYNC_GENERATOR in names:
+        unit = grid.fleet[SYNC_GENERATOR]
+        unit.trip()
+        unit.state = GeneratorState.OFFLINE
+        # The sync timeline must fit inside a (possibly scaled-down)
+        # capture window, so the full Fig. 20 sequence — voltage ramp,
+        # breaker close, power ramp — is observable.
+        unit.sync_voltage_ramp_s = min(120.0,
+                                       0.25 * sync_window.duration)
+        unit.sync_hold_s = min(60.0, 0.1 * sync_window.duration)
+        unit.post_sync_setpoint_mw = 0.5 * unit.capacity_mw
+        unit.ramp_rate_mw_per_s = max(unit.ramp_rate_mw_per_s,
+                                      unit.post_sync_setpoint_mw
+                                      / (0.2 * sync_window.duration))
+        # The operator loads the unit manually after synchronization;
+        # it does not participate in AGC during the capture.
+        grid.agc.participation[SYNC_GENERATOR] = 0.0
+        # Rebalance the load to the fleet that is actually online.
+        grid.load.base_mw = grid.fleet.total_output_mw
+    # Unmet load (Figs. 18-19) in the second window: 5% of base demand
+    # disconnects for a fifth of the window.
+    event_window = windows[min(1, len(windows) - 1)]
+    grid.load.schedule_loss(
+        event_window.start + 0.35 * event_window.duration,
+        0.2 * event_window.duration, 0.05 * grid.load.base_mw)
+    return grid
+
+
+def build_behavior(spec: OutstationSpec, year: int, grid: GridSimulation,
+                   rng: random.Random,
+                   config: CaptureConfig) -> OutstationBehavior:
+    """Instantiate the simulator behaviour for one outstation."""
+    outstation_type = spec.y1_type if year == 1 else spec.y2_type
+    if outstation_type is None:
+        raise ValueError(f"{spec.name} absent in year {year}")
+    rejecting = outstation_type in (OutstationType.REJECTS_SECONDARY,
+                                    OutstationType.BACKUP_REJECTS)
+    return OutstationBehavior(
+        name=spec.name, substation=spec.substation,
+        outstation_type=outstation_type,
+        points=build_points(spec, year, grid, rng),
+        profile=spec.profile,
+        reject_mode=(_reject_mode(spec, year) if rejecting
+                     else RejectMode.NONE),
+        keepalive_period=spec.keepalive_s or NORMAL_KEEPALIVE_S,
+        # I36-flavoured RTUs report noticeably faster, skewing the
+        # observed ASDU mix toward I36 as in paper Table 7.
+        report_interval=(config.report_interval
+                         * (0.7 if spec.analog_flavor == "i36" else 1.1)
+                         * rng.uniform(0.85, 1.15)),
+        reject_retry_period=spec.keepalive_s or REJECT_RETRY_S,
+        has_generator=spec.has_generator,
+        generator=spec.name if spec.has_generator else None,
+        agc_setpoint_ioa=(AGC_SETPOINT_IOA if spec.agc_participant
+                          else None))
+
+
+def generate_capture(year: int,
+                     config: CaptureConfig = CaptureConfig()
+                     ) -> SyntheticCapture:
+    """Produce the synthetic capture for year 1 or 2."""
+    if year not in (1, 2):
+        raise ValueError("year must be 1 or 2")
+    rng = random.Random((config.seed, year).__hash__() & 0x7FFFFFFF)
+    specs = roster(year)
+    if config.max_outstations is not None:
+        specs = specs[:config.max_outstations]
+    windows = capture_windows(year, config)
+    grid = build_grid(year, specs, windows, rng)
+
+    network = NetworkMap()
+    for server in ALL_SERVERS:
+        network.add_server(server)
+    plans = []
+    for spec in specs:
+        network.add_outstation(spec.name)
+        behavior = build_behavior(spec, year, grid, rng, config)
+        plans.append(LinkPlan(
+            behavior=behavior, pair=spec.pair,
+            primary_server=spec.primary_server,
+            backup_server=spec.backup_server,
+            agc_participant=spec.agc_participant,
+            clock_sync=spec.name in CLOCK_SYNC_STATIONS,
+            test_rtu=spec.test_rtu,
+            end_of_init=spec.name in END_OF_INIT_STATIONS))
+
+    scenario = Scenario(
+        year=year, plans=plans, grid=grid, network=network,
+        windows=windows, seed=rng.randrange(1 << 30),
+        retransmission_probability=config.retransmission_probability,
+        agc_dispatch_period=60.0, agc_deadband_mw=1.5,
+        capture_loss_probability=config.capture_loss_probability,
+        ack_policy=config.ack_policy)
+    if config.include_background:
+        _schedule_background(scenario, network, rng)
+    return scenario.run()
+
+
+def _schedule_background(scenario: Scenario, network, rng) -> None:
+    """ICCP peering and PMU streams alongside the IEC 104 traffic."""
+    from ..simnet.background import BackgroundTraffic
+    external = network.add_auxiliary("EXT1")
+    pmus = [network.add_auxiliary(f"PMU{i + 1}") for i in range(2)]
+    background = BackgroundTraffic(sim=scenario.sim, tap=scenario.tap,
+                                   rng=rng)
+    for window in scenario.windows:
+        background.add_iccp_peering(network["C1"], external,
+                                    start=window.start + 1.0,
+                                    end=window.end, period=6.0)
+        for index, pmu in enumerate(pmus):
+            background.add_pmu_stream(pmu, network["C3"],
+                                      start=window.start + 0.5 + index,
+                                      end=window.end, rate_hz=1.0)

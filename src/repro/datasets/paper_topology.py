@@ -1,0 +1,342 @@
+"""The paper's network, as data (Fig. 6 + Table 2 + Section 6 anecdotes).
+
+The paper studies a balancing authority with 4 control servers (two
+redundant pairs C1/C2 and C3/C4), 27 substations S1-S27 and 58
+outstations O1-O58 across two capture years. This module encodes every
+fact the paper states about that network:
+
+* Table 2: outstations added and removed between Y1 and Y2, with reasons;
+* Section 6.1: the non-compliant encoders (O37: 2-octet IOA; O53, O58,
+  O28: 1-octet COT);
+* Section 6.2 / Fig. 14: the ten Y1 connections that reset backup
+  attempts (C2-O28, C2-O24, C1-O7, C1-O9, C1-O6, C1-O8, C1-O35, C2-O30,
+  C1-O15, C1-O5);
+* Section 6.3: the cluster-0 outliers — C2-O30 with a 430 s interval
+  between U messages (vs the ~30 s norm) and the C4-O22 test RTU that
+  exchanged only four packets;
+* Table 6 / Fig. 17: behaviour types, honouring every named assignment
+  (O5/O8 type 6, O10/O11 redundant pair in S10 with its 14 RTUs, the
+  stale-threshold type 5 outstation, switchovers O20 on C3/C4 and O29
+  on C1/C2);
+* Section 6: 14 outstations in 7 substations stable (same IOA count)
+  across years.
+
+Facts the paper leaves unspecified (substation-to-outstation mapping
+beyond the anecdotes, exact IOA counts) are filled in deterministically
+and documented in DESIGN.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..iec104.profiles import (LEGACY_COT_PROFILE, LEGACY_IOA_PROFILE,
+                               STANDARD_PROFILE, LinkProfile)
+from ..simnet.behaviors import OutstationType
+
+#: Control server names; each pair is a primary/backup couple (Fig. 4).
+SERVER_PAIR_A = ("C1", "C2")
+SERVER_PAIR_B = ("C3", "C4")
+ALL_SERVERS = SERVER_PAIR_A + SERVER_PAIR_B
+
+#: Default keep-alive / reject-retry interval on backup links (paper:
+#: "a 30s average time between U messages").
+NORMAL_KEEPALIVE_S = 30.0
+
+#: The misconfigured T3 of connection C2-O30 (paper Section 6.3).
+O30_KEEPALIVE_S = 430.0
+
+
+@dataclass(frozen=True)
+class OutstationSpec:
+    """Static description of one outstation across both years."""
+
+    name: str
+    substation: str
+    pair: tuple[str, str]
+    #: Behaviour type per year; None = absent that year.
+    y1_type: OutstationType | None
+    y2_type: OutstationType | None
+    has_generator: bool = False
+    profile: LinkProfile = STANDARD_PROFILE
+    #: Server that runs/receives the rejected backup attempts (type 6/7).
+    reject_server: str | None = None
+    #: Keep-alive / retry interval override (None = NORMAL_KEEPALIVE_S).
+    keepalive_s: float | None = None
+    #: Y1/Y2 configured IOA count (None = absent that year).
+    y1_ioas: int | None = None
+    y2_ioas: int | None = None
+    #: Receives AGC set points (paper Table 8: I50 seen at 4 stations).
+    agc_participant: bool = False
+    #: Measurement flavour: which analog typeID dominates this RTU.
+    analog_flavor: str = "mixed"  # "i36", "i13", or "mixed"
+    #: The not-in-operation RTU of Section 6.3 (4 packets with C4).
+    test_rtu: bool = False
+    #: Table 2 change reason (None when present in both years).
+    change_reason: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.y1_type is None and self.y2_type is None:
+            raise ValueError(f"{self.name}: absent in both years")
+        if self.y1_type is not None and self.y1_ioas is None:
+            raise ValueError(f"{self.name}: Y1 present but no IOA count")
+        if self.y2_type is not None and self.y2_ioas is None:
+            raise ValueError(f"{self.name}: Y2 present but no IOA count")
+
+    @property
+    def primary_server(self) -> str:
+        """The server holding the I-format connection (pair first slot,
+        or the non-rejecting server for types 6/7)."""
+        if self.reject_server is not None:
+            other = [s for s in self.pair if s != self.reject_server]
+            return other[0]
+        return self.pair[0]
+
+    @property
+    def backup_server(self) -> str:
+        primary = self.primary_server
+        return [s for s in self.pair if s != primary][0]
+
+
+def _spec(name: str, substation: str, pair, y1, y2, **kwargs):
+    return OutstationSpec(name=name, substation=substation, pair=pair,
+                          y1_type=y1, y2_type=y2, **kwargs)
+
+
+_T = OutstationType
+_A = SERVER_PAIR_A
+_B = SERVER_PAIR_B
+
+#: Every outstation O1-O58. IOA counts marked "stable" (same both
+#: years) are the 14 outstations in substations S3/S5/S6/S11/S12/S13/S21.
+OUTSTATIONS: tuple[OutstationSpec, ...] = (
+    # --- server pair A (C1/C2) --------------------------------------------
+    _spec("O1", "S1", _A, _T.IDEAL, _T.IDEAL, has_generator=True,
+          agc_participant=True, analog_flavor="i36",
+          y1_ioas=18, y2_ioas=21),
+    _spec("O2", "S2", _A, _T.PRIMARY_ONLY, None, y1_ioas=7,
+          change_reason="Substation without supervision"),
+    _spec("O3", "S3", _A, _T.IDEAL, _T.IDEAL, has_generator=True,
+          analog_flavor="i36", y1_ioas=16, y2_ioas=16),          # stable
+    _spec("O4", "S3", _A, _T.BACKUP_U_ONLY, _T.BACKUP_U_ONLY,
+          y1_ioas=9, y2_ioas=9),                                  # stable
+    _spec("O5", "S4", _A, _T.REJECTS_SECONDARY, _T.REJECTS_SECONDARY,
+          has_generator=True, reject_server="C1", analog_flavor="i13",
+          y1_ioas=12, y2_ioas=14),
+    _spec("O6", "S5", _A, _T.BACKUP_REJECTS, _T.BACKUP_REJECTS,
+          reject_server="C1", y1_ioas=8, y2_ioas=8),              # stable
+    _spec("O7", "S6", _A, _T.BACKUP_REJECTS, _T.BACKUP_REJECTS,
+          reject_server="C1", y1_ioas=10, y2_ioas=10),            # stable
+    _spec("O8", "S7", _A, _T.REJECTS_SECONDARY, _T.REJECTS_SECONDARY,
+          has_generator=True, reject_server="C1", analog_flavor="i13",
+          y1_ioas=13, y2_ioas=11),
+    _spec("O9", "S8", _A, _T.BACKUP_REJECTS, _T.IDEAL,
+          reject_server="C1", analog_flavor="i13",
+          y1_ioas=11, y2_ioas=13),
+    _spec("O15", "S8", _A, _T.BACKUP_REJECTS, None, reject_server="C1",
+          y1_ioas=11, change_reason="Redundant RTU in operation"),
+    _spec("O24", "S12", _A, _T.BACKUP_REJECTS, _T.BACKUP_REJECTS,
+          reject_server="C2", y1_ioas=9, y2_ioas=9),              # stable
+    _spec("O25", "S5", _A, _T.PRIMARY_ONLY, _T.PRIMARY_ONLY,
+          has_generator=True, analog_flavor="i13",
+          y1_ioas=14, y2_ioas=14),                                # stable
+    _spec("O26", "S6", _A, _T.IDEAL, _T.IDEAL, has_generator=True,
+          agc_participant=True, analog_flavor="i36",
+          y1_ioas=20, y2_ioas=20),                                # stable
+    _spec("O27", "S8", _A, _T.I_ONLY_BOTH_SERVERS, _T.I_ONLY_BOTH_SERVERS,
+          has_generator=True, analog_flavor="i13",
+          y1_ioas=15, y2_ioas=18),
+    _spec("O28", "S9", _A, _T.REJECTS_SECONDARY, None,
+          has_generator=True, reject_server="C2",
+          profile=LEGACY_COT_PROFILE, analog_flavor="i13", y1_ioas=12,
+          change_reason="Redundant RTU in operation"),
+    _spec("O29", "S11", _A, _T.SWITCHOVER_OBSERVED,
+          _T.SWITCHOVER_OBSERVED, has_generator=True,
+          analog_flavor="i36", y1_ioas=17, y2_ioas=17),           # stable
+    _spec("O30", "S11", _A, _T.BACKUP_REJECTS, _T.BACKUP_REJECTS,
+          reject_server="C2", keepalive_s=O30_KEEPALIVE_S,
+          y1_ioas=8, y2_ioas=8),                                  # stable
+    _spec("O31", "S12", _A, _T.I_ONLY_BOTH_SERVERS,
+          _T.I_ONLY_BOTH_SERVERS, has_generator=True,
+          analog_flavor="i13", y1_ioas=13, y2_ioas=13),           # stable
+    _spec("O32", "S13", _A, _T.I_ONLY_BOTH_SERVERS,
+          _T.I_ONLY_BOTH_SERVERS, has_generator=True,
+          analog_flavor="i36", y1_ioas=19, y2_ioas=19),           # stable
+    _spec("O35", "S13", _A, _T.BACKUP_REJECTS, _T.BACKUP_REJECTS,
+          reject_server="C1", y1_ioas=7, y2_ioas=7),              # stable
+    _spec("O51", "S9", _A, None, _T.IDEAL, has_generator=True,
+          analog_flavor="i13", y2_ioas=15, change_reason="Backup RTU"),
+    # --- server pair B (C3/C4) --------------------------------------------
+    # S10 is the paper's "newer substation ... with 14 RTUs" where each
+    # generator is monitored by a redundant RTU pair (O10 active, O11
+    # keep-alive only, and so on).
+    _spec("O10", "S10", _B, _T.IDEAL, _T.IDEAL, has_generator=True,
+          agc_participant=True, analog_flavor="i36",
+          y1_ioas=22, y2_ioas=25),
+    _spec("O11", "S10", _B, _T.BACKUP_U_ONLY, _T.BACKUP_U_ONLY,
+          y1_ioas=22, y2_ioas=25),
+    _spec("O12", "S10", _B, _T.I_ONLY_BOTH_SERVERS,
+          _T.I_ONLY_BOTH_SERVERS, has_generator=True,
+          analog_flavor="i36", y1_ioas=16, y2_ioas=15),
+    _spec("O13", "S10", _B, _T.BACKUP_U_ONLY, _T.BACKUP_U_ONLY,
+          y1_ioas=16, y2_ioas=15),
+    _spec("O14", "S10", _B, _T.IDEAL, _T.IDEAL, has_generator=True,
+          analog_flavor="i36", y1_ioas=18, y2_ioas=20),
+    _spec("O16", "S10", _B, _T.BACKUP_U_ONLY, _T.BACKUP_U_ONLY,
+          y1_ioas=18, y2_ioas=20),
+    _spec("O17", "S10", _B, _T.I_ONLY_BOTH_SERVERS,
+          _T.I_ONLY_BOTH_SERVERS, has_generator=True,
+          analog_flavor="i13", y1_ioas=14, y2_ioas=16),
+    _spec("O18", "S10", _B, _T.BACKUP_U_ONLY, _T.BACKUP_U_ONLY,
+          y1_ioas=14, y2_ioas=16),
+    _spec("O19", "S10", _B, _T.IDEAL, _T.IDEAL, has_generator=True,
+          agc_participant=True, analog_flavor="i36",
+          y1_ioas=21, y2_ioas=19),
+    _spec("O20", "S10", _B, _T.SWITCHOVER_OBSERVED, None,
+          has_generator=True, analog_flavor="i13", y1_ioas=12,
+          change_reason="Redundant RTU in operation"),
+    _spec("O21", "S10", _B, _T.BACKUP_U_ONLY, _T.BACKUP_U_ONLY,
+          y1_ioas=12, y2_ioas=14),
+    _spec("O22", "S10", _B, _T.BACKUP_U_ONLY, None, test_rtu=True,
+          y1_ioas=5, change_reason="Redundant RTU in operation"),
+    _spec("O23", "S10", _B, _T.BACKUP_U_ONLY, _T.BACKUP_U_ONLY,
+          y1_ioas=10, y2_ioas=12),
+    _spec("O33", "S10", _B, _T.BACKUP_U_ONLY, None, y1_ioas=9,
+          change_reason="Redundant RTU in operation"),
+    # --- remaining pair-B substations --------------------------------------
+    _spec("O34", "S14", _B, _T.IDEAL, _T.IDEAL, has_generator=True,
+          analog_flavor="i36", y1_ioas=17, y2_ioas=14),
+    _spec("O36", "S15", _B, _T.I_ONLY_BOTH_SERVERS,
+          _T.I_ONLY_BOTH_SERVERS, analog_flavor="i13",
+          y1_ioas=8, y2_ioas=10),
+    _spec("O37", "S16", _B, _T.IDEAL, _T.IDEAL, has_generator=True,
+          profile=LEGACY_IOA_PROFILE, analog_flavor="i13",
+          y1_ioas=12, y2_ioas=13),
+    _spec("O38", "S17", _B, _T.BACKUP_U_ONLY, None, y1_ioas=6,
+          change_reason="Redundant RTU in operation"),
+    _spec("O39", "S17", _B, _T.PRIMARY_ONLY, _T.PRIMARY_ONLY,
+          has_generator=True, analog_flavor="i13",
+          y1_ioas=11, y2_ioas=12),
+    _spec("O40", "S18", _B, _T.SINGLE_SERVER_I_AND_U,
+          _T.SINGLE_SERVER_I_AND_U, has_generator=True,
+          analog_flavor="i13", y1_ioas=9, y2_ioas=8),
+    _spec("O41", "S19", _B, _T.I_ONLY_BOTH_SERVERS,
+          _T.I_ONLY_BOTH_SERVERS, has_generator=True,
+          analog_flavor="i36", y1_ioas=15, y2_ioas=17),
+    _spec("O48", "S19", _B, _T.BACKUP_U_ONLY, _T.BACKUP_U_ONLY,
+          y1_ioas=8, y2_ioas=7),
+    _spec("O42", "S20", _B, _T.I_ONLY_BOTH_SERVERS,
+          _T.I_ONLY_BOTH_SERVERS, has_generator=True,
+          analog_flavor="i36", y1_ioas=19, y2_ioas=22),
+    _spec("O43", "S20", _B, _T.BACKUP_U_ONLY, _T.BACKUP_U_ONLY,
+          y1_ioas=10, y2_ioas=9),
+    _spec("O44", "S21", _B, _T.I_ONLY_BOTH_SERVERS,
+          _T.I_ONLY_BOTH_SERVERS, has_generator=True,
+          analog_flavor="i13", y1_ioas=12, y2_ioas=12),           # stable
+    _spec("O47", "S21", _B, _T.BACKUP_U_ONLY, _T.BACKUP_U_ONLY,
+          y1_ioas=6, y2_ioas=6),                                  # stable
+    _spec("O45", "S22", _B, _T.PRIMARY_ONLY, _T.PRIMARY_ONLY,
+          has_generator=True, analog_flavor="i13",
+          y1_ioas=10, y2_ioas=11),
+    _spec("O46", "S22", _B, _T.BACKUP_U_ONLY, _T.BACKUP_U_ONLY,
+          y1_ioas=7, y2_ioas=8),
+    _spec("O49", "S14", _B, _T.PRIMARY_ONLY, _T.PRIMARY_ONLY,
+          analog_flavor="i13", y1_ioas=6, y2_ioas=5),
+    # --- Y2 additions (Table 2) ---------------------------------------------
+    _spec("O50", "S24", _B, None, _T.IDEAL, has_generator=True,
+          analog_flavor="i36", y2_ioas=16, change_reason="New substations"),
+    _spec("O52", "S23", _B, None, _T.IDEAL, has_generator=True,
+          analog_flavor="i13", y2_ioas=13,
+          change_reason="Updated from 101 to 104"),
+    _spec("O53", "S27", _B, None, _T.IDEAL, has_generator=True,
+          profile=LEGACY_COT_PROFILE, analog_flavor="i13", y2_ioas=12,
+          change_reason="New substations"),
+    _spec("O54", "S25", _B, None, _T.IDEAL, has_generator=True,
+          analog_flavor="i36", y2_ioas=18,
+          change_reason="Under Maintenance in year 1"),
+    _spec("O55", "S26", _B, None, _T.IDEAL, has_generator=True,
+          analog_flavor="i13", y2_ioas=14,
+          change_reason="Updated from 101 to 104"),
+    _spec("O56", "S20", _B, None, _T.BACKUP_U_ONLY, y2_ioas=9,
+          change_reason="Backup RTU"),
+    _spec("O57", "S22", _B, None, _T.BACKUP_U_ONLY, y2_ioas=7,
+          change_reason="Backup RTU"),
+    _spec("O58", "S14", _B, None, _T.IDEAL, has_generator=True,
+          profile=LEGACY_COT_PROFILE, analog_flavor="i13", y2_ioas=10,
+          change_reason="Backup RTU"),
+)
+
+#: Table 2 of the paper, grouped by reason.
+TABLE2_ADDED = {
+    "New substations": ("O50", "O53"),
+    "Updated from 101 to 104": ("O52", "O55"),
+    "Backup RTU": ("O51", "O56", "O57", "O58"),
+    "Under Maintenance in year 1": ("O54",),
+}
+TABLE2_REMOVED = {
+    "Redundant RTU in operation": ("O15", "O20", "O22", "O28", "O33",
+                                   "O38"),
+    "Substation without supervision": ("O2",),
+}
+
+#: The ten Y1 connections at Markov point (1,1) (paper Fig. 14).
+Y1_RESET_CONNECTIONS = (("C2", "O28"), ("C2", "O24"), ("C1", "O7"),
+                        ("C1", "O9"), ("C1", "O6"), ("C1", "O8"),
+                        ("C1", "O35"), ("C2", "O30"), ("C1", "O15"),
+                        ("C1", "O5"))
+
+#: Outstations flagged 100% malformed by standard parsers (§6.1).
+NON_COMPLIANT = {"O37": LEGACY_IOA_PROFILE, "O53": LEGACY_COT_PROFILE,
+                 "O58": LEGACY_COT_PROFILE, "O28": LEGACY_COT_PROFILE}
+
+
+def spec_by_name(name: str) -> OutstationSpec:
+    for spec in OUTSTATIONS:
+        if spec.name == name:
+            return spec
+    raise KeyError(name)
+
+
+def roster(year: int) -> list[OutstationSpec]:
+    """All outstations present in capture year 1 or 2."""
+    if year not in (1, 2):
+        raise ValueError("year must be 1 or 2")
+    attr = "y1_type" if year == 1 else "y2_type"
+    return [spec for spec in OUTSTATIONS
+            if getattr(spec, attr) is not None]
+
+
+def substations(year: int) -> set[str]:
+    return {spec.substation for spec in roster(year)}
+
+
+def stable_outstations() -> list[OutstationSpec]:
+    """Outstations present both years with unchanged IOA counts."""
+    return [spec for spec in OUTSTATIONS
+            if spec.y1_type is not None and spec.y2_type is not None
+            and spec.y1_ioas == spec.y2_ioas]
+
+
+def _check_paper_invariants() -> None:
+    """Validate this table against every count the paper states."""
+    y1, y2 = roster(1), roster(2)
+    assert len(y1) == 49, f"Y1 roster {len(y1)} != 49"
+    assert len(y2) == 51, f"Y2 roster {len(y2)} != 51"
+    names = [spec.name for spec in OUTSTATIONS]
+    assert len(names) == len(set(names)) == 58
+    added = {spec.name for spec in OUTSTATIONS
+             if spec.y1_type is None}
+    removed = {spec.name for spec in OUTSTATIONS
+               if spec.y2_type is None}
+    assert added == {f"O{i}" for i in range(50, 59)}
+    assert removed == {"O2", "O15", "O20", "O22", "O28", "O33", "O38"}
+    s10 = [spec for spec in OUTSTATIONS if spec.substation == "S10"]
+    assert len(s10) == 14, f"S10 has {len(s10)} RTUs, paper says 14"
+    stable = stable_outstations()
+    assert len(stable) == 14, f"{len(stable)} stable outstations != 14"
+    stable_subs = {spec.substation for spec in stable}
+    assert len(stable_subs) == 7, f"{len(stable_subs)} stable substations"
+    assert len(substations(1) | substations(2)) == 27
+
+
+_check_paper_invariants()

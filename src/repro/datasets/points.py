@@ -1,0 +1,203 @@
+"""Measurement-point templates for the synthetic outstations.
+
+Builds the per-outstation point lists (IOA, typeID, physical symbol,
+value source) so that the DPI analysis reproduces the *shape* of paper
+Tables 7 and 8: I36 and I13 dominate (97% of ASDUs), I9 comes from a
+single normalized-value station, I3/I31 are breaker statuses at a
+handful of generator stations, I5 is one transformer tap, I7 one
+bitstring, I30 one time-tagged single point, and AGC set points (I50)
+land at exactly the stations marked as AGC participants.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Callable
+
+from ..grid.constants import NOMINAL_VOLTAGE_KV
+from ..grid.simulation import GridSimulation
+from ..iec104.constants import TypeID
+from ..simnet.behaviors import (PointConfig, ReportMode, SYMBOL_ACTIVE_POWER,
+                                SYMBOL_CURRENT, SYMBOL_FREQUENCY,
+                                SYMBOL_REACTIVE_POWER, SYMBOL_STATUS,
+                                SYMBOL_VOLTAGE)
+from .paper_topology import OutstationSpec
+
+#: IOA where AGC set-point commands are addressed at participants.
+AGC_SETPOINT_IOA = 100
+
+#: First IOA used for measurement points.
+BASE_IOA = 2001
+
+#: Stations carrying the paper's rare typeIDs (Table 8 station counts).
+NORMALIZED_STATION = "O36"      # I9 (plus I9 filler points)
+STEP_POSITION_STATION = "O39"   # I5
+BITSTRING_STATION = "O45"       # I7
+TIMED_SINGLE_POINT_STATION = "O49"   # I30
+TIMED_BREAKER_STATIONS = ("O1", "O10", "O19", "O26")          # I31
+PLAIN_BREAKER_STATIONS = ("O5", "O14", "O29", "O34", "O42", "O50")  # I3
+ALARM_STATIONS = ("O8", "O32", "O41")                          # I1
+CLOCK_SYNC_STATIONS = ("O1", "O34", "O52")                     # I103
+END_OF_INIT_STATIONS = ("O12", "O17")                          # I70
+
+#: Threshold multiplier for the stale Type 5 outstation (paper §6.3).
+STALE_THRESHOLD_FACTOR = 12.0
+
+
+def _analog_type(spec: OutstationSpec) -> TypeID:
+    if spec.name == NORMALIZED_STATION:
+        return TypeID.M_ME_NA_1
+    if spec.analog_flavor == "i36":
+        return TypeID.M_ME_TF_1
+    return TypeID.M_ME_NC_1
+
+
+def _wave_source(rng: random.Random, base: float, amplitude: float,
+                 period: float, noise: float) -> Callable[[float], float]:
+    """A drifting sinusoid + noise — generic analog telemetry."""
+    phase = rng.uniform(0.0, period)
+    generator = random.Random(rng.randrange(1 << 30))
+
+    def source(now: float) -> float:
+        value = base + amplitude * math.sin(
+            2.0 * math.pi * (now + phase) / period)
+        return value + generator.gauss(0.0, noise)
+
+    return source
+
+
+def _telegraph_source(rng: random.Random, states: tuple[int, ...],
+                      dwell: float) -> Callable[[float], float]:
+    """A status point: holds a state, occasionally hops to another."""
+    generator = random.Random(rng.randrange(1 << 30))
+    current = {"state": states[0], "last": 0.0}
+
+    def source(now: float) -> float:
+        elapsed = max(0.0, now - current["last"])
+        # Memoryless hop with rate 1/dwell, evaluated per poll.
+        if elapsed > 0 and generator.random() < 1.0 - math.exp(
+                -elapsed / dwell):
+            options = [state for state in states
+                       if state != current["state"]]
+            current["state"] = generator.choice(options)
+        current["last"] = now
+        return float(current["state"])
+
+    return source
+
+
+def _normalize(source: Callable[[float], float],
+               scale: float) -> Callable[[float], float]:
+    """Wrap an engineering-unit source into the [-1, 1) NVA range."""
+
+    def normalized(now: float) -> float:
+        return max(-1.0, min(0.99996, source(now) / scale))
+
+    return normalized
+
+
+def build_points(spec: OutstationSpec, year: int, grid: GridSimulation,
+                 rng: random.Random) -> list[PointConfig]:
+    """Build exactly ``spec.yN_ioas`` measurement points for ``spec``."""
+    target = spec.y1_ioas if year == 1 else spec.y2_ioas
+    if target is None:
+        raise ValueError(f"{spec.name} absent in year {year}")
+    analog_tid = _analog_type(spec)
+    stale = STALE_THRESHOLD_FACTOR if spec.name == "O40" else 1.0
+    points: list[PointConfig] = []
+    next_ioa = [BASE_IOA]
+
+    def add(type_id: TypeID, symbol: str, source, threshold: float,
+            mode: ReportMode = ReportMode.SPONTANEOUS,
+            period: float = 4.0) -> None:
+        if len(points) >= target:
+            return
+        points.append(PointConfig(
+            ioa=next_ioa[0], type_id=type_id, symbol=symbol, source=source,
+            mode=mode, threshold=threshold * stale, period=period))
+        next_ioa[0] += 1
+
+    if spec.has_generator:
+        generator = spec.name  # generator named after its outstation
+        add(analog_tid, SYMBOL_ACTIVE_POWER,
+            lambda t, g=generator: grid.gen_active_power(g, t), 0.6)
+        add(analog_tid, SYMBOL_REACTIVE_POWER,
+            lambda t, g=generator: grid.gen_reactive_power(g, t), 0.5)
+        add(analog_tid, SYMBOL_VOLTAGE,
+            lambda t, g=generator: grid.gen_voltage(g, t), 0.8)
+        add(analog_tid, SYMBOL_VOLTAGE,
+            _wave_source(rng, NOMINAL_VOLTAGE_KV, 0.8, 900.0, 0.15), 0.8)
+        add(analog_tid, SYMBOL_CURRENT,
+            lambda t, g=generator: grid.gen_current(g, t), 0.03)
+        add(analog_tid, SYMBOL_FREQUENCY, grid.system_frequency, 0.012)
+        breaker_source = (lambda t, g=generator: grid.gen_breaker(g, t))
+        if spec.name in TIMED_BREAKER_STATIONS:
+            add(TypeID.M_DP_TB_1, SYMBOL_STATUS, breaker_source, 0.5)
+            add(TypeID.M_DP_TB_1, SYMBOL_STATUS,
+                _telegraph_source(rng, (1, 2), 350.0), 0.5)
+        elif spec.name in PLAIN_BREAKER_STATIONS:
+            add(TypeID.M_DP_NA_1, SYMBOL_STATUS, breaker_source, 0.5)
+            # A disconnector that occasionally operates, so the typeID
+            # is observed even when the breaker itself never moves.
+            add(TypeID.M_DP_NA_1, SYMBOL_STATUS,
+                _telegraph_source(rng, (1, 2), 350.0), 0.5)
+    else:
+        # Auxiliary (transmission-only) substation: line flows.
+        add(analog_tid, SYMBOL_ACTIVE_POWER,
+            _wave_source(rng, 120.0, 15.0, 700.0, 0.8), 1.2)
+        add(analog_tid, SYMBOL_REACTIVE_POWER,
+            _wave_source(rng, 30.0, 6.0, 800.0, 0.4), 0.8)
+        add(analog_tid, SYMBOL_VOLTAGE,
+            _wave_source(rng, NOMINAL_VOLTAGE_KV, 1.0, 1000.0, 0.15), 0.8)
+        add(analog_tid, SYMBOL_FREQUENCY, grid.system_frequency, 0.012)
+
+    # Station-specific rare typeIDs (Table 8).
+    if spec.name == STEP_POSITION_STATION:
+        add(TypeID.M_ST_NA_1, SYMBOL_STATUS,
+            _telegraph_source(rng, tuple(range(-3, 12)), 150.0), 0.5)
+    if spec.name == BITSTRING_STATION:
+        add(TypeID.M_BO_NA_1, SYMBOL_STATUS,
+            _telegraph_source(rng, (0x11, 0x13, 0x33, 0x37), 180.0), 0.5)
+    if spec.name == TIMED_SINGLE_POINT_STATION:
+        add(TypeID.M_SP_TB_1, SYMBOL_STATUS,
+            _telegraph_source(rng, (0, 1), 200.0), 0.5)
+    if spec.name in ALARM_STATIONS:
+        add(TypeID.M_SP_NA_1, SYMBOL_STATUS,
+            _telegraph_source(rng, (0, 1), 250.0), 0.5)
+
+    # Fillers: generic analog telemetry up to the configured IOA count.
+    # I36-flavoured stations report more eagerly (smaller thresholds),
+    # which is what skews the paper's Table 7 toward I36 (65% vs 32%).
+    spontaneous_factor = 0.16 if spec.analog_flavor == "i36" else 0.30
+    index = 0
+    while len(points) < target:
+        index += 1
+        base = rng.uniform(20.0, 180.0)
+        amplitude = rng.uniform(2.0, 12.0)
+        period = rng.uniform(300.0, 1500.0)
+        noise = 0.05 * amplitude
+        if spec.name == NORMALIZED_STATION:
+            source = _normalize(
+                _wave_source(rng, base, amplitude, period, noise), 250.0)
+            add(TypeID.M_ME_NA_1, SYMBOL_ACTIVE_POWER, source,
+                threshold=0.002, mode=ReportMode.PERIODIC,
+                period=rng.uniform(10.0, 16.0))
+            continue
+        source = _wave_source(rng, base, amplitude, period, noise)
+        if (index == 1 or index % 5 == 0) and stale == 1.0:
+            # (The stale Type 5 outstation gets no periodic points —
+            # its long reporting gaps are the whole point.)
+            # Guarantee at least one periodic point per station so a
+            # primary connection never idles past T3 unless its
+            # thresholds are deliberately stale (the Type 5 outstation).
+            add(analog_tid, SYMBOL_ACTIVE_POWER, source,
+                threshold=0.2 * amplitude, mode=ReportMode.PERIODIC,
+                period=rng.uniform(8.0, 14.0))
+        else:
+            symbol = (SYMBOL_CURRENT if index % 3 == 0
+                      else SYMBOL_ACTIVE_POWER)
+            add(analog_tid, symbol, source,
+                threshold=spontaneous_factor * amplitude)
+
+    return points

@@ -1,0 +1,25 @@
+"""Power-system physics substrate: generators, load, frequency, AGC,
+and the generator-activation behaviour signature of paper Fig. 21."""
+
+from .agc import AGCController
+from .constants import (AGC_CYCLE_SECONDS, DISTRIBUTION_SCALE,
+                        NOMINAL_FREQUENCY_HZ, NOMINAL_VOLTAGE_KV,
+                        TABLE1_ROWS, TRANSMISSION_SCALE, GridScale)
+from .frequency import FrequencyModel
+from .interchange import InterchangeModel, TieLine
+from .generator import (BREAKER_CLOSED, BREAKER_OPEN, Generator,
+                        GeneratorFleet, GeneratorState)
+from .load import SystemLoad
+from .signature import ActivationSignature, SignatureEvent, SignatureState
+from .simulation import GridEventScript, GridSimulation, build_default_grid
+
+__all__ = [
+    "AGCController", "AGC_CYCLE_SECONDS", "ActivationSignature",
+    "BREAKER_CLOSED", "BREAKER_OPEN", "DISTRIBUTION_SCALE",
+    "FrequencyModel", "Generator", "GeneratorFleet", "GeneratorState",
+    "GridEventScript", "GridScale", "GridSimulation",
+    "InterchangeModel", "TieLine",
+    "NOMINAL_FREQUENCY_HZ", "NOMINAL_VOLTAGE_KV", "SignatureEvent",
+    "SignatureState", "SystemLoad", "TABLE1_ROWS", "TRANSMISSION_SCALE",
+    "build_default_grid",
+]

@@ -1,0 +1,95 @@
+"""Automatic Generation Control.
+
+AGC is the algorithm the paper's balancing authority runs (Section 2):
+it measures the frequency deviation (and interchange error), computes
+the Area Control Error, and dispatches participating generators up or
+down to restore balance. In the synthetic network, AGC set points leave
+the control center as IEC 104 ``C_SE_NC_1`` (I50) commands — the
+AGC-SP rows of paper Table 8.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .constants import (DEFAULT_FREQUENCY_BIAS_MW_PER_HZ,
+                        NOMINAL_FREQUENCY_HZ)
+from .generator import Generator, GeneratorState
+
+
+@dataclass
+class AGCController:
+    """Proportional-integral area control with participation factors."""
+
+    generators: list[Generator]
+    frequency_bias_mw_per_hz: float = DEFAULT_FREQUENCY_BIAS_MW_PER_HZ
+    #: Integral gain on accumulated ACE.
+    integral_gain: float = 0.08
+    #: Proportional gain on instantaneous ACE.
+    proportional_gain: float = 0.5
+    #: Participation factor per generator name (defaults to capacity
+    #: share among online units).
+    participation: dict[str, float] = field(default_factory=dict)
+
+    _ace_integral: float = 0.0
+    #: History of (time, ace, total_dispatch) for analysis/plots.
+    history: list[tuple[float, float, float]] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not self.generators:
+            raise ValueError("AGC needs at least one generator")
+
+    def area_control_error(self, frequency_hz: float,
+                           interchange_error_mw: float = 0.0) -> float:
+        """ACE = dP_interchange + 10 * B * df (NERC sign convention).
+
+        Positive ACE means over-generation: units must ramp *down*.
+        """
+        df = frequency_hz - NOMINAL_FREQUENCY_HZ
+        return interchange_error_mw + self.frequency_bias_mw_per_hz * df
+
+    def _participation_factors(self) -> dict[str, float]:
+        online = [generator for generator in self.generators
+                  if generator.state is GeneratorState.ONLINE]
+        if not online:
+            return {}
+        factors = {}
+        total = 0.0
+        for generator in online:
+            weight = self.participation.get(generator.name,
+                                            generator.capacity_mw)
+            if weight <= 0.0:
+                # Explicitly excluded (e.g. a unit still being loaded
+                # manually after synchronization).
+                continue
+            factors[generator.name] = weight
+            total += weight
+        if total <= 0.0:
+            return {}
+        return {name: weight / total for name, weight in factors.items()}
+
+    def cycle(self, now: float, frequency_hz: float,
+              interchange_error_mw: float = 0.0) -> dict[str, float]:
+        """Run one AGC cycle; return new set points per generator name.
+
+        The returned set points are also applied to the generator
+        objects, mirroring what the RTU does when the I50 command lands.
+        """
+        ace = self.area_control_error(frequency_hz, interchange_error_mw)
+        self._ace_integral += ace
+        correction = -(self.proportional_gain * ace
+                       + self.integral_gain * self._ace_integral)
+        factors = self._participation_factors()
+        setpoints: dict[str, float] = {}
+        total_dispatch = 0.0
+        for generator in self.generators:
+            factor = factors.get(generator.name)
+            if factor is None:
+                continue
+            target = generator.output_mw + correction * factor
+            target = max(0.0, min(generator.capacity_mw, target))
+            generator.apply_setpoint(target)
+            setpoints[generator.name] = target
+            total_dispatch += target
+        self.history.append((now, ace, total_dispatch))
+        return setpoints

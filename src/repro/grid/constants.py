@@ -1,0 +1,36 @@
+"""Power-system constants, including Table 1 of the paper."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Nominal system frequency in Hz (US interconnections; paper Section 2).
+NOMINAL_FREQUENCY_HZ = 60.0
+
+#: Nominal transmission voltage used by the synthetic substations (kV).
+NOMINAL_VOLTAGE_KV = 130.0
+
+
+@dataclass(frozen=True)
+class GridScale:
+    """One row of paper Table 1: scale of a grid segment."""
+
+    name: str
+    power_watts: float
+    area_km2: float
+    voltage_kv_bound: str
+
+
+#: Paper Table 1 — comparison of transmission vs distribution systems.
+TRANSMISSION_SCALE = GridScale(name="Transmission", power_watts=1e9,
+                               area_km2=4.67e6, voltage_kv_bound="> 110")
+DISTRIBUTION_SCALE = GridScale(name="Distribution", power_watts=1e6,
+                               area_km2=10_600.0, voltage_kv_bound="< 34.5")
+
+TABLE1_ROWS = (TRANSMISSION_SCALE, DISTRIBUTION_SCALE)
+
+#: Default AGC cycle period in seconds (typical EMS AGC runs every 2-4 s).
+AGC_CYCLE_SECONDS = 4.0
+
+#: Frequency bias used by the AGC area control error (MW per 0.1 Hz).
+DEFAULT_FREQUENCY_BIAS_MW_PER_HZ = 250.0

@@ -1,0 +1,45 @@
+"""System frequency dynamics (aggregate swing model).
+
+A single-area equivalent: frequency deviation integrates the
+generation/load imbalance scaled by the system inertia, with
+load-damping pulling it back. Good enough to give AGC something real to
+chase and to produce the frequency excursions of paper Figs. 18-19.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .constants import NOMINAL_FREQUENCY_HZ
+
+
+@dataclass
+class FrequencyModel:
+    """df/dt = (P_gen - P_load) / M - D * df."""
+
+    #: Equivalent inertia: MW-seconds needed to move frequency 1 Hz/s.
+    inertia_mw_s_per_hz: float = 3000.0
+    #: Load damping in MW shed per Hz of deviation, folded into a decay.
+    damping_per_s: float = 0.08
+    frequency_hz: float = NOMINAL_FREQUENCY_HZ
+
+    def __post_init__(self) -> None:
+        if self.inertia_mw_s_per_hz <= 0:
+            raise ValueError("inertia must be positive")
+        if self.damping_per_s < 0:
+            raise ValueError("damping must be >= 0")
+
+    @property
+    def deviation_hz(self) -> float:
+        return self.frequency_hz - NOMINAL_FREQUENCY_HZ
+
+    def step(self, generation_mw: float, load_mw: float, dt: float) -> float:
+        """Advance by ``dt`` seconds; return the new frequency."""
+        if dt <= 0:
+            raise ValueError("dt must be positive")
+        imbalance = generation_mw - load_mw
+        deviation = self.deviation_hz
+        deviation += (imbalance / self.inertia_mw_s_per_hz) * dt
+        deviation -= self.damping_per_s * deviation * dt
+        self.frequency_hz = NOMINAL_FREQUENCY_HZ + deviation
+        return self.frequency_hz

@@ -1,0 +1,189 @@
+"""Generator model with ramp limits and a synchronization sequence.
+
+The synchronization sequence reproduces the physics behind the paper's
+Fig. 20 / Fig. 21 signature: terminal voltage ramps from 0 kV to its
+nominal value, the breaker closes (double-point status 0 -> 2), and only
+then does active power ramp toward the set point while reactive power
+settles around a (possibly negative) operating value.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass, field
+
+from .constants import NOMINAL_VOLTAGE_KV
+
+
+class GeneratorState(enum.Enum):
+    OFFLINE = "offline"
+    VOLTAGE_RAMP = "ramping voltage"   # excitation building up
+    SYNCHRONIZED = "synchronized"      # nominal voltage, breaker open
+    ONLINE = "online"                  # breaker closed, delivering power
+
+
+#: Breaker double-point states (IEC 104 DIQ semantics, paper Fig. 20).
+BREAKER_OPEN = 0
+BREAKER_CLOSED = 2
+
+
+@dataclass
+class Generator:
+    """One dispatchable generating unit."""
+
+    name: str
+    capacity_mw: float
+    setpoint_mw: float = 0.0
+    ramp_rate_mw_per_s: float = 1.0
+    nominal_voltage_kv: float = NOMINAL_VOLTAGE_KV
+    #: Seconds for the voltage ramp during synchronization.
+    sync_voltage_ramp_s: float = 120.0
+    #: Seconds spent synchronized before the breaker closes.
+    sync_hold_s: float = 60.0
+    #: Dispatch target applied when the unit comes online after a
+    #: synchronization (the operator's initial loading order).
+    post_sync_setpoint_mw: float | None = None
+    #: Governor droop: fraction of frequency deviation per unit of
+    #: full-capacity output change (typical 4-5%). None disables the
+    #: governor (the unit follows its set point only).
+    droop: float | None = 0.05
+
+    state: GeneratorState = GeneratorState.ONLINE
+    output_mw: float = 0.0
+    reactive_mvar: float = 0.0
+    voltage_kv: float = NOMINAL_VOLTAGE_KV
+    _sync_started: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.capacity_mw <= 0:
+            raise ValueError("capacity must be positive")
+        if self.ramp_rate_mw_per_s <= 0:
+            raise ValueError("ramp rate must be positive")
+        self.setpoint_mw = self._clamp(self.setpoint_mw)
+        if self.state is GeneratorState.OFFLINE:
+            self.voltage_kv = 0.0
+            self.output_mw = 0.0
+
+    def _clamp(self, value: float) -> float:
+        return max(0.0, min(self.capacity_mw, value))
+
+    @property
+    def breaker(self) -> int:
+        return (BREAKER_CLOSED if self.state is GeneratorState.ONLINE
+                else BREAKER_OPEN)
+
+    @property
+    def current_ka(self) -> float:
+        """Stator current estimate from apparent power and voltage."""
+        if self.voltage_kv <= 1.0:
+            return 0.0
+        apparent = math.hypot(self.output_mw, self.reactive_mvar)
+        return apparent / (math.sqrt(3.0) * self.voltage_kv)
+
+    def apply_setpoint(self, setpoint_mw: float) -> None:
+        """AGC dispatch: update the target output."""
+        self.setpoint_mw = self._clamp(setpoint_mw)
+
+    def begin_synchronization(self, now: float) -> None:
+        """Start bringing an offline unit onto the grid (Fig. 20)."""
+        if self.state is not GeneratorState.OFFLINE:
+            raise RuntimeError(f"{self.name} is not offline")
+        self.state = GeneratorState.VOLTAGE_RAMP
+        self._sync_started = now
+
+    def trip(self) -> None:
+        """Instantaneous disconnection (breaker opens)."""
+        self.state = GeneratorState.OFFLINE
+        self.output_mw = 0.0
+        self.reactive_mvar = 0.0
+        self.voltage_kv = 0.0
+        self._sync_started = None
+
+    def governor_response_mw(self, frequency_hz: float,
+                             nominal_hz: float = 60.0) -> float:
+        """Primary frequency response: MW added by the governor.
+
+        Droop control: output rises when frequency sags, proportional
+        to deviation, scaled by 1/droop of capacity per unit frequency.
+        This arrests a frequency excursion within seconds, before AGC's
+        secondary control restores the set point (Figs. 18-19 physics).
+        """
+        if self.droop is None or self.state is not GeneratorState.ONLINE:
+            return 0.0
+        per_unit_deviation = (frequency_hz - nominal_hz) / nominal_hz
+        return -per_unit_deviation / self.droop * self.capacity_mw
+
+    def step(self, now: float, dt: float,
+             frequency_hz: float | None = None) -> None:
+        """Advance the unit by ``dt`` seconds.
+
+        ``frequency_hz`` enables the governor's primary frequency
+        response on top of the dispatched set point."""
+        if self.state is GeneratorState.OFFLINE:
+            return
+        if self.state is GeneratorState.VOLTAGE_RAMP:
+            elapsed = now - self._sync_started
+            fraction = min(1.0, elapsed / self.sync_voltage_ramp_s)
+            self.voltage_kv = self.nominal_voltage_kv * fraction
+            if fraction >= 1.0:
+                self.state = GeneratorState.SYNCHRONIZED
+            return
+        if self.state is GeneratorState.SYNCHRONIZED:
+            self.voltage_kv = self.nominal_voltage_kv
+            elapsed = now - self._sync_started
+            if elapsed >= self.sync_voltage_ramp_s + self.sync_hold_s:
+                self.state = GeneratorState.ONLINE
+                if self.post_sync_setpoint_mw is not None:
+                    self.apply_setpoint(self.post_sync_setpoint_mw)
+            return
+        # ONLINE: ramp output toward the set point plus any governor
+        # (primary frequency response) contribution.
+        target = self.setpoint_mw
+        if frequency_hz is not None:
+            target += self.governor_response_mw(frequency_hz)
+        target = self._clamp(target)
+        delta = target - self.output_mw
+        max_step = self.ramp_rate_mw_per_s * dt
+        self.output_mw += max(-max_step, min(max_step, delta))
+        # Reactive power follows loading with a lagging response; it may
+        # be negative (the unit absorbing VArs), as the paper notes.
+        target_q = 0.25 * self.output_mw - 0.05 * self.capacity_mw
+        self.reactive_mvar += 0.2 * (target_q - self.reactive_mvar)
+        self.voltage_kv = self.nominal_voltage_kv
+
+
+@dataclass
+class GeneratorFleet:
+    """The dispatchable units of one balancing area."""
+
+    units: dict[str, Generator] = field(default_factory=dict)
+
+    def add(self, generator: Generator) -> Generator:
+        if generator.name in self.units:
+            raise ValueError(f"duplicate generator {generator.name}")
+        self.units[generator.name] = generator
+        return generator
+
+    def __getitem__(self, name: str) -> Generator:
+        return self.units[name]
+
+    def __iter__(self):
+        return iter(self.units.values())
+
+    def __len__(self) -> int:
+        return len(self.units)
+
+    @property
+    def total_output_mw(self) -> float:
+        return sum(unit.output_mw for unit in self.units.values())
+
+    @property
+    def online(self) -> list[Generator]:
+        return [unit for unit in self.units.values()
+                if unit.state is GeneratorState.ONLINE]
+
+    def step(self, now: float, dt: float,
+             frequency_hz: float | None = None) -> None:
+        for unit in self.units.values():
+            unit.step(now, dt, frequency_hz=frequency_hz)

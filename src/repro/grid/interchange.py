@@ -1,0 +1,91 @@
+"""Tie lines and scheduled interchange between balancing areas.
+
+The paper's balancing authority coordinates "power balance across
+multiple geographical regions"; its AGC tracks not just frequency but
+also the power flowing over inter-area exchange lines (Section 2).
+This module models those tie lines so the ACE's interchange term is
+driven by physics instead of being pinned to zero.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .constants import NOMINAL_FREQUENCY_HZ
+
+
+@dataclass
+class TieLine:
+    """One inter-area exchange line.
+
+    Flow is positive when exporting from this area. The actual flow
+    responds to the local frequency deviation: an over-frequency area
+    pushes extra power into its neighbours (the synchronous-grid
+    self-balancing the frequency-bias term approximates).
+    """
+
+    name: str
+    capacity_mw: float
+    scheduled_mw: float = 0.0
+    #: MW of extra export per Hz of local over-frequency.
+    stiffness_mw_per_hz: float = 800.0
+    actual_mw: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.capacity_mw <= 0:
+            raise ValueError("tie-line capacity must be positive")
+        if abs(self.scheduled_mw) > self.capacity_mw:
+            raise ValueError("schedule exceeds capacity")
+        self.actual_mw = self.scheduled_mw
+
+    def update(self, frequency_hz: float) -> float:
+        """Advance the line's actual flow; return it."""
+        deviation = frequency_hz - NOMINAL_FREQUENCY_HZ
+        target = self.scheduled_mw + self.stiffness_mw_per_hz * deviation
+        target = max(-self.capacity_mw, min(self.capacity_mw, target))
+        # First-order approach to the target (line + neighbour inertia).
+        self.actual_mw += 0.3 * (target - self.actual_mw)
+        return self.actual_mw
+
+    @property
+    def deviation_mw(self) -> float:
+        """Actual minus scheduled flow (the ACE interchange term)."""
+        return self.actual_mw - self.scheduled_mw
+
+    def reschedule(self, scheduled_mw: float) -> None:
+        """Market/operator action: change the scheduled interchange."""
+        if abs(scheduled_mw) > self.capacity_mw:
+            raise ValueError("schedule exceeds capacity")
+        self.scheduled_mw = scheduled_mw
+
+
+@dataclass
+class InterchangeModel:
+    """The area's full set of tie lines."""
+
+    lines: list[TieLine] = field(default_factory=list)
+
+    def add(self, line: TieLine) -> TieLine:
+        if any(existing.name == line.name for existing in self.lines):
+            raise ValueError(f"duplicate tie line {line.name}")
+        self.lines.append(line)
+        return line
+
+    def __getitem__(self, name: str) -> TieLine:
+        for line in self.lines:
+            if line.name == name:
+                return line
+        raise KeyError(name)
+
+    def update(self, frequency_hz: float) -> float:
+        """Advance every line; return the net interchange error (MW)."""
+        return sum(line.update(frequency_hz) - line.scheduled_mw
+                   for line in self.lines)
+
+    @property
+    def net_export_mw(self) -> float:
+        return sum(line.actual_mw for line in self.lines)
+
+    @property
+    def interchange_error_mw(self) -> float:
+        return sum(line.deviation_mw for line in self.lines)

@@ -1,0 +1,52 @@
+"""Aggregate system load with diurnal drift, noise and scripted loss.
+
+The "unmet load" event of paper Figs. 18-19 is a sudden loss of load:
+generation momentarily exceeds demand, frequency rises, and AGC must
+dispatch generators downward until the load is reconnected.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+
+
+@dataclass
+class SystemLoad:
+    """Balancing-area demand in MW."""
+
+    base_mw: float
+    #: Amplitude of the slow (diurnal-like) oscillation.
+    swing_mw: float = 0.0
+    swing_period_s: float = 86400.0
+    noise_mw: float = 0.0
+    rng: random.Random = field(default_factory=lambda: random.Random(7))
+    #: Active load-loss events as (start, end, magnitude_mw).
+    _losses: list[tuple[float, float, float]] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.base_mw <= 0:
+            raise ValueError("base load must be positive")
+        if self.swing_period_s <= 0:
+            raise ValueError("swing period must be positive")
+
+    def schedule_loss(self, start: float, duration: float,
+                      magnitude_mw: float) -> None:
+        """Disconnect ``magnitude_mw`` of load during [start, start+duration)."""
+        if duration <= 0 or magnitude_mw <= 0:
+            raise ValueError("loss duration and magnitude must be positive")
+        self._losses.append((start, start + duration, magnitude_mw))
+
+    def demand_at(self, now: float) -> float:
+        """Instantaneous demand in MW."""
+        demand = self.base_mw
+        if self.swing_mw:
+            demand += self.swing_mw * math.sin(
+                2.0 * math.pi * now / self.swing_period_s)
+        if self.noise_mw:
+            demand += self.rng.gauss(0.0, self.noise_mw)
+        for start, end, magnitude in self._losses:
+            if start <= now < end:
+                demand -= magnitude
+        return max(0.0, demand)

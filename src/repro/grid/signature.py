@@ -1,0 +1,132 @@
+"""Generator-activation behaviour signature (paper Fig. 21).
+
+The paper builds a state machine over three DPI-extracted series —
+terminal voltage U, breaker status, and active power P — that captures
+how a generator legitimately comes online:
+
+    OFFLINE --(U rises)--> VOLTAGE_RAMP --(U ~ nominal)--> SYNCHRONIZED
+        --(breaker 0->2)--> CONNECTED --(P rises)--> GENERATING
+
+Any other path (e.g. active power flowing while the breaker reads
+open) is an anomaly — exactly the cyber-physical whitelist idea the
+paper proposes for SOCs.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from .constants import NOMINAL_VOLTAGE_KV
+from .generator import BREAKER_CLOSED, BREAKER_OPEN
+
+
+class SignatureState(enum.Enum):
+    OFFLINE = "offline"
+    VOLTAGE_RAMP = "voltage ramp"
+    SYNCHRONIZED = "synchronized"
+    CONNECTED = "connected"
+    GENERATING = "generating"
+
+
+@dataclass(frozen=True)
+class SignatureEvent:
+    """One state transition (or anomaly) in the signature machine."""
+
+    time: float
+    state: SignatureState
+    anomaly: str | None = None
+
+    @property
+    def is_anomaly(self) -> bool:
+        return self.anomaly is not None
+
+
+@dataclass
+class ActivationSignature:
+    """Online detector consuming (time, U, breaker, P) samples."""
+
+    nominal_voltage_kv: float = NOMINAL_VOLTAGE_KV
+    #: Voltage below this fraction of nominal counts as "dead bus".
+    dead_fraction: float = 0.05
+    #: Voltage above this fraction of nominal counts as "at nominal".
+    ready_fraction: float = 0.95
+    #: Active power above this (MW) counts as delivering.
+    power_threshold_mw: float = 2.0
+
+    state: SignatureState = SignatureState.OFFLINE
+    events: list[SignatureEvent] = field(default_factory=list)
+
+    def _emit(self, time: float, state: SignatureState,
+              anomaly: str | None = None) -> SignatureEvent:
+        event = SignatureEvent(time=time, state=state, anomaly=anomaly)
+        self.events.append(event)
+        self.state = state
+        return event
+
+    def observe(self, time: float, voltage_kv: float, breaker: int,
+                power_mw: float) -> SignatureEvent | None:
+        """Feed one sample; return a transition/anomaly event, if any."""
+        dead = voltage_kv < self.dead_fraction * self.nominal_voltage_kv
+        ready = voltage_kv >= self.ready_fraction * self.nominal_voltage_kv
+        delivering = power_mw >= self.power_threshold_mw
+
+        # Global anomaly: power cannot flow through an open breaker.
+        if delivering and breaker == BREAKER_OPEN:
+            return self._emit(time, self.state,
+                              anomaly="active power with breaker open")
+
+        if self.state is SignatureState.OFFLINE:
+            if breaker == BREAKER_CLOSED and dead:
+                return self._emit(time, self.state,
+                                  anomaly="breaker closed on dead bus")
+            if not dead and not ready:
+                return self._emit(time, SignatureState.VOLTAGE_RAMP)
+            if ready:
+                # Jumped straight to nominal between samples (paper
+                # Fig. 18 shows exactly this 0 -> 120 kV jump).
+                return self._emit(time, SignatureState.SYNCHRONIZED)
+            return None
+
+        if self.state is SignatureState.VOLTAGE_RAMP:
+            if ready:
+                return self._emit(time, SignatureState.SYNCHRONIZED)
+            if dead:
+                return self._emit(time, SignatureState.OFFLINE)
+            return None
+
+        if self.state is SignatureState.SYNCHRONIZED:
+            if breaker == BREAKER_CLOSED:
+                return self._emit(time, SignatureState.CONNECTED)
+            if dead:
+                return self._emit(time, SignatureState.OFFLINE)
+            return None
+
+        if self.state is SignatureState.CONNECTED:
+            if delivering:
+                return self._emit(time, SignatureState.GENERATING)
+            if breaker == BREAKER_OPEN:
+                return self._emit(time, SignatureState.SYNCHRONIZED)
+            return None
+
+        # GENERATING
+        if breaker == BREAKER_OPEN or dead:
+            return self._emit(time, SignatureState.OFFLINE)
+        return None
+
+    @property
+    def anomalies(self) -> list[SignatureEvent]:
+        return [event for event in self.events if event.is_anomaly]
+
+    @property
+    def completed_activation(self) -> bool:
+        """True when the full expected activation path was observed."""
+        states = [event.state for event in self.events
+                  if not event.is_anomaly]
+        expected = [SignatureState.VOLTAGE_RAMP,
+                    SignatureState.SYNCHRONIZED,
+                    SignatureState.CONNECTED,
+                    SignatureState.GENERATING]
+        iterator = iter(states)
+        return all(any(state is target for state in iterator)
+                   for target in expected)

@@ -1,0 +1,160 @@
+"""The balancing-area grid simulation.
+
+Couples the generator fleet, the aggregate load, the frequency model
+and the AGC controller, stepping at a fixed resolution. The network
+simulator reads values through :meth:`GridSimulation.advance_to`-backed
+accessors, so grid time advances lazily with simulated network time.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from .agc import AGCController
+from .constants import AGC_CYCLE_SECONDS
+from .frequency import FrequencyModel
+from .generator import Generator, GeneratorFleet
+from .interchange import InterchangeModel
+from .load import SystemLoad
+
+
+@dataclass
+class GridEventScript:
+    """Scripted physical events applied during the run."""
+
+    #: (time, generator_name) — unit starts its synchronization ramp.
+    generator_syncs: list[tuple[float, str]] = field(default_factory=list)
+    #: (time, duration, magnitude_mw) — load disconnects ("unmet load").
+    load_losses: list[tuple[float, float, float]] = (
+        field(default_factory=list))
+    #: (time, generator_name) — unit trips offline.
+    generator_trips: list[tuple[float, str]] = field(default_factory=list)
+
+
+class GridSimulation:
+    """Single-area power system with AGC, advanced lazily in time."""
+
+    def __init__(self, fleet: GeneratorFleet, load: SystemLoad,
+                 frequency: FrequencyModel | None = None,
+                 agc: AGCController | None = None,
+                 script: GridEventScript | None = None,
+                 dt: float = 1.0, start_time: float = 0.0,
+                 rng: random.Random | None = None,
+                 measurement_noise: float = 0.002,
+                 interchange: InterchangeModel | None = None):
+        if dt <= 0:
+            raise ValueError("dt must be positive")
+        self.fleet = fleet
+        self.load = load
+        self.frequency = frequency or FrequencyModel()
+        self.agc = agc or AGCController(generators=list(fleet))
+        self.interchange = interchange
+        self.script = script or GridEventScript()
+        self.dt = dt
+        self.now = start_time
+        self._rng = rng or random.Random(20)
+        self._noise = measurement_noise
+        self._next_agc = start_time
+        #: Latest set points decided by AGC, per generator name.
+        self.latest_setpoints: dict[str, float] = {
+            generator.name: generator.setpoint_mw for generator in fleet}
+        for start, duration, magnitude in self.script.load_losses:
+            self.load.schedule_loss(start, duration, magnitude)
+        self._pending_syncs = sorted(self.script.generator_syncs)
+        self._pending_trips = sorted(self.script.generator_trips)
+
+    def advance_to(self, when: float) -> None:
+        """Step the physics forward until ``when`` (no-op if behind)."""
+        while self.now + self.dt <= when:
+            self._step()
+
+    def _step(self) -> None:
+        now = self.now + self.dt
+        while self._pending_syncs and self._pending_syncs[0][0] <= now:
+            _, name = self._pending_syncs.pop(0)
+            self.fleet[name].begin_synchronization(now)
+        while self._pending_trips and self._pending_trips[0][0] <= now:
+            _, name = self._pending_trips.pop(0)
+            self.fleet[name].trip()
+        self.fleet.step(now, self.dt,
+                        frequency_hz=self.frequency.frequency_hz)
+        demand = self.load.demand_at(now)
+        interchange_error = 0.0
+        if self.interchange is not None:
+            self.interchange.update(self.frequency.frequency_hz)
+            # Exports are load seen by this area's generation.
+            demand += self.interchange.net_export_mw
+            interchange_error = self.interchange.interchange_error_mw
+        self.frequency.step(self.fleet.total_output_mw, demand, self.dt)
+        if now >= self._next_agc:
+            self.latest_setpoints.update(
+                self.agc.cycle(now, self.frequency.frequency_hz,
+                               interchange_error_mw=interchange_error))
+            self._next_agc = now + AGC_CYCLE_SECONDS
+        self.now = now
+
+    # -- measurement accessors (what RTU points read) -----------------------
+
+    def _jitter(self, value: float, scale: float) -> float:
+        if self._noise <= 0:
+            return value
+        return value + self._rng.gauss(0.0, self._noise * max(1.0, scale))
+
+    def gen_active_power(self, name: str, when: float) -> float:
+        self.advance_to(when)
+        return self._jitter(self.fleet[name].output_mw, 10.0)
+
+    def gen_reactive_power(self, name: str, when: float) -> float:
+        self.advance_to(when)
+        return self._jitter(self.fleet[name].reactive_mvar, 5.0)
+
+    def gen_voltage(self, name: str, when: float) -> float:
+        self.advance_to(when)
+        return self._jitter(self.fleet[name].voltage_kv, 2.0)
+
+    def gen_current(self, name: str, when: float) -> float:
+        self.advance_to(when)
+        return self._jitter(self.fleet[name].current_ka, 0.05)
+
+    def gen_breaker(self, name: str, when: float) -> int:
+        self.advance_to(when)
+        return self.fleet[name].breaker
+
+    def system_frequency(self, when: float) -> float:
+        self.advance_to(when)
+        return self._jitter(self.frequency.frequency_hz, 0.001)
+
+    def setpoint_for(self, name: str, when: float) -> float:
+        self.advance_to(when)
+        return self.latest_setpoints.get(name, 0.0)
+
+
+def build_default_grid(generator_names: list[str],
+                       rng: random.Random | None = None,
+                       script: GridEventScript | None = None,
+                       capacity_range: tuple[float, float] = (80.0, 400.0),
+                       ) -> GridSimulation:
+    """Construct a plausible balancing area around ``generator_names``.
+
+    Each named generator gets a capacity drawn from ``capacity_range``
+    and starts online at ~70% loading; total load matches generation so
+    AGC starts near balance.
+    """
+    rng = rng or random.Random(11)
+    fleet = GeneratorFleet()
+    total = 0.0
+    for name in generator_names:
+        capacity = rng.uniform(*capacity_range)
+        generator = Generator(name=name, capacity_mw=capacity,
+                              setpoint_mw=0.7 * capacity,
+                              ramp_rate_mw_per_s=capacity / 300.0)
+        generator.output_mw = generator.setpoint_mw
+        fleet.add(generator)
+        total += generator.output_mw
+    load = SystemLoad(base_mw=total, swing_mw=0.02 * total,
+                      swing_period_s=3600.0, noise_mw=0.002 * total,
+                      rng=random.Random(rng.randrange(1 << 30)))
+    agc = AGCController(generators=list(fleet))
+    return GridSimulation(fleet=fleet, load=load, agc=agc, script=script,
+                          rng=random.Random(rng.randrange(1 << 30)))

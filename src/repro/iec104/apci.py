@@ -1,0 +1,174 @@
+"""APCI framing: the three APDU formats of IEC 104.
+
+The Application Protocol Control Information is 6 octets: the 0x68 start
+byte, a length octet, and a 4-octet control field whose two low bits of
+the first octet select the format (Fig. 3 of the paper):
+
+* I-format (bit0 = 0): carries an ASDU plus 15-bit send/receive
+  sequence numbers.
+* S-format (bits = 01): carries only a receive sequence number (ack).
+* U-format (bits = 11): carries one of six connection-control function
+  bits (STARTDT/STOPDT/TESTFR act/con).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .asdu import ASDU
+from .constants import (CONTROL_FIELD_LENGTH, MAX_APDU_LENGTH, START_BYTE,
+                        APDUFormat, UFunction)
+from .errors import (ControlFieldError, FramingError, MalformedASDUError,
+                     TruncatedError)
+from .profiles import STANDARD_PROFILE, LinkProfile
+
+#: Modulus of the 15-bit sequence-number space.
+SEQ_MODULO = 1 << 15
+
+
+def _check_seq(name: str, value: int) -> None:
+    if not 0 <= value < SEQ_MODULO:
+        raise ValueError(f"{name} sequence number {value} out of 15-bit "
+                         "range")
+
+
+@dataclass(frozen=True)
+class IFrame:
+    """I-format APDU: numbered information transfer."""
+
+    asdu: ASDU
+    send_seq: int = 0
+    recv_seq: int = 0
+
+    def __post_init__(self) -> None:
+        _check_seq("send", self.send_seq)
+        _check_seq("receive", self.recv_seq)
+
+    format = APDUFormat.I
+
+    @property
+    def token(self) -> str:
+        """Paper Table 4 token (e.g. ``I36``)."""
+        return self.asdu.token
+
+    def control_field(self) -> bytes:
+        return bytes(((self.send_seq << 1) & 0xFF,
+                      (self.send_seq >> 7) & 0xFF,
+                      (self.recv_seq << 1) & 0xFF,
+                      (self.recv_seq >> 7) & 0xFF))
+
+    def encode(self, profile: LinkProfile = STANDARD_PROFILE) -> bytes:
+        body = self.asdu.encode(profile)
+        length = CONTROL_FIELD_LENGTH + len(body)
+        if length > MAX_APDU_LENGTH:
+            raise FramingError(
+                f"APDU length {length} exceeds {MAX_APDU_LENGTH}")
+        return bytes((START_BYTE, length)) + self.control_field() + body
+
+
+@dataclass(frozen=True)
+class SFrame:
+    """S-format APDU: numbered supervisory function (acknowledgement)."""
+
+    recv_seq: int = 0
+
+    def __post_init__(self) -> None:
+        _check_seq("receive", self.recv_seq)
+
+    format = APDUFormat.S
+    token = "S"
+
+    def encode(self, profile: LinkProfile = STANDARD_PROFILE) -> bytes:
+        return bytes((START_BYTE, CONTROL_FIELD_LENGTH, 0x01, 0x00,
+                      (self.recv_seq << 1) & 0xFF,
+                      (self.recv_seq >> 7) & 0xFF))
+
+
+@dataclass(frozen=True)
+class UFrame:
+    """U-format APDU: unnumbered control function."""
+
+    function: UFunction
+
+    format = APDUFormat.U
+
+    @property
+    def token(self) -> str:
+        """Paper Table 4 token (e.g. ``U16`` for TESTFR act)."""
+        return self.function.token
+
+    def encode(self, profile: LinkProfile = STANDARD_PROFILE) -> bytes:
+        return bytes((START_BYTE, CONTROL_FIELD_LENGTH,
+                      0x03 | int(self.function), 0x00, 0x00, 0x00))
+
+
+APDU = IFrame | SFrame | UFrame
+
+#: Ready-made U-frames for the six control functions.
+STARTDT_ACT = UFrame(UFunction.STARTDT_ACT)
+STARTDT_CON = UFrame(UFunction.STARTDT_CON)
+STOPDT_ACT = UFrame(UFunction.STOPDT_ACT)
+STOPDT_CON = UFrame(UFunction.STOPDT_CON)
+TESTFR_ACT = UFrame(UFunction.TESTFR_ACT)
+TESTFR_CON = UFrame(UFunction.TESTFR_CON)
+
+
+def decode_apdu(data: bytes | memoryview, offset: int = 0,
+                profile: LinkProfile = STANDARD_PROFILE
+                ) -> tuple[APDU, int]:
+    """Decode one APDU starting at ``offset``.
+
+    Returns ``(apdu, total_octets_consumed)``. Raises
+    :class:`TruncatedError` when more bytes are needed (the stream
+    splitter uses this to wait for the rest of a TCP segment),
+    :class:`FramingError`/:class:`ControlFieldError`/
+    :class:`MalformedASDUError` on invalid content.
+    """
+    view = memoryview(bytes(data))[offset:]
+    if len(view) < 2:
+        raise TruncatedError("need APCI start+length", needed=2,
+                             available=len(view))
+    if view[0] != START_BYTE:
+        raise FramingError(
+            f"bad start byte 0x{view[0]:02x} (expected 0x68)", offset=offset)
+    length = view[1]
+    if length < CONTROL_FIELD_LENGTH:
+        raise FramingError(f"APCI length {length} < control field size",
+                           offset=offset)
+    total = 2 + length
+    if len(view) < total:
+        raise TruncatedError("APDU extends past buffer", needed=total,
+                             available=len(view))
+
+    control = view[2:2 + CONTROL_FIELD_LENGTH]
+    body = bytes(view[2 + CONTROL_FIELD_LENGTH:total])
+
+    if control[0] & 0x01 == 0:  # I-format
+        if not body:
+            raise MalformedASDUError("I-format APDU with empty ASDU")
+        send_seq = (control[0] >> 1) | (control[1] << 7)
+        recv_seq = (control[2] >> 1) | (control[3] << 7)
+        asdu = ASDU.decode(body, profile)
+        return IFrame(asdu=asdu, send_seq=send_seq, recv_seq=recv_seq), total
+
+    if control[0] & 0x03 == 0x01:  # S-format
+        if length != CONTROL_FIELD_LENGTH:
+            raise ControlFieldError("S-format APDU must carry no ASDU")
+        if control[0] & 0xFC or control[1]:
+            raise ControlFieldError("reserved S-format bits set")
+        recv_seq = (control[2] >> 1) | (control[3] << 7)
+        return SFrame(recv_seq=recv_seq), total
+
+    # U-format (bits = 11)
+    if length != CONTROL_FIELD_LENGTH:
+        raise ControlFieldError("U-format APDU must carry no ASDU")
+    function_bits = control[0] & 0xFC
+    try:
+        function = UFunction(function_bits)
+    except ValueError:
+        raise ControlFieldError(
+            f"invalid U-format function bits 0x{function_bits:02x}"
+        ) from None
+    if control[1] or control[2] or control[3]:
+        raise ControlFieldError("U-format octets 4-6 must be zero")
+    return UFrame(function=function), total

@@ -1,0 +1,297 @@
+"""IEC 60870-5-104 protocol constants.
+
+This module is the machine-readable form of Table 5 of the paper (the 54
+ASDU type identifications supported by IEC 104), the cause-of-transmission
+codes, the U-format function bits, and the four protocol timers T0-T3
+described in Section 4.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+#: TCP port registered for IEC 60870-5-104.
+IEC104_PORT = 2404
+
+#: APCI start octet.
+START_BYTE = 0x68
+
+#: Maximum value of the APCI length octet (APDU minus start/length octets).
+MAX_APDU_LENGTH = 253
+
+#: Number of control-field octets in the APCI.
+CONTROL_FIELD_LENGTH = 4
+
+#: Maximum length of the full APDU on the wire (start + length + 253).
+MAX_FRAME_LENGTH = 2 + MAX_APDU_LENGTH
+
+
+class APDUFormat(enum.Enum):
+    """The three APDU formats of IEC 104 (Section 4 of the paper)."""
+
+    I = "I"  # noqa: E741 - the standard's own name
+    S = "S"
+    U = "U"
+
+
+class UFunction(enum.IntEnum):
+    """U-format connection-control function bits (APCI octet 3).
+
+    The numeric values are the function bits themselves, which is why the
+    paper tokenizes U APDUs as U1..U32 (Table 4).
+    """
+
+    STARTDT_ACT = 0x04
+    STARTDT_CON = 0x08
+    STOPDT_ACT = 0x10
+    STOPDT_CON = 0x20
+    TESTFR_ACT = 0x40
+    TESTFR_CON = 0x80
+
+    @property
+    def token(self) -> str:
+        """Paper Table 4 token, e.g. ``U16`` for TESTFR act."""
+        return f"U{self.value >> 2}"
+
+    @property
+    def is_act(self) -> bool:
+        return self in (UFunction.STARTDT_ACT, UFunction.STOPDT_ACT,
+                        UFunction.TESTFR_ACT)
+
+    @property
+    def confirmation(self) -> "UFunction":
+        """The confirmation function answering this activation."""
+        if not self.is_act:
+            raise ValueError(f"{self.name} is not an activation")
+        return UFunction(self.value << 1)
+
+
+class TypeID(enum.IntEnum):
+    """The 54 ASDU type identifications supported by IEC 104 (Table 5)."""
+
+    # Monitor direction, process information
+    M_SP_NA_1 = 1     # Single-point information
+    M_DP_NA_1 = 3     # Double-point information
+    M_ST_NA_1 = 5     # Step position information
+    M_BO_NA_1 = 7     # Bitstring of 32 bits
+    M_ME_NA_1 = 9     # Measured value, normalized value
+    M_ME_NB_1 = 11    # Measured value, scaled value
+    M_ME_NC_1 = 13    # Measured value, short floating point number
+    M_IT_NA_1 = 15    # Integrated totals
+    M_PS_NA_1 = 20    # Packed single-point information w/ status change
+    M_ME_ND_1 = 21    # Measured value, normalized, w/o quality descriptor
+    # Monitor direction with CP56Time2a time tag
+    M_SP_TB_1 = 30
+    M_DP_TB_1 = 31
+    M_ST_TB_1 = 32
+    M_BO_TB_1 = 33
+    M_ME_TD_1 = 34
+    M_ME_TE_1 = 35
+    M_ME_TF_1 = 36    # Measured value, short float w/ time tag (I36)
+    M_IT_TB_1 = 37
+    M_EP_TD_1 = 38
+    M_EP_TE_1 = 39
+    M_EP_TF_1 = 40
+    # Control direction, process information
+    C_SC_NA_1 = 45    # Single command
+    C_DC_NA_1 = 46    # Double command
+    C_RC_NA_1 = 47    # Regulating step command
+    C_SE_NA_1 = 48    # Set point command, normalized value
+    C_SE_NB_1 = 49    # Set point command, scaled value
+    C_SE_NC_1 = 50    # Set point command, short floating point (AGC)
+    C_BO_NA_1 = 51    # Bitstring of 32 bits
+    # Control direction with CP56Time2a time tag
+    C_SC_TA_1 = 58
+    C_DC_TA_1 = 59
+    C_RC_TA_1 = 60
+    C_SE_TA_1 = 61
+    C_SE_TB_1 = 62
+    C_SE_TC_1 = 63
+    C_BO_TA_1 = 64
+    # System information
+    M_EI_NA_1 = 70    # End of initialization
+    C_IC_NA_1 = 100   # Interrogation command (I100)
+    C_CI_NA_1 = 101   # Counter interrogation command
+    C_RD_NA_1 = 102   # Read command
+    C_CS_NA_1 = 103   # Clock synchronization command
+    C_RP_NA_1 = 105   # Reset process command
+    C_TS_TA_1 = 107   # Test command with time tag CP56Time2a
+    # Parameter in control direction
+    P_ME_NA_1 = 110
+    P_ME_NB_1 = 111
+    P_ME_NC_1 = 112
+    P_AC_NA_1 = 113
+    # File transfer
+    F_FR_NA_1 = 120
+    F_SR_NA_1 = 121
+    F_SC_NA_1 = 122
+    F_LS_NA_1 = 123
+    F_AF_NA_1 = 124
+    F_SG_NA_1 = 125
+    F_DR_TA_1 = 126
+    F_SC_NB_1 = 127
+
+    @property
+    def token(self) -> str:
+        """Paper Table 4 token for I-format APDUs, e.g. ``I36``."""
+        return f"I{self.value}"
+
+
+#: Human-readable descriptions (paper Table 5, verbatim).
+TYPE_ID_DESCRIPTIONS: dict[TypeID, str] = {
+    TypeID.M_SP_NA_1: "Single-point information",
+    TypeID.M_DP_NA_1: "Double-point information",
+    TypeID.M_ST_NA_1: "Step position information",
+    TypeID.M_BO_NA_1: "Bitstring of 32 bits",
+    TypeID.M_ME_NA_1: "Measured value, normalized value",
+    TypeID.M_ME_NB_1: "Measured value, scaled value",
+    TypeID.M_ME_NC_1: "Measured value, short floating point number",
+    TypeID.M_IT_NA_1: "Integrated totals",
+    TypeID.M_PS_NA_1:
+        "Packed single-point information with status change detection",
+    TypeID.M_ME_ND_1:
+        "Measured value, normalized value without quality descriptor",
+    TypeID.M_SP_TB_1: "Single-point information with time tag CP56Time2a",
+    TypeID.M_DP_TB_1: "Double-point information with time tag CP56Time2a",
+    TypeID.M_ST_TB_1: "Step position information with time tag CP56Time2a",
+    TypeID.M_BO_TB_1: "Bitstring of 32 bit with time tag CP56Time2a",
+    TypeID.M_ME_TD_1:
+        "Measured value, normalized value with time tag CP56Time2a",
+    TypeID.M_ME_TE_1: "Measured value, scaled value with time tag CP56Time2a",
+    TypeID.M_ME_TF_1:
+        "Measured value, short floating point number with time tag CP56Time2a",
+    TypeID.M_IT_TB_1: "Integrated totals with time tag CP56Time2a",
+    TypeID.M_EP_TD_1:
+        "Event of protection equipment with time tag CP56Time2a",
+    TypeID.M_EP_TE_1:
+        "Packed start events of protection equipment with time tag CP56Time2a",
+    TypeID.M_EP_TF_1:
+        "Packed output circuit information of protection equipment "
+        "with time tag CP56Time2a",
+    TypeID.C_SC_NA_1: "Single command",
+    TypeID.C_DC_NA_1: "Double command",
+    TypeID.C_RC_NA_1: "Regulating step command",
+    TypeID.C_SE_NA_1: "Set point command, normalized value",
+    TypeID.C_SE_NB_1: "Set point command, scaled value",
+    TypeID.C_SE_NC_1: "Set point command, short floating point number",
+    TypeID.C_BO_NA_1: "Bitstring of 32 bits",
+    TypeID.C_SC_TA_1: "Single command with time tag CP56Time2a",
+    TypeID.C_DC_TA_1: "Double command with time tag CP56Time2a",
+    TypeID.C_RC_TA_1: "Regulating step command with time tag CP56Time2a",
+    TypeID.C_SE_TA_1:
+        "Set point command, normalized value with time tag CP56Time2a",
+    TypeID.C_SE_TB_1:
+        "Set point command, scaled value with time tag CP56Time2a",
+    TypeID.C_SE_TC_1:
+        "Set point command, short floating point with time tag CP56Time2a",
+    TypeID.C_BO_TA_1: "Bitstring of 32 bits with time tag CP56Time2a",
+    TypeID.M_EI_NA_1: "End of initialization",
+    TypeID.C_IC_NA_1: "Interrogation command",
+    TypeID.C_CI_NA_1: "Counter interrogation command",
+    TypeID.C_RD_NA_1: "Read command",
+    TypeID.C_CS_NA_1: "Clock synchronization command",
+    TypeID.C_RP_NA_1: "Reset process command",
+    TypeID.C_TS_TA_1: "Test command with time tag CP56Time2a",
+    TypeID.P_ME_NA_1: "Parameter of measured value, normalized value",
+    TypeID.P_ME_NB_1: "Parameter of measured value, scaled value",
+    TypeID.P_ME_NC_1:
+        "Parameter of measured value, short floating-point number",
+    TypeID.P_AC_NA_1: "Parameter activation",
+    TypeID.F_FR_NA_1: "File ready",
+    TypeID.F_SR_NA_1: "Section ready",
+    TypeID.F_SC_NA_1: "Call directory, select file, call file, call section",
+    TypeID.F_LS_NA_1: "Last section, last segment",
+    TypeID.F_AF_NA_1: "Ack file, ack section",
+    TypeID.F_SG_NA_1: "Segment",
+    TypeID.F_DR_TA_1: "Directory",
+    TypeID.F_SC_NB_1: "Query Log, Request archive file",
+}
+
+#: The 13 typeIDs actually observed in the paper's datasets (Table 7).
+OBSERVED_TYPE_IDS: tuple[TypeID, ...] = (
+    TypeID.M_ME_TF_1,   # I36, 65.1% of ASDUs
+    TypeID.M_ME_NC_1,   # I13, 31.7%
+    TypeID.M_ME_NA_1,   # I9
+    TypeID.C_SE_NC_1,   # I50 (AGC set points)
+    TypeID.M_DP_NA_1,   # I3
+    TypeID.M_ST_NA_1,   # I5
+    TypeID.C_IC_NA_1,   # I100 (interrogation)
+    TypeID.C_CS_NA_1,   # I103
+    TypeID.M_SP_TB_1,   # I30
+    TypeID.M_EI_NA_1,   # I70
+    TypeID.M_DP_TB_1,   # I31
+    TypeID.M_SP_NA_1,   # I1
+    TypeID.M_BO_NA_1,   # I7
+)
+
+
+class Cause(enum.IntEnum):
+    """Cause of transmission (COT) codes."""
+
+    PERIODIC = 1
+    BACKGROUND = 2
+    SPONTANEOUS = 3
+    INITIALIZED = 4
+    REQUEST = 5
+    ACTIVATION = 6
+    ACTIVATION_CON = 7
+    DEACTIVATION = 8
+    DEACTIVATION_CON = 9
+    ACTIVATION_TERMINATION = 10
+    RETURN_INFO_REMOTE = 11
+    RETURN_INFO_LOCAL = 12
+    FILE_TRANSFER = 13
+    INTERROGATED_BY_STATION = 20
+    INTERROGATED_BY_GROUP_1 = 21
+    INTERROGATED_BY_GROUP_2 = 22
+    INTERROGATED_BY_GROUP_3 = 23
+    INTERROGATED_BY_GROUP_4 = 24
+    INTERROGATED_BY_GROUP_5 = 25
+    INTERROGATED_BY_GROUP_6 = 26
+    INTERROGATED_BY_GROUP_7 = 27
+    INTERROGATED_BY_GROUP_8 = 28
+    INTERROGATED_BY_GROUP_9 = 29
+    INTERROGATED_BY_GROUP_10 = 30
+    INTERROGATED_BY_GROUP_11 = 31
+    INTERROGATED_BY_GROUP_12 = 32
+    INTERROGATED_BY_GROUP_13 = 33
+    INTERROGATED_BY_GROUP_14 = 34
+    INTERROGATED_BY_GROUP_15 = 35
+    INTERROGATED_BY_GROUP_16 = 36
+    COUNTER_INTERROGATION_GENERAL = 37
+    COUNTER_INTERROGATION_GROUP_1 = 38
+    COUNTER_INTERROGATION_GROUP_2 = 39
+    COUNTER_INTERROGATION_GROUP_3 = 40
+    COUNTER_INTERROGATION_GROUP_4 = 41
+    UNKNOWN_TYPE_ID = 44
+    UNKNOWN_CAUSE = 45
+    UNKNOWN_COMMON_ADDRESS = 46
+    UNKNOWN_IOA = 47
+
+
+@dataclass(frozen=True)
+class ProtocolTimers:
+    """The four IEC 104 timers (Section 4 of the paper).
+
+    All values in seconds; defaults are the standard's defaults. The paper
+    attributes the cluster-0 outlier (C2-O30) to a misconfigured ``t3``.
+    """
+
+    t0: float = 30.0  # connection establishment timeout
+    t1: float = 15.0  # send/test APDU timeout (triggers close/switchover)
+    t2: float = 10.0  # acknowledgement timeout (triggers S-format), t2 < t1
+    t3: float = 20.0  # idle timeout (triggers TESTFR keep-alive)
+
+    def __post_init__(self) -> None:
+        if self.t2 >= self.t1:
+            raise ValueError(f"T2 ({self.t2}) must be < T1 ({self.t1})")
+        if min(self.t0, self.t1, self.t2, self.t3) <= 0:
+            raise ValueError("all timers must be positive")
+
+
+#: Default maximum number of unacknowledged I-format APDUs (send window).
+DEFAULT_K = 12
+
+#: Default number of I-format APDUs received before an S-format ack.
+DEFAULT_W = 8

@@ -1,0 +1,71 @@
+"""Exception hierarchy for the IEC 60870-5-104 codec.
+
+Every decoding failure raises a subclass of :class:`IEC104Error` carrying
+enough context (offset, raw bytes) to support the compliance analysis of
+Section 6.1 of the paper, where malformed packets must be *explained*,
+not merely rejected.
+"""
+
+from __future__ import annotations
+
+
+class IEC104Error(Exception):
+    """Base class for all IEC 104 protocol errors."""
+
+
+class FramingError(IEC104Error):
+    """The APCI framing is invalid (bad start byte or length)."""
+
+    def __init__(self, message: str, offset: int = 0):
+        super().__init__(message)
+        self.offset = offset
+
+
+class TruncatedError(IEC104Error):
+    """The buffer ended before a complete APDU could be read."""
+
+    def __init__(self, message: str, needed: int = 0, available: int = 0):
+        super().__init__(message)
+        self.needed = needed
+        self.available = available
+
+
+class ControlFieldError(IEC104Error):
+    """The 4-octet APCI control field does not match any APDU format."""
+
+
+class UnknownTypeIDError(IEC104Error):
+    """The ASDU type identification octet is not an IEC 104 typeID."""
+
+    def __init__(self, type_id: int):
+        super().__init__(f"unknown ASDU typeID {type_id}")
+        self.type_id = type_id
+
+
+class MalformedASDUError(IEC104Error):
+    """The ASDU body cannot be decoded with the active link profile.
+
+    This is the error a standard-compliant parser (e.g. Wireshark) raises
+    on the non-compliant packets of Section 6.1; the tolerant parser
+    recovers from it by switching link profiles.
+    """
+
+    def __init__(self, message: str, *, type_id: int | None = None,
+                 trailing: int = 0):
+        super().__init__(message)
+        self.type_id = type_id
+        #: Number of undecoded octets left in the ASDU (positive when the
+        #: profile consumed too little, indicating field-width mismatch).
+        self.trailing = trailing
+
+
+class InvalidIOAError(MalformedASDUError):
+    """An information object address is outside the valid range."""
+
+
+class SequenceError(IEC104Error):
+    """A send/receive sequence number violated the protocol window."""
+
+
+class StateError(IEC104Error):
+    """An APDU arrived that is illegal in the current connection state."""

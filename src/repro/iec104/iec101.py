@@ -1,0 +1,208 @@
+"""IEC 60870-5-101 serial link layer (FT1.2 framing).
+
+The paper's network contains three kinds of substations; those on
+serial links speak IEC 101, which the system operator cannot see at
+the 104 tap. IEC 101 matters to the paper because upgraded RTUs kept
+its *field widths* inside their 104 frames (§6.1). This module
+implements the 101 side: FT1.2 frames over a byte-oriented line,
+carrying ASDUs with IEC 101's narrow field widths.
+
+FT1.2 defines three frame formats:
+
+* single control character ``0xE5`` (positive acknowledgement);
+* fixed-length frame ``0x10 C A CS 0x16`` (link-layer services);
+* variable-length frame ``0x68 L L 0x68 C A <ASDU> CS 0x16`` where L
+  counts C + A + ASDU octets and CS is their modulo-256 sum.
+
+The control octet C carries PRM (primary message, 0x40), FCB (frame
+count bit, 0x20), FCV (FCB valid, 0x10) and a 4-bit function code.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from .asdu import ASDU
+from .errors import FramingError, IEC104Error, TruncatedError
+from .profiles import LinkProfile
+
+#: IEC 101's classic narrow field widths (cf. paper Fig. 7).
+IEC101_PROFILE = LinkProfile(cot_length=1, ioa_length=2,
+                             common_address_length=1)
+
+ACK_CHAR = 0xE5
+_FIXED_START = 0x10
+_VARIABLE_START = 0x68
+_END = 0x16
+
+
+class LinkFunction(enum.IntEnum):
+    """FT1.2 function codes (balanced transmission subset)."""
+
+    # Primary (PRM=1)
+    RESET_LINK = 0
+    TEST_LINK = 2
+    USER_DATA_CONFIRMED = 3
+    USER_DATA_UNCONFIRMED = 4
+    REQUEST_LINK_STATUS = 9
+    # Secondary (PRM=0)
+    ACK = 0
+    NACK = 1
+    LINK_STATUS = 11
+
+
+@dataclass(frozen=True)
+class LinkControl:
+    """The FT1.2 control octet."""
+
+    function: int
+    prm: bool = True
+    fcb: bool = False
+    fcv: bool = False
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.function <= 15:
+            raise ValueError("function code must fit in 4 bits")
+
+    def encode(self) -> int:
+        return (self.function
+                | (0x40 if self.prm else 0)
+                | (0x20 if self.fcb else 0)
+                | (0x10 if self.fcv else 0))
+
+    @classmethod
+    def decode(cls, octet: int) -> "LinkControl":
+        if octet & 0x80:
+            raise FramingError("reserved bit set in control octet")
+        return cls(function=octet & 0x0F, prm=bool(octet & 0x40),
+                   fcb=bool(octet & 0x20), fcv=bool(octet & 0x10))
+
+
+@dataclass(frozen=True)
+class Ft12Frame:
+    """One decoded FT1.2 frame."""
+
+    control: LinkControl
+    address: int
+    asdu_bytes: bytes = b""
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.address <= 255:
+            raise ValueError("link address must fit in one octet")
+
+    @property
+    def is_ack(self) -> bool:
+        return False
+
+    def decode_asdu(self, profile: LinkProfile = IEC101_PROFILE) -> ASDU:
+        if not self.asdu_bytes:
+            raise IEC104Error("frame carries no ASDU")
+        return ASDU.decode(self.asdu_bytes, profile)
+
+
+@dataclass(frozen=True)
+class AckFrame:
+    """The single-character positive acknowledgement (0xE5)."""
+
+    is_ack = True
+
+
+def _checksum(data: bytes) -> int:
+    return sum(data) & 0xFF
+
+
+def encode_fixed(control: LinkControl, address: int) -> bytes:
+    body = bytes((control.encode(), address))
+    return bytes((_FIXED_START,)) + body + bytes((_checksum(body), _END))
+
+
+def encode_variable(control: LinkControl, address: int,
+                    asdu: ASDU | bytes,
+                    profile: LinkProfile = IEC101_PROFILE) -> bytes:
+    asdu_bytes = asdu if isinstance(asdu, bytes) else asdu.encode(profile)
+    body = bytes((control.encode(), address)) + asdu_bytes
+    if len(body) > 255:
+        raise FramingError("FT1.2 body exceeds 255 octets")
+    return (bytes((_VARIABLE_START, len(body), len(body),
+                   _VARIABLE_START))
+            + body + bytes((_checksum(body), _END)))
+
+
+def encode_ack() -> bytes:
+    return bytes((ACK_CHAR,))
+
+
+def decode_frame(data: bytes | memoryview, offset: int = 0
+                 ) -> tuple[Ft12Frame | AckFrame, int]:
+    """Decode one FT1.2 frame at ``offset``; return (frame, consumed)."""
+    view = memoryview(bytes(data))[offset:]
+    if len(view) < 1:
+        raise TruncatedError("empty buffer", needed=1, available=0)
+    start = view[0]
+    if start == ACK_CHAR:
+        return AckFrame(), 1
+    if start == _FIXED_START:
+        if len(view) < 5:
+            raise TruncatedError("fixed frame truncated", needed=5,
+                                 available=len(view))
+        control_octet, address, checksum, end = view[1:5]
+        if end != _END:
+            raise FramingError("fixed frame missing end character")
+        if _checksum(bytes((control_octet, address))) != checksum:
+            raise FramingError("fixed frame checksum mismatch")
+        return (Ft12Frame(control=LinkControl.decode(control_octet),
+                          address=address), 5)
+    if start == _VARIABLE_START:
+        if len(view) < 4:
+            raise TruncatedError("variable frame header truncated",
+                                 needed=4, available=len(view))
+        length, length2, second = view[1], view[2], view[3]
+        if length != length2:
+            raise FramingError("length octets disagree")
+        if second != _VARIABLE_START:
+            raise FramingError("second start octet missing")
+        total = 4 + length + 2
+        if len(view) < total:
+            raise TruncatedError("variable frame truncated",
+                                 needed=total, available=len(view))
+        body = bytes(view[4:4 + length])
+        checksum, end = view[4 + length], view[5 + length]
+        if end != _END:
+            raise FramingError("variable frame missing end character")
+        if _checksum(body) != checksum:
+            raise FramingError("variable frame checksum mismatch")
+        if length < 2:
+            raise FramingError("body too short for control + address")
+        return (Ft12Frame(control=LinkControl.decode(body[0]),
+                          address=body[1], asdu_bytes=body[2:]), total)
+    raise FramingError(f"not an FT1.2 start character: 0x{start:02x}")
+
+
+class SerialLine:
+    """A byte stream splitting incoming data into FT1.2 frames."""
+
+    def __init__(self) -> None:
+        self._buffer = b""
+        self.garbage = 0
+
+    def feed(self, data: bytes) -> list[Ft12Frame | AckFrame]:
+        self._buffer += data
+        frames: list[Ft12Frame | AckFrame] = []
+        while self._buffer:
+            try:
+                frame, consumed = decode_frame(self._buffer)
+            except TruncatedError:
+                break
+            except FramingError:
+                # Byte-level resync: skip one octet and retry.
+                self._buffer = self._buffer[1:]
+                self.garbage += 1
+                continue
+            frames.append(frame)
+            self._buffer = self._buffer[consumed:]
+        return frames
+
+    @property
+    def pending(self) -> int:
+        return len(self._buffer)

@@ -1,0 +1,1455 @@
+"""Information elements for every IEC 104 ASDU typeID.
+
+Each of the 54 typeIDs of Table 5 carries a fixed (or, for file
+segments, variable) information-element layout after the information
+object address. This module defines one value class per element family
+and a registry of per-typeID codecs used by :mod:`repro.iec104.asdu`.
+
+Time-tagged typeIDs (e.g. I36 vs I13) reuse the un-tagged value class
+with a non-``None`` ``time`` field rather than duplicating classes.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field, replace
+
+from .constants import TypeID
+from .errors import MalformedASDUError
+from .time_tag import CP16_SIZE, CP56_SIZE, CP16Time2a, CP56Time2a
+
+_FLOAT = struct.Struct("<f")
+_INT16 = struct.Struct("<h")
+_INT32 = struct.Struct("<i")
+_UINT32 = struct.Struct("<I")
+
+
+@dataclass(frozen=True)
+class Quality:
+    """Quality descriptor (QDS) bits shared by monitor-direction types."""
+
+    overflow: bool = False
+    blocked: bool = False
+    substituted: bool = False
+    not_topical: bool = False
+    invalid: bool = False
+
+    def encode(self) -> int:
+        return ((0x01 if self.overflow else 0)
+                | (0x10 if self.blocked else 0)
+                | (0x20 if self.substituted else 0)
+                | (0x40 if self.not_topical else 0)
+                | (0x80 if self.invalid else 0))
+
+    @classmethod
+    def decode(cls, octet: int) -> "Quality":
+        return cls(overflow=bool(octet & 0x01),
+                   blocked=bool(octet & 0x10),
+                   substituted=bool(octet & 0x20),
+                   not_topical=bool(octet & 0x40),
+                   invalid=bool(octet & 0x80))
+
+    @property
+    def good(self) -> bool:
+        """True when no quality bit marks the value unusable."""
+        return not (self.invalid or self.not_topical or self.blocked)
+
+
+GOOD = Quality()
+
+
+@dataclass(frozen=True)
+class SinglePoint:
+    """SIQ: single-point information (typeIDs 1 and 30)."""
+
+    value: bool
+    quality: Quality = GOOD
+    time: CP56Time2a | None = None
+
+
+@dataclass(frozen=True)
+class DoublePoint:
+    """DIQ: double-point information (typeIDs 3 and 31).
+
+    ``state``: 0 indeterminate/intermediate, 1 OFF, 2 ON, 3 indeterminate.
+    The paper's Fig. 20 breaker status uses exactly these states.
+    """
+
+    state: int
+    quality: Quality = GOOD
+    time: CP56Time2a | None = None
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.state <= 3:
+            raise ValueError(f"double-point state {self.state} out of range")
+
+    @property
+    def value(self) -> int:
+        return self.state
+
+
+@dataclass(frozen=True)
+class StepPosition:
+    """VTI + QDS: step position, -64..63 (typeIDs 5 and 32)."""
+
+    value: int
+    transient: bool = False
+    quality: Quality = GOOD
+    time: CP56Time2a | None = None
+
+    def __post_init__(self) -> None:
+        if not -64 <= self.value <= 63:
+            raise ValueError(f"step position {self.value} out of range")
+
+
+@dataclass(frozen=True)
+class Bitstring32:
+    """BSI + QDS: bitstring of 32 bits (typeIDs 7 and 33)."""
+
+    bits: int
+    quality: Quality = GOOD
+    time: CP56Time2a | None = None
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.bits <= 0xFFFFFFFF:
+            raise ValueError("bitstring must fit in 32 bits")
+
+    @property
+    def value(self) -> int:
+        return self.bits
+
+
+@dataclass(frozen=True)
+class NormalizedValue:
+    """NVA + QDS: normalized measured value in [-1, 1) (typeIDs 9, 34).
+
+    TypeID 21 (M_ME_ND_1) carries the NVA without a quality descriptor;
+    its codec ignores ``quality`` on encode and restores ``GOOD``.
+    """
+
+    value: float
+    quality: Quality = GOOD
+    time: CP56Time2a | None = None
+
+    def __post_init__(self) -> None:
+        if not -1.0 <= self.value < 1.0 + 2 ** -15:
+            raise ValueError(f"normalized value {self.value} out of [-1, 1)")
+
+    @property
+    def raw(self) -> int:
+        return max(-32768, min(32767, int(round(self.value * 32768.0))))
+
+    @classmethod
+    def from_raw(cls, raw: int, **kwargs) -> "NormalizedValue":
+        return cls(value=raw / 32768.0, **kwargs)
+
+
+@dataclass(frozen=True)
+class ScaledValue:
+    """SVA + QDS: scaled measured value, 16-bit signed (typeIDs 11, 35)."""
+
+    value: int
+    quality: Quality = GOOD
+    time: CP56Time2a | None = None
+
+    def __post_init__(self) -> None:
+        if not -32768 <= self.value <= 32767:
+            raise ValueError(f"scaled value {self.value} out of int16 range")
+
+
+@dataclass(frozen=True)
+class ShortFloat:
+    """R32 + QDS: short floating point measured value (typeIDs 13, 36).
+
+    These two typeIDs carry 97% of the ASDUs in the paper's datasets.
+    """
+
+    value: float
+    quality: Quality = GOOD
+    time: CP56Time2a | None = None
+
+
+@dataclass(frozen=True)
+class IntegratedTotals:
+    """BCR: binary counter reading (typeIDs 15, 37)."""
+
+    counter: int
+    sequence: int = 0
+    carry: bool = False
+    adjusted: bool = False
+    invalid: bool = False
+    time: CP56Time2a | None = None
+
+    def __post_init__(self) -> None:
+        if not -(2 ** 31) <= self.counter < 2 ** 31:
+            raise ValueError("counter must fit in int32")
+        if not 0 <= self.sequence <= 31:
+            raise ValueError("BCR sequence out of range")
+
+    @property
+    def value(self) -> int:
+        return self.counter
+
+
+@dataclass(frozen=True)
+class PackedSinglePoints:
+    """SCD + QDS: 16 status bits + 16 change-detection bits (typeID 20)."""
+
+    status: int
+    change: int
+    quality: Quality = GOOD
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.status <= 0xFFFF or not 0 <= self.change <= 0xFFFF:
+            raise ValueError("SCD fields must fit in 16 bits")
+
+    @property
+    def value(self) -> int:
+        return self.status
+
+
+@dataclass(frozen=True)
+class ProtectionEvent:
+    """SEP + CP16 + CP56: event of protection equipment (typeID 38)."""
+
+    event_state: int  # 0..3 (like DoublePoint)
+    elapsed: CP16Time2a = field(default_factory=CP16Time2a)
+    quality: Quality = GOOD
+    time: CP56Time2a = field(default_factory=CP56Time2a)
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.event_state <= 3:
+            raise ValueError("protection event state out of range")
+
+
+@dataclass(frozen=True)
+class ProtectionStartEvents:
+    """SPE + QDP + CP16 + CP56 (typeID 39)."""
+
+    start_events: int  # 6 bits
+    quality: Quality = GOOD
+    duration: CP16Time2a = field(default_factory=CP16Time2a)
+    time: CP56Time2a = field(default_factory=CP56Time2a)
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.start_events <= 0x3F:
+            raise ValueError("SPE must fit in 6 bits")
+
+
+@dataclass(frozen=True)
+class ProtectionOutputCircuit:
+    """OCI + QDP + CP16 + CP56 (typeID 40)."""
+
+    output_circuits: int  # 4 bits
+    quality: Quality = GOOD
+    operating_time: CP16Time2a = field(default_factory=CP16Time2a)
+    time: CP56Time2a = field(default_factory=CP56Time2a)
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.output_circuits <= 0x0F:
+            raise ValueError("OCI must fit in 4 bits")
+
+
+@dataclass(frozen=True)
+class SingleCommand:
+    """SCO: single command (typeIDs 45, 58)."""
+
+    state: bool
+    qualifier: int = 0  # QU, 0..31
+    select: bool = False  # S/E bit: select (True) vs execute (False)
+    time: CP56Time2a | None = None
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.qualifier <= 31:
+            raise ValueError("command qualifier out of range")
+
+    @property
+    def value(self) -> bool:
+        return self.state
+
+
+@dataclass(frozen=True)
+class DoubleCommand:
+    """DCO: double command (typeIDs 46, 59). state: 1 OFF, 2 ON."""
+
+    state: int
+    qualifier: int = 0
+    select: bool = False
+    time: CP56Time2a | None = None
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.state <= 3:
+            raise ValueError("double command state out of range")
+        if not 0 <= self.qualifier <= 31:
+            raise ValueError("command qualifier out of range")
+
+    @property
+    def value(self) -> int:
+        return self.state
+
+
+@dataclass(frozen=True)
+class RegulatingStep:
+    """RCO: regulating step command (typeIDs 47, 60). 1 LOWER, 2 HIGHER."""
+
+    step: int
+    qualifier: int = 0
+    select: bool = False
+    time: CP56Time2a | None = None
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.step <= 3:
+            raise ValueError("regulating step out of range")
+        if not 0 <= self.qualifier <= 31:
+            raise ValueError("command qualifier out of range")
+
+    @property
+    def value(self) -> int:
+        return self.step
+
+
+@dataclass(frozen=True)
+class SetpointNormalized:
+    """NVA + QOS: set point command, normalized (typeIDs 48, 61)."""
+
+    value: float
+    ql: int = 0
+    select: bool = False
+    time: CP56Time2a | None = None
+
+    def __post_init__(self) -> None:
+        if not -1.0 <= self.value < 1.0 + 2 ** -15:
+            raise ValueError("normalized set point out of [-1, 1)")
+        if not 0 <= self.ql <= 127:
+            raise ValueError("QOS ql out of range")
+
+
+@dataclass(frozen=True)
+class SetpointScaled:
+    """SVA + QOS: set point command, scaled (typeIDs 49, 62)."""
+
+    value: int
+    ql: int = 0
+    select: bool = False
+    time: CP56Time2a | None = None
+
+    def __post_init__(self) -> None:
+        if not -32768 <= self.value <= 32767:
+            raise ValueError("scaled set point out of int16 range")
+        if not 0 <= self.ql <= 127:
+            raise ValueError("QOS ql out of range")
+
+
+@dataclass(frozen=True)
+class SetpointFloat:
+    """R32 + QOS: set point command, short float (typeIDs 50, 63).
+
+    TypeID 50 is the AGC set-point command observed in the paper
+    (Table 8, symbol AGC-SP).
+    """
+
+    value: float
+    ql: int = 0
+    select: bool = False
+    time: CP56Time2a | None = None
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.ql <= 127:
+            raise ValueError("QOS ql out of range")
+
+
+@dataclass(frozen=True)
+class Bitstring32Command:
+    """BSI: bitstring command (typeIDs 51, 64)."""
+
+    bits: int
+    time: CP56Time2a | None = None
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.bits <= 0xFFFFFFFF:
+            raise ValueError("bitstring must fit in 32 bits")
+
+    @property
+    def value(self) -> int:
+        return self.bits
+
+
+@dataclass(frozen=True)
+class EndOfInitialization:
+    """COI: cause of initialization (typeID 70)."""
+
+    cause: int = 0  # 0 local power on, 1 local manual, 2 remote reset
+    after_parameter_change: bool = False
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.cause <= 127:
+            raise ValueError("COI cause out of range")
+
+
+@dataclass(frozen=True)
+class InterrogationCommand:
+    """QOI: qualifier of interrogation (typeID 100, the paper's I100).
+
+    ``qoi`` 20 requests a (global) station interrogation; 21..36 request
+    group interrogations.
+    """
+
+    qoi: int = 20
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.qoi <= 255:
+            raise ValueError("QOI out of range")
+
+    @property
+    def is_global(self) -> bool:
+        return self.qoi == 20
+
+
+@dataclass(frozen=True)
+class CounterInterrogationCommand:
+    """QCC: qualifier of counter interrogation (typeID 101)."""
+
+    request: int = 5  # RQT: 5 = general counter request
+    freeze: int = 0   # FRZ
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.request <= 63:
+            raise ValueError("QCC request out of range")
+        if not 0 <= self.freeze <= 3:
+            raise ValueError("QCC freeze out of range")
+
+
+@dataclass(frozen=True)
+class ReadCommand:
+    """TypeID 102 carries no information element after the IOA."""
+
+
+@dataclass(frozen=True)
+class ClockSyncCommand:
+    """CP56Time2a: clock synchronization (typeID 103, the paper's I103)."""
+
+    time: CP56Time2a = field(default_factory=CP56Time2a)
+
+
+@dataclass(frozen=True)
+class ResetProcessCommand:
+    """QRP: qualifier of reset process (typeID 105)."""
+
+    qrp: int = 1
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.qrp <= 255:
+            raise ValueError("QRP out of range")
+
+
+@dataclass(frozen=True)
+class TestCommand:
+    """TSC + CP56Time2a: test command with time tag (typeID 107)."""
+
+    __test__ = False  # keep pytest from collecting this dataclass
+
+    counter: int = 0
+    time: CP56Time2a = field(default_factory=CP56Time2a)
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.counter <= 0xFFFF:
+            raise ValueError("test counter must fit in 16 bits")
+
+
+@dataclass(frozen=True)
+class ParameterNormalized:
+    """NVA + QPM (typeID 110)."""
+
+    value: float
+    qpm: int = 1
+
+    def __post_init__(self) -> None:
+        if not -1.0 <= self.value < 1.0 + 2 ** -15:
+            raise ValueError("normalized parameter out of [-1, 1)")
+        if not 0 <= self.qpm <= 255:
+            raise ValueError("QPM out of range")
+
+
+@dataclass(frozen=True)
+class ParameterScaled:
+    """SVA + QPM (typeID 111)."""
+
+    value: int
+    qpm: int = 1
+
+    def __post_init__(self) -> None:
+        if not -32768 <= self.value <= 32767:
+            raise ValueError("scaled parameter out of int16 range")
+        if not 0 <= self.qpm <= 255:
+            raise ValueError("QPM out of range")
+
+
+@dataclass(frozen=True)
+class ParameterFloat:
+    """R32 + QPM (typeID 112)."""
+
+    value: float
+    qpm: int = 1
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.qpm <= 255:
+            raise ValueError("QPM out of range")
+
+
+@dataclass(frozen=True)
+class ParameterActivation:
+    """QPA (typeID 113)."""
+
+    qpa: int = 1
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.qpa <= 255:
+            raise ValueError("QPA out of range")
+
+
+@dataclass(frozen=True)
+class FileReady:
+    """NOF + LOF + FRQ (typeID 120)."""
+
+    file_name: int
+    file_length: int
+    qualifier: int = 0
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.file_name <= 0xFFFF:
+            raise ValueError("NOF must fit in 16 bits")
+        if not 0 <= self.file_length <= 0xFFFFFF:
+            raise ValueError("LOF must fit in 24 bits")
+        if not 0 <= self.qualifier <= 255:
+            raise ValueError("FRQ out of range")
+
+
+@dataclass(frozen=True)
+class SectionReady:
+    """NOF + NOS + LOF + SRQ (typeID 121)."""
+
+    file_name: int
+    section: int
+    section_length: int
+    qualifier: int = 0
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.file_name <= 0xFFFF:
+            raise ValueError("NOF must fit in 16 bits")
+        if not 0 <= self.section <= 255:
+            raise ValueError("NOS out of range")
+        if not 0 <= self.section_length <= 0xFFFFFF:
+            raise ValueError("LOF must fit in 24 bits")
+        if not 0 <= self.qualifier <= 255:
+            raise ValueError("SRQ out of range")
+
+
+@dataclass(frozen=True)
+class CallFile:
+    """NOF + NOS + SCQ (typeID 122)."""
+
+    file_name: int
+    section: int = 0
+    qualifier: int = 0
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.file_name <= 0xFFFF:
+            raise ValueError("NOF must fit in 16 bits")
+        if not 0 <= self.section <= 255:
+            raise ValueError("NOS out of range")
+        if not 0 <= self.qualifier <= 255:
+            raise ValueError("SCQ out of range")
+
+
+@dataclass(frozen=True)
+class LastSection:
+    """NOF + NOS + LSQ + CHS (typeID 123)."""
+
+    file_name: int
+    section: int = 0
+    qualifier: int = 0
+    checksum: int = 0
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.file_name <= 0xFFFF:
+            raise ValueError("NOF must fit in 16 bits")
+        for name, value in (("NOS", self.section), ("LSQ", self.qualifier),
+                            ("CHS", self.checksum)):
+            if not 0 <= value <= 255:
+                raise ValueError(f"{name} out of range")
+
+
+@dataclass(frozen=True)
+class AckFile:
+    """NOF + NOS + AFQ (typeID 124)."""
+
+    file_name: int
+    section: int = 0
+    qualifier: int = 0
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.file_name <= 0xFFFF:
+            raise ValueError("NOF must fit in 16 bits")
+        if not 0 <= self.section <= 255 or not 0 <= self.qualifier <= 255:
+            raise ValueError("NOS/AFQ out of range")
+
+
+@dataclass(frozen=True)
+class Segment:
+    """NOF + NOS + LOS + data (typeID 125, variable length)."""
+
+    file_name: int
+    section: int
+    data: bytes
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.file_name <= 0xFFFF:
+            raise ValueError("NOF must fit in 16 bits")
+        if not 0 <= self.section <= 255:
+            raise ValueError("NOS out of range")
+        if len(self.data) > 255:
+            raise ValueError("segment data exceeds 255 octets")
+
+
+@dataclass(frozen=True)
+class Directory:
+    """NOF + LOF + SOF + CP56 (typeID 126)."""
+
+    file_name: int
+    file_length: int
+    status: int = 0
+    time: CP56Time2a = field(default_factory=CP56Time2a)
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.file_name <= 0xFFFF:
+            raise ValueError("NOF must fit in 16 bits")
+        if not 0 <= self.file_length <= 0xFFFFFF:
+            raise ValueError("LOF must fit in 24 bits")
+        if not 0 <= self.status <= 255:
+            raise ValueError("SOF out of range")
+
+
+@dataclass(frozen=True)
+class QueryLog:
+    """NOF + start CP56 + stop CP56 (typeID 127)."""
+
+    file_name: int
+    start: CP56Time2a = field(default_factory=CP56Time2a)
+    stop: CP56Time2a = field(default_factory=CP56Time2a)
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.file_name <= 0xFFFF:
+            raise ValueError("NOF must fit in 16 bits")
+
+
+# ---------------------------------------------------------------------------
+# Wire codecs
+# ---------------------------------------------------------------------------
+
+class ElementCodec:
+    """Encode/decode one information element for a specific typeID.
+
+    ``size`` is the fixed on-wire size in octets, or ``None`` for the
+    variable-length file segment (typeID 125).
+    """
+
+    #: Value class accepted by :meth:`encode`.
+    element_type: type = object
+    size: int | None = 0
+    #: True when the element carries a trailing CP56Time2a.
+    timed: bool = False
+
+    def encode(self, element) -> bytes:
+        raise NotImplementedError
+
+    def decode(self, data: memoryview, offset: int):
+        """Return ``(element, octets_consumed)``."""
+        raise NotImplementedError
+
+    def _need(self, data: memoryview, offset: int, count: int) -> bytes:
+        raw = bytes(data[offset:offset + count])
+        if len(raw) < count:
+            raise MalformedASDUError(
+                f"information element truncated: need {count} octets, "
+                f"have {len(raw)}")
+        return raw
+
+
+def _encode_time(element, timed: bool) -> bytes:
+    if timed:
+        if element.time is None:
+            raise ValueError("time-tagged typeID requires a time tag")
+        return element.time.encode()
+    if getattr(element, "time", None) is not None:
+        raise ValueError("un-tagged typeID must not carry a time tag")
+    return b""
+
+
+class _SinglePointCodec(ElementCodec):
+    element_type = SinglePoint
+
+    def __init__(self, timed: bool = False):
+        self.timed = timed
+        self.size = 1 + (CP56_SIZE if timed else 0)
+
+    def encode(self, element: SinglePoint) -> bytes:
+        siq = (0x01 if element.value else 0) | (element.quality.encode()
+                                                & 0xF0)
+        return bytes((siq,)) + _encode_time(element, self.timed)
+
+    def decode(self, data: memoryview, offset: int):
+        raw = self._need(data, offset, self.size)
+        element = SinglePoint(
+            value=bool(raw[0] & 0x01),
+            quality=Quality.decode(raw[0] & 0xF0),
+            time=CP56Time2a.decode(raw, 1) if self.timed else None)
+        return element, self.size
+
+
+class _DoublePointCodec(ElementCodec):
+    element_type = DoublePoint
+
+    def __init__(self, timed: bool = False):
+        self.timed = timed
+        self.size = 1 + (CP56_SIZE if timed else 0)
+
+    def encode(self, element: DoublePoint) -> bytes:
+        diq = (element.state & 0x03) | (element.quality.encode() & 0xF0)
+        return bytes((diq,)) + _encode_time(element, self.timed)
+
+    def decode(self, data: memoryview, offset: int):
+        raw = self._need(data, offset, self.size)
+        element = DoublePoint(
+            state=raw[0] & 0x03,
+            quality=Quality.decode(raw[0] & 0xF0),
+            time=CP56Time2a.decode(raw, 1) if self.timed else None)
+        return element, self.size
+
+
+class _StepPositionCodec(ElementCodec):
+    element_type = StepPosition
+
+    def __init__(self, timed: bool = False):
+        self.timed = timed
+        self.size = 2 + (CP56_SIZE if timed else 0)
+
+    def encode(self, element: StepPosition) -> bytes:
+        vti = (element.value & 0x7F) | (0x80 if element.transient else 0)
+        return (bytes((vti, element.quality.encode()))
+                + _encode_time(element, self.timed))
+
+    def decode(self, data: memoryview, offset: int):
+        raw = self._need(data, offset, self.size)
+        value = raw[0] & 0x7F
+        if value >= 64:
+            value -= 128
+        element = StepPosition(
+            value=value,
+            transient=bool(raw[0] & 0x80),
+            quality=Quality.decode(raw[1]),
+            time=CP56Time2a.decode(raw, 2) if self.timed else None)
+        return element, self.size
+
+
+class _Bitstring32Codec(ElementCodec):
+    element_type = Bitstring32
+
+    def __init__(self, timed: bool = False):
+        self.timed = timed
+        self.size = 5 + (CP56_SIZE if timed else 0)
+
+    def encode(self, element: Bitstring32) -> bytes:
+        return (_UINT32.pack(element.bits)
+                + bytes((element.quality.encode(),))
+                + _encode_time(element, self.timed))
+
+    def decode(self, data: memoryview, offset: int):
+        raw = self._need(data, offset, self.size)
+        element = Bitstring32(
+            bits=_UINT32.unpack_from(raw)[0],
+            quality=Quality.decode(raw[4]),
+            time=CP56Time2a.decode(raw, 5) if self.timed else None)
+        return element, self.size
+
+
+class _NormalizedCodec(ElementCodec):
+    element_type = NormalizedValue
+
+    def __init__(self, timed: bool = False, with_quality: bool = True):
+        self.timed = timed
+        self.with_quality = with_quality
+        self.size = 2 + (1 if with_quality else 0) + (CP56_SIZE if timed
+                                                      else 0)
+
+    def encode(self, element: NormalizedValue) -> bytes:
+        out = _INT16.pack(element.raw)
+        if self.with_quality:
+            out += bytes((element.quality.encode(),))
+        return out + _encode_time(element, self.timed)
+
+    def decode(self, data: memoryview, offset: int):
+        raw = self._need(data, offset, self.size)
+        quality = Quality.decode(raw[2]) if self.with_quality else GOOD
+        tail = 2 + (1 if self.with_quality else 0)
+        element = NormalizedValue.from_raw(
+            _INT16.unpack_from(raw)[0], quality=quality,
+            time=CP56Time2a.decode(raw, tail) if self.timed else None)
+        return element, self.size
+
+
+class _ScaledCodec(ElementCodec):
+    element_type = ScaledValue
+
+    def __init__(self, timed: bool = False):
+        self.timed = timed
+        self.size = 3 + (CP56_SIZE if timed else 0)
+
+    def encode(self, element: ScaledValue) -> bytes:
+        return (_INT16.pack(element.value)
+                + bytes((element.quality.encode(),))
+                + _encode_time(element, self.timed))
+
+    def decode(self, data: memoryview, offset: int):
+        raw = self._need(data, offset, self.size)
+        element = ScaledValue(
+            value=_INT16.unpack_from(raw)[0],
+            quality=Quality.decode(raw[2]),
+            time=CP56Time2a.decode(raw, 3) if self.timed else None)
+        return element, self.size
+
+
+class _ShortFloatCodec(ElementCodec):
+    element_type = ShortFloat
+
+    def __init__(self, timed: bool = False):
+        self.timed = timed
+        self.size = 5 + (CP56_SIZE if timed else 0)
+
+    def encode(self, element: ShortFloat) -> bytes:
+        return (_FLOAT.pack(element.value)
+                + bytes((element.quality.encode(),))
+                + _encode_time(element, self.timed))
+
+    def decode(self, data: memoryview, offset: int):
+        raw = self._need(data, offset, self.size)
+        element = ShortFloat(
+            value=_FLOAT.unpack_from(raw)[0],
+            quality=Quality.decode(raw[4]),
+            time=CP56Time2a.decode(raw, 5) if self.timed else None)
+        return element, self.size
+
+
+class _IntegratedTotalsCodec(ElementCodec):
+    element_type = IntegratedTotals
+
+    def __init__(self, timed: bool = False):
+        self.timed = timed
+        self.size = 5 + (CP56_SIZE if timed else 0)
+
+    def encode(self, element: IntegratedTotals) -> bytes:
+        seq = (element.sequence
+               | (0x20 if element.carry else 0)
+               | (0x40 if element.adjusted else 0)
+               | (0x80 if element.invalid else 0))
+        return (_INT32.pack(element.counter) + bytes((seq,))
+                + _encode_time(element, self.timed))
+
+    def decode(self, data: memoryview, offset: int):
+        raw = self._need(data, offset, self.size)
+        element = IntegratedTotals(
+            counter=_INT32.unpack_from(raw)[0],
+            sequence=raw[4] & 0x1F,
+            carry=bool(raw[4] & 0x20),
+            adjusted=bool(raw[4] & 0x40),
+            invalid=bool(raw[4] & 0x80),
+            time=CP56Time2a.decode(raw, 5) if self.timed else None)
+        return element, self.size
+
+
+class _PackedSinglePointsCodec(ElementCodec):
+    element_type = PackedSinglePoints
+    size = 5
+
+    def encode(self, element: PackedSinglePoints) -> bytes:
+        return (struct.pack("<HH", element.status, element.change)
+                + bytes((element.quality.encode(),)))
+
+    def decode(self, data: memoryview, offset: int):
+        raw = self._need(data, offset, self.size)
+        status, change = struct.unpack_from("<HH", raw)
+        return (PackedSinglePoints(status=status, change=change,
+                                   quality=Quality.decode(raw[4])),
+                self.size)
+
+
+class _ProtectionEventCodec(ElementCodec):
+    element_type = ProtectionEvent
+    size = 1 + CP16_SIZE + CP56_SIZE
+    timed = True
+
+    def encode(self, element: ProtectionEvent) -> bytes:
+        sep = (element.event_state & 0x03) | (element.quality.encode() & 0xF0)
+        return (bytes((sep,)) + element.elapsed.encode()
+                + element.time.encode())
+
+    def decode(self, data: memoryview, offset: int):
+        raw = self._need(data, offset, self.size)
+        return (ProtectionEvent(
+            event_state=raw[0] & 0x03,
+            quality=Quality.decode(raw[0] & 0xF0),
+            elapsed=CP16Time2a.decode(raw, 1),
+            time=CP56Time2a.decode(raw, 3)), self.size)
+
+
+class _ProtectionStartCodec(ElementCodec):
+    element_type = ProtectionStartEvents
+    size = 2 + CP16_SIZE + CP56_SIZE
+    timed = True
+
+    def encode(self, element: ProtectionStartEvents) -> bytes:
+        return (bytes((element.start_events & 0x3F,
+                       element.quality.encode()))
+                + element.duration.encode() + element.time.encode())
+
+    def decode(self, data: memoryview, offset: int):
+        raw = self._need(data, offset, self.size)
+        return (ProtectionStartEvents(
+            start_events=raw[0] & 0x3F,
+            quality=Quality.decode(raw[1]),
+            duration=CP16Time2a.decode(raw, 2),
+            time=CP56Time2a.decode(raw, 4)), self.size)
+
+
+class _ProtectionOutputCodec(ElementCodec):
+    element_type = ProtectionOutputCircuit
+    size = 2 + CP16_SIZE + CP56_SIZE
+    timed = True
+
+    def encode(self, element: ProtectionOutputCircuit) -> bytes:
+        return (bytes((element.output_circuits & 0x0F,
+                       element.quality.encode()))
+                + element.operating_time.encode() + element.time.encode())
+
+    def decode(self, data: memoryview, offset: int):
+        raw = self._need(data, offset, self.size)
+        return (ProtectionOutputCircuit(
+            output_circuits=raw[0] & 0x0F,
+            quality=Quality.decode(raw[1]),
+            operating_time=CP16Time2a.decode(raw, 2),
+            time=CP56Time2a.decode(raw, 4)), self.size)
+
+
+class _SingleCommandCodec(ElementCodec):
+    element_type = SingleCommand
+
+    def __init__(self, timed: bool = False):
+        self.timed = timed
+        self.size = 1 + (CP56_SIZE if timed else 0)
+
+    def encode(self, element: SingleCommand) -> bytes:
+        sco = ((0x01 if element.state else 0)
+               | ((element.qualifier & 0x1F) << 2)
+               | (0x80 if element.select else 0))
+        return bytes((sco,)) + _encode_time(element, self.timed)
+
+    def decode(self, data: memoryview, offset: int):
+        raw = self._need(data, offset, self.size)
+        element = SingleCommand(
+            state=bool(raw[0] & 0x01),
+            qualifier=(raw[0] >> 2) & 0x1F,
+            select=bool(raw[0] & 0x80),
+            time=CP56Time2a.decode(raw, 1) if self.timed else None)
+        return element, self.size
+
+
+class _DoubleCommandCodec(ElementCodec):
+    element_type = DoubleCommand
+
+    def __init__(self, timed: bool = False):
+        self.timed = timed
+        self.size = 1 + (CP56_SIZE if timed else 0)
+
+    def encode(self, element: DoubleCommand) -> bytes:
+        dco = ((element.state & 0x03)
+               | ((element.qualifier & 0x1F) << 2)
+               | (0x80 if element.select else 0))
+        return bytes((dco,)) + _encode_time(element, self.timed)
+
+    def decode(self, data: memoryview, offset: int):
+        raw = self._need(data, offset, self.size)
+        element = DoubleCommand(
+            state=raw[0] & 0x03,
+            qualifier=(raw[0] >> 2) & 0x1F,
+            select=bool(raw[0] & 0x80),
+            time=CP56Time2a.decode(raw, 1) if self.timed else None)
+        return element, self.size
+
+
+class _RegulatingStepCodec(ElementCodec):
+    element_type = RegulatingStep
+
+    def __init__(self, timed: bool = False):
+        self.timed = timed
+        self.size = 1 + (CP56_SIZE if timed else 0)
+
+    def encode(self, element: RegulatingStep) -> bytes:
+        rco = ((element.step & 0x03)
+               | ((element.qualifier & 0x1F) << 2)
+               | (0x80 if element.select else 0))
+        return bytes((rco,)) + _encode_time(element, self.timed)
+
+    def decode(self, data: memoryview, offset: int):
+        raw = self._need(data, offset, self.size)
+        element = RegulatingStep(
+            step=raw[0] & 0x03,
+            qualifier=(raw[0] >> 2) & 0x1F,
+            select=bool(raw[0] & 0x80),
+            time=CP56Time2a.decode(raw, 1) if self.timed else None)
+        return element, self.size
+
+
+def _qos(ql: int, select: bool) -> int:
+    return (ql & 0x7F) | (0x80 if select else 0)
+
+
+class _SetpointNormalizedCodec(ElementCodec):
+    element_type = SetpointNormalized
+
+    def __init__(self, timed: bool = False):
+        self.timed = timed
+        self.size = 3 + (CP56_SIZE if timed else 0)
+
+    def encode(self, element: SetpointNormalized) -> bytes:
+        raw = max(-32768, min(32767, int(round(element.value * 32768.0))))
+        return (_INT16.pack(raw) + bytes((_qos(element.ql, element.select),))
+                + _encode_time(element, self.timed))
+
+    def decode(self, data: memoryview, offset: int):
+        raw = self._need(data, offset, self.size)
+        element = SetpointNormalized(
+            value=_INT16.unpack_from(raw)[0] / 32768.0,
+            ql=raw[2] & 0x7F,
+            select=bool(raw[2] & 0x80),
+            time=CP56Time2a.decode(raw, 3) if self.timed else None)
+        return element, self.size
+
+
+class _SetpointScaledCodec(ElementCodec):
+    element_type = SetpointScaled
+
+    def __init__(self, timed: bool = False):
+        self.timed = timed
+        self.size = 3 + (CP56_SIZE if timed else 0)
+
+    def encode(self, element: SetpointScaled) -> bytes:
+        return (_INT16.pack(element.value)
+                + bytes((_qos(element.ql, element.select),))
+                + _encode_time(element, self.timed))
+
+    def decode(self, data: memoryview, offset: int):
+        raw = self._need(data, offset, self.size)
+        element = SetpointScaled(
+            value=_INT16.unpack_from(raw)[0],
+            ql=raw[2] & 0x7F,
+            select=bool(raw[2] & 0x80),
+            time=CP56Time2a.decode(raw, 3) if self.timed else None)
+        return element, self.size
+
+
+class _SetpointFloatCodec(ElementCodec):
+    element_type = SetpointFloat
+
+    def __init__(self, timed: bool = False):
+        self.timed = timed
+        self.size = 5 + (CP56_SIZE if timed else 0)
+
+    def encode(self, element: SetpointFloat) -> bytes:
+        return (_FLOAT.pack(element.value)
+                + bytes((_qos(element.ql, element.select),))
+                + _encode_time(element, self.timed))
+
+    def decode(self, data: memoryview, offset: int):
+        raw = self._need(data, offset, self.size)
+        element = SetpointFloat(
+            value=_FLOAT.unpack_from(raw)[0],
+            ql=raw[4] & 0x7F,
+            select=bool(raw[4] & 0x80),
+            time=CP56Time2a.decode(raw, 5) if self.timed else None)
+        return element, self.size
+
+
+class _Bitstring32CommandCodec(ElementCodec):
+    element_type = Bitstring32Command
+
+    def __init__(self, timed: bool = False):
+        self.timed = timed
+        self.size = 4 + (CP56_SIZE if timed else 0)
+
+    def encode(self, element: Bitstring32Command) -> bytes:
+        return _UINT32.pack(element.bits) + _encode_time(element, self.timed)
+
+    def decode(self, data: memoryview, offset: int):
+        raw = self._need(data, offset, self.size)
+        element = Bitstring32Command(
+            bits=_UINT32.unpack_from(raw)[0],
+            time=CP56Time2a.decode(raw, 4) if self.timed else None)
+        return element, self.size
+
+
+class _EndOfInitCodec(ElementCodec):
+    element_type = EndOfInitialization
+    size = 1
+
+    def encode(self, element: EndOfInitialization) -> bytes:
+        return bytes(((element.cause & 0x7F)
+                      | (0x80 if element.after_parameter_change else 0),))
+
+    def decode(self, data: memoryview, offset: int):
+        raw = self._need(data, offset, self.size)
+        return (EndOfInitialization(
+            cause=raw[0] & 0x7F,
+            after_parameter_change=bool(raw[0] & 0x80)), self.size)
+
+
+class _InterrogationCodec(ElementCodec):
+    element_type = InterrogationCommand
+    size = 1
+
+    def encode(self, element: InterrogationCommand) -> bytes:
+        return bytes((element.qoi,))
+
+    def decode(self, data: memoryview, offset: int):
+        raw = self._need(data, offset, self.size)
+        return InterrogationCommand(qoi=raw[0]), self.size
+
+
+class _CounterInterrogationCodec(ElementCodec):
+    element_type = CounterInterrogationCommand
+    size = 1
+
+    def encode(self, element: CounterInterrogationCommand) -> bytes:
+        return bytes(((element.request & 0x3F)
+                      | ((element.freeze & 0x03) << 6),))
+
+    def decode(self, data: memoryview, offset: int):
+        raw = self._need(data, offset, self.size)
+        return (CounterInterrogationCommand(
+            request=raw[0] & 0x3F, freeze=(raw[0] >> 6) & 0x03), self.size)
+
+
+class _ReadCommandCodec(ElementCodec):
+    element_type = ReadCommand
+    size = 0
+
+    def encode(self, element: ReadCommand) -> bytes:
+        return b""
+
+    def decode(self, data: memoryview, offset: int):
+        return ReadCommand(), 0
+
+
+class _ClockSyncCodec(ElementCodec):
+    element_type = ClockSyncCommand
+    size = CP56_SIZE
+    timed = True
+
+    def encode(self, element: ClockSyncCommand) -> bytes:
+        return element.time.encode()
+
+    def decode(self, data: memoryview, offset: int):
+        self._need(data, offset, self.size)
+        return (ClockSyncCommand(time=CP56Time2a.decode(data, offset)),
+                self.size)
+
+
+class _ResetProcessCodec(ElementCodec):
+    element_type = ResetProcessCommand
+    size = 1
+
+    def encode(self, element: ResetProcessCommand) -> bytes:
+        return bytes((element.qrp,))
+
+    def decode(self, data: memoryview, offset: int):
+        raw = self._need(data, offset, self.size)
+        return ResetProcessCommand(qrp=raw[0]), self.size
+
+
+class _TestCommandCodec(ElementCodec):
+    element_type = TestCommand
+    size = 2 + CP56_SIZE
+    timed = True
+
+    def encode(self, element: TestCommand) -> bytes:
+        return struct.pack("<H", element.counter) + element.time.encode()
+
+    def decode(self, data: memoryview, offset: int):
+        raw = self._need(data, offset, self.size)
+        return (TestCommand(counter=struct.unpack_from("<H", raw)[0],
+                            time=CP56Time2a.decode(raw, 2)), self.size)
+
+
+class _ParameterNormalizedCodec(ElementCodec):
+    element_type = ParameterNormalized
+    size = 3
+
+    def encode(self, element: ParameterNormalized) -> bytes:
+        raw = max(-32768, min(32767, int(round(element.value * 32768.0))))
+        return _INT16.pack(raw) + bytes((element.qpm,))
+
+    def decode(self, data: memoryview, offset: int):
+        raw = self._need(data, offset, self.size)
+        return (ParameterNormalized(
+            value=_INT16.unpack_from(raw)[0] / 32768.0, qpm=raw[2]),
+            self.size)
+
+
+class _ParameterScaledCodec(ElementCodec):
+    element_type = ParameterScaled
+    size = 3
+
+    def encode(self, element: ParameterScaled) -> bytes:
+        return _INT16.pack(element.value) + bytes((element.qpm,))
+
+    def decode(self, data: memoryview, offset: int):
+        raw = self._need(data, offset, self.size)
+        return (ParameterScaled(value=_INT16.unpack_from(raw)[0],
+                                qpm=raw[2]), self.size)
+
+
+class _ParameterFloatCodec(ElementCodec):
+    element_type = ParameterFloat
+    size = 5
+
+    def encode(self, element: ParameterFloat) -> bytes:
+        return _FLOAT.pack(element.value) + bytes((element.qpm,))
+
+    def decode(self, data: memoryview, offset: int):
+        raw = self._need(data, offset, self.size)
+        return (ParameterFloat(value=_FLOAT.unpack_from(raw)[0],
+                               qpm=raw[4]), self.size)
+
+
+class _ParameterActivationCodec(ElementCodec):
+    element_type = ParameterActivation
+    size = 1
+
+    def encode(self, element: ParameterActivation) -> bytes:
+        return bytes((element.qpa,))
+
+    def decode(self, data: memoryview, offset: int):
+        raw = self._need(data, offset, self.size)
+        return ParameterActivation(qpa=raw[0]), self.size
+
+
+def _pack_u24(value: int) -> bytes:
+    return bytes((value & 0xFF, (value >> 8) & 0xFF, (value >> 16) & 0xFF))
+
+
+def _unpack_u24(raw: bytes, offset: int) -> int:
+    return raw[offset] | (raw[offset + 1] << 8) | (raw[offset + 2] << 16)
+
+
+class _FileReadyCodec(ElementCodec):
+    element_type = FileReady
+    size = 6
+
+    def encode(self, element: FileReady) -> bytes:
+        return (struct.pack("<H", element.file_name)
+                + _pack_u24(element.file_length)
+                + bytes((element.qualifier,)))
+
+    def decode(self, data: memoryview, offset: int):
+        raw = self._need(data, offset, self.size)
+        return (FileReady(file_name=struct.unpack_from("<H", raw)[0],
+                          file_length=_unpack_u24(raw, 2),
+                          qualifier=raw[5]), self.size)
+
+
+class _SectionReadyCodec(ElementCodec):
+    element_type = SectionReady
+    size = 7
+
+    def encode(self, element: SectionReady) -> bytes:
+        return (struct.pack("<H", element.file_name)
+                + bytes((element.section,))
+                + _pack_u24(element.section_length)
+                + bytes((element.qualifier,)))
+
+    def decode(self, data: memoryview, offset: int):
+        raw = self._need(data, offset, self.size)
+        return (SectionReady(file_name=struct.unpack_from("<H", raw)[0],
+                             section=raw[2],
+                             section_length=_unpack_u24(raw, 3),
+                             qualifier=raw[6]), self.size)
+
+
+class _CallFileCodec(ElementCodec):
+    element_type = CallFile
+    size = 4
+
+    def encode(self, element: CallFile) -> bytes:
+        return (struct.pack("<H", element.file_name)
+                + bytes((element.section, element.qualifier)))
+
+    def decode(self, data: memoryview, offset: int):
+        raw = self._need(data, offset, self.size)
+        return (CallFile(file_name=struct.unpack_from("<H", raw)[0],
+                         section=raw[2], qualifier=raw[3]), self.size)
+
+
+class _LastSectionCodec(ElementCodec):
+    element_type = LastSection
+    size = 5
+
+    def encode(self, element: LastSection) -> bytes:
+        return (struct.pack("<H", element.file_name)
+                + bytes((element.section, element.qualifier,
+                         element.checksum)))
+
+    def decode(self, data: memoryview, offset: int):
+        raw = self._need(data, offset, self.size)
+        return (LastSection(file_name=struct.unpack_from("<H", raw)[0],
+                            section=raw[2], qualifier=raw[3],
+                            checksum=raw[4]), self.size)
+
+
+class _AckFileCodec(ElementCodec):
+    element_type = AckFile
+    size = 4
+
+    def encode(self, element: AckFile) -> bytes:
+        return (struct.pack("<H", element.file_name)
+                + bytes((element.section, element.qualifier)))
+
+    def decode(self, data: memoryview, offset: int):
+        raw = self._need(data, offset, self.size)
+        return (AckFile(file_name=struct.unpack_from("<H", raw)[0],
+                        section=raw[2], qualifier=raw[3]), self.size)
+
+
+class _SegmentCodec(ElementCodec):
+    element_type = Segment
+    size = None  # variable
+
+    def encode(self, element: Segment) -> bytes:
+        return (struct.pack("<H", element.file_name)
+                + bytes((element.section, len(element.data)))
+                + element.data)
+
+    def decode(self, data: memoryview, offset: int):
+        head = self._need(data, offset, 4)
+        los = head[3]
+        raw = self._need(data, offset, 4 + los)
+        return (Segment(file_name=struct.unpack_from("<H", head)[0],
+                        section=head[2], data=raw[4:]), 4 + los)
+
+
+class _DirectoryCodec(ElementCodec):
+    element_type = Directory
+    size = 6 + CP56_SIZE
+    timed = True
+
+    def encode(self, element: Directory) -> bytes:
+        return (struct.pack("<H", element.file_name)
+                + _pack_u24(element.file_length)
+                + bytes((element.status,))
+                + element.time.encode())
+
+    def decode(self, data: memoryview, offset: int):
+        raw = self._need(data, offset, self.size)
+        return (Directory(file_name=struct.unpack_from("<H", raw)[0],
+                          file_length=_unpack_u24(raw, 2),
+                          status=raw[5],
+                          time=CP56Time2a.decode(raw, 6)), self.size)
+
+
+class _QueryLogCodec(ElementCodec):
+    element_type = QueryLog
+    size = 2 + 2 * CP56_SIZE
+    timed = True
+
+    def encode(self, element: QueryLog) -> bytes:
+        return (struct.pack("<H", element.file_name)
+                + element.start.encode() + element.stop.encode())
+
+    def decode(self, data: memoryview, offset: int):
+        raw = self._need(data, offset, self.size)
+        return (QueryLog(file_name=struct.unpack_from("<H", raw)[0],
+                         start=CP56Time2a.decode(raw, 2),
+                         stop=CP56Time2a.decode(raw, 9)), self.size)
+
+
+#: Registry mapping each of the 54 typeIDs to its element codec.
+ELEMENT_CODECS: dict[TypeID, ElementCodec] = {
+    TypeID.M_SP_NA_1: _SinglePointCodec(),
+    TypeID.M_DP_NA_1: _DoublePointCodec(),
+    TypeID.M_ST_NA_1: _StepPositionCodec(),
+    TypeID.M_BO_NA_1: _Bitstring32Codec(),
+    TypeID.M_ME_NA_1: _NormalizedCodec(),
+    TypeID.M_ME_NB_1: _ScaledCodec(),
+    TypeID.M_ME_NC_1: _ShortFloatCodec(),
+    TypeID.M_IT_NA_1: _IntegratedTotalsCodec(),
+    TypeID.M_PS_NA_1: _PackedSinglePointsCodec(),
+    TypeID.M_ME_ND_1: _NormalizedCodec(with_quality=False),
+    TypeID.M_SP_TB_1: _SinglePointCodec(timed=True),
+    TypeID.M_DP_TB_1: _DoublePointCodec(timed=True),
+    TypeID.M_ST_TB_1: _StepPositionCodec(timed=True),
+    TypeID.M_BO_TB_1: _Bitstring32Codec(timed=True),
+    TypeID.M_ME_TD_1: _NormalizedCodec(timed=True),
+    TypeID.M_ME_TE_1: _ScaledCodec(timed=True),
+    TypeID.M_ME_TF_1: _ShortFloatCodec(timed=True),
+    TypeID.M_IT_TB_1: _IntegratedTotalsCodec(timed=True),
+    TypeID.M_EP_TD_1: _ProtectionEventCodec(),
+    TypeID.M_EP_TE_1: _ProtectionStartCodec(),
+    TypeID.M_EP_TF_1: _ProtectionOutputCodec(),
+    TypeID.C_SC_NA_1: _SingleCommandCodec(),
+    TypeID.C_DC_NA_1: _DoubleCommandCodec(),
+    TypeID.C_RC_NA_1: _RegulatingStepCodec(),
+    TypeID.C_SE_NA_1: _SetpointNormalizedCodec(),
+    TypeID.C_SE_NB_1: _SetpointScaledCodec(),
+    TypeID.C_SE_NC_1: _SetpointFloatCodec(),
+    TypeID.C_BO_NA_1: _Bitstring32CommandCodec(),
+    TypeID.C_SC_TA_1: _SingleCommandCodec(timed=True),
+    TypeID.C_DC_TA_1: _DoubleCommandCodec(timed=True),
+    TypeID.C_RC_TA_1: _RegulatingStepCodec(timed=True),
+    TypeID.C_SE_TA_1: _SetpointNormalizedCodec(timed=True),
+    TypeID.C_SE_TB_1: _SetpointScaledCodec(timed=True),
+    TypeID.C_SE_TC_1: _SetpointFloatCodec(timed=True),
+    TypeID.C_BO_TA_1: _Bitstring32CommandCodec(timed=True),
+    TypeID.M_EI_NA_1: _EndOfInitCodec(),
+    TypeID.C_IC_NA_1: _InterrogationCodec(),
+    TypeID.C_CI_NA_1: _CounterInterrogationCodec(),
+    TypeID.C_RD_NA_1: _ReadCommandCodec(),
+    TypeID.C_CS_NA_1: _ClockSyncCodec(),
+    TypeID.C_RP_NA_1: _ResetProcessCodec(),
+    TypeID.C_TS_TA_1: _TestCommandCodec(),
+    TypeID.P_ME_NA_1: _ParameterNormalizedCodec(),
+    TypeID.P_ME_NB_1: _ParameterScaledCodec(),
+    TypeID.P_ME_NC_1: _ParameterFloatCodec(),
+    TypeID.P_AC_NA_1: _ParameterActivationCodec(),
+    TypeID.F_FR_NA_1: _FileReadyCodec(),
+    TypeID.F_SR_NA_1: _SectionReadyCodec(),
+    TypeID.F_SC_NA_1: _CallFileCodec(),
+    TypeID.F_LS_NA_1: _LastSectionCodec(),
+    TypeID.F_AF_NA_1: _AckFileCodec(),
+    TypeID.F_SG_NA_1: _SegmentCodec(),
+    TypeID.F_DR_TA_1: _DirectoryCodec(),
+    TypeID.F_SC_NB_1: _QueryLogCodec(),
+}
+
+
+def codec_for(type_id: TypeID) -> ElementCodec:
+    """Return the element codec for ``type_id``."""
+    return ELEMENT_CODECS[type_id]
+
+
+def strip_time(element):
+    """Return a copy of ``element`` with its time tag removed (if any)."""
+    if getattr(element, "time", None) is None:
+        return element
+    return replace(element, time=None)
+
+
+def with_time(element, time: CP56Time2a):
+    """Return a copy of ``element`` carrying ``time``."""
+    return replace(element, time=time)

@@ -1,0 +1,87 @@
+"""Link profiles: standard vs legacy (IEC 101 carry-over) field widths.
+
+Section 6.1 of the paper found outstations emitting IEC 104 frames with
+IEC 101 field widths: O37 used a 2-octet information object address, and
+O53/O58/O28 used a 1-octet cause of transmission. A *link profile*
+captures the field widths of one link so the tolerant parser can decode
+such traffic; the strict profile is the IEC 104 standard.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class LinkProfile:
+    """Field widths used by one IEC 104 link.
+
+    The IEC 104 standard fixes ``cot_length`` = 2, ``ioa_length`` = 3 and
+    ``common_address_length`` = 2. IEC 101 permits 1-octet COT and
+    2-octet IOA — widths that leak into 104 traffic when a serial RTU
+    configuration is carried over unchanged (paper Fig. 7).
+    """
+
+    cot_length: int = 2
+    ioa_length: int = 3
+    common_address_length: int = 2
+
+    def __post_init__(self) -> None:
+        if self.cot_length not in (1, 2):
+            raise ValueError("cot_length must be 1 or 2")
+        if self.ioa_length not in (1, 2, 3):
+            raise ValueError("ioa_length must be 1, 2 or 3")
+        if self.common_address_length not in (1, 2):
+            raise ValueError("common_address_length must be 1 or 2")
+
+    @property
+    def is_standard(self) -> bool:
+        """True iff this profile matches the IEC 104 standard."""
+        return self == STANDARD_PROFILE
+
+    @property
+    def max_ioa(self) -> int:
+        """Largest representable information object address."""
+        return (1 << (8 * self.ioa_length)) - 1
+
+    @property
+    def max_common_address(self) -> int:
+        return (1 << (8 * self.common_address_length)) - 1
+
+    def describe(self) -> str:
+        if self.is_standard:
+            return "IEC 104 standard"
+        deviations = []
+        if self.cot_length != 2:
+            deviations.append(f"COT={self.cot_length} octet (legacy IEC 101)")
+        if self.ioa_length != 3:
+            deviations.append(
+                f"IOA={self.ioa_length} octets (legacy IEC 101)")
+        if self.common_address_length != 2:
+            deviations.append(
+                f"common address={self.common_address_length} octet")
+        return "non-compliant: " + ", ".join(deviations)
+
+
+#: The IEC 104 standard profile (what Wireshark assumes).
+STANDARD_PROFILE = LinkProfile()
+
+#: Outstation O37's profile (2-octet IOA, paper Fig. 7c).
+LEGACY_IOA_PROFILE = LinkProfile(ioa_length=2)
+
+#: Outstations O53/O58/O28's profile (1-octet COT, paper Fig. 7a).
+LEGACY_COT_PROFILE = LinkProfile(cot_length=1)
+
+#: The full classic IEC 101 field widths (1-octet COT and common
+#: address, 2-octet IOA) — what a passthrough 101->104 gateway emits.
+FULL_IEC101_PROFILE = LinkProfile(cot_length=1, ioa_length=2,
+                                  common_address_length=1)
+
+#: All profiles the tolerant parser tries, most standard first.
+CANDIDATE_PROFILES: tuple[LinkProfile, ...] = (
+    STANDARD_PROFILE,
+    LEGACY_COT_PROFILE,
+    LEGACY_IOA_PROFILE,
+    LinkProfile(cot_length=1, ioa_length=2),
+    FULL_IEC101_PROFILE,
+)

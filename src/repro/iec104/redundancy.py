@@ -1,0 +1,148 @@
+"""Primary/secondary connection redundancy (paper Fig. 4).
+
+In high-reliability IEC 104 deployments an outstation keeps a primary
+connection (carrying I-frames) to one control server and a secondary
+connection (keep-alives only) to a backup server; when the primary
+fails, the backup is promoted with STARTDT and a general interrogation.
+
+:class:`RedundancyGroup` implements the *control-center side* of that
+scheme over two :class:`~repro.iec104.endpoint.MasterEndpoint` links:
+it keeps exactly one link started, sends keep-alives on the standby
+link, and fails over when the active link dies (T1 expiry or transport
+loss). This is the machinery whose field-side misbehaviour (backup
+connections reset by the RTU) the paper spends Section 6.2 on.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from .endpoint import MasterEndpoint
+from .errors import IEC104Error
+
+
+class LinkRole(enum.Enum):
+    PRIMARY = "primary"
+    SECONDARY = "secondary"
+    FAILED = "failed"
+
+
+@dataclass
+class FailoverEvent:
+    """One switchover in the group's history."""
+
+    time: float
+    from_link: str
+    to_link: str
+    reason: str
+
+
+class RedundancyGroup:
+    """Manages one outstation's two control-center links (Fig. 4)."""
+
+    def __init__(self, links: dict[str, MasterEndpoint],
+                 preferred: str | None = None,
+                 keepalive_period: float = 30.0,
+                 interrogate_on_promote: bool = True):
+        if len(links) < 2:
+            raise ValueError("redundancy needs at least two links")
+        if keepalive_period <= 0:
+            raise ValueError("keepalive_period must be positive")
+        self.links = dict(links)
+        self.roles: dict[str, LinkRole] = {
+            name: LinkRole.SECONDARY for name in links}
+        self._keepalive_period = keepalive_period
+        self._interrogate = interrogate_on_promote
+        self._last_keepalive: dict[str, float] = {
+            name: 0.0 for name in links}
+        self.history: list[FailoverEvent] = []
+        self.now = 0.0
+        first = preferred if preferred is not None \
+            else sorted(links)[0]
+        if first not in links:
+            raise KeyError(first)
+        for name, link in links.items():
+            link.on_close_request = (
+                lambda name=name: self._link_failed(name, "T1 expiry"))
+            link.on_transfer_started = (
+                lambda name=name: self._transfer_started(name))
+        self._promote(first, reason="initial activation")
+
+    def _transfer_started(self, name: str) -> None:
+        """STARTDT completed on a promoted link: interrogate."""
+        if self.roles.get(name) is LinkRole.PRIMARY \
+                and self._interrogate:
+            self.links[name].interrogate()
+
+    # -- queries ----------------------------------------------------------
+
+    @property
+    def active(self) -> str | None:
+        for name, role in self.roles.items():
+            if role is LinkRole.PRIMARY:
+                return name
+        return None
+
+    @property
+    def active_link(self) -> MasterEndpoint | None:
+        name = self.active
+        return self.links[name] if name is not None else None
+
+    def role_of(self, name: str) -> LinkRole:
+        return self.roles[name]
+
+    # -- control ----------------------------------------------------------
+
+    def _promote(self, name: str, reason: str,
+                 previous: str | None = None) -> None:
+        link = self.links[name]
+        if link.closed:
+            raise IEC104Error(f"cannot promote closed link {name}")
+        previous = previous if previous is not None else self.active
+        self.roles[name] = LinkRole.PRIMARY
+        link.start_data_transfer()
+        self.history.append(FailoverEvent(
+            time=self.now, from_link=previous or "-", to_link=name,
+            reason=reason))
+
+    def _link_failed(self, name: str, reason: str) -> None:
+        was_primary = self.roles[name] is LinkRole.PRIMARY
+        self.roles[name] = LinkRole.FAILED
+        if was_primary:
+            self._failover(reason, failed=name)
+
+    def report_transport_loss(self, name: str) -> None:
+        """The owner saw the link's TCP connection die."""
+        if name not in self.links:
+            raise KeyError(name)
+        self._link_failed(name, "transport loss")
+
+    def _failover(self, reason: str, failed: str | None = None) -> None:
+        candidates = [name for name, role in self.roles.items()
+                      if role is LinkRole.SECONDARY
+                      and not self.links[name].closed]
+        if not candidates:
+            return  # total outage; operator intervention required
+        self._promote(sorted(candidates)[0], reason=reason,
+                      previous=failed)
+
+    def tick(self, now: float) -> None:
+        """Advance time: endpoint timers + standby keep-alives."""
+        self.now = now
+        for name, link in self.links.items():
+            if self.roles[name] is LinkRole.FAILED:
+                continue
+            link.tick(now)
+            if self.roles[name] is LinkRole.SECONDARY \
+                    and not link.closed \
+                    and now - self._last_keepalive[name] \
+                    >= self._keepalive_period:
+                link.send_test_frame()
+                self._last_keepalive[name] = now
+
+    @property
+    def healthy(self) -> bool:
+        """True while an active link exists and is started."""
+        link = self.active_link
+        return link is not None and not link.closed

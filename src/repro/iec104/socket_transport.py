@@ -1,0 +1,143 @@
+"""Run the IEC 104 endpoints over real sockets.
+
+:class:`SocketTransport` adapts any connected stream socket (TCP or a
+Unix ``socketpair``) to the endpoint :class:`~repro.iec104.endpoint.
+Transport` interface. Endpoints stay sans-io: inbound bytes are
+delivered when the owner calls :meth:`pump` (select-based, bounded
+wait), so applications control their own event loop.
+
+:func:`serve_outstation` and :func:`connect_master` wrap the usual
+listen/connect boilerplate for quick interoperability tests against
+other IEC 104 implementations.
+"""
+
+from __future__ import annotations
+
+import select
+import socket
+from typing import Callable
+
+from .endpoint import MasterEndpoint, OutstationEndpoint, Transport
+from .constants import IEC104_PORT
+
+
+class SocketTransport(Transport):
+    """Adapter from a connected stream socket to the Transport API."""
+
+    def __init__(self, sock: socket.socket,
+                 receive_size: int = 4096):
+        if receive_size <= 0:
+            raise ValueError("receive_size must be positive")
+        self._sock = sock
+        self._receive_size = receive_size
+        self.receiver: Callable[[bytes], None] | None = None
+        self.closed = False
+        self.bytes_sent = 0
+        self.bytes_received = 0
+
+    def send(self, data: bytes) -> None:
+        if self.closed:
+            raise OSError("transport closed")
+        self._sock.sendall(data)
+        self.bytes_sent += len(data)
+
+    def pump(self, timeout: float = 0.0) -> int:
+        """Read available bytes (waiting at most ``timeout`` seconds)
+        and hand them to the receiver; return the byte count.
+
+        Returns 0 on timeout; raises ``ConnectionError`` when the peer
+        closed the socket."""
+        if self.closed:
+            return 0
+        readable, _, _ = select.select([self._sock], [], [], timeout)
+        if not readable:
+            return 0
+        data = self._sock.recv(self._receive_size)
+        if not data:
+            self.closed = True
+            raise ConnectionError("peer closed the connection")
+        self.bytes_received += len(data)
+        if self.receiver is not None:
+            self.receiver(data)
+        return len(data)
+
+    def pump_until_idle(self, timeout: float = 0.05,
+                        max_rounds: int = 1000) -> int:
+        """Pump until no data arrives within ``timeout``."""
+        total = 0
+        for _ in range(max_rounds):
+            moved = self.pump(timeout)
+            if not moved:
+                return total
+            total += moved
+        return total
+
+    def close(self) -> None:
+        if not self.closed:
+            self.closed = True
+            try:
+                self._sock.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            self._sock.close()
+
+
+def socketpair_endpoints(**kwargs) -> tuple[MasterEndpoint,
+                                            OutstationEndpoint,
+                                            Callable[[], int]]:
+    """A master/outstation pair over a real OS socketpair.
+
+    Returns ``(master, outstation, pump)`` like
+    :func:`repro.iec104.endpoint.connect_pair`, but with the bytes
+    crossing an actual kernel socket."""
+    left, right = socket.socketpair()
+    master_transport = SocketTransport(left)
+    outstation_transport = SocketTransport(right)
+    master = MasterEndpoint(master_transport, **kwargs)
+    outstation = OutstationEndpoint(outstation_transport)
+
+    def pump() -> int:
+        total = 0
+        while True:
+            moved = 0
+            try:
+                moved += master_transport.pump(0.02)
+            except ConnectionError:
+                pass
+            try:
+                moved += outstation_transport.pump(0.02)
+            except ConnectionError:
+                pass
+            if not moved:
+                return total
+            total += moved
+
+    return master, outstation, pump
+
+
+def serve_outstation(outstation_factory: Callable[[SocketTransport],
+                                                  OutstationEndpoint],
+                     host: str = "127.0.0.1",
+                     port: int = IEC104_PORT,
+                     ready: Callable[[int], None] | None = None
+                     ) -> OutstationEndpoint:
+    """Accept one master connection and return the live outstation.
+
+    ``ready`` receives the bound port before accepting (pass ``0`` as
+    ``port`` for an ephemeral one)."""
+    listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+    listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+    listener.bind((host, port))
+    listener.listen(1)
+    if ready is not None:
+        ready(listener.getsockname()[1])
+    connection, _ = listener.accept()
+    listener.close()
+    return outstation_factory(SocketTransport(connection))
+
+
+def connect_master(host: str = "127.0.0.1", port: int = IEC104_PORT,
+                   **kwargs) -> MasterEndpoint:
+    """Connect to an outstation and return the live master."""
+    sock = socket.create_connection((host, port))
+    return MasterEndpoint(SocketTransport(sock), **kwargs)

@@ -1,0 +1,252 @@
+"""IEC 104 connection state machine.
+
+Models one endpoint's view of an established TCP connection: the
+STOPDT/STARTDT data-transfer state, the 15-bit send/receive sequence
+numbers, the k (unacknowledged-send) and w (receive-before-ack) windows,
+and the timers T1-T3 described in Section 4 of the paper. Newly
+established connections start in the STOPDT state, as the standard (and
+the paper) specify.
+
+The machine is event-driven and time-explicit: callers pass the current
+time to :meth:`on_send`/:meth:`on_receive`/:meth:`poll` and act on the
+returned :class:`Action` hints, which keeps the machine reusable both by
+the discrete-event simulator and by tests.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from .apci import (APDU, SEQ_MODULO, IFrame, SFrame, UFrame)
+from .constants import DEFAULT_K, DEFAULT_W, ProtocolTimers, UFunction
+from .errors import SequenceError, StateError
+
+
+class TransferState(enum.Enum):
+    """Data-transfer state of a connection (per direction-independent)."""
+
+    STOPPED = "STOPDT"   # default after connect / switchover
+    PENDING_START = "STARTDT sent, awaiting con"
+    STARTED = "STARTDT"
+    PENDING_STOP = "STOPDT sent, awaiting con"
+
+
+class ActionKind(enum.Enum):
+    """What the caller should do in response to machine events."""
+
+    SEND_S_ACK = "send S-format acknowledgement"
+    SEND_TESTFR_ACT = "send TESTFR act keep-alive"
+    SEND_TESTFR_CON = "send TESTFR con"
+    SEND_STARTDT_CON = "send STARTDT con"
+    SEND_STOPDT_CON = "send STOPDT con"
+    CLOSE_CONNECTION = "close connection (T1 expired)"
+
+
+@dataclass(frozen=True)
+class Action:
+    kind: ActionKind
+    #: Receive sequence number to place in an S-format frame, if any.
+    recv_seq: int | None = None
+
+
+def seq_distance(older: int, newer: int) -> int:
+    """Forward distance from ``older`` to ``newer`` modulo 2^15."""
+    return (newer - older) % SEQ_MODULO
+
+
+@dataclass
+class ConnectionMachine:
+    """One endpoint of an IEC 104 connection.
+
+    ``is_controlling`` marks the controlling station (the SCADA/control
+    server); only the controlling station may send STARTDT/STOPDT acts.
+    """
+
+    is_controlling: bool = False
+    timers: ProtocolTimers = field(default_factory=ProtocolTimers)
+    k: int = DEFAULT_K
+    w: int = DEFAULT_W
+
+    state: TransferState = TransferState.STOPPED
+    send_seq: int = 0                 # V(S): next N(S) we will send
+    recv_seq: int = 0                 # V(R): next N(S) we expect
+    acked_seq: int = 0                # highest N(S) of ours acknowledged
+    unacked_received: int = 0         # I-frames received since our last ack
+
+    # Timer bookkeeping (absolute times; None = not running)
+    _t1_deadline: float | None = None
+    _t2_deadline: float | None = None
+    _t3_deadline: float | None = None
+    _testfr_outstanding: bool = False
+
+    def __post_init__(self) -> None:
+        if self.k < 1 or self.w < 1:
+            raise ValueError("k and w must be >= 1")
+        if self.w > self.k:
+            raise ValueError("w must be <= k (standard recommendation)")
+
+    # -- queries ----------------------------------------------------------
+
+    @property
+    def unacked_sent(self) -> int:
+        """Number of our I-frames not yet acknowledged by the peer."""
+        return seq_distance(self.acked_seq, self.send_seq)
+
+    @property
+    def can_send_i(self) -> bool:
+        """True when an I-frame may be sent (state + k window)."""
+        return (self.state is TransferState.STARTED
+                and self.unacked_sent < self.k)
+
+    # -- outbound ----------------------------------------------------------
+
+    def next_i_frame(self, asdu) -> IFrame:
+        """Build (and account for) the next outgoing I-frame."""
+        if self.state is not TransferState.STARTED:
+            raise StateError(
+                f"cannot send I-format in state {self.state.value}")
+        if self.unacked_sent >= self.k:
+            raise SequenceError(
+                f"send window full: {self.unacked_sent} unacked >= k="
+                f"{self.k}")
+        frame = IFrame(asdu=asdu, send_seq=self.send_seq,
+                       recv_seq=self.recv_seq)
+        self.send_seq = (self.send_seq + 1) % SEQ_MODULO
+        return frame
+
+    def start_transfer(self) -> UFrame:
+        """Controlling station: request STARTDT."""
+        if not self.is_controlling:
+            raise StateError("only the controlling station sends "
+                             "STARTDT act")
+        if self.state is not TransferState.STOPPED:
+            raise StateError(f"STARTDT act illegal in {self.state.value}")
+        self.state = TransferState.PENDING_START
+        return UFrame(UFunction.STARTDT_ACT)
+
+    def stop_transfer(self) -> UFrame:
+        """Controlling station: request STOPDT."""
+        if not self.is_controlling:
+            raise StateError("only the controlling station sends STOPDT act")
+        if self.state is not TransferState.STARTED:
+            raise StateError(f"STOPDT act illegal in {self.state.value}")
+        self.state = TransferState.PENDING_STOP
+        return UFrame(UFunction.STOPDT_ACT)
+
+    def on_send(self, frame: APDU, now: float) -> None:
+        """Account for a frame we transmitted at time ``now``."""
+        self._t3_deadline = now + self.timers.t3
+        if isinstance(frame, IFrame):
+            self._t1_deadline = now + self.timers.t1
+            self.unacked_received = 0
+            self._t2_deadline = None
+        elif isinstance(frame, SFrame):
+            self.unacked_received = 0
+            self._t2_deadline = None
+        elif isinstance(frame, UFrame):
+            if frame.function is UFunction.TESTFR_ACT:
+                self._testfr_outstanding = True
+                self._t1_deadline = now + self.timers.t1
+
+    # -- inbound -----------------------------------------------------------
+
+    def on_receive(self, frame: APDU, now: float) -> list[Action]:
+        """Process a received frame; return actions the caller must take."""
+        actions: list[Action] = []
+        self._t3_deadline = now + self.timers.t3
+
+        if isinstance(frame, IFrame):
+            if self.state not in (TransferState.STARTED,
+                                  TransferState.PENDING_STOP):
+                raise StateError(
+                    f"I-format received in state {self.state.value}")
+            if frame.send_seq != self.recv_seq:
+                raise SequenceError(
+                    f"expected N(S)={self.recv_seq}, got {frame.send_seq}")
+            self.recv_seq = (self.recv_seq + 1) % SEQ_MODULO
+            self._apply_ack(frame.recv_seq)
+            self.unacked_received += 1
+            if self.unacked_received >= self.w:
+                actions.append(Action(ActionKind.SEND_S_ACK,
+                                      recv_seq=self.recv_seq))
+            elif self._t2_deadline is None:
+                self._t2_deadline = now + self.timers.t2
+            return actions
+
+        if isinstance(frame, SFrame):
+            self._apply_ack(frame.recv_seq)
+            return actions
+
+        function = frame.function
+        if function is UFunction.STARTDT_ACT:
+            if self.is_controlling:
+                raise StateError("controlled station sent STARTDT act")
+            self.state = TransferState.STARTED
+            actions.append(Action(ActionKind.SEND_STARTDT_CON))
+        elif function is UFunction.STARTDT_CON:
+            if self.state is not TransferState.PENDING_START:
+                raise StateError("unexpected STARTDT con")
+            self.state = TransferState.STARTED
+        elif function is UFunction.STOPDT_ACT:
+            if self.is_controlling:
+                raise StateError("controlled station sent STOPDT act")
+            self.state = TransferState.STOPPED
+            actions.append(Action(ActionKind.SEND_STOPDT_CON))
+        elif function is UFunction.STOPDT_CON:
+            if self.state is not TransferState.PENDING_STOP:
+                raise StateError("unexpected STOPDT con")
+            self.state = TransferState.STOPPED
+        elif function is UFunction.TESTFR_ACT:
+            actions.append(Action(ActionKind.SEND_TESTFR_CON))
+        elif function is UFunction.TESTFR_CON:
+            self._testfr_outstanding = False
+            self._t1_deadline = None
+        return actions
+
+    def _apply_ack(self, recv_seq: int) -> None:
+        advance = seq_distance(self.acked_seq, recv_seq)
+        if advance > self.unacked_sent:
+            raise SequenceError(
+                f"ack N(R)={recv_seq} acknowledges unsent frames "
+                f"(acked={self.acked_seq}, sent={self.send_seq})")
+        self.acked_seq = recv_seq
+        if self.unacked_sent == 0:
+            self._t1_deadline = None
+
+    # -- timers ------------------------------------------------------------
+
+    def poll(self, now: float) -> list[Action]:
+        """Check timers at time ``now``; return required actions.
+
+        * T1 expiry → close the connection (triggers switchover).
+        * T2 expiry → send an S-format acknowledgement.
+        * T3 expiry → send a TESTFR act keep-alive.
+        """
+        actions: list[Action] = []
+        if self._t1_deadline is not None and now >= self._t1_deadline:
+            actions.append(Action(ActionKind.CLOSE_CONNECTION))
+            self._t1_deadline = None
+            return actions
+        if (self._t2_deadline is not None and now >= self._t2_deadline
+                and self.unacked_received > 0):
+            actions.append(Action(ActionKind.SEND_S_ACK,
+                                  recv_seq=self.recv_seq))
+            self._t2_deadline = None
+        if (self._t3_deadline is not None and now >= self._t3_deadline
+                and not self._testfr_outstanding):
+            actions.append(Action(ActionKind.SEND_TESTFR_ACT))
+            self._t3_deadline = None
+        return actions
+
+    def connection_opened(self, now: float) -> None:
+        """Reset state for a freshly established TCP connection."""
+        self.state = TransferState.STOPPED
+        self.send_seq = 0
+        self.recv_seq = 0
+        self.acked_seq = 0
+        self.unacked_received = 0
+        self._t1_deadline = None
+        self._t2_deadline = None
+        self._t3_deadline = now + self.timers.t3
+        self._testfr_outstanding = False

@@ -1,0 +1,155 @@
+"""CP56Time2a and CP16Time2a time tags (IEC 60870-5-4).
+
+CP56Time2a is the 7-octet binary timestamp carried by the time-tagged
+ASDU typeIDs (I30-I40, I58-I64, I103, I107, I126, I127). The paper's
+most frequent typeID, I36, carries one in every information object.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .errors import MalformedASDUError
+
+CP56_SIZE = 7
+CP16_SIZE = 2
+
+
+@dataclass(frozen=True)
+class CP56Time2a:
+    """7-octet date and time: milliseconds to year.
+
+    Fields mirror the wire format (milliseconds first). Comparison is
+    chronological, not field-order lexicographic.
+    """
+
+    milliseconds: int = 0   # 0..59999 (includes seconds)
+    minute: int = 0         # 0..59
+    hour: int = 0           # 0..23
+    day_of_month: int = 1   # 1..31
+    day_of_week: int = 0    # 0 (unused) or 1..7
+    month: int = 1          # 1..12
+    year: int = 0           # 0..99 (offset from 2000)
+    invalid: bool = False
+    summer_time: bool = False
+
+    def __post_init__(self) -> None:
+        checks = (
+            (0 <= self.milliseconds <= 59999, "milliseconds"),
+            (0 <= self.minute <= 59, "minute"),
+            (0 <= self.hour <= 23, "hour"),
+            (1 <= self.day_of_month <= 31, "day_of_month"),
+            (0 <= self.day_of_week <= 7, "day_of_week"),
+            (1 <= self.month <= 12, "month"),
+            (0 <= self.year <= 99, "year"),
+        )
+        for ok, name in checks:
+            if not ok:
+                raise ValueError(f"CP56Time2a field {name} out of range")
+
+    @classmethod
+    def from_seconds(cls, epoch_seconds: float) -> "CP56Time2a":
+        """Build a tag from seconds since 2000-01-01 00:00:00.
+
+        The simulator uses a simplified 30-day-month calendar: the tag is
+        only required to be *monotonic and reversible*, which this is.
+        """
+        if epoch_seconds < 0:
+            raise ValueError("epoch_seconds must be >= 0")
+        total_ms = int(round(epoch_seconds * 1000.0))
+        ms = total_ms % 60000
+        total_min = total_ms // 60000
+        minute = total_min % 60
+        total_hours = total_min // 60
+        hour = total_hours % 24
+        total_days = total_hours // 24
+        day = total_days % 30 + 1
+        total_months = total_days // 30
+        month = total_months % 12 + 1
+        year = total_months // 12
+        if year > 99:
+            raise ValueError("timestamp beyond CP56Time2a range")
+        return cls(milliseconds=ms, minute=minute, hour=hour,
+                   day_of_month=day, month=month, year=year)
+
+    def to_seconds(self) -> float:
+        """Inverse of :meth:`from_seconds` (simplified calendar)."""
+        days = (self.year * 12 + (self.month - 1)) * 30 + self.day_of_month - 1
+        minutes = (days * 24 + self.hour) * 60 + self.minute
+        return minutes * 60.0 + self.milliseconds / 1000.0
+
+    def _sort_key(self) -> tuple:
+        return (self.year, self.month, self.day_of_month, self.hour,
+                self.minute, self.milliseconds)
+
+    def __lt__(self, other: "CP56Time2a") -> bool:
+        return self._sort_key() < other._sort_key()
+
+    def __le__(self, other: "CP56Time2a") -> bool:
+        return self._sort_key() <= other._sort_key()
+
+    def __gt__(self, other: "CP56Time2a") -> bool:
+        return self._sort_key() > other._sort_key()
+
+    def __ge__(self, other: "CP56Time2a") -> bool:
+        return self._sort_key() >= other._sort_key()
+
+    def encode(self) -> bytes:
+        octet3 = self.minute | (0x80 if self.invalid else 0)
+        octet4 = self.hour | (0x80 if self.summer_time else 0)
+        octet5 = self.day_of_month | (self.day_of_week << 5)
+        return bytes((
+            self.milliseconds & 0xFF,
+            (self.milliseconds >> 8) & 0xFF,
+            octet3,
+            octet4,
+            octet5,
+            self.month,
+            self.year,
+        ))
+
+    @classmethod
+    def decode(cls, data: bytes | memoryview, offset: int = 0) -> "CP56Time2a":
+        raw = bytes(data[offset:offset + CP56_SIZE])
+        if len(raw) < CP56_SIZE:
+            raise MalformedASDUError(
+                f"truncated CP56Time2a: {len(raw)} < {CP56_SIZE} octets")
+        ms = raw[0] | (raw[1] << 8)
+        minute = raw[2] & 0x3F
+        invalid = bool(raw[2] & 0x80)
+        hour = raw[3] & 0x1F
+        summer = bool(raw[3] & 0x80)
+        day = raw[4] & 0x1F
+        dow = (raw[4] >> 5) & 0x07
+        month = raw[5] & 0x0F
+        year = raw[6] & 0x7F
+        try:
+            return cls(milliseconds=ms, minute=minute, hour=hour,
+                       day_of_month=day, day_of_week=dow, month=month,
+                       year=year, invalid=invalid, summer_time=summer)
+        except ValueError as exc:
+            raise MalformedASDUError(f"invalid CP56Time2a: {exc}") from exc
+
+
+@dataclass(frozen=True, order=True)
+class CP16Time2a:
+    """2-octet elapsed time in milliseconds (0..59999)."""
+
+    milliseconds: int = 0
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.milliseconds <= 59999:
+            raise ValueError("CP16Time2a milliseconds out of range")
+
+    def encode(self) -> bytes:
+        return bytes((self.milliseconds & 0xFF, (self.milliseconds >> 8)))
+
+    @classmethod
+    def decode(cls, data: bytes | memoryview, offset: int = 0) -> "CP16Time2a":
+        raw = bytes(data[offset:offset + CP16_SIZE])
+        if len(raw) < CP16_SIZE:
+            raise MalformedASDUError("truncated CP16Time2a")
+        value = raw[0] | (raw[1] << 8)
+        if value > 59999:
+            raise MalformedASDUError(f"CP16Time2a value {value} out of range")
+        return cls(milliseconds=value)

@@ -1,0 +1,46 @@
+"""Ethernet II framing."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .addresses import MacAddress
+
+#: EtherType for IPv4.
+ETHERTYPE_IPV4 = 0x0800
+
+#: Minimum Ethernet header size (no 802.1Q tag support needed here).
+HEADER_SIZE = 14
+
+
+class EthernetError(ValueError):
+    """Raised when an Ethernet frame cannot be decoded."""
+
+
+@dataclass(frozen=True)
+class EthernetFrame:
+    """An Ethernet II frame (no FCS; captures normally strip it)."""
+
+    dst: MacAddress
+    src: MacAddress
+    ethertype: int
+    payload: bytes
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.ethertype <= 0xFFFF:
+            raise ValueError("ethertype must fit in 16 bits")
+
+    def encode(self) -> bytes:
+        return (self.dst.to_bytes() + self.src.to_bytes()
+                + self.ethertype.to_bytes(2, "big") + self.payload)
+
+    @classmethod
+    def decode(cls, data: bytes | memoryview) -> "EthernetFrame":
+        raw = bytes(data)
+        if len(raw) < HEADER_SIZE:
+            raise EthernetError(
+                f"frame too short for Ethernet header: {len(raw)} octets")
+        return cls(dst=MacAddress.from_bytes(raw[0:6]),
+                   src=MacAddress.from_bytes(raw[6:12]),
+                   ethertype=int.from_bytes(raw[12:14], "big"),
+                   payload=raw[14:])

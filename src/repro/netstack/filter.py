@@ -1,0 +1,215 @@
+"""A small display-filter language over captured packets.
+
+Wireshark-style expressions for slicing captures, used by the CLI's
+``--filter`` option and handy in notebooks:
+
+    iec104 and ip.src == 10.1.0.3
+    tcp.port == 2404 and not tcp.flags.rst
+    host == O37 or host == O53
+    tcp.payload > 0 and tcp.dstport != 2404
+
+Grammar (recursive descent)::
+
+    expr   := term ('or' term)*
+    term   := factor ('and' factor)*
+    factor := 'not' factor | '(' expr ')' | atom
+    atom   := FIELD OP VALUE | KEYWORD
+
+Fields: ip.src, ip.dst, ip.addr (either side), tcp.srcport,
+tcp.dstport, tcp.port (either side), tcp.payload (length),
+tcp.flags.{syn,ack,fin,rst,psh} (booleans), host / host.src / host.dst
+(names from an optional address book). Keywords: ``iec104`` (port 2404
+either side). Operators: == != < <= > >=.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Callable
+
+from .addresses import IPv4Address
+from .packet import CapturedPacket
+
+
+class FilterError(ValueError):
+    """Raised on a syntactically or semantically invalid filter."""
+
+
+_TOKEN = re.compile(r"""
+    (?P<lparen>\() | (?P<rparen>\)) |
+    (?P<op>==|!=|<=|>=|<|>) |
+    (?P<word>[A-Za-z0-9_.:\-]+)
+""", re.VERBOSE)
+
+_BOOL_FLAGS = {"tcp.flags.syn": "syn", "tcp.flags.ack": "ack",
+               "tcp.flags.fin": "fin", "tcp.flags.rst": "rst",
+               "tcp.flags.psh": "psh"}
+
+_KEYWORDS = {"iec104", "and", "or", "not"}
+
+Predicate = Callable[[CapturedPacket], bool]
+
+
+def _tokenize(text: str) -> list[str]:
+    tokens = []
+    position = 0
+    while position < len(text):
+        if text[position].isspace():
+            position += 1
+            continue
+        match = _TOKEN.match(text, position)
+        if match is None:
+            raise FilterError(
+                f"cannot tokenize filter at: {text[position:]!r}")
+        tokens.append(match.group(0))
+        position = match.end()
+    return tokens
+
+
+@dataclass
+class _Parser:
+    tokens: list[str]
+    names: dict[IPv4Address, str]
+    position: int = 0
+
+    def peek(self) -> str | None:
+        if self.position < len(self.tokens):
+            return self.tokens[self.position]
+        return None
+
+    def take(self) -> str:
+        token = self.peek()
+        if token is None:
+            raise FilterError("unexpected end of filter")
+        self.position += 1
+        return token
+
+    # -- grammar ----------------------------------------------------------
+
+    def parse(self) -> Predicate:
+        predicate = self.expr()
+        if self.peek() is not None:
+            raise FilterError(f"trailing input: {self.peek()!r}")
+        return predicate
+
+    def expr(self) -> Predicate:
+        left = self.term()
+        while self.peek() == "or":
+            self.take()
+            right = self.term()
+            left = (lambda a, b: lambda p: a(p) or b(p))(left, right)
+        return left
+
+    def term(self) -> Predicate:
+        left = self.factor()
+        while self.peek() == "and":
+            self.take()
+            right = self.factor()
+            left = (lambda a, b: lambda p: a(p) and b(p))(left, right)
+        return left
+
+    def factor(self) -> Predicate:
+        token = self.peek()
+        if token == "not":
+            self.take()
+            inner = self.factor()
+            return lambda p: not inner(p)
+        if token == "(":
+            self.take()
+            inner = self.expr()
+            if self.take() != ")":
+                raise FilterError("expected ')'")
+            return inner
+        return self.atom()
+
+    def atom(self) -> Predicate:
+        field = self.take()
+        if field in ("and", "or", ")"):
+            raise FilterError(f"expected a field, got {field!r}")
+        if field == "iec104":
+            return lambda p: 2404 in (p.tcp.src_port, p.tcp.dst_port)
+        if field in _BOOL_FLAGS:
+            flag = _BOOL_FLAGS[field]
+            return lambda p: getattr(p.flags, flag)
+        operator = self.take()
+        if operator not in ("==", "!=", "<", "<=", ">", ">="):
+            raise FilterError(f"expected an operator, got {operator!r}")
+        value = self.take()
+        accessor = self._accessor(field)
+        expected = self._coerce(field, value)
+        compare = {
+            "==": lambda a, b: a == b, "!=": lambda a, b: a != b,
+            "<": lambda a, b: a < b, "<=": lambda a, b: a <= b,
+            ">": lambda a, b: a > b, ">=": lambda a, b: a >= b,
+        }[operator]
+
+        def predicate(packet: CapturedPacket) -> bool:
+            actual = accessor(packet)
+            if isinstance(actual, tuple):  # either-side fields
+                if operator == "!=":
+                    return all(compare(item, expected)
+                               for item in actual)
+                return any(compare(item, expected) for item in actual)
+            return compare(actual, expected)
+
+        return predicate
+
+    # -- field plumbing -----------------------------------------------------
+
+    def _accessor(self, field: str) -> Callable[[CapturedPacket], object]:
+        if field == "ip.src":
+            return lambda p: p.ip.src
+        if field == "ip.dst":
+            return lambda p: p.ip.dst
+        if field == "ip.addr":
+            return lambda p: (p.ip.src, p.ip.dst)
+        if field == "tcp.srcport":
+            return lambda p: p.tcp.src_port
+        if field == "tcp.dstport":
+            return lambda p: p.tcp.dst_port
+        if field == "tcp.port":
+            return lambda p: (p.tcp.src_port, p.tcp.dst_port)
+        if field == "tcp.payload":
+            return lambda p: len(p.payload)
+        names = self.names
+        if field == "host.src":
+            return lambda p: names.get(p.ip.src, str(p.ip.src))
+        if field == "host.dst":
+            return lambda p: names.get(p.ip.dst, str(p.ip.dst))
+        if field == "host":
+            return lambda p: (names.get(p.ip.src, str(p.ip.src)),
+                              names.get(p.ip.dst, str(p.ip.dst)))
+        raise FilterError(f"unknown field {field!r}")
+
+    def _coerce(self, field: str, value: str):
+        if field.startswith("ip."):
+            try:
+                return IPv4Address.parse(value)
+            except ValueError as exc:
+                raise FilterError(str(exc)) from None
+        if field.startswith("tcp."):
+            if not value.isdigit():
+                raise FilterError(
+                    f"{field} compares against an integer, got "
+                    f"{value!r}")
+            return int(value)
+        return value  # host names compare as strings
+
+
+def compile_filter(text: str,
+                   names: dict[IPv4Address, str] | None = None
+                   ) -> Predicate:
+    """Compile a filter expression into a packet predicate."""
+    tokens = _tokenize(text)
+    if not tokens:
+        raise FilterError("empty filter")
+    return _Parser(tokens=tokens, names=names or {}).parse()
+
+
+def filter_packets(packets, text: str,
+                   names: dict[IPv4Address, str] | None = None
+                   ) -> list[CapturedPacket]:
+    """Return the packets matching a filter expression."""
+    predicate = compile_filter(text, names=names)
+    return [packet for packet in packets if predicate(packet)]

@@ -1,0 +1,124 @@
+"""TCP connection tracking over captured packets.
+
+The paper defines a flow by the 4-tuple <srcIP, srcPort, dstIP,
+dstPort> and splits flows into *short-lived* (a matching SYN and
+RST/FIN pair appear inside the capture) and *long-lived* (the
+connection started before the capture or outlived it). This module
+builds those records; :mod:`repro.analysis.flows` computes the Table 3 /
+Fig. 8 statistics from them.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from .packet import CapturedPacket, FlowKey
+
+
+class FlowKind(enum.Enum):
+    """Paper Section 6.2 flow classification."""
+
+    SHORT_LIVED = "short-lived"   # SYN and FIN/RST both inside capture
+    LONG_LIVED = "long-lived"     # began before capture or never ended
+
+
+@dataclass
+class DirectionStats:
+    """Per-direction counters within a connection."""
+
+    packets: int = 0
+    bytes: int = 0
+    payload_bytes: int = 0
+    timestamps: list[float] = field(default_factory=list)
+
+
+@dataclass
+class FlowRecord:
+    """One TCP connection (canonical 4-tuple, both directions)."""
+
+    key: FlowKey  # canonical orientation
+    first_time: float
+    last_time: float
+    saw_syn: bool = False
+    saw_fin: bool = False
+    saw_rst: bool = False
+    #: Endpoint that sent the first SYN (connection initiator), if seen.
+    initiator: FlowKey | None = None
+    forward: DirectionStats = field(default_factory=DirectionStats)
+    reverse: DirectionStats = field(default_factory=DirectionStats)
+
+    @property
+    def duration(self) -> float:
+        return self.last_time - self.first_time
+
+    @property
+    def packets(self) -> int:
+        return self.forward.packets + self.reverse.packets
+
+    @property
+    def bytes(self) -> int:
+        return self.forward.bytes + self.reverse.bytes
+
+    @property
+    def kind(self) -> FlowKind:
+        if self.saw_syn and (self.saw_fin or self.saw_rst):
+            return FlowKind.SHORT_LIVED
+        return FlowKind.LONG_LIVED
+
+    @property
+    def rejected(self) -> bool:
+        """True for the Fig. 9 pathology: SYN answered by RST/FIN with
+        (nearly) no data exchanged."""
+        return (self.kind is FlowKind.SHORT_LIVED and self.saw_rst
+                and self.forward.payload_bytes + self.reverse.payload_bytes
+                == 0)
+
+
+class FlowTable:
+    """Accumulate packets into per-connection records."""
+
+    def __init__(self) -> None:
+        self._flows: dict[FlowKey, FlowRecord] = {}
+
+    def add(self, packet: CapturedPacket) -> FlowRecord:
+        key = packet.flow_key
+        canonical = key.canonical
+        record = self._flows.get(canonical)
+        if record is None:
+            record = FlowRecord(key=canonical,
+                                first_time=packet.timestamp,
+                                last_time=packet.timestamp)
+            self._flows[canonical] = record
+        record.first_time = min(record.first_time, packet.timestamp)
+        record.last_time = max(record.last_time, packet.timestamp)
+        flags = packet.flags
+        if flags.syn:
+            record.saw_syn = True
+            if not flags.ack and record.initiator is None:
+                record.initiator = key
+        if flags.fin:
+            record.saw_fin = True
+        if flags.rst:
+            record.saw_rst = True
+        stats = (record.forward if key == canonical else record.reverse)
+        stats.packets += 1
+        stats.bytes += packet.wire_length
+        stats.payload_bytes += len(packet.payload)
+        stats.timestamps.append(packet.timestamp)
+        return record
+
+    def add_all(self, packets: Iterable[CapturedPacket]) -> None:
+        for packet in packets:
+            self.add(packet)
+
+    @property
+    def flows(self) -> list[FlowRecord]:
+        return list(self._flows.values())
+
+    def __len__(self) -> int:
+        return len(self._flows)
+
+    def __iter__(self):
+        return iter(self._flows.values())

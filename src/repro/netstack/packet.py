@@ -1,0 +1,117 @@
+"""Layered packet model: what a capture tap sees.
+
+A :class:`CapturedPacket` is one timestamped Ethernet frame with its
+decoded IPv4 and TCP layers, exposing the fields the analysis pipeline
+needs (4-tuple, flags, payload) without re-parsing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .addresses import IPv4Address, MacAddress
+from .ethernet import ETHERTYPE_IPV4, EthernetFrame
+from .ip import PROTO_TCP, IPv4Packet
+from .tcp import TCPFlags, TCPSegment
+
+
+@dataclass(frozen=True, order=True)
+class Endpoint:
+    """An (address, port) transport endpoint."""
+
+    address: IPv4Address
+    port: int
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.port <= 0xFFFF:
+            raise ValueError("port must fit in 16 bits")
+
+    def __str__(self) -> str:
+        return f"{self.address}:{self.port}"
+
+
+@dataclass(frozen=True, order=True)
+class FlowKey:
+    """The directional 4-tuple <srcIP, srcPort, dstIP, dstPort>."""
+
+    src: Endpoint
+    dst: Endpoint
+
+    @property
+    def reversed(self) -> "FlowKey":
+        return FlowKey(src=self.dst, dst=self.src)
+
+    @property
+    def canonical(self) -> "FlowKey":
+        """Direction-independent form (smaller endpoint first)."""
+        return self if self.src <= self.dst else self.reversed
+
+    def __str__(self) -> str:
+        return f"{self.src} -> {self.dst}"
+
+
+@dataclass(frozen=True)
+class CapturedPacket:
+    """One packet as seen by the network tap (Fig. 5 of the paper)."""
+
+    timestamp: float
+    ethernet: EthernetFrame
+    ip: IPv4Packet
+    tcp: TCPSegment
+
+    @property
+    def flow_key(self) -> FlowKey:
+        return FlowKey(src=Endpoint(self.ip.src, self.tcp.src_port),
+                       dst=Endpoint(self.ip.dst, self.tcp.dst_port))
+
+    @property
+    def payload(self) -> bytes:
+        return self.tcp.payload
+
+    @property
+    def flags(self) -> TCPFlags:
+        return self.tcp.flags
+
+    @property
+    def wire_length(self) -> int:
+        """Total on-wire frame length in octets."""
+        return len(self.ethernet.encode())
+
+    def encode(self) -> bytes:
+        """Serialize the full Ethernet frame."""
+        return self.ethernet.encode()
+
+    @classmethod
+    def build(cls, timestamp: float, src_mac: MacAddress,
+              dst_mac: MacAddress, src_ip: IPv4Address,
+              dst_ip: IPv4Address, segment: TCPSegment,
+              ip_id: int = 0) -> "CapturedPacket":
+        """Assemble a packet from its TCP segment upward."""
+        ip_packet = IPv4Packet(src=src_ip, dst=dst_ip,
+                               payload=segment.encode(src_ip, dst_ip),
+                               identification=ip_id)
+        frame = EthernetFrame(dst=dst_mac, src=src_mac,
+                              ethertype=ETHERTYPE_IPV4,
+                              payload=ip_packet.encode())
+        return cls(timestamp=timestamp, ethernet=frame, ip=ip_packet,
+                   tcp=segment)
+
+    @classmethod
+    def decode(cls, timestamp: float, frame_bytes: bytes,
+               verify: bool = True) -> "CapturedPacket | None":
+        """Decode a raw Ethernet frame; None for non-TCP/IPv4 traffic.
+
+        The paper's captures contained ICCP and C37.118 alongside IEC
+        104; returning ``None`` for anything that is not TCP-over-IPv4
+        lets callers filter exactly as the paper did.
+        """
+        frame = EthernetFrame.decode(frame_bytes)
+        if frame.ethertype != ETHERTYPE_IPV4:
+            return None
+        ip_packet = IPv4Packet.decode(frame.payload, verify=verify)
+        if ip_packet.protocol != PROTO_TCP:
+            return None
+        segment = TCPSegment.decode(ip_packet.payload, ip_packet.src,
+                                    ip_packet.dst, verify=verify)
+        return cls(timestamp=timestamp, ethernet=frame, ip=ip_packet,
+                   tcp=segment)

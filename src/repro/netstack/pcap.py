@@ -1,0 +1,127 @@
+"""Classic libpcap file format reader and writer.
+
+Implements the 24-octet global header plus 16-octet per-record headers,
+supporting microsecond (magic 0xa1b2c3d4) and nanosecond (0xa1b23c4d)
+resolution and both byte orders on read. This is the on-disk format the
+paper's captures were stored in; our simulator writes it and our
+analysis pipeline reads it, so the whole pipeline round-trips through
+real pcap bytes.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import BinaryIO, Iterable, Iterator
+
+MAGIC_USEC = 0xA1B2C3D4
+MAGIC_NSEC = 0xA1B23C4D
+
+#: Data-link type for Ethernet.
+LINKTYPE_ETHERNET = 1
+
+_GLOBAL_HEADER = struct.Struct("<IHHiIII")
+_RECORD_HEADER = struct.Struct("<IIII")
+
+
+class PcapError(ValueError):
+    """Raised on malformed pcap files."""
+
+
+@dataclass(frozen=True)
+class PcapRecord:
+    """One captured frame: a timestamp and the raw link-layer bytes."""
+
+    timestamp: float
+    data: bytes
+    original_length: int | None = None
+
+    @property
+    def truncated(self) -> bool:
+        return (self.original_length is not None
+                and self.original_length > len(self.data))
+
+
+class PcapWriter:
+    """Write records to a classic pcap stream (microsecond resolution)."""
+
+    def __init__(self, stream: BinaryIO, snaplen: int = 65535,
+                 linktype: int = LINKTYPE_ETHERNET):
+        self._stream = stream
+        self._snaplen = snaplen
+        stream.write(_GLOBAL_HEADER.pack(MAGIC_USEC, 2, 4, 0, 0, snaplen,
+                                         linktype))
+
+    def write(self, record: PcapRecord) -> None:
+        seconds = int(record.timestamp)
+        micros = int(round((record.timestamp - seconds) * 1_000_000))
+        if micros >= 1_000_000:
+            seconds += 1
+            micros -= 1_000_000
+        data = record.data[:self._snaplen]
+        original = (record.original_length
+                    if record.original_length is not None
+                    else len(record.data))
+        self._stream.write(_RECORD_HEADER.pack(seconds, micros, len(data),
+                                               original))
+        self._stream.write(data)
+
+    def write_all(self, records: Iterable[PcapRecord]) -> int:
+        count = 0
+        for record in records:
+            self.write(record)
+            count += 1
+        return count
+
+
+class PcapReader:
+    """Read records from a classic pcap stream."""
+
+    def __init__(self, stream: BinaryIO):
+        self._stream = stream
+        header = stream.read(_GLOBAL_HEADER.size)
+        if len(header) < _GLOBAL_HEADER.size:
+            raise PcapError("truncated pcap global header")
+        magic = struct.unpack("<I", header[:4])[0]
+        if magic in (MAGIC_USEC, MAGIC_NSEC):
+            self._endian = "<"
+        else:
+            magic = struct.unpack(">I", header[:4])[0]
+            if magic not in (MAGIC_USEC, MAGIC_NSEC):
+                raise PcapError(f"bad pcap magic 0x{magic:08x}")
+            self._endian = ">"
+        self._nanoseconds = magic == MAGIC_NSEC
+        fields = struct.unpack(self._endian + "IHHiIII", header)
+        self.version = (fields[1], fields[2])
+        self.snaplen = fields[5]
+        self.linktype = fields[6]
+        self._record_struct = struct.Struct(self._endian + "IIII")
+
+    def __iter__(self) -> Iterator[PcapRecord]:
+        divisor = 1e9 if self._nanoseconds else 1e6
+        while True:
+            header = self._stream.read(self._record_struct.size)
+            if not header:
+                return
+            if len(header) < self._record_struct.size:
+                raise PcapError("truncated pcap record header")
+            seconds, fraction, captured, original = (
+                self._record_struct.unpack(header))
+            data = self._stream.read(captured)
+            if len(data) < captured:
+                raise PcapError("truncated pcap record body")
+            yield PcapRecord(timestamp=seconds + fraction / divisor,
+                             data=data, original_length=original)
+
+
+def write_pcap(path, records: Iterable[PcapRecord],
+               snaplen: int = 65535) -> int:
+    """Write ``records`` to ``path``; return the number written."""
+    with open(path, "wb") as stream:
+        return PcapWriter(stream, snaplen=snaplen).write_all(records)
+
+
+def read_pcap(path) -> list[PcapRecord]:
+    """Read every record from the pcap file at ``path``."""
+    with open(path, "rb") as stream:
+        return list(PcapReader(stream))

@@ -1,0 +1,180 @@
+"""Minimal pcapng (pcap next generation) reader.
+
+Real-world captures increasingly come as pcapng; this reader supports
+the blocks needed to ingest packet data: Section Header (0x0A0D0D0A),
+Interface Description (1), Enhanced Packet (6) and Simple Packet (3).
+Options are skipped; multiple sections and interfaces are handled;
+both byte orders are supported via the section byte-order magic.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import BinaryIO, Iterator
+
+from .pcap import PcapRecord
+
+SHB_TYPE = 0x0A0D0D0A
+IDB_TYPE = 0x00000001
+SPB_TYPE = 0x00000003
+EPB_TYPE = 0x00000006
+
+_BYTE_ORDER_MAGIC = 0x1A2B3C4D
+
+
+class PcapngError(ValueError):
+    """Raised on malformed pcapng input."""
+
+
+@dataclass
+class _Interface:
+    linktype: int
+    #: Timestamp units per second (from if_tsresol; default 1e6).
+    ticks_per_second: float = 1e6
+
+
+class PcapngReader:
+    """Iterate :class:`PcapRecord` items from a pcapng stream."""
+
+    def __init__(self, stream: BinaryIO):
+        self._stream = stream
+        self._endian = "<"
+        self._interfaces: list[_Interface] = []
+        head = stream.read(8)
+        if len(head) < 8:
+            raise PcapngError("truncated pcapng header")
+        block_type = struct.unpack("<I", head[:4])[0]
+        if block_type != SHB_TYPE:
+            raise PcapngError(
+                f"not a pcapng stream (first block 0x{block_type:08x})")
+        self._pending = head
+
+    def _read_exact(self, count: int) -> bytes:
+        data = self._stream.read(count)
+        if len(data) < count:
+            raise PcapngError("truncated pcapng block")
+        return data
+
+    def _next_block(self) -> tuple[int, bytes] | None:
+        if self._pending:
+            head = self._pending
+            self._pending = b""
+        else:
+            head = self._stream.read(8)
+            if not head:
+                return None
+            if len(head) < 8:
+                raise PcapngError("truncated block header")
+        block_type = struct.unpack(self._endian + "I", head[:4])[0]
+        if block_type == SHB_TYPE:
+            # Length interpretation needs the byte-order magic, which
+            # sits just after the header.
+            magic_bytes = self._read_exact(4)
+            if struct.unpack("<I", magic_bytes)[0] == _BYTE_ORDER_MAGIC:
+                self._endian = "<"
+            elif struct.unpack(">I", magic_bytes)[0] \
+                    == _BYTE_ORDER_MAGIC:
+                self._endian = ">"
+            else:
+                raise PcapngError("bad byte-order magic")
+            length = struct.unpack(self._endian + "I", head[4:8])[0]
+            if length < 16 or length % 4:
+                raise PcapngError(f"invalid SHB length {length}")
+            # header (8) + magic (4) + rest + trailer (4) == length
+            body = magic_bytes + self._read_exact(length - 16)
+            self._read_exact(4)  # trailing length
+            self._interfaces = []  # new section resets interfaces
+            return SHB_TYPE, body
+        length = struct.unpack(self._endian + "I", head[4:8])[0]
+        if length < 12 or length % 4:
+            raise PcapngError(f"invalid block length {length}")
+        body = self._read_exact(length - 12)
+        trailer = struct.unpack(self._endian + "I",
+                                self._read_exact(4))[0]
+        if trailer != length:
+            raise PcapngError("block length trailer mismatch")
+        return block_type, body
+
+    def _parse_idb(self, body: bytes) -> None:
+        if len(body) < 8:
+            raise PcapngError("IDB too short")
+        linktype = struct.unpack(self._endian + "H", body[0:2])[0]
+        interface = _Interface(linktype=linktype)
+        # Walk options for if_tsresol (code 9).
+        offset = 8
+        while offset + 4 <= len(body):
+            code, length = struct.unpack(self._endian + "HH",
+                                         body[offset:offset + 4])
+            offset += 4
+            value = body[offset:offset + length]
+            offset += (length + 3) & ~3
+            if code == 0:
+                break
+            if code == 9 and length >= 1:
+                resol = value[0]
+                if resol & 0x80:
+                    interface.ticks_per_second = float(2 **
+                                                       (resol & 0x7F))
+                else:
+                    interface.ticks_per_second = float(10 ** resol)
+        self._interfaces.append(interface)
+
+    def __iter__(self) -> Iterator[PcapRecord]:
+        while True:
+            block = self._next_block()
+            if block is None:
+                return
+            block_type, body = block
+            if block_type == IDB_TYPE:
+                self._parse_idb(body)
+            elif block_type == EPB_TYPE:
+                if len(body) < 20:
+                    raise PcapngError("EPB too short")
+                (interface_id, ts_high, ts_low, captured,
+                 original) = struct.unpack(self._endian + "IIIII",
+                                           body[:20])
+                if interface_id >= len(self._interfaces):
+                    raise PcapngError(
+                        f"EPB references unknown interface "
+                        f"{interface_id}")
+                ticks = (ts_high << 32) | ts_low
+                interface = self._interfaces[interface_id]
+                data = body[20:20 + captured]
+                if len(data) < captured:
+                    raise PcapngError("EPB packet data truncated")
+                yield PcapRecord(
+                    timestamp=ticks / interface.ticks_per_second,
+                    data=data, original_length=original)
+            elif block_type == SPB_TYPE:
+                if len(body) < 4:
+                    raise PcapngError("SPB too short")
+                original = struct.unpack(self._endian + "I",
+                                         body[:4])[0]
+                data = body[4:4 + original]
+                yield PcapRecord(timestamp=0.0, data=data,
+                                 original_length=original)
+            # other block types (NRB, ISB, custom) are skipped
+
+
+def read_pcapng(path) -> list[PcapRecord]:
+    """Read every packet record from a pcapng file."""
+    with open(path, "rb") as stream:
+        return list(PcapngReader(stream))
+
+
+def sniff_format(stream: BinaryIO) -> str:
+    """Return "pcap", "pcapng" or "unknown" without consuming input."""
+    position = stream.tell()
+    magic = stream.read(4)
+    stream.seek(position)
+    if len(magic) < 4:
+        return "unknown"
+    value_le = struct.unpack("<I", magic)[0]
+    value_be = struct.unpack(">I", magic)[0]
+    if value_le == SHB_TYPE:
+        return "pcapng"
+    if 0xA1B2C3D4 in (value_le, value_be) \
+            or 0xA1B23C4D in (value_le, value_be):
+        return "pcap"
+    return "unknown"

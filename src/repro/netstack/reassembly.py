@@ -1,0 +1,143 @@
+"""TCP stream reassembly with retransmission accounting.
+
+One :class:`StreamReassembler` handles one direction of one TCP
+connection: it orders segments by sequence number, fills holes as data
+arrives, and *counts retransmissions instead of replaying them*.
+
+The distinction matters for the paper's Section 6.3.1: the authors
+tokenized APDUs per packet, so TCP retransmissions appeared as repeated
+U16/U32 tokens in their Markov chains (an apparent anomaly they traced
+back to the transport layer). Parsing the reassembled stream removes
+those duplicates; the analysis pipeline exposes both modes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+_SEQ_MODULO = 1 << 32
+_HALF = 1 << 31
+
+
+def seq_after(a: int, b: int) -> bool:
+    """True when sequence number ``a`` is after ``b`` (mod 2^32)."""
+    return (a - b) % _SEQ_MODULO - _HALF < 0 and a != b
+
+
+def seq_add(a: int, delta: int) -> int:
+    return (a + delta) % _SEQ_MODULO
+
+
+@dataclass
+class ReassemblyStats:
+    """Counters for one direction of one connection."""
+
+    segments: int = 0
+    payload_segments: int = 0
+    bytes_delivered: int = 0
+    retransmissions: int = 0
+    out_of_order: int = 0
+    gap_bytes_skipped: int = 0
+
+
+@dataclass
+class StreamReassembler:
+    """Reassemble one direction of a TCP connection into a byte stream.
+
+    Call :meth:`feed` with ``(seq, payload, syn, fin)`` per segment; it
+    returns the newly contiguous payload bytes (possibly empty).
+    """
+
+    #: Skip over holes larger than this many bytes (capture loss guard).
+    max_hole: int = 1 << 20
+
+    _next_seq: int | None = None
+    _pending: dict[int, bytes] = field(default_factory=dict)
+    stats: ReassemblyStats = field(default_factory=ReassemblyStats)
+    saw_syn: bool = False
+    saw_fin: bool = False
+
+    @property
+    def initialized(self) -> bool:
+        return self._next_seq is not None
+
+    @property
+    def pending_bytes(self) -> int:
+        return sum(len(chunk) for chunk in self._pending.values())
+
+    def feed(self, seq: int, payload: bytes, syn: bool = False,
+             fin: bool = False) -> bytes:
+        """Process one segment; return newly in-order payload bytes."""
+        self.stats.segments += 1
+        if fin:
+            self.saw_fin = True
+        if syn:
+            self.saw_syn = True
+            # Data begins one past the ISN.
+            if self._next_seq is None:
+                self._next_seq = seq_add(seq, 1)
+        if not payload:
+            return b""
+        self.stats.payload_segments += 1
+        if self._next_seq is None:
+            # Capture started mid-connection: lock onto the first data.
+            self._next_seq = seq
+
+        if seq == self._next_seq:
+            delivered = bytearray(payload)
+            self._next_seq = seq_add(seq, len(payload))
+            delivered.extend(self._drain_pending())
+            self.stats.bytes_delivered += len(delivered)
+            return bytes(delivered)
+
+        if seq_after(self._next_seq, seq):
+            # Starts before the cursor: retransmission (possibly with a
+            # new tail beyond the cursor).
+            overlap = (self._next_seq - seq) % _SEQ_MODULO
+            self.stats.retransmissions += 1
+            if overlap < len(payload):
+                tail = payload[overlap:]
+                delivered = bytearray(tail)
+                self._next_seq = seq_add(self._next_seq, len(tail))
+                delivered.extend(self._drain_pending())
+                self.stats.bytes_delivered += len(delivered)
+                return bytes(delivered)
+            return b""
+
+        # Starts after the cursor: out of order (or capture loss).
+        gap = (seq - self._next_seq) % _SEQ_MODULO
+        if gap > self.max_hole:
+            # Unrecoverable hole: jump the cursor and note the loss.
+            self.stats.gap_bytes_skipped += gap
+            self._next_seq = seq_add(seq, len(payload))
+            self.stats.bytes_delivered += len(payload)
+            return payload
+        self.stats.out_of_order += 1
+        existing = self._pending.get(seq)
+        if existing is None or len(payload) > len(existing):
+            self._pending[seq] = payload
+        else:
+            self.stats.retransmissions += 1
+        return b""
+
+    def _drain_pending(self) -> bytes:
+        out = bytearray()
+        while self._pending:
+            chunk = self._pending.pop(self._next_seq, None)
+            if chunk is None:
+                # Check for chunks overlapping the cursor.
+                overlapping = None
+                for seq in list(self._pending):
+                    if seq_after(self._next_seq, seq):
+                        overlap = (self._next_seq - seq) % _SEQ_MODULO
+                        chunk_data = self._pending.pop(seq)
+                        self.stats.retransmissions += 1
+                        if overlap < len(chunk_data):
+                            overlapping = chunk_data[overlap:]
+                        break
+                if overlapping is None:
+                    break
+                chunk = overlapping
+            out.extend(chunk)
+            self._next_seq = seq_add(self._next_seq, len(chunk))
+        return bytes(out)

@@ -1,0 +1,21 @@
+"""Discrete-event simulator of the federated bulk-power SCADA network."""
+
+from .agents import IEC104Link, LinkStats, build_element
+from .attacker import AttackResult, ReconnaissanceMode, run_attack
+from .behaviors import (OutstationBehavior, OutstationType, PointConfig,
+                        RejectMode, ReportMode)
+from .capture import CaptureTap, CaptureWindow
+from .clock import SimulationError, Simulator
+from .scenario import (COOLDOWN_S, WARMUP_S, LinkPlan, Scenario,
+                       SyntheticCapture)
+from .tcpsim import RetransmissionModel, SimConnection, SimHost
+from .topology import NetworkMap
+
+__all__ = [
+    "AttackResult", "COOLDOWN_S", "CaptureTap", "CaptureWindow",
+    "IEC104Link", "LinkPlan", "ReconnaissanceMode", "run_attack",
+    "LinkStats", "NetworkMap", "OutstationBehavior", "OutstationType",
+    "PointConfig", "RejectMode", "ReportMode", "RetransmissionModel",
+    "Scenario", "SimConnection", "SimHost", "SimulationError", "Simulator",
+    "SyntheticCapture", "WARMUP_S", "build_element",
+]

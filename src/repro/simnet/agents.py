@@ -1,0 +1,550 @@
+"""IEC 104 protocol agents riding the simulated TCP connections.
+
+One :class:`IEC104Link` models a logical server-to-outstation
+association: it owns at most one live TCP connection, two
+:class:`~repro.iec104.state_machine.ConnectionMachine` instances (one
+per endpoint, with real sequence-number accounting), and the scheduling
+logic for every behaviour the paper reports:
+
+* primary connections: STARTDT, general interrogation (I100), periodic
+  and spontaneous measurement reporting, S-format acknowledgements
+  driven by the w window and the T2 timer, AGC set-point commands,
+  occasional clock synchronization, in-band TESTFR when idle > T3;
+* secondary connections: TESTFR act/con keep-alives (Fig. 4);
+* promotion of a secondary to primary mid-capture (Fig. 16);
+* the Fig. 9 pathologies: backup connections answered with RST/FIN
+  after the first TESTFR act, or SYNs silently ignored.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable
+
+from ..iec104.apci import IFrame, SFrame, UFrame
+from ..iec104.asdu import ASDU, InformationObject
+from ..iec104.constants import Cause, ProtocolTimers, TypeID, UFunction
+from ..iec104.information_elements import (Bitstring32, ClockSyncCommand,
+                                           DoublePoint, InterrogationCommand,
+                                           NormalizedValue, ReadCommand,
+                                           SetpointFloat, ShortFloat,
+                                           SingleCommand, SinglePoint,
+                                           StepPosition,
+                                           EndOfInitialization)
+from ..iec104.state_machine import ActionKind, ConnectionMachine
+from ..iec104.time_tag import CP56Time2a
+from .behaviors import (OutstationBehavior, PointConfig, RejectMode,
+                        ReportMode)
+from .capture import CaptureTap
+from .clock import Simulator
+from .tcpsim import RetransmissionModel, SimConnection, SimHost
+
+#: Gap between back-to-back application frames on one connection.
+_FRAME_GAP = 0.004
+
+_TIMED_TYPES = {
+    TypeID.M_SP_TB_1, TypeID.M_DP_TB_1, TypeID.M_ST_TB_1,
+    TypeID.M_BO_TB_1, TypeID.M_ME_TD_1, TypeID.M_ME_TE_1,
+    TypeID.M_ME_TF_1, TypeID.M_IT_TB_1,
+}
+
+
+def build_element(type_id: TypeID, value: float, now: float):
+    """Build the information element for a measurement point."""
+    time = (CP56Time2a.from_seconds(now) if type_id in _TIMED_TYPES
+            else None)
+    if type_id in (TypeID.M_ME_NC_1, TypeID.M_ME_TF_1):
+        return ShortFloat(value=float(value), time=time)
+    if type_id in (TypeID.M_ME_NA_1, TypeID.M_ME_TD_1):
+        clamped = max(-1.0, min(0.99996, float(value)))
+        return NormalizedValue(value=clamped, time=time)
+    if type_id in (TypeID.M_SP_NA_1, TypeID.M_SP_TB_1):
+        return SinglePoint(value=bool(round(value)), time=time)
+    if type_id in (TypeID.M_DP_NA_1, TypeID.M_DP_TB_1):
+        return DoublePoint(state=int(round(value)) & 0x03, time=time)
+    if type_id is TypeID.M_ST_NA_1:
+        return StepPosition(value=max(-64, min(63, int(round(value)))))
+    if type_id is TypeID.M_BO_NA_1:
+        return Bitstring32(bits=int(round(value)) & 0xFFFFFFFF)
+    raise ValueError(f"unsupported measurement typeID {type_id.name}")
+
+
+@dataclass
+class LinkStats:
+    """Per-link counters, useful for tests and scenario debugging."""
+
+    connections: int = 0
+    i_frames: int = 0
+    s_frames: int = 0
+    u_frames: int = 0
+    rejects: int = 0
+    setpoints: int = 0
+
+
+class IEC104Link:
+    """A server-to-outstation IEC 104 association in the simulation."""
+
+    def __init__(self, sim: Simulator, tap: CaptureTap,
+                 rng: random.Random, server_host: SimHost,
+                 outstation_host: SimHost, behavior: OutstationBehavior,
+                 server_name: str, common_address: int = 1,
+                 timers: ProtocolTimers | None = None,
+                 retransmission: RetransmissionModel | None = None,
+                 on_setpoint: Callable[[float], None] | None = None,
+                 send_end_of_init: bool = False):
+        self._sim = sim
+        self._tap = tap
+        self._rng = rng
+        self.server_host = server_host
+        self.outstation_host = outstation_host
+        self.behavior = behavior
+        self.server_name = server_name
+        self.common_address = common_address
+        self.timers = timers or ProtocolTimers()
+        self._retransmission = retransmission
+        self._on_setpoint = on_setpoint
+        self._send_end_of_init = send_end_of_init
+
+        self._conn: SimConnection | None = None
+        self._server = ConnectionMachine(is_controlling=True,
+                                         timers=self.timers)
+        self._outstation = ConnectionMachine(is_controlling=False,
+                                             timers=self.timers)
+        self._epoch = 0
+        self._end_time = float("inf")
+        self._last_sent: dict[int, float] = {}
+        self._next_periodic: dict[int, float] = {}
+        self._last_activity = 0.0
+        self._ack_flush_pending = False
+        self.is_primary = False
+        self.stats = LinkStats()
+
+    # -- lifecycle ----------------------------------------------------------
+
+    @property
+    def connected(self) -> bool:
+        return (self._conn is not None and self._conn.established
+                and not self._conn.closed)
+
+    #: TCP acknowledgement policy for the link's connections ("none"
+    #: or "delayed"); set by the scenario.
+    ack_policy = "none"
+
+    def _new_connection(self) -> SimConnection:
+        retrans = self._retransmission or RetransmissionModel()
+        return SimConnection(self._sim, self._tap, self.server_host,
+                             self.outstation_host, server_port=2404,
+                             rng=self._rng, retransmission=retrans,
+                             ack_policy=self.ack_policy)
+
+    def connect(self, when: float) -> float:
+        """Establish a fresh TCP connection; both machines reset."""
+        if self.connected:
+            raise RuntimeError(f"{self._label()}: already connected")
+        self._conn = self._new_connection()
+        done = self._conn.establish(when)
+        self._server.connection_opened(done)
+        self._outstation.connection_opened(done)
+        self.stats.connections += 1
+        self.is_primary = False
+        self._last_sent.clear()
+        self._next_periodic.clear()
+        self._last_activity = done
+        return done
+
+    def close(self, when: float, rst: bool = False,
+              from_server: bool = True) -> None:
+        """Tear down the live connection and cancel scheduled loops."""
+        self._epoch += 1
+        self.is_primary = False
+        if self.connected:
+            if rst:
+                self._conn.close_rst(when, from_client=from_server)
+            else:
+                self._conn.close_fin(when, from_client=from_server)
+
+    def run_until(self, end_time: float) -> None:
+        """Set the horizon past which loops stop rescheduling."""
+        self._end_time = end_time
+
+    # -- frame plumbing ------------------------------------------------------
+
+    def _label(self) -> str:
+        return f"{self.server_name}-{self.behavior.name}"
+
+    def _send_frame(self, when: float, frame, from_server: bool) -> float:
+        payload = frame.encode(self.behavior.profile)
+        arrival = self._conn.send(when, from_client=from_server,
+                                  payload=payload)
+        sender = self._server if from_server else self._outstation
+        receiver = self._outstation if from_server else self._server
+        sender.on_send(frame, when)
+        actions = receiver.on_receive(frame, arrival)
+        self._last_activity = when
+        if isinstance(frame, IFrame):
+            self.stats.i_frames += 1
+        elif isinstance(frame, SFrame):
+            self.stats.s_frames += 1
+        else:
+            self.stats.u_frames += 1
+        reply_time = arrival + _FRAME_GAP
+        for action in actions:
+            if action.kind is ActionKind.SEND_S_ACK:
+                reply_time = self._send_frame(
+                    reply_time, SFrame(recv_seq=action.recv_seq),
+                    from_server=not from_server)
+            elif action.kind is ActionKind.SEND_STARTDT_CON:
+                reply_time = self._send_frame(
+                    reply_time, UFrame(UFunction.STARTDT_CON),
+                    from_server=not from_server)
+            elif action.kind is ActionKind.SEND_STOPDT_CON:
+                reply_time = self._send_frame(
+                    reply_time, UFrame(UFunction.STOPDT_CON),
+                    from_server=not from_server)
+            elif action.kind is ActionKind.SEND_TESTFR_CON:
+                reply_time = self._send_frame(
+                    reply_time, UFrame(UFunction.TESTFR_CON),
+                    from_server=not from_server)
+        # The server acknowledges I-frames after T2 even when the w
+        # window has not filled.
+        if (isinstance(frame, IFrame) and not from_server
+                and self._server.unacked_received > 0
+                and not self._ack_flush_pending):
+            self._ack_flush_pending = True
+            epoch = self._epoch
+            deadline = arrival + self.timers.t2
+            self._sim.schedule(deadline,
+                               lambda: self._flush_ack(epoch))
+        return reply_time
+
+    def _flush_ack(self, epoch: int) -> None:
+        self._ack_flush_pending = False
+        if epoch != self._epoch or not self.connected:
+            return
+        if self._server.unacked_received > 0:
+            self._send_frame(self._sim.now,
+                             SFrame(recv_seq=self._server.recv_seq),
+                             from_server=True)
+
+    def _send_i_from_outstation(self, when: float, asdu: ASDU) -> float:
+        frame = self._outstation.next_i_frame(asdu)
+        return self._send_frame(when, frame, from_server=False)
+
+    def _send_i_from_server(self, when: float, asdu: ASDU) -> float:
+        frame = self._server.next_i_frame(asdu)
+        return self._send_frame(when, frame, from_server=True)
+
+    # -- secondary (backup) behaviour ---------------------------------------
+
+    def start_secondary(self, when: float) -> None:
+        """Connect and run the keep-alive loop (Fig. 4 right side)."""
+        done = self.connect(when)
+        self._schedule_keepalive(done + self._jittered_keepalive())
+
+    def _jittered_keepalive(self) -> float:
+        period = self.behavior.keepalive_period
+        return period * self._rng.uniform(0.95, 1.05)
+
+    def _schedule_keepalive(self, when: float) -> None:
+        if when > self._end_time:
+            return
+        epoch = self._epoch
+        self._sim.schedule(when, lambda: self._keepalive_tick(epoch))
+
+    def _keepalive_tick(self, epoch: int) -> None:
+        if epoch != self._epoch or not self.connected or self.is_primary:
+            return
+        now = self._sim.now
+        self._send_frame(now, UFrame(UFunction.TESTFR_ACT),
+                         from_server=True)
+        self._schedule_keepalive(now + self._jittered_keepalive())
+
+    # -- primary behaviour ---------------------------------------------------
+
+    def start_primary(self, when: float) -> None:
+        """Connect, STARTDT, interrogate, then report continuously."""
+        done = self.connect(when)
+        self.promote(done + _FRAME_GAP)
+
+    def promote(self, when: float) -> None:
+        """Promote the live connection to primary (STARTDT + I100).
+
+        Called on a fresh connection by :meth:`start_primary`, or on a
+        running secondary connection during a switchover — producing the
+        Fig. 16 pattern (U16/U32 keep-alives followed by U1, U2, I100
+        and I-format traffic on the same connection).
+        """
+        if not self.connected:
+            raise RuntimeError(f"{self._label()}: not connected")
+        self._epoch += 1  # cancel the keep-alive loop if one is running
+        start_act = self._server.start_transfer()
+        reply_time = self._send_frame(when, start_act, from_server=True)
+        self.is_primary = True
+        if self._send_end_of_init:
+            init = ASDU(type_id=TypeID.M_EI_NA_1, cause=Cause.INITIALIZED,
+                        common_address=self.common_address,
+                        objects=(InformationObject(
+                            0, EndOfInitialization(cause=2)),))
+            reply_time = self._send_i_from_outstation(reply_time, init)
+        reply_time = self._run_interrogation(reply_time)
+        self._schedule_report_sweep(
+            reply_time + self.behavior.report_interval
+            * self._rng.uniform(0.5, 1.0))
+        self._schedule_idle_watch()
+
+    def _run_interrogation(self, when: float) -> float:
+        """General interrogation: I100 act -> con -> burst -> term."""
+        act = ASDU(type_id=TypeID.C_IC_NA_1, cause=Cause.ACTIVATION,
+                   common_address=self.common_address,
+                   objects=(InformationObject(0, InterrogationCommand()),))
+        reply_time = self._send_i_from_server(when, act)
+
+        con = ASDU(type_id=TypeID.C_IC_NA_1, cause=Cause.ACTIVATION_CON,
+                   common_address=self.common_address,
+                   objects=(InformationObject(0, InterrogationCommand()),))
+        reply_time = self._send_i_from_outstation(reply_time + _FRAME_GAP,
+                                                  con)
+
+        for asdu in self._interrogation_burst(reply_time):
+            reply_time = self._send_i_from_outstation(
+                reply_time + _FRAME_GAP, asdu)
+
+        term = ASDU(type_id=TypeID.C_IC_NA_1,
+                    cause=Cause.ACTIVATION_TERMINATION,
+                    common_address=self.common_address,
+                    objects=(InformationObject(0, InterrogationCommand()),))
+        return self._send_i_from_outstation(reply_time + _FRAME_GAP, term)
+
+    def _interrogation_burst(self, now: float) -> list[ASDU]:
+        """All points grouped by typeID, chunked into multi-object ASDUs."""
+        by_type: dict[TypeID, list[PointConfig]] = {}
+        for point in self.behavior.points:
+            by_type.setdefault(point.type_id, []).append(point)
+        asdus = []
+        for type_id, points in sorted(by_type.items()):
+            for start in range(0, len(points), 8):
+                chunk = points[start:start + 8]
+                objects = tuple(
+                    InformationObject(point.ioa, build_element(
+                        type_id, point.source(now), now))
+                    for point in chunk)
+                asdus.append(ASDU(
+                    type_id=type_id,
+                    cause=Cause.INTERROGATED_BY_STATION,
+                    common_address=self.common_address, objects=objects))
+        for type_id, points in sorted(by_type.items()):
+            for point in points:
+                self._last_sent[point.ioa] = point.source(now)
+        return asdus
+
+    # -- measurement reporting ----------------------------------------------
+
+    def _schedule_report_sweep(self, when: float) -> None:
+        if when > self._end_time:
+            return
+        epoch = self._epoch
+        self._sim.schedule(when, lambda: self._report_sweep(epoch))
+
+    def _report_sweep(self, epoch: int) -> None:
+        if epoch != self._epoch or not self.connected or not self.is_primary:
+            return
+        now = self._sim.now
+        due: dict[TypeID, list[tuple[PointConfig, float]]] = {}
+        for point in self.behavior.points:
+            value = point.source(now)
+            if point.mode is ReportMode.PERIODIC:
+                next_due = self._next_periodic.get(point.ioa, 0.0)
+                if now < next_due:
+                    continue
+                self._next_periodic[point.ioa] = now + point.period
+            else:
+                last = self._last_sent.get(point.ioa)
+                if last is not None and abs(value - last) < point.threshold:
+                    continue
+            due.setdefault(point.type_id, []).append((point, value))
+
+        send_time = now
+        for type_id, entries in sorted(due.items()):
+            cause = (Cause.PERIODIC
+                     if entries[0][0].mode is ReportMode.PERIODIC
+                     else Cause.SPONTANEOUS)
+            for start in range(0, len(entries), 8):
+                chunk = entries[start:start + 8]
+                objects = tuple(
+                    InformationObject(point.ioa,
+                                      build_element(type_id, value, now))
+                    for point, value in chunk)
+                asdu = ASDU(type_id=type_id, cause=cause,
+                            common_address=self.common_address,
+                            objects=objects)
+                if self._outstation.can_send_i:
+                    send_time = self._send_i_from_outstation(
+                        send_time + _FRAME_GAP, asdu)
+                    for point, value in chunk:
+                        self._last_sent[point.ioa] = value
+        interval = (self.behavior.report_interval
+                    * self._rng.uniform(0.8, 1.2))
+        self._schedule_report_sweep(now + interval)
+
+    # -- idle keep-alive in primary connections (Type 5) ---------------------
+
+    def _schedule_idle_watch(self) -> None:
+        deadline = self._last_activity + self.timers.t3
+        if deadline > self._end_time:
+            return
+        epoch = self._epoch
+        self._sim.schedule(deadline, lambda: self._idle_check(epoch))
+
+    def _idle_check(self, epoch: int) -> None:
+        if epoch != self._epoch or not self.connected or not self.is_primary:
+            return
+        now = self._sim.now
+        if now - self._last_activity >= self.timers.t3 - 1e-9:
+            self._send_frame(now, UFrame(UFunction.TESTFR_ACT),
+                             from_server=True)
+        self._schedule_idle_watch()
+
+    # -- commands ------------------------------------------------------------
+
+    def send_setpoint(self, when: float, value: float) -> None:
+        """AGC set point (C_SE_NC_1 / I50): act from server, con back."""
+        ioa = self.behavior.agc_setpoint_ioa
+        if ioa is None:
+            raise RuntimeError(
+                f"{self._label()}: outstation has no AGC set-point IOA")
+        if not (self.connected and self.is_primary):
+            return
+        act = ASDU(type_id=TypeID.C_SE_NC_1, cause=Cause.ACTIVATION,
+                   common_address=self.common_address,
+                   objects=(InformationObject(
+                       ioa, SetpointFloat(value=float(value))),))
+        reply_time = self._send_i_from_server(when, act)
+        con = ASDU(type_id=TypeID.C_SE_NC_1, cause=Cause.ACTIVATION_CON,
+                   common_address=self.common_address,
+                   objects=(InformationObject(
+                       ioa, SetpointFloat(value=float(value))),))
+        self._send_i_from_outstation(reply_time + _FRAME_GAP, con)
+        self.stats.setpoints += 1
+        if self._on_setpoint is not None:
+            self._on_setpoint(float(value))
+
+    def _find_point(self, ioa: int) -> PointConfig | None:
+        for point in self.behavior.points:
+            if point.ioa == ioa:
+                return point
+        return None
+
+    def send_read(self, when: float, ioa: int) -> bool:
+        """Read command (C_RD_NA_1) for one IOA.
+
+        Returns True when the outstation answered with data; False when
+        it answered "unknown information object address" (COT 47) —
+        the probe/response pattern of Industroyer's iterative IOA
+        discovery.
+        """
+        if not (self.connected and self.is_primary):
+            raise RuntimeError(f"{self._label()}: link is not primary")
+        request = ASDU(type_id=TypeID.C_RD_NA_1, cause=Cause.REQUEST,
+                       common_address=self.common_address,
+                       objects=(InformationObject(ioa, ReadCommand()),))
+        reply_time = self._send_i_from_server(when, request)
+        point = self._find_point(ioa)
+        if point is None:
+            negative = ASDU(type_id=TypeID.C_RD_NA_1,
+                            cause=Cause.UNKNOWN_IOA,
+                            common_address=self.common_address,
+                            negative=True,
+                            objects=(InformationObject(
+                                ioa, ReadCommand()),))
+            self._send_i_from_outstation(reply_time + _FRAME_GAP,
+                                         negative)
+            return False
+        value = point.source(self._sim.now)
+        answer = ASDU(type_id=point.type_id, cause=Cause.REQUEST,
+                      common_address=self.common_address,
+                      objects=(InformationObject(
+                          ioa, build_element(point.type_id, value,
+                                             self._sim.now)),))
+        self._send_i_from_outstation(reply_time + _FRAME_GAP, answer)
+        return True
+
+    def send_single_command(self, when: float, ioa: int,
+                            state: bool) -> bool:
+        """Single command (C_SC_NA_1) — what Industroyer abused.
+
+        The outstation mirrors an activation confirmation for known
+        IOAs and a negative COT-47 reply otherwise."""
+        if not (self.connected and self.is_primary):
+            raise RuntimeError(f"{self._label()}: link is not primary")
+        command = SingleCommand(state=state)
+        act = ASDU(type_id=TypeID.C_SC_NA_1, cause=Cause.ACTIVATION,
+                   common_address=self.common_address,
+                   objects=(InformationObject(ioa, command),))
+        reply_time = self._send_i_from_server(when, act)
+        known = self._find_point(ioa) is not None
+        con = ASDU(type_id=TypeID.C_SC_NA_1,
+                   cause=(Cause.ACTIVATION_CON if known
+                          else Cause.UNKNOWN_IOA),
+                   common_address=self.common_address,
+                   negative=not known,
+                   objects=(InformationObject(ioa, command),))
+        self._send_i_from_outstation(reply_time + _FRAME_GAP, con)
+        return known
+
+    def send_clock_sync(self, when: float) -> None:
+        """Clock synchronization (C_CS_NA_1 / I103) act/con pair."""
+        if not (self.connected and self.is_primary):
+            return
+        tag = CP56Time2a.from_seconds(when)
+        act = ASDU(type_id=TypeID.C_CS_NA_1, cause=Cause.ACTIVATION,
+                   common_address=self.common_address,
+                   objects=(InformationObject(0, ClockSyncCommand(tag)),))
+        reply_time = self._send_i_from_server(when, act)
+        con = ASDU(type_id=TypeID.C_CS_NA_1, cause=Cause.ACTIVATION_CON,
+                   common_address=self.common_address,
+                   objects=(InformationObject(0, ClockSyncCommand(tag)),))
+        self._send_i_from_outstation(reply_time + _FRAME_GAP, con)
+
+    # -- Fig. 9 pathologies ---------------------------------------------------
+
+    def start_reject_loop(self, when: float) -> None:
+        """Repeatedly attempt a backup connection that gets rejected."""
+        if self.behavior.reject_mode is RejectMode.NONE:
+            raise RuntimeError(f"{self._label()}: no reject mode set")
+        self._schedule_reject_attempt(when)
+
+    def _schedule_reject_attempt(self, when: float) -> None:
+        if when > self._end_time:
+            return
+        epoch = self._epoch
+        self._sim.schedule(when, lambda: self._reject_attempt(epoch))
+
+    def _reject_attempt(self, epoch: int) -> None:
+        if epoch != self._epoch:
+            return
+        now = self._sim.now
+        mode = self.behavior.reject_mode
+        conn = self._new_connection()
+        self.stats.rejects += 1
+        if mode is RejectMode.IGNORE_SYN and self._rng.random() < 0.88:
+            # Mostly drop SYNs silently (the long-lived-flow inflation
+            # of Table 3 Y1); occasionally the RTU does answer and then
+            # resets the TESTFR probe, so the connection still shows up
+            # at Markov point (1,1) as the paper observed.
+            conn.send_syn_unanswered(now, retries=2, backoff=0.25)
+        else:
+            done = conn.establish(now)
+            # Server probes with TESTFR act; outstation kills the
+            # connection instead of answering (Fig. 9 / Fig. 14).
+            testfr = UFrame(UFunction.TESTFR_ACT).encode()
+            arrival = conn.send(done + _FRAME_GAP, from_client=True,
+                                payload=testfr)
+            self.stats.u_frames += 1
+            if mode is RejectMode.FIN_AFTER_TESTFR:
+                conn.close_fin(arrival + _FRAME_GAP, from_client=False)
+            else:
+                conn.close_rst(arrival + _FRAME_GAP, from_client=False)
+        period = (self.behavior.reject_retry_period
+                  * self._rng.uniform(0.9, 1.1))
+        self._schedule_reject_attempt(now + period)

@@ -1,0 +1,129 @@
+"""An Industroyer-style attacker against the simulated network.
+
+Section 6.3.1 of the paper discusses the Industroyer malware used in
+the 2016 Ukraine blackout: after establishing a TCP connection to an
+outstation, it iterates over ASDU addresses and IOAs to discover the
+station's points ("ICS reconnaissance"), then issues single/double
+commands against them. The paper notes a single I100 interrogation
+would have achieved the same discovery in one message.
+
+This module generates that attack traffic against a simulated
+outstation, in both variants, so detection pipelines (e.g. the
+whitelist IDS of :mod:`repro.analysis.whitelist`) can be evaluated on
+labelled malicious captures.
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+from dataclasses import dataclass, field
+
+from ..iec104.constants import ProtocolTimers
+from ..netstack.addresses import IPv4Address, MacAddress
+from .agents import IEC104Link
+from .behaviors import OutstationBehavior
+from .capture import CaptureTap
+from .clock import Simulator
+from .tcpsim import SimHost
+
+
+class ReconnaissanceMode(enum.Enum):
+    """How the attacker discovers the outstation's points."""
+
+    ITERATIVE_SCAN = "iterative IOA probing (Industroyer)"
+    INTERROGATION = "single general interrogation (paper's shortcut)"
+
+
+@dataclass
+class AttackResult:
+    """Outcome of one attack run."""
+
+    tap: CaptureTap
+    mode: ReconnaissanceMode
+    discovered_ioas: list[int] = field(default_factory=list)
+    probes_sent: int = 0
+    commands_sent: int = 0
+    duration: float = 0.0
+
+    @property
+    def packets(self):
+        return self.tap.packets
+
+    def host_names(self) -> dict[IPv4Address, str]:
+        return dict(self._names)
+
+    _names: dict[IPv4Address, str] = field(default_factory=dict)
+
+
+def run_attack(behavior: OutstationBehavior,
+               mode: ReconnaissanceMode
+               = ReconnaissanceMode.ITERATIVE_SCAN,
+               scan_range: tuple[int, int] = (2001, 2050),
+               probe_interval: float = 0.25,
+               command_count: int = 6,
+               seed: int = 66) -> AttackResult:
+    """Execute the attack against ``behavior``; return the capture.
+
+    ``scan_range`` bounds the iterative IOA sweep (Industroyer probed
+    address ranges blindly). In INTERROGATION mode a single I100
+    replaces the sweep — and its burst reveals every point at once.
+    """
+    sim = Simulator()
+    tap = CaptureTap()
+    rng = random.Random(seed)
+    attacker_host = SimHost(name="ATTACKER",
+                            ip=IPv4Address(0xC0A80A0A),
+                            mac=MacAddress(0x02DEADBEEF00))
+    outstation_host = SimHost(name=behavior.name,
+                              ip=IPv4Address(0x0A019999),
+                              mac=MacAddress(0x020000009999))
+    link = IEC104Link(sim=sim, tap=tap, rng=rng,
+                      server_host=attacker_host,
+                      outstation_host=outstation_host,
+                      behavior=behavior, server_name="ATTACKER",
+                      timers=ProtocolTimers())
+    link.run_until(float("inf"))
+
+    result = AttackResult(tap=tap, mode=mode)
+    result._names = {attacker_host.ip: "ATTACKER",
+                     outstation_host.ip: behavior.name}
+
+    # Phase 1: connect + STARTDT (+ interrogation, which IEC104Link
+    # always performs on promotion — in INTERROGATION mode that IS the
+    # reconnaissance; in ITERATIVE mode Industroyer skipped it, so we
+    # drop those packets from the accounting below).
+    start = 1.0
+    link.start_primary(start)
+    sim.run_until(start + 2.0)
+
+    if mode is ReconnaissanceMode.ITERATIVE_SCAN:
+        when = sim.now + probe_interval
+        for ioa in range(scan_range[0], scan_range[1] + 1):
+            def probe(ioa=ioa):
+                if link.send_read(sim.now, ioa):
+                    result.discovered_ioas.append(ioa)
+                result.probes_sent += 1
+            sim.schedule(when, probe)
+            when += probe_interval
+        sim.run_until(when + 1.0)
+    else:
+        # The interrogation burst already happened during promotion;
+        # everything the outstation reported is "discovered".
+        result.discovered_ioas = [point.ioa
+                                  for point in behavior.points]
+        result.probes_sent = 1
+
+    # Phase 2: malicious commands against discovered points.
+    when = sim.now + 0.5
+    for index, ioa in enumerate(result.discovered_ioas[:command_count]):
+        def strike(ioa=ioa, open_breaker=(index % 2 == 0)):
+            link.send_single_command(sim.now, ioa, state=open_breaker)
+            result.commands_sent += 1
+        sim.schedule(when, strike)
+        when += 0.5
+    sim.run_until(when + 1.0)
+    link.close(sim.now + 0.1, rst=False)
+    sim.run_until(sim.now + 1.0)
+    result.duration = sim.now
+    return result

@@ -1,0 +1,117 @@
+"""Non-IEC-104 background traffic: ICCP and C37.118.
+
+Section 5 of the paper: "In addition to IEC 104 traffic, our capture
+included other industrial protocols over TCP/IP such as ICCP
+(communications between SCADA servers of different companies) and
+C37.118 (phasor measurement units reporting data to the SCADA server).
+We leave the analysis of these other protocols for future studies."
+
+To be faithful, the synthetic captures can carry the same background
+traffic; the analysis pipeline must filter it out exactly as the
+authors did. The payloads are *wire-plausible* (correct ports, framing
+magic and sizes) but deliberately simplified — the paper does not
+analyze them, and neither do we.
+"""
+
+from __future__ import annotations
+
+import random
+import struct
+from dataclasses import dataclass
+
+from .capture import CaptureTap
+from .clock import Simulator
+from .tcpsim import SimConnection, SimHost
+
+#: ISO transport / MMS port used by ICCP (TASE.2).
+ICCP_PORT = 102
+
+#: IEEE C37.118 synchrophasor data port.
+C37_118_PORT = 4712
+
+
+def _c37_data_frame(frame_id: int, pmu_count: int = 1,
+                    rng: random.Random | None = None) -> bytes:
+    """A C37.118-2005 data frame: SYNC(2) FRAMESIZE(2) IDCODE(2)
+    SOC(4) FRACSEC(4) ... CHK(2). Phasor payload simplified."""
+    rng = rng or random.Random(0)
+    phasors = b"".join(struct.pack(">hh", rng.randrange(-500, 500),
+                                   rng.randrange(-500, 500))
+                       for _ in range(4 * pmu_count))
+    body = struct.pack(">HHI", 0x0000, frame_id & 0xFFFF,
+                       frame_id * 33333) + phasors
+    size = 2 + 2 + 2 + len(body) + 2
+    frame = struct.pack(">HHH", 0xAA01, size, 7734) + body
+    checksum = sum(frame) & 0xFFFF
+    return frame + struct.pack(">H", checksum)
+
+
+def _iccp_segment(sequence: int, rng: random.Random) -> bytes:
+    """A TPKT/COTP-framed blob standing in for an MMS exchange."""
+    mms = bytes(rng.randrange(0x20, 0x7F)
+                for _ in range(rng.randrange(40, 120)))
+    cotp = bytes((2, 0xF0, 0x80)) + mms
+    tpkt = struct.pack(">BBH", 3, 0, 4 + len(cotp)) + cotp
+    return tpkt
+
+
+@dataclass
+class BackgroundTraffic:
+    """Schedules ICCP and C37.118 flows into a scenario's capture."""
+
+    sim: Simulator
+    tap: CaptureTap
+    rng: random.Random
+
+    def add_iccp_peering(self, local: SimHost, remote: SimHost,
+                         start: float, end: float,
+                         period: float = 4.0) -> SimConnection:
+        """Periodic ICCP exchange between two control centers."""
+        conn = SimConnection(self.sim, self.tap, client=local,
+                             server=remote, server_port=ICCP_PORT,
+                             rng=self.rng)
+        conn.establish(max(0.0, start - 5.0))
+        state = {"sequence": 0}
+
+        def tick() -> None:
+            now = self.sim.now
+            if now > end or conn.closed:
+                return
+            state["sequence"] += 1
+            conn.send(now, from_client=True,
+                      payload=_iccp_segment(state["sequence"], self.rng))
+            conn.send(now + 0.05, from_client=False,
+                      payload=_iccp_segment(state["sequence"], self.rng))
+            self.sim.schedule_in(period * self.rng.uniform(0.9, 1.1),
+                                 tick)
+
+        self.sim.schedule(start, tick)
+        return conn
+
+    def add_pmu_stream(self, pmu: SimHost, server: SimHost,
+                       start: float, end: float,
+                       rate_hz: float = 2.0) -> SimConnection:
+        """A phasor measurement unit streaming C37.118 data frames.
+
+        Real PMUs stream at 30-60 frames/s; the default is throttled to
+        keep synthetic captures manageable while preserving the
+        distinctive steady high-rate pattern."""
+        conn = SimConnection(self.sim, self.tap, client=pmu,
+                             server=server, server_port=C37_118_PORT,
+                             rng=self.rng)
+        conn.establish(max(0.0, start - 2.0))
+        state = {"frame": 0}
+        period = 1.0 / rate_hz
+
+        def tick() -> None:
+            now = self.sim.now
+            if now > end or conn.closed:
+                return
+            state["frame"] += 1
+            conn.send(now, from_client=True,
+                      payload=_c37_data_frame(state["frame"],
+                                              rng=self.rng))
+            self.sim.schedule_in(period, tick)
+
+        self.sim.schedule(start, tick)
+        return conn

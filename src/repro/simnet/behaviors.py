@@ -1,0 +1,135 @@
+"""Outstation behaviour models.
+
+Table 6 / Fig. 17 of the paper classify outstations into 8 behaviour
+types; Section 6.1 additionally found legacy non-compliant encodings,
+and Section 6.3 a misconfigured keep-alive timer and a stale-threshold
+outstation. This module captures all of that as declarative
+configuration consumed by the simulator agents.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Callable
+
+from ..iec104.constants import TypeID
+from ..iec104.profiles import STANDARD_PROFILE, LinkProfile
+
+
+class OutstationType(enum.IntEnum):
+    """Paper Table 6 types 1-6 plus the point-(1,1) type 7 and the
+    observed-switchover type 8 (Fig. 17)."""
+
+    PRIMARY_ONLY = 1          # no secondary connection, I-format only
+    IDEAL = 2                 # primary + secondary with U16/U32
+    BACKUP_U_ONLY = 3         # redundant RTU, U-format only
+    I_ONLY_BOTH_SERVERS = 4   # switched servers between captures
+    SINGLE_SERVER_I_AND_U = 5  # stale thresholds force in-band TESTFR
+    REJECTS_SECONDARY = 6     # primary OK, backup connection refused
+    BACKUP_REJECTS = 7        # backup RTU that resets every attempt
+    SWITCHOVER_OBSERVED = 8   # secondary promoted mid-capture
+
+
+class RejectMode(enum.Enum):
+    """How a misbehaving outstation disposes of backup connections."""
+
+    NONE = "accepts connections"
+    RST_AFTER_TESTFR = "establishes, then RSTs the first TESTFR act"
+    FIN_AFTER_TESTFR = "establishes, then FINs the first TESTFR act"
+    IGNORE_SYN = "silently drops SYNs (flow never terminates)"
+
+
+class ReportMode(enum.Enum):
+    PERIODIC = "periodic"         # COT=1, fixed cadence
+    SPONTANEOUS = "spontaneous"   # COT=3, threshold-triggered
+
+
+#: Physical symbols of paper Table 8.
+SYMBOL_CURRENT = "I"
+SYMBOL_ACTIVE_POWER = "P"
+SYMBOL_REACTIVE_POWER = "Q"
+SYMBOL_VOLTAGE = "U"
+SYMBOL_FREQUENCY = "Freq"
+SYMBOL_STATUS = "Status"
+SYMBOL_AGC_SETPOINT = "AGC-SP"
+
+
+@dataclass
+class PointConfig:
+    """One field-device measurement point behind an outstation.
+
+    ``source`` maps simulation time to the current physical value; the
+    scenario wires it to the grid model. ``threshold`` applies to
+    spontaneous points (report only when the value moved at least this
+    far from the last transmitted value — the paper's Type 5 outstation
+    had this set so large its data went stale).
+    """
+
+    ioa: int
+    type_id: TypeID
+    symbol: str
+    source: Callable[[float], float] = lambda _t: 0.0
+    mode: ReportMode = ReportMode.SPONTANEOUS
+    threshold: float = 0.5
+    period: float = 4.0  # cadence of periodic reports / threshold checks
+
+    def __post_init__(self) -> None:
+        if self.ioa <= 0:
+            raise ValueError("IOA must be positive")
+        if self.threshold < 0:
+            raise ValueError("threshold must be >= 0")
+        if self.period <= 0:
+            raise ValueError("period must be positive")
+
+
+@dataclass
+class OutstationBehavior:
+    """Complete behavioural description of one outstation."""
+
+    name: str
+    substation: str
+    outstation_type: OutstationType
+    points: list[PointConfig] = field(default_factory=list)
+    #: Link profile used when *encoding* (legacy RTUs of §6.1).
+    profile: LinkProfile = STANDARD_PROFILE
+    reject_mode: RejectMode = RejectMode.NONE
+    #: Keep-alive period on secondary links (paper norm ~30 s; O30 430 s).
+    keepalive_period: float = 30.0
+    #: Interval between reporting sweeps over the point list.
+    report_interval: float = 2.0
+    #: Reconnect delay after the backup connection is rejected.
+    reject_retry_period: float = 10.0
+    has_generator: bool = False
+    #: Generator identifier in the grid model (when has_generator).
+    generator: str | None = None
+    #: IOA that carries AGC set points (written by the control center).
+    agc_setpoint_ioa: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.keepalive_period <= 0:
+            raise ValueError("keepalive_period must be positive")
+        if self.report_interval <= 0:
+            raise ValueError("report_interval must be positive")
+        if self.reject_retry_period <= 0:
+            raise ValueError("reject_retry_period must be positive")
+        addresses = [point.ioa for point in self.points]
+        if len(addresses) != len(set(addresses)):
+            raise ValueError(f"duplicate IOAs in outstation {self.name}")
+        rejecting = (OutstationType.REJECTS_SECONDARY,
+                     OutstationType.BACKUP_REJECTS)
+        if (self.outstation_type in rejecting
+                and self.reject_mode is RejectMode.NONE):
+            raise ValueError(
+                f"{self.name}: type {self.outstation_type.name} requires "
+                "a reject mode")
+
+    @property
+    def ioa_count(self) -> int:
+        return len(self.points)
+
+    @property
+    def sends_i_frames(self) -> bool:
+        """True when this outstation transmits measurement data."""
+        return self.outstation_type not in (OutstationType.BACKUP_U_ONLY,
+                                            OutstationType.BACKUP_REJECTS)

@@ -1,0 +1,88 @@
+"""Capture tap: where simulated packets land.
+
+Mirrors the paper's Fig. 5 network tap between the substations and the
+SCADA servers. The tap collects :class:`CapturedPacket` objects; it can
+restrict collection to configured *capture windows* (the paper's 5+3
+separate capture days) and export classic pcap bytes.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from ..netstack.packet import CapturedPacket
+from ..netstack.pcap import PcapRecord, PcapWriter
+
+
+@dataclass(frozen=True)
+class CaptureWindow:
+    """A [start, end) interval during which the tap records traffic."""
+
+    start: float
+    end: float
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        if self.end <= self.start:
+            raise ValueError("capture window must have positive duration")
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+    def contains(self, timestamp: float) -> bool:
+        return self.start <= timestamp < self.end
+
+
+class CaptureTap:
+    """Collects packets that fall inside the configured windows.
+
+    With no windows configured, everything is recorded (one continuous
+    capture). ``loss_probability`` models *capture* loss — a span port
+    or capture host dropping frames under load — which the endpoints
+    themselves never see (their TCP exchange is unaffected); the
+    analysis pipeline must cope via resynchronization and reassembly
+    gap handling.
+    """
+
+    def __init__(self, windows: tuple[CaptureWindow, ...] = (),
+                 loss_probability: float = 0.0,
+                 rng: random.Random | None = None):
+        if not 0.0 <= loss_probability < 1.0:
+            raise ValueError("loss_probability must be in [0, 1)")
+        self.windows = windows
+        self.packets: list[CapturedPacket] = []
+        self.dropped = 0
+        self.lost = 0
+        self._loss = loss_probability
+        self._rng = rng or random.Random(1313)
+
+    def observe(self, packet: CapturedPacket) -> None:
+        if self.windows and not any(window.contains(packet.timestamp)
+                                    for window in self.windows):
+            self.dropped += 1
+            return
+        if self._loss and self._rng.random() < self._loss:
+            self.lost += 1
+            return
+        self.packets.append(packet)
+
+    def window_packets(self, window: CaptureWindow) -> list[CapturedPacket]:
+        return [packet for packet in self.packets
+                if window.contains(packet.timestamp)]
+
+    @property
+    def total_duration(self) -> float:
+        if self.windows:
+            return sum(window.duration for window in self.windows)
+        if not self.packets:
+            return 0.0
+        return self.packets[-1].timestamp - self.packets[0].timestamp
+
+    def to_pcap(self, stream) -> int:
+        """Write the capture as classic pcap; return the record count."""
+        writer = PcapWriter(stream)
+        return writer.write_all(
+            PcapRecord(timestamp=packet.timestamp, data=packet.encode())
+            for packet in self.packets)

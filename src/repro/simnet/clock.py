@@ -1,0 +1,85 @@
+"""Discrete-event simulation core.
+
+A minimal but strict event queue: events fire in timestamp order (ties
+broken by insertion order, so the simulation is deterministic), and a
+fired callback may schedule further events.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Callable
+
+
+class SimulationError(RuntimeError):
+    """Raised on scheduling misuse (e.g. scheduling into the past)."""
+
+
+class Simulator:
+    """Deterministic discrete-event simulator."""
+
+    def __init__(self, start_time: float = 0.0):
+        self._now = start_time
+        self._queue: list[tuple[float, int, Callable[[], None]]] = []
+        self._counter = itertools.count()
+        self._running = False
+
+    @property
+    def now(self) -> float:
+        return self._now
+
+    def schedule(self, when: float, callback: Callable[[], None]) -> None:
+        """Schedule ``callback`` to fire at absolute time ``when``."""
+        if when < self._now:
+            raise SimulationError(
+                f"cannot schedule at {when:.6f} < now {self._now:.6f}")
+        heapq.heappush(self._queue, (when, next(self._counter), callback))
+
+    def schedule_in(self, delay: float,
+                    callback: Callable[[], None]) -> None:
+        """Schedule ``callback`` to fire ``delay`` seconds from now."""
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay}")
+        self.schedule(self._now + delay, callback)
+
+    def run_until(self, end_time: float) -> int:
+        """Run events with timestamp <= ``end_time``; return the count.
+
+        The clock is left at ``end_time`` even when the queue drains
+        early, so subsequent scheduling continues from the window's end.
+        """
+        if self._running:
+            raise SimulationError("simulator is not reentrant")
+        self._running = True
+        fired = 0
+        try:
+            while self._queue and self._queue[0][0] <= end_time:
+                when, _, callback = heapq.heappop(self._queue)
+                self._now = when
+                callback()
+                fired += 1
+        finally:
+            self._running = False
+        self._now = max(self._now, end_time)
+        return fired
+
+    def run(self) -> int:
+        """Run until the queue is empty; return the event count."""
+        if self._running:
+            raise SimulationError("simulator is not reentrant")
+        self._running = True
+        fired = 0
+        try:
+            while self._queue:
+                when, _, callback = heapq.heappop(self._queue)
+                self._now = when
+                callback()
+                fired += 1
+        finally:
+            self._running = False
+        return fired
+
+    @property
+    def pending(self) -> int:
+        return len(self._queue)

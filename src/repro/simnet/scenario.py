@@ -1,0 +1,329 @@
+"""Scenario engine: orchestrates links, windows and grid events.
+
+A :class:`Scenario` owns the simulator, the capture tap, the network
+map and one :class:`LinkPlan` per outstation. Running it produces a
+:class:`SyntheticCapture` — the stand-in for the paper's proprietary
+captures, with real pcap-exportable packets.
+
+The plan-to-traffic mapping implements every behaviour of paper
+Table 6 / Fig. 17:
+
+* persistent primaries and secondaries connect *before* each capture
+  window opens (so they appear long-lived, per Hypothesis 3);
+* type 4 outstations reconnect inside each window, alternating servers
+  between windows (so both servers eventually see I-format traffic and
+  the general interrogation lands inside the capture — the Fig. 13
+  ellipse);
+* type 7/6 reject loops run at their configured retry period (the
+  Fig. 9 / Fig. 14 pathology), including O30's misconfigured 430 s;
+* type 8 outstations switch over mid-window: the primary FINs and the
+  secondary is promoted on its live connection (Fig. 16);
+* the test RTU exchanges exactly two keep-alive pairs, far apart
+  (the C4-O22 cluster-0 outlier).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from ..grid.simulation import GridSimulation
+from ..iec104.constants import ProtocolTimers
+from .agents import IEC104Link
+from .behaviors import OutstationBehavior, OutstationType
+from .capture import CaptureTap, CaptureWindow
+from .clock import Simulator
+from .tcpsim import RetransmissionModel
+from .topology import NetworkMap
+
+#: How long before a window opens that persistent links are set up.
+WARMUP_S = 150.0
+
+#: Slack after a window closes before persistent links tear down.
+COOLDOWN_S = 30.0
+
+
+@dataclass
+class LinkPlan:
+    """Everything the scenario needs to animate one outstation."""
+
+    behavior: OutstationBehavior
+    pair: tuple[str, str]
+    primary_server: str
+    backup_server: str
+    #: Apply AGC set points over this link (the outstation's generator
+    #: participates in AGC).
+    agc_participant: bool = False
+    #: Send a clock-sync (I103) act/con once per window.
+    clock_sync: bool = False
+    #: The C4-O22 test RTU of Section 6.3.
+    test_rtu: bool = False
+    #: Send M_EI_NA_1 after (re)connection.
+    end_of_init: bool = False
+
+
+@dataclass
+class SyntheticCapture:
+    """The output of a scenario run: our stand-in for a real capture."""
+
+    year: int
+    tap: CaptureTap
+    windows: tuple[CaptureWindow, ...]
+    network: NetworkMap
+    plans: list[LinkPlan]
+    grid: GridSimulation
+    links: dict[tuple[str, str], IEC104Link] = field(default_factory=dict)
+
+    @property
+    def packets(self):
+        return self.tap.packets
+
+    @property
+    def duration(self) -> float:
+        return sum(window.duration for window in self.windows)
+
+    def to_pcap(self, stream) -> int:
+        return self.tap.to_pcap(stream)
+
+    def host_names(self) -> dict:
+        return self.network.address_book()
+
+
+class Scenario:
+    """Drives one capture year of the synthetic bulk-power network."""
+
+    def __init__(self, year: int, plans: list[LinkPlan],
+                 grid: GridSimulation, network: NetworkMap,
+                 windows: tuple[CaptureWindow, ...],
+                 seed: int = 104,
+                 retransmission_probability: float = 0.004,
+                 timers: ProtocolTimers | None = None,
+                 agc_dispatch_period: float = 45.0,
+                 agc_deadband_mw: float = 0.5,
+                 capture_loss_probability: float = 0.0,
+                 ack_policy: str = "none"):
+        if not windows:
+            raise ValueError("scenario needs at least one capture window")
+        self.year = year
+        self.plans = plans
+        self.grid = grid
+        self.network = network
+        self.windows = tuple(sorted(windows, key=lambda w: w.start))
+        self.seed = seed
+        self.timers = timers or ProtocolTimers()
+        self._retransmission = RetransmissionModel(
+            probability=retransmission_probability)
+        self._agc_period = agc_dispatch_period
+        self._agc_deadband = agc_deadband_mw
+        self._ack_policy = ack_policy
+        first = self.windows[0].start
+        if first < WARMUP_S:
+            raise ValueError(
+                f"first window must start at >= {WARMUP_S}s to leave room "
+                "for pre-capture connection establishment")
+        self.sim = Simulator(start_time=first - WARMUP_S)
+        self._rng = random.Random(seed)
+        self.tap = CaptureTap(
+            windows=self.windows,
+            loss_probability=capture_loss_probability,
+            rng=random.Random(self._rng.randrange(1 << 30)))
+        self._links: dict[tuple[str, str], IEC104Link] = {}
+        self._last_dispatched: dict[str, float] = {}
+
+    # -- link construction ---------------------------------------------------
+
+    def _make_link(self, server: str, plan: LinkPlan,
+                   keepalive: float | None = None) -> IEC104Link:
+        behavior = plan.behavior
+        on_setpoint = None
+        if plan.agc_participant and behavior.generator is not None:
+            generator = self.grid.fleet[behavior.generator]
+            on_setpoint = generator.apply_setpoint
+        link = IEC104Link(
+            sim=self.sim, tap=self.tap, rng=self._rng,
+            server_host=self.network[server],
+            outstation_host=self.network[behavior.name],
+            behavior=behavior, server_name=server,
+            timers=self.timers, retransmission=self._retransmission,
+            on_setpoint=on_setpoint, send_end_of_init=plan.end_of_init)
+        link.ack_policy = self._ack_policy
+        self._links[(server, behavior.name)] = link
+        return link
+
+    # -- scheduling ------------------------------------------------------------
+
+    def run(self) -> SyntheticCapture:
+        """Schedule every link's lifecycle and run the simulation."""
+        for index, window in enumerate(self.windows):
+            for plan in self.plans:
+                self._schedule_plan(plan, window, index)
+        end = self.windows[-1].end + COOLDOWN_S + 10.0
+        self.sim.run_until(end)
+        return SyntheticCapture(year=self.year, tap=self.tap,
+                                windows=self.windows, network=self.network,
+                                plans=self.plans, grid=self.grid,
+                                links=dict(self._links))
+
+    def _jitter(self, base: float, spread: float) -> float:
+        return base + self._rng.uniform(0.0, spread)
+
+    def _schedule_plan(self, plan: LinkPlan, window: CaptureWindow,
+                       index: int) -> None:
+        kind = plan.behavior.outstation_type
+        if plan.test_rtu:
+            if index == 0:
+                self._schedule_test_rtu(plan, window)
+            return
+        if kind is OutstationType.PRIMARY_ONLY:
+            self._schedule_primary(plan, plan.primary_server, window,
+                                   inside=False)
+        elif kind is OutstationType.IDEAL:
+            self._schedule_primary(plan, plan.primary_server, window,
+                                   inside=False)
+            self._schedule_secondary(plan, plan.backup_server, window)
+        elif kind is OutstationType.BACKUP_U_ONLY:
+            self._schedule_secondary(plan, plan.pair[0], window)
+            self._schedule_secondary(plan, plan.pair[1], window)
+        elif kind is OutstationType.I_ONLY_BOTH_SERVERS:
+            server = plan.pair[index % 2]
+            self._schedule_primary(plan, server, window, inside=True)
+        elif kind is OutstationType.SINGLE_SERVER_I_AND_U:
+            self._schedule_primary(plan, plan.primary_server, window,
+                                   inside=False)
+        elif kind is OutstationType.REJECTS_SECONDARY:
+            self._schedule_primary(plan, plan.primary_server, window,
+                                   inside=False)
+            self._schedule_reject(plan, plan.backup_server, window)
+        elif kind is OutstationType.BACKUP_REJECTS:
+            self._schedule_reject(plan, plan.backup_server, window)
+        elif kind is OutstationType.SWITCHOVER_OBSERVED:
+            self._schedule_switchover(plan, window, index)
+        else:  # pragma: no cover - exhaustive over OutstationType
+            raise AssertionError(f"unhandled type {kind}")
+
+    def _schedule_primary(self, plan: LinkPlan, server: str,
+                          window: CaptureWindow, inside: bool) -> None:
+        link = self._make_link(server, plan)
+        link.run_until(window.end + COOLDOWN_S)
+        if inside:
+            # Type 4: the connection both starts and gracefully ends
+            # inside the capture — the paper's few >1 s short-lived
+            # flows (Table 3, second row).
+            start = self._jitter(window.start + 5.0, 25.0)
+            close_at = window.end - self._jitter(1.0, 4.0)
+        else:
+            start = self._jitter(window.start - WARMUP_S + 5.0, 60.0)
+            close_at = window.end + COOLDOWN_S + 1.0
+        self.sim.schedule(start, lambda: link.start_primary(self.sim.now))
+        self.sim.schedule(close_at, lambda: link.close(self.sim.now))
+        if plan.agc_participant:
+            self._schedule_agc(link, plan, window)
+        if plan.clock_sync:
+            sync_at = self._jitter(window.start + 0.3 * window.duration,
+                                   0.2 * window.duration)
+            self.sim.schedule(
+                sync_at, lambda: link.send_clock_sync(self.sim.now))
+
+    def _schedule_secondary(self, plan: LinkPlan, server: str,
+                            window: CaptureWindow) -> None:
+        link = self._make_link(server, plan)
+        link.run_until(window.end + COOLDOWN_S)
+        start = self._jitter(window.start - WARMUP_S + 5.0, 60.0)
+        self.sim.schedule(start, lambda: link.start_secondary(self.sim.now))
+        close_at = window.end + COOLDOWN_S + 1.0
+        self.sim.schedule(close_at, lambda: link.close(self.sim.now))
+
+    def _schedule_reject(self, plan: LinkPlan, server: str,
+                         window: CaptureWindow) -> None:
+        link = self._make_link(server, plan)
+        link.run_until(window.end)
+        start = self._jitter(window.start + 0.5,
+                             plan.behavior.reject_retry_period)
+        self.sim.schedule(start, lambda: link.start_reject_loop(self.sim.now))
+
+    def _schedule_switchover(self, plan: LinkPlan, window: CaptureWindow,
+                             index: int = 0) -> None:
+        # Alternate the switchover direction between capture days, so
+        # across a year both servers are seen being promoted (the
+        # paper's Fig. 13 ellipse pairs: O29 with both C1 and C2).
+        if index % 2 == 0:
+            primary_server, backup_server = plan.pair
+        else:
+            backup_server, primary_server = plan.pair
+        primary = self._make_link(primary_server, plan)
+        primary.run_until(window.end + COOLDOWN_S)
+        start = self._jitter(window.start - WARMUP_S + 5.0, 30.0)
+        self.sim.schedule(start, lambda: primary.start_primary(self.sim.now))
+
+        backup = self._make_link(backup_server, plan,)
+        backup.run_until(window.end + COOLDOWN_S)
+        backup_start = self._jitter(window.start - WARMUP_S + 5.0, 30.0)
+        self.sim.schedule(backup_start,
+                          lambda: backup.start_secondary(self.sim.now))
+
+        switch_at = self._jitter(window.start + 0.45 * window.duration,
+                                 0.1 * window.duration)
+
+        def do_switchover() -> None:
+            now = self.sim.now
+            if primary.connected:
+                primary.close(now, from_server=True)
+            if backup.connected:
+                backup.promote(now + 0.5)
+
+        self.sim.schedule(switch_at, do_switchover)
+        close_at = window.end + COOLDOWN_S + 1.0
+        self.sim.schedule(close_at, lambda: primary.close(self.sim.now))
+        self.sim.schedule(close_at, lambda: backup.close(self.sim.now))
+        if plan.agc_participant:
+            self._schedule_agc(primary, plan, window)
+
+    def _schedule_test_rtu(self, plan: LinkPlan,
+                           window: CaptureWindow) -> None:
+        """C4-O22: a being-tested RTU that exchanged only 4 packets."""
+        server = plan.pair[1]  # C4 in the paper
+        link = self._make_link(server, plan)
+        link.run_until(window.end)
+        first = window.start + 0.05 * window.duration
+        second = window.start + 0.9 * window.duration
+
+        def start() -> None:
+            link.connect(self.sim.now)
+            link._send_frame(self.sim.now + 0.5,
+                             _testfr_act(), from_server=True)
+
+        def probe_again() -> None:
+            if link.connected:
+                link._send_frame(self.sim.now, _testfr_act(),
+                                 from_server=True)
+                link.close(self.sim.now + 1.0)
+
+        self.sim.schedule(first, start)
+        self.sim.schedule(second, probe_again)
+
+    def _schedule_agc(self, link: IEC104Link, plan: LinkPlan,
+                      window: CaptureWindow) -> None:
+        """Periodic AGC dispatch with a deadband (I50 commands)."""
+        generator = plan.behavior.generator
+
+        def dispatch() -> None:
+            now = self.sim.now
+            if now > window.end:
+                return
+            setpoint = self.grid.setpoint_for(generator, now)
+            last = self._last_dispatched.get(generator)
+            if (last is None
+                    or abs(setpoint - last) >= self._agc_deadband):
+                link.send_setpoint(now, setpoint)
+                self._last_dispatched[generator] = setpoint
+            self.sim.schedule_in(
+                self._agc_period * self._rng.uniform(0.9, 1.1), dispatch)
+
+        first = self._jitter(window.start + 2.0, self._agc_period)
+        self.sim.schedule(first, dispatch)
+
+
+def _testfr_act():
+    from ..iec104.apci import UFrame
+    from ..iec104.constants import UFunction
+    return UFrame(UFunction.TESTFR_ACT)

@@ -1,0 +1,243 @@
+"""Simulated TCP endpoints and connections.
+
+Produces byte-accurate :class:`CapturedPacket` traffic — real Ethernet/
+IPv4/TCP frames with correct sequence and acknowledgement numbers,
+handshakes, graceful (FIN) and abortive (RST) teardown, and optional
+TCP-level retransmission injection. This is the transport substrate the
+IEC 104 agents ride on; everything the tap records decodes with the
+real :mod:`repro.netstack` parsers.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from ..netstack.addresses import IPv4Address, MacAddress
+from ..netstack.packet import CapturedPacket
+from ..netstack.tcp import TCPFlags, TCPSegment
+from .capture import CaptureTap
+from .clock import Simulator
+
+_SEQ_MODULO = 1 << 32
+
+
+@dataclass
+class SimHost:
+    """One IP host in the simulated network."""
+
+    name: str
+    ip: IPv4Address
+    mac: MacAddress
+    _next_port: int = 49152
+
+    def allocate_port(self) -> int:
+        port = self._next_port
+        self._next_port += 1
+        if self._next_port > 65535:
+            self._next_port = 49152
+        return port
+
+
+@dataclass
+class _Side:
+    """One endpoint's TCP send state within a connection."""
+
+    host: SimHost
+    port: int
+    seq: int = 0          # next sequence number to send
+    ack: int = 0          # next sequence number expected from the peer
+
+
+@dataclass
+class RetransmissionModel:
+    """Bernoulli per-data-packet retransmission injection.
+
+    The paper traced repeated U16/U32 Markov tokens to TCP-layer
+    retransmissions; this model reproduces them in the synthetic
+    captures.
+    """
+
+    probability: float = 0.0
+    delay: float = 0.2
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.probability <= 1.0:
+            raise ValueError("probability must be in [0, 1]")
+        if self.delay <= 0:
+            raise ValueError("delay must be positive")
+
+
+class SimConnection:
+    """One TCP connection between two simulated hosts.
+
+    The *client* initiates (in IEC 104 that is the controlling station,
+    i.e. the SCADA server); the *server* side listens on port 2404.
+    All emission methods take an absolute time and return the time at
+    which the last emitted packet hits the tap, so callers can sequence
+    application-level behaviour after network latency.
+    """
+
+    def __init__(self, sim: Simulator, tap: CaptureTap, client: SimHost,
+                 server: SimHost, server_port: int,
+                 rng: random.Random,
+                 latency: tuple[float, float] = (0.001, 0.010),
+                 retransmission: RetransmissionModel | None = None,
+                 ack_policy: str = "none", ack_every: int = 2):
+        if ack_policy not in ("none", "delayed"):
+            raise ValueError("ack_policy must be 'none' or 'delayed'")
+        if ack_every < 1:
+            raise ValueError("ack_every must be >= 1")
+        self._sim = sim
+        self._tap = tap
+        self._rng = rng
+        self._latency = latency
+        self._retransmission = retransmission or RetransmissionModel()
+        #: "delayed" emits coalesced pure ACKs (one per ``ack_every``
+        #: data segments), as a real receiver stack would; "none"
+        #: relies on piggybacked acknowledgements only, which keeps
+        #: packet counts minimal for the calibrated scenarios.
+        self._ack_policy = ack_policy
+        self._ack_every = ack_every
+        self._unacked_data = {True: 0, False: 0}  # keyed by from_client
+        self.client = _Side(host=client, port=client.allocate_port())
+        self.server = _Side(host=server, port=server_port)
+        self.established = False
+        self.closed = False
+        self._ip_id = rng.randrange(0, 0x8000)
+
+    # -- helpers -----------------------------------------------------------
+
+    def _delay(self) -> float:
+        low, high = self._latency
+        return self._rng.uniform(low, high)
+
+    def _peer(self, side: _Side) -> _Side:
+        return self.server if side is self.client else self.client
+
+    def _emit(self, when: float, side: _Side, flags: TCPFlags,
+              payload: bytes = b"", seq: int | None = None) -> None:
+        peer = self._peer(side)
+        segment = TCPSegment(
+            src_port=side.port, dst_port=peer.port,
+            seq=side.seq if seq is None else seq,
+            ack=side.ack if flags.ack else 0,
+            flags=flags, payload=payload)
+        self._ip_id = (self._ip_id + 1) & 0xFFFF
+        packet = CapturedPacket.build(
+            timestamp=when, src_mac=side.host.mac, dst_mac=peer.host.mac,
+            src_ip=side.host.ip, dst_ip=peer.host.ip, segment=segment,
+            ip_id=self._ip_id)
+        self._tap.observe(packet)
+
+    # -- connection lifecycle ----------------------------------------------
+
+    def establish(self, when: float) -> float:
+        """Three-way handshake; returns completion time."""
+        if self.established or self.closed:
+            raise RuntimeError("connection already used")
+        syn_time = when
+        self.client.seq = self._rng.randrange(0, _SEQ_MODULO)
+        self.server.seq = self._rng.randrange(0, _SEQ_MODULO)
+        self._emit(syn_time, self.client, TCPFlags(syn=True))
+        self.client.seq = (self.client.seq + 1) % _SEQ_MODULO
+
+        synack_time = syn_time + self._delay()
+        self.server.ack = self.client.seq
+        self._emit(synack_time, self.server, TCPFlags(syn=True, ack=True))
+        self.server.seq = (self.server.seq + 1) % _SEQ_MODULO
+
+        ack_time = synack_time + self._delay()
+        self.client.ack = self.server.seq
+        self._emit(ack_time, self.client, TCPFlags(ack=True))
+        self.established = True
+        return ack_time
+
+    def send_syn_unanswered(self, when: float, retries: int = 2,
+                            backoff: float = 1.0) -> float:
+        """A SYN (plus retries) that the peer silently drops.
+
+        Models outstations that ignore backup-connection attempts; the
+        resulting flow record has a SYN but no FIN/RST, which the
+        paper's methodology classifies as *long-lived*.
+        """
+        if self.established or self.closed:
+            raise RuntimeError("connection already used")
+        self.client.seq = self._rng.randrange(0, _SEQ_MODULO)
+        last = when
+        for attempt in range(retries + 1):
+            last = when + backoff * ((2 ** attempt) - 1)
+            self._emit(last, self.client, TCPFlags(syn=True),
+                       seq=self.client.seq)
+        self.closed = True
+        return last
+
+    def send(self, when: float, from_client: bool, payload: bytes) -> float:
+        """Send application data; returns the arrival-side timestamp."""
+        if not self.established or self.closed:
+            raise RuntimeError("connection not established")
+        if not payload:
+            raise ValueError("use explicit ACK emission for empty segments")
+        side = self.client if from_client else self.server
+        peer = self._peer(side)
+        send_time = when
+        data_seq = side.seq
+        self._emit(send_time, side, TCPFlags(psh=True, ack=True),
+                   payload=payload, seq=data_seq)
+        side.seq = (side.seq + len(payload)) % _SEQ_MODULO
+        peer.ack = side.seq
+        if self._rng.random() < self._retransmission.probability:
+            # Spurious retransmission: same seq, same payload, later.
+            self._emit(send_time + self._retransmission.delay, side,
+                       TCPFlags(psh=True, ack=True), payload=payload,
+                       seq=data_seq)
+        arrival = send_time + self._delay()
+        if self._ack_policy == "delayed":
+            self._unacked_data[from_client] += 1
+            if self._unacked_data[from_client] >= self._ack_every:
+                self._unacked_data[from_client] = 0
+                self._emit(arrival + 0.0005, peer, TCPFlags(ack=True))
+        return arrival
+
+    def close_fin(self, when: float, from_client: bool) -> float:
+        """Graceful shutdown: FIN/ACK exchange both ways."""
+        if not self.established or self.closed:
+            raise RuntimeError("connection not open")
+        initiator = self.client if from_client else self.server
+        responder = self._peer(initiator)
+        fin_time = when
+        self._emit(fin_time, initiator, TCPFlags(fin=True, ack=True))
+        initiator.seq = (initiator.seq + 1) % _SEQ_MODULO
+        responder.ack = initiator.seq
+
+        reply_time = fin_time + self._delay()
+        self._emit(reply_time, responder, TCPFlags(fin=True, ack=True))
+        responder.seq = (responder.seq + 1) % _SEQ_MODULO
+        initiator.ack = responder.seq
+
+        final_time = reply_time + self._delay()
+        self._emit(final_time, initiator, TCPFlags(ack=True))
+        self.closed = True
+        return final_time
+
+    def close_rst(self, when: float, from_client: bool) -> float:
+        """Abortive shutdown: a single RST."""
+        if not self.established or self.closed:
+            raise RuntimeError("connection not open")
+        side = self.client if from_client else self.server
+        self._emit(when, side, TCPFlags(rst=True, ack=True))
+        self.closed = True
+        return when
+
+    def refuse(self, when: float) -> float:
+        """SYN answered by RST (listener refuses the connection)."""
+        if self.established or self.closed:
+            raise RuntimeError("connection already used")
+        self.client.seq = self._rng.randrange(0, _SEQ_MODULO)
+        self._emit(when, self.client, TCPFlags(syn=True))
+        self.client.seq = (self.client.seq + 1) % _SEQ_MODULO
+        rst_time = when + self._delay()
+        self.server.ack = self.client.seq
+        self._emit(rst_time, self.server, TCPFlags(rst=True, ack=True))
+        self.closed = True
+        return rst_time

@@ -1,0 +1,65 @@
+"""Host and address assignment for the simulated SCADA network."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..netstack.addresses import IPv4Address, MacAddress
+from .tcpsim import SimHost
+
+#: Private /16 used by the control center and the substations.
+_SERVER_NET = 0x0A000000      # 10.0.0.0/24 — control servers
+_OUTSTATION_NET = 0x0A010000  # 10.1.0.0/16 — substation RTUs
+_AUXILIARY_NET = 0x0A020000   # 10.2.0.0/16 — PMUs, external centers
+_MAC_BASE = 0x020000000000    # locally administered
+
+
+@dataclass
+class NetworkMap:
+    """Maps logical names (C1, O17, ...) to simulated hosts."""
+
+    hosts: dict[str, SimHost] = field(default_factory=dict)
+    _server_count: int = 0
+    _outstation_count: int = 0
+
+    def add_server(self, name: str) -> SimHost:
+        self._server_count += 1
+        return self._add(name, _SERVER_NET + self._server_count,
+                         len(self.hosts) + 1)
+
+    def add_outstation(self, name: str) -> SimHost:
+        self._outstation_count += 1
+        return self._add(name, _OUTSTATION_NET + self._outstation_count,
+                         len(self.hosts) + 1)
+
+    def add_auxiliary(self, name: str) -> SimHost:
+        """A non-IEC-104 host: a PMU or an external control center."""
+        self._auxiliary_count = getattr(self, "_auxiliary_count", 0) + 1
+        return self._add(name, _AUXILIARY_NET + self._auxiliary_count,
+                         len(self.hosts) + 1)
+
+    def _add(self, name: str, ip_value: int, mac_index: int) -> SimHost:
+        if name in self.hosts:
+            raise ValueError(f"duplicate host {name}")
+        host = SimHost(name=name, ip=IPv4Address(ip_value),
+                       mac=MacAddress(_MAC_BASE + mac_index))
+        self.hosts[name] = host
+        return host
+
+    def __getitem__(self, name: str) -> SimHost:
+        return self.hosts[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.hosts
+
+    def name_of(self, address: IPv4Address) -> str | None:
+        """Reverse lookup: IP address to logical name."""
+        for name, host in self.hosts.items():
+            if host.ip == address:
+                return name
+        return None
+
+    def address_book(self) -> dict[IPv4Address, str]:
+        """Full IP-to-name mapping (what the analyst knows from the
+        operator's documentation)."""
+        return {host.ip: name for name, host in self.hosts.items()}

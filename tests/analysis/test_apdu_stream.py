@@ -1,0 +1,181 @@
+"""APDU extraction front-end tests: per-packet vs reassembled modes."""
+
+import random
+
+import pytest
+
+from repro.analysis.apdu_stream import (extract_apdus, is_iec104,
+                                        tokenize, u_function_counts,
+                                        has_interrogation,
+                                        observed_type_ids)
+from repro.iec104.constants import TypeID
+from repro.netstack.addresses import IPv4Address, MacAddress
+from repro.netstack.packet import CapturedPacket
+from repro.netstack.tcp import PSH_ACK, TCPSegment
+from repro.simnet.capture import CaptureTap
+from repro.simnet.clock import Simulator
+from repro.simnet.tcpsim import RetransmissionModel, SimConnection, SimHost
+
+
+def make_conn(retransmission=None, seed=1):
+    client = SimHost(name="C1", ip=IPv4Address(0x0A000001),
+                     mac=MacAddress(0x020000000001))
+    server = SimHost(name="O1", ip=IPv4Address(0x0A010001),
+                     mac=MacAddress(0x020000000002))
+    tap = CaptureTap()
+    conn = SimConnection(Simulator(), tap, client, server, 2404,
+                         rng=random.Random(seed),
+                         retransmission=retransmission)
+    names = {client.ip: "C1", server.ip: "O1"}
+    return conn, tap, names
+
+
+def u_frame_bytes():
+    from repro.iec104.apci import UFrame
+    from repro.iec104.constants import UFunction
+    return UFrame(UFunction.TESTFR_ACT).encode()
+
+
+class TestFiltering:
+    def test_is_iec104_by_port(self):
+        segment = TCPSegment(src_port=5000, dst_port=2404, seq=0)
+        packet = CapturedPacket.build(
+            0.0, MacAddress(1), MacAddress(2), IPv4Address(1),
+            IPv4Address(2), segment)
+        assert is_iec104(packet)
+
+    def test_other_ports_ignored(self):
+        """ICCP/C37.118-like traffic must be filtered out."""
+        segment = TCPSegment(src_port=5000, dst_port=102,  # ICCP port
+                             seq=0, flags=PSH_ACK,
+                             payload=b"not iec104 at all")
+        packet = CapturedPacket.build(
+            0.0, MacAddress(1), MacAddress(2), IPv4Address(1),
+            IPv4Address(2), segment)
+        extraction = extract_apdus([packet])
+        assert extraction.events == []
+        assert extraction.failures == []
+
+    def test_unknown_hosts_named_by_address(self):
+        conn, tap, _ = make_conn()
+        conn.establish(0.0)
+        conn.send(1.0, from_client=True, payload=u_frame_bytes())
+        extraction = extract_apdus(tap.packets, names={})
+        assert extraction.events[0].src.startswith("10.0.0.1:")
+
+
+class TestRetransmissionModes:
+    def make_capture_with_retransmissions(self):
+        conn, tap, names = make_conn(
+            RetransmissionModel(probability=1.0), seed=2)
+        conn.establish(0.0)
+        conn.send(1.0, from_client=True, payload=u_frame_bytes())
+        return tap, names
+
+    def test_per_packet_duplicates_tokens(self):
+        """The paper's repeated-U16 observation: per-packet parsing
+        sees retransmitted APDUs twice."""
+        tap, names = self.make_capture_with_retransmissions()
+        extraction = extract_apdus(tap.packets, names=names,
+                                   per_packet=True)
+        assert tokenize(extraction.events) == ["U16", "U16"]
+
+    def test_reassembled_deduplicates(self):
+        tap, names = self.make_capture_with_retransmissions()
+        extraction = extract_apdus(tap.packets, names=names,
+                                   per_packet=False)
+        assert tokenize(extraction.events) == ["U16"]
+        assert extraction.retransmissions == 1
+
+
+class TestGrouping:
+    def make_extraction(self):
+        conn, tap, names = make_conn()
+        conn.establish(0.0)
+        conn.send(1.0, from_client=True, payload=u_frame_bytes())
+        from repro.iec104.apci import UFrame
+        from repro.iec104.constants import UFunction
+        conn.send(1.1, from_client=False,
+                  payload=UFrame(UFunction.TESTFR_CON).encode())
+        return extract_apdus(tap.packets, names=names)
+
+    def test_sessions_are_directional(self):
+        extraction = self.make_extraction()
+        sessions = extraction.by_session()
+        assert ("C1", "O1") in sessions and ("O1", "C1") in sessions
+
+    def test_connections_merge_directions(self):
+        extraction = self.make_extraction()
+        connections = extraction.by_connection()
+        assert list(connections) == [("C1", "O1")]
+        assert len(connections[("C1", "O1")]) == 2
+
+    def test_connection_puts_server_first(self):
+        extraction = self.make_extraction()
+        (connection,) = extraction.by_connection()
+        assert connection[0] == "C1"
+
+    def test_u_function_counts(self):
+        extraction = self.make_extraction()
+        counts = u_function_counts(extraction.events)
+        assert counts == {"U16": 1, "U32": 1}
+
+    def test_has_interrogation(self):
+        assert not has_interrogation(
+            tokenize(self.make_extraction().events))
+        assert has_interrogation(["U1", "I100"])
+
+    def test_tokenize_time_ordered(self):
+        extraction = self.make_extraction()
+        assert tokenize(extraction.events) == ["U16", "U32"]
+
+
+class TestObservedTypeIds:
+    def test_counts(self):
+        from repro.iec104.apci import IFrame
+        from repro.iec104.asdu import measurement
+        from repro.iec104.information_elements import ShortFloat
+        conn, tap, names = make_conn()
+        conn.establish(0.0)
+        asdu = measurement(TypeID.M_ME_NC_1, 2001, ShortFloat(value=1.0))
+        conn.send(1.0, from_client=False,
+                  payload=IFrame(asdu=asdu).encode())
+        extraction = extract_apdus(tap.packets, names=names)
+        assert observed_type_ids(extraction) \
+            == {TypeID.M_ME_NC_1: 1}
+
+
+class TestCauseDistribution:
+    def test_counts_by_cause(self):
+        from repro.analysis.apdu_stream import cause_distribution
+        from repro.iec104.apci import IFrame
+        from repro.iec104.asdu import measurement
+        from repro.iec104.constants import Cause
+        from repro.iec104.information_elements import ShortFloat
+        conn, tap, names = make_conn()
+        conn.establish(0.0)
+        for index, cause in enumerate((Cause.SPONTANEOUS,
+                                       Cause.SPONTANEOUS,
+                                       Cause.PERIODIC)):
+            asdu = measurement(TypeID.M_ME_NC_1, 2001,
+                               ShortFloat(value=1.0), cause=cause)
+            conn.send(1.0 + index, from_client=False,
+                      payload=IFrame(asdu=asdu,
+                                     send_seq=index).encode())
+        extraction = extract_apdus(tap.packets, names=names)
+        counts = cause_distribution(extraction)
+        assert counts[Cause.SPONTANEOUS] == 2
+        assert counts[Cause.PERIODIC] == 1
+
+    def test_capture_dominated_by_spontaneous(self, y1_extraction):
+        from repro.analysis.apdu_stream import cause_distribution
+        from repro.iec104.constants import Cause
+        counts = cause_distribution(y1_extraction)
+        total = sum(counts.values())
+        # Spontaneous and periodic reporting carry the bulk of ASDUs;
+        # activation/confirmation pairs are a thin control-plane layer.
+        reporting = counts.get(Cause.SPONTANEOUS, 0) \
+            + counts.get(Cause.PERIODIC, 0)
+        assert reporting / total > 0.7
+        assert counts.get(Cause.SPONTANEOUS, 0) \
+            > counts.get(Cause.PERIODIC, 0)

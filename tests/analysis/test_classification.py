@@ -1,0 +1,124 @@
+"""Table 6 classification rule tests on synthetic connection profiles."""
+
+import pytest
+
+from repro.analysis.classification import (classify_outstation,
+                                           connection_profile,
+                                           type_distribution,
+                                           TypeDistribution)
+from repro.simnet.behaviors import OutstationType
+
+
+def profile(server, tokens):
+    return connection_profile(server, "OX", tokens)
+
+
+def classify(*profiles):
+    return classify_outstation("OX", list(profiles)).outstation_type
+
+
+class TestRules:
+    def test_type1_primary_only(self):
+        assert classify(profile("C1", ["I13", "I36", "S"] * 5)) \
+            is OutstationType.PRIMARY_ONLY
+
+    def test_type2_ideal(self):
+        assert classify(
+            profile("C1", ["I13", "S"] * 5),
+            profile("C2", ["U16", "U32"] * 5),
+        ) is OutstationType.IDEAL
+
+    def test_type3_backup_u_only(self):
+        assert classify(
+            profile("C1", ["U16", "U32"] * 5),
+            profile("C2", ["U16", "U32"] * 5),
+        ) is OutstationType.BACKUP_U_ONLY
+
+    def test_type4_i_to_both(self):
+        assert classify(
+            profile("C1", ["U1", "U2", "I100", "I13", "S"]),
+            profile("C2", ["U1", "U2", "I100", "I13", "S"]),
+        ) is OutstationType.I_ONLY_BOTH_SERVERS
+
+    def test_type5_single_server_i_and_u(self):
+        assert classify(
+            profile("C1", ["I13", "S", "U16", "U32", "I13"]),
+        ) is OutstationType.SINGLE_SERVER_I_AND_U
+
+    def test_type6_rejected_secondary(self):
+        assert classify(
+            profile("C2", ["I13", "S"] * 5),
+            profile("C1", ["U16", "U16", "U16"]),
+        ) is OutstationType.REJECTS_SECONDARY
+
+    def test_type7_backup_rejects(self):
+        assert classify(profile("C1", ["U16"] * 6)) \
+            is OutstationType.BACKUP_REJECTS
+
+    def test_type8_switchover(self):
+        assert classify(
+            profile("C1", ["I13", "S"] * 10),
+            profile("C2", ["U16", "U32", "U16", "U32", "U1", "U2",
+                           "I100", "I13", "S"]),
+        ) is OutstationType.SWITCHOVER_OBSERVED
+
+    def test_i100_alone_is_not_measurement_traffic(self):
+        # A connection carrying only the interrogation command (no data
+        # replies) is not an I-measurement connection.
+        result = classify(profile("C1", ["U16", "U16"]),
+                          profile("C2", ["U16", "U32"] * 3))
+        assert result is OutstationType.BACKUP_REJECTS
+
+
+class TestProfiles:
+    def test_connection_profile_fields(self):
+        p = profile("C1", ["U1", "U2", "I100", "I13", "S", "U16", "U32"])
+        assert p.has_i and p.has_u16 and p.has_u32
+        assert p.has_startdt and p.has_interrogation
+        assert p.is_switchover
+
+    def test_reset_backup_predicate(self):
+        assert profile("C1", ["U16", "U16"]).is_reset_backup
+        assert not profile("C1", ["U16", "U32"]).is_reset_backup
+        assert not profile("C1", ["U16", "I13"]).is_reset_backup
+
+
+class TestDistribution:
+    def test_rows_and_percentages(self):
+        dist = TypeDistribution(counts={
+            OutstationType.BACKUP_U_ONLY: 3,
+            OutstationType.IDEAL: 1,
+        })
+        assert dist.total == 4
+        assert dist.percentage(OutstationType.BACKUP_U_ONLY) == 75.0
+        assert dist.most_common is OutstationType.BACKUP_U_ONLY
+        assert len(dist.rows()) == 8
+
+
+class TestOnSyntheticCapture:
+    def test_matches_ground_truth(self, y1_capture, y1_extraction):
+        """The traffic-only classifier must recover the simulator's
+        ground-truth type for nearly every outstation."""
+        from repro.analysis.classification import classify_all
+        truth = {plan.behavior.name: plan.behavior.outstation_type
+                 for plan in y1_capture.plans}
+        observed = classify_all(y1_extraction)
+        checked = mismatched = 0
+        for name, classification in observed.items():
+            if name not in truth:
+                continue
+            checked += 1
+            expected = truth[name]
+            if name == "O22":
+                continue  # the test RTU is a deliberate outlier
+            if classification.outstation_type is not expected:
+                mismatched += 1
+        assert checked >= 40
+        assert mismatched <= 3, (
+            f"{mismatched} of {checked} outstations misclassified")
+
+    def test_type3_most_common(self, y1_extraction):
+        from repro.analysis.classification import (classify_all,
+                                                   type_distribution)
+        dist = type_distribution(classify_all(y1_extraction))
+        assert dist.most_common is OutstationType.BACKUP_U_ONLY

@@ -1,0 +1,162 @@
+"""K-means++, Silhouette, elbow and PCA tests on controlled data."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.clustering import (explained_variance, kmeans,
+                                       per_feature_silhouette, select_k,
+                                       silhouette_score)
+from repro.analysis.pca import fit_pca
+
+
+def blobs(centers, per=20, spread=0.05, seed=0):
+    rng = np.random.default_rng(seed)
+    points = []
+    for center in centers:
+        points.append(rng.normal(loc=center, scale=spread,
+                                 size=(per, len(center))))
+    return np.vstack(points)
+
+
+class TestKMeans:
+    def test_recovers_separated_blobs(self):
+        data = blobs([(0, 0), (10, 10), (0, 10)])
+        result = kmeans(data, 3, seed=1)
+        # All points of a blob share a label.
+        for start in range(0, 60, 20):
+            assert len(set(result.labels[start:start + 20])) == 1
+        # The three blobs get three distinct labels.
+        assert len({result.labels[0], result.labels[20],
+                    result.labels[40]}) == 3
+
+    def test_inertia_decreases_with_k(self):
+        data = blobs([(0, 0), (5, 5), (9, 0)], per=15)
+        inertias = [kmeans(data, k, seed=2).inertia for k in (1, 2, 3)]
+        assert inertias[0] > inertias[1] > inertias[2]
+
+    def test_k_equals_n_zero_inertia(self):
+        data = blobs([(0, 0)], per=4)
+        result = kmeans(data, 4, seed=3)
+        assert result.inertia == pytest.approx(0.0, abs=1e-12)
+
+    def test_predict_matches_labels(self):
+        data = blobs([(0, 0), (8, 8)])
+        result = kmeans(data, 2, seed=4)
+        assert (result.predict(data) == result.labels).all()
+
+    def test_deterministic_for_seed(self):
+        data = blobs([(0, 0), (8, 8)])
+        a = kmeans(data, 2, seed=5)
+        b = kmeans(data, 2, seed=5)
+        assert (a.labels == b.labels).all()
+
+    def test_invalid_k(self):
+        data = blobs([(0, 0)], per=5)
+        with pytest.raises(ValueError):
+            kmeans(data, 0)
+        with pytest.raises(ValueError):
+            kmeans(data, 6)
+
+    def test_identical_points_handled(self):
+        data = np.zeros((10, 3))
+        result = kmeans(data, 2, seed=6)
+        assert result.inertia == pytest.approx(0.0)
+
+
+class TestSilhouette:
+    def test_well_separated_near_one(self):
+        data = blobs([(0, 0), (100, 100)])
+        labels = np.array([0] * 20 + [1] * 20)
+        assert silhouette_score(data, labels) > 0.95
+
+    def test_wrong_assignment_negative(self):
+        data = blobs([(0, 0), (100, 100)], per=10)
+        labels = np.array(([1] * 5 + [0] * 5) * 2)
+        assert silhouette_score(data, labels) < 0.0
+
+    def test_single_cluster_zero(self):
+        data = blobs([(0, 0)])
+        assert silhouette_score(data, np.zeros(20, dtype=int)) == 0.0
+
+    def test_bounds(self):
+        data = blobs([(0, 0), (3, 3), (9, 1)], per=8, spread=0.8)
+        result = kmeans(data, 3, seed=7)
+        score = silhouette_score(data, result.labels)
+        assert -1.0 <= score <= 1.0
+
+
+class TestModelSelection:
+    def test_select_k_prefers_true_k(self):
+        data = blobs([(0, 0), (10, 0), (0, 10), (10, 10), (5, 5)],
+                     per=12, spread=0.1)
+        selection = select_k(data, range(2, 8), seed=8)
+        assert selection.best_by_silhouette == 5
+
+    def test_explained_variance_increases(self):
+        data = blobs([(0, 0), (10, 0), (0, 10)], per=10)
+        low = explained_variance(data, kmeans(data, 2, seed=9))
+        high = explained_variance(data, kmeans(data, 3, seed=9))
+        assert high > low
+        assert 0.0 <= low <= 1.0 and 0.0 <= high <= 1.0
+
+    def test_elbow_at_true_k(self):
+        data = blobs([(0, 0), (20, 0), (0, 20)], per=15, spread=0.1)
+        selection = select_k(data, range(1, 7), seed=10)
+        assert selection.elbow == 3
+
+    def test_per_feature_silhouette_finds_informative(self):
+        rng = np.random.default_rng(11)
+        informative = np.concatenate([rng.normal(0, 0.05, 30),
+                                      rng.normal(10, 0.05, 30)])
+        noise = rng.uniform(0, 1, 60)
+        matrix = np.column_stack([informative, noise])
+        scores = per_feature_silhouette(matrix, ("good", "bad"), k=2,
+                                        seed=12)
+        assert scores["good"] > scores["bad"]
+
+    def test_per_feature_name_mismatch(self):
+        with pytest.raises(ValueError):
+            per_feature_silhouette(np.zeros((5, 2)), ("only-one",))
+
+
+class TestPCA:
+    def test_projects_to_requested_dims(self):
+        data = blobs([(0, 0, 0), (5, 5, 5)])
+        result = fit_pca(data, 2)
+        assert result.transform(data).shape == (40, 2)
+
+    def test_first_component_captures_main_axis(self):
+        rng = np.random.default_rng(13)
+        t = rng.normal(size=200)
+        data = np.column_stack([t * 10.0, t * 0.1 + rng.normal(
+            scale=0.01, size=200)])
+        result = fit_pca(data, 2)
+        assert result.explained_variance_ratio[0] > 0.99
+
+    def test_inverse_transform_reconstructs(self):
+        data = blobs([(0, 0), (3, 1)])
+        result = fit_pca(data, 2)  # full rank: lossless
+        reconstructed = result.inverse_transform(result.transform(data))
+        assert np.allclose(reconstructed, data, atol=1e-9)
+
+    def test_components_orthonormal(self):
+        data = blobs([(0, 0, 1), (4, 2, 0), (1, 5, 3)], per=15)
+        result = fit_pca(data, 3)
+        gram = result.components @ result.components.T
+        assert np.allclose(gram, np.eye(3), atol=1e-9)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            fit_pca(np.zeros((1, 3)), 1)
+        with pytest.raises(ValueError):
+            fit_pca(np.zeros((5, 3)), 4)
+
+    @settings(max_examples=25)
+    @given(st.integers(min_value=3, max_value=30),
+           st.integers(min_value=2, max_value=5))
+    def test_variance_ratio_sums_below_one(self, n, d):
+        rng = np.random.default_rng(n * d)
+        data = rng.normal(size=(n, d))
+        result = fit_pca(data, min(2, d))
+        assert result.explained_variance_ratio.sum() <= 1.0 + 1e-9

@@ -1,0 +1,106 @@
+"""Day-over-day drift analysis tests."""
+
+import pytest
+
+from repro.analysis.apdu_stream import ApduEvent
+from repro.analysis.drift import (DayProfile, SessionDrift,
+                                  day_boundaries, session_drift,
+                                  summarize_drift)
+from repro.iec104.apci import SFrame, UFrame
+from repro.iec104.constants import UFunction
+
+
+def event(t, token="S"):
+    apdu = SFrame() if token == "S" else UFrame(UFunction.TESTFR_ACT)
+    return ApduEvent(timestamp=t, src="C1", dst="O1", apdu=apdu,
+                     wire_bytes=60)
+
+
+class TestDayBoundaries:
+    def test_detects_gaps(self, y1_extraction):
+        boundaries = day_boundaries(y1_extraction)
+        # Five capture days -> four inter-day gaps.
+        assert len(boundaries) == 4
+
+    def test_no_gap_no_boundary(self):
+        from repro.analysis.apdu_stream import StreamExtraction
+        extraction = StreamExtraction(
+            events=[event(float(t)) for t in range(100)], parser=None)
+        assert day_boundaries(extraction) == []
+
+
+class TestSessionDrift:
+    def test_identical_days_zero_drift(self):
+        record = SessionDrift(session=("C1", "O1"), days=[
+            DayProfile(day=0, packets=100, rate_per_s=1.0, pct_i=0.8,
+                       pct_s=0.2, pct_u=0.0),
+            DayProfile(day=1, packets=100, rate_per_s=1.0, pct_i=0.8,
+                       pct_s=0.2, pct_u=0.0)])
+        assert record.drift == pytest.approx(0.0)
+
+    def test_mix_change_drifts(self):
+        record = SessionDrift(session=("C1", "O1"), days=[
+            DayProfile(day=0, packets=100, rate_per_s=1.0, pct_i=1.0,
+                       pct_s=0.0, pct_u=0.0),
+            DayProfile(day=1, packets=100, rate_per_s=1.0, pct_i=0.0,
+                       pct_s=0.0, pct_u=1.0)])
+        assert record.drift > 1.0
+
+    def test_intermittent_detection(self):
+        record = SessionDrift(session=("C1", "O1"), days=[
+            DayProfile(day=0, packets=10, rate_per_s=1.0, pct_i=1.0,
+                       pct_s=0.0, pct_u=0.0),
+            DayProfile(day=4, packets=10, rate_per_s=1.0, pct_i=1.0,
+                       pct_s=0.0, pct_u=0.0)])
+        assert record.intermittent
+
+    def test_single_day_no_drift(self):
+        record = SessionDrift(session=("C1", "O1"), days=[
+            DayProfile(day=0, packets=10, rate_per_s=1.0, pct_i=1.0,
+                       pct_s=0.0, pct_u=0.0)])
+        assert record.drift == 0.0
+
+
+class TestOnCapture:
+    def test_scada_sessions_mostly_stable(self, y1_extraction):
+        """Hypothesis 1 at day granularity: the bulk of sessions keep
+        their behaviour across capture days."""
+        drifts = session_drift(y1_extraction)
+        summary = summarize_drift(drifts)
+        assert summary.multi_day_sessions > 30
+        assert summary.stability_fraction > 0.8
+
+    def test_steady_primary_sessions_stable(self, y1_extraction):
+        drifts = {record.session: record
+                  for record in session_drift(y1_extraction)}
+        # O3's always-on primary reporting stream to C1.
+        primary = drifts.get(("O3", "C1"))
+        assert primary is not None
+        assert primary.observed_days >= 4
+        assert primary.drift < 0.6
+
+    def test_type4_sessions_span_alternating_days(self, y1_extraction):
+        """A type-4 outstation talks to each server only on alternate
+        days — visible as intermittency."""
+        drifts = {record.session: record
+                  for record in session_drift(y1_extraction)}
+        session = drifts.get(("O27", "C1"))
+        assert session is not None
+        assert session.intermittent
+
+
+class TestSummary:
+    def test_empty(self):
+        summary = summarize_drift([])
+        assert summary.stability_fraction == 1.0
+
+    def test_threshold(self):
+        records = [SessionDrift(session=("C1", f"O{i}"), days=[
+            DayProfile(day=0, packets=10, rate_per_s=1.0, pct_i=1.0,
+                       pct_s=0.0, pct_u=0.0),
+            DayProfile(day=1, packets=10, rate_per_s=1.0,
+                       pct_i=1.0 if i else 0.0, pct_s=0.0,
+                       pct_u=0.0 if i else 1.0)])
+            for i in range(3)]
+        summary = summarize_drift(records, threshold=0.6)
+        assert summary.drifting_sessions == (("C1", "O0"),)

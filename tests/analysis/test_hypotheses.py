@@ -1,0 +1,69 @@
+"""The five-hypothesis evaluation must mirror the paper's verdicts."""
+
+import pytest
+
+from repro.analysis.hypotheses import (Verdict, evaluate_all,
+                                       evaluate_h1_stability,
+                                       evaluate_h2_compliance,
+                                       evaluate_h3_flows,
+                                       evaluate_h4_clusters,
+                                       evaluate_h5_physical)
+
+
+@pytest.fixture(scope="module")
+def results(y1_capture, y1_extraction, y2_extraction):
+    return {result.hypothesis: result
+            for result in evaluate_all(y1_capture.packets,
+                                       y1_extraction, y2_extraction,
+                                       names=y1_capture.host_names())}
+
+
+class TestVerdictsMatchPaper:
+    def test_h1_mixed(self, results):
+        """Paper: 'the answer ... is not clear' — most of the network
+        changed, but servers and a quarter of RTUs held."""
+        assert results["H1"].verdict is Verdict.MIXED
+
+    def test_h2_rejected(self, results):
+        """Paper: 'in direct contradiction with Hypothesis 2'."""
+        assert results["H2"].verdict is Verdict.REJECTED
+        assert "O37" in results["H2"].evidence
+
+    def test_h3_rejected(self, results):
+        """Paper: 99.8% of flows lasted less than one second."""
+        assert results["H3"].verdict is Verdict.REJECTED
+
+    def test_h4_supported(self, results):
+        """Paper: 'Our results satisfy Hypothesis 4'."""
+        assert results["H4"].verdict is Verdict.SUPPORTED
+        assert results["H4"].metric > 0.5
+
+    def test_h5_supported(self, results):
+        assert results["H5"].verdict is Verdict.SUPPORTED
+        assert "Freq" in results["H5"].evidence
+
+    def test_renders_readably(self, results):
+        text = str(results["H2"])
+        assert "H2" in text and "rejected" in text
+
+
+class TestEdgeCases:
+    def test_h1_identical_capture_is_supported(self, y1_extraction):
+        result = evaluate_h1_stability(y1_extraction, y1_extraction)
+        assert result.verdict is Verdict.SUPPORTED
+        assert result.metric == pytest.approx(1.0)
+
+    def test_h4_too_few_sessions(self, y1_extraction):
+        from repro.analysis.apdu_stream import StreamExtraction
+        tiny = StreamExtraction(events=y1_extraction.events[:3],
+                                parser=y1_extraction.parser)
+        result = evaluate_h4_clusters(tiny)
+        assert result.verdict is Verdict.MIXED
+
+    def test_h2_clean_traffic_supported(self, y1_capture):
+        clean = [packet for packet in y1_capture.packets
+                 if packet.ip.src != y1_capture.network["O37"].ip
+                 and packet.ip.src != y1_capture.network["O28"].ip]
+        result = evaluate_h2_compliance(
+            clean, names=y1_capture.host_names())
+        assert result.verdict is Verdict.SUPPORTED

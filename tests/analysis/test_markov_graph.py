@@ -1,0 +1,68 @@
+"""Markov chain graph export and stationary distribution tests."""
+
+import pytest
+
+from repro.analysis.markov import MarkovChain
+
+
+class TestNetworkxExport:
+    def test_graph_structure(self):
+        chain = MarkovChain.from_tokens(["U16", "U32"] * 5)
+        graph = chain.to_networkx()
+        assert set(graph.nodes) == {"U16", "U32"}
+        assert graph.number_of_edges() == 2
+        assert graph["U16"]["U32"]["probability"] == 1.0
+        assert graph["U16"]["U32"]["count"] == 5
+
+    def test_isolated_node_kept(self):
+        chain = MarkovChain.from_tokens(["S"])
+        graph = chain.to_networkx()
+        assert list(graph.nodes) == ["S"]
+        assert graph.number_of_edges() == 0
+
+    def test_cycle_detection_via_networkx(self):
+        import networkx as nx
+        chain = MarkovChain.from_tokens(
+            ["I36", "I36", "S", "I36", "S"])
+        graph = chain.to_networkx()
+        cycles = list(nx.simple_cycles(graph))
+        assert any(set(cycle) == {"I36", "S"} for cycle in cycles)
+
+
+class TestDotExport:
+    def test_dot_contains_edges(self):
+        chain = MarkovChain.from_tokens(["U1", "U2", "I100", "I13"])
+        dot = chain.to_dot()
+        assert dot.startswith("digraph")
+        assert '"U1" -> "U2"' in dot
+        assert 'label="1.00"' in dot
+
+
+class TestStationaryDistribution:
+    def test_keepalive_loop_is_uniform(self):
+        chain = MarkovChain.from_tokens(["U16", "U32"] * 20)
+        pi = chain.stationary_distribution()
+        assert pi["U16"] == pytest.approx(0.5)
+        assert pi["U32"] == pytest.approx(0.5)
+
+    def test_weighted_loop(self):
+        # I36 self-loops twice for every S transition.
+        chain = MarkovChain.from_tokens(["I36", "I36", "I36", "S"] * 30)
+        pi = chain.stationary_distribution()
+        assert pi["I36"] == pytest.approx(0.75, abs=0.01)
+        assert pi["S"] == pytest.approx(0.25, abs=0.01)
+
+    def test_sums_to_one(self):
+        chain = MarkovChain.from_tokens(
+            ["U16", "U32", "U16", "U32", "U16"])
+        pi = chain.stationary_distribution()
+        assert sum(pi.values()) == pytest.approx(1.0)
+
+    def test_dangling_node_returns_empty(self):
+        # "S" never transitions onward: no stationary distribution.
+        chain = MarkovChain.from_tokens(["I36", "S"])
+        assert chain.stationary_distribution() == {}
+
+    def test_empty_chain(self):
+        assert MarkovChain.from_tokens([]).stationary_distribution() \
+            == {}

@@ -1,0 +1,155 @@
+"""N-gram language model and Markov chain tests (§6.3.1)."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.analysis.markov import (ChainCluster, MarkovChain,
+                                   classify_chain)
+from repro.analysis.ngram import (NgramModel, TOKEN_DESCRIPTIONS,
+                                  is_valid_token)
+
+
+class TestTokenGrammar:
+    @pytest.mark.parametrize("token", ["S", "U1", "U16", "U32", "I13",
+                                       "I36", "I100", "I127"])
+    def test_valid(self, token):
+        assert is_valid_token(token)
+
+    @pytest.mark.parametrize("token", ["X", "I", "I0", "I128", "U3x",
+                                       "i13", ""])
+    def test_invalid(self, token):
+        assert not is_valid_token(token)
+
+    def test_table4_catalog(self):
+        assert set(TOKEN_DESCRIPTIONS) == {"S", "U1", "U2", "U4", "U8",
+                                           "U16", "U32"}
+
+
+class TestNgramModel:
+    def test_mle_bigram_probabilities(self):
+        """Paper Eq. 2 on a known corpus."""
+        model = NgramModel(order=2).fit([["I13", "I13", "S", "I13"]])
+        # C(I13 I13) = 1, C(I13) as context appears 3 times total
+        # (I13->I13, I13->S, I13-></s>).
+        assert model.probability("I13", ["I13"]) == pytest.approx(1 / 3)
+        assert model.probability("S", ["I13"]) == pytest.approx(1 / 3)
+        assert model.probability("I36", ["I13"]) == 0.0
+
+    def test_chain_rule_log_probability(self):
+        model = NgramModel(order=2).fit([["U16", "U32"]] * 5)
+        log_prob = model.sequence_log_probability(["U16", "U32"])
+        assert log_prob == pytest.approx(0.0)  # deterministic corpus
+
+    def test_unseen_sequence_minus_inf(self):
+        model = NgramModel(order=2).fit([["U16", "U32"]])
+        assert math.isinf(
+            model.sequence_log_probability(["U16", "U16"]))
+
+    def test_smoothing_avoids_zero(self):
+        model = NgramModel(order=2, smoothing_k=0.5)
+        model.fit([["U16", "U32"]])
+        assert model.probability("U16", ["U16"]) > 0.0
+
+    def test_unigram_model(self):
+        model = NgramModel(order=1).fit([["S", "S", "I13"]])
+        # 4 events including </s>.
+        assert model.probability("S") == pytest.approx(2 / 4)
+
+    def test_trigram_context(self):
+        model = NgramModel(order=3).fit(
+            [["U1", "U2", "I100", "I13", "I13"]])
+        assert model.probability("I100", ["U1", "U2"]) == 1.0
+
+    def test_perplexity_lower_for_matching_model(self):
+        regular = [["I13", "S"] * 10 for _ in range(5)]
+        model = NgramModel(order=2, smoothing_k=0.01).fit(regular)
+        match = model.perplexity([["I13", "S"] * 5])
+        mismatch = model.perplexity([["S", "I13"] * 5])
+        assert match < mismatch
+
+    def test_invalid_token_rejected(self):
+        with pytest.raises(ValueError):
+            NgramModel().fit([["NOT_A_TOKEN"]])
+
+    def test_order_validation(self):
+        with pytest.raises(ValueError):
+            NgramModel(order=0)
+
+    @given(st.lists(st.sampled_from(["S", "I13", "I36", "U16", "U32"]),
+                    min_size=1, max_size=30))
+    def test_outgoing_probabilities_sum_to_one(self, sequence):
+        model = NgramModel(order=2).fit([sequence])
+        for context_token in set(sequence):
+            total = sum(model.probability(token, [context_token])
+                        for token in model.vocabulary)
+            assert total == pytest.approx(1.0)
+
+
+class TestMarkovChain:
+    def test_primary_pattern(self):
+        """Paper Fig. 12 left: I36 acknowledged by S."""
+        tokens = ["I36", "I36", "S", "I36", "I36", "S"]
+        chain = MarkovChain.from_tokens(tokens)
+        assert chain.node_count == 2
+        assert chain.probability("S", "I36") == 1.0
+        assert chain.probability("I36", "I36") == pytest.approx(0.5)
+
+    def test_secondary_pattern(self):
+        """Paper Fig. 12 right: U16/U32 keep-alive loop."""
+        chain = MarkovChain.from_tokens(["U16", "U32"] * 10)
+        assert chain.size == (2, 2)
+        assert chain.probability("U32", "U16") == 1.0
+
+    def test_reset_backup_point_1_1(self):
+        """Paper Fig. 14: repeated U16 with no U32."""
+        chain = MarkovChain.from_tokens(["U16"] * 8)
+        assert chain.size == (1, 1)
+        assert chain.is_reset_backup
+        assert classify_chain(chain) is ChainCluster.RESET_POINT
+
+    def test_interrogation_cluster(self):
+        chain = MarkovChain.from_tokens(
+            ["U1", "U2", "I100", "I13", "I36", "S"])
+        assert chain.has_interrogation
+        assert classify_chain(chain) is ChainCluster.INTERROGATION
+
+    def test_plain_cluster(self):
+        chain = MarkovChain.from_tokens(["I36", "S"] * 4)
+        assert classify_chain(chain) is ChainCluster.PLAIN
+
+    def test_switchover_pattern(self):
+        """Paper Fig. 16: keep-alives then STARTDT + interrogation."""
+        chain = MarkovChain.from_tokens(
+            ["U16", "U32", "U16", "U32", "U1", "U2", "I100", "I13"])
+        assert chain.has_switchover
+
+    def test_transition_probabilities_sum_to_one(self):
+        chain = MarkovChain.from_tokens(
+            ["I13", "I13", "S", "I13", "U16", "U32", "I13"])
+        for node in chain.nodes:
+            successors = chain.successors(node)
+            if successors:
+                assert sum(successors.values()) == pytest.approx(1.0)
+
+    def test_empty(self):
+        chain = MarkovChain.from_tokens([])
+        assert chain.size == (0, 0)
+
+    def test_single_token_has_no_edges(self):
+        chain = MarkovChain.from_tokens(["S"])
+        assert chain.size == (1, 0)
+
+    def test_render(self):
+        chain = MarkovChain.from_tokens(["U16", "U32"] * 3)
+        text = chain.render()
+        assert "U16" in text and "->" in text
+
+    @given(st.lists(st.sampled_from(["S", "I13", "U16", "U32"]),
+                    min_size=2, max_size=40))
+    def test_size_invariants(self, tokens):
+        chain = MarkovChain.from_tokens(tokens)
+        assert chain.node_count == len(set(tokens))
+        assert chain.edge_count <= chain.node_count ** 2
+        assert chain.edge_count >= 1

@@ -1,0 +1,99 @@
+"""Unit tests for physical DPI helpers: symbol inference, variance."""
+
+import pytest
+
+from repro.analysis.physical import (PointKey, PointSeries,
+                                     TypeIDDistribution)
+from repro.iec104.constants import TypeID
+
+
+def series(type_id, values, station="O1", ioa=2001):
+    result = PointSeries(key=PointKey(station=station, ioa=ioa,
+                                      type_id=type_id))
+    for index, value in enumerate(values):
+        result.append(float(index), value)
+    return result
+
+
+class TestSymbolInference:
+    def test_frequency(self):
+        data = [59.98, 60.01, 60.0, 59.99, 60.02] * 4
+        assert series(TypeID.M_ME_TF_1, data).inferred_symbol() == "Freq"
+
+    def test_voltage(self):
+        data = [129.5, 130.2, 130.0, 129.8] * 4
+        assert series(TypeID.M_ME_NC_1, data).inferred_symbol() == "U"
+
+    def test_status_from_type(self):
+        assert series(TypeID.M_DP_NA_1, [0, 0, 2, 2]).inferred_symbol() \
+            == "Status"
+
+    def test_status_from_small_ints(self):
+        assert series(TypeID.M_ME_NC_1, [0, 1, 2, 1]).inferred_symbol() \
+            == "Status"
+
+    def test_reactive_power_changes_sign(self):
+        data = [-5.0, 3.0, -2.0, 4.0, -1.0]
+        assert series(TypeID.M_ME_NC_1, data).inferred_symbol() == "Q"
+
+    def test_active_power(self):
+        data = [150.0, 180.0, 210.0, 260.0, 200.0]
+        assert series(TypeID.M_ME_NC_1, data).inferred_symbol() == "P"
+
+    def test_current(self):
+        data = [0.9, 1.1, 1.4, 1.2]
+        assert series(TypeID.M_ME_NC_1, data).inferred_symbol() == "I"
+
+    def test_setpoint(self):
+        assert series(TypeID.C_SE_NC_1, [100.0, 90.0]).inferred_symbol() \
+            == "AGC-SP"
+
+    def test_bitstring_unmapped(self):
+        assert series(TypeID.M_BO_NA_1, [17.0, 19.0]).inferred_symbol() \
+            == "-"
+
+    def test_empty(self):
+        assert series(TypeID.M_ME_NC_1, []).inferred_symbol() == "-"
+
+
+class TestNormalizedVariance:
+    def test_constant_is_zero(self):
+        assert series(TypeID.M_ME_NC_1, [5.0] * 10
+                      ).normalized_variance() == 0.0
+
+    def test_scale_invariant(self):
+        small = series(TypeID.M_ME_NC_1, [1.0, 2.0, 1.0, 2.0])
+        large = series(TypeID.M_ME_NC_1, [100.0, 200.0, 100.0, 200.0])
+        assert small.normalized_variance() == pytest.approx(
+            large.normalized_variance())
+
+    def test_step_change_ranks_high(self):
+        quiet = series(TypeID.M_ME_NC_1, [100.0, 100.1, 99.9] * 5)
+        event = series(TypeID.M_ME_NC_1, [0.0] * 5 + [120.0] * 5)
+        assert event.normalized_variance() > quiet.normalized_variance()
+
+    def test_short_series_zero(self):
+        assert series(TypeID.M_ME_NC_1, [1.0]).normalized_variance() \
+            == 0.0
+
+
+class TestTypeIDDistribution:
+    def test_rows_sorted_by_count(self):
+        distribution = TypeIDDistribution(counts={
+            TypeID.M_ME_TF_1: 650, TypeID.M_ME_NC_1: 320,
+            TypeID.M_ME_NA_1: 27})
+        rows = distribution.rows()
+        assert [row[0] for row in rows] == ["I36", "I13", "I9"]
+        assert rows[0][2] == pytest.approx(65.19, abs=0.01)
+
+    def test_top_two_share(self):
+        distribution = TypeIDDistribution(counts={
+            TypeID.M_ME_TF_1: 65, TypeID.M_ME_NC_1: 32,
+            TypeID.M_ME_NA_1: 3})
+        assert distribution.top_two_share() == pytest.approx(97.0)
+
+    def test_empty(self):
+        distribution = TypeIDDistribution(counts={})
+        assert distribution.total == 0
+        assert distribution.top_two_share() == 0.0
+        assert distribution.percentage(TypeID.M_ME_TF_1) == 0.0

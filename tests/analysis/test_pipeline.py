@@ -1,0 +1,231 @@
+"""End-to-end analysis pipeline tests on the shared synthetic captures.
+
+These are the integration tests that check every Section 6 result of
+the paper at small scale: compliance (6.1), flows (6.2), sessions and
+Markov chains (6.3), and physical DPI (6.4).
+"""
+
+import io
+
+import pytest
+
+from repro.analysis import (ChainCluster, ConnectionChains, FlowAnalysis,
+                            analyze_compliance, extract_apdus,
+                            extract_sessions, feature_matrix,
+                            interesting_events, kmeans, fit_pca,
+                            silhouette_score, symbol_table, tokenize,
+                            type_id_distribution)
+from repro.analysis.apdu_stream import observed_ioas
+from repro.datasets import NON_COMPLIANT, Y1_RESET_CONNECTIONS
+from repro.netstack.packet import CapturedPacket
+from repro.netstack.pcap import PcapReader
+
+
+class TestPcapRoundtrip:
+    def test_capture_exports_and_reimports(self, y1_capture):
+        buffer = io.BytesIO()
+        count = y1_capture.to_pcap(buffer)
+        assert count == len(y1_capture.packets)
+        buffer.seek(0)
+        packets = [CapturedPacket.decode(r.timestamp, r.data)
+                   for r in PcapReader(buffer)]
+        assert all(p is not None for p in packets)
+        # The analysis of re-imported packets matches the in-memory one.
+        names = y1_capture.host_names()
+        direct = extract_apdus(y1_capture.packets[:2000], names=names)
+        reread = extract_apdus(packets[:2000], names=names)
+        assert tokenize(direct.events) == tokenize(reread.events)
+
+
+class TestCompliance:
+    def test_every_frame_decodes_tolerantly(self, y1_extraction):
+        assert not y1_extraction.failures
+
+    def test_legacy_hosts_flagged_by_strict_parser(self, y1_capture):
+        report = analyze_compliance(y1_capture.packets,
+                                    names=y1_capture.host_names())
+        flagged = set(report.fully_malformed_hosts())
+        expected = {name for name in NON_COMPLIANT
+                    if any(plan.behavior.name == name
+                           for plan in y1_capture.plans)}
+        assert flagged == expected  # O37 and O28 in Y1
+
+    def test_inferred_profiles_match_ground_truth(self, y1_capture):
+        report = analyze_compliance(y1_capture.packets,
+                                    names=y1_capture.host_names())
+        for host in report.non_compliant_hosts():
+            assert host.inferred_profile == NON_COMPLIANT[host.host]
+
+    def test_compliant_hosts_not_flagged(self, y1_capture):
+        report = analyze_compliance(y1_capture.packets,
+                                    names=y1_capture.host_names())
+        assert "O1" in report.hosts
+        assert report.hosts["O1"].is_compliant
+        assert report.hosts["O1"].strict_malformed == 0
+
+
+class TestFlows:
+    def test_short_lived_dominate(self, y1_capture):
+        analysis = FlowAnalysis.from_packets(
+            "Y1", y1_capture.packets, names=y1_capture.host_names())
+        summary = analysis.summary()
+        assert summary.short_fraction > 0.5
+        assert summary.sub_second_fraction_of_short > 0.9
+
+    def test_reset_pairs_found(self, y1_capture):
+        analysis = FlowAnalysis.from_packets(
+            "Y1", y1_capture.packets, names=y1_capture.host_names())
+        pairs = {(p.server, p.outstation)
+                 for p in analysis.rejecting_pairs()}
+        # All the RST/FIN-mode pairs of the paper's list must be found
+        # (ignore-mode and the slow O30 need longer captures).
+        expected = {("C1", "O5"), ("C1", "O6"), ("C1", "O7"),
+                    ("C1", "O8"), ("C1", "O9"), ("C1", "O35"),
+                    ("C2", "O24")}
+        assert expected <= pairs
+
+    def test_histogram_covers_all_short_flows(self, y1_capture):
+        analysis = FlowAnalysis.from_packets(
+            "Y1", y1_capture.packets, names=y1_capture.host_names())
+        bins = analysis.duration_histogram()
+        assert sum(count for _, _, count in bins) \
+            == len(analysis.short_lived_durations())
+
+
+class TestSessionsAndClusters:
+    def test_sessions_extracted(self, y1_extraction):
+        sessions = extract_sessions(y1_extraction)
+        assert len(sessions) > 50
+        for session in sessions:
+            assert session.pct_i + session.pct_s + session.pct_u \
+                == pytest.approx(1.0)
+
+    def test_clustering_separates_behaviours(self, y1_extraction):
+        sessions = extract_sessions(y1_extraction)
+        matrix = feature_matrix(sessions)
+        result = kmeans(matrix, 5, seed=42)
+        score = silhouette_score(matrix, result.labels)
+        assert score > 0.4
+        # Keep-alive-only sessions (pct_u == 1) cluster together.
+        keepalive = [i for i, s in enumerate(sessions)
+                     if s.pct_u == 1.0 and s.num > 4]
+        labels = {result.labels[i] for i in keepalive}
+        assert len(labels) <= 2
+
+    def test_pca_projects(self, y1_extraction):
+        sessions = extract_sessions(y1_extraction)
+        matrix = feature_matrix(sessions)
+        projection = fit_pca(matrix, 2).transform(matrix)
+        assert projection.shape == (len(sessions), 2)
+
+
+class TestMarkov:
+    def test_reset_connections_at_point_1_1(self, y1_extraction):
+        chains = ConnectionChains.from_extraction(y1_extraction)
+        reset = set(chains.reset_connections())
+        expected_present = {("C1", "O5"), ("C1", "O6"), ("C1", "O7"),
+                            ("C1", "O8"), ("C1", "O9"), ("C2", "O24"),
+                            ("C1", "O35")}
+        assert expected_present <= reset
+        # Reset connections must be a subset of the paper's list plus
+        # the ignore-mode stations.
+        allowed = {tuple(pair) for pair in Y1_RESET_CONNECTIONS}
+        assert reset <= allowed
+
+    def test_ellipse_contains_switchover_pairs(self, y1_extraction):
+        chains = ConnectionChains.from_extraction(y1_extraction)
+        clusters = chains.by_cluster()
+        ellipse = set(clusters[ChainCluster.INTERROGATION])
+        # Both switchover outstations appear with both their servers.
+        assert ("C1", "O29") in ellipse and ("C2", "O29") in ellipse
+        assert ("C3", "O20") in ellipse and ("C4", "O20") in ellipse
+
+    def test_ellipse_chains_have_more_edges(self, y1_extraction):
+        chains = ConnectionChains.from_extraction(y1_extraction)
+        clusters = chains.by_cluster()
+        def mean_edges(connections):
+            sizes = [chains.chains[c].edge_count for c in connections]
+            return sum(sizes) / len(sizes)
+        assert (mean_edges(clusters[ChainCluster.INTERROGATION])
+                > mean_edges(clusters[ChainCluster.PLAIN]))
+
+
+class TestPhysical:
+    def test_i36_i13_dominate(self, y1_extraction):
+        distribution = type_id_distribution(y1_extraction)
+        rows = distribution.rows()
+        assert {rows[0][0], rows[1][0]} == {"I36", "I13"}
+        assert distribution.top_two_share() > 85.0
+
+    def test_agc_setpoints_at_four_stations(self, y1_extraction):
+        table = {row.token: row for row in symbol_table(y1_extraction)}
+        assert table["I50"].station_count == 4
+        assert table["I50"].symbols == ("AGC-SP",)
+
+    def test_symbols_inferred(self, y1_extraction):
+        table = {row.token: row for row in symbol_table(y1_extraction)}
+        for token in ("I13", "I36"):
+            assert "Freq" in table[token].symbols
+            assert "U" in table[token].symbols
+
+    def test_interesting_events_exist(self, y1_extraction):
+        events = interesting_events(y1_extraction, top=5)
+        assert len(events) == 5
+        variances = [event.normalized_variance for event in events]
+        assert variances == sorted(variances, reverse=True)
+
+    def test_observed_ioas_match_config(self, y1_capture, y1_extraction):
+        """IOAs seen on the wire for an always-primary outstation must
+        match its configured point list (interrogation reports all)."""
+        behavior = next(plan.behavior for plan in y1_capture.plans
+                        if plan.behavior.name == "O27")
+        events = [e for e in y1_extraction.events
+                  if "O27" in (e.src, e.dst)]
+        seen = observed_ioas(events, source="O27")
+        configured = {point.ioa for point in behavior.points}
+        assert configured <= seen | configured
+        # At minimum the interrogation burst reported every point.
+        assert configured <= seen
+
+
+class TestClusterRoles:
+    def test_labels_cover_paper_roles(self, y1_extraction):
+        from repro.analysis import extract_sessions, feature_matrix, \
+            kmeans
+        from repro.analysis.sessions import CLUSTER_ROLES, label_clusters
+        sessions = extract_sessions(y1_extraction)
+        matrix = feature_matrix(sessions)
+        result = kmeans(matrix, 5, seed=104)
+        roles = label_clusters(sessions, result.labels)
+        assert len(roles) == 5
+        assert set(roles.values()) == set(CLUSTER_ROLES)
+
+    def test_keepalive_role_contains_backup_sessions(self,
+                                                     y1_extraction):
+        from repro.analysis import extract_sessions, feature_matrix, \
+            kmeans
+        from repro.analysis.sessions import label_clusters
+        sessions = extract_sessions(y1_extraction)
+        matrix = feature_matrix(sessions)
+        result = kmeans(matrix, 5, seed=104)
+        roles = label_clusters(sessions, result.labels)
+        keepalive_cluster = next(c for c, role in roles.items()
+                                 if role == "keepalive")
+        members = [s for s, label in zip(sessions, result.labels)
+                   if label == keepalive_cluster]
+        assert members
+        assert all(m.pct_u > 0.5 for m in members)
+
+    def test_outlier_role_contains_o30_or_o22(self, y1_extraction):
+        from repro.analysis import extract_sessions, feature_matrix, \
+            kmeans
+        from repro.analysis.sessions import label_clusters
+        sessions = extract_sessions(y1_extraction)
+        matrix = feature_matrix(sessions)
+        result = kmeans(matrix, 5, seed=104)
+        roles = label_clusters(sessions, result.labels)
+        outlier_cluster = next(c for c, role in roles.items()
+                               if role == "outlier-long-gaps")
+        names = [s.name for s, label in zip(sessions, result.labels)
+                 if label == outlier_cluster]
+        assert any("O30" in name or "O22" in name for name in names)

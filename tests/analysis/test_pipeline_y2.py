@@ -1,0 +1,70 @@
+"""Year-2 pipeline assertions (Y1 is covered in test_pipeline.py)."""
+
+import pytest
+
+from repro.analysis import (ConnectionChains, analyze_compliance,
+                            classify_all, type_distribution,
+                            type_id_distribution)
+from repro.simnet.behaviors import OutstationType
+
+
+class TestY2Compliance:
+    def test_y2_legacy_hosts(self, y2_capture):
+        """Paper §6.1: in Y2 the malformed senders are O37, O53, O58
+        (O28 was removed)."""
+        report = analyze_compliance(y2_capture.packets,
+                                    names=y2_capture.host_names())
+        assert set(report.fully_malformed_hosts()) \
+            == {"O37", "O53", "O58"}
+
+    def test_y2_all_frames_decode(self, y2_extraction):
+        assert y2_extraction.failures == []
+
+
+class TestY2Markov:
+    def test_y2_reset_set_shrinks(self, y1_extraction, y2_extraction):
+        """The removed RTUs (O15, O28) leave the point-(1,1) set."""
+        y1_reset = set(ConnectionChains.from_extraction(
+            y1_extraction).reset_connections())
+        y2_reset = set(ConnectionChains.from_extraction(
+            y2_extraction).reset_connections())
+        gone = {("C1", "O15"), ("C2", "O28")}
+        assert gone & y1_reset
+        assert not (gone & y2_reset)
+        # The persisting misbehavers are still there.
+        assert {("C1", "O5"), ("C1", "O35")} <= y2_reset
+
+
+class TestY2Classification:
+    def test_new_substations_classified(self, y2_extraction):
+        classifications = classify_all(y2_extraction)
+        for name in ("O50", "O52", "O53", "O54", "O55"):
+            assert classifications[name].outstation_type \
+                is OutstationType.IDEAL, name
+        for name in ("O56", "O57"):
+            assert classifications[name].outstation_type \
+                is OutstationType.BACKUP_U_ONLY, name
+
+    def test_o9_no_longer_rejects(self, y2_extraction):
+        """O9 took over representing S8 after O15's removal."""
+        classifications = classify_all(y2_extraction)
+        assert classifications["O9"].outstation_type \
+            is OutstationType.IDEAL
+
+    def test_distribution_matches_ground_truth(self, y2_extraction):
+        """The Y2 traffic classifier recovers the year's ground-truth
+        type census exactly (Y2's additions make type 2 most common,
+        unlike Y1)."""
+        from collections import Counter
+        from repro.datasets import roster
+        distribution = type_distribution(classify_all(y2_extraction))
+        truth = Counter(spec.y2_type for spec in roster(2))
+        assert distribution.counts == dict(truth)
+
+
+class TestY2Physical:
+    def test_i36_i13_still_dominate(self, y2_extraction):
+        distribution = type_id_distribution(y2_extraction)
+        rows = distribution.rows()
+        assert {rows[0][0], rows[1][0]} == {"I36", "I13"}
+        assert distribution.top_two_share() > 85.0

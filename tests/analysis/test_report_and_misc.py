@@ -1,0 +1,97 @@
+"""Report rendering, compliance field diffs and flow summary rows."""
+
+import pytest
+
+from repro.analysis.compliance import field_diffs
+from repro.analysis.flows import FlowSummary
+from repro.analysis.report import (render_histogram, render_series,
+                                   render_table)
+from repro.iec104.profiles import (LEGACY_COT_PROFILE, LEGACY_IOA_PROFILE,
+                                   STANDARD_PROFILE, LinkProfile)
+
+
+class TestRenderTable:
+    def test_alignment(self):
+        text = render_table(["name", "count"],
+                            [["alpha", 1], ["b", 22]], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "name" in lines[1] and "count" in lines[1]
+        # All body rows align with the header width.
+        assert len(lines[3]) == len(lines[1])
+
+    def test_row_width_mismatch(self):
+        with pytest.raises(ValueError):
+            render_table(["a", "b"], [["only-one"]])
+
+
+class TestRenderHistogram:
+    def test_bars_scale(self):
+        text = render_histogram([(0.001, 0.01, 10), (0.01, 0.1, 5)],
+                                width=10)
+        lines = text.splitlines()
+        assert lines[0].count("#") == 10
+        assert lines[1].count("#") == 5
+
+    def test_empty(self):
+        assert render_histogram([]) == ""
+
+
+class TestRenderSeries:
+    def test_shape(self):
+        text = render_series([0.0, 1.0, 2.0], [1.0, 5.0, 1.0],
+                             width=20, height=5, title="V")
+        lines = text.splitlines()
+        assert lines[0] == "V"
+        assert "*" in text
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            render_series([0.0], [1.0, 2.0])
+
+    def test_empty(self):
+        assert "(empty series)" in render_series([], [])
+
+
+class TestFieldDiffs:
+    def test_legacy_cot(self):
+        diffs = field_diffs(LEGACY_COT_PROFILE)
+        assert len(diffs) == 1
+        assert diffs[0].field_name == "Cause of Transmission"
+        assert diffs[0].observed_octets == 1
+        assert "1 octet(s) observed vs 2" in str(diffs[0])
+
+    def test_legacy_ioa(self):
+        diffs = field_diffs(LEGACY_IOA_PROFILE)
+        assert diffs[0].field_name == "Information Object Address"
+
+    def test_standard_has_no_diffs(self):
+        assert field_diffs(STANDARD_PROFILE) == []
+
+    def test_combined(self):
+        profile = LinkProfile(cot_length=1, ioa_length=2,
+                              common_address_length=1)
+        assert len(field_diffs(profile)) == 3
+
+
+class TestFlowSummary:
+    def test_rows_format(self):
+        summary = FlowSummary(label="Y1", sub_second_short=31614,
+                              longer_short=63, long_lived=10898)
+        rows = dict(summary.rows())
+        assert "31614 (99.8%)" in rows[
+            "Less-than-one-second short-lived flows"]
+        assert "31677 (74.4%)" in rows["Short-lived flows"]
+        assert "10898 (25.6%)" in rows["Long-lived flows"]
+
+    def test_fractions(self):
+        summary = FlowSummary(label="x", sub_second_short=90,
+                              longer_short=10, long_lived=100)
+        assert summary.short_fraction == 0.5
+        assert summary.sub_second_fraction_of_short == 0.9
+
+    def test_empty(self):
+        summary = FlowSummary(label="x", sub_second_short=0,
+                              longer_short=0, long_lived=0)
+        assert summary.short_fraction == 0.0
+        assert summary.rows()

@@ -1,0 +1,87 @@
+"""Connection timeline reconstruction tests."""
+
+import pytest
+
+from repro.analysis.timeline import (TimelineEvent, build_timelines,
+                                     rejected_backup_timelines,
+                                     switchover_timelines)
+
+
+@pytest.fixture(scope="module")
+def timelines(y1_capture, y1_extraction):
+    return build_timelines(
+        y1_capture.packets, y1_extraction,
+        names=y1_capture.host_names())
+
+
+class TestReconstruction:
+    def test_covers_all_connections(self, timelines, y1_extraction):
+        connections = set(y1_extraction.by_connection())
+        assert connections <= set(timelines)
+
+    def test_persistent_primary_has_no_syn(self, timelines):
+        """Long-lived links connected before the capture: first data
+        appears without any TCP establishment."""
+        timeline = timelines[("C1", "O1")]
+        assert timeline.events(TimelineEvent.FIRST_DATA)
+        assert not timeline.events(TimelineEvent.TCP_SYN)
+
+    def test_type4_connects_then_interrogates(self, timelines):
+        timeline = timelines[("C1", "O27")]
+        syn = timeline.events(TimelineEvent.TCP_SYN)
+        start = timeline.events(TimelineEvent.STARTDT)
+        interrogation = timeline.events(TimelineEvent.INTERROGATION)
+        data = timeline.events(TimelineEvent.FIRST_DATA)
+        assert syn and start and interrogation and data
+        assert syn[0].time < start[0].time < interrogation[0].time
+        assert interrogation[0].time <= data[0].time
+
+    def test_events_sorted(self, timelines):
+        for timeline in timelines.values():
+            times = [entry.time for entry in timeline.entries]
+            assert times == sorted(times)
+
+    def test_render(self, timelines):
+        text = timelines[("C1", "O27")].render(limit=5)
+        assert "C1-O27" in text
+        assert "t=" in text
+
+
+class TestRejectPattern:
+    def test_fig9_connections_detected(self, timelines):
+        rejected = rejected_backup_timelines(timelines)
+        pairs = {timeline.connection for timeline in rejected}
+        assert ("C1", "O5") in pairs
+        assert ("C2", "O24") in pairs
+        # Working connections are never flagged.
+        assert ("C1", "O1") not in pairs
+
+    def test_reject_timeline_shape(self, timelines):
+        timeline = timelines[("C1", "O5")]
+        syns = timeline.events(TimelineEvent.TCP_SYN)
+        rsts = timeline.events(TimelineEvent.TCP_RST)
+        assert len(syns) >= 3
+        assert len(rsts) >= 3
+        # Every reset is attributed to the outstation.
+        assert all("O5" in entry.detail for entry in rsts)
+
+
+class TestSwitchoverPattern:
+    def test_fig16_promotions_detected(self, timelines):
+        promoted = switchover_timelines(timelines)
+        outstations = {timeline.connection[1] for timeline in promoted}
+        assert outstations <= {"O20", "O29"}
+        assert outstations  # at least one observed
+
+    def test_promotion_ordering(self, timelines):
+        promoted = switchover_timelines(timelines)
+        timeline = promoted[0]
+        switchover = timeline.events(TimelineEvent.SWITCHOVER)[0]
+        data = [entry for entry
+                in timeline.events(TimelineEvent.FIRST_DATA)
+                if entry.time > switchover.time]
+        interrogations = [
+            entry for entry
+            in timeline.events(TimelineEvent.INTERROGATION)
+            if entry.time >= switchover.time]
+        assert interrogations, "promotion must interrogate"

@@ -1,0 +1,129 @@
+"""Cyber-physical whitelist IDS tests (the paper's future work)."""
+
+import pytest
+
+from repro.analysis.physical import PointKey
+from repro.analysis.whitelist import (CombinedDetector, CyberWhitelist,
+                                      PhysicalWhitelist)
+from repro.grid.generator import BREAKER_CLOSED, BREAKER_OPEN
+from repro.iec104.constants import TypeID
+
+CLEAN = ["I36", "I36", "S", "I36", "I13", "S"] * 5
+INDUSTROYER = ["U1", "U2", "I100"] + ["I45"] * 5 + ["I46"] * 5
+
+
+class TestCyberWhitelist:
+    def test_clean_sequence_passes(self):
+        whitelist = CyberWhitelist(per_connection=False)
+        whitelist.fit_sequence(CLEAN)
+        verdict = whitelist.score(CLEAN[:10])
+        assert verdict.unseen_fraction == 0.0
+        assert not verdict.is_alert()
+
+    def test_attack_sequence_flagged(self):
+        whitelist = CyberWhitelist(per_connection=False)
+        whitelist.fit_sequence(CLEAN)
+        verdict = whitelist.score(INDUSTROYER)
+        assert verdict.unseen_fraction > 0.5
+        assert verdict.is_alert()
+        assert "I45" in verdict.unknown_tokens
+
+    def test_per_connection_isolation(self):
+        whitelist = CyberWhitelist(per_connection=True)
+        whitelist.fit_sequence(["U16", "U32"] * 5, connection="backup")
+        whitelist.fit_sequence(CLEAN, connection="primary")
+        # I-format traffic on the backup connection is anomalous even
+        # though it is normal on the primary.
+        verdict = whitelist.score(["I36", "S", "I36"],
+                                  connection="backup")
+        assert verdict.is_alert()
+        assert not whitelist.score(["U16", "U32"],
+                                   connection="backup").is_alert()
+
+    def test_unknown_connection_alerts(self):
+        whitelist = CyberWhitelist()
+        whitelist.fit_sequence(CLEAN, connection="known")
+        verdict = whitelist.score(["I36", "S"], connection="mystery")
+        assert verdict.is_alert()
+
+    def test_invalid_token_rejected(self):
+        whitelist = CyberWhitelist()
+        with pytest.raises(ValueError):
+            whitelist.fit_sequence(["HACK"])
+
+    def test_fit_from_capture(self, y1_extraction):
+        whitelist = CyberWhitelist().fit(y1_extraction)
+        assert len(whitelist.learned_connections) > 20
+        # Re-scoring the training capture raises no alerts.
+        verdicts = whitelist.score_extraction(y1_extraction)
+        assert all(verdict.unseen_fraction == 0.0
+                   for verdict in verdicts)
+
+
+class TestPhysicalWhitelist:
+    def make_fitted(self, y1_extraction):
+        return PhysicalWhitelist().fit(y1_extraction)
+
+    def test_learns_envelopes(self, y1_extraction):
+        whitelist = self.make_fitted(y1_extraction)
+        assert whitelist.point_count > 100
+
+    def test_training_data_passes(self, y1_extraction):
+        whitelist = self.make_fitted(y1_extraction)
+        assert whitelist.check_extraction(y1_extraction) == []
+
+    def test_out_of_envelope_value_flagged(self, y1_extraction):
+        whitelist = self.make_fitted(y1_extraction)
+        key = next(iter(k for k in
+                        whitelist._envelopes))  # any learned point
+        envelope = whitelist.envelope(key)
+        violation = whitelist.check_sample(
+            key, 0.0, envelope.high + 10 * (envelope.high
+                                            - envelope.low + 1.0))
+        assert violation is not None
+        assert "envelope" in violation.reason
+
+    def test_unknown_point_flagged(self):
+        whitelist = PhysicalWhitelist()
+        key = PointKey(station="OX", ioa=1, type_id=TypeID.M_ME_NC_1)
+        violation = whitelist.check_sample(key, 0.0, 1.0)
+        assert violation is not None
+        assert "never seen" in violation.reason
+
+    def test_margin_validation(self):
+        with pytest.raises(ValueError):
+            PhysicalWhitelist(margin=-0.1)
+
+    def test_activation_rules(self):
+        anomalies = PhysicalWhitelist.check_activation(
+            times=[0.0, 1.0], voltages=[130.0, 130.0],
+            breakers=[BREAKER_CLOSED, BREAKER_OPEN],
+            powers=[50.0, 50.0])
+        assert anomalies  # power through an open breaker
+        clean = PhysicalWhitelist.check_activation(
+            times=[0.0, 1.0, 2.0], voltages=[0.0, 130.0, 130.0],
+            breakers=[BREAKER_OPEN, BREAKER_OPEN, BREAKER_CLOSED],
+            powers=[0.0, 0.0, 30.0])
+        assert clean == []
+
+
+class TestCombinedDetector:
+    def test_clean_capture_is_quiet(self, y1_extraction):
+        detector = CombinedDetector().fit(y1_extraction)
+        alerts = detector.detect(y1_extraction)
+        assert alerts == []
+
+    def test_correlated_alert(self):
+        from repro.analysis.whitelist import (CombinedAlert,
+                                              CyberVerdict,
+                                              PhysicalViolation)
+        verdict = CyberVerdict(connection=("C1", "O1"), tokens=10,
+                               unseen_transitions=(("I45", "I45"),) * 5,
+                               unknown_tokens=("I45",))
+        violation = PhysicalViolation(
+            key=PointKey(station="O1", ioa=1,
+                         type_id=TypeID.M_ME_NC_1),
+            time=1.0, value=999.0, reason="test")
+        alert = CombinedAlert(connection=("C1", "O1"), cyber=verdict,
+                              physical=(violation,))
+        assert alert.correlated

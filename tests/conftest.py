@@ -1,0 +1,39 @@
+"""Shared fixtures: tiny synthetic captures reused across test modules.
+
+Generating a capture is the expensive part of the pipeline, so the Y1
+and Y2 captures (at a very small time scale) are session-scoped; all
+analysis tests share them.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import extract_apdus
+from repro.datasets import CaptureConfig, generate_capture
+
+#: Time scale for the shared test captures: 2% of the real durations
+#: (Y1 windows of ~115 s, Y2 windows of ~72 s).
+TEST_SCALE = 0.02
+
+
+@pytest.fixture(scope="session")
+def y1_capture():
+    return generate_capture(1, CaptureConfig(time_scale=TEST_SCALE))
+
+
+@pytest.fixture(scope="session")
+def y2_capture():
+    return generate_capture(2, CaptureConfig(time_scale=TEST_SCALE))
+
+
+@pytest.fixture(scope="session")
+def y1_extraction(y1_capture):
+    return extract_apdus(y1_capture.packets,
+                         names=y1_capture.host_names())
+
+
+@pytest.fixture(scope="session")
+def y2_extraction(y2_capture):
+    return extract_apdus(y2_capture.packets,
+                         names=y2_capture.host_names())

@@ -1,0 +1,122 @@
+"""Capture generation tests: Y1 vs Y2 and the topology diff."""
+
+import pytest
+
+from repro.analysis import extract_apdus
+from repro.analysis.topology_diff import (ObservedTopology,
+                                          diff_topologies)
+from repro.datasets import (CaptureConfig, capture_windows,
+                            generate_capture, roster, spec_by_name)
+
+
+class TestConfig:
+    def test_scale_validation(self):
+        with pytest.raises(ValueError):
+            CaptureConfig(time_scale=0.0)
+        with pytest.raises(ValueError):
+            CaptureConfig(time_scale=1.5)
+
+    def test_windows_y1(self):
+        windows = capture_windows(1, CaptureConfig(time_scale=0.1))
+        assert len(windows) == 5
+        assert windows[0].duration == pytest.approx(576.0)
+
+    def test_windows_y2(self):
+        windows = capture_windows(2, CaptureConfig(time_scale=0.1))
+        assert len(windows) == 3
+        assert windows[0].duration == pytest.approx(360.0)
+
+    def test_invalid_year(self):
+        with pytest.raises(ValueError):
+            generate_capture(3)
+
+
+class TestDeterminism:
+    def test_same_seed_same_capture(self):
+        config = CaptureConfig(time_scale=0.005, seed=9,
+                               max_outstations=6)
+        first = generate_capture(1, config)
+        second = generate_capture(1, config)
+        assert len(first.packets) == len(second.packets)
+        assert all(a.encode() == b.encode()
+                   for a, b in zip(first.packets[:500],
+                                   second.packets[:500]))
+
+    def test_different_seed_differs(self):
+        a = generate_capture(1, CaptureConfig(time_scale=0.005, seed=1,
+                                              max_outstations=6))
+        b = generate_capture(1, CaptureConfig(time_scale=0.005, seed=2,
+                                              max_outstations=6))
+        assert len(a.packets) != len(b.packets) or any(
+            x.encode() != y.encode()
+            for x, y in zip(a.packets[:200], b.packets[:200]))
+
+
+class TestRosters:
+    def test_y1_hosts(self, y1_capture):
+        names = set(y1_capture.host_names().values())
+        assert {"C1", "C2", "C3", "C4"} <= names
+        assert "O2" in names and "O50" not in names
+
+    def test_y2_hosts(self, y2_capture):
+        names = set(y2_capture.host_names().values())
+        assert "O50" in names and "O2" not in names
+
+    def test_packets_inside_windows_only(self, y1_capture):
+        for packet in y1_capture.packets:
+            assert any(w.contains(packet.timestamp)
+                       for w in y1_capture.windows)
+
+
+class TestTopologyDiff:
+    @pytest.fixture(scope="class")
+    def diff(self, y1_extraction, y2_extraction):
+        before = ObservedTopology.from_extraction(y1_extraction)
+        after = ObservedTopology.from_extraction(y2_extraction)
+        return diff_topologies(before, after)
+
+    def test_added_outstations_observed(self, diff):
+        # Everything Table 2 adds must be observed in Y2 traffic.
+        assert set(diff.added_outstations) \
+            == {f"O{i}" for i in range(50, 59)}
+
+    def test_removed_outstations_observed(self, diff):
+        assert set(diff.removed_outstations) \
+            == {"O2", "O15", "O20", "O22", "O28", "O33", "O38"}
+
+    def test_persisting_count(self, diff):
+        assert len(diff.persisting) == 42
+
+    def test_servers_stable(self, diff):
+        assert diff.before.servers == diff.after.servers \
+            == {"C1", "C2", "C3", "C4"}
+
+    def test_substation_stability_metric(self, diff):
+        substation_of = {spec.name: spec.substation
+                         for spec in roster(1) + roster(2)}
+        fraction = diff.substation_stability(substation_of)
+        assert 0.0 <= fraction <= 1.0
+
+    def test_ioa_counts_observed_for_primaries(self, y1_extraction):
+        topology = ObservedTopology.from_extraction(y1_extraction)
+        # A persistent primary reports its full configured point list
+        # during general interrogation (O27 is type 4, interrogated
+        # inside every window).
+        spec = spec_by_name("O27")
+        assert topology.ioa_counts["O27"] == spec.y1_ioas
+
+
+class TestGridEvents:
+    def test_unmet_load_produces_frequency_excursion(self, y1_capture):
+        grid = y1_capture.grid
+        # AGC history records the ACE; the scripted load loss must show
+        # up as a period of elevated |ACE|.
+        aces = [abs(ace) for _, ace, _ in grid.agc.history]
+        assert aces, "AGC never ran"
+        assert max(aces) > 5.0 * (sum(aces) / len(aces))
+
+    def test_sync_generator_comes_online(self, y1_capture):
+        from repro.datasets import SYNC_GENERATOR
+        from repro.grid.generator import GeneratorState
+        unit = y1_capture.grid.fleet[SYNC_GENERATOR]
+        assert unit.state is GeneratorState.ONLINE

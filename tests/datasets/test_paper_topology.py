@@ -1,0 +1,154 @@
+"""The topology dataset must encode every count the paper states."""
+
+from collections import Counter
+
+import pytest
+
+from repro.datasets.paper_topology import (NON_COMPLIANT, OUTSTATIONS,
+                                           TABLE2_ADDED, TABLE2_REMOVED,
+                                           Y1_RESET_CONNECTIONS,
+                                           roster, spec_by_name,
+                                           stable_outstations,
+                                           substations)
+from repro.iec104.profiles import (LEGACY_COT_PROFILE, LEGACY_IOA_PROFILE)
+from repro.simnet.behaviors import OutstationType
+
+
+class TestRosters:
+    def test_y1_has_49_outstations(self):
+        assert len(roster(1)) == 49
+
+    def test_y2_has_51_outstations(self):
+        assert len(roster(2)) == 51
+
+    def test_58_outstations_total(self):
+        assert len(OUTSTATIONS) == 58
+
+    def test_27_substations(self):
+        assert len(substations(1) | substations(2)) == 27
+
+    def test_four_servers(self):
+        from repro.datasets.paper_topology import ALL_SERVERS
+        assert ALL_SERVERS == ("C1", "C2", "C3", "C4")
+
+    def test_invalid_year(self):
+        with pytest.raises(ValueError):
+            roster(3)
+
+
+class TestTable2:
+    def test_added_outstations(self):
+        added = {name for names in TABLE2_ADDED.values()
+                 for name in names}
+        assert added == {f"O{i}" for i in range(50, 59)}
+        for reason, names in TABLE2_ADDED.items():
+            for name in names:
+                spec = spec_by_name(name)
+                assert spec.y1_type is None
+                assert spec.change_reason == reason
+
+    def test_removed_outstations(self):
+        removed = {name for names in TABLE2_REMOVED.values()
+                   for name in names}
+        assert removed == {"O2", "O15", "O20", "O22", "O28", "O33",
+                           "O38"}
+        for name in removed:
+            assert spec_by_name(name).y2_type is None
+
+    def test_o2_reason(self):
+        assert spec_by_name("O2").change_reason \
+            == "Substation without supervision"
+
+
+class TestAnecdotes:
+    def test_s10_has_14_rtus(self):
+        assert sum(1 for s in OUTSTATIONS if s.substation == "S10") == 14
+
+    def test_o10_active_o11_backup(self):
+        assert spec_by_name("O10").y1_type is OutstationType.IDEAL
+        assert spec_by_name("O11").y1_type \
+            is OutstationType.BACKUP_U_ONLY
+
+    def test_o5_o8_type6(self):
+        for name in ("O5", "O8"):
+            assert spec_by_name(name).y1_type \
+                is OutstationType.REJECTS_SECONDARY
+
+    def test_o9_backs_up_o15_in_s8(self):
+        assert spec_by_name("O9").substation == "S8"
+        assert spec_by_name("O15").substation == "S8"
+        # O9 keeps representing the substation in Y2.
+        assert spec_by_name("O9").y2_type is not None
+
+    def test_switchover_pairs(self):
+        assert spec_by_name("O20").pair == ("C3", "C4")
+        assert spec_by_name("O29").pair == ("C1", "C2")
+        for name in ("O20", "O29"):
+            assert spec_by_name(name).y1_type \
+                is OutstationType.SWITCHOVER_OBSERVED
+
+    def test_o30_misconfigured_t3(self):
+        assert spec_by_name("O30").keepalive_s == 430.0
+
+    def test_o22_is_test_rtu(self):
+        assert spec_by_name("O22").test_rtu
+
+    def test_o40_is_type5(self):
+        assert spec_by_name("O40").y1_type \
+            is OutstationType.SINGLE_SERVER_I_AND_U
+
+    def test_reset_connections_reference_valid_hosts(self):
+        for server, outstation in Y1_RESET_CONNECTIONS:
+            spec = spec_by_name(outstation)
+            assert server in spec.pair
+            assert spec.y1_type in (OutstationType.BACKUP_REJECTS,
+                                    OutstationType.REJECTS_SECONDARY)
+            assert spec.reject_server == server
+
+
+class TestNonCompliance:
+    def test_o37_uses_2_octet_ioa(self):
+        assert spec_by_name("O37").profile == LEGACY_IOA_PROFILE
+
+    @pytest.mark.parametrize("name", ["O53", "O58", "O28"])
+    def test_1_octet_cot(self, name):
+        assert spec_by_name(name).profile == LEGACY_COT_PROFILE
+
+    def test_non_compliant_catalog(self):
+        assert set(NON_COMPLIANT) == {"O37", "O53", "O58", "O28"}
+
+
+class TestStability:
+    def test_14_stable_outstations_in_7_substations(self):
+        stable = stable_outstations()
+        assert len(stable) == 14
+        assert len({spec.substation for spec in stable}) == 7
+
+    def test_stability_fractions_match_paper(self):
+        # Paper: 25% of 58 outstations, 26% of 27 substations stable.
+        assert 14 / 58 == pytest.approx(0.24, abs=0.02)
+
+    def test_agc_participants_count(self):
+        participants = [s for s in OUTSTATIONS if s.agc_participant]
+        assert len(participants) == 4  # Table 8: I50 at 4 stations
+        assert all(s.has_generator for s in participants)
+
+
+class TestTypeDistributionGroundTruth:
+    def test_type3_most_common_in_y1(self):
+        counts = Counter(spec.y1_type for spec in roster(1))
+        assert counts.most_common(1)[0][0] \
+            is OutstationType.BACKUP_U_ONLY
+
+    def test_type4_second_most_common_i_carrier(self):
+        counts = Counter(spec.y1_type for spec in roster(1))
+        non_backup = {kind: count for kind, count in counts.items()
+                      if kind is not OutstationType.BACKUP_U_ONLY}
+        top = max(non_backup, key=non_backup.get)
+        assert top is OutstationType.I_ONLY_BOTH_SERVERS
+
+    def test_primary_backup_servers_disjoint(self):
+        for spec in OUTSTATIONS:
+            assert spec.primary_server != spec.backup_server
+            assert {spec.primary_server,
+                    spec.backup_server} == set(spec.pair)

@@ -1,0 +1,177 @@
+"""Frequency, load and AGC closed-loop tests (Figs. 18-19 physics)."""
+
+import random
+
+import pytest
+
+from repro.grid.agc import AGCController
+from repro.grid.constants import NOMINAL_FREQUENCY_HZ
+from repro.grid.frequency import FrequencyModel
+from repro.grid.generator import Generator, GeneratorFleet
+from repro.grid.load import SystemLoad
+from repro.grid.simulation import (GridEventScript, GridSimulation,
+                                   build_default_grid)
+
+
+class TestFrequencyModel:
+    def test_balanced_holds_nominal(self):
+        model = FrequencyModel()
+        model.step(1000.0, 1000.0, 1.0)
+        assert model.frequency_hz == pytest.approx(NOMINAL_FREQUENCY_HZ)
+
+    def test_overgeneration_raises_frequency(self):
+        model = FrequencyModel()
+        model.step(1100.0, 1000.0, 1.0)
+        assert model.frequency_hz > NOMINAL_FREQUENCY_HZ
+
+    def test_undergeneration_lowers_frequency(self):
+        model = FrequencyModel()
+        model.step(900.0, 1000.0, 1.0)
+        assert model.frequency_hz < NOMINAL_FREQUENCY_HZ
+
+    def test_damping_pulls_back(self):
+        model = FrequencyModel()
+        model.step(1100.0, 1000.0, 1.0)
+        peak = model.deviation_hz
+        for _ in range(100):
+            model.step(1000.0, 1000.0, 1.0)
+        assert abs(model.deviation_hz) < abs(peak)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FrequencyModel(inertia_mw_s_per_hz=0.0)
+        model = FrequencyModel()
+        with pytest.raises(ValueError):
+            model.step(1.0, 1.0, 0.0)
+
+
+class TestSystemLoad:
+    def test_base_demand(self):
+        load = SystemLoad(base_mw=500.0)
+        assert load.demand_at(0.0) == pytest.approx(500.0)
+
+    def test_loss_window(self):
+        load = SystemLoad(base_mw=500.0)
+        load.schedule_loss(10.0, 5.0, 100.0)
+        assert load.demand_at(9.0) == pytest.approx(500.0)
+        assert load.demand_at(12.0) == pytest.approx(400.0)
+        assert load.demand_at(15.0) == pytest.approx(500.0)
+
+    def test_swing(self):
+        load = SystemLoad(base_mw=500.0, swing_mw=50.0,
+                          swing_period_s=100.0)
+        quarter = load.demand_at(25.0)
+        assert quarter == pytest.approx(550.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SystemLoad(base_mw=0.0)
+        load = SystemLoad(base_mw=10.0)
+        with pytest.raises(ValueError):
+            load.schedule_loss(0.0, -1.0, 5.0)
+
+
+class TestAGC:
+    def make_system(self):
+        fleet = GeneratorFleet()
+        for name, capacity in (("G1", 200.0), ("G2", 100.0)):
+            generator = Generator(name=name, capacity_mw=capacity,
+                                  setpoint_mw=0.5 * capacity,
+                                  ramp_rate_mw_per_s=capacity / 50.0)
+            generator.output_mw = generator.setpoint_mw
+            fleet.add(generator)
+        return fleet, AGCController(generators=list(fleet))
+
+    def test_ace_sign_convention(self):
+        _, agc = self.make_system()
+        assert agc.area_control_error(60.1) > 0  # over-generation
+        assert agc.area_control_error(59.9) < 0
+
+    def test_high_frequency_dispatches_down(self):
+        fleet, agc = self.make_system()
+        before = {g.name: g.setpoint_mw for g in fleet}
+        setpoints = agc.cycle(0.0, frequency_hz=60.2)
+        assert all(setpoints[name] < before[name] for name in setpoints)
+
+    def test_participation_by_capacity(self):
+        fleet, agc = self.make_system()
+        before = {g.name: g.setpoint_mw for g in fleet}
+        after = agc.cycle(0.0, frequency_hz=60.2)
+        delta1 = before["G1"] - after["G1"]
+        delta2 = before["G2"] - after["G2"]
+        assert delta1 == pytest.approx(2.0 * delta2, rel=0.01)
+
+    def test_closed_loop_restores_frequency(self):
+        """AGC + swing dynamics: after a load loss the loop recovers."""
+        fleet, agc = self.make_system()
+        frequency = FrequencyModel(inertia_mw_s_per_hz=2000.0)
+        load_mw = fleet.total_output_mw
+        # Lose 8% of load for 60 s.
+        for second in range(600):
+            demand = load_mw - (0.08 * load_mw
+                                if 100 <= second < 160 else 0.0)
+            fleet.step(float(second), 1.0)
+            frequency.step(fleet.total_output_mw, demand, 1.0)
+            if second % 4 == 0:
+                agc.cycle(float(second), frequency.frequency_hz)
+        assert abs(frequency.deviation_hz) < 0.02
+
+    def test_history_recorded(self):
+        _, agc = self.make_system()
+        agc.cycle(0.0, 60.0)
+        agc.cycle(4.0, 60.1)
+        assert len(agc.history) == 2
+
+    def test_needs_generators(self):
+        with pytest.raises(ValueError):
+            AGCController(generators=[])
+
+
+class TestGridSimulation:
+    def test_lazy_advance(self):
+        grid = build_default_grid(["G1", "G2"], rng=random.Random(1))
+        assert grid.now == 0.0
+        grid.advance_to(10.0)
+        assert grid.now == pytest.approx(10.0)
+        # Monotone: asking for the past is a no-op.
+        grid.advance_to(5.0)
+        assert grid.now == pytest.approx(10.0)
+
+    def test_measurements_accessible(self):
+        grid = build_default_grid(["G1"], rng=random.Random(2))
+        power = grid.gen_active_power("G1", 5.0)
+        assert power > 0.0
+        assert grid.gen_voltage("G1", 5.0) > 100.0
+        assert 59.0 < grid.system_frequency(5.0) < 61.0
+        assert grid.gen_breaker("G1", 5.0) == 2
+
+    def test_load_loss_raises_frequency(self):
+        script = GridEventScript(load_losses=[(50.0, 30.0, 0.0)])
+        grid = build_default_grid(["G1", "G2"], rng=random.Random(3))
+        grid.load.noise_mw = 0.0
+        grid.load.swing_mw = 0.0
+        magnitude = 0.1 * grid.load.base_mw
+        grid.load.schedule_loss(50.0, 30.0, magnitude)
+        baseline = grid.system_frequency(45.0)
+        during = max(grid.system_frequency(t) for t in range(55, 75))
+        assert during > baseline + 0.01
+
+    def test_scripted_sync_brings_unit_online(self):
+        from repro.grid.generator import GeneratorState
+        script = GridEventScript(generator_syncs=[(10.0, "G2")])
+        grid = build_default_grid(["G1", "G2"], rng=random.Random(4),
+                                  script=script)
+        unit = grid.fleet["G2"]
+        unit.trip()
+        unit.state = GeneratorState.OFFLINE
+        grid.load.base_mw = grid.fleet.total_output_mw
+        grid.advance_to(5.0)
+        assert unit.state is GeneratorState.OFFLINE
+        grid.advance_to(400.0)
+        assert unit.state is GeneratorState.ONLINE
+
+    def test_setpoints_updated_by_agc(self):
+        grid = build_default_grid(["G1", "G2"], rng=random.Random(5))
+        grid.advance_to(30.0)
+        assert set(grid.latest_setpoints) >= {"G1", "G2"}
+        assert grid.setpoint_for("G1", 30.0) > 0.0

@@ -1,0 +1,196 @@
+"""Generator model tests: ramping and the Fig. 20 sync sequence."""
+
+import pytest
+
+from repro.grid.generator import (BREAKER_CLOSED, BREAKER_OPEN, Generator,
+                                  GeneratorFleet, GeneratorState)
+
+
+def online_gen(capacity=100.0, ramp=2.0):
+    generator = Generator(name="G1", capacity_mw=capacity,
+                          setpoint_mw=50.0, ramp_rate_mw_per_s=ramp)
+    generator.output_mw = 50.0
+    return generator
+
+
+class TestRamping:
+    def test_ramp_up_limited(self):
+        generator = online_gen(ramp=2.0)
+        generator.apply_setpoint(80.0)
+        generator.step(1.0, 1.0)
+        assert generator.output_mw == pytest.approx(52.0)
+
+    def test_ramp_down_limited(self):
+        generator = online_gen(ramp=2.0)
+        generator.apply_setpoint(10.0)
+        generator.step(1.0, 1.0)
+        assert generator.output_mw == pytest.approx(48.0)
+
+    def test_converges_to_setpoint(self):
+        generator = online_gen(ramp=5.0)
+        generator.apply_setpoint(60.0)
+        for step in range(10):
+            generator.step(float(step), 1.0)
+        assert generator.output_mw == pytest.approx(60.0)
+
+    def test_setpoint_clamped_to_capacity(self):
+        generator = online_gen(capacity=100.0)
+        generator.apply_setpoint(500.0)
+        assert generator.setpoint_mw == 100.0
+        generator.apply_setpoint(-50.0)
+        assert generator.setpoint_mw == 0.0
+
+    def test_reactive_power_can_go_negative(self):
+        generator = online_gen()
+        generator.apply_setpoint(0.0)
+        for step in range(200):
+            generator.step(float(step), 1.0)
+        assert generator.reactive_mvar < 0.0
+
+
+class TestSynchronization:
+    def make_offline(self):
+        generator = Generator(name="G1", capacity_mw=100.0,
+                              ramp_rate_mw_per_s=1.0,
+                              state=GeneratorState.OFFLINE,
+                              sync_voltage_ramp_s=100.0, sync_hold_s=50.0)
+        return generator
+
+    def test_offline_is_dead(self):
+        generator = self.make_offline()
+        assert generator.voltage_kv == 0.0
+        assert generator.breaker == BREAKER_OPEN
+        assert generator.current_ka == 0.0
+
+    def test_full_sequence(self):
+        """Voltage ramps, then breaker closes, then power flows —
+        exactly the Fig. 21 signature order."""
+        generator = self.make_offline()
+        generator.begin_synchronization(0.0)
+        generator.apply_setpoint(40.0)
+
+        generator.step(50.0, 1.0)
+        assert generator.state is GeneratorState.VOLTAGE_RAMP
+        assert 0.0 < generator.voltage_kv < generator.nominal_voltage_kv
+        assert generator.breaker == BREAKER_OPEN
+        assert generator.output_mw == 0.0
+
+        generator.step(100.0, 1.0)
+        assert generator.state is GeneratorState.SYNCHRONIZED
+        assert generator.voltage_kv == generator.nominal_voltage_kv
+        assert generator.breaker == BREAKER_OPEN
+
+        generator.step(151.0, 1.0)
+        assert generator.state is GeneratorState.ONLINE
+        assert generator.breaker == BREAKER_CLOSED
+
+        generator.step(152.0, 1.0)
+        assert generator.output_mw > 0.0
+
+    def test_begin_sync_requires_offline(self):
+        generator = online_gen()
+        with pytest.raises(RuntimeError):
+            generator.begin_synchronization(0.0)
+
+    def test_trip(self):
+        generator = online_gen()
+        generator.trip()
+        assert generator.state is GeneratorState.OFFLINE
+        assert generator.output_mw == 0.0
+        assert generator.voltage_kv == 0.0
+
+
+class TestFleet:
+    def test_total_output(self):
+        fleet = GeneratorFleet()
+        fleet.add(online_gen())
+        second = Generator(name="G2", capacity_mw=50.0, setpoint_mw=20.0)
+        second.output_mw = 20.0
+        fleet.add(second)
+        assert fleet.total_output_mw == pytest.approx(70.0)
+
+    def test_duplicate_rejected(self):
+        fleet = GeneratorFleet()
+        fleet.add(online_gen())
+        with pytest.raises(ValueError):
+            fleet.add(online_gen())
+
+    def test_online_filter(self):
+        fleet = GeneratorFleet()
+        fleet.add(online_gen())
+        offline = Generator(name="G2", capacity_mw=50.0,
+                            state=GeneratorState.OFFLINE)
+        fleet.add(offline)
+        assert [g.name for g in fleet.online] == ["G1"]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Generator(name="bad", capacity_mw=0.0)
+        with pytest.raises(ValueError):
+            Generator(name="bad", capacity_mw=10.0,
+                      ramp_rate_mw_per_s=0.0)
+
+    def test_current_follows_power(self):
+        generator = online_gen()
+        idle = Generator(name="G2", capacity_mw=100.0, setpoint_mw=0.0)
+        idle.output_mw = 0.0
+        idle.reactive_mvar = 0.0
+        assert generator.current_ka > idle.current_ka
+
+
+class TestGovernorDroop:
+    def test_low_frequency_raises_output(self):
+        generator = online_gen(capacity=200.0, ramp=50.0)
+        generator.droop = 0.05
+        response = generator.governor_response_mw(59.7)  # -0.3 Hz
+        assert response > 0.0
+        # 0.3/60 per-unit over 5% droop on 200 MW = 20 MW.
+        assert response == pytest.approx(20.0)
+
+    def test_high_frequency_lowers_output(self):
+        generator = online_gen(capacity=200.0)
+        generator.droop = 0.05
+        assert generator.governor_response_mw(60.3) == pytest.approx(
+            -20.0)
+
+    def test_disabled_governor(self):
+        generator = online_gen()
+        generator.droop = None
+        assert generator.governor_response_mw(59.0) == 0.0
+
+    def test_offline_unit_no_response(self):
+        generator = online_gen()
+        generator.trip()
+        assert generator.governor_response_mw(59.0) == 0.0
+
+    def test_step_applies_governor(self):
+        generator = online_gen(capacity=200.0, ramp=50.0)
+        generator.droop = 0.05
+        generator.apply_setpoint(generator.output_mw)
+        before = generator.output_mw
+        generator.step(1.0, 1.0, frequency_hz=59.7)
+        assert generator.output_mw > before
+
+    def test_governor_arrests_excursion_faster(self):
+        """Primary response limits the frequency dip from a sudden
+        load step versus a governor-less fleet."""
+        from repro.grid.frequency import FrequencyModel
+
+        def run(droop):
+            generator = Generator(name="G", capacity_mw=400.0,
+                                  setpoint_mw=200.0,
+                                  ramp_rate_mw_per_s=8.0, droop=droop)
+            generator.output_mw = 200.0
+            frequency = FrequencyModel(inertia_mw_s_per_hz=2000.0)
+            dip = 0.0
+            for second in range(120):
+                load = 200.0 + (30.0 if second >= 10 else 0.0)
+                generator.step(float(second), 1.0,
+                               frequency_hz=frequency.frequency_hz)
+                frequency.step(generator.output_mw, load, 1.0)
+                dip = min(dip, frequency.deviation_hz)
+            return dip
+
+        with_governor = run(0.05)
+        without = run(None)
+        assert with_governor > without  # smaller (less negative) dip

@@ -1,0 +1,122 @@
+"""Tie-line / interchange model tests (the ACE's second term)."""
+
+import random
+
+import pytest
+
+from repro.grid.agc import AGCController
+from repro.grid.constants import NOMINAL_FREQUENCY_HZ
+from repro.grid.generator import Generator, GeneratorFleet
+from repro.grid.interchange import InterchangeModel, TieLine
+from repro.grid.simulation import GridSimulation, build_default_grid
+from repro.grid.load import SystemLoad
+
+
+class TestTieLine:
+    def test_initial_flow_matches_schedule(self):
+        line = TieLine(name="north", capacity_mw=500.0,
+                       scheduled_mw=100.0)
+        assert line.actual_mw == 100.0
+        assert line.deviation_mw == 0.0
+
+    def test_over_frequency_increases_export(self):
+        line = TieLine(name="north", capacity_mw=500.0,
+                       scheduled_mw=100.0)
+        for _ in range(20):
+            line.update(NOMINAL_FREQUENCY_HZ + 0.1)
+        assert line.actual_mw > 100.0
+        assert line.deviation_mw > 0.0
+
+    def test_under_frequency_draws_import(self):
+        line = TieLine(name="north", capacity_mw=500.0)
+        for _ in range(20):
+            line.update(NOMINAL_FREQUENCY_HZ - 0.1)
+        assert line.actual_mw < 0.0
+
+    def test_capacity_clamps(self):
+        line = TieLine(name="north", capacity_mw=50.0,
+                       stiffness_mw_per_hz=10000.0)
+        for _ in range(50):
+            line.update(NOMINAL_FREQUENCY_HZ + 1.0)
+        assert line.actual_mw <= 50.0
+
+    def test_reschedule(self):
+        line = TieLine(name="north", capacity_mw=100.0)
+        line.reschedule(40.0)
+        assert line.scheduled_mw == 40.0
+        with pytest.raises(ValueError):
+            line.reschedule(150.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TieLine(name="bad", capacity_mw=0.0)
+        with pytest.raises(ValueError):
+            TieLine(name="bad", capacity_mw=10.0, scheduled_mw=20.0)
+
+
+class TestInterchangeModel:
+    def test_net_export_sums_lines(self):
+        model = InterchangeModel()
+        model.add(TieLine(name="north", capacity_mw=100.0,
+                          scheduled_mw=30.0))
+        model.add(TieLine(name="south", capacity_mw=100.0,
+                          scheduled_mw=-10.0))
+        assert model.net_export_mw == pytest.approx(20.0)
+
+    def test_duplicate_rejected(self):
+        model = InterchangeModel()
+        model.add(TieLine(name="north", capacity_mw=100.0))
+        with pytest.raises(ValueError):
+            model.add(TieLine(name="north", capacity_mw=100.0))
+
+    def test_lookup(self):
+        model = InterchangeModel()
+        model.add(TieLine(name="north", capacity_mw=100.0))
+        assert model["north"].capacity_mw == 100.0
+        with pytest.raises(KeyError):
+            model["west"]
+
+    def test_error_follows_frequency(self):
+        model = InterchangeModel()
+        model.add(TieLine(name="north", capacity_mw=500.0))
+        for _ in range(20):
+            model.update(NOMINAL_FREQUENCY_HZ + 0.05)
+        assert model.interchange_error_mw > 0.0
+
+
+class TestAGCWithInterchange:
+    def test_ace_includes_interchange_term(self):
+        generator = Generator(name="G1", capacity_mw=100.0,
+                              setpoint_mw=50.0)
+        agc = AGCController(generators=[generator])
+        at_nominal = agc.area_control_error(NOMINAL_FREQUENCY_HZ,
+                                            interchange_error_mw=25.0)
+        assert at_nominal == pytest.approx(25.0)
+
+    def test_simulation_with_tie_lines_stays_stable(self):
+        grid = build_default_grid(["G1", "G2", "G3"],
+                                  rng=random.Random(8))
+        interchange = InterchangeModel()
+        interchange.add(TieLine(name="north", capacity_mw=300.0,
+                                scheduled_mw=20.0,
+                                stiffness_mw_per_hz=500.0))
+        # The area must generate its exports on top of native load.
+        grid.interchange = interchange
+        grid.load.base_mw -= 20.0
+        grid.advance_to(600.0)
+        assert abs(grid.frequency.deviation_hz) < 0.05
+        assert abs(interchange.interchange_error_mw) < 20.0
+
+    def test_interchange_error_drives_dispatch(self):
+        """A forced tie-line deviation must move AGC set points even at
+        nominal frequency."""
+        fleet = GeneratorFleet()
+        generator = Generator(name="G1", capacity_mw=200.0,
+                              setpoint_mw=100.0)
+        generator.output_mw = 100.0
+        fleet.add(generator)
+        agc = AGCController(generators=[generator])
+        before = generator.setpoint_mw
+        agc.cycle(0.0, NOMINAL_FREQUENCY_HZ, interchange_error_mw=50.0)
+        # Positive interchange error = exporting too much = back down.
+        assert generator.setpoint_mw < before

@@ -1,0 +1,100 @@
+"""Fig. 21 activation-signature state machine tests."""
+
+import random
+
+import pytest
+
+from repro.grid.generator import BREAKER_CLOSED, BREAKER_OPEN, Generator, \
+    GeneratorState
+from repro.grid.signature import (ActivationSignature, SignatureState)
+
+
+def feed_normal_activation(signature):
+    """Replay a textbook activation: 0 kV -> ramp -> nominal ->
+    breaker closes -> power flows."""
+    samples = [
+        (0.0, 0.0, BREAKER_OPEN, 0.0),
+        (10.0, 40.0, BREAKER_OPEN, 0.0),
+        (20.0, 90.0, BREAKER_OPEN, 0.0),
+        (30.0, 129.0, BREAKER_OPEN, 0.0),
+        (40.0, 130.0, BREAKER_OPEN, 0.0),
+        (50.0, 130.0, BREAKER_CLOSED, 0.5),
+        (60.0, 130.0, BREAKER_CLOSED, 25.0),
+    ]
+    for sample in samples:
+        signature.observe(*sample)
+
+
+class TestNormalPath:
+    def test_full_activation_recognized(self):
+        signature = ActivationSignature()
+        feed_normal_activation(signature)
+        assert signature.state is SignatureState.GENERATING
+        assert signature.completed_activation
+        assert signature.anomalies == []
+
+    def test_transition_order(self):
+        signature = ActivationSignature()
+        feed_normal_activation(signature)
+        states = [event.state for event in signature.events]
+        assert states == [SignatureState.VOLTAGE_RAMP,
+                          SignatureState.SYNCHRONIZED,
+                          SignatureState.CONNECTED,
+                          SignatureState.GENERATING]
+
+    def test_voltage_jump_straight_to_nominal(self):
+        """The paper's Fig. 18 showed a 0 -> 120 kV jump between
+        samples; the detector must tolerate skipping the ramp state."""
+        signature = ActivationSignature()
+        signature.observe(0.0, 0.0, BREAKER_OPEN, 0.0)
+        event = signature.observe(10.0, 128.0, BREAKER_OPEN, 0.0)
+        assert event.state is SignatureState.SYNCHRONIZED
+
+    def test_shutdown_returns_offline(self):
+        signature = ActivationSignature()
+        feed_normal_activation(signature)
+        event = signature.observe(100.0, 0.0, BREAKER_OPEN, 0.0)
+        assert event.state is SignatureState.OFFLINE
+
+
+class TestAnomalies:
+    def test_power_with_breaker_open(self):
+        signature = ActivationSignature()
+        event = signature.observe(0.0, 130.0, BREAKER_OPEN, 50.0)
+        assert event.is_anomaly
+        assert "breaker open" in event.anomaly
+
+    def test_breaker_closed_on_dead_bus(self):
+        signature = ActivationSignature()
+        event = signature.observe(0.0, 0.0, BREAKER_CLOSED, 0.0)
+        assert event.is_anomaly
+
+    def test_anomalies_listed(self):
+        signature = ActivationSignature()
+        signature.observe(0.0, 130.0, BREAKER_OPEN, 50.0)
+        assert len(signature.anomalies) == 1
+
+    def test_incomplete_activation_not_flagged_complete(self):
+        signature = ActivationSignature()
+        signature.observe(0.0, 60.0, BREAKER_OPEN, 0.0)
+        signature.observe(1.0, 130.0, BREAKER_OPEN, 0.0)
+        assert not signature.completed_activation
+
+
+class TestAgainstGeneratorModel:
+    def test_detector_follows_simulated_sync(self):
+        """Closing the loop: the Generator model's own sync sequence
+        must satisfy the signature detector (Fig. 20 -> Fig. 21)."""
+        generator = Generator(name="G1", capacity_mw=100.0,
+                              setpoint_mw=40.0, ramp_rate_mw_per_s=1.0,
+                              state=GeneratorState.OFFLINE,
+                              sync_voltage_ramp_s=60.0, sync_hold_s=30.0)
+        generator.begin_synchronization(0.0)
+        signature = ActivationSignature(
+            nominal_voltage_kv=generator.nominal_voltage_kv)
+        for second in range(1, 200):
+            generator.step(float(second), 1.0)
+            signature.observe(float(second), generator.voltage_kv,
+                              generator.breaker, generator.output_mw)
+        assert signature.completed_activation
+        assert signature.anomalies == []

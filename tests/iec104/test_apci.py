@@ -1,0 +1,145 @@
+"""APCI framing tests: the three APDU formats of Fig. 3."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.iec104.apci import (SEQ_MODULO, IFrame, SFrame, UFrame,
+                               decode_apdu)
+from repro.iec104.asdu import measurement
+from repro.iec104.constants import (START_BYTE, TypeID, UFunction)
+from repro.iec104.errors import (ControlFieldError, FramingError,
+                                 MalformedASDUError, TruncatedError)
+from repro.iec104.information_elements import ShortFloat
+
+
+def sample_iframe(send=0, recv=0):
+    asdu = measurement(TypeID.M_ME_NC_1, 2001, ShortFloat(value=50.0))
+    return IFrame(asdu=asdu, send_seq=send, recv_seq=recv)
+
+
+class TestIFormat:
+    def test_roundtrip(self):
+        frame = sample_iframe(send=12345, recv=321)
+        decoded, consumed = decode_apdu(frame.encode())
+        assert decoded == frame
+        assert consumed == len(frame.encode())
+
+    def test_lsb_of_first_control_octet_is_zero(self):
+        encoded = sample_iframe(send=7).encode()
+        assert encoded[2] & 0x01 == 0
+
+    @given(st.integers(min_value=0, max_value=SEQ_MODULO - 1),
+           st.integers(min_value=0, max_value=SEQ_MODULO - 1))
+    def test_sequence_roundtrip(self, send, recv):
+        frame = sample_iframe(send=send, recv=recv)
+        decoded, _ = decode_apdu(frame.encode())
+        assert decoded.send_seq == send
+        assert decoded.recv_seq == recv
+
+    def test_sequence_out_of_range(self):
+        with pytest.raises(ValueError):
+            sample_iframe(send=SEQ_MODULO)
+
+    def test_token_comes_from_asdu(self):
+        assert sample_iframe().token == "I13"
+
+    def test_empty_asdu_rejected(self):
+        raw = bytes((START_BYTE, 4, 0x00, 0x00, 0x00, 0x00))
+        with pytest.raises(MalformedASDUError):
+            decode_apdu(raw)
+
+
+class TestSFormat:
+    def test_roundtrip(self):
+        frame = SFrame(recv_seq=999)
+        decoded, consumed = decode_apdu(frame.encode())
+        assert decoded == frame
+        assert consumed == 6
+
+    def test_token(self):
+        assert SFrame().token == "S"
+
+    def test_s_with_payload_rejected(self):
+        raw = bytes((START_BYTE, 5, 0x01, 0x00, 0x00, 0x00, 0xAA))
+        with pytest.raises(ControlFieldError):
+            decode_apdu(raw)
+
+    def test_reserved_bits_rejected(self):
+        raw = bytes((START_BYTE, 4, 0x05, 0x00, 0x02, 0x00))
+        with pytest.raises(ControlFieldError):
+            decode_apdu(raw)
+
+
+class TestUFormat:
+    @pytest.mark.parametrize("function", list(UFunction))
+    def test_roundtrip_all_functions(self, function):
+        frame = UFrame(function)
+        decoded, _ = decode_apdu(frame.encode())
+        assert decoded == frame
+
+    @pytest.mark.parametrize("function,token", [
+        (UFunction.STARTDT_ACT, "U1"), (UFunction.STARTDT_CON, "U2"),
+        (UFunction.STOPDT_ACT, "U4"), (UFunction.STOPDT_CON, "U8"),
+        (UFunction.TESTFR_ACT, "U16"), (UFunction.TESTFR_CON, "U32"),
+    ])
+    def test_table4_tokens(self, function, token):
+        assert UFrame(function).token == token
+
+    def test_confirmation_mapping(self):
+        assert (UFunction.STARTDT_ACT.confirmation
+                is UFunction.STARTDT_CON)
+        assert (UFunction.TESTFR_ACT.confirmation
+                is UFunction.TESTFR_CON)
+        with pytest.raises(ValueError):
+            _ = UFunction.TESTFR_CON.confirmation
+
+    def test_multiple_function_bits_rejected(self):
+        raw = bytes((START_BYTE, 4, 0x03 | 0x04 | 0x10, 0x00, 0x00, 0x00))
+        with pytest.raises(ControlFieldError):
+            decode_apdu(raw)
+
+    def test_nonzero_trailing_octets_rejected(self):
+        raw = bytes((START_BYTE, 4, 0x07, 0x00, 0x01, 0x00))
+        with pytest.raises(ControlFieldError):
+            decode_apdu(raw)
+
+    def test_u_with_payload_rejected(self):
+        raw = bytes((START_BYTE, 5, 0x43, 0x00, 0x00, 0x00, 0xAA))
+        with pytest.raises(ControlFieldError):
+            decode_apdu(raw)
+
+
+class TestFraming:
+    def test_bad_start_byte(self):
+        with pytest.raises(FramingError):
+            decode_apdu(b"\x69\x04\x01\x00\x00\x00")
+
+    def test_truncated_header(self):
+        with pytest.raises(TruncatedError):
+            decode_apdu(b"\x68")
+
+    def test_truncated_body(self):
+        frame = sample_iframe().encode()
+        with pytest.raises(TruncatedError) as info:
+            decode_apdu(frame[:-3])
+        assert info.value.needed == len(frame)
+
+    def test_length_below_control_field(self):
+        with pytest.raises(FramingError):
+            decode_apdu(bytes((START_BYTE, 3, 0x01, 0x00, 0x00)))
+
+    def test_decode_at_offset(self):
+        frame = SFrame(recv_seq=5)
+        data = b"\x00" * 4 + frame.encode()
+        decoded, consumed = decode_apdu(data, offset=4)
+        assert decoded == frame
+
+    def test_oversized_asdu_rejected_on_encode(self):
+        from repro.iec104.asdu import ASDU, InformationObject
+        from repro.iec104.constants import Cause
+        objects = tuple(InformationObject(i + 1, ShortFloat(value=0.0))
+                        for i in range(60))  # 60 * (3+5) + 6 > 253
+        asdu = ASDU(type_id=TypeID.M_ME_NC_1, cause=Cause.SPONTANEOUS,
+                    common_address=1, objects=objects)
+        with pytest.raises(FramingError):
+            IFrame(asdu=asdu).encode()

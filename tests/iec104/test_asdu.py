@@ -1,0 +1,188 @@
+"""ASDU model and codec tests, including legacy link profiles."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.iec104.asdu import ASDU, InformationObject, measurement
+from repro.iec104.constants import Cause, TypeID
+from repro.iec104.errors import (InvalidIOAError, MalformedASDUError,
+                                 UnknownTypeIDError)
+from repro.iec104.information_elements import (InterrogationCommand,
+                                               ShortFloat, SinglePoint)
+from repro.iec104.profiles import (LEGACY_COT_PROFILE, LEGACY_IOA_PROFILE,
+                                   STANDARD_PROFILE, LinkProfile)
+
+
+def float_asdu(*addresses, cause=Cause.SPONTANEOUS, sequential=False):
+    objects = tuple(InformationObject(a, ShortFloat(value=float(a)))
+                    for a in addresses)
+    return ASDU(type_id=TypeID.M_ME_NC_1, cause=cause, common_address=7,
+                objects=objects, sequential=sequential)
+
+
+class TestRoundtrip:
+    def test_single_object(self):
+        asdu = float_asdu(2001)
+        assert ASDU.decode(asdu.encode()) == asdu
+
+    def test_multi_object(self):
+        asdu = float_asdu(2001, 2005, 9000)
+        decoded = ASDU.decode(asdu.encode())
+        assert [o.address for o in decoded.objects] == [2001, 2005, 9000]
+
+    def test_sequential(self):
+        asdu = float_asdu(100, 101, 102, sequential=True)
+        encoded = asdu.encode()
+        decoded = ASDU.decode(encoded)
+        assert decoded.sequential
+        assert [o.address for o in decoded.objects] == [100, 101, 102]
+        # Sequential encoding carries the IOA once: it must be smaller.
+        non_seq = float_asdu(100, 101, 102)
+        assert len(encoded) < len(non_seq.encode())
+
+    def test_negative_and_test_bits(self):
+        asdu = ASDU(type_id=TypeID.C_IC_NA_1, cause=Cause.ACTIVATION_CON,
+                    common_address=1,
+                    objects=(InformationObject(0, InterrogationCommand()),),
+                    negative=True, test=True)
+        decoded = ASDU.decode(asdu.encode())
+        assert decoded.negative and decoded.test
+
+    def test_originator_roundtrip(self):
+        asdu = ASDU(type_id=TypeID.M_SP_NA_1, cause=Cause.SPONTANEOUS,
+                    common_address=3,
+                    objects=(InformationObject(5, SinglePoint(True)),),
+                    originator=42)
+        assert ASDU.decode(asdu.encode()).originator == 42
+
+    @given(st.lists(st.integers(min_value=1, max_value=2 ** 24 - 1),
+                    min_size=1, max_size=20, unique=True))
+    def test_roundtrip_property(self, addresses):
+        asdu = float_asdu(*addresses)
+        decoded = ASDU.decode(asdu.encode())
+        assert [o.address for o in decoded.objects] == addresses
+
+
+class TestProfiles:
+    @pytest.mark.parametrize("profile", [
+        STANDARD_PROFILE, LEGACY_COT_PROFILE, LEGACY_IOA_PROFILE,
+        LinkProfile(cot_length=1, ioa_length=2),
+    ])
+    def test_roundtrip_under_profile(self, profile):
+        asdu = float_asdu(100, 200)
+        assert ASDU.decode(asdu.encode(profile), profile) == asdu
+
+    def test_legacy_cot_is_one_octet_shorter_plus(self):
+        asdu = float_asdu(100)
+        standard = asdu.encode(STANDARD_PROFILE)
+        legacy = asdu.encode(LEGACY_COT_PROFILE)
+        assert len(standard) - len(legacy) == 1
+
+    def test_legacy_ioa_shrinks_per_object(self):
+        asdu = float_asdu(100, 200, 300)
+        standard = asdu.encode(STANDARD_PROFILE)
+        legacy = asdu.encode(LEGACY_IOA_PROFILE)
+        assert len(standard) - len(legacy) == 3  # one octet per IOA
+
+    def test_cross_profile_decode_fails(self):
+        """A Wireshark-like standard decode of a legacy frame must fail
+        (the paper's Section 6.1 observation)."""
+        asdu = float_asdu(100, 200)
+        with pytest.raises(MalformedASDUError):
+            ASDU.decode(asdu.encode(LEGACY_COT_PROFILE), STANDARD_PROFILE)
+
+    def test_ioa_exceeding_profile_rejected(self):
+        asdu = float_asdu(70000)  # needs 3 octets
+        with pytest.raises(InvalidIOAError):
+            asdu.encode(LEGACY_IOA_PROFILE)
+
+    def test_profile_validation(self):
+        with pytest.raises(ValueError):
+            LinkProfile(cot_length=3)
+        with pytest.raises(ValueError):
+            LinkProfile(ioa_length=4)
+
+    def test_profile_describe(self):
+        assert "standard" in STANDARD_PROFILE.describe()
+        assert "COT=1" in LEGACY_COT_PROFILE.describe()
+        assert "IOA=2" in LEGACY_IOA_PROFILE.describe()
+
+
+class TestValidation:
+    def test_empty_objects_rejected(self):
+        with pytest.raises(MalformedASDUError):
+            ASDU(type_id=TypeID.M_ME_NC_1, cause=Cause.SPONTANEOUS,
+                 common_address=1, objects=())
+
+    def test_too_many_objects_rejected(self):
+        objects = tuple(InformationObject(i + 1, ShortFloat(value=0.0))
+                        for i in range(128))
+        with pytest.raises(MalformedASDUError):
+            ASDU(type_id=TypeID.M_ME_NC_1, cause=Cause.SPONTANEOUS,
+                 common_address=1, objects=objects)
+
+    def test_wrong_element_type_rejected(self):
+        with pytest.raises(MalformedASDUError):
+            ASDU(type_id=TypeID.M_SP_NA_1, cause=Cause.SPONTANEOUS,
+                 common_address=1,
+                 objects=(InformationObject(1, ShortFloat(value=0.0)),))
+
+    def test_sequential_requires_consecutive(self):
+        with pytest.raises(MalformedASDUError):
+            float_asdu(10, 12, sequential=True)
+
+    def test_negative_ioa_rejected(self):
+        with pytest.raises(InvalidIOAError):
+            InformationObject(-1, ShortFloat(value=0.0))
+
+
+class TestDecodeErrors:
+    def test_unknown_type_id(self):
+        raw = bytearray(float_asdu(100).encode())
+        raw[0] = 2  # typeID 2 is not part of IEC 104
+        with pytest.raises(UnknownTypeIDError):
+            ASDU.decode(bytes(raw))
+
+    def test_zero_object_count(self):
+        raw = bytearray(float_asdu(100).encode())
+        raw[1] = 0
+        with pytest.raises(MalformedASDUError):
+            ASDU.decode(bytes(raw))
+
+    def test_invalid_cause(self):
+        raw = bytearray(float_asdu(100).encode())
+        raw[2] = 63  # not a defined cause
+        with pytest.raises(MalformedASDUError):
+            ASDU.decode(bytes(raw))
+
+    def test_trailing_bytes_reported(self):
+        raw = float_asdu(100).encode() + b"\x00\x01"
+        with pytest.raises(MalformedASDUError) as info:
+            ASDU.decode(raw)
+        assert info.value.trailing == 2
+
+    def test_truncated_header(self):
+        with pytest.raises(MalformedASDUError):
+            ASDU.decode(b"\x0d\x01\x03")
+
+    def test_truncated_ioa(self):
+        raw = float_asdu(100).encode()
+        with pytest.raises(MalformedASDUError):
+            ASDU.decode(raw[:7])
+
+
+class TestConvenience:
+    def test_measurement_helper(self):
+        asdu = measurement(TypeID.M_ME_NC_1, 2001, ShortFloat(value=1.0))
+        assert asdu.cause is Cause.SPONTANEOUS
+        assert asdu.objects[0].address == 2001
+
+    def test_token(self):
+        assert float_asdu(1).token == "I13"
+        asdu = measurement(TypeID.C_IC_NA_1, 0, InterrogationCommand())
+        assert asdu.token == "I100"
+
+    def test_is_command(self):
+        assert measurement(TypeID.C_IC_NA_1, 0,
+                           InterrogationCommand()).is_command
+        assert not float_asdu(1).is_command

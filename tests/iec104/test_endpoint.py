@@ -1,0 +1,209 @@
+"""High-level master/outstation endpoint tests."""
+
+import pytest
+
+from repro.iec104.constants import Cause, ProtocolTimers, TypeID
+from repro.iec104.endpoint import (MasterEndpoint, OutstationEndpoint,
+                                   PipeTransport, connect_pair)
+from repro.iec104.errors import IEC104Error, StateError
+from repro.iec104.information_elements import (DoublePoint, SetpointFloat,
+                                               ShortFloat, SinglePoint)
+from repro.iec104.profiles import LEGACY_COT_PROFILE
+from repro.iec104.time_tag import CP56Time2a
+
+
+def started_pair(**kwargs):
+    master, outstation, pump = connect_pair(**kwargs)
+    master.start_data_transfer()
+    pump()
+    assert master.started and outstation.started
+    return master, outstation, pump
+
+
+class TestStartStop:
+    def test_startdt_handshake(self):
+        master, outstation, pump = connect_pair()
+        assert not master.started
+        master.start_data_transfer()
+        pump()
+        assert master.started and outstation.started
+
+    def test_stopdt(self):
+        master, outstation, pump = started_pair()
+        master.stop_data_transfer()
+        pump()
+        assert not master.started and not outstation.started
+
+    def test_testfr_answered(self):
+        master, outstation, pump = started_pair()
+        master.send_test_frame()
+        pump()
+        assert outstation.stats.received_u >= 1
+        assert master.stats.received_u >= 2  # STARTDT con + TESTFR con
+
+
+class TestPointDatabase:
+    def test_define_and_count(self):
+        _, outstation, _ = connect_pair()[0], None, None
+        transport, _ = PipeTransport.pair()
+        outstation = OutstationEndpoint(transport)
+        outstation.define_point(2001, TypeID.M_ME_NC_1,
+                                ShortFloat(value=1.0))
+        outstation.define_point(2002, TypeID.M_SP_NA_1,
+                                SinglePoint(value=False))
+        assert outstation.point_count == 2
+
+    def test_define_wrong_element_type(self):
+        transport, _ = PipeTransport.pair()
+        outstation = OutstationEndpoint(transport)
+        with pytest.raises(TypeError):
+            outstation.define_point(1, TypeID.M_SP_NA_1,
+                                    ShortFloat(value=1.0))
+
+    def test_update_unknown_point(self):
+        transport, _ = PipeTransport.pair()
+        outstation = OutstationEndpoint(transport)
+        with pytest.raises(KeyError):
+            outstation.update_point(99, ShortFloat(value=1.0))
+
+    def test_update_before_start_is_silent(self):
+        master, outstation, pump = connect_pair()
+        outstation.define_point(2001, TypeID.M_ME_NC_1,
+                                ShortFloat(value=1.0))
+        sent = outstation.update_point(2001, ShortFloat(value=2.0))
+        pump()
+        assert not sent
+        assert master.measurements == []
+
+
+class TestReporting:
+    def test_spontaneous_report_reaches_master(self):
+        master, outstation, pump = started_pair()
+        outstation.define_point(2001, TypeID.M_ME_NC_1,
+                                ShortFloat(value=59.97))
+        assert outstation.update_point(2001, ShortFloat(value=60.02))
+        pump()
+        assert len(master.measurements) == 1
+        measurement = master.measurements[0]
+        assert measurement.ioa == 2001
+        assert measurement.cause is Cause.SPONTANEOUS
+        assert measurement.element.value == pytest.approx(60.02)
+
+    def test_master_acknowledges_after_w(self):
+        master, outstation, pump = started_pair()
+        outstation.define_point(2001, TypeID.M_ME_NC_1,
+                                ShortFloat(value=0.0))
+        for index in range(10):
+            outstation.update_point(2001,
+                                    ShortFloat(value=float(index)))
+            pump()
+        assert master.stats.sent_s >= 1
+        assert outstation.machine.unacked_sent < 10
+
+    def test_measurement_callback(self):
+        received = []
+        master, outstation, pump = connect_pair()
+        master.on_measurement = received.append
+        master.start_data_transfer()
+        pump()
+        outstation.define_point(1, TypeID.M_SP_NA_1,
+                                SinglePoint(value=False))
+        outstation.update_point(1, SinglePoint(value=True))
+        pump()
+        assert len(received) == 1 and received[0].element.value is True
+
+
+class TestInterrogation:
+    def test_full_cycle(self):
+        master, outstation, pump = started_pair()
+        outstation.define_point(2001, TypeID.M_ME_NC_1,
+                                ShortFloat(value=1.5))
+        outstation.define_point(2002, TypeID.M_ME_NC_1,
+                                ShortFloat(value=2.5))
+        outstation.define_point(3001, TypeID.M_DP_NA_1,
+                                DoublePoint(state=2))
+        master.interrogate()
+        pump()
+        assert master.interrogation_progress == [
+            Cause.ACTIVATION_CON, Cause.ACTIVATION_TERMINATION]
+        assert {m.ioa for m in master.measurements} \
+            == {2001, 2002, 3001}
+        assert all(m.cause is Cause.INTERROGATED_BY_STATION
+                   for m in master.measurements)
+
+    def test_many_points_chunked(self):
+        master, outstation, pump = started_pair()
+        for ioa in range(2001, 2031):
+            outstation.define_point(ioa, TypeID.M_ME_NC_1,
+                                    ShortFloat(value=float(ioa)))
+        master.interrogate()
+        pump()
+        assert len(master.measurements) == 30
+
+    def test_interrogate_requires_start(self):
+        master, _, _ = connect_pair()
+        with pytest.raises(StateError):
+            master.interrogate()
+
+
+class TestCommands:
+    def test_setpoint_confirmed_and_delivered(self):
+        commands = []
+        master, outstation, pump = started_pair()
+        outstation.on_command = commands.append
+        master.send_command(TypeID.C_SE_NC_1, 100,
+                            SetpointFloat(value=250.5))
+        pump()
+        assert len(commands) == 1
+        assert commands[0].objects[0].element.value \
+            == pytest.approx(250.5)
+        # The master got the mirrored activation confirmation.
+        assert master.stats.received_i >= 1
+
+    def test_command_requires_start(self):
+        master, _, _ = connect_pair()
+        with pytest.raises(StateError):
+            master.send_command(TypeID.C_SE_NC_1, 1,
+                                SetpointFloat(value=1.0))
+
+
+class TestLegacyProfiles:
+    def test_mismatched_profiles_interoperate(self):
+        """A legacy-COT outstation behind a tolerant master — §6.1."""
+        master, outstation, pump = started_pair(
+            outstation_profile=LEGACY_COT_PROFILE)
+        outstation.define_point(2001, TypeID.M_ME_NC_1,
+                                ShortFloat(value=132.6))
+        outstation.update_point(2001, ShortFloat(value=133.0))
+        pump()
+        assert master.measurements[0].element.value \
+            == pytest.approx(133.0)
+
+
+class TestTimers:
+    def test_idle_master_sends_testfr(self):
+        timers = ProtocolTimers(t3=5.0)
+        master, outstation, pump = started_pair(timers=timers)
+        sent_u_before = master.stats.sent_u
+        master.tick(20.0)
+        pump()
+        assert master.stats.sent_u > sent_u_before
+
+    def test_unanswered_testfr_requests_close(self):
+        closed = []
+        timers = ProtocolTimers(t1=10.0, t2=5.0, t3=5.0)
+        a, _ = PipeTransport.pair()  # peer never answers
+        master = MasterEndpoint(a, timers=timers)
+        master.on_close_request = lambda: closed.append(True)
+        master.tick(6.0)   # T3 -> TESTFR act (never answered)
+        master.tick(17.0)  # T1 expiry
+        assert closed == [True]
+        assert master.closed
+        with pytest.raises(IEC104Error):
+            master.send_test_frame()
+
+    def test_time_cannot_go_backwards(self):
+        master, _, _ = connect_pair()
+        master.tick(5.0)
+        with pytest.raises(ValueError):
+            master.tick(1.0)

@@ -1,0 +1,128 @@
+"""Select-before-operate and counter interrogation endpoint tests."""
+
+import pytest
+
+from repro.iec104.constants import Cause, TypeID
+from repro.iec104.endpoint import connect_pair
+from repro.iec104.information_elements import (IntegratedTotals,
+                                               SingleCommand)
+
+
+def sbo_pair(require_select=True):
+    master, outstation, pump = connect_pair()
+    outstation.require_select = require_select
+    master.start_data_transfer()
+    pump()
+    return master, outstation, pump
+
+
+class TestSelectBeforeOperate:
+    def test_direct_execute_rejected_when_sbo(self):
+        master, outstation, pump = sbo_pair()
+        executed = []
+        outstation.on_command = executed.append
+        master.send_command(TypeID.C_SC_NA_1, 3001,
+                            SingleCommand(state=True, select=False))
+        pump()
+        assert executed == []
+        assert len(master.rejected_commands) == 1
+        assert master.rejected_commands[0].negative
+
+    def test_select_then_execute_accepted(self):
+        master, outstation, pump = sbo_pair()
+        executed = []
+        outstation.on_command = executed.append
+        master.send_command(TypeID.C_SC_NA_1, 3001,
+                            SingleCommand(state=True, select=True))
+        pump()
+        master.send_command(TypeID.C_SC_NA_1, 3001,
+                            SingleCommand(state=True, select=False))
+        pump()
+        # The select itself is confirmed + notified; the execute too.
+        assert len(executed) == 2
+        assert master.rejected_commands == []
+
+    def test_selection_is_one_shot(self):
+        master, outstation, pump = sbo_pair()
+        master.send_command(TypeID.C_SC_NA_1, 3001,
+                            SingleCommand(state=True, select=True))
+        master.send_command(TypeID.C_SC_NA_1, 3001,
+                            SingleCommand(state=True, select=False))
+        pump()
+        # Second execute without a fresh select must fail.
+        master.send_command(TypeID.C_SC_NA_1, 3001,
+                            SingleCommand(state=False, select=False))
+        pump()
+        assert len(master.rejected_commands) == 1
+
+    def test_select_is_per_ioa(self):
+        master, outstation, pump = sbo_pair()
+        master.send_command(TypeID.C_SC_NA_1, 3001,
+                            SingleCommand(state=True, select=True))
+        pump()
+        master.send_command(TypeID.C_SC_NA_1, 3002,
+                            SingleCommand(state=True, select=False))
+        pump()
+        assert len(master.rejected_commands) == 1  # 3002 was not armed
+
+    def test_direct_operate_mode(self):
+        master, outstation, pump = sbo_pair(require_select=False)
+        executed = []
+        outstation.on_command = executed.append
+        master.send_command(TypeID.C_SC_NA_1, 3001,
+                            SingleCommand(state=True, select=False))
+        pump()
+        assert len(executed) == 1
+
+    def test_setpoints_not_subject_to_sbo(self):
+        from repro.iec104.information_elements import SetpointFloat
+        master, outstation, pump = sbo_pair()
+        executed = []
+        outstation.on_command = executed.append
+        master.send_command(TypeID.C_SE_NC_1, 100,
+                            SetpointFloat(value=10.0))
+        pump()
+        assert len(executed) == 1
+
+
+class TestCounterInterrogation:
+    def test_counters_reported(self):
+        master, outstation, pump = connect_pair()
+        master.start_data_transfer()
+        pump()
+        outstation.define_point(5001, TypeID.M_IT_NA_1,
+                                IntegratedTotals(counter=123456,
+                                                 sequence=1))
+        outstation.define_point(5002, TypeID.M_IT_NA_1,
+                                IntegratedTotals(counter=-42,
+                                                 sequence=2))
+        # An ordinary analog point must not appear in the answer.
+        from repro.iec104.information_elements import ShortFloat
+        outstation.define_point(2001, TypeID.M_ME_NC_1,
+                                ShortFloat(value=1.0))
+        master.counter_interrogate()
+        pump()
+        assert master.counter_progress == [
+            Cause.ACTIVATION_CON, Cause.ACTIVATION_TERMINATION]
+        counters = [m for m in master.measurements
+                    if m.type_id is TypeID.M_IT_NA_1]
+        assert [m.ioa for m in counters] == [5001, 5002]
+        assert counters[0].element.counter == 123456
+        assert counters[0].cause \
+            is Cause.COUNTER_INTERROGATION_GENERAL
+        assert not any(m.ioa == 2001 for m in master.measurements)
+
+    def test_no_counters_still_terminates(self):
+        master, outstation, pump = connect_pair()
+        master.start_data_transfer()
+        pump()
+        master.counter_interrogate()
+        pump()
+        assert master.counter_progress == [
+            Cause.ACTIVATION_CON, Cause.ACTIVATION_TERMINATION]
+
+    def test_requires_startdt(self):
+        from repro.iec104.errors import StateError
+        master, _, _ = connect_pair()
+        with pytest.raises(StateError):
+            master.counter_interrogate()

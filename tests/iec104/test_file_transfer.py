@@ -1,0 +1,162 @@
+"""File transfer service tests (typeIDs 120-127)."""
+
+import pytest
+
+from repro.iec104.endpoint import connect_pair
+from repro.iec104.errors import IEC104Error
+from repro.iec104.file_transfer import (FileClient, FileServer,
+                                        ReceivedFile, StoredFile,
+                                        TransferState, file_checksum)
+from repro.iec104.time_tag import CP56Time2a
+
+
+def build(files=()):
+    master, outstation, pump = connect_pair()
+    server = FileServer(outstation)
+    for stored in files:
+        server.add_file(stored)
+    client = FileClient(master)
+    master.start_data_transfer()
+    pump()
+    return master, client, server, pump
+
+
+DISTURBANCE = StoredFile(name=7, data=b"COMTRADE" * 120,
+                         created=CP56Time2a(minute=30, hour=2,
+                                            day_of_month=14, month=3,
+                                            year=20))
+
+
+class TestDirectory:
+    def test_lists_files(self):
+        second = StoredFile(name=9, data=b"eventlog")
+        _, client, _, pump = build([DISTURBANCE, second])
+        client.request_directory()
+        pump()
+        assert [entry.file_name for entry in client.directory] == [7, 9]
+        assert client.directory[0].file_length == len(DISTURBANCE.data)
+        assert client.directory[0].time.day_of_month == 14
+
+    def test_empty_directory(self):
+        _, client, _, pump = build([])
+        client.request_directory()
+        pump()
+        assert client.directory == []
+
+
+class TestRetrieval:
+    def test_full_transfer(self):
+        _, client, _, pump = build([DISTURBANCE])
+        client.request_file(7)
+        pump()
+        assert client.state is TransferState.COMPLETE
+        received = client.received[0]
+        assert received.name == 7
+        assert received.data == DISTURBANCE.data
+        assert received.checksum_ok
+
+    def test_multi_segment_file(self):
+        big = StoredFile(name=3, data=bytes(range(256)) * 6)  # 1536 B
+        _, client, _, pump = build([big])
+        client.request_file(3)
+        pump()
+        assert client.received[0].data == big.data
+
+    def test_single_small_file(self):
+        tiny = StoredFile(name=2, data=b"x")
+        _, client, _, pump = build([tiny])
+        client.request_file(2)
+        pump()
+        assert client.received[0].data == b"x"
+
+    def test_unknown_file_fails(self):
+        _, client, _, pump = build([DISTURBANCE])
+        client.request_file(99)
+        pump()
+        assert client.state is TransferState.FAILED
+        assert client.received == []
+
+    def test_sequential_transfers(self):
+        second = StoredFile(name=9, data=b"second file")
+        _, client, _, pump = build([DISTURBANCE, second])
+        client.request_file(7)
+        pump()
+        client.request_file(9)
+        pump()
+        assert [r.name for r in client.received] == [7, 9]
+        assert client.received[1].data == b"second file"
+
+    def test_concurrent_request_rejected(self):
+        _, client, _, pump = build([DISTURBANCE])
+        client.request_file(7)  # not pumped: still in flight
+        with pytest.raises(IEC104Error):
+            client.request_file(7)
+
+    def test_requires_startdt(self):
+        master, outstation, pump = connect_pair()
+        FileServer(outstation).add_file(DISTURBANCE)
+        client = FileClient(master)
+        with pytest.raises(IEC104Error):
+            client.request_directory()
+
+
+class TestServer:
+    def test_file_management(self):
+        _, _, server, _ = build([DISTURBANCE])
+        assert server.file_count == 1
+        server.remove_file(7)
+        assert server.file_count == 0
+
+    def test_measurements_still_flow(self):
+        """The file service must not swallow ordinary reporting."""
+        from repro.iec104.constants import TypeID
+        from repro.iec104.information_elements import ShortFloat
+        master, client, server, pump = build([DISTURBANCE])
+        server.outstation.define_point(2001, TypeID.M_ME_NC_1,
+                                       ShortFloat(value=1.0))
+        server.outstation.update_point(2001, ShortFloat(value=2.0))
+        pump()
+        assert master.measurements[-1].element.value \
+            == pytest.approx(2.0)
+
+    def test_commands_still_reach_handler(self):
+        from repro.iec104.constants import TypeID
+        from repro.iec104.information_elements import SetpointFloat
+        commands = []
+        master, client, server, pump = build([DISTURBANCE])
+        # FileServer wraps on_command; a later handler must still fire.
+        inner = server.outstation.on_command
+
+        def outer(asdu):
+            commands.append(asdu)
+        # Register the application handler beneath the file dispatcher.
+        server.outstation.on_command = lambda asdu: (
+            inner(asdu), outer(asdu))[1] if False else (
+            inner(asdu) or outer(asdu))
+        master.send_command(TypeID.C_SE_NC_1, 100,
+                            SetpointFloat(value=5.0))
+        pump()
+        assert len(commands) == 1
+
+
+class TestChecksum:
+    def test_modulo_256(self):
+        assert file_checksum(b"\xff\x02") == 1
+        assert file_checksum(b"") == 0
+
+    @pytest.mark.parametrize("payload", [b"abc", bytes(range(256)),
+                                         b"\x00" * 1000])
+    def test_matches_transfer(self, payload):
+        stored = StoredFile(name=4, data=payload)
+        _, client, _, pump = build([stored])
+        client.request_file(4)
+        pump()
+        assert client.received[0].checksum_ok
+
+
+class TestValidation:
+    def test_file_name_range(self):
+        with pytest.raises(ValueError):
+            StoredFile(name=0, data=b"x")
+        with pytest.raises(ValueError):
+            StoredFile(name=1 << 16, data=b"x")

@@ -1,0 +1,188 @@
+"""IEC 101 FT1.2 framing and 101->104 gateway tests."""
+
+import pytest
+
+from repro.iec104.asdu import measurement
+from repro.iec104.codec import StrictParser, TolerantParser
+from repro.iec104.constants import Cause, TypeID
+from repro.iec104.errors import FramingError, TruncatedError
+from repro.iec104.gateway import (GatewayMode, Iec101To104Gateway)
+from repro.iec104.iec101 import (ACK_CHAR, AckFrame, Ft12Frame,
+                                 IEC101_PROFILE, LinkControl, SerialLine,
+                                 LinkFunction, decode_frame, encode_ack,
+                                 encode_fixed, encode_variable)
+from repro.iec104.information_elements import ShortFloat
+from repro.iec104.profiles import LEGACY_COT_PROFILE
+
+
+def serial_asdu(value=59.97, ioa=700):
+    return measurement(TypeID.M_ME_NC_1, ioa, ShortFloat(value=value),
+                       cause=Cause.SPONTANEOUS, common_address=3)
+
+
+def user_data(asdu=None) -> bytes:
+    control = LinkControl(function=LinkFunction.USER_DATA_CONFIRMED,
+                          prm=True, fcb=True, fcv=True)
+    return encode_variable(control, address=17,
+                           asdu=asdu or serial_asdu())
+
+
+class TestFt12Framing:
+    def test_ack_roundtrip(self):
+        frame, consumed = decode_frame(encode_ack())
+        assert isinstance(frame, AckFrame)
+        assert consumed == 1
+
+    def test_fixed_roundtrip(self):
+        control = LinkControl(function=LinkFunction.REQUEST_LINK_STATUS)
+        raw = encode_fixed(control, address=9)
+        frame, consumed = decode_frame(raw)
+        assert consumed == len(raw) == 5
+        assert frame.control == control
+        assert frame.address == 9
+        assert frame.asdu_bytes == b""
+
+    def test_variable_roundtrip(self):
+        raw = user_data()
+        frame, consumed = decode_frame(raw)
+        assert consumed == len(raw)
+        assert frame.address == 17
+        decoded = frame.decode_asdu()
+        assert decoded.objects[0].address == 700
+        assert decoded.common_address == 3
+
+    def test_variable_uses_101_widths(self):
+        """The embedded ASDU must be narrower than its 104 encoding."""
+        asdu = serial_asdu()
+        narrow = asdu.encode(IEC101_PROFILE)
+        wide = asdu.encode()
+        assert len(wide) - len(narrow) == 3  # COT+CA+IOA one octet each
+
+    def test_checksum_detects_corruption(self):
+        raw = bytearray(user_data())
+        raw[6] ^= 0xFF
+        with pytest.raises(FramingError):
+            decode_frame(bytes(raw))
+
+    def test_length_mismatch(self):
+        raw = bytearray(user_data())
+        raw[2] ^= 0x01
+        with pytest.raises(FramingError):
+            decode_frame(bytes(raw))
+
+    def test_truncated(self):
+        raw = user_data()
+        with pytest.raises(TruncatedError):
+            decode_frame(raw[:-3])
+
+    def test_bad_start(self):
+        with pytest.raises(FramingError):
+            decode_frame(b"\x99\x00")
+
+    def test_control_octet_bits(self):
+        control = LinkControl(function=3, prm=True, fcb=True, fcv=True)
+        assert LinkControl.decode(control.encode()) == control
+        with pytest.raises(FramingError):
+            LinkControl.decode(0x80)
+
+
+class TestSerialLine:
+    def test_split_multiple_frames(self):
+        line = SerialLine()
+        data = user_data() + encode_ack() + user_data(
+            serial_asdu(value=50.01, ioa=701))
+        frames = line.feed(data)
+        assert len(frames) == 3
+        assert isinstance(frames[1], AckFrame)
+
+    def test_partial_then_rest(self):
+        line = SerialLine()
+        raw = user_data()
+        assert line.feed(raw[:7]) == []
+        assert line.pending == 7
+        frames = line.feed(raw[7:])
+        assert len(frames) == 1
+
+    def test_resync_after_noise(self):
+        line = SerialLine()
+        frames = line.feed(b"\x01\x02\x03" + user_data())
+        assert len(frames) == 1
+        assert line.garbage == 3
+
+
+class TestGatewayRewrite:
+    def test_produces_standard_104(self):
+        gateway = Iec101To104Gateway(mode=GatewayMode.REWRITE)
+        frames = gateway.from_serial(user_data())
+        assert len(frames) == 1
+        parser = StrictParser()
+        result = parser.parse_frame(frames[0])
+        assert result.ok and result.compliant
+        asdu = result.apdu.asdu
+        assert asdu.objects[0].address == 700
+        assert asdu.objects[0].element.value == pytest.approx(59.97)
+
+    def test_common_address_remap(self):
+        gateway = Iec101To104Gateway(mode=GatewayMode.REWRITE,
+                                     common_address_map={3: 4101})
+        frames = gateway.from_serial(user_data())
+        result = TolerantParser().parse_frame(frames[0])
+        assert result.apdu.asdu.common_address == 4101
+
+    def test_sequence_numbers_advance(self):
+        gateway = Iec101To104Gateway()
+        first = gateway.from_serial(user_data())[0]
+        second = gateway.from_serial(user_data())[0]
+        parser = TolerantParser()
+        assert parser.parse_frame(first).apdu.send_seq == 0
+        assert parser.parse_frame(second).apdu.send_seq == 1
+
+    def test_link_service_frames_not_forwarded(self):
+        gateway = Iec101To104Gateway()
+        status = encode_fixed(
+            LinkControl(function=LinkFunction.REQUEST_LINK_STATUS), 17)
+        assert gateway.from_serial(status + encode_ack()) == []
+        assert gateway.stats.link_service_frames == 2
+
+    def test_garbage_asdu_counted_not_forwarded(self):
+        gateway = Iec101To104Gateway()
+        control = LinkControl(function=3, prm=True)
+        bogus = encode_variable(control, address=17,
+                                asdu=b"\xff\xff\xff\xff\xff")
+        assert gateway.from_serial(bogus) == []
+        assert gateway.stats.conversion_failures == 1
+
+
+class TestGatewayPassthrough:
+    """The lazy mode that reproduces the paper's §6.1 traffic."""
+
+    def test_strict_parser_rejects_output(self):
+        gateway = Iec101To104Gateway(mode=GatewayMode.PASSTHROUGH)
+        frames = gateway.from_serial(user_data())
+        result = StrictParser().parse_frame(frames[0])
+        assert not result.ok
+
+    def test_tolerant_parser_decodes_output(self):
+        gateway = Iec101To104Gateway(mode=GatewayMode.PASSTHROUGH)
+        frames = gateway.from_serial(user_data())
+        parser = TolerantParser()
+        result = parser.parse_frame(frames[0], link_key="O53")
+        assert result.ok
+        assert not result.compliant
+        # The inferred deviation is 101's 1-octet COT (+narrow CA/IOA).
+        profile = parser.profile_for("O53")
+        assert profile.cot_length == 1
+        assert result.apdu.asdu.objects[0].element.value \
+            == pytest.approx(59.97)
+
+    def test_both_modes_carry_identical_telemetry(self):
+        rewrite = Iec101To104Gateway(mode=GatewayMode.REWRITE)
+        lazy = Iec101To104Gateway(mode=GatewayMode.PASSTHROUGH)
+        data = user_data(serial_asdu(value=132.8, ioa=705))
+        good = TolerantParser().parse_frame(
+            rewrite.from_serial(data)[0]).apdu.asdu
+        quirky = TolerantParser().parse_frame(
+            lazy.from_serial(data)[0], link_key="x").apdu.asdu
+        assert good.objects[0].element.value == pytest.approx(
+            quirky.objects[0].element.value)
+        assert good.objects[0].address == quirky.objects[0].address

@@ -1,0 +1,137 @@
+"""Fig. 4 redundancy group tests: keep-alives and failover."""
+
+import pytest
+
+from repro.iec104.constants import ProtocolTimers, TypeID
+from repro.iec104.endpoint import (MasterEndpoint, OutstationEndpoint,
+                                   PipeTransport)
+from repro.iec104.information_elements import ShortFloat
+from repro.iec104.redundancy import LinkRole, RedundancyGroup
+
+
+def build(keepalive=30.0, timers=None):
+    """Two master links to two outstation endpoints + a pump."""
+    transports = {}
+    outstations = {}
+    masters = {}
+    for name in ("C1", "C2"):
+        a, b = PipeTransport.pair()
+        masters[name] = MasterEndpoint(a, timers=timers)
+        outstation = OutstationEndpoint(b, timers=timers)
+        outstation.define_point(2001, TypeID.M_ME_NC_1,
+                                ShortFloat(value=1.0))
+        outstations[name] = outstation
+        transports[name] = (a, b)
+
+    def pump():
+        while sum(a.pump() + b.pump()
+                  for a, b in transports.values()):
+            pass
+
+    group = RedundancyGroup(masters, preferred="C1",
+                            keepalive_period=keepalive)
+    pump()
+    return group, masters, outstations, pump
+
+
+class TestNormalOperation:
+    def test_initial_roles(self):
+        group, masters, outstations, pump = build()
+        assert group.active == "C1"
+        assert group.role_of("C2") is LinkRole.SECONDARY
+        assert masters["C1"].started
+        assert not masters["C2"].started
+
+    def test_promotion_interrogates(self):
+        group, masters, _, pump = build()
+        pump()
+        assert masters["C1"].measurements  # the interrogation answer
+
+    def test_secondary_keepalives(self):
+        group, masters, _, pump = build(keepalive=10.0)
+        for now in (10.0, 20.0, 30.0):
+            group.tick(now)
+            pump()
+        # Three TESTFR acts went out on the standby link.
+        assert masters["C2"].stats.sent_u >= 3
+        assert masters["C2"].stats.received_u >= 3  # confirmed
+        # The primary link carried no keep-alives from the group.
+        assert group.active == "C1"
+
+    def test_healthy(self):
+        group, _, _, _ = build()
+        assert group.healthy
+
+
+class TestFailover:
+    def test_transport_loss_promotes_backup(self):
+        group, masters, _, pump = build()
+        group.report_transport_loss("C1")
+        pump()
+        assert group.active == "C2"
+        assert masters["C2"].started
+        assert group.role_of("C1") is LinkRole.FAILED
+        assert group.history[-1].reason == "transport loss"
+
+    def test_t1_expiry_promotes_backup(self):
+        timers = ProtocolTimers(t1=10.0, t2=5.0, t3=5.0)
+        group, masters, outstations, pump = build(timers=timers)
+        # Cut C1's pipe so its TESTFR act is never answered.
+        masters["C1"].transport.peer = None
+        group.tick(6.0)    # T3 -> TESTFR act on C1 (lost)
+        pump()             # C2's keep-alive is confirmed; C1's is not
+        group.tick(17.0)   # T1 expiry -> on_close_request -> failover
+        pump()
+        assert group.active == "C2"
+        assert masters["C2"].started
+
+    def test_promoted_backup_interrogates(self):
+        group, masters, _, pump = build()
+        group.report_transport_loss("C1")
+        pump()
+        assert masters["C2"].measurements
+
+    def test_total_outage_leaves_no_active(self):
+        group, masters, _, pump = build()
+        masters["C2"].transport.peer = None
+        masters["C2"].closed = True
+        group.report_transport_loss("C1")
+        assert group.active is None
+        assert not group.healthy
+
+    def test_history_records_switchovers(self):
+        group, _, _, pump = build()
+        group.report_transport_loss("C1")
+        pump()
+        assert [event.to_link for event in group.history] \
+            == ["C1", "C2"]
+
+
+class TestValidation:
+    def test_needs_two_links(self):
+        a, _ = PipeTransport.pair()
+        with pytest.raises(ValueError):
+            RedundancyGroup({"C1": MasterEndpoint(a)})
+
+    def test_unknown_preferred(self):
+        links = {}
+        for name in ("C1", "C2"):
+            a, b = PipeTransport.pair()
+            links[name] = MasterEndpoint(a)
+            OutstationEndpoint(b)
+        with pytest.raises(KeyError):
+            RedundancyGroup(links, preferred="C9")
+
+    def test_unknown_transport_loss(self):
+        group, _, _, _ = build()
+        with pytest.raises(KeyError):
+            group.report_transport_loss("C9")
+
+    def test_keepalive_validation(self):
+        links = {}
+        for name in ("C1", "C2"):
+            a, b = PipeTransport.pair()
+            links[name] = MasterEndpoint(a)
+            OutstationEndpoint(b)
+        with pytest.raises(ValueError):
+            RedundancyGroup(links, keepalive_period=0.0)

@@ -1,0 +1,101 @@
+"""Endpoints over real OS sockets."""
+
+import socket
+import threading
+
+import pytest
+
+from repro.iec104.constants import Cause, TypeID
+from repro.iec104.endpoint import OutstationEndpoint
+from repro.iec104.information_elements import SetpointFloat, ShortFloat
+from repro.iec104.socket_transport import (SocketTransport,
+                                           connect_master,
+                                           serve_outstation,
+                                           socketpair_endpoints)
+
+
+class TestSocketpair:
+    def test_full_conversation(self):
+        master, outstation, pump = socketpair_endpoints()
+        outstation.define_point(2001, TypeID.M_ME_NC_1,
+                                ShortFloat(value=59.98))
+        master.start_data_transfer()
+        pump()
+        assert master.started and outstation.started
+
+        master.interrogate()
+        pump()
+        assert [m.ioa for m in master.measurements] == [2001]
+
+        outstation.update_point(2001, ShortFloat(value=60.01))
+        pump()
+        assert master.measurements[-1].cause is Cause.SPONTANEOUS
+
+        master.send_command(TypeID.C_SE_NC_1, 100,
+                            SetpointFloat(value=42.0))
+        pump()
+        assert master.stats.received_i >= 3
+
+    def test_byte_accounting(self):
+        master, outstation, pump = socketpair_endpoints()
+        master.start_data_transfer()
+        pump()
+        assert master.transport.bytes_sent == 6      # STARTDT act
+        assert master.transport.bytes_received == 6  # STARTDT con
+
+    def test_closed_transport_raises(self):
+        master, _, pump = socketpair_endpoints()
+        master.transport.close()
+        with pytest.raises(OSError):
+            master.send_test_frame()
+
+
+class TestRealTcp:
+    def test_master_connects_over_loopback(self):
+        ready = threading.Event()
+        bound = {}
+
+        def note_port(port):
+            bound["port"] = port
+            ready.set()
+
+        result = {}
+
+        def server():
+            outstation = serve_outstation(
+                lambda transport: OutstationEndpoint(transport),
+                port=0, ready=note_port)
+            outstation.define_point(1, TypeID.M_ME_NC_1,
+                                    ShortFloat(value=1.25))
+            outstation.transport.pump_until_idle(timeout=0.2)
+            result["outstation"] = outstation
+
+        thread = threading.Thread(target=server, daemon=True)
+        thread.start()
+        assert ready.wait(5.0)
+        master = connect_master(port=bound["port"])
+        master.start_data_transfer()
+        master.transport.pump_until_idle(timeout=0.2)
+        thread.join(5.0)
+        assert master.started
+        assert result["outstation"].started
+        master.transport.close()
+
+    def test_pump_timeout_returns_zero(self):
+        left, right = socket.socketpair()
+        transport = SocketTransport(left)
+        assert transport.pump(timeout=0.01) == 0
+        left.close(), right.close()
+
+    def test_peer_close_raises(self):
+        left, right = socket.socketpair()
+        transport = SocketTransport(left)
+        right.close()
+        with pytest.raises(ConnectionError):
+            transport.pump(timeout=0.5)
+
+    def test_receive_size_validation(self):
+        left, right = socket.socketpair()
+        with pytest.raises(ValueError):
+            SocketTransport(left, receive_size=0)
+        left.close(), right.close()

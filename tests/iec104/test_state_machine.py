@@ -1,0 +1,207 @@
+"""Connection state machine tests: STARTDT, windows, timers T1-T3."""
+
+import pytest
+
+from repro.iec104.apci import IFrame, SFrame, UFrame
+from repro.iec104.asdu import measurement
+from repro.iec104.constants import ProtocolTimers, TypeID, UFunction
+from repro.iec104.errors import SequenceError, StateError
+from repro.iec104.information_elements import ShortFloat
+from repro.iec104.state_machine import (ActionKind, ConnectionMachine,
+                                        TransferState, seq_distance)
+
+
+def asdu():
+    return measurement(TypeID.M_ME_NC_1, 1, ShortFloat(value=1.0))
+
+
+def started_pair(k=12, w=8):
+    """A server/outstation machine pair after the STARTDT handshake."""
+    server = ConnectionMachine(is_controlling=True, k=k, w=w)
+    outstation = ConnectionMachine(is_controlling=False, k=k, w=w)
+    server.connection_opened(0.0)
+    outstation.connection_opened(0.0)
+    act = server.start_transfer()
+    server.on_send(act, 0.0)
+    actions = outstation.on_receive(act, 0.01)
+    assert actions[0].kind is ActionKind.SEND_STARTDT_CON
+    con = UFrame(UFunction.STARTDT_CON)
+    outstation.on_send(con, 0.01)
+    server.on_receive(con, 0.02)
+    return server, outstation
+
+
+class TestSeqDistance:
+    def test_simple(self):
+        assert seq_distance(0, 5) == 5
+
+    def test_wraparound(self):
+        assert seq_distance(32760, 3) == 11
+
+
+class TestStartStop:
+    def test_initial_state_is_stopped(self):
+        machine = ConnectionMachine()
+        assert machine.state is TransferState.STOPPED
+
+    def test_startdt_handshake(self):
+        server, outstation = started_pair()
+        assert server.state is TransferState.STARTED
+        assert outstation.state is TransferState.STARTED
+
+    def test_only_controlling_sends_startdt(self):
+        outstation = ConnectionMachine(is_controlling=False)
+        with pytest.raises(StateError):
+            outstation.start_transfer()
+
+    def test_stopdt_handshake(self):
+        server, outstation = started_pair()
+        act = server.stop_transfer()
+        server.on_send(act, 1.0)
+        actions = outstation.on_receive(act, 1.01)
+        assert actions[0].kind is ActionKind.SEND_STOPDT_CON
+        con = UFrame(UFunction.STOPDT_CON)
+        outstation.on_send(con, 1.01)
+        server.on_receive(con, 1.02)
+        assert server.state is TransferState.STOPPED
+        assert outstation.state is TransferState.STOPPED
+
+    def test_unexpected_startdt_con(self):
+        machine = ConnectionMachine(is_controlling=True)
+        with pytest.raises(StateError):
+            machine.on_receive(UFrame(UFunction.STARTDT_CON), 0.0)
+
+    def test_i_frame_in_stopped_state_rejected(self):
+        machine = ConnectionMachine()
+        with pytest.raises(StateError):
+            machine.on_receive(IFrame(asdu=asdu()), 0.0)
+
+    def test_cannot_send_i_when_stopped(self):
+        machine = ConnectionMachine()
+        with pytest.raises(StateError):
+            machine.next_i_frame(asdu())
+
+
+class TestSequenceNumbers:
+    def test_send_seq_increments(self):
+        _, outstation = started_pair()
+        f1 = outstation.next_i_frame(asdu())
+        f2 = outstation.next_i_frame(asdu())
+        assert (f1.send_seq, f2.send_seq) == (0, 1)
+
+    def test_receiver_tracks_and_rejects_gaps(self):
+        server, outstation = started_pair()
+        frame = outstation.next_i_frame(asdu())
+        server.on_receive(frame, 0.1)
+        assert server.recv_seq == 1
+        skipped = IFrame(asdu=asdu(), send_seq=5, recv_seq=0)
+        with pytest.raises(SequenceError):
+            server.on_receive(skipped, 0.2)
+
+    def test_ack_beyond_sent_rejected(self):
+        server, outstation = started_pair()
+        with pytest.raises(SequenceError):
+            outstation.on_receive(SFrame(recv_seq=3), 0.1)
+
+    def test_s_frame_acknowledges(self):
+        server, outstation = started_pair()
+        for _ in range(3):
+            frame = outstation.next_i_frame(asdu())
+            outstation.on_send(frame, 0.1)
+        assert outstation.unacked_sent == 3
+        outstation.on_receive(SFrame(recv_seq=3), 0.2)
+        assert outstation.unacked_sent == 0
+
+
+class TestWindows:
+    def test_k_window_blocks_sending(self):
+        _, outstation = started_pair(k=2, w=1)
+        outstation.next_i_frame(asdu())
+        outstation.next_i_frame(asdu())
+        assert not outstation.can_send_i
+        with pytest.raises(SequenceError):
+            outstation.next_i_frame(asdu())
+
+    def test_w_window_triggers_ack(self):
+        server, outstation = started_pair(k=12, w=3)
+        actions = []
+        for _ in range(3):
+            frame = outstation.next_i_frame(asdu())
+            outstation.on_send(frame, 0.1)
+            actions = server.on_receive(frame, 0.1)
+        assert actions[0].kind is ActionKind.SEND_S_ACK
+        assert actions[0].recv_seq == 3
+
+    def test_w_greater_than_k_rejected(self):
+        with pytest.raises(ValueError):
+            ConnectionMachine(k=2, w=4)
+
+
+class TestTimers:
+    def test_t2_triggers_ack(self):
+        server, outstation = started_pair()
+        frame = outstation.next_i_frame(asdu())
+        server.on_receive(frame, 1.0)
+        actions = server.poll(1.0 + server.timers.t2 + 0.1)
+        assert any(a.kind is ActionKind.SEND_S_ACK for a in actions)
+
+    def test_t2_not_early(self):
+        server, outstation = started_pair()
+        frame = outstation.next_i_frame(asdu())
+        server.on_receive(frame, 1.0)
+        assert server.poll(1.0 + server.timers.t2 - 1.0) == []
+
+    def test_t3_triggers_testfr(self):
+        server, _ = started_pair()
+        actions = server.poll(0.02 + server.timers.t3 + 0.1)
+        assert any(a.kind is ActionKind.SEND_TESTFR_ACT for a in actions)
+
+    def test_t1_unanswered_testfr_closes(self):
+        server, _ = started_pair()
+        testfr = UFrame(UFunction.TESTFR_ACT)
+        server.on_send(testfr, 5.0)
+        actions = server.poll(5.0 + server.timers.t1 + 0.1)
+        assert actions[0].kind is ActionKind.CLOSE_CONNECTION
+
+    def test_testfr_con_cancels_t1(self):
+        server, _ = started_pair()
+        server.on_send(UFrame(UFunction.TESTFR_ACT), 5.0)
+        server.on_receive(UFrame(UFunction.TESTFR_CON), 5.1)
+        assert server.poll(5.0 + server.timers.t1 + 1.0) == []
+
+    def test_t1_unacked_i_closes(self):
+        _, outstation = started_pair()
+        frame = outstation.next_i_frame(asdu())
+        outstation.on_send(frame, 2.0)
+        actions = outstation.poll(2.0 + outstation.timers.t1 + 0.1)
+        assert actions[0].kind is ActionKind.CLOSE_CONNECTION
+
+    def test_testfr_act_answered(self):
+        server, outstation = started_pair()
+        actions = outstation.on_receive(UFrame(UFunction.TESTFR_ACT), 3.0)
+        assert actions[0].kind is ActionKind.SEND_TESTFR_CON
+
+    def test_timer_validation(self):
+        with pytest.raises(ValueError):
+            ProtocolTimers(t2=20.0, t1=15.0)  # violates t2 < t1
+        with pytest.raises(ValueError):
+            ProtocolTimers(t0=-1.0)
+
+    def test_misconfigured_t3_delays_keepalive(self):
+        """The paper's C2-O30: a T3 of 430 s instead of ~30 s."""
+        timers = ProtocolTimers(t3=430.0)
+        machine = ConnectionMachine(timers=timers)
+        machine.connection_opened(0.0)
+        assert machine.poll(60.0) == []
+        actions = machine.poll(430.5)
+        assert any(a.kind is ActionKind.SEND_TESTFR_ACT for a in actions)
+
+
+class TestReset:
+    def test_connection_opened_resets(self):
+        server, outstation = started_pair()
+        frame = outstation.next_i_frame(asdu())
+        server.on_receive(frame, 1.0)
+        server.connection_opened(10.0)
+        assert server.state is TransferState.STOPPED
+        assert server.send_seq == 0 and server.recv_seq == 0

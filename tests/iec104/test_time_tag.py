@@ -1,0 +1,95 @@
+"""CP56Time2a / CP16Time2a encoding tests."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.iec104.errors import MalformedASDUError
+from repro.iec104.time_tag import CP16Time2a, CP56Time2a
+
+
+class TestCP56Roundtrip:
+    def test_encode_size(self):
+        assert len(CP56Time2a().encode()) == 7
+
+    def test_roundtrip_simple(self):
+        tag = CP56Time2a(milliseconds=45123, minute=12, hour=9,
+                         day_of_month=17, day_of_week=3, month=6, year=21)
+        assert CP56Time2a.decode(tag.encode()) == tag
+
+    def test_roundtrip_flags(self):
+        tag = CP56Time2a(invalid=True, summer_time=True)
+        decoded = CP56Time2a.decode(tag.encode())
+        assert decoded.invalid and decoded.summer_time
+
+    def test_decode_at_offset(self):
+        tag = CP56Time2a(minute=5)
+        data = b"\xff\xff" + tag.encode()
+        assert CP56Time2a.decode(data, offset=2) == tag
+
+    def test_truncated_raises(self):
+        with pytest.raises(MalformedASDUError):
+            CP56Time2a.decode(b"\x00\x01\x02")
+
+    @given(st.floats(min_value=0.0, max_value=3.0e9,
+                     allow_nan=False, allow_infinity=False))
+    def test_from_seconds_roundtrip(self, seconds):
+        tag = CP56Time2a.from_seconds(seconds)
+        # Millisecond quantization is the only loss allowed.
+        assert abs(tag.to_seconds() - seconds) < 0.001
+
+    @given(st.floats(min_value=0.0, max_value=3.0e9, allow_nan=False),
+           st.floats(min_value=0.0, max_value=3.0e9, allow_nan=False))
+    def test_from_seconds_monotonic(self, a, b):
+        low, high = min(a, b), max(a, b)
+        assert (CP56Time2a.from_seconds(low)
+                <= CP56Time2a.from_seconds(high))
+
+    def test_from_seconds_rejects_negative(self):
+        with pytest.raises(ValueError):
+            CP56Time2a.from_seconds(-1.0)
+
+    def test_from_seconds_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            CP56Time2a.from_seconds(4e9)  # year > 99
+
+
+class TestCP56Validation:
+    @pytest.mark.parametrize("field,value", [
+        ("milliseconds", 60000), ("milliseconds", -1),
+        ("minute", 60), ("hour", 24), ("day_of_month", 0),
+        ("day_of_month", 32), ("month", 0), ("month", 13),
+        ("year", 100), ("day_of_week", 8),
+    ])
+    def test_out_of_range_fields(self, field, value):
+        with pytest.raises(ValueError):
+            CP56Time2a(**{field: value})
+
+    def test_ordering(self):
+        early = CP56Time2a(minute=1)
+        late = CP56Time2a(minute=2)
+        assert early < late
+
+    def test_decode_masks_reserved_bits(self):
+        # Octet 6 (month) high nibble is reserved; it must be ignored.
+        tag = CP56Time2a(month=5)
+        raw = bytearray(tag.encode())
+        raw[5] |= 0xF0
+        assert CP56Time2a.decode(bytes(raw)).month == 5
+
+
+class TestCP16:
+    def test_roundtrip(self):
+        tag = CP16Time2a(milliseconds=31999)
+        assert CP16Time2a.decode(tag.encode()) == tag
+
+    def test_bounds(self):
+        with pytest.raises(ValueError):
+            CP16Time2a(milliseconds=60000)
+
+    def test_decode_rejects_out_of_range(self):
+        with pytest.raises(MalformedASDUError):
+            CP16Time2a.decode(b"\xff\xff")
+
+    def test_truncated(self):
+        with pytest.raises(MalformedASDUError):
+            CP16Time2a.decode(b"\x01")

@@ -1,0 +1,136 @@
+"""Display-filter DSL tests."""
+
+import pytest
+
+from repro.netstack.addresses import IPv4Address, MacAddress, ipv4, mac
+from repro.netstack.filter import (FilterError, compile_filter,
+                                   filter_packets)
+from repro.netstack.packet import CapturedPacket
+from repro.netstack.tcp import PSH_ACK, RST_ACK, SYN, TCPSegment
+
+A = ipv4("10.0.0.1")
+B = ipv4("10.1.0.7")
+M1 = mac("02:00:00:00:00:01")
+M2 = mac("02:00:00:00:00:02")
+NAMES = {A: "C1", B: "O7"}
+
+
+def pkt(sport=40000, dport=2404, flags=PSH_ACK, payload=b"x",
+        src=A, dst=B):
+    segment = TCPSegment(src_port=sport, dst_port=dport, seq=1,
+                         flags=flags, payload=payload)
+    return CapturedPacket.build(0.0, M1, M2, src, dst, segment)
+
+
+class TestComparisons:
+    def test_ip_src(self):
+        predicate = compile_filter("ip.src == 10.0.0.1")
+        assert predicate(pkt())
+        assert not predicate(pkt(src=B, dst=A))
+
+    def test_ip_addr_either_side(self):
+        predicate = compile_filter("ip.addr == 10.1.0.7")
+        assert predicate(pkt())
+        assert predicate(pkt(src=B, dst=A))
+        assert not predicate(pkt(dst=ipv4("10.9.9.9")))
+
+    def test_ip_addr_not_equal_means_neither(self):
+        predicate = compile_filter("ip.addr != 10.1.0.7")
+        assert not predicate(pkt())
+        assert predicate(pkt(src=A, dst=ipv4("10.9.9.9")))
+
+    def test_ports(self):
+        assert compile_filter("tcp.dstport == 2404")(pkt())
+        assert compile_filter("tcp.port == 40000")(pkt())
+        assert compile_filter("tcp.srcport >= 40000")(pkt())
+        assert not compile_filter("tcp.srcport < 40000")(pkt())
+
+    def test_payload_length(self):
+        assert compile_filter("tcp.payload > 0")(pkt())
+        assert not compile_filter("tcp.payload > 0")(pkt(payload=b""))
+
+    def test_flags(self):
+        assert compile_filter("tcp.flags.syn")(pkt(flags=SYN))
+        assert not compile_filter("tcp.flags.syn")(pkt())
+        assert compile_filter("tcp.flags.rst")(pkt(flags=RST_ACK))
+
+    def test_iec104_keyword(self):
+        assert compile_filter("iec104")(pkt())
+        assert not compile_filter("iec104")(pkt(dport=102))
+        assert compile_filter("iec104")(pkt(sport=2404, dport=5000))
+
+    def test_host_names(self):
+        predicate = compile_filter("host == O7", names=NAMES)
+        assert predicate(pkt())
+        predicate = compile_filter("host.src == C1", names=NAMES)
+        assert predicate(pkt())
+        assert not predicate(pkt(src=B, dst=A))
+
+    def test_unnamed_host_falls_back_to_address(self):
+        predicate = compile_filter("host.src == 10.0.0.1")
+        assert predicate(pkt())
+
+
+class TestBooleanAlgebra:
+    def test_and(self):
+        predicate = compile_filter(
+            "iec104 and tcp.flags.syn")
+        assert predicate(pkt(flags=SYN))
+        assert not predicate(pkt())
+
+    def test_or(self):
+        predicate = compile_filter(
+            "tcp.dstport == 102 or tcp.dstport == 2404")
+        assert predicate(pkt())
+        assert predicate(pkt(dport=102))
+        assert not predicate(pkt(dport=80))
+
+    def test_not(self):
+        predicate = compile_filter("not tcp.flags.rst")
+        assert predicate(pkt())
+        assert not predicate(pkt(flags=RST_ACK))
+
+    def test_parentheses_and_precedence(self):
+        # and binds tighter than or.
+        tight = compile_filter(
+            "tcp.dstport == 80 or tcp.dstport == 2404 and "
+            "tcp.flags.syn")
+        assert not tight(pkt())  # 2404 but no SYN, not 80
+        grouped = compile_filter(
+            "(tcp.dstport == 80 or tcp.dstport == 2404) and "
+            "not tcp.flags.rst")
+        assert grouped(pkt())
+
+    def test_double_not(self):
+        predicate = compile_filter("not not iec104")
+        assert predicate(pkt())
+
+
+class TestErrors:
+    @pytest.mark.parametrize("bad", [
+        "", "ip.src ==", "== 5", "bogus.field == 1",
+        "tcp.port == notanumber", "ip.src == 999.1.1.1",
+        "iec104 and", "(iec104", "iec104 extra",
+        "tcp.flags.syn == 1 ?",
+    ])
+    def test_invalid_filters(self, bad):
+        with pytest.raises(FilterError):
+            compile_filter(bad)
+
+
+class TestFilterPackets:
+    def test_slicing(self):
+        packets = [pkt(), pkt(dport=102), pkt(flags=SYN)]
+        kept = filter_packets(packets, "iec104")
+        assert len(kept) == 2
+
+    def test_on_synthetic_capture(self, y1_capture):
+        names = y1_capture.host_names()
+        rst = filter_packets(y1_capture.packets,
+                             "tcp.flags.rst and host == O5",
+                             names=names)
+        assert rst
+        assert all(packet.flags.rst for packet in rst)
+        o5 = y1_capture.network["O5"].ip
+        assert all(o5 in (packet.ip.src, packet.ip.dst)
+                   for packet in rst)

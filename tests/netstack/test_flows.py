@@ -1,0 +1,100 @@
+"""Flow table / connection tracking tests."""
+
+from repro.netstack.addresses import ipv4, mac
+from repro.netstack.flows import FlowKind, FlowTable
+from repro.netstack.packet import CapturedPacket
+from repro.netstack.tcp import (ACK, FIN_ACK, PSH_ACK, RST_ACK, SYN,
+                                SYN_ACK, TCPSegment)
+
+CLIENT_IP = ipv4("10.0.0.1")
+SERVER_IP = ipv4("10.1.0.5")
+CLIENT_MAC = mac("02:00:00:00:00:01")
+SERVER_MAC = mac("02:00:00:00:00:02")
+
+
+def pkt(t, sport, dport, flags, payload=b"", reverse=False):
+    segment = TCPSegment(src_port=sport, dst_port=dport, seq=100, ack=1,
+                         flags=flags, payload=payload)
+    if reverse:
+        return CapturedPacket.build(t, SERVER_MAC, CLIENT_MAC, SERVER_IP,
+                                    CLIENT_IP, segment)
+    return CapturedPacket.build(t, CLIENT_MAC, SERVER_MAC, CLIENT_IP,
+                                SERVER_IP, segment)
+
+
+def handshake(table, t0, sport=40000, dport=2404):
+    table.add(pkt(t0, sport, dport, SYN))
+    table.add(pkt(t0 + 0.001, dport, sport, SYN_ACK, reverse=True))
+    table.add(pkt(t0 + 0.002, sport, dport, ACK))
+
+
+class TestFlowTable:
+    def test_both_directions_one_flow(self):
+        table = FlowTable()
+        handshake(table, 0.0)
+        assert len(table) == 1
+        flow = table.flows[0]
+        assert flow.forward.packets + flow.reverse.packets == 3
+
+    def test_short_lived_with_fin(self):
+        table = FlowTable()
+        handshake(table, 0.0)
+        table.add(pkt(0.5, 40000, 2404, FIN_ACK))
+        flow = table.flows[0]
+        assert flow.kind is FlowKind.SHORT_LIVED
+        assert flow.duration == 0.5
+
+    def test_short_lived_with_rst(self):
+        table = FlowTable()
+        handshake(table, 0.0)
+        table.add(pkt(0.02, 2404, 40000, RST_ACK, reverse=True))
+        assert table.flows[0].kind is FlowKind.SHORT_LIVED
+
+    def test_long_lived_no_syn(self):
+        table = FlowTable()
+        table.add(pkt(1.0, 40000, 2404, PSH_ACK, payload=b"data"))
+        table.add(pkt(9.0, 40000, 2404, FIN_ACK))
+        assert table.flows[0].kind is FlowKind.LONG_LIVED
+
+    def test_long_lived_no_termination(self):
+        table = FlowTable()
+        handshake(table, 0.0)
+        table.add(pkt(5.0, 40000, 2404, PSH_ACK, payload=b"data"))
+        assert table.flows[0].kind is FlowKind.LONG_LIVED
+
+    def test_initiator_identified(self):
+        table = FlowTable()
+        handshake(table, 0.0)
+        flow = table.flows[0]
+        assert flow.initiator is not None
+        assert flow.initiator.src.port == 40000
+
+    def test_rejected_predicate(self):
+        table = FlowTable()
+        handshake(table, 0.0)
+        table.add(pkt(0.01, 2404, 40000, RST_ACK, reverse=True))
+        assert table.flows[0].rejected
+
+    def test_rejected_requires_no_payload(self):
+        table = FlowTable()
+        handshake(table, 0.0)
+        table.add(pkt(0.01, 40000, 2404, PSH_ACK,
+                      payload=b"0123456789ABCDEF"))
+        table.add(pkt(0.02, 2404, 40000, RST_ACK, reverse=True))
+        assert not table.flows[0].rejected
+
+    def test_distinct_ports_distinct_flows(self):
+        table = FlowTable()
+        handshake(table, 0.0, sport=40000)
+        handshake(table, 1.0, sport=40001)
+        assert len(table) == 2
+
+    def test_byte_accounting(self):
+        table = FlowTable()
+        packet = pkt(0.0, 40000, 2404, PSH_ACK, payload=b"12345")
+        table.add(packet)
+        flow = table.flows[0]
+        assert flow.bytes == packet.wire_length
+        total_payload = (flow.forward.payload_bytes
+                         + flow.reverse.payload_bytes)
+        assert total_payload == 5

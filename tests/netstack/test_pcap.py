@@ -1,0 +1,128 @@
+"""libpcap file format tests."""
+
+import io
+import struct
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.netstack.pcap import (LINKTYPE_ETHERNET, MAGIC_NSEC, PcapError,
+                                 PcapReader, PcapRecord, PcapWriter,
+                                 read_pcap, write_pcap)
+
+
+def roundtrip(records, snaplen=65535):
+    buffer = io.BytesIO()
+    PcapWriter(buffer, snaplen=snaplen).write_all(records)
+    buffer.seek(0)
+    return list(PcapReader(buffer))
+
+
+class TestRoundtrip:
+    def test_single_record(self):
+        records = roundtrip([PcapRecord(timestamp=12.345678,
+                                        data=b"\xAA" * 60)])
+        assert len(records) == 1
+        assert records[0].data == b"\xAA" * 60
+        assert records[0].timestamp == pytest.approx(12.345678, abs=1e-6)
+
+    def test_many_records_preserve_order(self):
+        inputs = [PcapRecord(timestamp=float(i), data=bytes([i]) * 10)
+                  for i in range(50)]
+        outputs = roundtrip(inputs)
+        assert [r.data for r in outputs] == [r.data for r in inputs]
+
+    def test_empty_file(self):
+        assert roundtrip([]) == []
+
+    def test_snaplen_truncates(self):
+        records = roundtrip([PcapRecord(timestamp=0.0, data=b"x" * 100)],
+                            snaplen=40)
+        assert len(records[0].data) == 40
+        assert records[0].original_length == 100
+        assert records[0].truncated
+
+    def test_microsecond_rollover(self):
+        # 0.9999996 rounds to 1000000 us, which must carry into seconds.
+        records = roundtrip([PcapRecord(timestamp=1.9999996, data=b"x")])
+        assert records[0].timestamp == pytest.approx(2.0, abs=1e-6)
+
+    @given(st.lists(st.tuples(
+        st.floats(min_value=0.0, max_value=1e9, allow_nan=False),
+        st.binary(min_size=0, max_size=100)), max_size=20))
+    def test_roundtrip_property(self, entries):
+        inputs = [PcapRecord(timestamp=t, data=d) for t, d in entries]
+        outputs = roundtrip(inputs)
+        assert len(outputs) == len(inputs)
+        for before, after in zip(inputs, outputs):
+            assert after.data == before.data
+            assert after.timestamp == pytest.approx(before.timestamp,
+                                                    abs=1e-6)
+
+
+class TestHeader:
+    def test_header_fields(self):
+        buffer = io.BytesIO()
+        PcapWriter(buffer, snaplen=1234)
+        buffer.seek(0)
+        reader = PcapReader(buffer)
+        assert reader.version == (2, 4)
+        assert reader.snaplen == 1234
+        assert reader.linktype == LINKTYPE_ETHERNET
+
+    def test_nanosecond_magic(self):
+        buffer = io.BytesIO()
+        buffer.write(struct.pack("<IHHiIII", MAGIC_NSEC, 2, 4, 0, 0,
+                                 65535, 1))
+        buffer.write(struct.pack("<IIII", 10, 500_000_000, 3, 3))
+        buffer.write(b"abc")
+        buffer.seek(0)
+        records = list(PcapReader(buffer))
+        assert records[0].timestamp == pytest.approx(10.5)
+
+    def test_big_endian(self):
+        buffer = io.BytesIO()
+        buffer.write(struct.pack(">IHHiIII", 0xA1B2C3D4, 2, 4, 0, 0,
+                                 65535, 1))
+        buffer.write(struct.pack(">IIII", 7, 250_000, 2, 2))
+        buffer.write(b"hi")
+        buffer.seek(0)
+        records = list(PcapReader(buffer))
+        assert records[0].timestamp == pytest.approx(7.25)
+        assert records[0].data == b"hi"
+
+
+class TestErrors:
+    def test_bad_magic(self):
+        with pytest.raises(PcapError):
+            PcapReader(io.BytesIO(b"\x00" * 24))
+
+    def test_truncated_global_header(self):
+        with pytest.raises(PcapError):
+            PcapReader(io.BytesIO(b"\xd4\xc3\xb2\xa1"))
+
+    def test_truncated_record_header(self):
+        buffer = io.BytesIO()
+        PcapWriter(buffer)
+        buffer.write(b"\x01\x02")
+        buffer.seek(0)
+        with pytest.raises(PcapError):
+            list(PcapReader(buffer))
+
+    def test_truncated_record_body(self):
+        buffer = io.BytesIO()
+        PcapWriter(buffer)
+        buffer.write(struct.pack("<IIII", 0, 0, 100, 100))
+        buffer.write(b"short")
+        buffer.seek(0)
+        with pytest.raises(PcapError):
+            list(PcapReader(buffer))
+
+
+class TestFileHelpers:
+    def test_write_read_path(self, tmp_path):
+        path = tmp_path / "capture.pcap"
+        count = write_pcap(path, [PcapRecord(timestamp=1.0, data=b"abc")])
+        assert count == 1
+        records = read_pcap(path)
+        assert records[0].data == b"abc"

@@ -1,0 +1,134 @@
+"""pcapng reader tests (blocks are hand-assembled)."""
+
+import io
+import struct
+
+import pytest
+
+from repro.netstack.pcapng import (PcapngError, PcapngReader,
+                                   read_pcapng, sniff_format)
+
+
+def pad4(data: bytes) -> bytes:
+    return data + b"\x00" * ((4 - len(data) % 4) % 4)
+
+
+def block(block_type: int, body: bytes, endian="<") -> bytes:
+    body = pad4(body)
+    length = 12 + len(body)
+    return (struct.pack(endian + "II", block_type, length) + body
+            + struct.pack(endian + "I", length))
+
+
+def shb(endian="<") -> bytes:
+    body = struct.pack(endian + "IHHq", 0x1A2B3C4D, 1, 0, -1)
+    return block(0x0A0D0D0A, body, endian)
+
+
+def idb(linktype=1, options=b"", endian="<") -> bytes:
+    body = struct.pack(endian + "HHI", linktype, 0, 0) + options
+    return block(0x00000001, body, endian)
+
+
+def epb(interface=0, ticks=5_000_000, data=b"\xAA" * 20,
+        endian="<") -> bytes:
+    body = struct.pack(endian + "IIIII", interface, ticks >> 32,
+                       ticks & 0xFFFFFFFF, len(data), len(data))
+    return block(0x00000006, body + pad4(data), endian)
+
+
+class TestReader:
+    def test_single_packet(self):
+        stream = io.BytesIO(shb() + idb() + epb())
+        records = list(PcapngReader(stream))
+        assert len(records) == 1
+        assert records[0].timestamp == pytest.approx(5.0)  # 5e6 us
+        assert records[0].data == b"\xAA" * 20
+
+    def test_multiple_packets_and_interfaces(self):
+        stream = io.BytesIO(shb() + idb() + idb()
+                            + epb(interface=0, ticks=1_000_000)
+                            + epb(interface=1, ticks=2_000_000))
+        records = list(PcapngReader(stream))
+        assert [round(r.timestamp, 3) for r in records] == [1.0, 2.0]
+
+    def test_tsresol_option(self):
+        # if_tsresol = 3 (milliseconds).
+        options = struct.pack("<HH", 9, 1) + b"\x03\x00\x00\x00"
+        options += struct.pack("<HH", 0, 0)
+        stream = io.BytesIO(shb() + idb(options=options)
+                            + epb(ticks=1500))
+        records = list(PcapngReader(stream))
+        assert records[0].timestamp == pytest.approx(1.5)
+
+    def test_big_endian_section(self):
+        stream = io.BytesIO(shb(">") + idb(endian=">")
+                            + epb(ticks=3_000_000, endian=">"))
+        records = list(PcapngReader(stream))
+        assert records[0].timestamp == pytest.approx(3.0)
+
+    def test_simple_packet_block(self):
+        data = b"\x01\x02\x03\x04"
+        body = struct.pack("<I", len(data)) + pad4(data)
+        stream = io.BytesIO(shb() + idb() + block(0x00000003, body))
+        records = list(PcapngReader(stream))
+        assert records[0].data == data
+
+    def test_unknown_blocks_skipped(self):
+        name_block = block(0x00000004, b"\x00" * 8)  # NRB
+        stream = io.BytesIO(shb() + idb() + name_block + epb())
+        assert len(list(PcapngReader(stream))) == 1
+
+    def test_new_section_resets_interfaces(self):
+        stream = io.BytesIO(shb() + idb() + epb()
+                            + shb() + idb() + epb(ticks=9_000_000))
+        records = list(PcapngReader(stream))
+        assert len(records) == 2
+
+
+class TestErrors:
+    def test_not_pcapng(self):
+        with pytest.raises(PcapngError):
+            PcapngReader(io.BytesIO(b"\xd4\xc3\xb2\xa1" + b"\x00" * 20))
+
+    def test_epb_unknown_interface(self):
+        stream = io.BytesIO(shb() + epb(interface=3))
+        with pytest.raises(PcapngError):
+            list(PcapngReader(stream))
+
+    def test_trailer_mismatch(self):
+        bad = bytearray(shb() + idb())
+        bad[-4:] = b"\xff\xff\xff\xff"
+        with pytest.raises(PcapngError):
+            list(PcapngReader(io.BytesIO(bytes(bad))))
+
+    def test_truncated(self):
+        data = shb() + idb() + epb()
+        with pytest.raises(PcapngError):
+            list(PcapngReader(io.BytesIO(data[:-10])))
+
+
+class TestSniff:
+    def test_detects_pcapng(self):
+        stream = io.BytesIO(shb())
+        assert sniff_format(stream) == "pcapng"
+        assert stream.tell() == 0  # non-consuming
+
+    def test_detects_pcap(self):
+        import io as _io
+        from repro.netstack.pcap import PcapWriter
+        buffer = _io.BytesIO()
+        PcapWriter(buffer)
+        buffer.seek(0)
+        assert sniff_format(buffer) == "pcap"
+
+    def test_unknown(self):
+        assert sniff_format(io.BytesIO(b"\x00\x00\x00\x00")) \
+            == "unknown"
+
+
+class TestFileHelper:
+    def test_read_pcapng_path(self, tmp_path):
+        path = tmp_path / "capture.pcapng"
+        path.write_bytes(shb() + idb() + epb())
+        assert len(read_pcapng(path)) == 1

@@ -1,0 +1,131 @@
+"""TCP stream reassembly tests, including the retransmission accounting
+that explains the paper's repeated U16/U32 Markov tokens."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.netstack.reassembly import StreamReassembler, seq_add, seq_after
+
+
+class TestSeqHelpers:
+    def test_after_simple(self):
+        assert seq_after(10, 5)
+        assert not seq_after(5, 10)
+        assert not seq_after(5, 5)
+
+    def test_after_wraparound(self):
+        high = (1 << 32) - 10
+        assert seq_after(5, high)  # wrapped
+        assert not seq_after(high, 5)
+
+    def test_add_wraps(self):
+        assert seq_add((1 << 32) - 1, 2) == 1
+
+
+class TestInOrder:
+    def test_simple_stream(self):
+        reassembler = StreamReassembler()
+        assert reassembler.feed(1000, b"", syn=True) == b""
+        assert reassembler.feed(1001, b"hello ") == b"hello "
+        assert reassembler.feed(1007, b"world") == b"world"
+        assert reassembler.stats.bytes_delivered == 11
+
+    def test_without_syn_locks_to_first_data(self):
+        reassembler = StreamReassembler()
+        assert reassembler.feed(5555, b"mid-stream") == b"mid-stream"
+
+    def test_fin_recorded(self):
+        reassembler = StreamReassembler()
+        reassembler.feed(1, b"", fin=True)
+        assert reassembler.saw_fin
+
+    def test_empty_segments_ignored(self):
+        reassembler = StreamReassembler()
+        reassembler.feed(1000, b"", syn=True)
+        assert reassembler.feed(1001, b"") == b""
+        assert reassembler.stats.payload_segments == 0
+
+
+class TestRetransmission:
+    def test_exact_duplicate_suppressed(self):
+        reassembler = StreamReassembler()
+        reassembler.feed(1000, b"", syn=True)
+        assert reassembler.feed(1001, b"data") == b"data"
+        assert reassembler.feed(1001, b"data") == b""
+        assert reassembler.stats.retransmissions == 1
+
+    def test_partial_overlap_delivers_tail(self):
+        reassembler = StreamReassembler()
+        reassembler.feed(1000, b"abcdef")
+        assert reassembler.feed(1003, b"defGHI") == b"GHI"
+        assert reassembler.stats.retransmissions == 1
+
+    def test_old_data_fully_covered(self):
+        reassembler = StreamReassembler()
+        reassembler.feed(1000, b"abcdef")
+        assert reassembler.feed(1002, b"cd") == b""
+
+
+class TestOutOfOrder:
+    def test_hole_then_fill(self):
+        reassembler = StreamReassembler()
+        reassembler.feed(100, b"", syn=True)
+        assert reassembler.feed(106, b"world") == b""
+        assert reassembler.pending_bytes == 5
+        assert reassembler.feed(101, b"hello") == b"helloworld"
+        assert reassembler.stats.out_of_order == 1
+
+    def test_multiple_pending_chunks_drain_in_order(self):
+        reassembler = StreamReassembler()
+        reassembler.feed(0, b"", syn=True)
+        assert reassembler.feed(11, b"CC") == b""
+        assert reassembler.feed(6, b"BB") == b""
+        assert reassembler.feed(1, b"AAAAA") == b"AAAAABB"
+        assert reassembler.feed(8, b"xxx") == b"xxxCC"
+
+    def test_duplicate_out_of_order_counted(self):
+        reassembler = StreamReassembler()
+        reassembler.feed(0, b"", syn=True)
+        reassembler.feed(11, b"CC")
+        reassembler.feed(11, b"CC")
+        assert reassembler.stats.retransmissions == 1
+
+    def test_giant_hole_skipped(self):
+        reassembler = StreamReassembler(max_hole=100)
+        reassembler.feed(0, b"", syn=True)
+        assert reassembler.feed(1, b"a") == b"a"
+        # Capture loss: jump the cursor rather than buffer forever.
+        assert reassembler.feed(5000, b"late") == b"late"
+        assert reassembler.stats.gap_bytes_skipped > 0
+
+
+@given(st.binary(min_size=1, max_size=400),
+       st.lists(st.integers(min_value=1, max_value=60), min_size=1,
+                max_size=30),
+       st.randoms(use_true_random=False))
+def test_any_segmentation_reassembles(stream, sizes, rng):
+    """Property: any segmentation, with shuffled delivery inside a
+    bounded window and injected duplicates, reassembles exactly."""
+    segments = []
+    offset = 0
+    index = 0
+    while offset < len(stream):
+        size = sizes[index % len(sizes)]
+        segments.append((1000 + offset, stream[offset:offset + size]))
+        offset += size
+        index += 1
+    # Inject duplicates and shuffle within a small window.
+    with_dups = []
+    for segment in segments:
+        with_dups.append(segment)
+        if rng.random() < 0.3:
+            with_dups.append(segment)
+    for i in range(len(with_dups) - 1):
+        if rng.random() < 0.3:
+            with_dups[i], with_dups[i + 1] = with_dups[i + 1], with_dups[i]
+
+    reassembler = StreamReassembler()
+    reassembler.feed(999, b"", syn=True)
+    output = b"".join(reassembler.feed(seq, data)
+                      for seq, data in with_dups)
+    assert output == stream

@@ -1,0 +1,290 @@
+"""IEC 104 link agent tests: the protocol behaviours of Table 6."""
+
+import random
+
+import pytest
+
+from repro.iec104.constants import TypeID
+from repro.netstack.addresses import IPv4Address, MacAddress
+from repro.simnet.agents import IEC104Link, build_element
+from repro.simnet.behaviors import (OutstationBehavior, OutstationType,
+                                    PointConfig, RejectMode, ReportMode)
+from repro.simnet.capture import CaptureTap
+from repro.simnet.clock import Simulator
+from repro.simnet.tcpsim import SimHost
+
+
+def make_behavior(outstation_type=OutstationType.IDEAL, points=None,
+                  reject_mode=RejectMode.NONE, **kwargs):
+    if points is None:
+        points = [
+            PointConfig(ioa=2001, type_id=TypeID.M_ME_NC_1, symbol="P",
+                        source=lambda t: 100.0 + (t % 7), threshold=0.5),
+            PointConfig(ioa=2002, type_id=TypeID.M_ME_TF_1, symbol="U",
+                        source=lambda t: 130.0, threshold=0.5,
+                        mode=ReportMode.PERIODIC, period=4.0),
+        ]
+    return OutstationBehavior(name="O1", substation="S1",
+                              outstation_type=outstation_type,
+                              points=points, reject_mode=reject_mode,
+                              **kwargs)
+
+
+def make_link(behavior, seed=3, **kwargs):
+    sim = Simulator()
+    tap = CaptureTap()
+    server = SimHost(name="C1", ip=IPv4Address(0x0A000001),
+                     mac=MacAddress(0x020000000001))
+    outstation = SimHost(name="O1", ip=IPv4Address(0x0A010001),
+                         mac=MacAddress(0x020000000002))
+    link = IEC104Link(sim=sim, tap=tap, rng=random.Random(seed),
+                      server_host=server, outstation_host=outstation,
+                      behavior=behavior, server_name="C1", **kwargs)
+    return sim, tap, link
+
+
+def decoded_tokens(tap):
+    """Decode all APDUs in the tap, in time order, as Table 4 tokens."""
+    from repro.iec104.codec import TolerantParser
+    parser = TolerantParser()
+    tokens = []
+    for packet in sorted(tap.packets, key=lambda p: p.timestamp):
+        if not packet.payload:
+            continue
+        for result in parser.parse_stream(packet.payload,
+                                          link_key=packet.flow_key):
+            assert result.ok, result.error
+            tokens.append(result.apdu.token)
+    return tokens
+
+
+class TestBuildElement:
+    def test_short_float_untimed(self):
+        element = build_element(TypeID.M_ME_NC_1, 1.5, 100.0)
+        assert element.value == 1.5 and element.time is None
+
+    def test_short_float_timed(self):
+        element = build_element(TypeID.M_ME_TF_1, 1.5, 100.0)
+        assert element.time is not None
+
+    def test_double_point(self):
+        assert build_element(TypeID.M_DP_NA_1, 2.0, 0.0).state == 2
+
+    def test_normalized_clamped(self):
+        element = build_element(TypeID.M_ME_NA_1, 5.0, 0.0)
+        assert element.value <= 1.0
+
+    def test_unsupported_raises(self):
+        with pytest.raises(ValueError):
+            build_element(TypeID.C_IC_NA_1, 0.0, 0.0)
+
+
+class TestPrimaryLink:
+    def test_startdt_then_interrogation(self):
+        sim, tap, link = make_link(make_behavior())
+        link.run_until(30.0)
+        link.start_primary(1.0)
+        sim.run_until(5.0)
+        tokens = decoded_tokens(tap)
+        assert tokens[0] == "U1"
+        assert tokens[1] == "U2"
+        assert "I100" in tokens
+        # Interrogation answers come as I13/I36 bursts.
+        assert any(t in ("I13", "I36") for t in tokens)
+
+    def test_reporting_continues(self):
+        sim, tap, link = make_link(make_behavior())
+        link.run_until(60.0)
+        link.start_primary(1.0)
+        sim.run_until(60.0)
+        tokens = decoded_tokens(tap)
+        # The periodic U-voltage point fires every ~4s: expect >= 10
+        # I36 frames over ~55s of reporting.
+        assert tokens.count("I36") >= 10
+
+    def test_server_acknowledges_with_s(self):
+        sim, tap, link = make_link(make_behavior())
+        link.run_until(120.0)
+        link.start_primary(1.0)
+        sim.run_until(120.0)
+        tokens = decoded_tokens(tap)
+        assert "S" in tokens
+
+    def test_sequence_numbers_consistent(self):
+        """Whole exchange decodes with per-frame sequence checking."""
+        sim, tap, link = make_link(make_behavior())
+        link.run_until(40.0)
+        link.start_primary(1.0)
+        sim.run_until(40.0)
+        from repro.iec104.codec import TolerantParser
+        from repro.iec104.apci import IFrame
+        parser = TolerantParser()
+        send_seqs = []
+        for packet in sorted(tap.packets, key=lambda p: p.timestamp):
+            if not packet.payload or packet.flow_key.src.port == 2404:
+                continue  # server->outstation only has commands/acks
+        # outstation->server I-frames must have strictly increasing N(S)
+        for packet in sorted(tap.packets, key=lambda p: p.timestamp):
+            if not packet.payload:
+                continue
+            if packet.flow_key.src.port != 2404:
+                continue
+            for result in parser.parse_stream(packet.payload,
+                                              link_key="o"):
+                if result.ok and isinstance(result.apdu, IFrame):
+                    send_seqs.append(result.apdu.send_seq)
+        assert send_seqs == sorted(send_seqs)
+        assert len(set(send_seqs)) == len(send_seqs)
+
+    def test_stats(self):
+        sim, tap, link = make_link(make_behavior())
+        link.run_until(30.0)
+        link.start_primary(1.0)
+        sim.run_until(30.0)
+        assert link.stats.connections == 1
+        assert link.stats.i_frames > 0
+
+
+class TestSecondaryLink:
+    def test_keepalive_pairs(self):
+        behavior = make_behavior(OutstationType.BACKUP_U_ONLY,
+                                 keepalive_period=10.0)
+        sim, tap, link = make_link(behavior)
+        link.run_until(65.0)
+        link.start_secondary(1.0)
+        sim.run_until(65.0)
+        tokens = decoded_tokens(tap)
+        assert tokens.count("U16") >= 5
+        assert tokens.count("U16") == tokens.count("U32")
+        assert not any(t.startswith("I") for t in tokens)
+
+    def test_promotion_switchover_pattern(self):
+        """Fig. 16: keep-alives, then STARTDT + I100 on the same
+        connection."""
+        behavior = make_behavior(OutstationType.SWITCHOVER_OBSERVED,
+                                 keepalive_period=10.0)
+        sim, tap, link = make_link(behavior)
+        link.run_until(120.0)
+        link.start_secondary(1.0)
+        sim.schedule(45.0, lambda: link.promote(sim.now))
+        sim.run_until(100.0)
+        tokens = decoded_tokens(tap)
+        first_u16 = tokens.index("U16")
+        start = tokens.index("U1")
+        assert first_u16 < start
+        assert "I100" in tokens[start:]
+        assert "U32" in tokens[:start]
+
+
+class TestRejectLoop:
+    def test_rst_rejects(self):
+        """Fig. 9 / Fig. 14: establish, one U16, then RST."""
+        behavior = make_behavior(OutstationType.BACKUP_REJECTS,
+                                 reject_mode=RejectMode.RST_AFTER_TESTFR,
+                                 reject_retry_period=10.0)
+        sim, tap, link = make_link(behavior)
+        link.run_until(55.0)
+        link.start_reject_loop(1.0)
+        sim.run_until(55.0)
+        tokens = decoded_tokens(tap)
+        assert set(tokens) == {"U16"}
+        assert tokens.count("U16") >= 4
+        rst = [p for p in tap.packets if p.flags.rst]
+        assert len(rst) == tokens.count("U16")
+        # RSTs come from the outstation.
+        assert all(p.flow_key.src.port == 2404 for p in rst)
+
+    def test_fin_rejects(self):
+        behavior = make_behavior(OutstationType.BACKUP_REJECTS,
+                                 reject_mode=RejectMode.FIN_AFTER_TESTFR,
+                                 reject_retry_period=10.0)
+        sim, tap, link = make_link(behavior)
+        link.run_until(35.0)
+        link.start_reject_loop(1.0)
+        sim.run_until(35.0)
+        fin = [p for p in tap.packets if p.flags.fin]
+        assert fin, "expected FIN teardown"
+        assert not any(p.flags.rst for p in tap.packets)
+
+    def test_ignore_mode_mostly_silent(self):
+        behavior = make_behavior(OutstationType.BACKUP_REJECTS,
+                                 reject_mode=RejectMode.IGNORE_SYN,
+                                 reject_retry_period=5.0)
+        sim, tap, link = make_link(behavior, seed=5)
+        link.run_until(200.0)
+        link.start_reject_loop(1.0)
+        sim.run_until(200.0)
+        syn_only = [p for p in tap.packets if p.flags.syn
+                    and not p.flags.ack]
+        payload = [p for p in tap.packets if p.payload]
+        # The vast majority of attempts are unanswered SYNs.
+        assert len(syn_only) > 3 * max(1, len(payload))
+
+    def test_requires_mode(self):
+        behavior = make_behavior()
+        _, _, link = make_link(behavior)
+        with pytest.raises(RuntimeError):
+            link.start_reject_loop(0.0)
+
+
+class TestCommands:
+    def test_setpoint_act_con(self):
+        applied = []
+        behavior = make_behavior(agc_setpoint_ioa=100)
+        sim, tap, link = make_link(behavior,
+                                   on_setpoint=applied.append)
+        link.run_until(30.0)
+        link.start_primary(1.0)
+        sim.schedule(10.0, lambda: link.send_setpoint(sim.now, 250.5))
+        sim.run_until(15.0)
+        assert applied == [250.5]
+        tokens = decoded_tokens(tap)
+        assert tokens.count("I50") == 2  # act + con
+
+    def test_setpoint_without_ioa_raises(self):
+        behavior = make_behavior()
+        sim, _, link = make_link(behavior)
+        link.run_until(30.0)
+        link.start_primary(1.0)
+        sim.run_until(5.0)
+        with pytest.raises(RuntimeError):
+            link.send_setpoint(6.0, 1.0)
+
+    def test_clock_sync(self):
+        sim, tap, link = make_link(make_behavior())
+        link.run_until(30.0)
+        link.start_primary(1.0)
+        sim.schedule(10.0, lambda: link.send_clock_sync(sim.now))
+        sim.run_until(15.0)
+        assert decoded_tokens(tap).count("I103") == 2
+
+
+class TestIdleKeepalive:
+    def test_quiet_primary_sends_testfr(self):
+        """Type 5: stale thresholds force in-band TESTFR after T3."""
+        points = [PointConfig(ioa=2001, type_id=TypeID.M_ME_NC_1,
+                              symbol="P", source=lambda t: 100.0,
+                              threshold=50.0)]  # never fires
+        behavior = make_behavior(points=points)
+        sim, tap, link = make_link(behavior)
+        link.run_until(120.0)
+        link.start_primary(1.0)
+        sim.run_until(120.0)
+        tokens = decoded_tokens(tap)
+        assert "U16" in tokens and "U32" in tokens
+
+
+class TestClose:
+    def test_fin_close_stops_loops(self):
+        behavior = make_behavior()
+        sim, tap, link = make_link(behavior)
+        link.run_until(100.0)
+        link.start_primary(1.0)
+        sim.run_until(20.0)
+        link.close(20.5)
+        before = len(tap.packets)
+        sim.run_until(100.0)
+        # Only the FIN handshake may follow; no new app data.
+        assert len([p for p in tap.packets if p.payload
+                    and p.timestamp > 21.0]) == 0
+        assert not link.connected

@@ -1,0 +1,103 @@
+"""Industroyer-style attack generation tests (paper §6.3.1)."""
+
+import pytest
+
+from repro.analysis import extract_apdus, tokenize
+from repro.iec104.constants import TypeID
+from repro.simnet.attacker import (AttackResult, ReconnaissanceMode,
+                                   run_attack)
+from repro.simnet.behaviors import (OutstationBehavior, OutstationType,
+                                    PointConfig)
+
+
+def victim(n_points=5):
+    points = [PointConfig(ioa=2001 + i, type_id=TypeID.M_ME_NC_1,
+                          symbol="P", source=lambda t: 100.0,
+                          threshold=1000.0)  # quiet during the attack
+              for i in range(n_points)]
+    return OutstationBehavior(name="O99", substation="S99",
+                              outstation_type=OutstationType.IDEAL,
+                              points=points)
+
+
+def attack_tokens(result: AttackResult):
+    extraction = extract_apdus(result.packets,
+                               names=result.host_names())
+    return tokenize(extraction.events), extraction
+
+
+class TestIterativeScan:
+    def test_discovers_exactly_the_defined_points(self):
+        result = run_attack(victim(5),
+                            ReconnaissanceMode.ITERATIVE_SCAN,
+                            scan_range=(2001, 2020))
+        assert result.discovered_ioas == [2001, 2002, 2003, 2004, 2005]
+        assert result.probes_sent == 20
+
+    def test_probe_traffic_visible_on_wire(self):
+        result = run_attack(victim(3),
+                            ReconnaissanceMode.ITERATIVE_SCAN,
+                            scan_range=(2001, 2010))
+        tokens, _ = attack_tokens(result)
+        # 10 read requests + 7 negative replies (the 3 hits answer
+        # with the point's own data typeID instead).
+        assert tokens.count("I102") == 10 + 7
+        assert "I45" in tokens  # the command phase
+
+    def test_unknown_ioa_negatives(self):
+        result = run_attack(victim(2),
+                            ReconnaissanceMode.ITERATIVE_SCAN,
+                            scan_range=(2001, 2006))
+        _, extraction = attack_tokens(result)
+        from repro.iec104.apci import IFrame
+        negatives = [event for event in extraction.events
+                     if isinstance(event.apdu, IFrame)
+                     and event.apdu.asdu.negative]
+        assert len(negatives) == 4  # 6 probed - 2 existing
+
+    def test_commands_capped(self):
+        result = run_attack(victim(10),
+                            ReconnaissanceMode.ITERATIVE_SCAN,
+                            scan_range=(2001, 2015), command_count=3)
+        assert result.commands_sent == 3
+
+
+class TestInterrogationShortcut:
+    def test_single_message_discovers_everything(self):
+        result = run_attack(victim(8),
+                            ReconnaissanceMode.INTERROGATION)
+        assert len(result.discovered_ioas) == 8
+        assert result.probes_sent == 1
+
+    def test_far_fewer_packets_than_scanning(self):
+        """The paper's point: one I100 replaces the whole sweep."""
+        scan = run_attack(victim(8),
+                          ReconnaissanceMode.ITERATIVE_SCAN,
+                          scan_range=(2001, 2060))
+        shortcut = run_attack(victim(8),
+                              ReconnaissanceMode.INTERROGATION)
+        assert len(shortcut.packets) < 0.5 * len(scan.packets)
+
+    def test_interrogation_tokens_present(self):
+        result = run_attack(victim(4),
+                            ReconnaissanceMode.INTERROGATION)
+        tokens, _ = attack_tokens(result)
+        assert "I100" in tokens
+
+
+class TestDetection:
+    def test_whitelist_flags_the_scan(self, y1_extraction):
+        """Close the loop: the IDS trained on clean traffic flags the
+        attack capture."""
+        from repro.analysis.whitelist import CyberWhitelist
+        whitelist = CyberWhitelist(per_connection=False)
+        for events in y1_extraction.by_connection().values():
+            whitelist.fit_sequence(tokenize(events))
+        result = run_attack(victim(5),
+                            ReconnaissanceMode.ITERATIVE_SCAN,
+                            scan_range=(2001, 2030))
+        tokens, _ = attack_tokens(result)
+        verdict = whitelist.score(tokens)
+        assert verdict.is_alert()
+        # Read commands never appear in the operational network.
+        assert "I102" in verdict.unknown_tokens

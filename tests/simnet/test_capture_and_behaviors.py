@@ -1,0 +1,145 @@
+"""Capture tap, windows, behaviour validation, network map tests."""
+
+import pytest
+
+from repro.iec104.constants import TypeID
+from repro.netstack.addresses import IPv4Address, MacAddress
+from repro.netstack.packet import CapturedPacket
+from repro.netstack.tcp import SYN, TCPSegment
+from repro.simnet.behaviors import (OutstationBehavior, OutstationType,
+                                    PointConfig, RejectMode)
+from repro.simnet.capture import CaptureTap, CaptureWindow
+from repro.simnet.topology import NetworkMap
+
+
+def packet(t):
+    segment = TCPSegment(src_port=1000, dst_port=2404, seq=0, flags=SYN)
+    return CapturedPacket.build(t, MacAddress(1), MacAddress(2),
+                                IPv4Address(1), IPv4Address(2), segment)
+
+
+class TestCaptureWindow:
+    def test_contains(self):
+        window = CaptureWindow(start=10.0, end=20.0)
+        assert window.contains(10.0)
+        assert window.contains(19.999)
+        assert not window.contains(20.0)
+        assert not window.contains(9.999)
+
+    def test_duration(self):
+        assert CaptureWindow(start=1.0, end=4.0).duration == 3.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CaptureWindow(start=5.0, end=5.0)
+
+
+class TestCaptureTap:
+    def test_no_windows_records_everything(self):
+        tap = CaptureTap()
+        tap.observe(packet(1.0))
+        tap.observe(packet(1e6))
+        assert len(tap.packets) == 2
+
+    def test_windows_filter(self):
+        tap = CaptureTap(windows=(CaptureWindow(10.0, 20.0),
+                                  CaptureWindow(30.0, 40.0)))
+        for t in (5.0, 15.0, 25.0, 35.0, 45.0):
+            tap.observe(packet(t))
+        assert [p.timestamp for p in tap.packets] == [15.0, 35.0]
+        assert tap.dropped == 3
+
+    def test_window_packets(self):
+        first = CaptureWindow(10.0, 20.0)
+        tap = CaptureTap(windows=(first, CaptureWindow(30.0, 40.0)))
+        tap.observe(packet(15.0))
+        tap.observe(packet(35.0))
+        assert len(tap.window_packets(first)) == 1
+
+    def test_total_duration(self):
+        tap = CaptureTap(windows=(CaptureWindow(0.0, 5.0),
+                                  CaptureWindow(10.0, 12.0)))
+        assert tap.total_duration == 7.0
+
+    def test_pcap_export(self, tmp_path):
+        import io
+        from repro.netstack.pcap import PcapReader
+        tap = CaptureTap()
+        tap.observe(packet(3.0))
+        buffer = io.BytesIO()
+        assert tap.to_pcap(buffer) == 1
+        buffer.seek(0)
+        assert len(list(PcapReader(buffer))) == 1
+
+
+class TestBehaviors:
+    def make_point(self, ioa=1):
+        return PointConfig(ioa=ioa, type_id=TypeID.M_ME_NC_1, symbol="P")
+
+    def test_duplicate_ioa_rejected(self):
+        with pytest.raises(ValueError):
+            OutstationBehavior(name="O1", substation="S1",
+                               outstation_type=OutstationType.IDEAL,
+                               points=[self.make_point(1),
+                                       self.make_point(1)])
+
+    def test_reject_type_requires_mode(self):
+        with pytest.raises(ValueError):
+            OutstationBehavior(
+                name="O1", substation="S1",
+                outstation_type=OutstationType.BACKUP_REJECTS)
+
+    def test_sends_i_frames(self):
+        primary = OutstationBehavior(
+            name="O1", substation="S1",
+            outstation_type=OutstationType.IDEAL,
+            points=[self.make_point()])
+        backup = OutstationBehavior(
+            name="O2", substation="S1",
+            outstation_type=OutstationType.BACKUP_U_ONLY)
+        assert primary.sends_i_frames
+        assert not backup.sends_i_frames
+
+    def test_point_validation(self):
+        with pytest.raises(ValueError):
+            PointConfig(ioa=0, type_id=TypeID.M_ME_NC_1, symbol="P")
+        with pytest.raises(ValueError):
+            PointConfig(ioa=1, type_id=TypeID.M_ME_NC_1, symbol="P",
+                        period=0.0)
+
+    def test_ioa_count(self):
+        behavior = OutstationBehavior(
+            name="O1", substation="S1",
+            outstation_type=OutstationType.IDEAL,
+            points=[self.make_point(i) for i in range(1, 6)])
+        assert behavior.ioa_count == 5
+
+
+class TestNetworkMap:
+    def test_unique_addresses(self):
+        network = NetworkMap()
+        hosts = [network.add_server(f"C{i}") for i in range(1, 5)]
+        hosts += [network.add_outstation(f"O{i}") for i in range(1, 30)]
+        ips = {host.ip for host in hosts}
+        macs = {host.mac for host in hosts}
+        assert len(ips) == len(hosts)
+        assert len(macs) == len(hosts)
+
+    def test_duplicate_name_rejected(self):
+        network = NetworkMap()
+        network.add_server("C1")
+        with pytest.raises(ValueError):
+            network.add_server("C1")
+
+    def test_reverse_lookup(self):
+        network = NetworkMap()
+        host = network.add_outstation("O7")
+        assert network.name_of(host.ip) == "O7"
+        assert network.name_of(IPv4Address(0xDEADBEEF)) is None
+
+    def test_address_book(self):
+        network = NetworkMap()
+        network.add_server("C1")
+        network.add_outstation("O1")
+        book = network.address_book()
+        assert set(book.values()) == {"C1", "O1"}

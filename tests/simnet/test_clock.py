@@ -1,0 +1,86 @@
+"""Discrete-event simulator core tests."""
+
+import pytest
+
+from repro.simnet.clock import SimulationError, Simulator
+
+
+class TestScheduling:
+    def test_events_fire_in_time_order(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(3.0, lambda: fired.append("c"))
+        sim.schedule(1.0, lambda: fired.append("a"))
+        sim.schedule(2.0, lambda: fired.append("b"))
+        sim.run()
+        assert fired == ["a", "b", "c"]
+
+    def test_ties_break_by_insertion_order(self):
+        sim = Simulator()
+        fired = []
+        for name in "abc":
+            sim.schedule(1.0, lambda n=name: fired.append(n))
+        sim.run()
+        assert fired == ["a", "b", "c"]
+
+    def test_callbacks_can_schedule(self):
+        sim = Simulator()
+        fired = []
+
+        def first():
+            fired.append("first")
+            sim.schedule_in(1.0, lambda: fired.append("second"))
+
+        sim.schedule(0.0, first)
+        sim.run()
+        assert fired == ["first", "second"]
+
+    def test_now_tracks_event_time(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(2.5, lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == [2.5]
+
+    def test_scheduling_in_past_rejected(self):
+        sim = Simulator(start_time=10.0)
+        with pytest.raises(SimulationError):
+            sim.schedule(5.0, lambda: None)
+
+    def test_negative_delay_rejected(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            sim.schedule_in(-1.0, lambda: None)
+
+
+class TestRunUntil:
+    def test_stops_at_boundary(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, lambda: fired.append(1))
+        sim.schedule(5.0, lambda: fired.append(5))
+        count = sim.run_until(2.0)
+        assert count == 1 and fired == [1]
+        assert sim.now == 2.0
+        assert sim.pending == 1
+
+    def test_clock_advances_even_when_queue_empty(self):
+        sim = Simulator()
+        sim.run_until(100.0)
+        assert sim.now == 100.0
+
+    def test_boundary_inclusive(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(2.0, lambda: fired.append(2))
+        sim.run_until(2.0)
+        assert fired == [2]
+
+    def test_resume_after_run_until(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, lambda: fired.append(1))
+        sim.schedule(3.0, lambda: fired.append(3))
+        sim.run_until(2.0)
+        sim.run_until(4.0)
+        assert fired == [1, 3]

@@ -1,0 +1,97 @@
+"""Scenario-level behaviour tests (capture windows, lifecycles)."""
+
+import pytest
+
+from repro.analysis import extract_apdus, tokenize
+from repro.datasets import CaptureConfig, generate_capture
+from repro.netstack.flows import FlowKind, FlowTable
+from repro.simnet.capture import CaptureWindow
+from repro.simnet.scenario import Scenario, WARMUP_S
+
+
+class TestWindowSemantics:
+    def test_first_window_needs_warmup_room(self, y1_capture):
+        with pytest.raises(ValueError):
+            Scenario(year=1, plans=y1_capture.plans,
+                     grid=y1_capture.grid, network=y1_capture.network,
+                     windows=(CaptureWindow(10.0, 100.0),))
+
+    def test_warmup_constant_sane(self):
+        assert WARMUP_S > 60.0
+
+
+class TestLifecycles:
+    def test_persistent_links_look_long_lived(self, y1_capture):
+        """Type 1/2 primaries connect before the window opens: the
+        capture must contain their data but not their SYN."""
+        table = FlowTable()
+        table.add_all(y1_capture.packets)
+        o1 = y1_capture.network["O1"].ip
+        o1_flows = [flow for flow in table.flows
+                    if o1 in (flow.key.src.address,
+                              flow.key.dst.address)]
+        data_flows = [flow for flow in o1_flows
+                      if flow.forward.payload_bytes
+                      + flow.reverse.payload_bytes > 100]
+        assert data_flows
+        assert all(flow.kind is FlowKind.LONG_LIVED
+                   for flow in data_flows)
+
+    def test_type4_reconnects_inside_each_window(self, y1_capture):
+        """Type 4 links SYN and FIN inside the capture windows."""
+        table = FlowTable()
+        table.add_all(y1_capture.packets)
+        o27 = y1_capture.network["O27"].ip
+        o27_flows = [flow for flow in table.flows
+                     if o27 in (flow.key.src.address,
+                                flow.key.dst.address)]
+        short = [flow for flow in o27_flows
+                 if flow.kind is FlowKind.SHORT_LIVED]
+        assert len(short) == len(y1_capture.windows)
+        assert all(flow.duration > 1.0 for flow in short)
+
+    def test_type4_alternates_servers(self, y1_extraction):
+        sessions = y1_extraction.by_session()
+        i_senders = {dst for (src, dst) in sessions
+                     if src == "O27"}
+        assert i_senders == {"C1", "C2"}
+
+    def test_test_rtu_exchanges_two_keepalive_pairs(self, y1_capture,
+                                                    y1_extraction):
+        """C4-O22: the paper's four-packet test RTU."""
+        events = [event for event in y1_extraction.events
+                  if "O22" in (event.src, event.dst)]
+        tokens = tokenize(events)
+        assert tokens == ["U16", "U32", "U16", "U32"]
+        # Its two exchanges are far apart: the cluster-0 signature.
+        times = sorted(event.timestamp for event in events)
+        assert times[2] - times[1] > 0.3 * y1_capture.windows[0].duration
+
+    def test_o30_retries_slowly(self, y1_capture):
+        """C2-O30's 430 s retry: far fewer attempts than its peers."""
+        table = FlowTable()
+        table.add_all(y1_capture.packets)
+        def attempts(name):
+            address = y1_capture.network[name].ip
+            return sum(1 for flow in table.flows
+                       if address in (flow.key.src.address,
+                                      flow.key.dst.address)
+                       and flow.saw_syn)
+        assert attempts("O30") < attempts("O35") / 5
+
+    def test_agc_only_at_participants(self, y1_extraction):
+        setpoint_targets = {event.dst for event in y1_extraction.events
+                            if event.token == "I50"
+                            and event.src.startswith("C")}
+        assert setpoint_targets == {"O1", "O10", "O19", "O26"}
+
+    def test_switchover_direction_alternates(self, y1_extraction):
+        """Across windows, both pair members get promoted (Fig. 13
+        ellipse pairs)."""
+        sessions = y1_extraction.by_session()
+        promoting = set()
+        for (src, dst), events in sessions.items():
+            if dst == "O29" and src.startswith("C"):
+                if any(event.token == "U1" for event in events):
+                    promoting.add(src)
+        assert promoting == {"C1", "C2"}
