@@ -266,6 +266,12 @@ def cmd_attack(args: argparse.Namespace, out=sys.stdout) -> int:
     return 0
 
 
+def cmd_lint(args: argparse.Namespace, out=sys.stdout) -> int:
+    """Run the project staticcheck linter (see docs/static-analysis.md)."""
+    from .devtools.staticcheck.cli import run_lint
+    return run_lint(args, out=out)
+
+
 def cmd_hypotheses(args: argparse.Namespace, out=sys.stdout) -> int:
     """Evaluate the paper's five hypotheses on a pair of captures."""
     from .analysis import evaluate_all
@@ -328,6 +334,13 @@ def build_parser() -> argparse.ArgumentParser:
     attack.add_argument("--out", required=True,
                         help="output pcap path")
     attack.set_defaults(func=cmd_attack)
+
+    lint = sub.add_parser(
+        "lint", help="run the project staticcheck linter "
+                     "(protocol-conformance and determinism rules)")
+    from .devtools.staticcheck.cli import add_lint_arguments
+    add_lint_arguments(lint)
+    lint.set_defaults(func=cmd_lint)
 
     hypotheses = sub.add_parser(
         "hypotheses", help="evaluate the paper's five hypotheses over "

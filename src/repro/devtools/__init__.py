@@ -1,0 +1,5 @@
+"""Developer tooling for the reproduction (not used at analysis time).
+
+Currently contains :mod:`repro.devtools.staticcheck`, the project
+linter behind ``repro lint``.
+"""

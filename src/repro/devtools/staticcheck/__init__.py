@@ -1,0 +1,48 @@
+"""AST-based protocol-conformance and determinism linter.
+
+``repro lint`` enforces the invariants the reproduction's correctness
+rests on: cross-consistent TypeID dispatch tables (paper Tables
+5/7/8), deterministic simulation code (no wall clocks or ambient
+randomness in ``simnet``/``grid``/``datasets``), byte-exact struct
+wire formats, and a handful of hygiene bans (bare except, silent
+swallow, mutable defaults, float-timestamp equality).
+
+Public API::
+
+    from repro.devtools.staticcheck import lint_paths, Finding
+    result = lint_paths(["src"])
+    for finding in result.findings:
+        print(finding.render())
+
+See ``docs/static-analysis.md`` for rule descriptions, the
+``# staticcheck: ignore[rule-id]`` suppression syntax, and how to add
+a rule.
+"""
+
+from .engine import RunResult, discover_files, lint_paths
+from .findings import Finding, Severity
+from .registry import (AstRule, FileContext, ProjectRule, Rule,
+                       build_rules, register, registered_rule_ids)
+from .reporters import (FORMATTERS, format_json, format_sarif,
+                        format_text)
+from .suppressions import SuppressionIndex
+
+__all__ = [
+    "AstRule",
+    "FileContext",
+    "Finding",
+    "FORMATTERS",
+    "ProjectRule",
+    "Rule",
+    "RunResult",
+    "Severity",
+    "SuppressionIndex",
+    "build_rules",
+    "discover_files",
+    "format_json",
+    "format_sarif",
+    "format_text",
+    "lint_paths",
+    "register",
+    "registered_rule_ids",
+]

@@ -1,0 +1,111 @@
+"""``repro lint`` — the CLI front end of the staticcheck linter.
+
+Usage::
+
+    repro lint src/ tests/                # lint explicit paths
+    repro lint --self                     # lint the repo's own src/
+    repro lint --self --format sarif -o lint.sarif
+    repro lint --list-rules
+    repro lint src --select determinism,struct-format
+
+Exit status: 0 when no finding survives suppression, 1 otherwise, and
+2 for usage errors (unknown rule ids).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from .engine import lint_paths
+from .registry import build_rules
+from .reporters import FORMATTERS, format_text
+
+
+def project_src_root() -> Path:
+    """The repo's ``src/`` directory, located from this file.
+
+    ``cli.py`` lives at ``src/repro/devtools/staticcheck/cli.py``, so
+    three parents up is the ``src`` root whatever the checkout path.
+    """
+    return Path(__file__).resolve().parents[3]
+
+
+def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
+    """Attach lint options (shared with the top-level ``repro`` CLI)."""
+    parser.add_argument("paths", nargs="*",
+                        help="files or directories to lint "
+                             "(default: --self)")
+    parser.add_argument("--self", action="store_true", dest="lint_self",
+                        help="lint the project's own src/ tree and "
+                             "fail on any finding")
+    parser.add_argument("--format", choices=sorted(FORMATTERS),
+                        default="text",
+                        help="report format (default: text)")
+    parser.add_argument("--select",
+                        help="comma-separated rule ids to run "
+                             "(default: all registered rules)")
+    parser.add_argument("--output", "-o",
+                        help="write the report to a file instead of "
+                             "stdout")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="list registered rules and exit")
+
+
+def run_lint(args: argparse.Namespace, out=sys.stdout) -> int:
+    select = None
+    if args.select:
+        select = [rule_id.strip()
+                  for rule_id in args.select.split(",")
+                  if rule_id.strip()]
+    if args.list_rules:
+        try:
+            rules = build_rules(select)
+        except KeyError as exc:
+            print(f"unknown rule id(s): {exc.args[0]}",
+                  file=sys.stderr)
+            return 2
+        for rule in sorted(rules, key=lambda r: r.rule_id):
+            print(f"{rule.rule_id:24s} {rule.severity.label:8s} "
+                  f"{rule.description}", file=out)
+        return 0
+
+    paths = [Path(p) for p in args.paths]
+    missing = [path for path in paths if not path.exists()]
+    if missing:
+        names = ", ".join(str(path) for path in missing)
+        print(f"no such file or directory: {names}", file=sys.stderr)
+        return 2
+    root: Path | None = None
+    if args.lint_self or not paths:
+        src = project_src_root()
+        paths.append(src)
+        root = src.parent
+    try:
+        result = lint_paths(paths, select=select, root=root)
+    except KeyError as exc:
+        print(f"unknown rule id(s): {exc.args[0]}", file=sys.stderr)
+        return 2
+
+    report = FORMATTERS[args.format](result)
+    if args.output:
+        Path(args.output).write_text(report + "\n", encoding="utf-8")
+        if args.format != "text":
+            print(format_text(result), file=out)
+    else:
+        print(report, file=out)
+    return result.exit_code
+
+
+def main(argv: list[str] | None = None, out=sys.stdout) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-staticcheck",
+        description="AST-based protocol-conformance and determinism "
+                    "linter for the reproduction")
+    add_lint_arguments(parser)
+    return run_lint(parser.parse_args(argv), out=out)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

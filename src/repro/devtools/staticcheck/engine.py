@@ -1,0 +1,135 @@
+"""The lint engine: file discovery, parsing, rule dispatch,
+suppression filtering.
+
+The engine is deliberately dependency-free (stdlib ``ast`` only) so
+``repro lint`` runs in the same minimal environment as the analyses
+themselves — CI does not need ruff/mypy installed for the
+project-specific invariants to be enforced.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from .findings import Finding, Severity
+from .registry import (AstRule, FileContext, ProjectRule, Rule,
+                       build_rules)
+from .suppressions import SuppressionIndex
+
+#: Directory names never descended into during file discovery.
+_SKIP_DIRS = {"__pycache__", ".git", ".hypothesis", ".pytest_cache",
+              "build", "dist", ".eggs"}
+
+
+@dataclass
+class RunResult:
+    """Outcome of one lint invocation."""
+
+    findings: list[Finding] = field(default_factory=list)
+    files_checked: int = 0
+    suppressed: int = 0
+    rule_ids: list[str] = field(default_factory=list)
+
+    @property
+    def worst_severity(self) -> Severity | None:
+        if not self.findings:
+            return None
+        return max(finding.severity for finding in self.findings)
+
+    @property
+    def exit_code(self) -> int:
+        """Non-zero when any finding survived suppression."""
+        return 1 if self.findings else 0
+
+
+def discover_files(paths: Iterable[Path]) -> list[Path]:
+    """Expand ``paths`` into a sorted list of ``.py`` files."""
+    files: set[Path] = set()
+    for path in paths:
+        path = Path(path)
+        if path.is_dir():
+            for candidate in path.rglob("*.py"):
+                if not _SKIP_DIRS.intersection(candidate.parts):
+                    files.add(candidate)
+        elif path.suffix == ".py":
+            files.add(path)
+    return sorted(files)
+
+
+def module_path_for(path: Path) -> str:
+    """Dotted module path for ``path``, anchored at a package root.
+
+    Walks upward while ``__init__.py`` siblings exist, so
+    ``src/repro/simnet/clock.py`` maps to ``repro.simnet.clock``
+    regardless of the checkout location.
+    """
+    path = path.resolve()
+    parts = [path.stem] if path.stem != "__init__" else []
+    parent = path.parent
+    while (parent / "__init__.py").exists():
+        parts.append(parent.name)
+        parent = parent.parent
+    return ".".join(reversed(parts))
+
+
+def lint_paths(paths: Sequence[Path | str],
+               rules: Sequence[Rule] | None = None,
+               select: Sequence[str] | None = None,
+               root: Path | None = None) -> RunResult:
+    """Lint ``paths`` and return the surviving findings, sorted.
+
+    ``rules`` overrides the registry (used by tests); ``select``
+    narrows the registry to the named rule ids; ``root`` re-anchors
+    finding paths relative to a directory (defaults to the common
+    current working directory behaviour of keeping paths as given).
+    """
+    active = list(rules) if rules is not None else build_rules(select)
+    files = discover_files(Path(p) for p in paths)
+    result = RunResult(rule_ids=[rule.rule_id for rule in active])
+    ast_rules = [rule for rule in active if isinstance(rule, AstRule)]
+    project_rules = [rule for rule in active
+                     if isinstance(rule, ProjectRule)]
+
+    raw: list[Finding] = []
+    suppressed = 0
+    for file_path in files:
+        try:
+            source = file_path.read_text(encoding="utf-8")
+        except (OSError, UnicodeDecodeError) as exc:
+            raw.append(Finding(path=str(file_path), line=1, col=1,
+                               rule_id="parse-error",
+                               message=f"cannot read file: {exc}",
+                               severity=Severity.ERROR))
+            continue
+        result.files_checked += 1
+        try:
+            tree = ast.parse(source, filename=str(file_path))
+        except SyntaxError as exc:
+            raw.append(Finding(path=str(file_path),
+                               line=exc.lineno or 1,
+                               col=(exc.offset or 0) + 1,
+                               rule_id="parse-error",
+                               message=f"syntax error: {exc.msg}",
+                               severity=Severity.ERROR))
+            continue
+        ctx = FileContext(path=file_path, source=source, tree=tree,
+                          module=module_path_for(file_path))
+        index = SuppressionIndex.scan(source)
+        for rule in ast_rules:
+            for finding in rule.check_file(ctx):
+                if index.suppresses(finding):
+                    suppressed += 1
+                else:
+                    raw.append(finding)
+
+    for rule in project_rules:
+        raw.extend(rule.check_project(files))
+
+    if root is not None:
+        raw = [finding.relative_to(root) for finding in raw]
+    result.findings = sorted(raw)
+    result.suppressed = suppressed
+    return result

@@ -1,0 +1,63 @@
+"""The finding model shared by every staticcheck rule and reporter.
+
+A :class:`Finding` is one diagnostic anchored to a ``file:line:col``
+span.  Findings compare by location so reports are stable regardless of
+rule execution order — determinism the project demands of its own
+tooling as much as of the simulation.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+
+
+class Severity(enum.IntEnum):
+    """Diagnostic severity, ordered so ``max()`` picks the worst."""
+
+    NOTE = 10
+    WARNING = 20
+    ERROR = 30
+
+    @property
+    def label(self) -> str:
+        """Lower-case name used by the text reporter."""
+        return self.name.lower()
+
+    @property
+    def sarif_level(self) -> str:
+        """SARIF 2.1.0 ``result.level`` value."""
+        return {Severity.NOTE: "note",
+                Severity.WARNING: "warning",
+                Severity.ERROR: "error"}[self]
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One diagnostic produced by a rule.
+
+    ``path`` is kept repo-relative by the engine so reports are
+    machine-independent (and so suppression baselines, should we ever
+    grow one, survive checkouts at different absolute paths).
+    """
+
+    path: str
+    line: int
+    col: int
+    rule_id: str = field(compare=False)
+    message: str = field(compare=False)
+    severity: Severity = field(compare=False, default=Severity.ERROR)
+
+    def render(self) -> str:
+        """``path:line:col: severity rule-id: message`` (text reporter)."""
+        return (f"{self.path}:{self.line}:{self.col}: "
+                f"{self.severity.label} [{self.rule_id}] {self.message}")
+
+    def relative_to(self, root: Path) -> "Finding":
+        """Re-anchor ``path`` relative to ``root`` when it is inside."""
+        try:
+            rel = Path(self.path).resolve().relative_to(root.resolve())
+        except ValueError:
+            return self
+        return replace(self, path=rel.as_posix())

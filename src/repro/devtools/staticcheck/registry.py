@@ -1,0 +1,123 @@
+"""Rule base classes and the pluggable rule registry.
+
+Rules come in two flavours:
+
+* :class:`AstRule` — runs once per source file against its parsed AST
+  (determinism, struct-format, hygiene rules);
+* :class:`ProjectRule` — runs once per lint invocation against the
+  project itself (the constants-consistency rule, which imports the
+  dispatch tables and cross-checks them).
+
+New rules register themselves with the :func:`register` decorator; the
+engine instantiates everything in the registry unless the caller
+narrows the selection with ``--select``.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Iterable, Iterator
+
+from .findings import Finding, Severity
+
+
+@dataclass
+class FileContext:
+    """Everything an :class:`AstRule` may need about one source file."""
+
+    path: Path
+    source: str
+    tree: ast.Module
+    #: Dotted module path, e.g. ``repro.simnet.clock`` (best effort —
+    #: empty for files outside a package root).
+    module: str = ""
+
+    @property
+    def lines(self) -> list[str]:
+        return self.source.splitlines()
+
+    def line_at(self, lineno: int) -> str:
+        lines = self.lines
+        if 1 <= lineno <= len(lines):
+            return lines[lineno - 1]
+        return ""
+
+    def in_package(self, *fragments: str) -> bool:
+        """True when the module path contains any dotted fragment."""
+        parts = self.module.split(".")
+        return any(fragment in parts for fragment in fragments)
+
+    def finding(self, rule: "Rule", node: ast.AST, message: str,
+                severity: Severity | None = None) -> Finding:
+        return Finding(path=str(self.path),
+                       line=getattr(node, "lineno", 1),
+                       col=getattr(node, "col_offset", 0) + 1,
+                       rule_id=rule.rule_id,
+                       message=message,
+                       severity=severity or rule.severity)
+
+
+class Rule:
+    """Base class: subclasses set ``rule_id``/``description``."""
+
+    rule_id: str = ""
+    description: str = ""
+    severity: Severity = Severity.ERROR
+
+
+class AstRule(Rule):
+    """A rule that inspects one parsed source file at a time."""
+
+    def check_file(self, ctx: FileContext) -> Iterator[Finding]:
+        raise NotImplementedError  # pragma: no cover
+
+
+class ProjectRule(Rule):
+    """A rule that runs once per lint invocation (semantic checks)."""
+
+    def check_project(self, paths: Iterable[Path]) -> Iterator[Finding]:
+        raise NotImplementedError  # pragma: no cover
+
+
+#: rule_id -> rule factory. Populated by :func:`register`.
+_REGISTRY: dict[str, Callable[[], Rule]] = {}
+
+
+def register(cls: type[Rule]) -> type[Rule]:
+    """Class decorator adding ``cls`` to the default rule set."""
+    if not cls.rule_id:
+        raise ValueError(f"{cls.__name__} has no rule_id")
+    if cls.rule_id in _REGISTRY:
+        raise ValueError(f"duplicate rule id {cls.rule_id!r}")
+    _REGISTRY[cls.rule_id] = cls
+    return cls
+
+
+def registered_rule_ids() -> list[str]:
+    return sorted(_REGISTRY)
+
+
+def build_rules(select: Iterable[str] | None = None) -> list[Rule]:
+    """Instantiate the registered rules (optionally a subset).
+
+    Raises ``KeyError`` naming the unknown id when ``select`` mentions
+    a rule that does not exist — a typo in ``--select`` should not
+    silently lint nothing.
+    """
+    _load_builtin_rules()
+    if select is None:
+        wanted = registered_rule_ids()
+    else:
+        wanted = list(select)
+        unknown = [rule_id for rule_id in wanted
+                   if rule_id not in _REGISTRY]
+        if unknown:
+            raise KeyError(", ".join(sorted(unknown)))
+    return [_REGISTRY[rule_id]() for rule_id in wanted]
+
+
+def _load_builtin_rules() -> None:
+    """Import the built-in rule modules so they self-register."""
+    from . import rules  # noqa: F401  (import side effect)

@@ -1,0 +1,124 @@
+"""Finding reporters: human text, machine JSON, and SARIF 2.1.0.
+
+The SARIF output is the minimal valid subset that GitHub code scanning
+accepts (tool driver with rule metadata, one result per finding with a
+physical location), so the CI workflow can upload lint findings as
+annotations without any extra tooling.
+"""
+
+from __future__ import annotations
+
+import json
+
+from .engine import RunResult
+from .findings import Finding, Severity
+from .registry import build_rules
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = ("https://raw.githubusercontent.com/oasis-tcs/"
+                "sarif-spec/master/Schemata/sarif-schema-2.1.0.json")
+
+TOOL_NAME = "repro-staticcheck"
+TOOL_VERSION = "1.0.0"
+
+
+def format_text(result: RunResult) -> str:
+    """One ``path:line:col: severity [rule] message`` line per finding
+    plus a summary tail line."""
+    lines = [finding.render() for finding in result.findings]
+    counts = {severity: 0 for severity in Severity}
+    for finding in result.findings:
+        counts[finding.severity] += 1
+    summary = (f"{len(result.findings)} finding(s) "
+               f"({counts[Severity.ERROR]} error, "
+               f"{counts[Severity.WARNING]} warning, "
+               f"{counts[Severity.NOTE]} note) "
+               f"in {result.files_checked} file(s)")
+    if result.suppressed:
+        summary += f"; {result.suppressed} suppressed"
+    lines.append(summary)
+    return "\n".join(lines)
+
+
+def _finding_dict(finding: Finding) -> dict:
+    return {
+        "path": finding.path,
+        "line": finding.line,
+        "col": finding.col,
+        "rule": finding.rule_id,
+        "severity": finding.severity.label,
+        "message": finding.message,
+    }
+
+
+def format_json(result: RunResult) -> str:
+    document = {
+        "tool": {"name": TOOL_NAME, "version": TOOL_VERSION},
+        "files_checked": result.files_checked,
+        "suppressed": result.suppressed,
+        "rules": result.rule_ids,
+        "findings": [_finding_dict(finding)
+                     for finding in result.findings],
+    }
+    return json.dumps(document, indent=2, sort_keys=True)
+
+
+def _rule_metadata(rule_ids: list[str]) -> list[dict]:
+    descriptions: dict[str, str] = {}
+    try:
+        for rule in build_rules():
+            descriptions[rule.rule_id] = rule.description
+    except Exception:  # registry import failure must not kill a report
+        descriptions = {}
+    return [{"id": rule_id,
+             "shortDescription": {
+                 "text": descriptions.get(rule_id, rule_id)}}
+            for rule_id in sorted(set(rule_ids))]
+
+
+def format_sarif(result: RunResult) -> str:
+    reported_rules = sorted({finding.rule_id
+                             for finding in result.findings}
+                            | set(result.rule_ids))
+    run = {
+        "tool": {
+            "driver": {
+                "name": TOOL_NAME,
+                "version": TOOL_VERSION,
+                "informationUri":
+                    "https://example.invalid/repro-staticcheck",
+                "rules": _rule_metadata(reported_rules),
+            }
+        },
+        "results": [
+            {
+                "ruleId": finding.rule_id,
+                "level": finding.severity.sarif_level,
+                "message": {"text": finding.message},
+                "locations": [{
+                    "physicalLocation": {
+                        "artifactLocation": {
+                            "uri": finding.path.replace("\\", "/")},
+                        "region": {
+                            "startLine": finding.line,
+                            "startColumn": finding.col,
+                        },
+                    }
+                }],
+            }
+            for finding in result.findings
+        ],
+    }
+    document = {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [run],
+    }
+    return json.dumps(document, indent=2, sort_keys=True)
+
+
+FORMATTERS = {
+    "text": format_text,
+    "json": format_json,
+    "sarif": format_sarif,
+}

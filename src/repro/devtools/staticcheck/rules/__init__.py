@@ -1,0 +1,8 @@
+"""Built-in staticcheck rules.
+
+Importing this package registers every built-in rule with the
+registry; adding a module here (and importing it below) is all a new
+rule needs to appear in ``repro lint``.
+"""
+
+from . import consistency, determinism, hygiene, structfmt  # noqa: F401

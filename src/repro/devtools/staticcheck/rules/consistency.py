@@ -1,0 +1,221 @@
+"""Constants-consistency rule: the dispatch tables must agree.
+
+The reproduction's correctness hinges on three tables staying
+cross-consistent with the :class:`~repro.iec104.constants.TypeID`
+enumeration (paper Tables 5/7/8):
+
+* ``ELEMENT_CODECS`` (TypeID -> element codec) in
+  :mod:`repro.iec104.information_elements`;
+* ``TYPE_ID_DESCRIPTIONS`` (TypeID -> Table 5 text) in
+  :mod:`repro.iec104.constants`;
+* ``TYPE_ID_SYMBOLS`` (observed TypeID -> Table 8 physical symbols),
+  also in :mod:`repro.iec104.constants`.
+
+A TypeID without a codec entry decodes as "unknown"; a codec entry for
+a non-existent TypeID is dead weight hiding a typo; a Table 8 symbol
+row for a typeID the paper never observed (or a missing row for one it
+did) silently skews the physical-measurement DPI.  This rule imports
+the real modules and flags orphans in *both* directions.
+
+The module paths are constructor parameters so the test suite can aim
+the rule at deliberately broken fixture tables.
+"""
+
+from __future__ import annotations
+
+import ast
+import enum
+import importlib
+import inspect
+from pathlib import Path
+from typing import Iterable, Iterator
+
+from ..findings import Finding, Severity
+from ..registry import ProjectRule, register
+
+#: The symbol vocabulary of paper Table 8 (plus the "-" placeholder
+#: the paper uses for typeIDs with no assignable physical meaning).
+KNOWN_SYMBOLS = frozenset(
+    {"I", "P", "Q", "U", "Freq", "Status", "AGC-SP", "Inter(global)",
+     "-"})
+
+
+def _table_location(module, name: str) -> tuple[str, int]:
+    """``(path, line)`` of the assignment to ``name`` in ``module``."""
+    path = getattr(module, "__file__", None) or module.__name__
+    try:
+        source = inspect.getsource(module)
+    except (OSError, TypeError):
+        return str(path), 1
+    try:
+        tree = ast.parse(source)
+    except SyntaxError:  # pragma: no cover - module already imported
+        return str(path), 1
+    for node in ast.walk(tree):
+        targets: list[ast.expr] = []
+        if isinstance(node, ast.Assign):
+            targets = node.targets
+        elif isinstance(node, ast.AnnAssign) and node.target:
+            targets = [node.target]
+        for target in targets:
+            if isinstance(target, ast.Name) and target.id == name:
+                return str(path), node.lineno
+    return str(path), 1
+
+
+@register
+class ConstantsConsistencyRule(ProjectRule):
+    """Cross-check TypeID against the codec and symbol tables."""
+
+    rule_id = "constants-consistency"
+    description = ("every TypeID must have a codec dispatch entry and "
+                   "a Table 5 description; Table 8 symbol rows must "
+                   "match the observed-typeID list in both directions")
+    severity = Severity.ERROR
+
+    def __init__(self,
+                 constants_module: str = "repro.iec104.constants",
+                 codecs_module: str =
+                 "repro.iec104.information_elements") -> None:
+        self.constants_module = constants_module
+        self.codecs_module = codecs_module
+
+    def check_project(self, paths: Iterable[Path]) -> Iterator[Finding]:
+        try:
+            constants = importlib.import_module(self.constants_module)
+            codecs = importlib.import_module(self.codecs_module)
+        except Exception as exc:
+            yield Finding(path=self.constants_module, line=1, col=1,
+                          rule_id=self.rule_id,
+                          message=f"cannot import protocol tables: "
+                                  f"{exc}",
+                          severity=self.severity)
+            return
+        type_id = getattr(constants, "TypeID", None)
+        if type_id is None or not issubclass(type_id, enum.Enum):
+            yield self._table_finding(
+                constants, "TypeID",
+                "constants module defines no TypeID enumeration")
+            return
+        members = set(type_id)
+        yield from self._check_codecs(codecs, type_id, members)
+        yield from self._check_descriptions(constants, members)
+        yield from self._check_symbols(constants, type_id, members)
+
+    # -- helpers ----------------------------------------------------
+
+    def _table_finding(self, module, table: str,
+                       message: str) -> Finding:
+        path, line = _table_location(module, table)
+        return Finding(path=path, line=line, col=1,
+                       rule_id=self.rule_id, message=message,
+                       severity=self.severity)
+
+    def _check_codecs(self, codecs, type_id,
+                      members: set) -> Iterator[Finding]:
+        table = getattr(codecs, "ELEMENT_CODECS", None)
+        if not isinstance(table, dict):
+            yield self._table_finding(
+                codecs, "ELEMENT_CODECS",
+                "codec module defines no ELEMENT_CODECS dispatch "
+                "table")
+            return
+        for member in sorted(members, key=lambda m: m.value):
+            if member not in table:
+                yield self._table_finding(
+                    codecs, "ELEMENT_CODECS",
+                    f"TypeID.{member.name} (={member.value}) has no "
+                    "ELEMENT_CODECS dispatch entry")
+        for key in table:
+            if not isinstance(key, type_id):
+                yield self._table_finding(
+                    codecs, "ELEMENT_CODECS",
+                    f"ELEMENT_CODECS key {key!r} is not a TypeID "
+                    "member (orphan dispatch entry)")
+        for key, codec in table.items():
+            if not callable(getattr(codec, "decode", None)) \
+                    or not callable(getattr(codec, "encode", None)):
+                name = key.name if isinstance(key, type_id) \
+                    else repr(key)
+                yield self._table_finding(
+                    codecs, "ELEMENT_CODECS",
+                    f"codec for {name} lacks encode/decode "
+                    "callables")
+
+    def _check_descriptions(self, constants,
+                            members: set) -> Iterator[Finding]:
+        table = getattr(constants, "TYPE_ID_DESCRIPTIONS", None)
+        if not isinstance(table, dict):
+            yield self._table_finding(
+                constants, "TYPE_ID_DESCRIPTIONS",
+                "constants module defines no TYPE_ID_DESCRIPTIONS "
+                "table")
+            return
+        for member in sorted(members, key=lambda m: m.value):
+            if member not in table:
+                yield self._table_finding(
+                    constants, "TYPE_ID_DESCRIPTIONS",
+                    f"TypeID.{member.name} has no Table 5 "
+                    "description")
+        for key in table:
+            if key not in members:
+                yield self._table_finding(
+                    constants, "TYPE_ID_DESCRIPTIONS",
+                    f"TYPE_ID_DESCRIPTIONS key {key!r} is not a "
+                    "TypeID member")
+
+    def _check_symbols(self, constants, type_id,
+                       members: set) -> Iterator[Finding]:
+        symbols = getattr(constants, "TYPE_ID_SYMBOLS", None)
+        observed = getattr(constants, "OBSERVED_TYPE_IDS", None)
+        if not isinstance(symbols, dict):
+            yield self._table_finding(
+                constants, "TYPE_ID_SYMBOLS",
+                "constants module defines no TYPE_ID_SYMBOLS "
+                "(Table 8) mapping")
+            return
+        if observed is None:
+            yield self._table_finding(
+                constants, "OBSERVED_TYPE_IDS",
+                "constants module defines no OBSERVED_TYPE_IDS list")
+            return
+        observed_list = list(observed)
+        if len(set(observed_list)) != len(observed_list):
+            yield self._table_finding(
+                constants, "OBSERVED_TYPE_IDS",
+                "OBSERVED_TYPE_IDS contains duplicates")
+        for member in dict.fromkeys(observed_list):
+            if member not in members:
+                yield self._table_finding(
+                    constants, "OBSERVED_TYPE_IDS",
+                    f"OBSERVED_TYPE_IDS entry {member!r} is not a "
+                    "TypeID member")
+            elif member not in symbols:
+                yield self._table_finding(
+                    constants, "TYPE_ID_SYMBOLS",
+                    f"observed TypeID.{member.name} has no Table 8 "
+                    "physical-symbol row")
+        for key, row in symbols.items():
+            if key not in set(observed_list):
+                name = key.name if isinstance(key, type_id) \
+                    else repr(key)
+                yield self._table_finding(
+                    constants, "TYPE_ID_SYMBOLS",
+                    f"TYPE_ID_SYMBOLS row for {name} has no "
+                    "OBSERVED_TYPE_IDS entry (orphan symbol row)")
+            if not row:
+                name = key.name if isinstance(key, type_id) \
+                    else repr(key)
+                yield self._table_finding(
+                    constants, "TYPE_ID_SYMBOLS",
+                    f"TYPE_ID_SYMBOLS row for {name} is empty — "
+                    "use ('-',) for typeIDs without a symbol")
+            for symbol in row:
+                if symbol not in KNOWN_SYMBOLS:
+                    name = key.name if isinstance(key, type_id) \
+                        else repr(key)
+                    yield self._table_finding(
+                        constants, "TYPE_ID_SYMBOLS",
+                        f"unknown physical symbol {symbol!r} for "
+                        f"{name} (vocabulary: "
+                        f"{', '.join(sorted(KNOWN_SYMBOLS))})")

@@ -1,0 +1,132 @@
+"""Determinism rule: no wall clocks or ambient randomness in the
+simulation packages.
+
+Every figure in the reproduction is regenerated from seeds; the paper's
+captures are proprietary, so the synthetic datasets *are* the ground
+truth.  A single ``time.time()`` or module-level ``random.random()``
+inside ``simnet/``, ``grid/`` or ``datasets/`` makes a capture
+unreproducible without failing a single test — exactly the class of
+bug a linter must catch.  Simulation code must use the injected
+``random.Random`` instance and the simulation clock
+(:mod:`repro.simnet.clock`).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..findings import Finding, Severity
+from ..registry import AstRule, FileContext, register
+
+#: Packages in which the rule is enforced (dotted-path components).
+SCOPED_PACKAGES = ("simnet", "grid", "datasets")
+
+#: ``time.<attr>()`` calls that read a wall/monotonic clock.
+_WALL_CLOCKS = ("time", "time_ns", "monotonic", "monotonic_ns",
+                "perf_counter", "perf_counter_ns", "localtime",
+                "gmtime")
+
+#: ``datetime.<attr>()`` / ``date.<attr>()`` ambient-clock reads.
+_DATETIME_NOW = ("now", "utcnow", "today")
+
+#: Names on the ``random`` module that are fine: class constructors
+#: produce an *injectable* generator rather than drawing from the
+#: shared ambient one.
+_RANDOM_ALLOWED = ("Random", "SystemRandom")
+
+#: ``numpy.random`` attributes that are fine for the same reason.
+_NP_RANDOM_ALLOWED = ("default_rng", "Generator", "SeedSequence",
+                      "RandomState")
+
+
+def _dotted(expr: ast.expr) -> str:
+    """Best-effort dotted name of an attribute chain (else '')."""
+    parts: list[str] = []
+    node = expr
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return ""
+
+
+@register
+class DeterminismRule(AstRule):
+    """Forbid ambient clock/randomness sources in simulation code."""
+
+    rule_id = "determinism"
+    description = ("forbid time.time()/datetime.now()/module-level "
+                   "random calls inside simnet/, grid/ and datasets/; "
+                   "use the injected random.Random and the sim clock")
+    severity = Severity.ERROR
+
+    def check_file(self, ctx: FileContext) -> Iterator[Finding]:
+        if not ctx.in_package(*SCOPED_PACKAGES):
+            return
+        yield from self._check_imports(ctx)
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            dotted = _dotted(node.func)
+            if not dotted:
+                continue
+            yield from self._check_call(ctx, node, dotted)
+
+    def _check_imports(self, ctx: FileContext) -> Iterator[Finding]:
+        """``from random import random`` smuggles the ambient RNG in
+        under a local name the call-site check cannot see."""
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ImportFrom):
+                continue
+            if node.module == "random":
+                for alias in node.names:
+                    if alias.name not in _RANDOM_ALLOWED:
+                        yield ctx.finding(
+                            self, node,
+                            f"`from random import {alias.name}` pulls "
+                            "a function bound to the shared ambient "
+                            "RNG — inject a random.Random instance")
+            if node.module in ("time", "datetime") \
+                    and any(alias.name in _WALL_CLOCKS
+                            + _DATETIME_NOW for alias in node.names):
+                names = ", ".join(alias.name for alias in node.names)
+                yield ctx.finding(
+                    self, node,
+                    f"`from {node.module} import {names}` imports an "
+                    "ambient clock — simulation code must use the "
+                    "sim clock")
+
+    def _check_call(self, ctx: FileContext, node: ast.Call,
+                    dotted: str) -> Iterator[Finding]:
+        head, _, tail = dotted.partition(".")
+        if head == "time" and tail in _WALL_CLOCKS:
+            yield ctx.finding(
+                self, node,
+                f"`{dotted}()` reads the wall clock — simulation "
+                "code must use the sim clock (repro.simnet.clock)")
+        elif dotted in ("datetime.now", "datetime.utcnow",
+                        "datetime.today", "date.today",
+                        "datetime.datetime.now",
+                        "datetime.datetime.utcnow",
+                        "datetime.date.today"):
+            yield ctx.finding(
+                self, node,
+                f"`{dotted}()` reads the ambient clock — derive "
+                "timestamps from the sim clock instead")
+        elif head == "random" and tail \
+                and tail not in _RANDOM_ALLOWED \
+                and "." not in tail:
+            yield ctx.finding(
+                self, node,
+                f"`{dotted}()` draws from the shared module-level "
+                "RNG — use the injected random.Random instance")
+        elif dotted.startswith(("numpy.random.", "np.random.")):
+            attr = dotted.rsplit(".", 1)[1]
+            if attr not in _NP_RANDOM_ALLOWED:
+                yield ctx.finding(
+                    self, node,
+                    f"`{dotted}()` draws from numpy's global RNG — "
+                    "use numpy.random.default_rng(seed)")

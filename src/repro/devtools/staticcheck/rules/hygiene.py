@@ -1,0 +1,190 @@
+"""General code-hygiene rules: exception handling, mutable defaults,
+float equality on timestamps.
+
+These are the failure modes that silently invalidate measurement runs:
+a swallowed decode error hides a malformed frame instead of counting
+it, a shared mutable default leaks state between outstations, and an
+``==`` on a float timestamp works until the first scenario whose clock
+steps by a non-representable increment.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterator
+
+from ..findings import Finding, Severity
+from ..registry import AstRule, FileContext, register
+
+
+@register
+class BareExceptRule(AstRule):
+    """``except:`` hides typos, MemoryError and KeyboardInterrupt alike."""
+
+    rule_id = "bare-except"
+    description = ("ban bare `except:` clauses; catch the narrowest "
+                   "exception type that the handler can actually handle")
+    severity = Severity.ERROR
+
+    def check_file(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.ExceptHandler) and node.type is None:
+                yield ctx.finding(
+                    self, node,
+                    "bare `except:` — name the exception type "
+                    "(use `except Exception` only with handling, "
+                    "never to discard)")
+
+
+def _is_broad(expr: ast.expr | None) -> bool:
+    """True for ``Exception``/``BaseException`` (bare or dotted)."""
+    if expr is None:
+        return True
+    if isinstance(expr, ast.Name):
+        return expr.id in ("Exception", "BaseException")
+    if isinstance(expr, ast.Attribute):
+        return expr.attr in ("Exception", "BaseException")
+    if isinstance(expr, ast.Tuple):
+        return any(_is_broad(item) for item in expr.elts)
+    return False
+
+
+def _swallows(body: list[ast.stmt]) -> bool:
+    """True when a handler body does nothing but discard the error."""
+    for stmt in body:
+        if isinstance(stmt, ast.Pass):
+            continue
+        if isinstance(stmt, ast.Expr) and isinstance(
+                stmt.value, ast.Constant) and stmt.value.value is ...:
+            continue
+        if isinstance(stmt, ast.Continue):
+            continue
+        return False
+    return True
+
+
+@register
+class SilentSwallowRule(AstRule):
+    """Broad handlers whose body is only ``pass``/``...``/``continue``."""
+
+    rule_id = "silent-swallow"
+    description = ("ban broad exception handlers that silently discard "
+                   "the error (`except Exception: pass` and kin)")
+    severity = Severity.ERROR
+
+    def check_file(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if _is_broad(node.type) and _swallows(node.body):
+                yield ctx.finding(
+                    self, node,
+                    "broad exception handler silently swallows the "
+                    "error — handle it, count it, or re-raise")
+
+
+_MUTABLE_CALLS = ("list", "dict", "set", "bytearray",
+                  "defaultdict", "deque", "Counter", "OrderedDict")
+
+
+def _is_mutable_literal(expr: ast.expr) -> str | None:
+    """Describe the mutable default, or ``None`` when it is safe."""
+    if isinstance(expr, ast.List):
+        return "[]"
+    if isinstance(expr, ast.Dict):
+        return "{}"
+    if isinstance(expr, (ast.Set, ast.SetComp, ast.ListComp,
+                         ast.DictComp)):
+        return "a set/comprehension"
+    if isinstance(expr, ast.Call):
+        func = expr.func
+        name = (func.id if isinstance(func, ast.Name)
+                else func.attr if isinstance(func, ast.Attribute)
+                else "")
+        if name in _MUTABLE_CALLS:
+            return f"{name}()"
+    return None
+
+
+@register
+class MutableDefaultRule(AstRule):
+    """Mutable default arguments are shared across calls."""
+
+    rule_id = "mutable-default"
+    description = ("ban mutable default argument values ([], {}, "
+                   "set(), ...); default to None or use "
+                   "dataclasses.field(default_factory=...)")
+    severity = Severity.ERROR
+
+    def check_file(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, (ast.FunctionDef,
+                                     ast.AsyncFunctionDef)):
+                continue
+            defaults = list(node.args.defaults) \
+                + list(node.args.kw_defaults)
+            for default in defaults:
+                if default is None:
+                    continue
+                what = _is_mutable_literal(default)
+                if what is not None:
+                    yield ctx.finding(
+                        self, default,
+                        f"mutable default {what} in `{node.name}()` is "
+                        "shared across every call — use None (or a "
+                        "default_factory)")
+
+
+#: Identifier (or terminal attribute) shapes that smell like a float
+#: timestamp.  Deliberately conservative: `time`, `timestamp`,
+#: `*_time`, `time_*`, `*_ts`, `ts`, `now`, `deadline`, `t0..t9`.
+_TIME_NAME_RE = re.compile(
+    r"(?:^|_)(?:time(?:stamp)?s?|ts|now|deadline)(?:_|$)|^t\d$")
+
+
+def _terminal_name(expr: ast.expr) -> str | None:
+    if isinstance(expr, ast.Name):
+        return expr.id
+    if isinstance(expr, ast.Attribute):
+        return expr.attr
+    return None
+
+
+def _is_timey(expr: ast.expr) -> bool:
+    name = _terminal_name(expr)
+    return bool(name) and bool(_TIME_NAME_RE.search(name))
+
+
+def _is_exempt_operand(expr: ast.expr) -> bool:
+    """Comparisons against None/strings/containers are not float eq."""
+    if isinstance(expr, ast.Constant):
+        return expr.value is None or isinstance(expr.value, str)
+    return isinstance(expr, (ast.List, ast.Tuple, ast.Dict, ast.Set))
+
+
+@register
+class FloatTimestampEqRule(AstRule):
+    """``==``/``!=`` between timestamp-shaped float expressions."""
+
+    rule_id = "float-timestamp-eq"
+    description = ("ban ==/!= on float timestamps; compare with a "
+                   "tolerance or use integer tick counts")
+    severity = Severity.WARNING
+
+    def check_file(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            operands = [node.left, *node.comparators]
+            for op, left, right in zip(node.ops, operands,
+                                       operands[1:]):
+                if not isinstance(op, (ast.Eq, ast.NotEq)):
+                    continue
+                if _is_exempt_operand(left) or _is_exempt_operand(right):
+                    continue
+                if _is_timey(left) or _is_timey(right):
+                    yield ctx.finding(
+                        self, node,
+                        "float timestamp compared with ==/!= — use a "
+                        "tolerance (abs(a - b) < eps) or integer ticks")

@@ -1,0 +1,164 @@
+"""Struct-format audit: byte-exact wire formats, statically checked.
+
+The paper's tolerant parser exists because real devices disagree about
+field widths (2-octet IOA, 1-octet COT).  Our own encoders must
+therefore be byte-exact; this rule audits every ``struct`` call with a
+literal format string:
+
+* the format must parse (``struct.error`` at lint time, not runtime);
+* wire formats must declare an explicit byte order (``<``, ``>``,
+  ``!`` or ``=``) — native alignment (``@`` or none) makes the frame
+  layout platform-dependent;
+* ``struct.pack`` argument counts must match the format's value count;
+* tuple-unpack targets of ``struct.unpack``/``unpack_from`` must match
+  the format's value count;
+* a format annotated ``# staticcheck: width=N`` must compute to
+  exactly N octets (used to pin documented field widths such as the
+  4-octet short float or the 7-octet CP56Time2a).
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+import struct
+from typing import Iterator
+
+from ..findings import Finding, Severity
+from ..registry import AstRule, FileContext, register
+
+_FMT_FUNCS = ("pack", "pack_into", "unpack", "unpack_from",
+              "iter_unpack", "calcsize", "Struct")
+
+#: struct functions whose first argument is the format string.
+_FMT_ARG_INDEX = {name: 0 for name in _FMT_FUNCS}
+
+_WIDTH_RE = re.compile(r"#\s*staticcheck:\s*width=(\d+)")
+
+_FIELD_RE = re.compile(r"(\d*)([xcbB?hHiIlLqQnNefdspP])")
+
+
+def _value_count(fmt: str) -> int:
+    """Number of Python values a format consumes/produces."""
+    body = fmt.lstrip("@=<>!")
+    count = 0
+    for repeat, code in _FIELD_RE.findall(body):
+        if code == "x":
+            continue
+        if code in ("s", "p"):
+            count += 1
+        else:
+            count += int(repeat) if repeat else 1
+    return count
+
+
+def _literal_fmt(node: ast.Call) -> str | None:
+    if not node.args:
+        return None
+    first = node.args[0]
+    if isinstance(first, ast.Constant) and isinstance(first.value,
+                                                      (str, bytes)):
+        value = first.value
+        return value.decode("ascii") if isinstance(value, bytes) \
+            else value
+    return None
+
+
+def _struct_call(node: ast.Call) -> str | None:
+    """Return the struct function name for ``struct.<fn>(...)``."""
+    func = node.func
+    if isinstance(func, ast.Attribute) \
+            and isinstance(func.value, ast.Name) \
+            and func.value.id == "struct" \
+            and func.attr in _FMT_FUNCS:
+        return func.attr
+    return None
+
+
+@register
+class StructFormatRule(AstRule):
+    """Audit literal struct format strings for wire-format safety."""
+
+    rule_id = "struct-format"
+    description = ("validate struct format strings: must parse, must "
+                   "declare explicit byte order, pack/unpack arity "
+                   "must match, and `# staticcheck: width=N` "
+                   "annotations must hold")
+    severity = Severity.ERROR
+
+    def check_file(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Call):
+                yield from self._check_call(ctx, node)
+            elif isinstance(node, ast.Assign):
+                yield from self._check_unpack_assign(ctx, node)
+
+    def _check_call(self, ctx: FileContext,
+                    node: ast.Call) -> Iterator[Finding]:
+        fn = _struct_call(node)
+        if fn is None:
+            return
+        fmt = _literal_fmt(node)
+        if fmt is None:
+            return  # dynamic format — out of static reach
+        try:
+            size = struct.calcsize(fmt)
+        except struct.error as exc:
+            yield ctx.finding(
+                self, node,
+                f"invalid struct format {fmt!r}: {exc}")
+            return
+        if not fmt or fmt[0] not in "<>!=":
+            yield ctx.finding(
+                self, node,
+                f"struct format {fmt!r} uses native byte "
+                "order/alignment — wire formats must start with "
+                "'<', '>', '!' or '='")
+        if fn == "pack" and not any(isinstance(arg, ast.Starred)
+                                    for arg in node.args):
+            supplied = len(node.args) - 1
+            expected = _value_count(fmt)
+            if supplied != expected:
+                yield ctx.finding(
+                    self, node,
+                    f"struct.pack({fmt!r}, ...) takes {expected} "
+                    f"value(s) but {supplied} supplied")
+        yield from self._check_width_annotation(ctx, node, fmt, size)
+
+    def _check_width_annotation(self, ctx: FileContext, node: ast.Call,
+                                fmt: str, size: int
+                                ) -> Iterator[Finding]:
+        match = _WIDTH_RE.search(ctx.line_at(node.lineno))
+        if match is None:
+            return
+        annotated = int(match.group(1))
+        if annotated != size:
+            yield ctx.finding(
+                self, node,
+                f"annotated width={annotated} octets but format "
+                f"{fmt!r} computes to {size}")
+
+    def _check_unpack_assign(self, ctx: FileContext,
+                             node: ast.Assign) -> Iterator[Finding]:
+        """``a, b = struct.unpack(fmt, ...)`` arity check."""
+        if not isinstance(node.value, ast.Call):
+            return
+        fn = _struct_call(node.value)
+        if fn not in ("unpack", "unpack_from"):
+            return
+        fmt = _literal_fmt(node.value)
+        if fmt is None:
+            return
+        try:
+            expected = _value_count(fmt)
+        except struct.error:  # pragma: no cover - caught in _check_call
+            return
+        for target in node.targets:
+            if isinstance(target, (ast.Tuple, ast.List)) \
+                    and not any(isinstance(elt, ast.Starred)
+                                for elt in target.elts):
+                if len(target.elts) != expected:
+                    yield ctx.finding(
+                        self, node,
+                        f"unpacking {fmt!r} yields {expected} "
+                        f"value(s) into {len(target.elts)} target(s)")

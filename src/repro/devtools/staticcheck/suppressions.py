@@ -1,0 +1,73 @@
+"""In-source suppression comments.
+
+A finding on line *N* is suppressed when line *N* carries::
+
+    ...  # staticcheck: ignore[rule-id]
+    ...  # staticcheck: ignore[rule-a, rule-b]
+    ...  # staticcheck: ignore            (every rule on this line)
+
+and a whole file opts out of one rule with a comment anywhere in its
+first ten lines::
+
+    # staticcheck: ignore-file[rule-id]
+
+Suppressions are counted so reports can say how many findings were
+waved through — silent suppression totals hide rot.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+from .findings import Finding
+
+_LINE_RE = re.compile(
+    r"#\s*staticcheck:\s*ignore(?:\[(?P<ids>[^\]]*)\])?")
+_FILE_RE = re.compile(
+    r"#\s*staticcheck:\s*ignore-file\[(?P<ids>[^\]]*)\]")
+
+#: How far into a file ``ignore-file`` directives are honoured.
+_FILE_DIRECTIVE_WINDOW = 10
+
+
+def _split_ids(raw: str | None) -> frozenset[str] | None:
+    """``None`` means "all rules"; otherwise the listed rule ids."""
+    if raw is None:
+        return None
+    return frozenset(part.strip() for part in raw.split(",")
+                     if part.strip())
+
+
+@dataclass
+class SuppressionIndex:
+    """Per-file index of suppression directives."""
+
+    #: line number -> suppressed ids (``None`` = all rules).
+    by_line: dict[int, frozenset[str] | None] = field(
+        default_factory=dict)
+    file_wide: frozenset[str] = field(default_factory=frozenset)
+
+    @classmethod
+    def scan(cls, source: str) -> "SuppressionIndex":
+        index = cls()
+        for lineno, text in enumerate(source.splitlines(), start=1):
+            file_match = _FILE_RE.search(text)
+            if file_match:
+                if lineno <= _FILE_DIRECTIVE_WINDOW:
+                    ids = _split_ids(file_match.group("ids"))
+                    if ids:
+                        index.file_wide = index.file_wide | ids
+                continue  # "ignore-file" also matches the line regex
+            match = _LINE_RE.search(text)
+            if match:
+                index.by_line[lineno] = _split_ids(match.group("ids"))
+        return index
+
+    def suppresses(self, finding: Finding) -> bool:
+        if finding.rule_id in self.file_wide:
+            return True
+        if finding.line not in self.by_line:
+            return False
+        ids = self.by_line[finding.line]
+        return ids is None or finding.rule_id in ids

@@ -225,6 +225,27 @@ OBSERVED_TYPE_IDS: tuple[TypeID, ...] = (
     TypeID.M_BO_NA_1,   # I7
 )
 
+#: Paper Table 8: physical symbols carried by each *observed* typeID.
+#: ``"-"`` mirrors the paper's dash for typeIDs whose values have no
+#: assignable scalar meaning (bitstrings, step positions, clock sync).
+#: The staticcheck constants-consistency rule keeps this table and
+#: :data:`OBSERVED_TYPE_IDS` cross-consistent in both directions.
+TYPE_ID_SYMBOLS: dict[TypeID, tuple[str, ...]] = {
+    TypeID.M_ME_TF_1: ("Freq", "I", "P", "Q", "U"),
+    TypeID.M_ME_NC_1: ("Freq", "I", "P", "Q", "U"),
+    TypeID.M_ME_NA_1: ("P",),
+    TypeID.C_SE_NC_1: ("AGC-SP",),
+    TypeID.M_DP_NA_1: ("Status",),
+    TypeID.M_ST_NA_1: ("-",),
+    TypeID.C_IC_NA_1: ("Inter(global)",),
+    TypeID.C_CS_NA_1: ("-",),
+    TypeID.M_SP_TB_1: ("Status",),
+    TypeID.M_EI_NA_1: ("-",),
+    TypeID.M_DP_TB_1: ("Status",),
+    TypeID.M_SP_NA_1: ("Status",),
+    TypeID.M_BO_NA_1: ("-",),
+}
+
 
 class Cause(enum.IntEnum):
     """Cause of transmission (COT) codes."""
