@@ -74,7 +74,8 @@ __all__ = [
     "TypeDistribution", "TypeIDDistribution", "agc_command_series",
     "DayProfile", "DriftSummary", "SessionDrift", "day_boundaries",
     "session_drift", "summarize_drift",
-    "analyze_compliance", "cause_distribution", "classify_all", "classify_chain",
+    "analyze_compliance", "cause_distribution", "classify_all",
+    "classify_chain",
     "classify_outstation", "connection_profile", "diff_topologies",
     "explained_variance", "extract_apdus", "extract_series",
     "extract_sessions", "feature_matrix", "field_diffs",

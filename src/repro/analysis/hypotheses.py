@@ -104,8 +104,9 @@ def evaluate_h3_flows(packets: list[CapturedPacket],
         statement="SCADA TCP flows are long-lived",
         verdict=verdict,
         evidence=(f"{100 * short:.1f}% of {summary.total} flows are "
-                  f"short-lived ({100 * summary.sub_second_fraction_of_short:.0f}% "
-                  "of those sub-second)"),
+                  "short-lived "
+                  f"({100 * summary.sub_second_fraction_of_short:.0f}"
+                  "% of those sub-second)"),
         metric=short)
 
 

@@ -33,7 +33,8 @@ class SystemLoad:
 
     def schedule_loss(self, start: float, duration: float,
                       magnitude_mw: float) -> None:
-        """Disconnect ``magnitude_mw`` of load during [start, start+duration)."""
+        """Disconnect ``magnitude_mw`` of load during
+        [start, start+duration)."""
         if duration <= 0 or magnitude_mw <= 0:
             raise ValueError("loss duration and magnitude must be positive")
         self._losses.append((start, start + duration, magnitude_mw))

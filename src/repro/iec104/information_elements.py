@@ -18,10 +18,10 @@ from .constants import TypeID
 from .errors import MalformedASDUError
 from .time_tag import CP16_SIZE, CP56_SIZE, CP16Time2a, CP56Time2a
 
-_FLOAT = struct.Struct("<f")
-_INT16 = struct.Struct("<h")
-_INT32 = struct.Struct("<i")
-_UINT32 = struct.Struct("<I")
+_FLOAT = struct.Struct("<f")    # staticcheck: width=4
+_INT16 = struct.Struct("<h")    # staticcheck: width=2
+_INT32 = struct.Struct("<i")    # staticcheck: width=4
+_UINT32 = struct.Struct("<I")   # staticcheck: width=4
 
 
 @dataclass(frozen=True)

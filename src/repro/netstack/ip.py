@@ -12,7 +12,7 @@ from .checksum import internet_checksum
 #: IP protocol number for TCP.
 PROTO_TCP = 6
 
-_HEADER = struct.Struct("!BBHHHBBH4s4s")
+_HEADER = struct.Struct("!BBHHHBBH4s4s")  # staticcheck: width=20
 MIN_HEADER_SIZE = _HEADER.size  # 20
 
 

@@ -20,8 +20,8 @@ MAGIC_NSEC = 0xA1B23C4D
 #: Data-link type for Ethernet.
 LINKTYPE_ETHERNET = 1
 
-_GLOBAL_HEADER = struct.Struct("<IHHiIII")
-_RECORD_HEADER = struct.Struct("<IIII")
+_GLOBAL_HEADER = struct.Struct("<IHHiIII")  # staticcheck: width=24
+_RECORD_HEADER = struct.Struct("<IIII")  # staticcheck: width=16
 
 
 class PcapError(ValueError):

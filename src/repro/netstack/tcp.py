@@ -9,7 +9,7 @@ from .addresses import IPv4Address
 from .checksum import internet_checksum
 from .ip import PROTO_TCP
 
-_HEADER = struct.Struct("!HHIIBBHHH")
+_HEADER = struct.Struct("!HHIIBBHHH")  # staticcheck: width=20
 MIN_HEADER_SIZE = _HEADER.size  # 20
 
 

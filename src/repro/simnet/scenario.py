@@ -150,7 +150,7 @@ class Scenario:
         self._links[(server, behavior.name)] = link
         return link
 
-    # -- scheduling ------------------------------------------------------------
+    # -- scheduling ---------------------------------------------------
 
     def run(self) -> SyntheticCapture:
         """Schedule every link's lifecycle and run the simulation."""
