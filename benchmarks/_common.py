@@ -8,6 +8,7 @@ paper-vs-measured comparison of EXPERIMENTS.md can be refreshed.
 
 from __future__ import annotations
 
+import json
 import os
 import pathlib
 
@@ -31,3 +32,17 @@ def run_once(benchmark, func):
     """Benchmark ``func`` with few rounds (analysis steps are heavy)."""
     return benchmark.pedantic(func, rounds=3, iterations=1,
                               warmup_rounds=0)
+
+
+def load_json(path) -> dict | None:
+    """Parse a JSON document; None when absent or malformed."""
+    try:
+        return json.loads(pathlib.Path(path).read_text())
+    except (OSError, ValueError):
+        return None
+
+
+def save_json(path, document: dict) -> None:
+    """Write a JSON document with stable formatting (diff-friendly)."""
+    pathlib.Path(path).write_text(
+        json.dumps(document, indent=2, sort_keys=True) + "\n")

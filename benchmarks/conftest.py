@@ -12,17 +12,23 @@ sys.path.insert(0, str(pathlib.Path(__file__).parent))
 from _common import BENCH_SCALE  # noqa: E402
 
 from repro.analysis import extract_apdus  # noqa: E402
-from repro.datasets import CaptureConfig, generate_capture  # noqa: E402
+from repro.datasets import CaptureConfig  # noqa: E402
+from repro.perf import cached_generate  # noqa: E402
+
+# The captures are served through the content-addressed cache
+# (docs/performance.md): the first run of a given scale/code state
+# simulates and stores; every later run deserializes the stored pcap,
+# which is orders of magnitude faster. `repro cache clear` resets.
 
 
 @pytest.fixture(scope="session")
 def y1_capture():
-    return generate_capture(1, CaptureConfig(time_scale=BENCH_SCALE))
+    return cached_generate(1, CaptureConfig(time_scale=BENCH_SCALE))
 
 
 @pytest.fixture(scope="session")
 def y2_capture():
-    return generate_capture(2, CaptureConfig(time_scale=BENCH_SCALE))
+    return cached_generate(2, CaptureConfig(time_scale=BENCH_SCALE))
 
 
 @pytest.fixture(scope="session")

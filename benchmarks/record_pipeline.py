@@ -1,0 +1,208 @@
+"""Record the capture→analysis pipeline's performance trajectory.
+
+Produces/refreshes ``BENCH_pipeline.json`` at the repo root — a
+machine-readable before/after record of the pipeline fast paths
+(docs/performance.md):
+
+* ``before`` — fixed measurements taken on the tree *prior* to the
+  fast-path work (buffered pcap scan, zero-copy decode, windowed
+  generation, capture cache), at ``time_scale=0.05``;
+* ``after`` — the same metrics measured on the current tree;
+* ``speedup`` — ``before / after`` per metric (>1 is faster).
+
+Usage::
+
+    python benchmarks/record_pipeline.py            # refresh "after"
+    python benchmarks/record_pipeline.py --check    # CI regression gate
+
+``--check`` re-measures only the strict-parser metric (cheap and
+machine-stable) and exits non-zero when it is more than
+``--threshold``× (default 2.0) slower than the committed ``after``
+value. A missing or unreadable committed record downgrades the gate
+to a warning, so the first run on a fresh branch cannot fail.
+"""
+
+from __future__ import annotations
+
+import argparse
+import io
+import pathlib
+import sys
+import tempfile
+import time
+
+sys.path.insert(0, str(pathlib.Path(__file__).parent))
+
+from _common import load_json, save_json  # noqa: E402
+
+from repro.analysis import extract_apdus  # noqa: E402
+from repro.datasets import CaptureConfig, generate_capture  # noqa: E402
+from repro.iec104 import (IFrame, ShortFloat, StrictParser,  # noqa: E402
+                          TolerantParser, TypeID, measurement)
+from repro.netstack.pcap import (PcapReader, PcapRecord,  # noqa: E402
+                                 PcapWriter)
+
+RESULT_PATH = pathlib.Path(__file__).parent.parent / "BENCH_pipeline.json"
+
+#: Capture scale the generation/extraction metrics are measured at.
+SCALE = 0.05
+
+#: Seed-state numbers (same methodology, measured before the fast-path
+#: work landed). Kept literal so the trajectory survives in git even
+#: though the slow paths are gone.
+BEFORE = {
+    "strict_parse_ns_per_frame": 14352.6,
+    "tolerant_parse_ns_per_frame": 14264.7,
+    "extract_apdus_ns_per_packet": 28246.0,
+    "pcap_read_ns_per_record": 2118.3,
+    "generate_y1_wall_s": 3.475,
+    "repeat_acquire_wall_s": 3.475,  # no cache: acquire == regenerate
+}
+
+#: The CI gate metric: cheap to measure and independent of machine
+#: I/O, so a 2x drift reliably means a code regression.
+GATE_METRIC = "strict_parse_ns_per_frame"
+
+
+def _frames(count: int = 2000) -> list[bytes]:
+    frames = []
+    for index in range(count):
+        asdu = measurement(TypeID.M_ME_NC_1, 2001 + index % 20,
+                           ShortFloat(value=50.0 + index % 10))
+        frames.append(IFrame(asdu=asdu,
+                             send_seq=index % (1 << 15)).encode())
+    return frames
+
+
+def _best_ns(func, rounds: int = 5) -> float:
+    best = None
+    for _ in range(rounds):
+        start = time.perf_counter_ns()
+        func()
+        elapsed = time.perf_counter_ns() - start
+        best = elapsed if best is None else min(best, elapsed)
+    return float(best)
+
+
+def measure_parsers(frame_count: int = 2000) -> dict:
+    frames = _frames(frame_count)
+
+    def strict():
+        parser = StrictParser()
+        for frame in frames:
+            parser.parse_frame(frame)
+
+    def tolerant():
+        parser = TolerantParser()
+        for frame in frames:
+            parser.parse_frame(frame, link_key="x")
+
+    return {
+        "strict_parse_ns_per_frame":
+            round(_best_ns(strict) / len(frames), 1),
+        "tolerant_parse_ns_per_frame":
+            round(_best_ns(tolerant) / len(frames), 1),
+    }
+
+
+def measure_pipeline(scale: float = SCALE) -> dict:
+    """Generation, cached re-acquisition, extraction and pcap read."""
+    import os
+
+    from repro.perf import cached_generate
+
+    results: dict = {}
+    start = time.perf_counter()
+    capture = generate_capture(1, CaptureConfig(time_scale=scale))
+    results["generate_y1_wall_s"] = round(time.perf_counter() - start, 3)
+    results["generate_y1_packets"] = len(capture.packets)
+
+    # Repeat acquisition through the content-addressed cache: one miss
+    # (generate + store), then time the hit — what every benchmark run
+    # after the first pays.
+    with tempfile.TemporaryDirectory() as tmp:
+        os.environ["REPRO_CACHE_DIR"] = tmp
+        try:
+            cached_generate(1, CaptureConfig(time_scale=scale))
+            start = time.perf_counter()
+            cached_generate(1, CaptureConfig(time_scale=scale))
+            results["repeat_acquire_wall_s"] = round(
+                time.perf_counter() - start, 3)
+        finally:
+            del os.environ["REPRO_CACHE_DIR"]
+
+    packets = capture.packets[:20000]
+    names = capture.host_names()
+    results["extract_apdus_ns_per_packet"] = round(
+        _best_ns(lambda: extract_apdus(packets, names=names), rounds=3)
+        / len(packets), 1)
+
+    buffer = io.BytesIO()
+    writer = PcapWriter(buffer)
+    for packet in capture.packets:
+        writer.write(PcapRecord(timestamp=packet.timestamp,
+                                data=packet.encode()))
+    raw = buffer.getvalue()
+
+    def read_all():
+        return sum(1 for _ in PcapReader(io.BytesIO(raw)))
+
+    results["pcap_read_ns_per_record"] = round(
+        _best_ns(read_all, rounds=3) / len(capture.packets), 1)
+    return results
+
+
+def build_document(after: dict) -> dict:
+    speedup = {metric: round(BEFORE[metric] / after[metric], 2)
+               for metric in BEFORE if after.get(metric)}
+    return {"scale": SCALE, "before": BEFORE, "after": after,
+            "speedup": speedup}
+
+
+def cmd_record(args) -> int:
+    after = measure_parsers()
+    after.update(measure_pipeline())
+    document = build_document(after)
+    save_json(args.out, document)
+    print(f"wrote {args.out}")
+    for metric, ratio in sorted(document["speedup"].items()):
+        print(f"  {metric}: {ratio}x")
+    return 0
+
+
+def cmd_check(args) -> int:
+    committed = load_json(args.out)
+    measured = measure_parsers()[GATE_METRIC]
+    if not committed or GATE_METRIC not in committed.get("after", {}):
+        print(f"WARNING: no committed baseline at {args.out}; "
+              f"measured {GATE_METRIC}={measured} ns (gate skipped)")
+        return 0
+    baseline = committed["after"][GATE_METRIC]
+    ratio = measured / baseline
+    print(f"{GATE_METRIC}: measured {measured} ns vs committed "
+          f"{baseline} ns ({ratio:.2f}x)")
+    if ratio > args.threshold:
+        print(f"FAIL: strict parser regressed more than "
+              f"{args.threshold}x vs the committed baseline")
+        return 1
+    print("OK")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--out", type=pathlib.Path, default=RESULT_PATH,
+                        help="result path (default: BENCH_pipeline.json"
+                             " at the repo root)")
+    parser.add_argument("--check", action="store_true",
+                        help="regression gate: compare a fresh "
+                             "strict-parser measurement against the "
+                             "committed record")
+    parser.add_argument("--threshold", type=float, default=2.0,
+                        help="--check failure ratio (default 2.0)")
+    args = parser.parse_args(argv)
+    return cmd_check(args) if args.check else cmd_record(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

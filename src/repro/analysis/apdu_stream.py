@@ -25,7 +25,7 @@ from ..netstack.packet import CapturedPacket
 from ..netstack.reassembly import StreamReassembler
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ApduEvent:
     """One decoded APDU with its network context."""
 
@@ -58,7 +58,14 @@ class ApduEvent:
 
 @dataclass
 class StreamExtraction:
-    """Everything the analysis stages consume."""
+    """Everything the analysis stages consume.
+
+    The session/connection groupings are memoized: the sessions, markov
+    and classification stages each re-group the same event list, so the
+    dicts are built once and reused until ``events`` grows (appends
+    invalidate the caches; events are only ever appended, never edited
+    in place).
+    """
 
     events: list[ApduEvent]
     parser: TolerantParser
@@ -66,18 +73,36 @@ class StreamExtraction:
     failures: list[tuple[float, str, str, ParseResult]] = (
         field(default_factory=list))
     retransmissions: int = 0
+    #: Memoized groupings, tagged with the event count they were built
+    #: from so appends invalidate them.
+    _sessions: dict[tuple[str, str], list[ApduEvent]] | None = field(
+        default=None, init=False, repr=False, compare=False)
+    _sessions_size: int = field(default=-1, init=False, repr=False,
+                                compare=False)
+    _connections: dict[tuple[str, str], list[ApduEvent]] | None = field(
+        default=None, init=False, repr=False, compare=False)
+    _connections_size: int = field(default=-1, init=False, repr=False,
+                                   compare=False)
 
     def by_session(self) -> dict[tuple[str, str], list[ApduEvent]]:
-        sessions: dict[tuple[str, str], list[ApduEvent]] = {}
-        for event in self.events:
-            sessions.setdefault(event.session, []).append(event)
-        return sessions
+        if (self._sessions is None
+                or self._sessions_size != len(self.events)):
+            sessions: dict[tuple[str, str], list[ApduEvent]] = {}
+            for event in self.events:
+                sessions.setdefault(event.session, []).append(event)
+            self._sessions = sessions
+            self._sessions_size = len(self.events)
+        return self._sessions
 
     def by_connection(self) -> dict[tuple[str, str], list[ApduEvent]]:
-        connections: dict[tuple[str, str], list[ApduEvent]] = {}
-        for event in self.events:
-            connections.setdefault(event.connection, []).append(event)
-        return connections
+        if (self._connections is None
+                or self._connections_size != len(self.events)):
+            connections: dict[tuple[str, str], list[ApduEvent]] = {}
+            for event in self.events:
+                connections.setdefault(event.connection, []).append(event)
+            self._connections = connections
+            self._connections_size = len(self.events)
+        return self._connections
 
     def i_events(self) -> list[ApduEvent]:
         return [event for event in self.events
@@ -136,8 +161,6 @@ def extract_apdus(packets: Iterable[CapturedPacket],
             data = reassembler.feed(packet.tcp.seq, packet.payload,
                                     syn=packet.flags.syn,
                                     fin=packet.flags.fin)
-            extraction.retransmissions = sum(
-                r.stats.retransmissions for r in reassemblers.values())
             if not data:
                 continue
             results = parser.parse_stream(data, link_key=link_key)
@@ -150,6 +173,9 @@ def extract_apdus(packets: Iterable[CapturedPacket],
             else:
                 extraction.failures.append(
                     (packet.timestamp, src, dst, result))
+    if not per_packet:
+        extraction.retransmissions = sum(
+            r.stats.retransmissions for r in reassemblers.values())
     return extraction
 
 

@@ -41,7 +41,8 @@ def _names_path(pcap_path: Path) -> Path:
 
 def cmd_generate(args: argparse.Namespace,
                  out=sys.stdout) -> int:
-    config = CaptureConfig(seed=args.seed, time_scale=args.scale)
+    config = CaptureConfig(seed=args.seed, time_scale=args.scale,
+                           workers=args.workers)
     capture = generate_capture(args.year, config)
     pcap_path = Path(args.out)
     with open(pcap_path, "wb") as stream:
@@ -266,6 +267,28 @@ def cmd_attack(args: argparse.Namespace, out=sys.stdout) -> int:
     return 0
 
 
+def cmd_cache(args: argparse.Namespace, out=sys.stdout) -> int:
+    """Inspect or empty the content-addressed capture cache."""
+    from .perf import cache_dir, clear_cache, list_entries
+    if args.action == "clear":
+        removed = clear_cache()
+        print(f"removed {removed} cache entr"
+              f"{'y' if removed == 1 else 'ies'} from {cache_dir()}",
+              file=out)
+        return 0
+    entries = list_entries()
+    print(f"cache dir: {cache_dir()}", file=out)
+    if not entries:
+        print("(empty)", file=out)
+        return 0
+    for meta in entries:
+        scale = meta.get("config", {}).get("time_scale", "?")
+        print(f"{meta['key'][:16]}  year={meta.get('year', '?')} "
+              f"scale={scale} packets={meta.get('packets', '?')} "
+              f"{meta.get('pcap_bytes', 0)} bytes", file=out)
+    return 0
+
+
 def cmd_lint(args: argparse.Namespace, out=sys.stdout) -> int:
     """Run the project staticcheck linter (see docs/static-analysis.md)."""
     from .devtools.staticcheck.cli import run_lint
@@ -300,6 +323,11 @@ def build_parser() -> argparse.ArgumentParser:
                           help="fraction of the paper's capture "
                                "duration (default 0.02)")
     generate.add_argument("--seed", type=int, default=104)
+    generate.add_argument("--workers", type=int, default=None,
+                          help="simulate capture days independently "
+                               "with N processes (deterministic for "
+                               "any N; default: single-process "
+                               "whole-year simulation)")
     generate.add_argument("--out", required=True,
                           help="output pcap path")
     generate.set_defaults(func=cmd_generate)
@@ -334,6 +362,13 @@ def build_parser() -> argparse.ArgumentParser:
     attack.add_argument("--out", required=True,
                         help="output pcap path")
     attack.set_defaults(func=cmd_attack)
+
+    cache = sub.add_parser(
+        "cache", help="inspect or empty the capture cache "
+                      "(see docs/performance.md)")
+    cache.add_argument("action", choices=("ls", "clear"),
+                       help="ls: list entries; clear: delete all")
+    cache.set_defaults(func=cmd_cache)
 
     lint = sub.add_parser(
         "lint", help="run the project staticcheck linter "

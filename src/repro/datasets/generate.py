@@ -10,6 +10,7 @@ pathologies and physical events come from
 from __future__ import annotations
 
 import random
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 
 from ..grid.generator import GeneratorState
@@ -17,7 +18,7 @@ from ..grid.simulation import GridEventScript, GridSimulation, \
     build_default_grid
 from ..simnet.behaviors import (OutstationBehavior, OutstationType,
                                 RejectMode)
-from ..simnet.capture import CaptureWindow
+from ..simnet.capture import CaptureTap, CaptureWindow
 from ..simnet.scenario import LinkPlan, Scenario, SyntheticCapture
 from ..simnet.topology import NetworkMap
 from .paper_topology import (ALL_SERVERS, NORMAL_KEEPALIVE_S,
@@ -67,12 +68,23 @@ class CaptureConfig:
     #: TCP acknowledgement realism: "none" (piggyback only, the
     #: calibrated default) or "delayed" (coalesced pure ACKs).
     ack_policy: str = "none"
+    #: ``None`` (default): the original single-process simulation of
+    #: the whole year. ``>= 1``: windowed mode — every capture day is
+    #: simulated independently from a seed derived from
+    #: ``(seed, year, day)``, and ``workers > 1`` fans the days out
+    #: over a process pool. Windowed output is byte-identical for any
+    #: worker count but differs from the monolithic default (per-day
+    #: seeding replaces one shared random stream).
+    workers: int | None = None
 
     def __post_init__(self) -> None:
         if not 0 < self.time_scale <= 1.0:
             raise ValueError("time_scale must be in (0, 1]")
         if self.window_gap < 0:
             raise ValueError("window_gap must be >= 0")
+        if self.workers is not None and self.workers < 1:
+            raise ValueError("workers must be >= 1 (or None for the "
+                             "monolithic path)")
 
 
 def capture_windows(year: int, config: CaptureConfig
@@ -167,12 +179,16 @@ def build_behavior(spec: OutstationSpec, year: int, grid: GridSimulation,
                           else None))
 
 
-def generate_capture(year: int,
-                     config: CaptureConfig = CaptureConfig()
-                     ) -> SyntheticCapture:
-    """Produce the synthetic capture for year 1 or 2."""
-    if year not in (1, 2):
-        raise ValueError("year must be 1 or 2")
+def _build_scene(year: int, config: CaptureConfig
+                 ) -> tuple[random.Random, tuple[CaptureWindow, ...],
+                            GridSimulation, NetworkMap, list[LinkPlan]]:
+    """Deterministic build of everything a scenario needs.
+
+    The returned ``rng`` has consumed exactly the build-time draws
+    (grid capacities, behaviour jitters), in the same order for every
+    caller — the windowed workers rely on this to reconstruct an
+    identical fleet and roster in each process.
+    """
     rng = random.Random((config.seed, year).__hash__() & 0x7FFFFFFF)
     specs = roster(year)
     if config.max_outstations is not None:
@@ -195,6 +211,24 @@ def generate_capture(year: int,
             clock_sync=spec.name in CLOCK_SYNC_STATIONS,
             test_rtu=spec.test_rtu,
             end_of_init=spec.name in END_OF_INIT_STATIONS))
+    return rng, windows, grid, network, plans
+
+
+def generate_capture(year: int,
+                     config: CaptureConfig = CaptureConfig()
+                     ) -> SyntheticCapture:
+    """Produce the synthetic capture for year 1 or 2.
+
+    With ``config.workers`` unset this is the original monolithic
+    discrete-event simulation of the whole year. With ``workers`` set,
+    capture days are simulated independently (optionally in parallel);
+    see :class:`CaptureConfig` and ``docs/performance.md``.
+    """
+    if year not in (1, 2):
+        raise ValueError("year must be 1 or 2")
+    if config.workers is not None:
+        return _generate_windowed(year, config)
+    rng, windows, grid, network, plans = _build_scene(year, config)
 
     scenario = Scenario(
         year=year, plans=plans, grid=grid, network=network,
@@ -208,11 +242,106 @@ def generate_capture(year: int,
     return scenario.run()
 
 
+# -- windowed (parallelizable) generation --------------------------------
+
+#: Ephemeral ports per capture day in windowed mode. Each day's worker
+#: starts from fresh hosts, so days get disjoint blocks to keep TCP
+#: 4-tuples unique across the concatenated year.
+_PORTS_PER_WINDOW = 3000
+_EPHEMERAL_BASE = 49152
+
+
+def _window_seed(config: CaptureConfig, year: int, index: int) -> int:
+    """Deterministic per-day seed (ints only: tuple hashing is stable
+    across processes, unlike strings under hash randomization)."""
+    return (config.seed, year, index, 0x104).__hash__() & 0x7FFFFFFF
+
+
+def _generate_window(year: int, config: CaptureConfig,
+                     index: int) -> tuple[list, int, int]:
+    """Simulate one capture day; returns (packets, dropped, lost).
+
+    Module-level so :class:`ProcessPoolExecutor` can pickle it. Every
+    worker rebuilds the identical scene from the shared seed, then
+    simulates only its own window under a day-specific seed — making
+    the result a pure function of ``(year, config, index)``, which is
+    what guarantees parallel == sequential.
+    """
+    _, windows, grid, network, plans = _build_scene(year, config)
+    if config.include_background:
+        _background_hosts(network)
+    base = _EPHEMERAL_BASE + (_PORTS_PER_WINDOW * index) % 16000
+    for host in network.hosts.values():
+        host.set_port_base(base)
+    seed = _window_seed(config, year, index)
+    scenario = Scenario(
+        year=year, plans=plans, grid=grid, network=network,
+        windows=(windows[index],), seed=seed,
+        retransmission_probability=config.retransmission_probability,
+        agc_dispatch_period=60.0, agc_deadband_mw=1.5,
+        capture_loss_probability=config.capture_loss_probability,
+        ack_policy=config.ack_policy,
+        window_index_offset=index)
+    if config.include_background:
+        _schedule_background(scenario, network, random.Random(seed ^ 0x42))
+    capture = scenario.run()
+    return list(capture.packets), capture.tap.dropped, capture.tap.lost
+
+
+def _generate_window_args(args: tuple[int, CaptureConfig, int]):
+    return _generate_window(*args)
+
+
+def _generate_windowed(year: int,
+                       config: CaptureConfig) -> SyntheticCapture:
+    """Simulate each capture day independently and concatenate.
+
+    ``config.workers == 1`` runs the same per-day function in-process;
+    ``> 1`` fans days out over a process pool. Both orders of execution
+    produce byte-identical pcap output because each day is a pure
+    function of its index.
+    """
+    rng, windows, grid, network, plans = _build_scene(year, config)
+    del rng  # windowed mode replaces the shared stream with per-day seeds
+    if config.include_background:
+        _background_hosts(network)  # keep the address book complete
+    jobs = [(year, config, index) for index in range(len(windows))]
+    workers = min(config.workers or 1, len(windows))
+    if workers > 1:
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            results = list(pool.map(_generate_window_args, jobs))
+    else:
+        results = [_generate_window_args(job) for job in jobs]
+
+    tap = CaptureTap(windows=windows)
+    for packets, dropped, lost in results:
+        tap.packets.extend(packets)
+        tap.dropped += dropped
+        tap.lost += lost
+    return SyntheticCapture(year=year, tap=tap, windows=windows,
+                            network=network, plans=plans, grid=grid)
+
+
+def _background_hosts(network) -> tuple[object, list]:
+    """Register the non-IEC-104 hosts (same order everywhere, so the
+    address assignment matches between workers and the parent).
+
+    Idempotent: window workers register these *before* applying the
+    per-day ephemeral-port base, then the background scheduler reuses
+    them — otherwise the auxiliary hosts would allocate from the
+    default port base in every window and reuse 4-tuples across days.
+    """
+    if "EXT1" in network.hosts:
+        return network["EXT1"], [network[f"PMU{i + 1}"] for i in range(2)]
+    external = network.add_auxiliary("EXT1")
+    pmus = [network.add_auxiliary(f"PMU{i + 1}") for i in range(2)]
+    return external, pmus
+
+
 def _schedule_background(scenario: Scenario, network, rng) -> None:
     """ICCP peering and PMU streams alongside the IEC 104 traffic."""
     from ..simnet.background import BackgroundTraffic
-    external = network.add_auxiliary("EXT1")
-    pmus = [network.add_auxiliary(f"PMU{i + 1}") for i in range(2)]
+    external, pmus = _background_hosts(network)
     background = BackgroundTraffic(sim=scenario.sim, tap=scenario.tap,
                                    rng=rng)
     for window in scenario.windows:

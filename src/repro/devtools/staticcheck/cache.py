@@ -1,0 +1,155 @@
+"""Mtime-keyed result cache for the lint engine.
+
+``repro lint --self`` re-parses every source file on every run even
+though almost none of them changed between invocations. This cache
+remembers, per file, the findings (and suppression count) of the last
+run, keyed on:
+
+* the file's ``(mtime_ns, size)`` stat signature, and
+* a *rule-set signature* — the selected rule ids plus a digest of the
+  staticcheck package's own sources, so editing a rule (or the
+  engine) invalidates every entry automatically.
+
+The store is one JSON document under ``$REPRO_CACHE_DIR`` (default
+``~/.cache/repro-uncharted``) — the same root as the capture cache of
+:mod:`repro.perf.cache`, kept import-independent so the linter stays
+stdlib-only and does not drag the simulation stack in. Findings are
+cached with the paths the engine produced them under (before any
+``relative_to(root)`` re-anchoring), so cached and fresh findings go
+through identical reporting.
+
+``repro lint --no-cache`` bypasses reads and writes entirely.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from .findings import Finding, Severity
+
+#: Environment variable overriding the cache location (shared with the
+#: capture cache).
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+_CACHE_FILE = "staticcheck-cache.json"
+
+#: Memoized digest of the staticcheck package sources.
+_PACKAGE_DIGEST: str | None = None
+
+
+def cache_path() -> Path:
+    override = os.environ.get(CACHE_DIR_ENV)
+    base = (Path(override) if override
+            else Path.home() / ".cache" / "repro-uncharted")
+    return base / _CACHE_FILE
+
+
+def _package_digest() -> str:
+    """SHA-256 over the linter's own sources (rules included)."""
+    global _PACKAGE_DIGEST
+    if _PACKAGE_DIGEST is None:
+        package_root = Path(__file__).resolve().parent
+        digest = hashlib.sha256()
+        for source in sorted(package_root.rglob("*.py")):
+            digest.update(source.name.encode())
+            digest.update(b"\0")
+            digest.update(source.read_bytes())
+            digest.update(b"\0")
+        _PACKAGE_DIGEST = digest.hexdigest()
+    return _PACKAGE_DIGEST
+
+
+def rules_signature(rule_ids: Iterable[str]) -> str:
+    """Cache signature of one engine configuration."""
+    document = {"rules": sorted(rule_ids), "code": _package_digest()}
+    return hashlib.sha256(
+        json.dumps(document, sort_keys=True).encode()).hexdigest()
+
+
+def _encode_finding(finding: Finding) -> dict:
+    return {"path": finding.path, "line": finding.line,
+            "col": finding.col, "rule_id": finding.rule_id,
+            "message": finding.message,
+            "severity": finding.severity.name}
+
+
+def _decode_finding(raw: dict) -> Finding:
+    return Finding(path=raw["path"], line=raw["line"], col=raw["col"],
+                   rule_id=raw["rule_id"], message=raw["message"],
+                   severity=Severity[raw["severity"]])
+
+
+@dataclass
+class CachedFile:
+    """The remembered outcome of linting one unchanged file."""
+
+    findings: list[Finding]
+    suppressed: int
+
+
+class ResultCache:
+    """Per-file findings store, persisted as one JSON document."""
+
+    def __init__(self, path: Path | None = None):
+        self._path = path or cache_path()
+        self._entries: dict[str, dict] = {}
+        self._dirty = False
+        try:
+            loaded = json.loads(self._path.read_text())
+            if isinstance(loaded, dict):
+                self._entries = loaded
+        except (OSError, ValueError):
+            pass
+
+    @staticmethod
+    def _stat(path: Path) -> tuple[int, int] | None:
+        try:
+            stat = path.stat()
+        except OSError:
+            return None
+        return (stat.st_mtime_ns, stat.st_size)
+
+    def get(self, path: Path, signature: str) -> CachedFile | None:
+        """Cached outcome for ``path``, or None when stale/absent."""
+        entry = self._entries.get(str(path.resolve()))
+        if entry is None or entry.get("signature") != signature:
+            return None
+        stat = self._stat(path)
+        if stat is None or [stat[0], stat[1]] \
+                != [entry.get("mtime_ns"), entry.get("size")]:
+            return None
+        try:
+            findings = [_decode_finding(raw)
+                        for raw in entry["findings"]]
+            suppressed = int(entry["suppressed"])
+        except (KeyError, TypeError, ValueError):
+            return None
+        return CachedFile(findings=findings, suppressed=suppressed)
+
+    def put(self, path: Path, signature: str,
+            findings: Sequence[Finding], suppressed: int) -> None:
+        stat = self._stat(path)
+        if stat is None:
+            return
+        self._entries[str(path.resolve())] = {
+            "signature": signature,
+            "mtime_ns": stat[0], "size": stat[1],
+            "suppressed": suppressed,
+            "findings": [_encode_finding(f) for f in findings]}
+        self._dirty = True
+
+    def save(self) -> None:
+        """Persist (atomically) if anything changed this run."""
+        if not self._dirty:
+            return
+        self._path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = self._path.with_name(
+            f"{self._path.name}.{os.getpid()}.tmp")
+        tmp.write_text(json.dumps(self._entries, sort_keys=True))
+        os.replace(tmp, self._path)
+        self._dirty = False

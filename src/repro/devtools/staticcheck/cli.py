@@ -18,6 +18,7 @@ import argparse
 import sys
 from pathlib import Path
 
+from .cache import ResultCache
 from .engine import lint_paths
 from .registry import build_rules
 from .reporters import FORMATTERS, format_text
@@ -51,6 +52,10 @@ def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
                              "stdout")
     parser.add_argument("--list-rules", action="store_true",
                         help="list registered rules and exit")
+    parser.add_argument("--no-cache", action="store_true",
+                        dest="no_cache",
+                        help="re-lint every file, ignoring the "
+                             "mtime-keyed result cache")
 
 
 def run_lint(args: argparse.Namespace, out=sys.stdout) -> int:
@@ -82,8 +87,10 @@ def run_lint(args: argparse.Namespace, out=sys.stdout) -> int:
         src = project_src_root()
         paths.append(src)
         root = src.parent
+    cache = None if getattr(args, "no_cache", False) else ResultCache()
     try:
-        result = lint_paths(paths, select=select, root=root)
+        result = lint_paths(paths, select=select, root=root,
+                            cache=cache)
     except KeyError as exc:
         print(f"unknown rule id(s): {exc.args[0]}", file=sys.stderr)
         return 2

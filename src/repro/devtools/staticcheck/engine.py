@@ -14,6 +14,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Iterable, Sequence
 
+from .cache import ResultCache, rules_signature
 from .findings import Finding, Severity
 from .registry import (AstRule, FileContext, ProjectRule, Rule,
                        build_rules)
@@ -75,16 +76,56 @@ def module_path_for(path: Path) -> str:
     return ".".join(reversed(parts))
 
 
+def _lint_one(file_path: Path, ast_rules: Sequence[AstRule]
+              ) -> tuple[list[Finding], int, bool]:
+    """AST-lint one file: (findings, suppressed count, parsed ok)."""
+    findings: list[Finding] = []
+    suppressed = 0
+    try:
+        source = file_path.read_text(encoding="utf-8")
+    except (OSError, UnicodeDecodeError) as exc:
+        findings.append(Finding(path=str(file_path), line=1, col=1,
+                                rule_id="parse-error",
+                                message=f"cannot read file: {exc}",
+                                severity=Severity.ERROR))
+        return findings, 0, False
+    try:
+        tree = ast.parse(source, filename=str(file_path))
+    except SyntaxError as exc:
+        findings.append(Finding(path=str(file_path),
+                                line=exc.lineno or 1,
+                                col=(exc.offset or 0) + 1,
+                                rule_id="parse-error",
+                                message=f"syntax error: {exc.msg}",
+                                severity=Severity.ERROR))
+        return findings, 0, True
+    ctx = FileContext(path=file_path, source=source, tree=tree,
+                      module=module_path_for(file_path))
+    index = SuppressionIndex.scan(source)
+    for rule in ast_rules:
+        for finding in rule.check_file(ctx):
+            if index.suppresses(finding):
+                suppressed += 1
+            else:
+                findings.append(finding)
+    return findings, suppressed, True
+
+
 def lint_paths(paths: Sequence[Path | str],
                rules: Sequence[Rule] | None = None,
                select: Sequence[str] | None = None,
-               root: Path | None = None) -> RunResult:
+               root: Path | None = None,
+               cache: ResultCache | None = None) -> RunResult:
     """Lint ``paths`` and return the surviving findings, sorted.
 
     ``rules`` overrides the registry (used by tests); ``select``
     narrows the registry to the named rule ids; ``root`` re-anchors
     finding paths relative to a directory (defaults to the common
-    current working directory behaviour of keeping paths as given).
+    current working directory behaviour of keeping paths as given);
+    ``cache`` reuses per-file results for files whose stat signature
+    and rule set are unchanged (see :mod:`.cache`). Cached findings
+    carry engine-native paths — re-anchoring happens downstream of the
+    cache, so hits and misses render identically.
     """
     active = list(rules) if rules is not None else build_rules(select)
     files = discover_files(Path(p) for p in paths)
@@ -92,41 +133,36 @@ def lint_paths(paths: Sequence[Path | str],
     ast_rules = [rule for rule in active if isinstance(rule, AstRule)]
     project_rules = [rule for rule in active
                      if isinstance(rule, ProjectRule)]
+    if rules is not None:
+        # Ad-hoc rule objects (tests) have no stable signature.
+        cache = None
+    signature = (rules_signature(rule.rule_id for rule in ast_rules)
+                 if cache is not None else "")
 
     raw: list[Finding] = []
     suppressed = 0
     for file_path in files:
-        try:
-            source = file_path.read_text(encoding="utf-8")
-        except (OSError, UnicodeDecodeError) as exc:
-            raw.append(Finding(path=str(file_path), line=1, col=1,
-                               rule_id="parse-error",
-                               message=f"cannot read file: {exc}",
-                               severity=Severity.ERROR))
+        cached = (cache.get(file_path, signature)
+                  if cache is not None else None)
+        if cached is not None:
+            result.files_checked += 1
+            raw.extend(cached.findings)
+            suppressed += cached.suppressed
             continue
-        result.files_checked += 1
-        try:
-            tree = ast.parse(source, filename=str(file_path))
-        except SyntaxError as exc:
-            raw.append(Finding(path=str(file_path),
-                               line=exc.lineno or 1,
-                               col=(exc.offset or 0) + 1,
-                               rule_id="parse-error",
-                               message=f"syntax error: {exc.msg}",
-                               severity=Severity.ERROR))
-            continue
-        ctx = FileContext(path=file_path, source=source, tree=tree,
-                          module=module_path_for(file_path))
-        index = SuppressionIndex.scan(source)
-        for rule in ast_rules:
-            for finding in rule.check_file(ctx):
-                if index.suppresses(finding):
-                    suppressed += 1
-                else:
-                    raw.append(finding)
+        findings, file_suppressed, parsed = _lint_one(file_path,
+                                                      ast_rules)
+        if parsed:
+            result.files_checked += 1
+            if cache is not None:
+                cache.put(file_path, signature, findings,
+                          file_suppressed)
+        raw.extend(findings)
+        suppressed += file_suppressed
 
     for rule in project_rules:
         raw.extend(rule.check_project(files))
+    if cache is not None:
+        cache.save()
 
     if root is not None:
         raw = [finding.relative_to(root) for finding in raw]

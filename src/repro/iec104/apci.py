@@ -124,24 +124,28 @@ def decode_apdu(data: bytes | memoryview, offset: int = 0,
     :class:`FramingError`/:class:`ControlFieldError`/
     :class:`MalformedASDUError` on invalid content.
     """
-    view = memoryview(bytes(data))[offset:]
-    if len(view) < 2:
+    # Hot path: operate on the caller's bytes in place (no per-frame
+    # buffer copy); a memoryview argument is materialized once.
+    buf = data if isinstance(data, bytes) else bytes(data)
+    available = len(buf) - offset
+    if available < 2:
         raise TruncatedError("need APCI start+length", needed=2,
-                             available=len(view))
-    if view[0] != START_BYTE:
+                             available=max(available, 0))
+    if buf[offset] != START_BYTE:
         raise FramingError(
-            f"bad start byte 0x{view[0]:02x} (expected 0x68)", offset=offset)
-    length = view[1]
+            f"bad start byte 0x{buf[offset]:02x} (expected 0x68)",
+            offset=offset)
+    length = buf[offset + 1]
     if length < CONTROL_FIELD_LENGTH:
         raise FramingError(f"APCI length {length} < control field size",
                            offset=offset)
     total = 2 + length
-    if len(view) < total:
+    if available < total:
         raise TruncatedError("APDU extends past buffer", needed=total,
-                             available=len(view))
+                             available=available)
 
-    control = view[2:2 + CONTROL_FIELD_LENGTH]
-    body = bytes(view[2 + CONTROL_FIELD_LENGTH:total])
+    control = buf[offset + 2:offset + 2 + CONTROL_FIELD_LENGTH]
+    body = buf[offset + 2 + CONTROL_FIELD_LENGTH:offset + total]
 
     if control[0] & 0x01 == 0:  # I-format
         if not body:

@@ -133,7 +133,9 @@ class ASDU:
         of objects, the signal the compliance analyzer uses to infer that
         the wrong profile is in use.
         """
-        view = memoryview(bytes(data))
+        # Hot path: keep bytes input as-is (slice-free header reads);
+        # memoryview input is materialized once.
+        view = data if isinstance(data, bytes) else bytes(data)
         header = 2 + profile.cot_length + profile.common_address_length
         if len(view) < header:
             raise MalformedASDUError(

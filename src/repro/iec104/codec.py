@@ -28,7 +28,7 @@ from .information_elements import (NormalizedValue, ScaledValue, ShortFloat)
 from .profiles import (CANDIDATE_PROFILES, STANDARD_PROFILE, LinkProfile)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ParseResult:
     """Outcome of parsing one APDU frame from a byte stream."""
 
@@ -55,18 +55,21 @@ def split_frames(payload: bytes | memoryview) -> tuple[list[bytes], bytes]:
     it does not start with 0x68, which callers surface as a framing
     problem.
     """
-    view = memoryview(bytes(payload))
+    # Hot path: scan the caller's bytes in place — no whole-payload
+    # copy; only the per-frame slices are materialized.
+    buf = payload if isinstance(payload, bytes) else bytes(payload)
     frames: list[bytes] = []
     offset = 0
-    while offset + 2 <= len(view):
-        if view[offset] != START_BYTE:
+    size = len(buf)
+    while offset + 2 <= size:
+        if buf[offset] != START_BYTE:
             break
-        total = 2 + view[offset + 1]
-        if offset + total > len(view):
+        total = 2 + buf[offset + 1]
+        if offset + total > size:
             break
-        frames.append(bytes(view[offset:offset + total]))
+        frames.append(buf[offset:offset + total])
         offset += total
-    return frames, bytes(view[offset:])
+    return frames, buf[offset:]
 
 
 def _plausibility(frame: IFrame) -> float:

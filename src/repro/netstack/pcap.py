@@ -74,8 +74,22 @@ class PcapWriter:
         return count
 
 
+#: Precompiled record-header codecs, one per byte order. Sharing them
+#: across readers keeps the per-record hot loop free of Struct builds.
+_RECORD_LE = struct.Struct("<IIII")  # staticcheck: width=16
+_RECORD_BE = struct.Struct(">IIII")  # staticcheck: width=16
+
+
 class PcapReader:
-    """Read records from a classic pcap stream."""
+    """Read records from a classic pcap stream.
+
+    Iteration uses a buffered fast path: the remaining stream is read
+    once and records are scanned out of a :class:`memoryview`, so the
+    per-record cost is one precompiled ``Struct.unpack_from`` and one
+    payload slice instead of two ``read()`` calls.
+    :meth:`iter_unbuffered` keeps the original incremental path for
+    arbitrarily large files (and as a parity oracle in tests).
+    """
 
     def __init__(self, stream: BinaryIO):
         self._stream = stream
@@ -95,9 +109,19 @@ class PcapReader:
         self.version = (fields[1], fields[2])
         self.snaplen = fields[5]
         self.linktype = fields[6]
-        self._record_struct = struct.Struct(self._endian + "IIII")
+        self._record_struct = (_RECORD_LE if self._endian == "<"
+                               else _RECORD_BE)
 
     def __iter__(self) -> Iterator[PcapRecord]:
+        return self._iter_buffered()
+
+    def _iter_buffered(self) -> Iterator[PcapRecord]:
+        buffer = memoryview(self._stream.read())
+        yield from scan_records(buffer, self._record_struct,
+                                self._nanoseconds)
+
+    def iter_unbuffered(self) -> Iterator[PcapRecord]:
+        """Incremental per-record reads (the pre-fast-path behaviour)."""
         divisor = 1e9 if self._nanoseconds else 1e6
         while True:
             header = self._stream.read(self._record_struct.size)
@@ -112,6 +136,31 @@ class PcapReader:
                 raise PcapError("truncated pcap record body")
             yield PcapRecord(timestamp=seconds + fraction / divisor,
                              data=data, original_length=original)
+
+
+def scan_records(buffer: memoryview, record_struct: struct.Struct,
+                 nanoseconds: bool) -> Iterator[PcapRecord]:
+    """Scan pcap records out of an in-memory buffer (post-global-header).
+
+    Semantics match :meth:`PcapReader.iter_unbuffered` exactly,
+    including the error raised for each truncation mode.
+    """
+    divisor = 1e9 if nanoseconds else 1e6
+    header_size = record_struct.size
+    unpack_from = record_struct.unpack_from
+    size = len(buffer)
+    offset = 0
+    while offset < size:
+        if size - offset < header_size:
+            raise PcapError("truncated pcap record header")
+        seconds, fraction, captured, original = unpack_from(buffer, offset)
+        offset += header_size
+        if size - offset < captured:
+            raise PcapError("truncated pcap record body")
+        yield PcapRecord(timestamp=seconds + fraction / divisor,
+                         data=bytes(buffer[offset:offset + captured]),
+                         original_length=original)
+        offset += captured
 
 
 def write_pcap(path, records: Iterable[PcapRecord],

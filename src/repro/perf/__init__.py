@@ -1,0 +1,25 @@
+"""Performance fast paths for the capture→analysis pipeline.
+
+The expensive step of every benchmark run is regenerating the
+synthetic Y1/Y2 captures. :mod:`repro.perf.cache` keys the generated
+pcap bytes (plus the host-name map) on a content address derived from
+the :class:`~repro.datasets.generate.CaptureConfig`, the year and a
+digest of the generating code, so repeat runs skip simulation
+entirely and deserialize the cached capture instead.
+"""
+
+from .cache import (CachedCapture, CacheStats, STATS, cache_dir,
+                    cached_generate, capture_key, clear_cache,
+                    code_digest, list_entries)
+
+__all__ = [
+    "CachedCapture",
+    "CacheStats",
+    "STATS",
+    "cache_dir",
+    "cached_generate",
+    "capture_key",
+    "clear_cache",
+    "code_digest",
+    "list_entries",
+]

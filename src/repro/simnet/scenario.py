@@ -101,7 +101,8 @@ class Scenario:
                  agc_dispatch_period: float = 45.0,
                  agc_deadband_mw: float = 0.5,
                  capture_loss_probability: float = 0.0,
-                 ack_policy: str = "none"):
+                 ack_policy: str = "none",
+                 window_index_offset: int = 0):
         if not windows:
             raise ValueError("scenario needs at least one capture window")
         self.year = year
@@ -110,6 +111,12 @@ class Scenario:
         self.network = network
         self.windows = tuple(sorted(windows, key=lambda w: w.start))
         self.seed = seed
+        #: Global index of ``windows[0]`` within the capture year. Lets
+        #: a scenario that simulates a subset of the year's windows (the
+        #: parallel windowed generator runs one scenario per day) keep
+        #: the index-dependent behaviours — server alternation, the
+        #: first-window test RTU — aligned with the full-year run.
+        self.window_index_offset = window_index_offset
         self.timers = timers or ProtocolTimers()
         self._retransmission = RetransmissionModel(
             probability=retransmission_probability)
@@ -154,7 +161,8 @@ class Scenario:
 
     def run(self) -> SyntheticCapture:
         """Schedule every link's lifecycle and run the simulation."""
-        for index, window in enumerate(self.windows):
+        for index, window in enumerate(self.windows,
+                                       start=self.window_index_offset):
             for plan in self.plans:
                 self._schedule_plan(plan, window, index)
         end = self.windows[-1].end + COOLDOWN_S + 10.0

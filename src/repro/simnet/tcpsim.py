@@ -38,6 +38,17 @@ class SimHost:
             self._next_port = 49152
         return port
 
+    def set_port_base(self, base: int) -> None:
+        """Restart ephemeral allocation at ``base``.
+
+        The windowed capture generator gives each capture day a
+        disjoint port block so concatenated windows never reuse a TCP
+        4-tuple (each worker process starts from fresh hosts).
+        """
+        if not 0 <= base <= 65535:
+            raise ValueError("port base out of range")
+        self._next_port = base
+
 
 @dataclass
 class _Side:

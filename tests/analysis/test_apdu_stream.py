@@ -129,6 +129,20 @@ class TestGrouping:
         extraction = self.make_extraction()
         assert tokenize(extraction.events) == ["U16", "U32"]
 
+    def test_groupings_are_memoized(self):
+        extraction = self.make_extraction()
+        assert extraction.by_session() is extraction.by_session()
+        assert extraction.by_connection() is extraction.by_connection()
+
+    def test_memo_invalidated_on_append(self):
+        extraction = self.make_extraction()
+        first = extraction.by_session()
+        extraction.events.append(extraction.events[0])
+        second = extraction.by_session()
+        assert second is not first
+        assert len(second[("C1", "O1")]) == 2
+        assert len(extraction.by_connection()[("C1", "O1")]) == 3
+
 
 class TestObservedTypeIds:
     def test_counts(self):

@@ -535,3 +535,90 @@ def test_cli_seeded_violation_per_rule_fails(tmp_path):
         exit_code = repro_main(
             ["lint", str(pkg), "--select", rule_id])
         assert exit_code == 1, rule_id
+
+
+class TestResultCache:
+    """The mtime-keyed per-file findings cache (cache.py)."""
+
+    @staticmethod
+    def _write_pkg(tmp_path: Path, body: str) -> Path:
+        pkg = tmp_path / "simnet"
+        pkg.mkdir(exist_ok=True)
+        (pkg / "__init__.py").write_text("")
+        (pkg / "mod.py").write_text(textwrap.dedent(body))
+        return pkg
+
+    @staticmethod
+    def _cache(tmp_path: Path):
+        from repro.devtools.staticcheck.cache import ResultCache
+        return ResultCache(path=tmp_path / "store" / "cache.json")
+
+    def test_hit_reproduces_findings(self, tmp_path):
+        pkg = self._write_pkg(tmp_path, """
+            import time
+            def now():
+                return time.time()
+        """)
+        cache = self._cache(tmp_path)
+        fresh = lint_paths([pkg], select=["determinism"], cache=cache)
+        assert fresh.findings
+        cache.save()
+        rerun = lint_paths([pkg], select=["determinism"],
+                           cache=self._cache(tmp_path))
+        assert rerun.findings == fresh.findings
+        assert rerun.files_checked == fresh.files_checked
+
+    def test_edit_invalidates(self, tmp_path):
+        import os
+        pkg = self._write_pkg(tmp_path, """
+            import time
+            def now():
+                return time.time()
+        """)
+        cache = self._cache(tmp_path)
+        assert lint_paths([pkg], select=["determinism"],
+                          cache=cache).findings
+        target = pkg / "mod.py"
+        target.write_text("def now():\n    return 0.0\n")
+        os.utime(target, ns=(12345, 12345))  # force a new signature
+        clean = lint_paths([pkg], select=["determinism"], cache=cache)
+        assert clean.findings == []
+
+    def test_rule_set_changes_signature(self, tmp_path):
+        from repro.devtools.staticcheck.cache import rules_signature
+        assert rules_signature(["determinism"]) \
+            != rules_signature(["determinism", "bare-except"])
+        assert rules_signature(["b", "a"]) == rules_signature(["a", "b"])
+
+    def test_suppressions_cached(self, tmp_path):
+        pkg = self._write_pkg(tmp_path, """
+            import time
+            def now():
+                return time.time()  # staticcheck: ignore[determinism]
+        """)
+        cache = self._cache(tmp_path)
+        first = lint_paths([pkg], select=["determinism"], cache=cache)
+        assert (first.findings, first.suppressed) == ([], 1)
+        second = lint_paths([pkg], select=["determinism"], cache=cache)
+        assert (second.findings, second.suppressed) == ([], 1)
+
+    def test_custom_rule_objects_bypass_cache(self, tmp_path):
+        pkg = self._write_pkg(tmp_path, "x = 1\n")
+        cache = self._cache(tmp_path)
+        rules = build_rules(["determinism"])
+        lint_paths([pkg], rules=rules, cache=cache)
+        cache.save()
+        assert not (tmp_path / "store" / "cache.json").exists()
+
+    def test_cli_no_cache_flag(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cc"))
+        pkg = self._write_pkg(tmp_path, "x = 1\n")
+        out = io.StringIO()
+        assert repro_main(["lint", str(pkg)], out=out) == 0
+        assert (tmp_path / "cc" / "staticcheck-cache.json").exists()
+        (tmp_path / "cc" / "staticcheck-cache.json").unlink()
+        out = io.StringIO()
+        assert repro_main(["lint", "--no-cache", str(pkg)],
+                          out=out) == 0
+        assert not (tmp_path / "cc"
+                    / "staticcheck-cache.json").exists()

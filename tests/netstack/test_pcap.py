@@ -119,6 +119,93 @@ class TestErrors:
             list(PcapReader(buffer))
 
 
+class TestFastPathParity:
+    """The buffered scan and the per-record reads must agree exactly."""
+
+    @staticmethod
+    def both_paths(raw: bytes):
+        buffered = list(PcapReader(io.BytesIO(raw)))
+        unbuffered = list(PcapReader(io.BytesIO(raw)).iter_unbuffered())
+        return buffered, unbuffered
+
+    def test_little_endian_microseconds(self):
+        buffer = io.BytesIO()
+        writer = PcapWriter(buffer)
+        for index in range(25):
+            writer.write(PcapRecord(timestamp=index + 0.000001 * index,
+                                    data=bytes([index]) * (index + 1)))
+        buffered, unbuffered = self.both_paths(buffer.getvalue())
+        assert buffered == unbuffered
+        assert len(buffered) == 25
+
+    def test_big_endian(self):
+        buffer = io.BytesIO()
+        buffer.write(struct.pack(">IHHiIII", 0xA1B2C3D4, 2, 4, 0, 0,
+                                 65535, 1))
+        for index in range(5):
+            buffer.write(struct.pack(">IIII", index, 250_000, 4, 4))
+            buffer.write(bytes([index]) * 4)
+        buffered, unbuffered = self.both_paths(buffer.getvalue())
+        assert buffered == unbuffered
+        assert buffered[3].timestamp == pytest.approx(3.25)
+
+    def test_nanosecond_magic(self):
+        buffer = io.BytesIO()
+        buffer.write(struct.pack("<IHHiIII", MAGIC_NSEC, 2, 4, 0, 0,
+                                 65535, 1))
+        buffer.write(struct.pack("<IIII", 10, 123_456_789, 3, 3))
+        buffer.write(b"abc")
+        buffered, unbuffered = self.both_paths(buffer.getvalue())
+        assert buffered == unbuffered
+        # Float identity, not approx: both paths must compute the
+        # timestamp with the same expression.
+        assert buffered[0].timestamp == unbuffered[0].timestamp
+
+    def test_big_endian_nanoseconds(self):
+        buffer = io.BytesIO()
+        buffer.write(struct.pack(">IHHiIII", MAGIC_NSEC, 2, 4, 0, 0,
+                                 65535, 1))
+        buffer.write(struct.pack(">IIII", 1, 999_999_999, 2, 2))
+        buffer.write(b"hi")
+        buffered, unbuffered = self.both_paths(buffer.getvalue())
+        assert buffered == unbuffered
+
+    def test_truncated_record_header_both_paths(self):
+        buffer = io.BytesIO()
+        PcapWriter(buffer)
+        buffer.write(b"\x01\x02")
+        raw = buffer.getvalue()
+        with pytest.raises(PcapError, match="record header"):
+            list(PcapReader(io.BytesIO(raw)))
+        with pytest.raises(PcapError, match="record header"):
+            list(PcapReader(io.BytesIO(raw)).iter_unbuffered())
+
+    def test_truncated_record_body_both_paths(self):
+        buffer = io.BytesIO()
+        PcapWriter(buffer)
+        buffer.write(struct.pack("<IIII", 0, 0, 100, 100))
+        buffer.write(b"short")
+        raw = buffer.getvalue()
+        with pytest.raises(PcapError, match="record body"):
+            list(PcapReader(io.BytesIO(raw)))
+        with pytest.raises(PcapError, match="record body"):
+            list(PcapReader(io.BytesIO(raw)).iter_unbuffered())
+
+    def test_records_before_truncation_agree(self):
+        buffer = io.BytesIO()
+        writer = PcapWriter(buffer)
+        writer.write(PcapRecord(timestamp=1.0, data=b"ok"))
+        buffer.write(struct.pack("<IIII", 2, 0, 50, 50))
+        buffer.write(b"not fifty octets")
+        raw = buffer.getvalue()
+        for records in (PcapReader(io.BytesIO(raw)),
+                        PcapReader(io.BytesIO(raw)).iter_unbuffered()):
+            iterator = iter(records)
+            assert next(iterator).data == b"ok"
+            with pytest.raises(PcapError, match="record body"):
+                next(iterator)
+
+
 class TestFileHelpers:
     def test_write_read_path(self, tmp_path):
         path = tmp_path / "capture.pcap"

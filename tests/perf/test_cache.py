@@ -1,0 +1,112 @@
+"""Content-addressed capture cache: correctness and invalidation."""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import pytest
+
+from repro.analysis import extract_apdus
+from repro.datasets import CaptureConfig, generate_capture
+from repro.perf import (STATS, cache_dir, cached_generate, capture_key,
+                        clear_cache, code_digest, list_entries)
+from repro.perf.cache import CachedCapture, load, store
+
+#: Tiny but non-trivial: a few outstations, background traffic on.
+_CONFIG = CaptureConfig(time_scale=0.002, max_outstations=4)
+
+
+@pytest.fixture(autouse=True)
+def isolated_cache(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+    STATS.reset()
+    yield
+
+
+class TestKeying:
+    def test_key_depends_on_config(self):
+        base = capture_key(1, _CONFIG)
+        assert capture_key(1, replace(_CONFIG, seed=105)) != base
+        assert capture_key(1, replace(_CONFIG, time_scale=0.004)) != base
+        assert capture_key(1, replace(_CONFIG, workers=1)) != base
+
+    def test_key_depends_on_year(self):
+        assert capture_key(1, _CONFIG) != capture_key(2, _CONFIG)
+
+    def test_key_is_stable(self):
+        assert capture_key(1, _CONFIG) == capture_key(1, _CONFIG)
+
+    def test_code_digest_is_hex(self):
+        digest = code_digest()
+        assert len(digest) == 64
+        int(digest, 16)
+
+
+class TestRoundTrip:
+    def test_miss_then_hit(self):
+        first = cached_generate(1, _CONFIG)
+        assert (STATS.hits, STATS.misses) == (0, 1)
+        second = cached_generate(1, _CONFIG)
+        assert (STATS.hits, STATS.misses) == (1, 1)
+        assert isinstance(second, CachedCapture)
+        assert len(second.packets) == len(first.packets)
+
+    def test_hit_is_bit_identical(self):
+        fresh = cached_generate(1, _CONFIG)
+        cached = cached_generate(1, _CONFIG)
+        for mine, theirs in zip(fresh.packets, cached.packets):
+            assert mine.timestamp == theirs.timestamp  # exact floats
+            assert mine.encode() == theirs.encode()
+        assert fresh.host_names() == cached.host_names()
+
+    def test_hit_preserves_analysis(self):
+        fresh = extract_apdus(cached_generate(1, _CONFIG).packets)
+        cached = extract_apdus(cached_generate(1, _CONFIG).packets)
+        assert len(cached.events) == len(fresh.events)
+        assert [e.token for e in cached.events] \
+            == [e.token for e in fresh.events]
+
+    def test_incomplete_entry_is_a_miss(self):
+        cached_generate(2, _CONFIG)
+        key = capture_key(2, _CONFIG)
+        (cache_dir() / f"{key}.times.bin").unlink()
+        assert load(key, 2) is None
+        cached_generate(2, _CONFIG)
+        assert STATS.misses == 2
+
+    def test_store_load_explicit(self):
+        capture = generate_capture(2, _CONFIG)
+        key = store(2, _CONFIG, capture)
+        loaded = load(key, 2)
+        assert loaded is not None
+        assert len(loaded.packets) == len(capture.packets)
+
+
+class TestManagement:
+    def test_list_and_clear(self):
+        assert list_entries() == []
+        cached_generate(1, _CONFIG)
+        cached_generate(2, _CONFIG)
+        entries = list_entries()
+        assert {meta["year"] for meta in entries} == {1, 2}
+        assert all(meta["packets"] > 0 for meta in entries)
+        assert clear_cache() == 2
+        assert list_entries() == []
+        assert clear_cache() == 0
+
+    def test_cli_ls_and_clear(self):
+        import io
+
+        from repro.cli import main
+        cached_generate(1, _CONFIG)
+        out = io.StringIO()
+        assert main(["cache", "ls"], out=out) == 0
+        listing = out.getvalue()
+        assert "year=1" in listing
+        assert str(cache_dir()) in listing
+        out = io.StringIO()
+        assert main(["cache", "clear"], out=out) == 0
+        assert "removed 1" in out.getvalue()
+        out = io.StringIO()
+        assert main(["cache", "ls"], out=out) == 0
+        assert "(empty)" in out.getvalue()
