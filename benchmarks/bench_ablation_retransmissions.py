@@ -12,11 +12,8 @@ from repro.analysis import extract_apdus, render_table, tokenize
 
 def test_ablation_retransmissions(benchmark, y1_capture):
     def compare():
-        names = y1_capture.host_names()
-        per_packet = extract_apdus(y1_capture.packets, names=names,
-                                   per_packet=True)
-        reassembled = extract_apdus(y1_capture.packets, names=names,
-                                    per_packet=False)
+        per_packet = extract_apdus(y1_capture, per_packet=True)
+        reassembled = extract_apdus(y1_capture, per_packet=False)
         return per_packet, reassembled
 
     per_packet, reassembled = run_once(benchmark, compare)

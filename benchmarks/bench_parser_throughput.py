@@ -64,11 +64,12 @@ def test_tolerant_parser_throughput_legacy(benchmark):
 
 def test_pipeline_throughput(benchmark, y1_capture):
     """Packets -> APDU events, the full analysis front-end."""
-    packets = y1_capture.packets[:20000]
-    names = y1_capture.host_names()
+    from repro.analysis import PacketCapture
+    subset = PacketCapture(packets=y1_capture.packets[:20000],
+                           names=y1_capture.host_names())
 
     def extract():
-        return len(extract_apdus(packets, names=names).events)
+        return len(extract_apdus(subset).events)
 
     events = run_once(benchmark, extract)
     record("parser_throughput",

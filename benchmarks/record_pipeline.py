@@ -131,16 +131,17 @@ def measure_pipeline(scale: float = SCALE) -> dict:
         finally:
             del os.environ["REPRO_CACHE_DIR"]
 
-    packets = capture.packets[:20000]
-    names = capture.host_names()
+    from repro.analysis import PacketCapture
+    subset = PacketCapture(packets=capture.packets[:20000],
+                           names=capture.host_names())
     results["extract_apdus_ns_per_packet"] = round(
-        _best_ns(lambda: extract_apdus(packets, names=names), rounds=3)
-        / len(packets), 1)
+        _best_ns(lambda: extract_apdus(subset), rounds=3)
+        / len(subset.packets), 1)
 
     buffer = io.BytesIO()
     writer = PcapWriter(buffer)
     for packet in capture.packets:
-        writer.write(PcapRecord(timestamp=packet.timestamp,
+        writer.write(PcapRecord(time_us=packet.time_us,
                                 data=packet.encode()))
     raw = buffer.getvalue()
 

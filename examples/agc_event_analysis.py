@@ -19,8 +19,7 @@ from repro.grid import ActivationSignature
 def main() -> None:
     print("Generating the Year-1 capture (5% time scale)...")
     capture = generate_capture(1, CaptureConfig(time_scale=0.05))
-    extraction = extract_apdus(capture.packets,
-                               names=capture.host_names())
+    extraction = extract_apdus(capture)
     print(f"  {len(extraction.events)} APDUs decoded\n")
 
     # --- normalized-variance screening --------------------------------

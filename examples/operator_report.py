@@ -30,12 +30,11 @@ def main() -> None:
     y2 = generate_capture(2, config)
     names = dict(y1.host_names())
     names.update(y2.host_names())
-    y1_events = extract_apdus(y1.packets, names=y1.host_names())
-    y2_events = extract_apdus(y2.packets, names=y2.host_names())
+    y1_events = extract_apdus(y1)
+    y2_events = extract_apdus(y2)
 
     heading("1. Hypotheses (paper Section 5)")
-    for result in evaluate_all(y1.packets, y1_events, y2_events,
-                               names=y1.host_names()):
+    for result in evaluate_all(y1, y1_events, y2_events):
         print(result)
 
     heading("2. Topology changes Y1 -> Y2 (Fig. 6 / Table 2)")
@@ -51,15 +50,13 @@ def main() -> None:
 
     heading("3. Compliance (paper §6.1)")
     for year, capture in (("Y1", y1), ("Y2", y2)):
-        report = analyze_compliance(capture.packets,
-                                    names=capture.host_names())
+        report = analyze_compliance(capture)
         for host in report.non_compliant_hosts():
             print(f"  {year}: {host.host} — {host.explanation} "
                   f"({host.frames} frames, all decoded tolerantly)")
 
     heading("4. Misbehaving backup connections (Fig. 9)")
-    timelines = build_timelines(y1.packets, y1_events,
-                                names=y1.host_names())
+    timelines = build_timelines(y1, y1_events)
     for timeline in rejected_backup_timelines(timelines)[:4]:
         print(timeline.render(limit=4))
 

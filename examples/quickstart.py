@@ -34,20 +34,22 @@ def main() -> None:
     buffer = io.BytesIO()
     capture.to_pcap(buffer)
     buffer.seek(0)
-    packets = [CapturedPacket.decode(record.timestamp, record.data)
+    packets = [CapturedPacket.decode(record.time_us, record.data)
                for record in PcapReader(buffer)]
     print(f"pcap round-trip: {len(packets)} frames re-imported "
           f"({len(buffer.getvalue())} bytes on disk)\n")
 
     # --- Section 6.2: TCP flows --------------------------------------
-    flows = FlowAnalysis.from_packets("Y1", packets, names=names)
+    from repro.analysis import PacketCapture
+    reimported = PacketCapture(packets=packets, names=names)
+    flows = FlowAnalysis.from_packets("Y1", reimported)
     print(render_table(["Flow class", "Count (proportion)"],
                        flows.summary().rows(),
                        title="TCP flows (paper Table 3 shape)"))
     print()
 
     # --- Section 6.1: compliance -------------------------------------
-    report = analyze_compliance(packets, names=names)
+    report = analyze_compliance(reimported)
     rows = [(host.host, f"{100 * host.strict_malformed_fraction:.0f}%",
              host.explanation)
             for host in report.non_compliant_hosts()]
@@ -56,7 +58,7 @@ def main() -> None:
     print()
 
     # --- Section 6.4: typeID distribution ----------------------------
-    extraction = extract_apdus(packets, names=names)
+    extraction = extract_apdus(reimported)
     distribution = type_id_distribution(extraction)
     rows = [(token, count, f"{pct:.2f}%")
             for token, count, pct in distribution.rows()[:8]]

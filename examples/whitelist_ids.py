@@ -47,8 +47,7 @@ def unseen_fraction(model: NgramModel, sequence: list[str]) -> float:
 def main() -> None:
     print("Training on a clean Year-1 capture...")
     capture = generate_capture(1, CaptureConfig(time_scale=0.02))
-    extraction = extract_apdus(capture.packets,
-                               names=capture.host_names())
+    extraction = extract_apdus(capture)
     model = train_model(extraction)
     print(f"  vocabulary: {sorted(model.vocabulary - {'<s>', '</s>'})}\n")
 

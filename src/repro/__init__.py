@@ -24,9 +24,8 @@ Quickstart::
     from repro.analysis import extract_apdus, FlowAnalysis
 
     capture = generate_capture(1, CaptureConfig(time_scale=0.02))
-    events = extract_apdus(capture.packets, names=capture.host_names())
-    flows = FlowAnalysis.from_packets("Y1", capture.packets,
-                                      names=capture.host_names())
+    events = extract_apdus(capture)
+    flows = FlowAnalysis.from_packets("Y1", capture)
     print(flows.summary().rows())
 """
 

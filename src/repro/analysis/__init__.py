@@ -44,6 +44,7 @@ from .report import render_histogram, render_series, render_table
 from .sessions import (ALL_FEATURES, CLUSTER_ROLES, SELECTED_FEATURES,
                        SessionFeatures, extract_sessions,
                        feature_matrix, label_clusters, session_features)
+from .sources import PacketCapture, as_capture, resolve_source
 from .timeline import (ConnectionTimeline, TimelineEntry,
                        TimelineEvent, build_timelines,
                        rejected_backup_timelines, switchover_timelines)
@@ -87,6 +88,7 @@ __all__ = [
     "ConnectionTimeline", "TimelineEntry", "TimelineEvent",
     "build_timelines", "rejected_backup_timelines",
     "switchover_timelines",
+    "PacketCapture", "as_capture", "resolve_source",
     "station_series", "switchover_chain", "symbol_table", "tokenize",
     "type_distribution", "type_id_distribution", "u_function_counts",
 ]

@@ -14,6 +14,7 @@ the tolerant parser. Two modes are exposed:
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from typing import Iterable
 
@@ -23,18 +24,32 @@ from ..iec104.constants import IEC104_PORT, TypeID
 from ..netstack.addresses import IPv4Address
 from ..netstack.packet import CapturedPacket
 from ..netstack.reassembly import StreamReassembler
+from .sources import PacketSource, resolve_source
 
 
 @dataclass(frozen=True, slots=True)
 class ApduEvent:
-    """One decoded APDU with its network context."""
+    """One decoded APDU with its network context.
 
-    timestamp: float
+    ``time_us`` is the canonical capture time in integer microseconds;
+    the float-seconds ``timestamp`` view is deprecated.
+    """
+
+    time_us: int
     src: str
     dst: str
     apdu: APDU
     compliant: bool = True
     wire_bytes: int = 0
+
+    @property
+    def timestamp(self) -> float:
+        """Deprecated float-seconds view of :attr:`time_us`."""
+        warnings.warn(
+            "ApduEvent.timestamp is deprecated; use ApduEvent.time_us "
+            "(canonical integer microseconds)",
+            DeprecationWarning, stacklevel=2)
+        return self.time_us / 1_000_000
 
     @property
     def token(self) -> str:
@@ -69,8 +84,8 @@ class StreamExtraction:
 
     events: list[ApduEvent]
     parser: TolerantParser
-    #: Parse failures as (timestamp, src, dst, result).
-    failures: list[tuple[float, str, str, ParseResult]] = (
+    #: Parse failures as (time_us, src, dst, result).
+    failures: list[tuple[int, str, str, ParseResult]] = (
         field(default_factory=list))
     retransmissions: int = 0
     #: Memoized groupings, tagged with the event count they were built
@@ -126,18 +141,21 @@ def is_iec104(packet: CapturedPacket) -> bool:
     return IEC104_PORT in (packet.tcp.src_port, packet.tcp.dst_port)
 
 
-def extract_apdus(packets: Iterable[CapturedPacket],
+def extract_apdus(source: PacketSource,
                   names: dict[IPv4Address, str] | None = None,
                   per_packet: bool = True,
                   parser: TolerantParser | None = None
                   ) -> StreamExtraction:
-    """Decode every IEC 104 APDU in ``packets``.
+    """Decode every IEC 104 APDU in ``source``.
 
-    ``names`` maps IP addresses to logical names (C1, O17, ...); unknown
-    hosts keep their ``ip:port`` form. Packets on other ports are
-    ignored, as the paper did with ICCP/C37.118 traffic.
+    ``source`` is Capture-first: pass the capture object itself (its
+    ``host_names()`` map the addresses to logical names C1, O17, ...),
+    a pcap/pcapng reader, or a plain packet iterable. The legacy
+    ``names=`` pair-threading keyword is a deprecated shim. Packets on
+    other ports are ignored, as the paper did with ICCP/C37.118.
     """
-    names = names or {}
+    packets, names = resolve_source(source, names,
+                                    caller="extract_apdus")
     parser = parser or TolerantParser()
     extraction = StreamExtraction(events=[], parser=parser)
     reassemblers: dict[object, StreamReassembler] = {}
@@ -167,12 +185,12 @@ def extract_apdus(packets: Iterable[CapturedPacket],
         for result in results:
             if result.ok:
                 extraction.events.append(ApduEvent(
-                    timestamp=packet.timestamp, src=src, dst=dst,
+                    time_us=packet.time_us, src=src, dst=dst,
                     apdu=result.apdu, compliant=result.compliant,
                     wire_bytes=packet.wire_length))
             else:
                 extraction.failures.append(
-                    (packet.timestamp, src, dst, result))
+                    (packet.time_us, src, dst, result))
     if not per_packet:
         extraction.retransmissions = sum(
             r.stats.retransmissions for r in reassemblers.values())
@@ -181,7 +199,7 @@ def extract_apdus(packets: Iterable[CapturedPacket],
 
 def tokenize(events: Iterable[ApduEvent]) -> list[str]:
     """Token sequence per paper Table 4 (time-ordered)."""
-    ordered = sorted(events, key=lambda event: event.timestamp)
+    ordered = sorted(events, key=lambda event: event.time_us)
     return [event.token for event in ordered]
 
 

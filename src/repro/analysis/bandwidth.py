@@ -55,13 +55,14 @@ def throughput(events: Sequence[ApduEvent],
     if not events:
         return ThroughputSeries(start=0.0, bin_size=bin_size,
                                 bytes_per_bin=())
-    ordered = sorted(events, key=lambda event: event.timestamp)
-    start = ordered[0].timestamp
-    end = ordered[-1].timestamp
+    ordered = sorted(events, key=lambda event: event.time_us)
+    start = ordered[0].time_us / 1_000_000
+    end = ordered[-1].time_us / 1_000_000
     bins = max(1, int((end - start) / bin_size) + 1)
     totals = [0.0] * bins
     for event in ordered:
-        index = min(bins - 1, int((event.timestamp - start) / bin_size))
+        seconds = event.time_us / 1_000_000
+        index = min(bins - 1, int((seconds - start) / bin_size))
         totals[index] += event.wire_bytes
     return ThroughputSeries(start=start, bin_size=bin_size,
                             bytes_per_bin=tuple(totals))
@@ -94,7 +95,7 @@ def inter_arrival_stats(events: Sequence[ApduEvent],
     exclude the idle time between separate capture days, which would
     otherwise swamp the within-capture timing statistics.
     """
-    times = sorted(event.timestamp for event in events)
+    times = sorted(event.time_us / 1_000_000 for event in events)
     gaps = np.diff(times)
     if max_gap is not None:
         gaps = gaps[gaps <= max_gap]
@@ -194,11 +195,11 @@ def timing_profiles(extraction: StreamExtraction,
         if len(events) < min_packets:
             continue
         stats = inter_arrival_stats(events, max_gap=max_gap)
-        duration = (events[-1].timestamp - events[0].timestamp
+        duration = ((events[-1].time_us - events[0].time_us) / 1_000_000
                     if len(events) > 1 else 0.0)
         max_period = max(bin_size * 4, min(600.0, duration / 2))
         periodicity = detect_period(
-            [event.timestamp for event in events],
+            [event.time_us / 1_000_000 for event in events],
             bin_size=bin_size, max_period=max_period)
         series = throughput(events, bin_size=max(10.0, bin_size))
         profiles.append(SessionTimingProfile(

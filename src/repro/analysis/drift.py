@@ -80,7 +80,7 @@ def _split_days(events: list[ApduEvent],
     for event in events:
         day = 0
         for index, boundary in enumerate(boundaries):
-            if event.timestamp >= boundary:
+            if event.time_us / 1_000_000 >= boundary:
                 day = index + 1
         by_day.setdefault(day, []).append(event)
     return by_day
@@ -89,7 +89,8 @@ def _split_days(events: list[ApduEvent],
 def day_boundaries(extraction: StreamExtraction,
                    min_gap: float = 300.0) -> list[float]:
     """Infer capture-day boundaries from global traffic gaps."""
-    times = sorted(event.timestamp for event in extraction.events)
+    times = sorted(event.time_us / 1_000_000
+                   for event in extraction.events)
     boundaries = []
     for earlier, later in zip(times, times[1:]):
         if later - earlier >= min_gap:
@@ -110,7 +111,8 @@ def session_drift(extraction: StreamExtraction,
                 _split_days(events, boundaries).items()):
             if len(day_events) < min_packets_per_day:
                 continue
-            times = [event.timestamp for event in day_events]
+            times = [event.time_us / 1_000_000
+                     for event in day_events]
             duration = max(times) - min(times)
             total = len(day_events)
             i_count = sum(1 for e in day_events

@@ -14,6 +14,7 @@ from typing import Iterable
 from ..netstack.addresses import IPv4Address
 from ..netstack.flows import FlowKind, FlowRecord, FlowTable
 from ..netstack.packet import CapturedPacket
+from .sources import PacketSource, resolve_source
 
 
 @dataclass(frozen=True)
@@ -87,22 +88,26 @@ class FlowAnalysis:
 
     @classmethod
     def from_packets(cls, label: str,
-                     packets: Iterable[CapturedPacket],
+                     source: PacketSource,
                      names: dict[IPv4Address, str] | None = None,
                      iec104_only: bool = True) -> "FlowAnalysis":
         """Build flow records from a capture.
 
-        ``iec104_only`` keeps only port-2404 traffic — the paper's
-        captures also carried ICCP and C37.118, which its analysis
-        set aside.
+        Capture-first: ``source`` may be the capture object itself, a
+        pcap reader, or a plain packet iterable (``names=`` is the
+        deprecated pair-threading shim). ``iec104_only`` keeps only
+        port-2404 traffic — the paper's captures also carried ICCP and
+        C37.118, which its analysis set aside.
         """
         from .apdu_stream import is_iec104
+        packets, names = resolve_source(
+            source, names, caller="FlowAnalysis.from_packets")
         table = FlowTable()
         for packet in packets:
             if iec104_only and not is_iec104(packet):
                 continue
             table.add(packet)
-        return cls(label=label, flows=table.flows, names=names or {})
+        return cls(label=label, flows=table.flows, names=names)
 
     def _name(self, endpoint) -> str:
         return self.names.get(endpoint.address,

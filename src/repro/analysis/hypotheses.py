@@ -26,6 +26,7 @@ from .compliance import analyze_compliance
 from .flows import FlowAnalysis
 from .physical import extract_series, type_id_distribution
 from .sessions import extract_sessions, feature_matrix
+from .sources import PacketSource, as_capture
 from .topology_diff import ObservedTopology, diff_topologies
 
 
@@ -74,11 +75,12 @@ def evaluate_h1_stability(before: StreamExtraction,
         metric=stability)
 
 
-def evaluate_h2_compliance(packets: list[CapturedPacket],
+def evaluate_h2_compliance(source: PacketSource,
                            names: dict[IPv4Address, str] | None = None
                            ) -> HypothesisResult:
     """H2: endpoints speak standard IEC 104 (paper: rejected)."""
-    report = analyze_compliance(packets, names=names)
+    capture = as_capture(source, names, caller="evaluate_h2_compliance")
+    report = analyze_compliance(capture)
     offenders = report.fully_malformed_hosts()
     verdict = Verdict.SUPPORTED if not offenders else Verdict.REJECTED
     return HypothesisResult(
@@ -90,12 +92,12 @@ def evaluate_h2_compliance(packets: list[CapturedPacket],
         metric=float(len(offenders)))
 
 
-def evaluate_h3_flows(packets: list[CapturedPacket],
+def evaluate_h3_flows(source: PacketSource,
                       names: dict[IPv4Address, str] | None = None
                       ) -> HypothesisResult:
     """H3: TCP flows are long-lived (paper: rejected)."""
-    summary = FlowAnalysis.from_packets("capture", packets,
-                                        names=names or {}).summary()
+    capture = as_capture(source, names, caller="evaluate_h3_flows")
+    summary = FlowAnalysis.from_packets("capture", capture).summary()
     short = summary.short_fraction
     verdict = Verdict.SUPPORTED if short < 0.3 else (
         Verdict.MIXED if short < 0.5 else Verdict.REJECTED)
@@ -154,16 +156,21 @@ def evaluate_h5_physical(extraction: StreamExtraction
         metric=float(len(interesting)))
 
 
-def evaluate_all(y1_packets: list[CapturedPacket],
+def evaluate_all(y1_source: PacketSource,
                  y1_extraction: StreamExtraction,
                  y2_extraction: StreamExtraction,
                  names: dict[IPv4Address, str] | None = None
                  ) -> list[HypothesisResult]:
-    """Evaluate H1-H5 the way the paper does across its datasets."""
+    """Evaluate H1-H5 the way the paper does across its datasets.
+
+    Capture-first: ``y1_source`` is the year-1 capture object (or
+    reader / packet iterable; ``names=`` is the deprecated shim).
+    """
+    y1_capture = as_capture(y1_source, names, caller="evaluate_all")
     return [
         evaluate_h1_stability(y1_extraction, y2_extraction),
-        evaluate_h2_compliance(y1_packets, names=names),
-        evaluate_h3_flows(y1_packets, names=names),
+        evaluate_h2_compliance(y1_capture),
+        evaluate_h3_flows(y1_capture),
         evaluate_h4_clusters(y1_extraction),
         evaluate_h5_physical(y1_extraction),
     ]

@@ -146,7 +146,7 @@ def extract_series(extraction: StreamExtraction
             if entry is None:
                 entry = PointSeries(key=key)
                 series[key] = entry
-            entry.append(event.timestamp, value)
+            entry.append(event.time_us / 1_000_000, value)
     return series
 
 

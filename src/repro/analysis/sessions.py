@@ -21,7 +21,8 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..iec104.apci import IFrame, SFrame
-from .apdu_stream import ApduEvent, StreamExtraction
+from .apdu_stream import ApduEvent, StreamExtraction, extract_apdus
+from .sources import PacketSource
 
 #: The paper's selected five features, in order.
 SELECTED_FEATURES = ("dt", "num", "pct_i", "pct_s", "pct_u")
@@ -62,10 +63,11 @@ def session_features(session: tuple[str, str],
                      events: list[ApduEvent]) -> SessionFeatures:
     """Compute the feature vector of one session."""
     src, dst = session
-    ordered = sorted(events, key=lambda event: event.timestamp)
-    times = [event.timestamp for event in ordered]
+    ordered = sorted(events, key=lambda event: event.time_us)
+    times = [event.time_us for event in ordered]
     gaps = [b - a for a, b in zip(times, times[1:])]
-    dt = float(np.mean(gaps)) if gaps else 0.0
+    # Gaps are integer microseconds; the feature stays in seconds.
+    dt = float(np.mean(gaps)) / 1_000_000 if gaps else 0.0
     total = len(ordered)
     i_count = sum(1 for event in ordered if isinstance(event.apdu, IFrame))
     s_count = sum(1 for event in ordered if isinstance(event.apdu, SFrame))
@@ -87,9 +89,16 @@ def session_features(session: tuple[str, str],
         ioa_count=len(ioas), type_variety=len(type_ids))
 
 
-def extract_sessions(extraction: StreamExtraction,
+def extract_sessions(source: StreamExtraction | PacketSource,
                      min_packets: int = 2) -> list[SessionFeatures]:
-    """Feature vectors for every session with >= ``min_packets``."""
+    """Feature vectors for every session with >= ``min_packets``.
+
+    Capture-first: accepts a :class:`StreamExtraction` or anything
+    :func:`repro.analysis.extract_apdus` accepts (a capture object, a
+    pcap reader, a packet iterable).
+    """
+    extraction = (source if isinstance(source, StreamExtraction)
+                  else extract_apdus(source))
     features = []
     for session, events in sorted(extraction.by_session().items()):
         if len(events) < min_packets:

@@ -1,0 +1,102 @@
+"""Capture-first packet sources for the analysis entrypoints.
+
+The analysis API historically threaded ``(packets, names=...)`` pairs
+through every call. The canonical currency is now a *capture*: any
+object with a ``packets`` iterable and a ``host_names()`` mapping —
+:class:`repro.simnet.scenario.SyntheticCapture`, the perf cache's
+``CachedCapture``, an :class:`repro.simnet.attacker.AttackResult`, or
+the :class:`PacketCapture` wrapper below. Raw packet iterables and
+pcap/pcapng readers are also accepted; the ``names=`` keyword remains
+as a deprecated shim.
+"""
+
+from __future__ import annotations
+
+import itertools
+import warnings
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+from ..netstack.addresses import IPv4Address
+from ..netstack.packet import CapturedPacket
+from ..netstack.pcap import PcapReader, PcapRecord
+from ..netstack.pcapng import PcapngReader
+
+#: Anything the Capture-first entrypoints accept.
+PacketSource = object
+
+
+@dataclass
+class PacketCapture:
+    """Minimal concrete capture: a packet list plus its name map."""
+
+    packets: list[CapturedPacket]
+    names: dict[IPv4Address, str] = field(default_factory=dict)
+
+    def host_names(self) -> dict[IPv4Address, str]:
+        return dict(self.names)
+
+    def __len__(self) -> int:
+        return len(self.packets)
+
+
+def _decode_records(records: Iterable[PcapRecord]
+                    ) -> Iterator[CapturedPacket]:
+    for record in records:
+        packet = CapturedPacket.decode(record.time_us, record.data)
+        if packet is not None:
+            yield packet
+
+
+def _warn_names(caller: str) -> None:
+    warnings.warn(
+        f"{caller}(packets, names=...) is deprecated; pass the capture "
+        "object itself (anything with .packets and .host_names())",
+        DeprecationWarning, stacklevel=4)
+
+
+def resolve_source(source: PacketSource,
+                   names: dict[IPv4Address, str] | None = None,
+                   caller: str = "this entrypoint"
+                   ) -> tuple[Iterable[CapturedPacket],
+                              dict[IPv4Address, str]]:
+    """Coerce ``source`` into ``(packets, names)``.
+
+    Accepts a capture object (``.packets`` + ``.host_names()``), a
+    :class:`PcapReader`/:class:`PcapngReader`, an iterable of
+    :class:`PcapRecord`, or a plain iterable of
+    :class:`CapturedPacket`. An explicit ``names=`` (the legacy
+    pair-threading form) still works but emits a
+    :class:`DeprecationWarning`; it overrides the capture's own names.
+    """
+    if names is not None:
+        _warn_names(caller)
+    packets = getattr(source, "packets", None)
+    host_names = getattr(source, "host_names", None)
+    if packets is not None and callable(host_names):
+        resolved = dict(host_names())
+        if names:
+            resolved.update(names)
+        return packets, resolved
+    if isinstance(source, (PcapReader, PcapngReader)):
+        return _decode_records(source), dict(names or {})
+    iterator = iter(source)  # type: ignore[arg-type]
+    try:
+        first = next(iterator)
+    except StopIteration:
+        return [], dict(names or {})
+    rest = itertools.chain([first], iterator)
+    if isinstance(first, PcapRecord):
+        return _decode_records(rest), dict(names or {})
+    return rest, dict(names or {})
+
+
+def as_capture(source: PacketSource,
+               names: dict[IPv4Address, str] | None = None,
+               caller: str = "this entrypoint") -> PacketCapture:
+    """Like :func:`resolve_source` but materializes a reusable
+    :class:`PacketCapture` (multi-pass callers)."""
+    if isinstance(source, PacketCapture) and names is None:
+        return source
+    packets, resolved = resolve_source(source, names, caller)
+    return PacketCapture(packets=list(packets), names=resolved)

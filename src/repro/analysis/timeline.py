@@ -12,6 +12,7 @@ took over.
 from __future__ import annotations
 
 import enum
+import warnings
 from dataclasses import dataclass, field
 from typing import Iterable
 
@@ -36,13 +37,35 @@ class TimelineEvent(enum.Enum):
 
 @dataclass(frozen=True)
 class TimelineEntry:
-    time: float
+    """One lifecycle event; ``time_us`` is canonical integer
+    microseconds, the float-seconds views are deprecated."""
+
+    time_us: int
     event: TimelineEvent
     detail: str = ""
 
+    @property
+    def timestamp(self) -> float:
+        """Deprecated float-seconds view of :attr:`time_us`."""
+        warnings.warn(
+            "TimelineEntry.timestamp is deprecated; use "
+            "TimelineEntry.time_us (canonical integer microseconds)",
+            DeprecationWarning, stacklevel=2)
+        return self.time_us / 1_000_000
+
+    @property
+    def time(self) -> float:
+        """Deprecated float-seconds view of :attr:`time_us`."""
+        warnings.warn(
+            "TimelineEntry.time is deprecated; use "
+            "TimelineEntry.time_us (canonical integer microseconds)",
+            DeprecationWarning, stacklevel=2)
+        return self.time_us / 1_000_000
+
     def __str__(self) -> str:
         suffix = f" ({self.detail})" if self.detail else ""
-        return f"t={self.time:10.3f}s  {self.event.value}{suffix}"
+        seconds = self.time_us / 1_000_000
+        return f"t={seconds:10.3f}s  {self.event.value}{suffix}"
 
 
 @dataclass
@@ -52,13 +75,13 @@ class ConnectionTimeline:
     connection: tuple[str, str]
     entries: list[TimelineEntry] = field(default_factory=list)
 
-    def add(self, time: float, event: TimelineEvent,
+    def add(self, time_us: int, event: TimelineEvent,
             detail: str = "") -> None:
-        self.entries.append(TimelineEntry(time=time, event=event,
+        self.entries.append(TimelineEntry(time_us=time_us, event=event,
                                           detail=detail))
 
     def sort(self) -> None:
-        self.entries.sort(key=lambda entry: entry.time)
+        self.entries.sort(key=lambda entry: entry.time_us)
 
     def events(self, kind: TimelineEvent) -> list[TimelineEntry]:
         return [entry for entry in self.entries if entry.event is kind]
@@ -91,12 +114,18 @@ def _host_pair(src: str, dst: str) -> tuple[str, str]:
     return tuple(sorted((src, dst)))
 
 
-def build_timelines(packets: Iterable[CapturedPacket],
+def build_timelines(source,
                     extraction: StreamExtraction,
                     names: dict[IPv4Address, str] | None = None
                     ) -> dict[tuple[str, str], ConnectionTimeline]:
-    """Reconstruct lifecycle timelines from packets + decoded APDUs."""
-    names = names or {}
+    """Reconstruct lifecycle timelines from packets + decoded APDUs.
+
+    Capture-first: ``source`` may be a capture object, a pcap reader or
+    a plain packet iterable (``names=`` is the deprecated shim).
+    """
+    from .sources import resolve_source
+    packets, names = resolve_source(source, names,
+                                    caller="build_timelines")
     timelines: dict[tuple[str, str], ConnectionTimeline] = {}
 
     def timeline_for(pair) -> ConnectionTimeline:
@@ -118,21 +147,21 @@ def build_timelines(packets: Iterable[CapturedPacket],
         pair = _host_pair(src, dst)
         timeline = timeline_for(pair)
         if flags.syn and not flags.ack:
-            timeline.add(packet.timestamp, TimelineEvent.TCP_SYN,
+            timeline.add(packet.time_us, TimelineEvent.TCP_SYN,
                          detail=f"from {src}")
         elif flags.rst:
-            timeline.add(packet.timestamp, TimelineEvent.TCP_RST,
+            timeline.add(packet.time_us, TimelineEvent.TCP_RST,
                          detail=f"by {src}")
         elif flags.fin:
-            timeline.add(packet.timestamp, TimelineEvent.TCP_FIN,
+            timeline.add(packet.time_us, TimelineEvent.TCP_FIN,
                          detail=f"by {src}")
 
     # Application-level events from decoded APDUs.
     saw_keepalive: dict[tuple[str, str], bool] = {}
     saw_data: dict[tuple[str, str], bool] = {}
-    pending_testfr: dict[tuple[str, str], float | None] = {}
+    pending_testfr: dict[tuple[str, str], int | None] = {}
     for event in sorted(extraction.events,
-                        key=lambda event: event.timestamp):
+                        key=lambda event: event.time_us):
         pair = _host_pair(event.src, event.dst)
         timeline = timeline_for(pair)
         apdu = event.apdu
@@ -140,28 +169,28 @@ def build_timelines(packets: Iterable[CapturedPacket],
             if apdu.function is UFunction.STARTDT_ACT:
                 detail = ""
                 if saw_keepalive.get(pair):
-                    timeline.add(event.timestamp,
+                    timeline.add(event.time_us,
                                  TimelineEvent.SWITCHOVER,
                                  detail="keep-alives preceded STARTDT")
-                timeline.add(event.timestamp, TimelineEvent.STARTDT,
+                timeline.add(event.time_us, TimelineEvent.STARTDT,
                              detail)
             elif apdu.function is UFunction.STOPDT_ACT:
-                timeline.add(event.timestamp, TimelineEvent.STOPDT)
+                timeline.add(event.time_us, TimelineEvent.STOPDT)
             elif apdu.function is UFunction.TESTFR_ACT:
                 saw_keepalive[pair] = True
-                pending_testfr[pair] = event.timestamp
+                pending_testfr[pair] = event.time_us
             elif apdu.function is UFunction.TESTFR_CON:
                 pending_testfr[pair] = None
         elif isinstance(apdu, IFrame):
             asdu = apdu.asdu
             if asdu.type_id is TypeID.C_IC_NA_1 \
                     and asdu.cause is Cause.ACTIVATION:
-                timeline.add(event.timestamp,
+                timeline.add(event.time_us,
                              TimelineEvent.INTERROGATION,
                              detail=f"by {event.src}")
             elif not asdu.is_command and not saw_data.get(pair):
                 saw_data[pair] = True
-                timeline.add(event.timestamp, TimelineEvent.FIRST_DATA,
+                timeline.add(event.time_us, TimelineEvent.FIRST_DATA,
                              detail=asdu.token)
 
     # Unanswered keep-alives (the Fig. 9 probe the RTU killed).

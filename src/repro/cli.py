@@ -21,7 +21,7 @@ import json
 import sys
 from pathlib import Path
 
-from .analysis import (ConnectionChains, FlowAnalysis,
+from .analysis import (ConnectionChains, FlowAnalysis, PacketCapture,
                        analyze_compliance, classify_all, extract_apdus,
                        render_table, symbol_table, timing_profiles,
                        type_distribution, type_id_distribution)
@@ -65,7 +65,8 @@ def _load_names(path: str | None) -> dict[IPv4Address, str]:
             for address, name in raw.items()}
 
 
-def _load_packets(path: str) -> list[CapturedPacket]:
+def _load_capture(path: str,
+                  names: dict[IPv4Address, str]) -> PacketCapture:
     packets = []
     with open(path, "rb") as stream:
         if sniff_format(stream) == "pcapng":
@@ -73,32 +74,33 @@ def _load_packets(path: str) -> list[CapturedPacket]:
         else:
             reader = PcapReader(stream)
         for record in reader:
-            packet = CapturedPacket.decode(record.timestamp, record.data)
+            packet = CapturedPacket.decode(record.time_us, record.data)
             if packet is not None:
                 packets.append(packet)
-    return packets
+    return PacketCapture(packets=packets, names=names)
 
 
 def cmd_analyze(args: argparse.Namespace, out=sys.stdout) -> int:
     names = _load_names(args.names)
-    packets = _load_packets(args.pcap)
+    capture = _load_capture(args.pcap, names)
     if getattr(args, "filter", None):
         from .netstack.filter import filter_packets
-        before = len(packets)
-        packets = filter_packets(packets, args.filter, names=names)
-        print(f"filter {args.filter!r}: {len(packets)} of {before} "
-              "packets kept\n", file=out)
-    if not packets:
+        before = len(capture.packets)
+        capture.packets = filter_packets(capture.packets, args.filter,
+                                         names=names)
+        print(f"filter {args.filter!r}: {len(capture.packets)} of "
+              f"{before} packets kept\n", file=out)
+    if not capture.packets:
         print("no TCP/IPv4 packets found in capture", file=out)
         return 1
     reports = args.report or ["flows", "compliance", "typeids"]
     extraction = None
     if set(reports) - {"flows", "compliance"} \
             or getattr(args, "json", False):
-        extraction = extract_apdus(packets, names=names)
+        extraction = extract_apdus(capture)
 
     if getattr(args, "json", False):
-        document = _analyze_json(reports, packets, extraction, names,
+        document = _analyze_json(reports, capture, extraction,
                                  Path(args.pcap).stem)
         print(json.dumps(document, indent=2, sort_keys=True), file=out)
         return 0
@@ -106,12 +108,12 @@ def cmd_analyze(args: argparse.Namespace, out=sys.stdout) -> int:
     for report in reports:
         if report == "flows":
             analysis = FlowAnalysis.from_packets(
-                Path(args.pcap).stem, packets, names=names)
+                Path(args.pcap).stem, capture)
             print(render_table(["Flow class", "Count (proportion)"],
                                analysis.summary().rows(),
                                title="TCP flows (Table 3)"), file=out)
         elif report == "compliance":
-            compliance = analyze_compliance(packets, names=names)
+            compliance = analyze_compliance(capture)
             rows = [(host.host, host.frames,
                      f"{100 * host.strict_malformed_fraction:.1f}%",
                      host.explanation)
@@ -172,13 +174,13 @@ def cmd_analyze(args: argparse.Namespace, out=sys.stdout) -> int:
     return 0
 
 
-def _analyze_json(reports, packets, extraction, names,
+def _analyze_json(reports, capture, extraction,
                   label: str) -> dict:
     """Machine-readable form of the analysis reports."""
-    document: dict = {"capture": label, "packets": len(packets)}
+    document: dict = {"capture": label,
+                      "packets": len(capture.packets)}
     if "flows" in reports:
-        summary = FlowAnalysis.from_packets(label, packets,
-                                            names=names).summary()
+        summary = FlowAnalysis.from_packets(label, capture).summary()
         document["flows"] = {
             "sub_second_short": summary.sub_second_short,
             "longer_short": summary.longer_short,
@@ -187,7 +189,7 @@ def _analyze_json(reports, packets, extraction, names,
             "short_fraction": round(summary.short_fraction, 4),
         }
     if "compliance" in reports:
-        report = analyze_compliance(packets, names=names)
+        report = analyze_compliance(capture)
         document["compliance"] = {
             host.host: {
                 "frames": host.frames,
@@ -299,11 +301,11 @@ def cmd_hypotheses(args: argparse.Namespace, out=sys.stdout) -> int:
     """Evaluate the paper's five hypotheses on a pair of captures."""
     from .analysis import evaluate_all
     names = _load_names(args.names)
-    y1_packets = _load_packets(args.pcap_y1)
-    y2_packets = _load_packets(args.pcap_y2)
-    y1 = extract_apdus(y1_packets, names=names)
-    y2 = extract_apdus(y2_packets, names=names)
-    for result in evaluate_all(y1_packets, y1, y2, names=names):
+    y1_capture = _load_capture(args.pcap_y1, names)
+    y2_capture = _load_capture(args.pcap_y2, names)
+    y1 = extract_apdus(y1_capture)
+    y2 = extract_apdus(y2_capture)
+    for result in evaluate_all(y1_capture, y1, y2):
         print(result, file=out)
     return 0
 

@@ -95,8 +95,8 @@ def capture_windows(year: int, config: CaptureConfig
     windows = []
     start = 200.0
     for index in range(count):
-        windows.append(CaptureWindow(start=start, end=start + duration,
-                                     label=f"Y{year}-day{index + 1}"))
+        windows.append(CaptureWindow.from_seconds(
+            start, start + duration, label=f"Y{year}-day{index + 1}"))
         start += duration + config.window_gap
     return tuple(windows)
 
@@ -345,10 +345,12 @@ def _schedule_background(scenario: Scenario, network, rng) -> None:
     background = BackgroundTraffic(sim=scenario.sim, tap=scenario.tap,
                                    rng=rng)
     for window in scenario.windows:
-        background.add_iccp_peering(network["C1"], external,
-                                    start=window.start + 1.0,
-                                    end=window.end, period=6.0)
+        background.add_iccp_peering(
+            network["C1"], external,
+            start_us=window.start_us + 1_000_000,
+            end_us=window.end_us, period=6.0)
         for index, pmu in enumerate(pmus):
-            background.add_pmu_stream(pmu, network["C3"],
-                                      start=window.start + 0.5 + index,
-                                      end=window.end, rate_hz=1.0)
+            background.add_pmu_stream(
+                pmu, network["C3"],
+                start_us=window.start_us + 500_000 + index * 1_000_000,
+                end_us=window.end_us, rate_hz=1.0)

@@ -142,6 +142,11 @@ class MutableDefaultRule(AstRule):
 _TIME_NAME_RE = re.compile(
     r"(?:^|_)(?:time(?:stamp)?s?|ts|now|deadline)(?:_|$)|^t\d$")
 
+#: Names that are integer-microsecond ticks by convention — the
+#: canonical timebase (``time_us``, ``now_us``, ``start_us``,
+#: ``*_ticks``). Integer equality is exact, so these are exempt.
+_TICK_NAME_RE = re.compile(r"(?:_us|_ticks)$|^ticks?$")
+
 
 def _terminal_name(expr: ast.expr) -> str | None:
     if isinstance(expr, ast.Name):
@@ -153,7 +158,11 @@ def _terminal_name(expr: ast.expr) -> str | None:
 
 def _is_timey(expr: ast.expr) -> bool:
     name = _terminal_name(expr)
-    return bool(name) and bool(_TIME_NAME_RE.search(name))
+    if not name:
+        return False
+    if _TICK_NAME_RE.search(name):
+        return False
+    return bool(_TIME_NAME_RE.search(name))
 
 
 def _is_exempt_operand(expr: ast.expr) -> bool:
@@ -169,8 +178,10 @@ class FloatTimestampEqRule(AstRule):
 
     rule_id = "float-timestamp-eq"
     description = ("ban ==/!= on float timestamps; compare with a "
-                   "tolerance or use integer tick counts")
-    severity = Severity.WARNING
+                   "tolerance or use integer tick counts "
+                   "(`*_us`/`*_ticks` names are exempt: the canonical "
+                   "timebase is integer microseconds)")
+    severity = Severity.ERROR
 
     def check_file(self, ctx: FileContext) -> Iterator[Finding]:
         for node in ast.walk(ctx.tree):

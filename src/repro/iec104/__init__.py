@@ -41,7 +41,8 @@ from .information_elements import (GOOD, Bitstring32, Bitstring32Command,
                                    ClockSyncCommand,
                                    CounterInterrogationCommand, DoubleCommand,
                                    DoublePoint, EndOfInitialization,
-                                   IntegratedTotals, InterrogationCommand,
+                                   InformationElement, IntegratedTotals,
+                                   InterrogationCommand,
                                    NormalizedValue, Quality, RegulatingStep,
                                    ScaledValue, SetpointFloat,
                                    SetpointNormalized, SetpointScaled,
@@ -70,7 +71,8 @@ __all__ = [
     "connect_master", "serve_outstation", "socketpair_endpoints",
     "OutstationEndpoint", "PipeTransport", "ReceivedMeasurement",
     "Transport", "connect_pair",
-    "GOOD", "IEC104Error", "IEC104_PORT", "IFrame", "InformationObject",
+    "GOOD", "IEC104Error", "IEC104_PORT", "IFrame", "InformationElement",
+    "InformationObject",
     "IntegratedTotals", "InterrogationCommand", "InvalidIOAError",
     "LEGACY_COT_PROFILE", "LEGACY_IOA_PROFILE", "LinkProfile",
     "MalformedASDUError", "NormalizedValue", "OBSERVED_TYPE_IDS",

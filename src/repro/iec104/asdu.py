@@ -14,7 +14,8 @@ from dataclasses import dataclass
 
 from .constants import Cause, TypeID
 from .errors import InvalidIOAError, MalformedASDUError, UnknownTypeIDError
-from .information_elements import ELEMENT_CODECS, codec_for
+from .information_elements import (ELEMENT_CODECS, InformationElement,
+                                   codec_for)
 from .profiles import STANDARD_PROFILE, LinkProfile
 
 #: Maximum number of information objects in one ASDU (7-bit VSQ count).
@@ -26,7 +27,7 @@ class InformationObject:
     """One information object: an address plus its information element."""
 
     address: int
-    element: object
+    element: InformationElement
 
     def __post_init__(self) -> None:
         if self.address < 0:
@@ -206,7 +207,8 @@ class ASDU:
                    originator=originator)
 
 
-def measurement(type_id: TypeID, address: int, element,
+def measurement(type_id: TypeID, address: int,
+                element: InformationElement,
                 cause: Cause = Cause.SPONTANEOUS,
                 common_address: int = 1) -> ASDU:
     """Convenience constructor for a single-object monitor ASDU."""

@@ -13,6 +13,7 @@ from __future__ import annotations
 
 import struct
 from dataclasses import dataclass, field, replace
+from typing import Any, Generic, Protocol, TypeVar
 
 from .constants import TypeID
 from .errors import MalformedASDUError
@@ -642,31 +643,57 @@ class QueryLog:
             raise ValueError("NOF must fit in 16 bits")
 
 
+#: Union of every information-element value class. ``ASDU`` payloads
+#: and ``InformationObject.element`` are typed against this union so
+#: mypy can flag codec/typeID mismatches at construction sites.
+InformationElement = (
+    SinglePoint | DoublePoint | StepPosition | Bitstring32
+    | NormalizedValue | ScaledValue | ShortFloat | IntegratedTotals
+    | PackedSinglePoints | ProtectionEvent | ProtectionStartEvents
+    | ProtectionOutputCircuit | SingleCommand | DoubleCommand
+    | RegulatingStep | SetpointNormalized | SetpointScaled
+    | SetpointFloat | Bitstring32Command | EndOfInitialization
+    | InterrogationCommand | CounterInterrogationCommand | ReadCommand
+    | ClockSyncCommand | ResetProcessCommand | TestCommand
+    | ParameterNormalized | ParameterScaled | ParameterFloat
+    | ParameterActivation | FileReady | SectionReady | CallFile
+    | LastSection | AckFile | Segment | Directory | QueryLog
+)
+
+
 # ---------------------------------------------------------------------------
 # Wire codecs
 # ---------------------------------------------------------------------------
 
-class ElementCodec:
+E = TypeVar("E", bound=InformationElement)
+
+
+class ElementCodec(Generic[E]):
     """Encode/decode one information element for a specific typeID.
 
-    ``size`` is the fixed on-wire size in octets, or ``None`` for the
+    Each concrete codec is parameterized by the value class it accepts
+    (``ElementCodec[ShortFloat]`` etc.), so ``encode`` rejects the
+    wrong element class and ``decode`` returns a precise type. ``size``
+    is the fixed on-wire size in octets, or ``None`` for the
     variable-length file segment (typeID 125).
     """
 
     #: Value class accepted by :meth:`encode`.
-    element_type: type = object
+    element_type: type[E]
     size: int | None = 0
     #: True when the element carries a trailing CP56Time2a.
     timed: bool = False
 
-    def encode(self, element) -> bytes:
+    def encode(self, element: E) -> bytes:
         raise NotImplementedError
 
-    def decode(self, data: memoryview, offset: int):
+    def decode(self, data: bytes | memoryview,
+               offset: int) -> tuple[E, int]:
         """Return ``(element, octets_consumed)``."""
         raise NotImplementedError
 
-    def _need(self, data: memoryview, offset: int, count: int) -> bytes:
+    def _need(self, data: bytes | memoryview, offset: int,
+              count: int) -> bytes:
         raw = bytes(data[offset:offset + count])
         if len(raw) < count:
             raise MalformedASDUError(
@@ -675,17 +702,24 @@ class ElementCodec:
         return raw
 
 
-def _encode_time(element, timed: bool) -> bytes:
+class _TimeTagged(Protocol):
+    """Structural type of elements with an optional CP56 time tag."""
+
+    @property
+    def time(self) -> CP56Time2a | None: ...
+
+
+def _encode_time(element: _TimeTagged, timed: bool) -> bytes:
     if timed:
         if element.time is None:
             raise ValueError("time-tagged typeID requires a time tag")
         return element.time.encode()
-    if getattr(element, "time", None) is not None:
+    if element.time is not None:
         raise ValueError("un-tagged typeID must not carry a time tag")
     return b""
 
 
-class _SinglePointCodec(ElementCodec):
+class _SinglePointCodec(ElementCodec[SinglePoint]):
     element_type = SinglePoint
 
     def __init__(self, timed: bool = False):
@@ -697,7 +731,8 @@ class _SinglePointCodec(ElementCodec):
                                                 & 0xF0)
         return bytes((siq,)) + _encode_time(element, self.timed)
 
-    def decode(self, data: memoryview, offset: int):
+    def decode(self, data: bytes | memoryview,
+               offset: int) -> tuple[SinglePoint, int]:
         raw = self._need(data, offset, self.size)
         element = SinglePoint(
             value=bool(raw[0] & 0x01),
@@ -706,7 +741,7 @@ class _SinglePointCodec(ElementCodec):
         return element, self.size
 
 
-class _DoublePointCodec(ElementCodec):
+class _DoublePointCodec(ElementCodec[DoublePoint]):
     element_type = DoublePoint
 
     def __init__(self, timed: bool = False):
@@ -717,7 +752,8 @@ class _DoublePointCodec(ElementCodec):
         diq = (element.state & 0x03) | (element.quality.encode() & 0xF0)
         return bytes((diq,)) + _encode_time(element, self.timed)
 
-    def decode(self, data: memoryview, offset: int):
+    def decode(self, data: bytes | memoryview,
+               offset: int) -> tuple[DoublePoint, int]:
         raw = self._need(data, offset, self.size)
         element = DoublePoint(
             state=raw[0] & 0x03,
@@ -726,7 +762,7 @@ class _DoublePointCodec(ElementCodec):
         return element, self.size
 
 
-class _StepPositionCodec(ElementCodec):
+class _StepPositionCodec(ElementCodec[StepPosition]):
     element_type = StepPosition
 
     def __init__(self, timed: bool = False):
@@ -738,7 +774,8 @@ class _StepPositionCodec(ElementCodec):
         return (bytes((vti, element.quality.encode()))
                 + _encode_time(element, self.timed))
 
-    def decode(self, data: memoryview, offset: int):
+    def decode(self, data: bytes | memoryview,
+               offset: int) -> tuple[StepPosition, int]:
         raw = self._need(data, offset, self.size)
         value = raw[0] & 0x7F
         if value >= 64:
@@ -751,7 +788,7 @@ class _StepPositionCodec(ElementCodec):
         return element, self.size
 
 
-class _Bitstring32Codec(ElementCodec):
+class _Bitstring32Codec(ElementCodec[Bitstring32]):
     element_type = Bitstring32
 
     def __init__(self, timed: bool = False):
@@ -763,7 +800,8 @@ class _Bitstring32Codec(ElementCodec):
                 + bytes((element.quality.encode(),))
                 + _encode_time(element, self.timed))
 
-    def decode(self, data: memoryview, offset: int):
+    def decode(self, data: bytes | memoryview,
+               offset: int) -> tuple[Bitstring32, int]:
         raw = self._need(data, offset, self.size)
         element = Bitstring32(
             bits=_UINT32.unpack_from(raw)[0],
@@ -772,7 +810,7 @@ class _Bitstring32Codec(ElementCodec):
         return element, self.size
 
 
-class _NormalizedCodec(ElementCodec):
+class _NormalizedCodec(ElementCodec[NormalizedValue]):
     element_type = NormalizedValue
 
     def __init__(self, timed: bool = False, with_quality: bool = True):
@@ -787,7 +825,8 @@ class _NormalizedCodec(ElementCodec):
             out += bytes((element.quality.encode(),))
         return out + _encode_time(element, self.timed)
 
-    def decode(self, data: memoryview, offset: int):
+    def decode(self, data: bytes | memoryview,
+               offset: int) -> tuple[NormalizedValue, int]:
         raw = self._need(data, offset, self.size)
         quality = Quality.decode(raw[2]) if self.with_quality else GOOD
         tail = 2 + (1 if self.with_quality else 0)
@@ -797,7 +836,7 @@ class _NormalizedCodec(ElementCodec):
         return element, self.size
 
 
-class _ScaledCodec(ElementCodec):
+class _ScaledCodec(ElementCodec[ScaledValue]):
     element_type = ScaledValue
 
     def __init__(self, timed: bool = False):
@@ -809,7 +848,8 @@ class _ScaledCodec(ElementCodec):
                 + bytes((element.quality.encode(),))
                 + _encode_time(element, self.timed))
 
-    def decode(self, data: memoryview, offset: int):
+    def decode(self, data: bytes | memoryview,
+               offset: int) -> tuple[ScaledValue, int]:
         raw = self._need(data, offset, self.size)
         element = ScaledValue(
             value=_INT16.unpack_from(raw)[0],
@@ -818,7 +858,7 @@ class _ScaledCodec(ElementCodec):
         return element, self.size
 
 
-class _ShortFloatCodec(ElementCodec):
+class _ShortFloatCodec(ElementCodec[ShortFloat]):
     element_type = ShortFloat
 
     def __init__(self, timed: bool = False):
@@ -830,7 +870,8 @@ class _ShortFloatCodec(ElementCodec):
                 + bytes((element.quality.encode(),))
                 + _encode_time(element, self.timed))
 
-    def decode(self, data: memoryview, offset: int):
+    def decode(self, data: bytes | memoryview,
+               offset: int) -> tuple[ShortFloat, int]:
         raw = self._need(data, offset, self.size)
         element = ShortFloat(
             value=_FLOAT.unpack_from(raw)[0],
@@ -839,7 +880,7 @@ class _ShortFloatCodec(ElementCodec):
         return element, self.size
 
 
-class _IntegratedTotalsCodec(ElementCodec):
+class _IntegratedTotalsCodec(ElementCodec[IntegratedTotals]):
     element_type = IntegratedTotals
 
     def __init__(self, timed: bool = False):
@@ -854,7 +895,8 @@ class _IntegratedTotalsCodec(ElementCodec):
         return (_INT32.pack(element.counter) + bytes((seq,))
                 + _encode_time(element, self.timed))
 
-    def decode(self, data: memoryview, offset: int):
+    def decode(self, data: bytes | memoryview,
+               offset: int) -> tuple[IntegratedTotals, int]:
         raw = self._need(data, offset, self.size)
         element = IntegratedTotals(
             counter=_INT32.unpack_from(raw)[0],
@@ -866,7 +908,7 @@ class _IntegratedTotalsCodec(ElementCodec):
         return element, self.size
 
 
-class _PackedSinglePointsCodec(ElementCodec):
+class _PackedSinglePointsCodec(ElementCodec[PackedSinglePoints]):
     element_type = PackedSinglePoints
     size = 5
 
@@ -874,7 +916,8 @@ class _PackedSinglePointsCodec(ElementCodec):
         return (struct.pack("<HH", element.status, element.change)
                 + bytes((element.quality.encode(),)))
 
-    def decode(self, data: memoryview, offset: int):
+    def decode(self, data: bytes | memoryview,
+               offset: int) -> tuple[PackedSinglePoints, int]:
         raw = self._need(data, offset, self.size)
         status, change = struct.unpack_from("<HH", raw)
         return (PackedSinglePoints(status=status, change=change,
@@ -882,7 +925,7 @@ class _PackedSinglePointsCodec(ElementCodec):
                 self.size)
 
 
-class _ProtectionEventCodec(ElementCodec):
+class _ProtectionEventCodec(ElementCodec[ProtectionEvent]):
     element_type = ProtectionEvent
     size = 1 + CP16_SIZE + CP56_SIZE
     timed = True
@@ -892,7 +935,8 @@ class _ProtectionEventCodec(ElementCodec):
         return (bytes((sep,)) + element.elapsed.encode()
                 + element.time.encode())
 
-    def decode(self, data: memoryview, offset: int):
+    def decode(self, data: bytes | memoryview,
+               offset: int) -> tuple[ProtectionEvent, int]:
         raw = self._need(data, offset, self.size)
         return (ProtectionEvent(
             event_state=raw[0] & 0x03,
@@ -901,7 +945,7 @@ class _ProtectionEventCodec(ElementCodec):
             time=CP56Time2a.decode(raw, 3)), self.size)
 
 
-class _ProtectionStartCodec(ElementCodec):
+class _ProtectionStartCodec(ElementCodec[ProtectionStartEvents]):
     element_type = ProtectionStartEvents
     size = 2 + CP16_SIZE + CP56_SIZE
     timed = True
@@ -911,7 +955,8 @@ class _ProtectionStartCodec(ElementCodec):
                        element.quality.encode()))
                 + element.duration.encode() + element.time.encode())
 
-    def decode(self, data: memoryview, offset: int):
+    def decode(self, data: bytes | memoryview,
+               offset: int) -> tuple[ProtectionStartEvents, int]:
         raw = self._need(data, offset, self.size)
         return (ProtectionStartEvents(
             start_events=raw[0] & 0x3F,
@@ -920,7 +965,7 @@ class _ProtectionStartCodec(ElementCodec):
             time=CP56Time2a.decode(raw, 4)), self.size)
 
 
-class _ProtectionOutputCodec(ElementCodec):
+class _ProtectionOutputCodec(ElementCodec[ProtectionOutputCircuit]):
     element_type = ProtectionOutputCircuit
     size = 2 + CP16_SIZE + CP56_SIZE
     timed = True
@@ -930,7 +975,8 @@ class _ProtectionOutputCodec(ElementCodec):
                        element.quality.encode()))
                 + element.operating_time.encode() + element.time.encode())
 
-    def decode(self, data: memoryview, offset: int):
+    def decode(self, data: bytes | memoryview,
+               offset: int) -> tuple[ProtectionOutputCircuit, int]:
         raw = self._need(data, offset, self.size)
         return (ProtectionOutputCircuit(
             output_circuits=raw[0] & 0x0F,
@@ -939,7 +985,7 @@ class _ProtectionOutputCodec(ElementCodec):
             time=CP56Time2a.decode(raw, 4)), self.size)
 
 
-class _SingleCommandCodec(ElementCodec):
+class _SingleCommandCodec(ElementCodec[SingleCommand]):
     element_type = SingleCommand
 
     def __init__(self, timed: bool = False):
@@ -952,7 +998,8 @@ class _SingleCommandCodec(ElementCodec):
                | (0x80 if element.select else 0))
         return bytes((sco,)) + _encode_time(element, self.timed)
 
-    def decode(self, data: memoryview, offset: int):
+    def decode(self, data: bytes | memoryview,
+               offset: int) -> tuple[SingleCommand, int]:
         raw = self._need(data, offset, self.size)
         element = SingleCommand(
             state=bool(raw[0] & 0x01),
@@ -962,7 +1009,7 @@ class _SingleCommandCodec(ElementCodec):
         return element, self.size
 
 
-class _DoubleCommandCodec(ElementCodec):
+class _DoubleCommandCodec(ElementCodec[DoubleCommand]):
     element_type = DoubleCommand
 
     def __init__(self, timed: bool = False):
@@ -975,7 +1022,8 @@ class _DoubleCommandCodec(ElementCodec):
                | (0x80 if element.select else 0))
         return bytes((dco,)) + _encode_time(element, self.timed)
 
-    def decode(self, data: memoryview, offset: int):
+    def decode(self, data: bytes | memoryview,
+               offset: int) -> tuple[DoubleCommand, int]:
         raw = self._need(data, offset, self.size)
         element = DoubleCommand(
             state=raw[0] & 0x03,
@@ -985,7 +1033,7 @@ class _DoubleCommandCodec(ElementCodec):
         return element, self.size
 
 
-class _RegulatingStepCodec(ElementCodec):
+class _RegulatingStepCodec(ElementCodec[RegulatingStep]):
     element_type = RegulatingStep
 
     def __init__(self, timed: bool = False):
@@ -998,7 +1046,8 @@ class _RegulatingStepCodec(ElementCodec):
                | (0x80 if element.select else 0))
         return bytes((rco,)) + _encode_time(element, self.timed)
 
-    def decode(self, data: memoryview, offset: int):
+    def decode(self, data: bytes | memoryview,
+               offset: int) -> tuple[RegulatingStep, int]:
         raw = self._need(data, offset, self.size)
         element = RegulatingStep(
             step=raw[0] & 0x03,
@@ -1012,7 +1061,7 @@ def _qos(ql: int, select: bool) -> int:
     return (ql & 0x7F) | (0x80 if select else 0)
 
 
-class _SetpointNormalizedCodec(ElementCodec):
+class _SetpointNormalizedCodec(ElementCodec[SetpointNormalized]):
     element_type = SetpointNormalized
 
     def __init__(self, timed: bool = False):
@@ -1024,7 +1073,8 @@ class _SetpointNormalizedCodec(ElementCodec):
         return (_INT16.pack(raw) + bytes((_qos(element.ql, element.select),))
                 + _encode_time(element, self.timed))
 
-    def decode(self, data: memoryview, offset: int):
+    def decode(self, data: bytes | memoryview,
+               offset: int) -> tuple[SetpointNormalized, int]:
         raw = self._need(data, offset, self.size)
         element = SetpointNormalized(
             value=_INT16.unpack_from(raw)[0] / 32768.0,
@@ -1034,7 +1084,7 @@ class _SetpointNormalizedCodec(ElementCodec):
         return element, self.size
 
 
-class _SetpointScaledCodec(ElementCodec):
+class _SetpointScaledCodec(ElementCodec[SetpointScaled]):
     element_type = SetpointScaled
 
     def __init__(self, timed: bool = False):
@@ -1046,7 +1096,8 @@ class _SetpointScaledCodec(ElementCodec):
                 + bytes((_qos(element.ql, element.select),))
                 + _encode_time(element, self.timed))
 
-    def decode(self, data: memoryview, offset: int):
+    def decode(self, data: bytes | memoryview,
+               offset: int) -> tuple[SetpointScaled, int]:
         raw = self._need(data, offset, self.size)
         element = SetpointScaled(
             value=_INT16.unpack_from(raw)[0],
@@ -1056,7 +1107,7 @@ class _SetpointScaledCodec(ElementCodec):
         return element, self.size
 
 
-class _SetpointFloatCodec(ElementCodec):
+class _SetpointFloatCodec(ElementCodec[SetpointFloat]):
     element_type = SetpointFloat
 
     def __init__(self, timed: bool = False):
@@ -1068,7 +1119,8 @@ class _SetpointFloatCodec(ElementCodec):
                 + bytes((_qos(element.ql, element.select),))
                 + _encode_time(element, self.timed))
 
-    def decode(self, data: memoryview, offset: int):
+    def decode(self, data: bytes | memoryview,
+               offset: int) -> tuple[SetpointFloat, int]:
         raw = self._need(data, offset, self.size)
         element = SetpointFloat(
             value=_FLOAT.unpack_from(raw)[0],
@@ -1078,7 +1130,7 @@ class _SetpointFloatCodec(ElementCodec):
         return element, self.size
 
 
-class _Bitstring32CommandCodec(ElementCodec):
+class _Bitstring32CommandCodec(ElementCodec[Bitstring32Command]):
     element_type = Bitstring32Command
 
     def __init__(self, timed: bool = False):
@@ -1088,7 +1140,8 @@ class _Bitstring32CommandCodec(ElementCodec):
     def encode(self, element: Bitstring32Command) -> bytes:
         return _UINT32.pack(element.bits) + _encode_time(element, self.timed)
 
-    def decode(self, data: memoryview, offset: int):
+    def decode(self, data: bytes | memoryview,
+               offset: int) -> tuple[Bitstring32Command, int]:
         raw = self._need(data, offset, self.size)
         element = Bitstring32Command(
             bits=_UINT32.unpack_from(raw)[0],
@@ -1096,7 +1149,7 @@ class _Bitstring32CommandCodec(ElementCodec):
         return element, self.size
 
 
-class _EndOfInitCodec(ElementCodec):
+class _EndOfInitCodec(ElementCodec[EndOfInitialization]):
     element_type = EndOfInitialization
     size = 1
 
@@ -1104,26 +1157,28 @@ class _EndOfInitCodec(ElementCodec):
         return bytes(((element.cause & 0x7F)
                       | (0x80 if element.after_parameter_change else 0),))
 
-    def decode(self, data: memoryview, offset: int):
+    def decode(self, data: bytes | memoryview,
+               offset: int) -> tuple[EndOfInitialization, int]:
         raw = self._need(data, offset, self.size)
         return (EndOfInitialization(
             cause=raw[0] & 0x7F,
             after_parameter_change=bool(raw[0] & 0x80)), self.size)
 
 
-class _InterrogationCodec(ElementCodec):
+class _InterrogationCodec(ElementCodec[InterrogationCommand]):
     element_type = InterrogationCommand
     size = 1
 
     def encode(self, element: InterrogationCommand) -> bytes:
         return bytes((element.qoi,))
 
-    def decode(self, data: memoryview, offset: int):
+    def decode(self, data: bytes | memoryview,
+               offset: int) -> tuple[InterrogationCommand, int]:
         raw = self._need(data, offset, self.size)
         return InterrogationCommand(qoi=raw[0]), self.size
 
 
-class _CounterInterrogationCodec(ElementCodec):
+class _CounterInterrogationCodec(ElementCodec[CounterInterrogationCommand]):
     element_type = CounterInterrogationCommand
     size = 1
 
@@ -1131,24 +1186,26 @@ class _CounterInterrogationCodec(ElementCodec):
         return bytes(((element.request & 0x3F)
                       | ((element.freeze & 0x03) << 6),))
 
-    def decode(self, data: memoryview, offset: int):
+    def decode(self, data: bytes | memoryview,
+               offset: int) -> tuple[CounterInterrogationCommand, int]:
         raw = self._need(data, offset, self.size)
         return (CounterInterrogationCommand(
             request=raw[0] & 0x3F, freeze=(raw[0] >> 6) & 0x03), self.size)
 
 
-class _ReadCommandCodec(ElementCodec):
+class _ReadCommandCodec(ElementCodec[ReadCommand]):
     element_type = ReadCommand
     size = 0
 
     def encode(self, element: ReadCommand) -> bytes:
         return b""
 
-    def decode(self, data: memoryview, offset: int):
+    def decode(self, data: bytes | memoryview,
+               offset: int) -> tuple[ReadCommand, int]:
         return ReadCommand(), 0
 
 
-class _ClockSyncCodec(ElementCodec):
+class _ClockSyncCodec(ElementCodec[ClockSyncCommand]):
     element_type = ClockSyncCommand
     size = CP56_SIZE
     timed = True
@@ -1156,25 +1213,27 @@ class _ClockSyncCodec(ElementCodec):
     def encode(self, element: ClockSyncCommand) -> bytes:
         return element.time.encode()
 
-    def decode(self, data: memoryview, offset: int):
+    def decode(self, data: bytes | memoryview,
+               offset: int) -> tuple[ClockSyncCommand, int]:
         self._need(data, offset, self.size)
         return (ClockSyncCommand(time=CP56Time2a.decode(data, offset)),
                 self.size)
 
 
-class _ResetProcessCodec(ElementCodec):
+class _ResetProcessCodec(ElementCodec[ResetProcessCommand]):
     element_type = ResetProcessCommand
     size = 1
 
     def encode(self, element: ResetProcessCommand) -> bytes:
         return bytes((element.qrp,))
 
-    def decode(self, data: memoryview, offset: int):
+    def decode(self, data: bytes | memoryview,
+               offset: int) -> tuple[ResetProcessCommand, int]:
         raw = self._need(data, offset, self.size)
         return ResetProcessCommand(qrp=raw[0]), self.size
 
 
-class _TestCommandCodec(ElementCodec):
+class _TestCommandCodec(ElementCodec[TestCommand]):
     element_type = TestCommand
     size = 2 + CP56_SIZE
     timed = True
@@ -1182,13 +1241,14 @@ class _TestCommandCodec(ElementCodec):
     def encode(self, element: TestCommand) -> bytes:
         return struct.pack("<H", element.counter) + element.time.encode()
 
-    def decode(self, data: memoryview, offset: int):
+    def decode(self, data: bytes | memoryview,
+               offset: int) -> tuple[TestCommand, int]:
         raw = self._need(data, offset, self.size)
         return (TestCommand(counter=struct.unpack_from("<H", raw)[0],
                             time=CP56Time2a.decode(raw, 2)), self.size)
 
 
-class _ParameterNormalizedCodec(ElementCodec):
+class _ParameterNormalizedCodec(ElementCodec[ParameterNormalized]):
     element_type = ParameterNormalized
     size = 3
 
@@ -1196,47 +1256,51 @@ class _ParameterNormalizedCodec(ElementCodec):
         raw = max(-32768, min(32767, int(round(element.value * 32768.0))))
         return _INT16.pack(raw) + bytes((element.qpm,))
 
-    def decode(self, data: memoryview, offset: int):
+    def decode(self, data: bytes | memoryview,
+               offset: int) -> tuple[ParameterNormalized, int]:
         raw = self._need(data, offset, self.size)
         return (ParameterNormalized(
             value=_INT16.unpack_from(raw)[0] / 32768.0, qpm=raw[2]),
             self.size)
 
 
-class _ParameterScaledCodec(ElementCodec):
+class _ParameterScaledCodec(ElementCodec[ParameterScaled]):
     element_type = ParameterScaled
     size = 3
 
     def encode(self, element: ParameterScaled) -> bytes:
         return _INT16.pack(element.value) + bytes((element.qpm,))
 
-    def decode(self, data: memoryview, offset: int):
+    def decode(self, data: bytes | memoryview,
+               offset: int) -> tuple[ParameterScaled, int]:
         raw = self._need(data, offset, self.size)
         return (ParameterScaled(value=_INT16.unpack_from(raw)[0],
                                 qpm=raw[2]), self.size)
 
 
-class _ParameterFloatCodec(ElementCodec):
+class _ParameterFloatCodec(ElementCodec[ParameterFloat]):
     element_type = ParameterFloat
     size = 5
 
     def encode(self, element: ParameterFloat) -> bytes:
         return _FLOAT.pack(element.value) + bytes((element.qpm,))
 
-    def decode(self, data: memoryview, offset: int):
+    def decode(self, data: bytes | memoryview,
+               offset: int) -> tuple[ParameterFloat, int]:
         raw = self._need(data, offset, self.size)
         return (ParameterFloat(value=_FLOAT.unpack_from(raw)[0],
                                qpm=raw[4]), self.size)
 
 
-class _ParameterActivationCodec(ElementCodec):
+class _ParameterActivationCodec(ElementCodec[ParameterActivation]):
     element_type = ParameterActivation
     size = 1
 
     def encode(self, element: ParameterActivation) -> bytes:
         return bytes((element.qpa,))
 
-    def decode(self, data: memoryview, offset: int):
+    def decode(self, data: bytes | memoryview,
+               offset: int) -> tuple[ParameterActivation, int]:
         raw = self._need(data, offset, self.size)
         return ParameterActivation(qpa=raw[0]), self.size
 
@@ -1249,7 +1313,7 @@ def _unpack_u24(raw: bytes, offset: int) -> int:
     return raw[offset] | (raw[offset + 1] << 8) | (raw[offset + 2] << 16)
 
 
-class _FileReadyCodec(ElementCodec):
+class _FileReadyCodec(ElementCodec[FileReady]):
     element_type = FileReady
     size = 6
 
@@ -1258,14 +1322,15 @@ class _FileReadyCodec(ElementCodec):
                 + _pack_u24(element.file_length)
                 + bytes((element.qualifier,)))
 
-    def decode(self, data: memoryview, offset: int):
+    def decode(self, data: bytes | memoryview,
+               offset: int) -> tuple[FileReady, int]:
         raw = self._need(data, offset, self.size)
         return (FileReady(file_name=struct.unpack_from("<H", raw)[0],
                           file_length=_unpack_u24(raw, 2),
                           qualifier=raw[5]), self.size)
 
 
-class _SectionReadyCodec(ElementCodec):
+class _SectionReadyCodec(ElementCodec[SectionReady]):
     element_type = SectionReady
     size = 7
 
@@ -1275,7 +1340,8 @@ class _SectionReadyCodec(ElementCodec):
                 + _pack_u24(element.section_length)
                 + bytes((element.qualifier,)))
 
-    def decode(self, data: memoryview, offset: int):
+    def decode(self, data: bytes | memoryview,
+               offset: int) -> tuple[SectionReady, int]:
         raw = self._need(data, offset, self.size)
         return (SectionReady(file_name=struct.unpack_from("<H", raw)[0],
                              section=raw[2],
@@ -1283,7 +1349,7 @@ class _SectionReadyCodec(ElementCodec):
                              qualifier=raw[6]), self.size)
 
 
-class _CallFileCodec(ElementCodec):
+class _CallFileCodec(ElementCodec[CallFile]):
     element_type = CallFile
     size = 4
 
@@ -1291,13 +1357,14 @@ class _CallFileCodec(ElementCodec):
         return (struct.pack("<H", element.file_name)
                 + bytes((element.section, element.qualifier)))
 
-    def decode(self, data: memoryview, offset: int):
+    def decode(self, data: bytes | memoryview,
+               offset: int) -> tuple[CallFile, int]:
         raw = self._need(data, offset, self.size)
         return (CallFile(file_name=struct.unpack_from("<H", raw)[0],
                          section=raw[2], qualifier=raw[3]), self.size)
 
 
-class _LastSectionCodec(ElementCodec):
+class _LastSectionCodec(ElementCodec[LastSection]):
     element_type = LastSection
     size = 5
 
@@ -1306,14 +1373,15 @@ class _LastSectionCodec(ElementCodec):
                 + bytes((element.section, element.qualifier,
                          element.checksum)))
 
-    def decode(self, data: memoryview, offset: int):
+    def decode(self, data: bytes | memoryview,
+               offset: int) -> tuple[LastSection, int]:
         raw = self._need(data, offset, self.size)
         return (LastSection(file_name=struct.unpack_from("<H", raw)[0],
                             section=raw[2], qualifier=raw[3],
                             checksum=raw[4]), self.size)
 
 
-class _AckFileCodec(ElementCodec):
+class _AckFileCodec(ElementCodec[AckFile]):
     element_type = AckFile
     size = 4
 
@@ -1321,13 +1389,14 @@ class _AckFileCodec(ElementCodec):
         return (struct.pack("<H", element.file_name)
                 + bytes((element.section, element.qualifier)))
 
-    def decode(self, data: memoryview, offset: int):
+    def decode(self, data: bytes | memoryview,
+               offset: int) -> tuple[AckFile, int]:
         raw = self._need(data, offset, self.size)
         return (AckFile(file_name=struct.unpack_from("<H", raw)[0],
                         section=raw[2], qualifier=raw[3]), self.size)
 
 
-class _SegmentCodec(ElementCodec):
+class _SegmentCodec(ElementCodec[Segment]):
     element_type = Segment
     size = None  # variable
 
@@ -1336,7 +1405,8 @@ class _SegmentCodec(ElementCodec):
                 + bytes((element.section, len(element.data)))
                 + element.data)
 
-    def decode(self, data: memoryview, offset: int):
+    def decode(self, data: bytes | memoryview,
+               offset: int) -> tuple[Segment, int]:
         head = self._need(data, offset, 4)
         los = head[3]
         raw = self._need(data, offset, 4 + los)
@@ -1344,7 +1414,7 @@ class _SegmentCodec(ElementCodec):
                         section=head[2], data=raw[4:]), 4 + los)
 
 
-class _DirectoryCodec(ElementCodec):
+class _DirectoryCodec(ElementCodec[Directory]):
     element_type = Directory
     size = 6 + CP56_SIZE
     timed = True
@@ -1355,7 +1425,8 @@ class _DirectoryCodec(ElementCodec):
                 + bytes((element.status,))
                 + element.time.encode())
 
-    def decode(self, data: memoryview, offset: int):
+    def decode(self, data: bytes | memoryview,
+               offset: int) -> tuple[Directory, int]:
         raw = self._need(data, offset, self.size)
         return (Directory(file_name=struct.unpack_from("<H", raw)[0],
                           file_length=_unpack_u24(raw, 2),
@@ -1363,7 +1434,7 @@ class _DirectoryCodec(ElementCodec):
                           time=CP56Time2a.decode(raw, 6)), self.size)
 
 
-class _QueryLogCodec(ElementCodec):
+class _QueryLogCodec(ElementCodec[QueryLog]):
     element_type = QueryLog
     size = 2 + 2 * CP56_SIZE
     timed = True
@@ -1372,7 +1443,8 @@ class _QueryLogCodec(ElementCodec):
         return (struct.pack("<H", element.file_name)
                 + element.start.encode() + element.stop.encode())
 
-    def decode(self, data: memoryview, offset: int):
+    def decode(self, data: bytes | memoryview,
+               offset: int) -> tuple[QueryLog, int]:
         raw = self._need(data, offset, self.size)
         return (QueryLog(file_name=struct.unpack_from("<H", raw)[0],
                          start=CP56Time2a.decode(raw, 2),
@@ -1380,7 +1452,9 @@ class _QueryLogCodec(ElementCodec):
 
 
 #: Registry mapping each of the 54 typeIDs to its element codec.
-ELEMENT_CODECS: dict[TypeID, ElementCodec] = {
+#: The registry erases each codec's element parameter: a lookup
+#: keyed by a runtime TypeID cannot be statically precise.
+ELEMENT_CODECS: dict[TypeID, ElementCodec[Any]] = {
     TypeID.M_SP_NA_1: _SinglePointCodec(),
     TypeID.M_DP_NA_1: _DoublePointCodec(),
     TypeID.M_ST_NA_1: _StepPositionCodec(),
@@ -1438,7 +1512,7 @@ ELEMENT_CODECS: dict[TypeID, ElementCodec] = {
 }
 
 
-def codec_for(type_id: TypeID) -> ElementCodec:
+def codec_for(type_id: TypeID) -> ElementCodec[Any]:
     """Return the element codec for ``type_id``."""
     return ELEMENT_CODECS[type_id]
 

@@ -48,6 +48,19 @@ class CP56Time2a:
                 raise ValueError(f"CP56Time2a field {name} out of range")
 
     @classmethod
+    def from_us(cls, time_us: int) -> "CP56Time2a":
+        """Build a tag from integer microseconds since the epoch.
+
+        Exact integer arithmetic: sub-millisecond ticks floor to the
+        millisecond the wire format can carry.
+        """
+        if not isinstance(time_us, int) or isinstance(time_us, bool):
+            raise TypeError(f"time_us must be int, got {time_us!r}")
+        if time_us < 0:
+            raise ValueError("time_us must be >= 0")
+        return cls._from_ms(time_us // 1000)
+
+    @classmethod
     def from_seconds(cls, epoch_seconds: float) -> "CP56Time2a":
         """Build a tag from seconds since 2000-01-01 00:00:00.
 
@@ -56,7 +69,10 @@ class CP56Time2a:
         """
         if epoch_seconds < 0:
             raise ValueError("epoch_seconds must be >= 0")
-        total_ms = int(round(epoch_seconds * 1000.0))
+        return cls._from_ms(int(round(epoch_seconds * 1000.0)))
+
+    @classmethod
+    def _from_ms(cls, total_ms: int) -> "CP56Time2a":
         ms = total_ms % 60000
         total_min = total_ms // 60000
         minute = total_min % 60

@@ -31,16 +31,21 @@ class DirectionStats:
     packets: int = 0
     bytes: int = 0
     payload_bytes: int = 0
-    timestamps: list[float] = field(default_factory=list)
+    times_us: list[int] = field(default_factory=list)
 
 
 @dataclass
 class FlowRecord:
-    """One TCP connection (canonical 4-tuple, both directions)."""
+    """One TCP connection (canonical 4-tuple, both directions).
+
+    Times are canonical integer-microsecond ticks; ``first_time``/
+    ``last_time``/``duration`` are derived float-second views for the
+    statistics layers that bin and threshold in seconds.
+    """
 
     key: FlowKey  # canonical orientation
-    first_time: float
-    last_time: float
+    first_time_us: int
+    last_time_us: int
     saw_syn: bool = False
     saw_fin: bool = False
     saw_rst: bool = False
@@ -50,8 +55,20 @@ class FlowRecord:
     reverse: DirectionStats = field(default_factory=DirectionStats)
 
     @property
+    def duration_us(self) -> int:
+        return self.last_time_us - self.first_time_us
+
+    @property
+    def first_time(self) -> float:
+        return self.first_time_us / 1_000_000
+
+    @property
+    def last_time(self) -> float:
+        return self.last_time_us / 1_000_000
+
+    @property
     def duration(self) -> float:
-        return self.last_time - self.first_time
+        return self.duration_us / 1_000_000
 
     @property
     def packets(self) -> int:
@@ -88,11 +105,11 @@ class FlowTable:
         record = self._flows.get(canonical)
         if record is None:
             record = FlowRecord(key=canonical,
-                                first_time=packet.timestamp,
-                                last_time=packet.timestamp)
+                                first_time_us=packet.time_us,
+                                last_time_us=packet.time_us)
             self._flows[canonical] = record
-        record.first_time = min(record.first_time, packet.timestamp)
-        record.last_time = max(record.last_time, packet.timestamp)
+        record.first_time_us = min(record.first_time_us, packet.time_us)
+        record.last_time_us = max(record.last_time_us, packet.time_us)
         flags = packet.flags
         if flags.syn:
             record.saw_syn = True
@@ -106,7 +123,7 @@ class FlowTable:
         stats.packets += 1
         stats.bytes += packet.wire_length
         stats.payload_bytes += len(packet.payload)
-        stats.timestamps.append(packet.timestamp)
+        stats.times_us.append(packet.time_us)
         return record
 
     def add_all(self, packets: Iterable[CapturedPacket]) -> None:

@@ -7,6 +7,7 @@ needs (4-tuple, flags, payload) without re-parsing.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 
 from .addresses import IPv4Address, MacAddress
@@ -52,12 +53,33 @@ class FlowKey:
 
 @dataclass(frozen=True)
 class CapturedPacket:
-    """One packet as seen by the network tap (Fig. 5 of the paper)."""
+    """One packet as seen by the network tap (Fig. 5 of the paper).
 
-    timestamp: float
+    ``time_us`` is the canonical capture time in integer microseconds
+    (the simulation tick); the float-seconds ``timestamp`` view is
+    deprecated.
+    """
+
+    time_us: int
     ethernet: EthernetFrame
     ip: IPv4Packet
     tcp: TCPSegment
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.time_us, int) \
+                or isinstance(self.time_us, bool):
+            raise TypeError(
+                f"time_us must be integer microseconds, got "
+                f"{self.time_us!r}")
+
+    @property
+    def timestamp(self) -> float:
+        """Deprecated float-seconds view of :attr:`time_us`."""
+        warnings.warn(
+            "CapturedPacket.timestamp is deprecated; use "
+            "CapturedPacket.time_us (canonical integer microseconds)",
+            DeprecationWarning, stacklevel=2)
+        return self.time_us / 1_000_000
 
     @property
     def flow_key(self) -> FlowKey:
@@ -82,7 +104,7 @@ class CapturedPacket:
         return self.ethernet.encode()
 
     @classmethod
-    def build(cls, timestamp: float, src_mac: MacAddress,
+    def build(cls, time_us: int, src_mac: MacAddress,
               dst_mac: MacAddress, src_ip: IPv4Address,
               dst_ip: IPv4Address, segment: TCPSegment,
               ip_id: int = 0) -> "CapturedPacket":
@@ -93,11 +115,11 @@ class CapturedPacket:
         frame = EthernetFrame(dst=dst_mac, src=src_mac,
                               ethertype=ETHERTYPE_IPV4,
                               payload=ip_packet.encode())
-        return cls(timestamp=timestamp, ethernet=frame, ip=ip_packet,
+        return cls(time_us=time_us, ethernet=frame, ip=ip_packet,
                    tcp=segment)
 
     @classmethod
-    def decode(cls, timestamp: float, frame_bytes: bytes,
+    def decode(cls, time_us: int, frame_bytes: bytes,
                verify: bool = True) -> "CapturedPacket | None":
         """Decode a raw Ethernet frame; None for non-TCP/IPv4 traffic.
 
@@ -113,5 +135,5 @@ class CapturedPacket:
             return None
         segment = TCPSegment.decode(ip_packet.payload, ip_packet.src,
                                     ip_packet.dst, verify=verify)
-        return cls(timestamp=timestamp, ethernet=frame, ip=ip_packet,
+        return cls(time_us=time_us, ethernet=frame, ip=ip_packet,
                    tcp=segment)

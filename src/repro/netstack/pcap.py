@@ -6,11 +6,20 @@ resolution and both byte orders on read. This is the on-disk format the
 paper's captures were stored in; our simulator writes it and our
 analysis pipeline reads it, so the whole pipeline round-trips through
 real pcap bytes.
+
+Timestamps are canonical integer microseconds (``time_us``), the same
+tick the simulation clock counts in. The microsecond record header
+stores exactly that pair ``divmod(time_us, 1_000_000)``, so the
+writer↔reader round trip is lossless *by construction* — no float
+quantization, no exact-timestamp sidecar. Nanosecond-resolution files
+are read (and optionally written) with sub-microsecond precision
+floored to the canonical tick.
 """
 
 from __future__ import annotations
 
 import struct
+import warnings
 from dataclasses import dataclass
 from typing import BinaryIO, Iterable, Iterator
 
@@ -19,6 +28,9 @@ MAGIC_NSEC = 0xA1B23C4D
 
 #: Data-link type for Ethernet.
 LINKTYPE_ETHERNET = 1
+
+#: Ticks per second (canonical microsecond resolution).
+_US_PER_SECOND = 1_000_000
 
 _GLOBAL_HEADER = struct.Struct("<IHHiIII")  # staticcheck: width=24
 _RECORD_HEADER = struct.Struct("<IIII")  # staticcheck: width=16
@@ -30,11 +42,28 @@ class PcapError(ValueError):
 
 @dataclass(frozen=True)
 class PcapRecord:
-    """One captured frame: a timestamp and the raw link-layer bytes."""
+    """One captured frame: an integer-µs timestamp and the raw bytes."""
 
-    timestamp: float
+    time_us: int
     data: bytes
     original_length: int | None = None
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.time_us, int) \
+                or isinstance(self.time_us, bool):
+            raise TypeError(
+                f"time_us must be integer microseconds, got "
+                f"{self.time_us!r} — use round(seconds * 1_000_000) "
+                f"to convert")
+
+    @property
+    def timestamp(self) -> float:
+        """Deprecated float-seconds view of :attr:`time_us`."""
+        warnings.warn(
+            "PcapRecord.timestamp is deprecated; use "
+            "PcapRecord.time_us (canonical integer microseconds)",
+            DeprecationWarning, stacklevel=2)
+        return self.time_us / _US_PER_SECOND
 
     @property
     def truncated(self) -> bool:
@@ -43,27 +72,34 @@ class PcapRecord:
 
 
 class PcapWriter:
-    """Write records to a classic pcap stream (microsecond resolution)."""
+    """Write records to a classic pcap stream.
+
+    The default microsecond resolution stores ``time_us`` exactly;
+    ``nanoseconds=True`` writes the 0xa1b23c4d variant (each tick
+    stored as ``micros * 1000``), mainly so round-trip tests can cover
+    both magics with files we produced ourselves.
+    """
 
     def __init__(self, stream: BinaryIO, snaplen: int = 65535,
-                 linktype: int = LINKTYPE_ETHERNET):
+                 linktype: int = LINKTYPE_ETHERNET,
+                 nanoseconds: bool = False):
         self._stream = stream
         self._snaplen = snaplen
-        stream.write(_GLOBAL_HEADER.pack(MAGIC_USEC, 2, 4, 0, 0, snaplen,
+        self._nanoseconds = nanoseconds
+        magic = MAGIC_NSEC if nanoseconds else MAGIC_USEC
+        stream.write(_GLOBAL_HEADER.pack(magic, 2, 4, 0, 0, snaplen,
                                          linktype))
 
     def write(self, record: PcapRecord) -> None:
-        seconds = int(record.timestamp)
-        micros = int(round((record.timestamp - seconds) * 1_000_000))
-        if micros >= 1_000_000:
-            seconds += 1
-            micros -= 1_000_000
+        seconds, fraction = divmod(record.time_us, _US_PER_SECOND)
+        if self._nanoseconds:
+            fraction *= 1000
         data = record.data[:self._snaplen]
         original = (record.original_length
                     if record.original_length is not None
                     else len(record.data))
-        self._stream.write(_RECORD_HEADER.pack(seconds, micros, len(data),
-                                               original))
+        self._stream.write(_RECORD_HEADER.pack(seconds, fraction,
+                                               len(data), original))
         self._stream.write(data)
 
     def write_all(self, records: Iterable[PcapRecord]) -> int:
@@ -122,7 +158,7 @@ class PcapReader:
 
     def iter_unbuffered(self) -> Iterator[PcapRecord]:
         """Incremental per-record reads (the pre-fast-path behaviour)."""
-        divisor = 1e9 if self._nanoseconds else 1e6
+        nanoseconds = self._nanoseconds
         while True:
             header = self._stream.read(self._record_struct.size)
             if not header:
@@ -134,7 +170,9 @@ class PcapReader:
             data = self._stream.read(captured)
             if len(data) < captured:
                 raise PcapError("truncated pcap record body")
-            yield PcapRecord(timestamp=seconds + fraction / divisor,
+            if nanoseconds:
+                fraction //= 1000
+            yield PcapRecord(time_us=seconds * _US_PER_SECOND + fraction,
                              data=data, original_length=original)
 
 
@@ -145,7 +183,6 @@ def scan_records(buffer: memoryview, record_struct: struct.Struct,
     Semantics match :meth:`PcapReader.iter_unbuffered` exactly,
     including the error raised for each truncation mode.
     """
-    divisor = 1e9 if nanoseconds else 1e6
     header_size = record_struct.size
     unpack_from = record_struct.unpack_from
     size = len(buffer)
@@ -157,7 +194,9 @@ def scan_records(buffer: memoryview, record_struct: struct.Struct,
         offset += header_size
         if size - offset < captured:
             raise PcapError("truncated pcap record body")
-        yield PcapRecord(timestamp=seconds + fraction / divisor,
+        if nanoseconds:
+            fraction //= 1000
+        yield PcapRecord(time_us=seconds * _US_PER_SECOND + fraction,
                          data=bytes(buffer[offset:offset + captured]),
                          original_length=original)
         offset += captured

@@ -31,7 +31,7 @@ class PcapngError(ValueError):
 class _Interface:
     linktype: int
     #: Timestamp units per second (from if_tsresol; default 1e6).
-    ticks_per_second: float = 1e6
+    ticks_per_second: int = 1_000_000
 
 
 class PcapngReader:
@@ -114,10 +114,9 @@ class PcapngReader:
             if code == 9 and length >= 1:
                 resol = value[0]
                 if resol & 0x80:
-                    interface.ticks_per_second = float(2 **
-                                                       (resol & 0x7F))
+                    interface.ticks_per_second = 2 ** (resol & 0x7F)
                 else:
-                    interface.ticks_per_second = float(10 ** resol)
+                    interface.ticks_per_second = 10 ** resol
         self._interfaces.append(interface)
 
     def __iter__(self) -> Iterator[PcapRecord]:
@@ -143,16 +142,19 @@ class PcapngReader:
                 data = body[20:20 + captured]
                 if len(data) < captured:
                     raise PcapngError("EPB packet data truncated")
-                yield PcapRecord(
-                    timestamp=ticks / interface.ticks_per_second,
-                    data=data, original_length=original)
+                # Exact integer conversion to the canonical µs tick;
+                # decimal resolutions >= 1e6 divide evenly, coarser or
+                # binary resolutions floor deterministically.
+                time_us = ticks * 1_000_000 // interface.ticks_per_second
+                yield PcapRecord(time_us=time_us, data=data,
+                                 original_length=original)
             elif block_type == SPB_TYPE:
                 if len(body) < 4:
                     raise PcapngError("SPB too short")
                 original = struct.unpack(self._endian + "I",
                                          body[:4])[0]
                 data = body[4:4 + original]
-                yield PcapRecord(timestamp=0.0, data=data,
+                yield PcapRecord(time_us=0, data=data,
                                  original_length=original)
             # other block types (NRB, ISB, custom) are skipped
 

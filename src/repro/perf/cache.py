@@ -17,16 +17,18 @@ Editing any generator source therefore invalidates the cache
 automatically — stale entries can never be served.
 
 Entries live under ``$REPRO_CACHE_DIR`` (default
-``~/.cache/repro-uncharted``), four files per key:
+``~/.cache/repro-uncharted``), three files per key:
 
 * ``<key>.pcap`` — the capture, exactly as ``repro generate`` writes it;
 * ``<key>.names.json`` — the host-name map (``ip -> name``);
-* ``<key>.times.bin`` — packed float64 timestamps. The classic pcap
-  record header stores microseconds, but the simulator produces full
-  float timestamps; the sidecar restores them bit-exactly so a cache
-  hit is indistinguishable from a fresh generation.
 * ``<key>.meta.json`` — provenance (year, config, counts, creation
   time) for ``repro cache ls``.
+
+The simulator's timebase is integer microseconds, exactly what a
+classic pcap record header stores, so the pcap round trip is lossless
+by construction and no timestamp sidecar is needed. (Format 1 carried
+a ``<key>.times.bin`` float64 sidecar; the format version below keys
+those stale entries out.)
 
 Writes go through a temporary file and ``os.replace`` so concurrent
 benchmark processes never observe a half-written entry.
@@ -38,7 +40,6 @@ import hashlib
 import io
 import json
 import os
-import struct
 import time
 from dataclasses import asdict, dataclass, field
 from pathlib import Path
@@ -56,7 +57,10 @@ CACHE_DIR_ENV = "REPRO_CACHE_DIR"
 _PIPELINE_PACKAGES = ("datasets", "simnet", "grid", "netstack",
                       "iec104")
 
-_TIMESTAMP_STRUCT = "<%dd"
+#: On-disk entry layout version. Bumped to 2 when the float-timestamp
+#: sidecar was retired; format-1 entries miss cleanly and are
+#: regenerated.
+_FORMAT_VERSION = 2
 
 
 def cache_dir() -> Path:
@@ -111,7 +115,7 @@ def capture_key(year: int, config: CaptureConfig) -> str:
     default, so the two must never share an entry.
     """
     document = {"year": year, "config": asdict(config),
-                "code": code_digest()}
+                "code": code_digest(), "format": _FORMAT_VERSION}
     serialized = json.dumps(document, sort_keys=True)
     return hashlib.sha256(serialized.encode()).hexdigest()
 
@@ -139,7 +143,6 @@ def _entry_paths(key: str) -> dict[str, Path]:
     root = cache_dir()
     return {"pcap": root / f"{key}.pcap",
             "names": root / f"{key}.names.json",
-            "times": root / f"{key}.times.bin",
             "meta": root / f"{key}.meta.json"}
 
 
@@ -164,15 +167,11 @@ def store(year: int, config: CaptureConfig, capture) -> str:
     _atomic_write(paths["names"],
                   json.dumps(names, indent=2, sort_keys=True).encode())
 
-    timestamps = [packet.timestamp for packet in capture.packets]
-    _atomic_write(paths["times"],
-                  struct.pack(_TIMESTAMP_STRUCT % len(timestamps),
-                              *timestamps))
-
     meta = {"year": year, "config": asdict(config),
             "packets": len(capture.packets),
             "pcap_bytes": paths["pcap"].stat().st_size,
-            "code": code_digest(), "created": time.time()}
+            "code": code_digest(), "format": _FORMAT_VERSION,
+            "created": time.time()}
     _atomic_write(paths["meta"],
                   json.dumps(meta, indent=2, sort_keys=True).encode())
     return key
@@ -185,14 +184,11 @@ def load(key: str, year: int) -> CachedCapture | None:
         return None
     with open(paths["pcap"], "rb") as stream:
         records = list(PcapReader(stream))
-    raw_times = paths["times"].read_bytes()
-    if len(raw_times) != 8 * len(records):
-        return None  # sidecar out of step with the pcap
-    timestamps = struct.unpack(_TIMESTAMP_STRUCT % len(records),
-                               raw_times)
+    # The pcap header's integer microseconds ARE the canonical tick;
+    # decoding reconstructs every packet bit-identically.
     packets = []
-    for record, timestamp in zip(records, timestamps):
-        packet = CapturedPacket.decode(timestamp, record.data)
+    for record in records:
+        packet = CapturedPacket.decode(record.time_us, record.data)
         if packet is not None:
             packets.append(packet)
     names = {IPv4Address.parse(address): name
@@ -250,7 +246,10 @@ def clear_cache() -> int:
     removed = 0
     for meta_path in list(root.glob("*.meta.json")):
         key = meta_path.name[:-len(".meta.json")]
-        for path in _entry_paths(key).values():
+        # Include the retired format-1 float sidecar in the sweep.
+        stale = [*_entry_paths(key).values(),
+                 root / f"{key}.times.bin"]
+        for path in stale:
             try:
                 path.unlink()
             except FileNotFoundError:

@@ -5,7 +5,9 @@ from .attacker import AttackResult, ReconnaissanceMode, run_attack
 from .behaviors import (OutstationBehavior, OutstationType, PointConfig,
                         RejectMode, ReportMode)
 from .capture import CaptureTap, CaptureWindow
-from .clock import SimulationError, Simulator
+from .clock import (US_PER_SECOND, Clock, SimulationError,
+                    Simulator, Ticks, seconds_to_ticks,
+                    ticks_to_seconds)
 from .scenario import (COOLDOWN_S, WARMUP_S, LinkPlan, Scenario,
                        SyntheticCapture)
 from .tcpsim import RetransmissionModel, SimConnection, SimHost
@@ -17,5 +19,6 @@ __all__ = [
     "LinkStats", "NetworkMap", "OutstationBehavior", "OutstationType",
     "PointConfig", "RejectMode", "ReportMode", "RetransmissionModel",
     "Scenario", "SimConnection", "SimHost", "SimulationError", "Simulator",
-    "SyntheticCapture", "WARMUP_S", "build_element",
+    "SyntheticCapture", "Ticks", "US_PER_SECOND", "WARMUP_S", "Clock",
+    "build_element", "seconds_to_ticks", "ticks_to_seconds",
 ]

@@ -14,6 +14,10 @@ logic for every behaviour the paper reports:
 * promotion of a secondary to primary mid-capture (Fig. 16);
 * the Fig. 9 pathologies: backup connections answered with RST/FIN
   after the first TESTFR act, or SYNs silently ignored.
+
+All scheduling is in integer-microsecond ticks; behavioural knobs
+(keep-alive period, report interval, protocol timers) stay in float
+seconds and are quantized at each use.
 """
 
 from __future__ import annotations
@@ -37,11 +41,12 @@ from ..iec104.time_tag import CP56Time2a
 from .behaviors import (OutstationBehavior, PointConfig, RejectMode,
                         ReportMode)
 from .capture import CaptureTap
-from .clock import Simulator
+from .clock import (Simulator, Ticks, seconds_to_ticks,
+                    ticks_to_seconds)
 from .tcpsim import RetransmissionModel, SimConnection, SimHost
 
-#: Gap between back-to-back application frames on one connection.
-_FRAME_GAP = 0.004
+#: Gap between back-to-back application frames on one connection (µs).
+_FRAME_GAP_US = 4000
 
 _TIMED_TYPES = {
     TypeID.M_SP_TB_1, TypeID.M_DP_TB_1, TypeID.M_ST_TB_1,
@@ -50,9 +55,9 @@ _TIMED_TYPES = {
 }
 
 
-def build_element(type_id: TypeID, value: float, now: float):
+def build_element(type_id: TypeID, value: float, now_us: Ticks):
     """Build the information element for a measurement point."""
-    time = (CP56Time2a.from_seconds(now) if type_id in _TIMED_TYPES
+    time = (CP56Time2a.from_us(now_us) if type_id in _TIMED_TYPES
             else None)
     if type_id in (TypeID.M_ME_NC_1, TypeID.M_ME_TF_1):
         return ShortFloat(value=float(value), time=time)
@@ -112,10 +117,11 @@ class IEC104Link:
         self._outstation = ConnectionMachine(is_controlling=False,
                                              timers=self.timers)
         self._epoch = 0
-        self._end_time = float("inf")
+        #: Scheduling horizon in ticks; None means unbounded.
+        self._end_us: Ticks | None = None
         self._last_sent: dict[int, float] = {}
-        self._next_periodic: dict[int, float] = {}
-        self._last_activity = 0.0
+        self._next_periodic: dict[int, Ticks] = {}
+        self._last_activity: Ticks = 0
         self._ack_flush_pending = False
         self.is_primary = False
         self.stats = LinkStats()
@@ -138,14 +144,16 @@ class IEC104Link:
                              rng=self._rng, retransmission=retrans,
                              ack_policy=self.ack_policy)
 
-    def connect(self, when: float) -> float:
+    def connect(self, when_us: Ticks) -> Ticks:
         """Establish a fresh TCP connection; both machines reset."""
         if self.connected:
             raise RuntimeError(f"{self._label()}: already connected")
         self._conn = self._new_connection()
-        done = self._conn.establish(when)
-        self._server.connection_opened(done)
-        self._outstation.connection_opened(done)
+        done = self._conn.establish(when_us)
+        # The ConnectionMachine API is float-seconds (it is shared with
+        # the wall-clock socket endpoints); hand it derived seconds.
+        self._server.connection_opened(ticks_to_seconds(done))
+        self._outstation.connection_opened(ticks_to_seconds(done))
         self.stats.connections += 1
         self.is_primary = False
         self._last_sent.clear()
@@ -153,42 +161,54 @@ class IEC104Link:
         self._last_activity = done
         return done
 
-    def close(self, when: float, rst: bool = False,
+    def close(self, when_us: Ticks, rst: bool = False,
               from_server: bool = True) -> None:
         """Tear down the live connection and cancel scheduled loops."""
         self._epoch += 1
         self.is_primary = False
-        if self.connected:
+        conn = self._conn
+        if conn is not None and conn.established and not conn.closed:
             if rst:
-                self._conn.close_rst(when, from_client=from_server)
+                conn.close_rst(when_us, from_client=from_server)
             else:
-                self._conn.close_fin(when, from_client=from_server)
+                conn.close_fin(when_us, from_client=from_server)
 
-    def run_until(self, end_time: float) -> None:
-        """Set the horizon past which loops stop rescheduling."""
-        self._end_time = end_time
+    def run_until(self, end_us: Ticks | None) -> None:
+        """Set the horizon past which loops stop rescheduling.
+
+        ``None`` removes the horizon (loops reschedule forever; the
+        caller bounds the run via :meth:`Simulator.run_until`).
+        """
+        self._end_us = end_us
+
+    def _past_horizon(self, when_us: Ticks) -> bool:
+        return self._end_us is not None and when_us > self._end_us
 
     # -- frame plumbing ------------------------------------------------------
 
     def _label(self) -> str:
         return f"{self.server_name}-{self.behavior.name}"
 
-    def _send_frame(self, when: float, frame, from_server: bool) -> float:
+    def _send_frame(self, when_us: Ticks, frame,
+                    from_server: bool) -> Ticks:
+        conn = self._conn
+        if conn is None:
+            raise RuntimeError(f"{self._label()}: not connected")
         payload = frame.encode(self.behavior.profile)
-        arrival = self._conn.send(when, from_client=from_server,
-                                  payload=payload)
+        arrival = conn.send(when_us, from_client=from_server,
+                            payload=payload)
         sender = self._server if from_server else self._outstation
         receiver = self._outstation if from_server else self._server
-        sender.on_send(frame, when)
-        actions = receiver.on_receive(frame, arrival)
-        self._last_activity = when
+        sender.on_send(frame, ticks_to_seconds(when_us))
+        actions = receiver.on_receive(frame, ticks_to_seconds(arrival))
+        self._last_activity = when_us
         if isinstance(frame, IFrame):
             self.stats.i_frames += 1
         elif isinstance(frame, SFrame):
             self.stats.s_frames += 1
         else:
             self.stats.u_frames += 1
-        reply_time = arrival + _FRAME_GAP
+        reply_time = arrival + _FRAME_GAP_US
         for action in actions:
             if action.kind is ActionKind.SEND_S_ACK:
                 reply_time = self._send_frame(
@@ -213,8 +233,8 @@ class IEC104Link:
                 and not self._ack_flush_pending):
             self._ack_flush_pending = True
             epoch = self._epoch
-            deadline = arrival + self.timers.t2
-            self._sim.schedule(deadline,
+            deadline_us = arrival + seconds_to_ticks(self.timers.t2)
+            self._sim.schedule(deadline_us,
                                lambda: self._flush_ack(epoch))
         return reply_time
 
@@ -223,51 +243,52 @@ class IEC104Link:
         if epoch != self._epoch or not self.connected:
             return
         if self._server.unacked_received > 0:
-            self._send_frame(self._sim.now,
+            self._send_frame(self._sim.now_us,
                              SFrame(recv_seq=self._server.recv_seq),
                              from_server=True)
 
-    def _send_i_from_outstation(self, when: float, asdu: ASDU) -> float:
+    def _send_i_from_outstation(self, when_us: Ticks,
+                                asdu: ASDU) -> Ticks:
         frame = self._outstation.next_i_frame(asdu)
-        return self._send_frame(when, frame, from_server=False)
+        return self._send_frame(when_us, frame, from_server=False)
 
-    def _send_i_from_server(self, when: float, asdu: ASDU) -> float:
+    def _send_i_from_server(self, when_us: Ticks, asdu: ASDU) -> Ticks:
         frame = self._server.next_i_frame(asdu)
-        return self._send_frame(when, frame, from_server=True)
+        return self._send_frame(when_us, frame, from_server=True)
 
     # -- secondary (backup) behaviour ---------------------------------------
 
-    def start_secondary(self, when: float) -> None:
+    def start_secondary(self, when_us: Ticks) -> None:
         """Connect and run the keep-alive loop (Fig. 4 right side)."""
-        done = self.connect(when)
+        done = self.connect(when_us)
         self._schedule_keepalive(done + self._jittered_keepalive())
 
-    def _jittered_keepalive(self) -> float:
+    def _jittered_keepalive(self) -> Ticks:
         period = self.behavior.keepalive_period
-        return period * self._rng.uniform(0.95, 1.05)
+        return seconds_to_ticks(period * self._rng.uniform(0.95, 1.05))
 
-    def _schedule_keepalive(self, when: float) -> None:
-        if when > self._end_time:
+    def _schedule_keepalive(self, when_us: Ticks) -> None:
+        if self._past_horizon(when_us):
             return
         epoch = self._epoch
-        self._sim.schedule(when, lambda: self._keepalive_tick(epoch))
+        self._sim.schedule(when_us, lambda: self._keepalive_tick(epoch))
 
     def _keepalive_tick(self, epoch: int) -> None:
         if epoch != self._epoch or not self.connected or self.is_primary:
             return
-        now = self._sim.now
-        self._send_frame(now, UFrame(UFunction.TESTFR_ACT),
+        now_us = self._sim.now_us
+        self._send_frame(now_us, UFrame(UFunction.TESTFR_ACT),
                          from_server=True)
-        self._schedule_keepalive(now + self._jittered_keepalive())
+        self._schedule_keepalive(now_us + self._jittered_keepalive())
 
     # -- primary behaviour ---------------------------------------------------
 
-    def start_primary(self, when: float) -> None:
+    def start_primary(self, when_us: Ticks) -> None:
         """Connect, STARTDT, interrogate, then report continuously."""
-        done = self.connect(when)
-        self.promote(done + _FRAME_GAP)
+        done = self.connect(when_us)
+        self.promote(done + _FRAME_GAP_US)
 
-    def promote(self, when: float) -> None:
+    def promote(self, when_us: Ticks) -> None:
         """Promote the live connection to primary (STARTDT + I100).
 
         Called on a fresh connection by :meth:`start_primary`, or on a
@@ -279,7 +300,8 @@ class IEC104Link:
             raise RuntimeError(f"{self._label()}: not connected")
         self._epoch += 1  # cancel the keep-alive loop if one is running
         start_act = self._server.start_transfer()
-        reply_time = self._send_frame(when, start_act, from_server=True)
+        reply_time = self._send_frame(when_us, start_act,
+                                      from_server=True)
         self.is_primary = True
         if self._send_end_of_init:
             init = ASDU(type_id=TypeID.M_EI_NA_1, cause=Cause.INITIALIZED,
@@ -289,35 +311,38 @@ class IEC104Link:
             reply_time = self._send_i_from_outstation(reply_time, init)
         reply_time = self._run_interrogation(reply_time)
         self._schedule_report_sweep(
-            reply_time + self.behavior.report_interval
-            * self._rng.uniform(0.5, 1.0))
+            reply_time + seconds_to_ticks(
+                self.behavior.report_interval
+                * self._rng.uniform(0.5, 1.0)))
         self._schedule_idle_watch()
 
-    def _run_interrogation(self, when: float) -> float:
+    def _run_interrogation(self, when_us: Ticks) -> Ticks:
         """General interrogation: I100 act -> con -> burst -> term."""
         act = ASDU(type_id=TypeID.C_IC_NA_1, cause=Cause.ACTIVATION,
                    common_address=self.common_address,
                    objects=(InformationObject(0, InterrogationCommand()),))
-        reply_time = self._send_i_from_server(when, act)
+        reply_time = self._send_i_from_server(when_us, act)
 
         con = ASDU(type_id=TypeID.C_IC_NA_1, cause=Cause.ACTIVATION_CON,
                    common_address=self.common_address,
                    objects=(InformationObject(0, InterrogationCommand()),))
-        reply_time = self._send_i_from_outstation(reply_time + _FRAME_GAP,
-                                                  con)
+        reply_time = self._send_i_from_outstation(
+            reply_time + _FRAME_GAP_US, con)
 
         for asdu in self._interrogation_burst(reply_time):
             reply_time = self._send_i_from_outstation(
-                reply_time + _FRAME_GAP, asdu)
+                reply_time + _FRAME_GAP_US, asdu)
 
         term = ASDU(type_id=TypeID.C_IC_NA_1,
                     cause=Cause.ACTIVATION_TERMINATION,
                     common_address=self.common_address,
                     objects=(InformationObject(0, InterrogationCommand()),))
-        return self._send_i_from_outstation(reply_time + _FRAME_GAP, term)
+        return self._send_i_from_outstation(reply_time + _FRAME_GAP_US,
+                                            term)
 
-    def _interrogation_burst(self, now: float) -> list[ASDU]:
+    def _interrogation_burst(self, now_us: Ticks) -> list[ASDU]:
         """All points grouped by typeID, chunked into multi-object ASDUs."""
+        now_s = ticks_to_seconds(now_us)
         by_type: dict[TypeID, list[PointConfig]] = {}
         for point in self.behavior.points:
             by_type.setdefault(point.type_id, []).append(point)
@@ -327,7 +352,7 @@ class IEC104Link:
                 chunk = points[start:start + 8]
                 objects = tuple(
                     InformationObject(point.ioa, build_element(
-                        type_id, point.source(now), now))
+                        type_id, point.source(now_s), now_us))
                     for point in chunk)
                 asdus.append(ASDU(
                     type_id=type_id,
@@ -335,36 +360,38 @@ class IEC104Link:
                     common_address=self.common_address, objects=objects))
         for type_id, points in sorted(by_type.items()):
             for point in points:
-                self._last_sent[point.ioa] = point.source(now)
+                self._last_sent[point.ioa] = point.source(now_s)
         return asdus
 
     # -- measurement reporting ----------------------------------------------
 
-    def _schedule_report_sweep(self, when: float) -> None:
-        if when > self._end_time:
+    def _schedule_report_sweep(self, when_us: Ticks) -> None:
+        if self._past_horizon(when_us):
             return
         epoch = self._epoch
-        self._sim.schedule(when, lambda: self._report_sweep(epoch))
+        self._sim.schedule(when_us, lambda: self._report_sweep(epoch))
 
     def _report_sweep(self, epoch: int) -> None:
         if epoch != self._epoch or not self.connected or not self.is_primary:
             return
-        now = self._sim.now
+        now_us = self._sim.now_us
+        now_s = ticks_to_seconds(now_us)
         due: dict[TypeID, list[tuple[PointConfig, float]]] = {}
         for point in self.behavior.points:
-            value = point.source(now)
+            value = point.source(now_s)
             if point.mode is ReportMode.PERIODIC:
-                next_due = self._next_periodic.get(point.ioa, 0.0)
-                if now < next_due:
+                next_due = self._next_periodic.get(point.ioa, 0)
+                if now_us < next_due:
                     continue
-                self._next_periodic[point.ioa] = now + point.period
+                self._next_periodic[point.ioa] = (
+                    now_us + seconds_to_ticks(point.period))
             else:
                 last = self._last_sent.get(point.ioa)
                 if last is not None and abs(value - last) < point.threshold:
                     continue
             due.setdefault(point.type_id, []).append((point, value))
 
-        send_time = now
+        send_time = now_us
         for type_id, entries in sorted(due.items()):
             cause = (Cause.PERIODIC
                      if entries[0][0].mode is ReportMode.PERIODIC
@@ -373,41 +400,46 @@ class IEC104Link:
                 chunk = entries[start:start + 8]
                 objects = tuple(
                     InformationObject(point.ioa,
-                                      build_element(type_id, value, now))
+                                      build_element(type_id, value,
+                                                    now_us))
                     for point, value in chunk)
                 asdu = ASDU(type_id=type_id, cause=cause,
                             common_address=self.common_address,
                             objects=objects)
                 if self._outstation.can_send_i:
                     send_time = self._send_i_from_outstation(
-                        send_time + _FRAME_GAP, asdu)
+                        send_time + _FRAME_GAP_US, asdu)
                     for point, value in chunk:
                         self._last_sent[point.ioa] = value
-        interval = (self.behavior.report_interval
-                    * self._rng.uniform(0.8, 1.2))
-        self._schedule_report_sweep(now + interval)
+        interval_us = seconds_to_ticks(self.behavior.report_interval
+                                       * self._rng.uniform(0.8, 1.2))
+        self._schedule_report_sweep(now_us + interval_us)
 
     # -- idle keep-alive in primary connections (Type 5) ---------------------
 
     def _schedule_idle_watch(self) -> None:
-        deadline = self._last_activity + self.timers.t3
-        if deadline > self._end_time:
+        deadline_us = self._last_activity + seconds_to_ticks(
+            self.timers.t3)
+        if self._past_horizon(deadline_us):
             return
         epoch = self._epoch
-        self._sim.schedule(deadline, lambda: self._idle_check(epoch))
+        self._sim.schedule(deadline_us,
+                           lambda: self._idle_check(epoch))
 
     def _idle_check(self, epoch: int) -> None:
         if epoch != self._epoch or not self.connected or not self.is_primary:
             return
-        now = self._sim.now
-        if now - self._last_activity >= self.timers.t3 - 1e-9:
-            self._send_frame(now, UFrame(UFunction.TESTFR_ACT),
+        now_us = self._sim.now_us
+        # Integer ticks make this comparison exact — no epsilon needed.
+        if now_us - self._last_activity >= seconds_to_ticks(
+                self.timers.t3):
+            self._send_frame(now_us, UFrame(UFunction.TESTFR_ACT),
                              from_server=True)
         self._schedule_idle_watch()
 
     # -- commands ------------------------------------------------------------
 
-    def send_setpoint(self, when: float, value: float) -> None:
+    def send_setpoint(self, when_us: Ticks, value: float) -> None:
         """AGC set point (C_SE_NC_1 / I50): act from server, con back."""
         ioa = self.behavior.agc_setpoint_ioa
         if ioa is None:
@@ -419,12 +451,12 @@ class IEC104Link:
                    common_address=self.common_address,
                    objects=(InformationObject(
                        ioa, SetpointFloat(value=float(value))),))
-        reply_time = self._send_i_from_server(when, act)
+        reply_time = self._send_i_from_server(when_us, act)
         con = ASDU(type_id=TypeID.C_SE_NC_1, cause=Cause.ACTIVATION_CON,
                    common_address=self.common_address,
                    objects=(InformationObject(
                        ioa, SetpointFloat(value=float(value))),))
-        self._send_i_from_outstation(reply_time + _FRAME_GAP, con)
+        self._send_i_from_outstation(reply_time + _FRAME_GAP_US, con)
         self.stats.setpoints += 1
         if self._on_setpoint is not None:
             self._on_setpoint(float(value))
@@ -435,7 +467,7 @@ class IEC104Link:
                 return point
         return None
 
-    def send_read(self, when: float, ioa: int) -> bool:
+    def send_read(self, when_us: Ticks, ioa: int) -> bool:
         """Read command (C_RD_NA_1) for one IOA.
 
         Returns True when the outstation answered with data; False when
@@ -448,7 +480,7 @@ class IEC104Link:
         request = ASDU(type_id=TypeID.C_RD_NA_1, cause=Cause.REQUEST,
                        common_address=self.common_address,
                        objects=(InformationObject(ioa, ReadCommand()),))
-        reply_time = self._send_i_from_server(when, request)
+        reply_time = self._send_i_from_server(when_us, request)
         point = self._find_point(ioa)
         if point is None:
             negative = ASDU(type_id=TypeID.C_RD_NA_1,
@@ -457,7 +489,7 @@ class IEC104Link:
                             negative=True,
                             objects=(InformationObject(
                                 ioa, ReadCommand()),))
-            self._send_i_from_outstation(reply_time + _FRAME_GAP,
+            self._send_i_from_outstation(reply_time + _FRAME_GAP_US,
                                          negative)
             return False
         value = point.source(self._sim.now)
@@ -465,11 +497,11 @@ class IEC104Link:
                       common_address=self.common_address,
                       objects=(InformationObject(
                           ioa, build_element(point.type_id, value,
-                                             self._sim.now)),))
-        self._send_i_from_outstation(reply_time + _FRAME_GAP, answer)
+                                             self._sim.now_us)),))
+        self._send_i_from_outstation(reply_time + _FRAME_GAP_US, answer)
         return True
 
-    def send_single_command(self, when: float, ioa: int,
+    def send_single_command(self, when_us: Ticks, ioa: int,
                             state: bool) -> bool:
         """Single command (C_SC_NA_1) — what Industroyer abused.
 
@@ -481,7 +513,7 @@ class IEC104Link:
         act = ASDU(type_id=TypeID.C_SC_NA_1, cause=Cause.ACTIVATION,
                    common_address=self.common_address,
                    objects=(InformationObject(ioa, command),))
-        reply_time = self._send_i_from_server(when, act)
+        reply_time = self._send_i_from_server(when_us, act)
         known = self._find_point(ioa) is not None
         con = ASDU(type_id=TypeID.C_SC_NA_1,
                    cause=(Cause.ACTIVATION_CON if known
@@ -489,41 +521,42 @@ class IEC104Link:
                    common_address=self.common_address,
                    negative=not known,
                    objects=(InformationObject(ioa, command),))
-        self._send_i_from_outstation(reply_time + _FRAME_GAP, con)
+        self._send_i_from_outstation(reply_time + _FRAME_GAP_US, con)
         return known
 
-    def send_clock_sync(self, when: float) -> None:
+    def send_clock_sync(self, when_us: Ticks) -> None:
         """Clock synchronization (C_CS_NA_1 / I103) act/con pair."""
         if not (self.connected and self.is_primary):
             return
-        tag = CP56Time2a.from_seconds(when)
+        tag = CP56Time2a.from_us(when_us)
         act = ASDU(type_id=TypeID.C_CS_NA_1, cause=Cause.ACTIVATION,
                    common_address=self.common_address,
                    objects=(InformationObject(0, ClockSyncCommand(tag)),))
-        reply_time = self._send_i_from_server(when, act)
+        reply_time = self._send_i_from_server(when_us, act)
         con = ASDU(type_id=TypeID.C_CS_NA_1, cause=Cause.ACTIVATION_CON,
                    common_address=self.common_address,
                    objects=(InformationObject(0, ClockSyncCommand(tag)),))
-        self._send_i_from_outstation(reply_time + _FRAME_GAP, con)
+        self._send_i_from_outstation(reply_time + _FRAME_GAP_US, con)
 
     # -- Fig. 9 pathologies ---------------------------------------------------
 
-    def start_reject_loop(self, when: float) -> None:
+    def start_reject_loop(self, when_us: Ticks) -> None:
         """Repeatedly attempt a backup connection that gets rejected."""
         if self.behavior.reject_mode is RejectMode.NONE:
             raise RuntimeError(f"{self._label()}: no reject mode set")
-        self._schedule_reject_attempt(when)
+        self._schedule_reject_attempt(when_us)
 
-    def _schedule_reject_attempt(self, when: float) -> None:
-        if when > self._end_time:
+    def _schedule_reject_attempt(self, when_us: Ticks) -> None:
+        if self._past_horizon(when_us):
             return
         epoch = self._epoch
-        self._sim.schedule(when, lambda: self._reject_attempt(epoch))
+        self._sim.schedule(when_us,
+                           lambda: self._reject_attempt(epoch))
 
     def _reject_attempt(self, epoch: int) -> None:
         if epoch != self._epoch:
             return
-        now = self._sim.now
+        now_us = self._sim.now_us
         mode = self.behavior.reject_mode
         conn = self._new_connection()
         self.stats.rejects += 1
@@ -532,19 +565,21 @@ class IEC104Link:
             # of Table 3 Y1); occasionally the RTU does answer and then
             # resets the TESTFR probe, so the connection still shows up
             # at Markov point (1,1) as the paper observed.
-            conn.send_syn_unanswered(now, retries=2, backoff=0.25)
+            conn.send_syn_unanswered(now_us, retries=2, backoff=0.25)
         else:
-            done = conn.establish(now)
+            done = conn.establish(now_us)
             # Server probes with TESTFR act; outstation kills the
             # connection instead of answering (Fig. 9 / Fig. 14).
             testfr = UFrame(UFunction.TESTFR_ACT).encode()
-            arrival = conn.send(done + _FRAME_GAP, from_client=True,
+            arrival = conn.send(done + _FRAME_GAP_US, from_client=True,
                                 payload=testfr)
             self.stats.u_frames += 1
             if mode is RejectMode.FIN_AFTER_TESTFR:
-                conn.close_fin(arrival + _FRAME_GAP, from_client=False)
+                conn.close_fin(arrival + _FRAME_GAP_US,
+                               from_client=False)
             else:
-                conn.close_rst(arrival + _FRAME_GAP, from_client=False)
-        period = (self.behavior.reject_retry_period
-                  * self._rng.uniform(0.9, 1.1))
-        self._schedule_reject_attempt(now + period)
+                conn.close_rst(arrival + _FRAME_GAP_US,
+                               from_client=False)
+        period_us = seconds_to_ticks(self.behavior.reject_retry_period
+                                     * self._rng.uniform(0.9, 1.1))
+        self._schedule_reject_attempt(now_us + period_us)

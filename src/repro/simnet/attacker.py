@@ -24,7 +24,7 @@ from ..netstack.addresses import IPv4Address, MacAddress
 from .agents import IEC104Link
 from .behaviors import OutstationBehavior
 from .capture import CaptureTap
-from .clock import Simulator
+from .clock import Simulator, seconds_to_ticks, ticks_to_seconds
 from .tcpsim import SimHost
 
 
@@ -83,7 +83,7 @@ def run_attack(behavior: OutstationBehavior,
                       outstation_host=outstation_host,
                       behavior=behavior, server_name="ATTACKER",
                       timers=ProtocolTimers())
-    link.run_until(float("inf"))
+    link.run_until(None)
 
     result = AttackResult(tap=tap, mode=mode)
     result._names = {attacker_host.ip: "ATTACKER",
@@ -93,20 +93,21 @@ def run_attack(behavior: OutstationBehavior,
     # always performs on promotion — in INTERROGATION mode that IS the
     # reconnaissance; in ITERATIVE mode Industroyer skipped it, so we
     # drop those packets from the accounting below).
-    start = 1.0
+    start = 1_000_000
     link.start_primary(start)
-    sim.run_until(start + 2.0)
+    sim.run_until(start + 2_000_000)
 
     if mode is ReconnaissanceMode.ITERATIVE_SCAN:
-        when = sim.now + probe_interval
+        interval_us = seconds_to_ticks(probe_interval)
+        when = sim.now_us + interval_us
         for ioa in range(scan_range[0], scan_range[1] + 1):
             def probe(ioa=ioa):
-                if link.send_read(sim.now, ioa):
+                if link.send_read(sim.now_us, ioa):
                     result.discovered_ioas.append(ioa)
                 result.probes_sent += 1
             sim.schedule(when, probe)
-            when += probe_interval
-        sim.run_until(when + 1.0)
+            when += interval_us
+        sim.run_until(when + 1_000_000)
     else:
         # The interrogation burst already happened during promotion;
         # everything the outstation reported is "discovered".
@@ -115,15 +116,15 @@ def run_attack(behavior: OutstationBehavior,
         result.probes_sent = 1
 
     # Phase 2: malicious commands against discovered points.
-    when = sim.now + 0.5
+    when = sim.now_us + 500_000
     for index, ioa in enumerate(result.discovered_ioas[:command_count]):
         def strike(ioa=ioa, open_breaker=(index % 2 == 0)):
-            link.send_single_command(sim.now, ioa, state=open_breaker)
+            link.send_single_command(sim.now_us, ioa, state=open_breaker)
             result.commands_sent += 1
         sim.schedule(when, strike)
-        when += 0.5
-    sim.run_until(when + 1.0)
-    link.close(sim.now + 0.1, rst=False)
-    sim.run_until(sim.now + 1.0)
-    result.duration = sim.now
+        when += 500_000
+    sim.run_until(when + 1_000_000)
+    link.close(sim.now_us + 100_000, rst=False)
+    sim.run_until(sim.now_us + 1_000_000)
+    result.duration = ticks_to_seconds(sim.now_us)
     return result

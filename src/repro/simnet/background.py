@@ -20,7 +20,7 @@ import struct
 from dataclasses import dataclass
 
 from .capture import CaptureTap
-from .clock import Simulator
+from .clock import Simulator, Ticks, seconds_to_ticks
 from .tcpsim import SimConnection, SimHost
 
 #: ISO transport / MMS port used by ICCP (TASE.2).
@@ -64,32 +64,37 @@ class BackgroundTraffic:
     rng: random.Random
 
     def add_iccp_peering(self, local: SimHost, remote: SimHost,
-                         start: float, end: float,
+                         start_us: Ticks, end_us: Ticks,
                          period: float = 4.0) -> SimConnection:
-        """Periodic ICCP exchange between two control centers."""
+        """Periodic ICCP exchange between two control centers.
+
+        ``start_us``/``end_us`` are integer-microsecond ticks;
+        ``period`` stays a float-seconds knob quantized per send.
+        """
         conn = SimConnection(self.sim, self.tap, client=local,
                              server=remote, server_port=ICCP_PORT,
                              rng=self.rng)
-        conn.establish(max(0.0, start - 5.0))
+        conn.establish(max(0, start_us - 5_000_000))
         state = {"sequence": 0}
 
         def tick() -> None:
-            now = self.sim.now
-            if now > end or conn.closed:
+            now_us = self.sim.now_us
+            if now_us > end_us or conn.closed:
                 return
             state["sequence"] += 1
-            conn.send(now, from_client=True,
+            conn.send(now_us, from_client=True,
                       payload=_iccp_segment(state["sequence"], self.rng))
-            conn.send(now + 0.05, from_client=False,
+            conn.send(now_us + 50_000, from_client=False,
                       payload=_iccp_segment(state["sequence"], self.rng))
-            self.sim.schedule_in(period * self.rng.uniform(0.9, 1.1),
-                                 tick)
+            self.sim.schedule_in(
+                seconds_to_ticks(period * self.rng.uniform(0.9, 1.1)),
+                tick)
 
-        self.sim.schedule(start, tick)
+        self.sim.schedule(start_us, tick)
         return conn
 
     def add_pmu_stream(self, pmu: SimHost, server: SimHost,
-                       start: float, end: float,
+                       start_us: Ticks, end_us: Ticks,
                        rate_hz: float = 2.0) -> SimConnection:
         """A phasor measurement unit streaming C37.118 data frames.
 
@@ -99,19 +104,19 @@ class BackgroundTraffic:
         conn = SimConnection(self.sim, self.tap, client=pmu,
                              server=server, server_port=C37_118_PORT,
                              rng=self.rng)
-        conn.establish(max(0.0, start - 2.0))
+        conn.establish(max(0, start_us - 2_000_000))
         state = {"frame": 0}
-        period = 1.0 / rate_hz
+        period_us = seconds_to_ticks(1.0 / rate_hz)
 
         def tick() -> None:
-            now = self.sim.now
-            if now > end or conn.closed:
+            now_us = self.sim.now_us
+            if now_us > end_us or conn.closed:
                 return
             state["frame"] += 1
-            conn.send(now, from_client=True,
+            conn.send(now_us, from_client=True,
                       payload=_c37_data_frame(state["frame"],
                                               rng=self.rng))
-            self.sim.schedule_in(period, tick)
+            self.sim.schedule_in(period_us, tick)
 
-        self.sim.schedule(start, tick)
+        self.sim.schedule(start_us, tick)
         return conn

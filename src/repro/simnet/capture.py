@@ -4,6 +4,11 @@ Mirrors the paper's Fig. 5 network tap between the substations and the
 SCADA servers. The tap collects :class:`CapturedPacket` objects; it can
 restrict collection to configured *capture windows* (the paper's 5+3
 separate capture days) and export classic pcap bytes.
+
+Windows are stored in canonical integer-microsecond ticks (see
+:mod:`repro.simnet.clock`); ``start``/``end``/``duration`` remain
+available as derived float-second views for models that work in
+seconds.
 """
 
 from __future__ import annotations
@@ -13,26 +18,55 @@ from dataclasses import dataclass
 
 from ..netstack.packet import CapturedPacket
 from ..netstack.pcap import PcapRecord, PcapWriter
+from .clock import US_PER_SECOND, Ticks, seconds_to_ticks
 
 
 @dataclass(frozen=True)
 class CaptureWindow:
-    """A [start, end) interval during which the tap records traffic."""
+    """A [start, end) tick interval during which the tap records."""
 
-    start: float
-    end: float
+    start_us: Ticks
+    end_us: Ticks
     label: str = ""
 
     def __post_init__(self) -> None:
-        if self.end <= self.start:
+        for name in ("start_us", "end_us"):
+            value = getattr(self, name)
+            if not isinstance(value, int) or isinstance(value, bool):
+                raise TypeError(
+                    f"{name} must be integer microsecond ticks, "
+                    f"got {value!r}")
+        if self.end_us <= self.start_us:
             raise ValueError("capture window must have positive duration")
+
+    @classmethod
+    def from_seconds(cls, start: float, end: float,
+                     label: str = "") -> "CaptureWindow":
+        """Build a window from float seconds (quantized to ticks)."""
+        return cls(start_us=seconds_to_ticks(start),
+                   end_us=seconds_to_ticks(end), label=label)
+
+    @property
+    def duration_us(self) -> Ticks:
+        return self.end_us - self.start_us
+
+    @property
+    def start(self) -> float:
+        """Derived float-seconds view of :attr:`start_us`."""
+        return self.start_us / US_PER_SECOND
+
+    @property
+    def end(self) -> float:
+        """Derived float-seconds view of :attr:`end_us`."""
+        return self.end_us / US_PER_SECOND
 
     @property
     def duration(self) -> float:
-        return self.end - self.start
+        """Derived float-seconds view of :attr:`duration_us`."""
+        return self.duration_us / US_PER_SECOND
 
-    def contains(self, timestamp: float) -> bool:
-        return self.start <= timestamp < self.end
+    def contains(self, time_us: Ticks) -> bool:
+        return self.start_us <= time_us < self.end_us
 
 
 class CaptureTap:
@@ -59,7 +93,7 @@ class CaptureTap:
         self._rng = rng or random.Random(1313)
 
     def observe(self, packet: CapturedPacket) -> None:
-        if self.windows and not any(window.contains(packet.timestamp)
+        if self.windows and not any(window.contains(packet.time_us)
                                     for window in self.windows):
             self.dropped += 1
             return
@@ -70,19 +104,21 @@ class CaptureTap:
 
     def window_packets(self, window: CaptureWindow) -> list[CapturedPacket]:
         return [packet for packet in self.packets
-                if window.contains(packet.timestamp)]
+                if window.contains(packet.time_us)]
 
     @property
     def total_duration(self) -> float:
+        """Covered capture time in derived float seconds."""
         if self.windows:
             return sum(window.duration for window in self.windows)
         if not self.packets:
             return 0.0
-        return self.packets[-1].timestamp - self.packets[0].timestamp
+        span_us = self.packets[-1].time_us - self.packets[0].time_us
+        return span_us / US_PER_SECOND
 
     def to_pcap(self, stream) -> int:
         """Write the capture as classic pcap; return the record count."""
         writer = PcapWriter(stream)
         return writer.write_all(
-            PcapRecord(timestamp=packet.timestamp, data=packet.encode())
+            PcapRecord(time_us=packet.time_us, data=packet.encode())
             for packet in self.packets)

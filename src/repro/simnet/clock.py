@@ -1,8 +1,18 @@
-"""Discrete-event simulation core.
+"""Discrete-event simulation core on an integer-microsecond timebase.
 
 A minimal but strict event queue: events fire in timestamp order (ties
 broken by insertion order, so the simulation is deterministic), and a
 fired callback may schedule further events.
+
+Time is counted in :data:`Ticks` — integer microseconds since the
+simulation epoch. Integer ticks make exact time comparisons legal
+(no float rounding), survive a classic-pcap round trip losslessly
+(the record header stores whole microseconds), and keep the event
+queue deterministic across platforms. Scheduling APIs accept ticks
+only; a float argument is a bug at the call site and raises
+:class:`SimulationError` immediately. Float *seconds* remain available
+as derived views (:attr:`Simulator.now`) for physics models that
+integrate in seconds.
 """
 
 from __future__ import annotations
@@ -11,57 +21,101 @@ import heapq
 import itertools
 from typing import Callable
 
+#: Canonical simulation time: integer microseconds since the epoch.
+Ticks = int
+
+#: Ticks per second (the tick is one microsecond).
+US_PER_SECOND: Ticks = 1_000_000
+
+
+def seconds_to_ticks(seconds: float) -> Ticks:
+    """Quantize float seconds to the nearest microsecond tick."""
+    return round(seconds * US_PER_SECOND)
+
+
+def ticks_to_seconds(ticks: Ticks) -> float:
+    """Derived float-seconds view of an integer tick count."""
+    return ticks / US_PER_SECOND
+
 
 class SimulationError(RuntimeError):
     """Raised on scheduling misuse (e.g. scheduling into the past)."""
 
 
-class Simulator:
-    """Deterministic discrete-event simulator."""
+def _check_ticks(value: Ticks, what: str) -> Ticks:
+    """Reject non-integer tick values at the call site.
 
-    def __init__(self, start_time: float = 0.0):
-        self._now = start_time
-        self._queue: list[tuple[float, int, Callable[[], None]]] = []
+    ``bool`` is excluded even though it subclasses ``int``: a boolean
+    where a time belongs is always a bug.
+    """
+    if not isinstance(value, int) or isinstance(value, bool):
+        raise SimulationError(
+            f"{what} must be integer microsecond ticks, got "
+            f"{value!r} ({type(value).__name__})")
+    return value
+
+
+class Simulator:
+    """Deterministic discrete-event simulator (integer-µs clock)."""
+
+    def __init__(self, start_us: Ticks = 0):
+        self._now_us = _check_ticks(start_us, "start_us")
+        self._queue: list[tuple[Ticks, int, Callable[[], None]]] = []
         self._counter = itertools.count()
         self._running = False
 
     @property
+    def now_us(self) -> Ticks:
+        """Current simulation time in canonical integer microseconds."""
+        return self._now_us
+
+    @property
     def now(self) -> float:
-        return self._now
+        """Derived float-seconds view of :attr:`now_us`.
 
-    def schedule(self, when: float, callback: Callable[[], None]) -> None:
-        """Schedule ``callback`` to fire at absolute time ``when``."""
-        if when < self._now:
+        Kept for models that integrate in seconds (grid physics, point
+        sources); scheduling must go through the tick APIs.
+        """
+        return self._now_us / US_PER_SECOND
+
+    def schedule(self, when_us: Ticks,
+                 callback: Callable[[], None]) -> None:
+        """Schedule ``callback`` at absolute tick ``when_us``."""
+        _check_ticks(when_us, "when_us")
+        if when_us < self._now_us:
             raise SimulationError(
-                f"cannot schedule at {when:.6f} < now {self._now:.6f}")
-        heapq.heappush(self._queue, (when, next(self._counter), callback))
+                f"cannot schedule at {when_us} < now {self._now_us}")
+        heapq.heappush(self._queue,
+                       (when_us, next(self._counter), callback))
 
-    def schedule_in(self, delay: float,
+    def schedule_in(self, delay_us: Ticks,
                     callback: Callable[[], None]) -> None:
-        """Schedule ``callback`` to fire ``delay`` seconds from now."""
-        if delay < 0:
-            raise SimulationError(f"negative delay {delay}")
-        self.schedule(self._now + delay, callback)
+        """Schedule ``callback`` ``delay_us`` ticks from now."""
+        _check_ticks(delay_us, "delay_us")
+        if delay_us < 0:
+            raise SimulationError(f"negative delay {delay_us}")
+        self.schedule(self._now_us + delay_us, callback)
 
-    def run_until(self, end_time: float) -> int:
-        """Run events with timestamp <= ``end_time``; return the count.
+    def run_until(self, end_us: Ticks) -> int:
+        """Run events with timestamp <= ``end_us``; return the count.
 
-        The clock is left at ``end_time`` even when the queue drains
+        The clock is left at ``end_us`` even when the queue drains
         early, so subsequent scheduling continues from the window's end.
         """
+        _check_ticks(end_us, "end_us")
         if self._running:
             raise SimulationError("simulator is not reentrant")
         self._running = True
         fired = 0
         try:
-            while self._queue and self._queue[0][0] <= end_time:
-                when, _, callback = heapq.heappop(self._queue)
-                self._now = when
+            while self._queue and self._queue[0][0] <= end_us:
+                when_us, _, callback = heapq.heappop(self._queue)
+                self._now_us = when_us
                 callback()
                 fired += 1
         finally:
             self._running = False
-        self._now = max(self._now, end_time)
+        self._now_us = max(self._now_us, end_us)
         return fired
 
     def run(self) -> int:
@@ -72,8 +126,8 @@ class Simulator:
         fired = 0
         try:
             while self._queue:
-                when, _, callback = heapq.heappop(self._queue)
-                self._now = when
+                when_us, _, callback = heapq.heappop(self._queue)
+                self._now_us = when_us
                 callback()
                 fired += 1
         finally:
@@ -83,3 +137,7 @@ class Simulator:
     @property
     def pending(self) -> int:
         return len(self._queue)
+
+
+#: The simulator *is* the simulation clock; this alias names that role.
+Clock = Simulator

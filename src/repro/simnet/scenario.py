@@ -26,13 +26,14 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
+from typing import Callable
 
 from ..grid.simulation import GridSimulation
 from ..iec104.constants import ProtocolTimers
 from .agents import IEC104Link
 from .behaviors import OutstationBehavior, OutstationType
 from .capture import CaptureTap, CaptureWindow
-from .clock import Simulator
+from .clock import Simulator, Ticks, seconds_to_ticks
 from .tcpsim import RetransmissionModel
 from .topology import NetworkMap
 
@@ -41,6 +42,10 @@ WARMUP_S = 150.0
 
 #: Slack after a window closes before persistent links tear down.
 COOLDOWN_S = 30.0
+
+#: The same margins in canonical integer-microsecond ticks.
+WARMUP_US = seconds_to_ticks(WARMUP_S)
+COOLDOWN_US = seconds_to_ticks(COOLDOWN_S)
 
 
 @dataclass
@@ -109,7 +114,8 @@ class Scenario:
         self.plans = plans
         self.grid = grid
         self.network = network
-        self.windows = tuple(sorted(windows, key=lambda w: w.start))
+        self.windows = tuple(sorted(windows,
+                                    key=lambda w: w.start_us))
         self.seed = seed
         #: Global index of ``windows[0]`` within the capture year. Lets
         #: a scenario that simulates a subset of the year's windows (the
@@ -123,12 +129,12 @@ class Scenario:
         self._agc_period = agc_dispatch_period
         self._agc_deadband = agc_deadband_mw
         self._ack_policy = ack_policy
-        first = self.windows[0].start
-        if first < WARMUP_S:
+        first_us = self.windows[0].start_us
+        if first_us < WARMUP_US:
             raise ValueError(
                 f"first window must start at >= {WARMUP_S}s to leave room "
                 "for pre-capture connection establishment")
-        self.sim = Simulator(start_time=first - WARMUP_S)
+        self.sim = Simulator(start_us=first_us - WARMUP_US)
         self._rng = random.Random(seed)
         self.tap = CaptureTap(
             windows=self.windows,
@@ -142,7 +148,7 @@ class Scenario:
     def _make_link(self, server: str, plan: LinkPlan,
                    keepalive: float | None = None) -> IEC104Link:
         behavior = plan.behavior
-        on_setpoint = None
+        on_setpoint: Callable[[float], None] | None = None
         if plan.agc_participant and behavior.generator is not None:
             generator = self.grid.fleet[behavior.generator]
             on_setpoint = generator.apply_setpoint
@@ -165,15 +171,19 @@ class Scenario:
                                        start=self.window_index_offset):
             for plan in self.plans:
                 self._schedule_plan(plan, window, index)
-        end = self.windows[-1].end + COOLDOWN_S + 10.0
-        self.sim.run_until(end)
+        end_us = (self.windows[-1].end_us + COOLDOWN_US
+                  + seconds_to_ticks(10.0))
+        self.sim.run_until(end_us)
         return SyntheticCapture(year=self.year, tap=self.tap,
                                 windows=self.windows, network=self.network,
                                 plans=self.plans, grid=self.grid,
                                 links=dict(self._links))
 
-    def _jitter(self, base: float, spread: float) -> float:
-        return base + self._rng.uniform(0.0, spread)
+    def _jitter_us(self, base_us: Ticks, spread_s: float) -> Ticks:
+        """``base_us`` plus a uniform jitter of up to ``spread_s``
+        seconds, quantized to ticks."""
+        return base_us + seconds_to_ticks(
+            self._rng.uniform(0.0, spread_s))
 
     def _schedule_plan(self, plan: LinkPlan, window: CaptureWindow,
                        index: int) -> None:
@@ -212,42 +222,48 @@ class Scenario:
     def _schedule_primary(self, plan: LinkPlan, server: str,
                           window: CaptureWindow, inside: bool) -> None:
         link = self._make_link(server, plan)
-        link.run_until(window.end + COOLDOWN_S)
+        link.run_until(window.end_us + COOLDOWN_US)
         if inside:
             # Type 4: the connection both starts and gracefully ends
             # inside the capture — the paper's few >1 s short-lived
             # flows (Table 3, second row).
-            start = self._jitter(window.start + 5.0, 25.0)
-            close_at = window.end - self._jitter(1.0, 4.0)
+            start = self._jitter_us(window.start_us + 5_000_000, 25.0)
+            close_at = window.end_us - self._jitter_us(1_000_000, 4.0)
         else:
-            start = self._jitter(window.start - WARMUP_S + 5.0, 60.0)
-            close_at = window.end + COOLDOWN_S + 1.0
-        self.sim.schedule(start, lambda: link.start_primary(self.sim.now))
-        self.sim.schedule(close_at, lambda: link.close(self.sim.now))
+            start = self._jitter_us(
+                window.start_us - WARMUP_US + 5_000_000, 60.0)
+            close_at = window.end_us + COOLDOWN_US + 1_000_000
+        self.sim.schedule(start,
+                          lambda: link.start_primary(self.sim.now_us))
+        self.sim.schedule(close_at, lambda: link.close(self.sim.now_us))
         if plan.agc_participant:
             self._schedule_agc(link, plan, window)
         if plan.clock_sync:
-            sync_at = self._jitter(window.start + 0.3 * window.duration,
-                                   0.2 * window.duration)
+            sync_at = self._jitter_us(
+                window.start_us + round(0.3 * window.duration_us),
+                0.2 * window.duration)
             self.sim.schedule(
-                sync_at, lambda: link.send_clock_sync(self.sim.now))
+                sync_at, lambda: link.send_clock_sync(self.sim.now_us))
 
     def _schedule_secondary(self, plan: LinkPlan, server: str,
                             window: CaptureWindow) -> None:
         link = self._make_link(server, plan)
-        link.run_until(window.end + COOLDOWN_S)
-        start = self._jitter(window.start - WARMUP_S + 5.0, 60.0)
-        self.sim.schedule(start, lambda: link.start_secondary(self.sim.now))
-        close_at = window.end + COOLDOWN_S + 1.0
-        self.sim.schedule(close_at, lambda: link.close(self.sim.now))
+        link.run_until(window.end_us + COOLDOWN_US)
+        start = self._jitter_us(
+            window.start_us - WARMUP_US + 5_000_000, 60.0)
+        self.sim.schedule(
+            start, lambda: link.start_secondary(self.sim.now_us))
+        close_at = window.end_us + COOLDOWN_US + 1_000_000
+        self.sim.schedule(close_at, lambda: link.close(self.sim.now_us))
 
     def _schedule_reject(self, plan: LinkPlan, server: str,
                          window: CaptureWindow) -> None:
         link = self._make_link(server, plan)
-        link.run_until(window.end)
-        start = self._jitter(window.start + 0.5,
-                             plan.behavior.reject_retry_period)
-        self.sim.schedule(start, lambda: link.start_reject_loop(self.sim.now))
+        link.run_until(window.end_us)
+        start = self._jitter_us(window.start_us + 500_000,
+                                plan.behavior.reject_retry_period)
+        self.sim.schedule(
+            start, lambda: link.start_reject_loop(self.sim.now_us))
 
     def _schedule_switchover(self, plan: LinkPlan, window: CaptureWindow,
                              index: int = 0) -> None:
@@ -259,30 +275,35 @@ class Scenario:
         else:
             backup_server, primary_server = plan.pair
         primary = self._make_link(primary_server, plan)
-        primary.run_until(window.end + COOLDOWN_S)
-        start = self._jitter(window.start - WARMUP_S + 5.0, 30.0)
-        self.sim.schedule(start, lambda: primary.start_primary(self.sim.now))
+        primary.run_until(window.end_us + COOLDOWN_US)
+        start = self._jitter_us(
+            window.start_us - WARMUP_US + 5_000_000, 30.0)
+        self.sim.schedule(
+            start, lambda: primary.start_primary(self.sim.now_us))
 
         backup = self._make_link(backup_server, plan,)
-        backup.run_until(window.end + COOLDOWN_S)
-        backup_start = self._jitter(window.start - WARMUP_S + 5.0, 30.0)
+        backup.run_until(window.end_us + COOLDOWN_US)
+        backup_start = self._jitter_us(
+            window.start_us - WARMUP_US + 5_000_000, 30.0)
         self.sim.schedule(backup_start,
-                          lambda: backup.start_secondary(self.sim.now))
+                          lambda: backup.start_secondary(self.sim.now_us))
 
-        switch_at = self._jitter(window.start + 0.45 * window.duration,
-                                 0.1 * window.duration)
+        switch_at = self._jitter_us(
+            window.start_us + round(0.45 * window.duration_us),
+            0.1 * window.duration)
 
         def do_switchover() -> None:
-            now = self.sim.now
+            now_us = self.sim.now_us
             if primary.connected:
-                primary.close(now, from_server=True)
+                primary.close(now_us, from_server=True)
             if backup.connected:
-                backup.promote(now + 0.5)
+                backup.promote(now_us + 500_000)
 
         self.sim.schedule(switch_at, do_switchover)
-        close_at = window.end + COOLDOWN_S + 1.0
-        self.sim.schedule(close_at, lambda: primary.close(self.sim.now))
-        self.sim.schedule(close_at, lambda: backup.close(self.sim.now))
+        close_at = window.end_us + COOLDOWN_US + 1_000_000
+        self.sim.schedule(close_at,
+                          lambda: primary.close(self.sim.now_us))
+        self.sim.schedule(close_at, lambda: backup.close(self.sim.now_us))
         if plan.agc_participant:
             self._schedule_agc(primary, plan, window)
 
@@ -291,20 +312,20 @@ class Scenario:
         """C4-O22: a being-tested RTU that exchanged only 4 packets."""
         server = plan.pair[1]  # C4 in the paper
         link = self._make_link(server, plan)
-        link.run_until(window.end)
-        first = window.start + 0.05 * window.duration
-        second = window.start + 0.9 * window.duration
+        link.run_until(window.end_us)
+        first = window.start_us + round(0.05 * window.duration_us)
+        second = window.start_us + round(0.9 * window.duration_us)
 
         def start() -> None:
-            link.connect(self.sim.now)
-            link._send_frame(self.sim.now + 0.5,
+            link.connect(self.sim.now_us)
+            link._send_frame(self.sim.now_us + 500_000,
                              _testfr_act(), from_server=True)
 
         def probe_again() -> None:
             if link.connected:
-                link._send_frame(self.sim.now, _testfr_act(),
+                link._send_frame(self.sim.now_us, _testfr_act(),
                                  from_server=True)
-                link.close(self.sim.now + 1.0)
+                link.close(self.sim.now_us + 1_000_000)
 
         self.sim.schedule(first, start)
         self.sim.schedule(second, probe_again)
@@ -312,22 +333,29 @@ class Scenario:
     def _schedule_agc(self, link: IEC104Link, plan: LinkPlan,
                       window: CaptureWindow) -> None:
         """Periodic AGC dispatch with a deadband (I50 commands)."""
-        generator = plan.behavior.generator
+        if plan.behavior.generator is None:
+            return  # participant without a generator: nothing to dispatch
+        generator: str = plan.behavior.generator
 
         def dispatch() -> None:
-            now = self.sim.now
-            if now > window.end:
+            now_us = self.sim.now_us
+            if now_us > window.end_us:
                 return
-            setpoint = self.grid.setpoint_for(generator, now)
+            # Grid physics integrates in seconds; hand it the derived
+            # float view of the tick clock.
+            setpoint = self.grid.setpoint_for(generator, self.sim.now)
             last = self._last_dispatched.get(generator)
             if (last is None
                     or abs(setpoint - last) >= self._agc_deadband):
-                link.send_setpoint(now, setpoint)
+                link.send_setpoint(now_us, setpoint)
                 self._last_dispatched[generator] = setpoint
             self.sim.schedule_in(
-                self._agc_period * self._rng.uniform(0.9, 1.1), dispatch)
+                seconds_to_ticks(self._agc_period
+                                 * self._rng.uniform(0.9, 1.1)),
+                dispatch)
 
-        first = self._jitter(window.start + 2.0, self._agc_period)
+        first = self._jitter_us(window.start_us + 2_000_000,
+                                self._agc_period)
         self.sim.schedule(first, dispatch)
 
 

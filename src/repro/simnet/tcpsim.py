@@ -17,7 +17,7 @@ from ..netstack.addresses import IPv4Address, MacAddress
 from ..netstack.packet import CapturedPacket
 from ..netstack.tcp import TCPFlags, TCPSegment
 from .capture import CaptureTap
-from .clock import Simulator
+from .clock import Simulator, Ticks, _check_ticks, seconds_to_ticks
 
 _SEQ_MODULO = 1 << 32
 
@@ -84,9 +84,12 @@ class SimConnection:
 
     The *client* initiates (in IEC 104 that is the controlling station,
     i.e. the SCADA server); the *server* side listens on port 2404.
-    All emission methods take an absolute time and return the time at
-    which the last emitted packet hits the tap, so callers can sequence
-    application-level behaviour after network latency.
+    All emission methods take an absolute time in integer-microsecond
+    ticks and return the tick at which the last emitted packet hits the
+    tap, so callers can sequence application-level behaviour after
+    network latency. Latency and delay *parameters* stay in float
+    seconds (they are configuration knobs) and are quantized to ticks
+    at each draw.
     """
 
     def __init__(self, sim: Simulator, tap: CaptureTap, client: SimHost,
@@ -119,15 +122,16 @@ class SimConnection:
 
     # -- helpers -----------------------------------------------------------
 
-    def _delay(self) -> float:
+    def _delay_us(self) -> Ticks:
         low, high = self._latency
-        return self._rng.uniform(low, high)
+        return seconds_to_ticks(self._rng.uniform(low, high))
 
     def _peer(self, side: _Side) -> _Side:
         return self.server if side is self.client else self.client
 
-    def _emit(self, when: float, side: _Side, flags: TCPFlags,
+    def _emit(self, when_us: Ticks, side: _Side, flags: TCPFlags,
               payload: bytes = b"", seq: int | None = None) -> None:
+        _check_ticks(when_us, "when_us")
         peer = self._peer(side)
         segment = TCPSegment(
             src_port=side.port, dst_port=peer.port,
@@ -136,36 +140,36 @@ class SimConnection:
             flags=flags, payload=payload)
         self._ip_id = (self._ip_id + 1) & 0xFFFF
         packet = CapturedPacket.build(
-            timestamp=when, src_mac=side.host.mac, dst_mac=peer.host.mac,
-            src_ip=side.host.ip, dst_ip=peer.host.ip, segment=segment,
-            ip_id=self._ip_id)
+            time_us=when_us, src_mac=side.host.mac,
+            dst_mac=peer.host.mac, src_ip=side.host.ip,
+            dst_ip=peer.host.ip, segment=segment, ip_id=self._ip_id)
         self._tap.observe(packet)
 
     # -- connection lifecycle ----------------------------------------------
 
-    def establish(self, when: float) -> float:
-        """Three-way handshake; returns completion time."""
+    def establish(self, when_us: Ticks) -> Ticks:
+        """Three-way handshake; returns completion tick."""
         if self.established or self.closed:
             raise RuntimeError("connection already used")
-        syn_time = when
+        syn_time = when_us
         self.client.seq = self._rng.randrange(0, _SEQ_MODULO)
         self.server.seq = self._rng.randrange(0, _SEQ_MODULO)
         self._emit(syn_time, self.client, TCPFlags(syn=True))
         self.client.seq = (self.client.seq + 1) % _SEQ_MODULO
 
-        synack_time = syn_time + self._delay()
+        synack_time = syn_time + self._delay_us()
         self.server.ack = self.client.seq
         self._emit(synack_time, self.server, TCPFlags(syn=True, ack=True))
         self.server.seq = (self.server.seq + 1) % _SEQ_MODULO
 
-        ack_time = synack_time + self._delay()
+        ack_time = synack_time + self._delay_us()
         self.client.ack = self.server.seq
         self._emit(ack_time, self.client, TCPFlags(ack=True))
         self.established = True
         return ack_time
 
-    def send_syn_unanswered(self, when: float, retries: int = 2,
-                            backoff: float = 1.0) -> float:
+    def send_syn_unanswered(self, when_us: Ticks, retries: int = 2,
+                            backoff: float = 1.0) -> Ticks:
         """A SYN (plus retries) that the peer silently drops.
 
         Models outstations that ignore backup-connection attempts; the
@@ -175,23 +179,25 @@ class SimConnection:
         if self.established or self.closed:
             raise RuntimeError("connection already used")
         self.client.seq = self._rng.randrange(0, _SEQ_MODULO)
-        last = when
+        last = when_us
         for attempt in range(retries + 1):
-            last = when + backoff * ((2 ** attempt) - 1)
+            last = when_us + seconds_to_ticks(
+                backoff * ((2 ** attempt) - 1))
             self._emit(last, self.client, TCPFlags(syn=True),
                        seq=self.client.seq)
         self.closed = True
         return last
 
-    def send(self, when: float, from_client: bool, payload: bytes) -> float:
-        """Send application data; returns the arrival-side timestamp."""
+    def send(self, when_us: Ticks, from_client: bool,
+             payload: bytes) -> Ticks:
+        """Send application data; returns the arrival-side tick."""
         if not self.established or self.closed:
             raise RuntimeError("connection not established")
         if not payload:
             raise ValueError("use explicit ACK emission for empty segments")
         side = self.client if from_client else self.server
         peer = self._peer(side)
-        send_time = when
+        send_time = when_us
         data_seq = side.seq
         self._emit(send_time, side, TCPFlags(psh=True, ack=True),
                    payload=payload, seq=data_seq)
@@ -199,55 +205,57 @@ class SimConnection:
         peer.ack = side.seq
         if self._rng.random() < self._retransmission.probability:
             # Spurious retransmission: same seq, same payload, later.
-            self._emit(send_time + self._retransmission.delay, side,
+            retransmit_at = send_time + seconds_to_ticks(
+                self._retransmission.delay)
+            self._emit(retransmit_at, side,
                        TCPFlags(psh=True, ack=True), payload=payload,
                        seq=data_seq)
-        arrival = send_time + self._delay()
+        arrival = send_time + self._delay_us()
         if self._ack_policy == "delayed":
             self._unacked_data[from_client] += 1
             if self._unacked_data[from_client] >= self._ack_every:
                 self._unacked_data[from_client] = 0
-                self._emit(arrival + 0.0005, peer, TCPFlags(ack=True))
+                self._emit(arrival + 500, peer, TCPFlags(ack=True))
         return arrival
 
-    def close_fin(self, when: float, from_client: bool) -> float:
+    def close_fin(self, when_us: Ticks, from_client: bool) -> Ticks:
         """Graceful shutdown: FIN/ACK exchange both ways."""
         if not self.established or self.closed:
             raise RuntimeError("connection not open")
         initiator = self.client if from_client else self.server
         responder = self._peer(initiator)
-        fin_time = when
+        fin_time = when_us
         self._emit(fin_time, initiator, TCPFlags(fin=True, ack=True))
         initiator.seq = (initiator.seq + 1) % _SEQ_MODULO
         responder.ack = initiator.seq
 
-        reply_time = fin_time + self._delay()
+        reply_time = fin_time + self._delay_us()
         self._emit(reply_time, responder, TCPFlags(fin=True, ack=True))
         responder.seq = (responder.seq + 1) % _SEQ_MODULO
         initiator.ack = responder.seq
 
-        final_time = reply_time + self._delay()
+        final_time = reply_time + self._delay_us()
         self._emit(final_time, initiator, TCPFlags(ack=True))
         self.closed = True
         return final_time
 
-    def close_rst(self, when: float, from_client: bool) -> float:
+    def close_rst(self, when_us: Ticks, from_client: bool) -> Ticks:
         """Abortive shutdown: a single RST."""
         if not self.established or self.closed:
             raise RuntimeError("connection not open")
         side = self.client if from_client else self.server
-        self._emit(when, side, TCPFlags(rst=True, ack=True))
+        self._emit(when_us, side, TCPFlags(rst=True, ack=True))
         self.closed = True
-        return when
+        return when_us
 
-    def refuse(self, when: float) -> float:
+    def refuse(self, when_us: Ticks) -> Ticks:
         """SYN answered by RST (listener refuses the connection)."""
         if self.established or self.closed:
             raise RuntimeError("connection already used")
         self.client.seq = self._rng.randrange(0, _SEQ_MODULO)
-        self._emit(when, self.client, TCPFlags(syn=True))
+        self._emit(when_us, self.client, TCPFlags(syn=True))
         self.client.seq = (self.client.seq + 1) % _SEQ_MODULO
-        rst_time = when + self._delay()
+        rst_time = when_us + self._delay_us()
         self.server.ack = self.client.seq
         self._emit(rst_time, self.server, TCPFlags(rst=True, ack=True))
         self.closed = True

@@ -21,6 +21,7 @@ class NetworkMap:
     hosts: dict[str, SimHost] = field(default_factory=dict)
     _server_count: int = 0
     _outstation_count: int = 0
+    _auxiliary_count: int = 0
 
     def add_server(self, name: str) -> SimHost:
         self._server_count += 1
@@ -34,7 +35,7 @@ class NetworkMap:
 
     def add_auxiliary(self, name: str) -> SimHost:
         """A non-IEC-104 host: a PMU or an external control center."""
-        self._auxiliary_count = getattr(self, "_auxiliary_count", 0) + 1
+        self._auxiliary_count += 1
         return self._add(name, _AUXILIARY_NET + self._auxiliary_count,
                          len(self.hosts) + 1)
 

@@ -4,6 +4,7 @@ import random
 
 import pytest
 
+from repro.analysis.sources import PacketCapture
 from repro.analysis.apdu_stream import (extract_apdus, is_iec104,
                                         tokenize, u_function_counts,
                                         has_interrogation,
@@ -40,7 +41,7 @@ class TestFiltering:
     def test_is_iec104_by_port(self):
         segment = TCPSegment(src_port=5000, dst_port=2404, seq=0)
         packet = CapturedPacket.build(
-            0.0, MacAddress(1), MacAddress(2), IPv4Address(1),
+            0, MacAddress(1), MacAddress(2), IPv4Address(1),
             IPv4Address(2), segment)
         assert is_iec104(packet)
 
@@ -50,7 +51,7 @@ class TestFiltering:
                              seq=0, flags=PSH_ACK,
                              payload=b"not iec104 at all")
         packet = CapturedPacket.build(
-            0.0, MacAddress(1), MacAddress(2), IPv4Address(1),
+            0, MacAddress(1), MacAddress(2), IPv4Address(1),
             IPv4Address(2), segment)
         extraction = extract_apdus([packet])
         assert extraction.events == []
@@ -58,9 +59,9 @@ class TestFiltering:
 
     def test_unknown_hosts_named_by_address(self):
         conn, tap, _ = make_conn()
-        conn.establish(0.0)
-        conn.send(1.0, from_client=True, payload=u_frame_bytes())
-        extraction = extract_apdus(tap.packets, names={})
+        conn.establish(0)
+        conn.send(1_000_000, from_client=True, payload=u_frame_bytes())
+        extraction = extract_apdus(PacketCapture(tap.packets))
         assert extraction.events[0].src.startswith("10.0.0.1:")
 
 
@@ -68,21 +69,21 @@ class TestRetransmissionModes:
     def make_capture_with_retransmissions(self):
         conn, tap, names = make_conn(
             RetransmissionModel(probability=1.0), seed=2)
-        conn.establish(0.0)
-        conn.send(1.0, from_client=True, payload=u_frame_bytes())
+        conn.establish(0)
+        conn.send(1_000_000, from_client=True, payload=u_frame_bytes())
         return tap, names
 
     def test_per_packet_duplicates_tokens(self):
         """The paper's repeated-U16 observation: per-packet parsing
         sees retransmitted APDUs twice."""
         tap, names = self.make_capture_with_retransmissions()
-        extraction = extract_apdus(tap.packets, names=names,
+        extraction = extract_apdus(PacketCapture(tap.packets, names),
                                    per_packet=True)
         assert tokenize(extraction.events) == ["U16", "U16"]
 
     def test_reassembled_deduplicates(self):
         tap, names = self.make_capture_with_retransmissions()
-        extraction = extract_apdus(tap.packets, names=names,
+        extraction = extract_apdus(PacketCapture(tap.packets, names),
                                    per_packet=False)
         assert tokenize(extraction.events) == ["U16"]
         assert extraction.retransmissions == 1
@@ -91,13 +92,13 @@ class TestRetransmissionModes:
 class TestGrouping:
     def make_extraction(self):
         conn, tap, names = make_conn()
-        conn.establish(0.0)
-        conn.send(1.0, from_client=True, payload=u_frame_bytes())
+        conn.establish(0)
+        conn.send(1_000_000, from_client=True, payload=u_frame_bytes())
         from repro.iec104.apci import UFrame
         from repro.iec104.constants import UFunction
-        conn.send(1.1, from_client=False,
+        conn.send(1_100_000, from_client=False,
                   payload=UFrame(UFunction.TESTFR_CON).encode())
-        return extract_apdus(tap.packets, names=names)
+        return extract_apdus(PacketCapture(tap.packets, names))
 
     def test_sessions_are_directional(self):
         extraction = self.make_extraction()
@@ -150,11 +151,11 @@ class TestObservedTypeIds:
         from repro.iec104.asdu import measurement
         from repro.iec104.information_elements import ShortFloat
         conn, tap, names = make_conn()
-        conn.establish(0.0)
+        conn.establish(0)
         asdu = measurement(TypeID.M_ME_NC_1, 2001, ShortFloat(value=1.0))
-        conn.send(1.0, from_client=False,
+        conn.send(1_000_000, from_client=False,
                   payload=IFrame(asdu=asdu).encode())
-        extraction = extract_apdus(tap.packets, names=names)
+        extraction = extract_apdus(PacketCapture(tap.packets, names))
         assert observed_type_ids(extraction) \
             == {TypeID.M_ME_NC_1: 1}
 
@@ -167,16 +168,16 @@ class TestCauseDistribution:
         from repro.iec104.constants import Cause
         from repro.iec104.information_elements import ShortFloat
         conn, tap, names = make_conn()
-        conn.establish(0.0)
+        conn.establish(0)
         for index, cause in enumerate((Cause.SPONTANEOUS,
                                        Cause.SPONTANEOUS,
                                        Cause.PERIODIC)):
             asdu = measurement(TypeID.M_ME_NC_1, 2001,
                                ShortFloat(value=1.0), cause=cause)
-            conn.send(1.0 + index, from_client=False,
+            conn.send((1 + index) * 1_000_000, from_client=False,
                       payload=IFrame(asdu=asdu,
                                      send_seq=index).encode())
-        extraction = extract_apdus(tap.packets, names=names)
+        extraction = extract_apdus(PacketCapture(tap.packets, names))
         counts = cause_distribution(extraction)
         assert counts[Cause.SPONTANEOUS] == 2
         assert counts[Cause.PERIODIC] == 1

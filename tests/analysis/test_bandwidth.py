@@ -11,7 +11,7 @@ from repro.iec104.apci import SFrame
 
 
 def event(t, size=60):
-    return ApduEvent(timestamp=t, src="A", dst="B",
+    return ApduEvent(time_us=round(t * 1_000_000), src="A", dst="B",
                      apdu=SFrame(recv_seq=0), wire_bytes=size)
 
 

@@ -1,0 +1,150 @@
+"""Capture-first entrypoints and the deprecated ``names=`` shims.
+
+The analysis API's canonical input is a *capture* — anything with a
+``.packets`` iterable and a ``host_names()`` mapping. These tests pin
+both directions of the contract: capture objects, readers and record
+iterables are accepted directly, and the legacy ``(packets, names=...)``
+pair-threading form still works but warns.
+"""
+
+import io
+import warnings
+
+import pytest
+
+from repro.analysis import (FlowAnalysis, PacketCapture, analyze_compliance,
+                            as_capture, extract_apdus, extract_sessions,
+                            resolve_source, tokenize)
+from repro.analysis.timeline import build_timelines
+from repro.netstack.pcap import PcapReader, PcapRecord, PcapWriter
+from repro.simnet.capture import CaptureTap
+from repro.simnet.clock import Simulator
+from repro.simnet.tcpsim import SimConnection, SimHost
+from repro.netstack.addresses import IPv4Address, MacAddress
+from repro.iec104.apci import UFrame
+from repro.iec104.constants import UFunction
+
+import random
+
+
+@pytest.fixture(scope="module")
+def small_capture():
+    client = SimHost(name="C1", ip=IPv4Address(0x0A000001),
+                     mac=MacAddress(0x020000000001))
+    server = SimHost(name="O1", ip=IPv4Address(0x0A010001),
+                     mac=MacAddress(0x020000000002))
+    tap = CaptureTap()
+    conn = SimConnection(Simulator(), tap, client, server, 2404,
+                         rng=random.Random(9))
+    conn.establish(0)
+    conn.send(1_000_000, from_client=True,
+              payload=UFrame(UFunction.TESTFR_ACT).encode())
+    conn.send(1_500_000, from_client=False,
+              payload=UFrame(UFunction.TESTFR_CON).encode())
+    names = {client.ip: "C1", server.ip: "O1"}
+    return PacketCapture(packets=list(tap.packets), names=names)
+
+
+class TestCaptureFirst:
+    def test_extract_apdus_accepts_capture(self, small_capture):
+        extraction = extract_apdus(small_capture)
+        assert tokenize(extraction.events) == ["U16", "U32"]
+        assert extraction.events[0].src == "C1"
+
+    def test_flow_analysis_accepts_capture(self, small_capture):
+        analysis = FlowAnalysis.from_packets("t", small_capture)
+        assert len(analysis.flows) == 1
+
+    def test_analyze_compliance_accepts_capture(self, small_capture):
+        report = analyze_compliance(small_capture)
+        assert report.fully_malformed_hosts() == []
+
+    def test_extract_sessions_accepts_capture(self, small_capture):
+        sessions = extract_sessions(small_capture, min_packets=1)
+        assert sessions
+
+    def test_build_timelines_accepts_capture(self, small_capture):
+        timelines = build_timelines(small_capture,
+                                    extract_apdus(small_capture))
+        assert ("C1", "O1") in timelines
+
+    def test_pcap_reader_accepted_directly(self, small_capture):
+        buffer = io.BytesIO()
+        PcapWriter(buffer).write_all(
+            PcapRecord(time_us=p.time_us, data=p.encode())
+            for p in small_capture.packets)
+        buffer.seek(0)
+        extraction = extract_apdus(PcapReader(buffer))
+        assert tokenize(extraction.events) == ["U16", "U32"]
+
+    def test_record_iterable_accepted(self, small_capture):
+        records = [PcapRecord(time_us=p.time_us, data=p.encode())
+                   for p in small_capture.packets]
+        extraction = extract_apdus(records)
+        assert len(extraction.events) == 2
+
+    def test_plain_packet_iterable_accepted_unwarned(self, small_capture):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            extraction = extract_apdus(iter(small_capture.packets))
+        # No name map: hosts fall back to address:port labels.
+        assert extraction.events[0].src.startswith("10.")
+
+    def test_empty_iterable(self):
+        assert extract_apdus(iter([])).events == []
+
+    def test_as_capture_is_idempotent(self, small_capture):
+        assert as_capture(small_capture) is small_capture
+
+    def test_resolve_source_returns_capture_names(self, small_capture):
+        packets, names = resolve_source(small_capture)
+        assert names == small_capture.host_names()
+
+
+class TestDeprecatedShims:
+    def test_extract_apdus_names_kwarg_warns(self, small_capture):
+        with pytest.warns(DeprecationWarning, match="extract_apdus"):
+            extraction = extract_apdus(small_capture.packets,
+                                       names=small_capture.host_names())
+        assert tokenize(extraction.events) == ["U16", "U32"]
+        assert extraction.events[0].src == "C1"
+
+    def test_flow_analysis_names_kwarg_warns(self, small_capture):
+        with pytest.warns(DeprecationWarning,
+                          match="FlowAnalysis.from_packets"):
+            analysis = FlowAnalysis.from_packets(
+                "t", small_capture.packets,
+                names=small_capture.host_names())
+        assert len(analysis.flows) == 1
+
+    def test_analyze_compliance_names_kwarg_warns(self, small_capture):
+        with pytest.warns(DeprecationWarning, match="analyze_compliance"):
+            report = analyze_compliance(small_capture.packets,
+                                        names=small_capture.host_names())
+        assert report.fully_malformed_hosts() == []
+
+    def test_explicit_names_override_capture_names(self, small_capture):
+        override = {address: f"X-{name}"
+                    for address, name in small_capture.names.items()}
+        with pytest.warns(DeprecationWarning):
+            extraction = extract_apdus(small_capture, names=override)
+        assert extraction.events[0].src == "X-C1"
+
+    def test_apdu_event_timestamp_property_warns(self, small_capture):
+        event = extract_apdus(small_capture).events[0]
+        with pytest.warns(DeprecationWarning, match="time_us"):
+            assert event.timestamp == event.time_us / 1_000_000
+
+    def test_captured_packet_timestamp_property_warns(self, small_capture):
+        packet = small_capture.packets[0]
+        with pytest.warns(DeprecationWarning, match="time_us"):
+            assert packet.timestamp == packet.time_us / 1_000_000
+
+    def test_timeline_entry_timestamp_property_warns(self, small_capture):
+        timelines = build_timelines(small_capture,
+                                    extract_apdus(small_capture))
+        entry = timelines[("C1", "O1")].entries[0]
+        with pytest.warns(DeprecationWarning, match="time_us"):
+            assert entry.timestamp == entry.time_us / 1_000_000
+        with pytest.warns(DeprecationWarning, match="time_us"):
+            assert entry.time == entry.time_us / 1_000_000

@@ -12,8 +12,8 @@ from repro.iec104.constants import UFunction
 
 def event(t, token="S"):
     apdu = SFrame() if token == "S" else UFrame(UFunction.TESTFR_ACT)
-    return ApduEvent(timestamp=t, src="C1", dst="O1", apdu=apdu,
-                     wire_bytes=60)
+    return ApduEvent(time_us=round(t * 1_000_000), src="C1",
+                     dst="O1", apdu=apdu, wire_bytes=60)
 
 
 class TestDayBoundaries:

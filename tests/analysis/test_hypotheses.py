@@ -13,9 +13,8 @@ from repro.analysis.hypotheses import (Verdict, evaluate_all,
 @pytest.fixture(scope="module")
 def results(y1_capture, y1_extraction, y2_extraction):
     return {result.hypothesis: result
-            for result in evaluate_all(y1_capture.packets,
-                                       y1_extraction, y2_extraction,
-                                       names=y1_capture.host_names())}
+            for result in evaluate_all(y1_capture, y1_extraction,
+                                       y2_extraction)}
 
 
 class TestVerdictsMatchPaper:
@@ -64,6 +63,7 @@ class TestEdgeCases:
         clean = [packet for packet in y1_capture.packets
                  if packet.ip.src != y1_capture.network["O37"].ip
                  and packet.ip.src != y1_capture.network["O28"].ip]
+        from repro.analysis import PacketCapture
         result = evaluate_h2_compliance(
-            clean, names=y1_capture.host_names())
+            PacketCapture(clean, y1_capture.host_names()))
         assert result.verdict is Verdict.SUPPORTED

@@ -27,13 +27,19 @@ class TestPcapRoundtrip:
         count = y1_capture.to_pcap(buffer)
         assert count == len(y1_capture.packets)
         buffer.seek(0)
-        packets = [CapturedPacket.decode(r.timestamp, r.data)
+        packets = [CapturedPacket.decode(r.time_us, r.data)
                    for r in PcapReader(buffer)]
         assert all(p is not None for p in packets)
+        # Integer-microsecond ticks survive the pcap round trip
+        # exactly, so timestamps (not just tokens) must match.
+        assert [p.time_us for p in packets] \
+            == [p.time_us for p in y1_capture.packets]
         # The analysis of re-imported packets matches the in-memory one.
+        from repro.analysis.sources import PacketCapture
         names = y1_capture.host_names()
-        direct = extract_apdus(y1_capture.packets[:2000], names=names)
-        reread = extract_apdus(packets[:2000], names=names)
+        direct = extract_apdus(
+            PacketCapture(y1_capture.packets[:2000], names))
+        reread = extract_apdus(PacketCapture(packets[:2000], names))
         assert tokenize(direct.events) == tokenize(reread.events)
 
 
@@ -42,8 +48,7 @@ class TestCompliance:
         assert not y1_extraction.failures
 
     def test_legacy_hosts_flagged_by_strict_parser(self, y1_capture):
-        report = analyze_compliance(y1_capture.packets,
-                                    names=y1_capture.host_names())
+        report = analyze_compliance(y1_capture)
         flagged = set(report.fully_malformed_hosts())
         expected = {name for name in NON_COMPLIANT
                     if any(plan.behavior.name == name
@@ -51,14 +56,12 @@ class TestCompliance:
         assert flagged == expected  # O37 and O28 in Y1
 
     def test_inferred_profiles_match_ground_truth(self, y1_capture):
-        report = analyze_compliance(y1_capture.packets,
-                                    names=y1_capture.host_names())
+        report = analyze_compliance(y1_capture)
         for host in report.non_compliant_hosts():
             assert host.inferred_profile == NON_COMPLIANT[host.host]
 
     def test_compliant_hosts_not_flagged(self, y1_capture):
-        report = analyze_compliance(y1_capture.packets,
-                                    names=y1_capture.host_names())
+        report = analyze_compliance(y1_capture)
         assert "O1" in report.hosts
         assert report.hosts["O1"].is_compliant
         assert report.hosts["O1"].strict_malformed == 0
@@ -66,15 +69,13 @@ class TestCompliance:
 
 class TestFlows:
     def test_short_lived_dominate(self, y1_capture):
-        analysis = FlowAnalysis.from_packets(
-            "Y1", y1_capture.packets, names=y1_capture.host_names())
+        analysis = FlowAnalysis.from_packets("Y1", y1_capture)
         summary = analysis.summary()
         assert summary.short_fraction > 0.5
         assert summary.sub_second_fraction_of_short > 0.9
 
     def test_reset_pairs_found(self, y1_capture):
-        analysis = FlowAnalysis.from_packets(
-            "Y1", y1_capture.packets, names=y1_capture.host_names())
+        analysis = FlowAnalysis.from_packets("Y1", y1_capture)
         pairs = {(p.server, p.outstation)
                  for p in analysis.rejecting_pairs()}
         # All the RST/FIN-mode pairs of the paper's list must be found
@@ -85,8 +86,7 @@ class TestFlows:
         assert expected <= pairs
 
     def test_histogram_covers_all_short_flows(self, y1_capture):
-        analysis = FlowAnalysis.from_packets(
-            "Y1", y1_capture.packets, names=y1_capture.host_names())
+        analysis = FlowAnalysis.from_packets("Y1", y1_capture)
         bins = analysis.duration_histogram()
         assert sum(count for _, _, count in bins) \
             == len(analysis.short_lived_durations())

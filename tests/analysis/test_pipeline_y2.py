@@ -12,8 +12,7 @@ class TestY2Compliance:
     def test_y2_legacy_hosts(self, y2_capture):
         """Paper §6.1: in Y2 the malformed senders are O37, O53, O58
         (O28 was removed)."""
-        report = analyze_compliance(y2_capture.packets,
-                                    names=y2_capture.host_names())
+        report = analyze_compliance(y2_capture)
         assert set(report.fully_malformed_hosts()) \
             == {"O37", "O53", "O58"}
 

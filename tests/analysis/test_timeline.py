@@ -9,9 +9,7 @@ from repro.analysis.timeline import (TimelineEvent, build_timelines,
 
 @pytest.fixture(scope="module")
 def timelines(y1_capture, y1_extraction):
-    return build_timelines(
-        y1_capture.packets, y1_extraction,
-        names=y1_capture.host_names())
+    return build_timelines(y1_capture, y1_extraction)
 
 
 class TestReconstruction:
@@ -33,12 +31,13 @@ class TestReconstruction:
         interrogation = timeline.events(TimelineEvent.INTERROGATION)
         data = timeline.events(TimelineEvent.FIRST_DATA)
         assert syn and start and interrogation and data
-        assert syn[0].time < start[0].time < interrogation[0].time
-        assert interrogation[0].time <= data[0].time
+        assert syn[0].time_us < start[0].time_us \
+            < interrogation[0].time_us
+        assert interrogation[0].time_us <= data[0].time_us
 
     def test_events_sorted(self, timelines):
         for timeline in timelines.values():
-            times = [entry.time for entry in timeline.entries]
+            times = [entry.time_us for entry in timeline.entries]
             assert times == sorted(times)
 
     def test_render(self, timelines):
@@ -79,9 +78,9 @@ class TestSwitchoverPattern:
         switchover = timeline.events(TimelineEvent.SWITCHOVER)[0]
         data = [entry for entry
                 in timeline.events(TimelineEvent.FIRST_DATA)
-                if entry.time > switchover.time]
+                if entry.time_us > switchover.time_us]
         interrogations = [
             entry for entry
             in timeline.events(TimelineEvent.INTERROGATION)
-            if entry.time >= switchover.time]
+            if entry.time_us >= switchover.time_us]
         assert interrogations, "promotion must interrogate"

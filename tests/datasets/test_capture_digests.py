@@ -1,0 +1,43 @@
+"""Committed capture digests: the tick-based generator is frozen.
+
+The integer-microsecond timebase makes generated captures exact: two
+runs of ``generate_capture`` with the same config must produce
+bit-identical pcap bytes, on any platform, in any process. These
+SHA-256 digests were committed alongside the timebase change; if one
+drifts, either the generator changed behaviour (bump the digests
+deliberately, with a CHANGES.md note) or determinism broke (a bug).
+"""
+
+import hashlib
+import io
+
+import pytest
+
+from repro.datasets import CaptureConfig, generate_capture
+
+#: (year, workers) -> sha256 of the capture's classic-pcap bytes at
+#: time_scale=0.004, max_outstations=6. The windowed (workers=2) and
+#: monolithic paths produce different — equally valid — byte streams,
+#: so each is pinned separately.
+DIGESTS = {
+    (1, None):
+        "90a35bf9bed2d315d1a93c6e1d80d0041345b40c43e5572d3b357d6688554084",
+    (1, 2):
+        "389b3828b29cdd8b3aa86cd5c90c89959a94828d1ea68d11c0f2fda0b9725ca8",
+    (2, None):
+        "fe20bf91326e7eaa680a1146e3a755d20710e7a98cceec0ee23b1b0c3dc79c22",
+    (2, 2):
+        "a3ac372d2918b486e8e1bcca2a7c3659dde584fb9d618368bd3ce43500e7ebf8",
+}
+
+
+@pytest.mark.parametrize("year,workers", sorted(
+    DIGESTS, key=lambda pair: (pair[0], pair[1] or 0)))
+def test_generator_reproduces_committed_digest(year, workers):
+    config = CaptureConfig(time_scale=0.004, max_outstations=6,
+                           workers=workers)
+    capture = generate_capture(year, config)
+    buffer = io.BytesIO()
+    capture.to_pcap(buffer)
+    digest = hashlib.sha256(buffer.getvalue()).hexdigest()
+    assert digest == DIGESTS[(year, workers)]

@@ -64,7 +64,7 @@ class TestRosters:
 
     def test_packets_inside_windows_only(self, y1_capture):
         for packet in y1_capture.packets:
-            assert any(w.contains(packet.timestamp)
+            assert any(w.contains(packet.time_us)
                        for w in y1_capture.windows)
 
 

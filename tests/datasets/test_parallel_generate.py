@@ -60,7 +60,7 @@ class TestWindowedStructure:
         days = []
         for packet in capture.packets:
             window = next(w for w in capture.windows
-                          if w.contains(packet.timestamp))
+                          if w.contains(packet.time_us))
             days.append(day_of[window.label])
         assert days == sorted(days)
         assert set(days) == set(day_of.values())
@@ -73,7 +73,7 @@ class TestWindowedStructure:
         for packet in capture.packets:
             key = packet.flow_key.canonical
             window = next((w for w in capture.windows
-                           if w.contains(packet.timestamp)), None)
+                           if w.contains(packet.time_us)), None)
             if window is None:
                 continue
             seen.setdefault(key, set()).add(window.label)

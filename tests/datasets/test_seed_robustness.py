@@ -23,8 +23,7 @@ SEEDS = (7, 2024, 55555)
 def seeded(request):
     capture = generate_capture(
         1, CaptureConfig(seed=request.param, time_scale=0.015))
-    extraction = extract_apdus(capture.packets,
-                               names=capture.host_names())
+    extraction = extract_apdus(capture)
     return capture, extraction
 
 
@@ -35,8 +34,7 @@ class TestSeedInvariance:
 
     def test_non_compliant_hosts_constant(self, seeded):
         capture, _ = seeded
-        report = analyze_compliance(capture.packets,
-                                    names=capture.host_names())
+        report = analyze_compliance(capture)
         assert set(report.fully_malformed_hosts()) \
             == {"O37", "O28"}  # the Y1 legacy RTUs, any seed
 
@@ -50,9 +48,7 @@ class TestSeedInvariance:
 
     def test_flows_short_dominated(self, seeded):
         capture, _ = seeded
-        summary = FlowAnalysis.from_packets(
-            "Y1", capture.packets,
-            names=capture.host_names()).summary()
+        summary = FlowAnalysis.from_packets("Y1", capture).summary()
         assert summary.short_fraction > 0.4
         # At this tiny scale the fixed per-window type-4 flows weigh
         # more, so the sub-second share sits lower than at full scale.

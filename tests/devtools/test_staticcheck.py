@@ -229,7 +229,16 @@ def test_float_timestamp_eq_flagged(tmp_path):
     """
     findings = lint_snippet(tmp_path, code, rule="float-timestamp-eq")
     assert len(findings) == 1
-    assert findings[0].severity is Severity.WARNING
+    assert findings[0].severity is Severity.ERROR
+
+
+def test_tick_names_exempt_from_timestamp_eq(tmp_path):
+    code = """
+        def due(event, now_us):
+            return event.time_us == now_us or event.start_us != now_us
+    """
+    findings = lint_snippet(tmp_path, code, rule="float-timestamp-eq")
+    assert findings == []
 
 
 def test_timestamp_tolerance_compare_passes(tmp_path):

@@ -19,7 +19,7 @@ def pkt(sport=40000, dport=2404, flags=PSH_ACK, payload=b"x",
         src=A, dst=B):
     segment = TCPSegment(src_port=sport, dst_port=dport, seq=1,
                          flags=flags, payload=payload)
-    return CapturedPacket.build(0.0, M1, M2, src, dst, segment)
+    return CapturedPacket.build(0, M1, M2, src, dst, segment)
 
 
 class TestComparisons:

@@ -13,13 +13,14 @@ SERVER_MAC = mac("02:00:00:00:00:02")
 
 
 def pkt(t, sport, dport, flags, payload=b"", reverse=False):
+    time_us = round(t * 1_000_000)
     segment = TCPSegment(src_port=sport, dst_port=dport, seq=100, ack=1,
                          flags=flags, payload=payload)
     if reverse:
-        return CapturedPacket.build(t, SERVER_MAC, CLIENT_MAC, SERVER_IP,
-                                    CLIENT_IP, segment)
-    return CapturedPacket.build(t, CLIENT_MAC, SERVER_MAC, CLIENT_IP,
-                                SERVER_IP, segment)
+        return CapturedPacket.build(time_us, SERVER_MAC, CLIENT_MAC,
+                                    SERVER_IP, CLIENT_IP, segment)
+    return CapturedPacket.build(time_us, CLIENT_MAC, SERVER_MAC,
+                                CLIENT_IP, SERVER_IP, segment)
 
 
 def handshake(table, t0, sport=40000, dport=2404):

@@ -145,12 +145,12 @@ class TestCapturedPacket:
     def build(self, payload=b"\x68\x04\x43\x00\x00\x00"):
         segment = TCPSegment(src_port=40001, dst_port=2404, seq=7,
                              ack=3, flags=PSH_ACK, payload=payload)
-        return CapturedPacket.build(1.25, SRC_MAC, DST_MAC, SRC_IP,
+        return CapturedPacket.build(1_250_000, SRC_MAC, DST_MAC, SRC_IP,
                                     DST_IP, segment)
 
     def test_build_decode_roundtrip(self):
         packet = self.build()
-        decoded = CapturedPacket.decode(1.25, packet.encode())
+        decoded = CapturedPacket.decode(1_250_000, packet.encode())
         assert decoded.tcp == packet.tcp
         assert decoded.ip.src == SRC_IP
 
@@ -165,7 +165,7 @@ class TestCapturedPacket:
     def test_decode_ignores_non_ipv4(self):
         frame = EthernetFrame(dst=DST_MAC, src=SRC_MAC, ethertype=0x0806,
                               payload=b"\x00" * 28)  # ARP
-        assert CapturedPacket.decode(0.0, frame.encode()) is None
+        assert CapturedPacket.decode(0, frame.encode()) is None
 
     def test_decode_ignores_non_tcp(self):
         ip_packet = IPv4Packet(src=SRC_IP, dst=DST_IP, payload=b"\x00" * 8,
@@ -173,7 +173,7 @@ class TestCapturedPacket:
         frame = EthernetFrame(dst=DST_MAC, src=SRC_MAC,
                               ethertype=ETHERTYPE_IPV4,
                               payload=ip_packet.encode())
-        assert CapturedPacket.decode(0.0, frame.encode()) is None
+        assert CapturedPacket.decode(0, frame.encode()) is None
 
     def test_wire_length(self):
         packet = self.build(payload=b"")

@@ -1,4 +1,9 @@
-"""libpcap file format tests."""
+"""libpcap file format tests.
+
+The canonical timestamp is integer microseconds (``time_us``); the
+microsecond record header stores exactly ``divmod(time_us, 1_000_000)``,
+so writer↔reader round trips must be *exact*, not approximate.
+"""
 
 import io
 import struct
@@ -11,23 +16,24 @@ from repro.netstack.pcap import (LINKTYPE_ETHERNET, MAGIC_NSEC, PcapError,
                                  read_pcap, write_pcap)
 
 
-def roundtrip(records, snaplen=65535):
+def roundtrip(records, snaplen=65535, nanoseconds=False):
     buffer = io.BytesIO()
-    PcapWriter(buffer, snaplen=snaplen).write_all(records)
+    PcapWriter(buffer, snaplen=snaplen,
+               nanoseconds=nanoseconds).write_all(records)
     buffer.seek(0)
     return list(PcapReader(buffer))
 
 
 class TestRoundtrip:
     def test_single_record(self):
-        records = roundtrip([PcapRecord(timestamp=12.345678,
+        records = roundtrip([PcapRecord(time_us=12_345_678,
                                         data=b"\xAA" * 60)])
         assert len(records) == 1
         assert records[0].data == b"\xAA" * 60
-        assert records[0].timestamp == pytest.approx(12.345678, abs=1e-6)
+        assert records[0].time_us == 12_345_678
 
     def test_many_records_preserve_order(self):
-        inputs = [PcapRecord(timestamp=float(i), data=bytes([i]) * 10)
+        inputs = [PcapRecord(time_us=i * 1_000_000, data=bytes([i]) * 10)
                   for i in range(50)]
         outputs = roundtrip(inputs)
         assert [r.data for r in outputs] == [r.data for r in inputs]
@@ -36,28 +42,45 @@ class TestRoundtrip:
         assert roundtrip([]) == []
 
     def test_snaplen_truncates(self):
-        records = roundtrip([PcapRecord(timestamp=0.0, data=b"x" * 100)],
+        records = roundtrip([PcapRecord(time_us=0, data=b"x" * 100)],
                             snaplen=40)
         assert len(records[0].data) == 40
         assert records[0].original_length == 100
         assert records[0].truncated
 
-    def test_microsecond_rollover(self):
-        # 0.9999996 rounds to 1000000 us, which must carry into seconds.
-        records = roundtrip([PcapRecord(timestamp=1.9999996, data=b"x")])
-        assert records[0].timestamp == pytest.approx(2.0, abs=1e-6)
+    def test_float_timestamp_rejected(self):
+        with pytest.raises(TypeError):
+            PcapRecord(time_us=1.9999996, data=b"x")
+
+    def test_deprecated_timestamp_property(self):
+        record = PcapRecord(time_us=2_500_000, data=b"x")
+        with pytest.warns(DeprecationWarning):
+            assert record.timestamp == 2.5
 
     @given(st.lists(st.tuples(
-        st.floats(min_value=0.0, max_value=1e9, allow_nan=False),
+        st.integers(min_value=0, max_value=10**15),
         st.binary(min_size=0, max_size=100)), max_size=20))
-    def test_roundtrip_property(self, entries):
-        inputs = [PcapRecord(timestamp=t, data=d) for t, d in entries]
+    def test_roundtrip_property_exact(self, entries):
+        """Integer-µs timestamps survive the µs-magic round trip
+        bit-for-bit — no approx, no sidecar."""
+        inputs = [PcapRecord(time_us=t, data=d) for t, d in entries]
         outputs = roundtrip(inputs)
         assert len(outputs) == len(inputs)
         for before, after in zip(inputs, outputs):
             assert after.data == before.data
-            assert after.timestamp == pytest.approx(before.timestamp,
-                                                    abs=1e-6)
+            assert after.time_us == before.time_us
+
+    @given(st.lists(st.tuples(
+        st.integers(min_value=0, max_value=10**15),
+        st.binary(min_size=0, max_size=100)), max_size=20))
+    def test_roundtrip_property_exact_nanosecond_magic(self, entries):
+        """The 0xa1b23c4d writer stores micros*1000; reading floors
+        back to the identical canonical tick."""
+        inputs = [PcapRecord(time_us=t, data=d) for t, d in entries]
+        outputs = roundtrip(inputs, nanoseconds=True)
+        assert [r.time_us for r in outputs] \
+            == [r.time_us for r in inputs]
+        assert [r.data for r in outputs] == [r.data for r in inputs]
 
 
 class TestHeader:
@@ -70,6 +93,11 @@ class TestHeader:
         assert reader.snaplen == 1234
         assert reader.linktype == LINKTYPE_ETHERNET
 
+    def test_nanosecond_magic_write_sets_magic(self):
+        buffer = io.BytesIO()
+        PcapWriter(buffer, nanoseconds=True)
+        assert struct.unpack("<I", buffer.getvalue()[:4])[0] == MAGIC_NSEC
+
     def test_nanosecond_magic(self):
         buffer = io.BytesIO()
         buffer.write(struct.pack("<IHHiIII", MAGIC_NSEC, 2, 4, 0, 0,
@@ -78,7 +106,17 @@ class TestHeader:
         buffer.write(b"abc")
         buffer.seek(0)
         records = list(PcapReader(buffer))
-        assert records[0].timestamp == pytest.approx(10.5)
+        assert records[0].time_us == 10_500_000
+
+    def test_nanosecond_sub_microsecond_floors(self):
+        buffer = io.BytesIO()
+        buffer.write(struct.pack("<IHHiIII", MAGIC_NSEC, 2, 4, 0, 0,
+                                 65535, 1))
+        buffer.write(struct.pack("<IIII", 10, 123_456_789, 3, 3))
+        buffer.write(b"abc")
+        buffer.seek(0)
+        records = list(PcapReader(buffer))
+        assert records[0].time_us == 10_123_456
 
     def test_big_endian(self):
         buffer = io.BytesIO()
@@ -88,8 +126,26 @@ class TestHeader:
         buffer.write(b"hi")
         buffer.seek(0)
         records = list(PcapReader(buffer))
-        assert records[0].timestamp == pytest.approx(7.25)
+        assert records[0].time_us == 7_250_000
         assert records[0].data == b"hi"
+
+    @given(st.lists(st.tuples(
+        st.integers(min_value=0, max_value=2**32 - 1),
+        st.integers(min_value=0, max_value=999_999),
+        st.binary(min_size=0, max_size=40)), max_size=10))
+    def test_big_endian_records_read_exactly(self, entries):
+        """Hand-packed big-endian µs records decode to the exact tick."""
+        buffer = io.BytesIO()
+        buffer.write(struct.pack(">IHHiIII", 0xA1B2C3D4, 2, 4, 0, 0,
+                                 65535, 1))
+        for seconds, micros, data in entries:
+            buffer.write(struct.pack(">IIII", seconds, micros,
+                                     len(data), len(data)))
+            buffer.write(data)
+        buffer.seek(0)
+        records = list(PcapReader(buffer))
+        assert [r.time_us for r in records] \
+            == [s * 1_000_000 + u for s, u, _ in entries]
 
 
 class TestErrors:
@@ -132,7 +188,7 @@ class TestFastPathParity:
         buffer = io.BytesIO()
         writer = PcapWriter(buffer)
         for index in range(25):
-            writer.write(PcapRecord(timestamp=index + 0.000001 * index,
+            writer.write(PcapRecord(time_us=index * 1_000_000 + index,
                                     data=bytes([index]) * (index + 1)))
         buffered, unbuffered = self.both_paths(buffer.getvalue())
         assert buffered == unbuffered
@@ -147,7 +203,7 @@ class TestFastPathParity:
             buffer.write(bytes([index]) * 4)
         buffered, unbuffered = self.both_paths(buffer.getvalue())
         assert buffered == unbuffered
-        assert buffered[3].timestamp == pytest.approx(3.25)
+        assert buffered[3].time_us == 3_250_000
 
     def test_nanosecond_magic(self):
         buffer = io.BytesIO()
@@ -157,9 +213,8 @@ class TestFastPathParity:
         buffer.write(b"abc")
         buffered, unbuffered = self.both_paths(buffer.getvalue())
         assert buffered == unbuffered
-        # Float identity, not approx: both paths must compute the
-        # timestamp with the same expression.
-        assert buffered[0].timestamp == unbuffered[0].timestamp
+        # Integer identity: both paths must floor to the same tick.
+        assert buffered[0].time_us == unbuffered[0].time_us
 
     def test_big_endian_nanoseconds(self):
         buffer = io.BytesIO()
@@ -194,7 +249,7 @@ class TestFastPathParity:
     def test_records_before_truncation_agree(self):
         buffer = io.BytesIO()
         writer = PcapWriter(buffer)
-        writer.write(PcapRecord(timestamp=1.0, data=b"ok"))
+        writer.write(PcapRecord(time_us=1_000_000, data=b"ok"))
         buffer.write(struct.pack("<IIII", 2, 0, 50, 50))
         buffer.write(b"not fifty octets")
         raw = buffer.getvalue()
@@ -209,7 +264,9 @@ class TestFastPathParity:
 class TestFileHelpers:
     def test_write_read_path(self, tmp_path):
         path = tmp_path / "capture.pcap"
-        count = write_pcap(path, [PcapRecord(timestamp=1.0, data=b"abc")])
+        count = write_pcap(path,
+                           [PcapRecord(time_us=1_000_000, data=b"abc")])
         assert count == 1
         records = read_pcap(path)
         assert records[0].data == b"abc"
+        assert records[0].time_us == 1_000_000

@@ -55,7 +55,7 @@ class TestRoundTrip:
         fresh = cached_generate(1, _CONFIG)
         cached = cached_generate(1, _CONFIG)
         for mine, theirs in zip(fresh.packets, cached.packets):
-            assert mine.timestamp == theirs.timestamp  # exact floats
+            assert mine.time_us == theirs.time_us  # exact integer ticks
             assert mine.encode() == theirs.encode()
         assert fresh.host_names() == cached.host_names()
 
@@ -69,10 +69,30 @@ class TestRoundTrip:
     def test_incomplete_entry_is_a_miss(self):
         cached_generate(2, _CONFIG)
         key = capture_key(2, _CONFIG)
-        (cache_dir() / f"{key}.times.bin").unlink()
+        (cache_dir() / f"{key}.names.json").unlink()
         assert load(key, 2) is None
         cached_generate(2, _CONFIG)
         assert STATS.misses == 2
+
+    def test_hit_needs_no_timestamp_sidecar(self):
+        """Format 2 regression: the integer-microsecond timebase makes
+        the pcap round trip exact, so no ``.times.bin`` sidecar is
+        written and a hit works without one."""
+        fresh = cached_generate(2, _CONFIG)
+        key = capture_key(2, _CONFIG)
+        assert not (cache_dir() / f"{key}.times.bin").exists()
+        cached = cached_generate(2, _CONFIG)
+        assert STATS.hits == 1
+        assert [p.time_us for p in cached.packets] \
+            == [p.time_us for p in fresh.packets]
+
+    def test_clear_sweeps_legacy_sidecar(self):
+        cached_generate(2, _CONFIG)
+        key = capture_key(2, _CONFIG)
+        legacy = cache_dir() / f"{key}.times.bin"
+        legacy.write_bytes(b"stale format-1 sidecar")
+        assert clear_cache() == 1
+        assert not legacy.exists()
 
     def test_store_load_explicit(self):
         capture = generate_capture(2, _CONFIG)

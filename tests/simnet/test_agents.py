@@ -48,7 +48,7 @@ def decoded_tokens(tap):
     from repro.iec104.codec import TolerantParser
     parser = TolerantParser()
     tokens = []
-    for packet in sorted(tap.packets, key=lambda p: p.timestamp):
+    for packet in sorted(tap.packets, key=lambda p: p.time_us):
         if not packet.payload:
             continue
         for result in parser.parse_stream(packet.payload,
@@ -60,31 +60,31 @@ def decoded_tokens(tap):
 
 class TestBuildElement:
     def test_short_float_untimed(self):
-        element = build_element(TypeID.M_ME_NC_1, 1.5, 100.0)
+        element = build_element(TypeID.M_ME_NC_1, 1.5, 100_000_000)
         assert element.value == 1.5 and element.time is None
 
     def test_short_float_timed(self):
-        element = build_element(TypeID.M_ME_TF_1, 1.5, 100.0)
+        element = build_element(TypeID.M_ME_TF_1, 1.5, 100_000_000)
         assert element.time is not None
 
     def test_double_point(self):
-        assert build_element(TypeID.M_DP_NA_1, 2.0, 0.0).state == 2
+        assert build_element(TypeID.M_DP_NA_1, 2.0, 0).state == 2
 
     def test_normalized_clamped(self):
-        element = build_element(TypeID.M_ME_NA_1, 5.0, 0.0)
+        element = build_element(TypeID.M_ME_NA_1, 5.0, 0)
         assert element.value <= 1.0
 
     def test_unsupported_raises(self):
         with pytest.raises(ValueError):
-            build_element(TypeID.C_IC_NA_1, 0.0, 0.0)
+            build_element(TypeID.C_IC_NA_1, 0.0, 0)
 
 
 class TestPrimaryLink:
     def test_startdt_then_interrogation(self):
         sim, tap, link = make_link(make_behavior())
-        link.run_until(30.0)
-        link.start_primary(1.0)
-        sim.run_until(5.0)
+        link.run_until(30_000_000)
+        link.start_primary(1_000_000)
+        sim.run_until(5_000_000)
         tokens = decoded_tokens(tap)
         assert tokens[0] == "U1"
         assert tokens[1] == "U2"
@@ -94,9 +94,9 @@ class TestPrimaryLink:
 
     def test_reporting_continues(self):
         sim, tap, link = make_link(make_behavior())
-        link.run_until(60.0)
-        link.start_primary(1.0)
-        sim.run_until(60.0)
+        link.run_until(60_000_000)
+        link.start_primary(1_000_000)
+        sim.run_until(60_000_000)
         tokens = decoded_tokens(tap)
         # The periodic U-voltage point fires every ~4s: expect >= 10
         # I36 frames over ~55s of reporting.
@@ -104,27 +104,27 @@ class TestPrimaryLink:
 
     def test_server_acknowledges_with_s(self):
         sim, tap, link = make_link(make_behavior())
-        link.run_until(120.0)
-        link.start_primary(1.0)
-        sim.run_until(120.0)
+        link.run_until(120_000_000)
+        link.start_primary(1_000_000)
+        sim.run_until(120_000_000)
         tokens = decoded_tokens(tap)
         assert "S" in tokens
 
     def test_sequence_numbers_consistent(self):
         """Whole exchange decodes with per-frame sequence checking."""
         sim, tap, link = make_link(make_behavior())
-        link.run_until(40.0)
-        link.start_primary(1.0)
-        sim.run_until(40.0)
+        link.run_until(40_000_000)
+        link.start_primary(1_000_000)
+        sim.run_until(40_000_000)
         from repro.iec104.codec import TolerantParser
         from repro.iec104.apci import IFrame
         parser = TolerantParser()
         send_seqs = []
-        for packet in sorted(tap.packets, key=lambda p: p.timestamp):
+        for packet in sorted(tap.packets, key=lambda p: p.time_us):
             if not packet.payload or packet.flow_key.src.port == 2404:
                 continue  # server->outstation only has commands/acks
         # outstation->server I-frames must have strictly increasing N(S)
-        for packet in sorted(tap.packets, key=lambda p: p.timestamp):
+        for packet in sorted(tap.packets, key=lambda p: p.time_us):
             if not packet.payload:
                 continue
             if packet.flow_key.src.port != 2404:
@@ -138,9 +138,9 @@ class TestPrimaryLink:
 
     def test_stats(self):
         sim, tap, link = make_link(make_behavior())
-        link.run_until(30.0)
-        link.start_primary(1.0)
-        sim.run_until(30.0)
+        link.run_until(30_000_000)
+        link.start_primary(1_000_000)
+        sim.run_until(30_000_000)
         assert link.stats.connections == 1
         assert link.stats.i_frames > 0
 
@@ -150,9 +150,9 @@ class TestSecondaryLink:
         behavior = make_behavior(OutstationType.BACKUP_U_ONLY,
                                  keepalive_period=10.0)
         sim, tap, link = make_link(behavior)
-        link.run_until(65.0)
-        link.start_secondary(1.0)
-        sim.run_until(65.0)
+        link.run_until(65_000_000)
+        link.start_secondary(1_000_000)
+        sim.run_until(65_000_000)
         tokens = decoded_tokens(tap)
         assert tokens.count("U16") >= 5
         assert tokens.count("U16") == tokens.count("U32")
@@ -164,10 +164,10 @@ class TestSecondaryLink:
         behavior = make_behavior(OutstationType.SWITCHOVER_OBSERVED,
                                  keepalive_period=10.0)
         sim, tap, link = make_link(behavior)
-        link.run_until(120.0)
-        link.start_secondary(1.0)
-        sim.schedule(45.0, lambda: link.promote(sim.now))
-        sim.run_until(100.0)
+        link.run_until(120_000_000)
+        link.start_secondary(1_000_000)
+        sim.schedule(45_000_000, lambda: link.promote(sim.now_us))
+        sim.run_until(100_000_000)
         tokens = decoded_tokens(tap)
         first_u16 = tokens.index("U16")
         start = tokens.index("U1")
@@ -183,9 +183,9 @@ class TestRejectLoop:
                                  reject_mode=RejectMode.RST_AFTER_TESTFR,
                                  reject_retry_period=10.0)
         sim, tap, link = make_link(behavior)
-        link.run_until(55.0)
-        link.start_reject_loop(1.0)
-        sim.run_until(55.0)
+        link.run_until(55_000_000)
+        link.start_reject_loop(1_000_000)
+        sim.run_until(55_000_000)
         tokens = decoded_tokens(tap)
         assert set(tokens) == {"U16"}
         assert tokens.count("U16") >= 4
@@ -199,9 +199,9 @@ class TestRejectLoop:
                                  reject_mode=RejectMode.FIN_AFTER_TESTFR,
                                  reject_retry_period=10.0)
         sim, tap, link = make_link(behavior)
-        link.run_until(35.0)
-        link.start_reject_loop(1.0)
-        sim.run_until(35.0)
+        link.run_until(35_000_000)
+        link.start_reject_loop(1_000_000)
+        sim.run_until(35_000_000)
         fin = [p for p in tap.packets if p.flags.fin]
         assert fin, "expected FIN teardown"
         assert not any(p.flags.rst for p in tap.packets)
@@ -211,9 +211,9 @@ class TestRejectLoop:
                                  reject_mode=RejectMode.IGNORE_SYN,
                                  reject_retry_period=5.0)
         sim, tap, link = make_link(behavior, seed=5)
-        link.run_until(200.0)
-        link.start_reject_loop(1.0)
-        sim.run_until(200.0)
+        link.run_until(200_000_000)
+        link.start_reject_loop(1_000_000)
+        sim.run_until(200_000_000)
         syn_only = [p for p in tap.packets if p.flags.syn
                     and not p.flags.ack]
         payload = [p for p in tap.packets if p.payload]
@@ -224,7 +224,7 @@ class TestRejectLoop:
         behavior = make_behavior()
         _, _, link = make_link(behavior)
         with pytest.raises(RuntimeError):
-            link.start_reject_loop(0.0)
+            link.start_reject_loop(0)
 
 
 class TestCommands:
@@ -233,10 +233,11 @@ class TestCommands:
         behavior = make_behavior(agc_setpoint_ioa=100)
         sim, tap, link = make_link(behavior,
                                    on_setpoint=applied.append)
-        link.run_until(30.0)
-        link.start_primary(1.0)
-        sim.schedule(10.0, lambda: link.send_setpoint(sim.now, 250.5))
-        sim.run_until(15.0)
+        link.run_until(30_000_000)
+        link.start_primary(1_000_000)
+        sim.schedule(10_000_000,
+                     lambda: link.send_setpoint(sim.now_us, 250.5))
+        sim.run_until(15_000_000)
         assert applied == [250.5]
         tokens = decoded_tokens(tap)
         assert tokens.count("I50") == 2  # act + con
@@ -244,18 +245,19 @@ class TestCommands:
     def test_setpoint_without_ioa_raises(self):
         behavior = make_behavior()
         sim, _, link = make_link(behavior)
-        link.run_until(30.0)
-        link.start_primary(1.0)
-        sim.run_until(5.0)
+        link.run_until(30_000_000)
+        link.start_primary(1_000_000)
+        sim.run_until(5_000_000)
         with pytest.raises(RuntimeError):
-            link.send_setpoint(6.0, 1.0)
+            link.send_setpoint(6_000_000, 1.0)
 
     def test_clock_sync(self):
         sim, tap, link = make_link(make_behavior())
-        link.run_until(30.0)
-        link.start_primary(1.0)
-        sim.schedule(10.0, lambda: link.send_clock_sync(sim.now))
-        sim.run_until(15.0)
+        link.run_until(30_000_000)
+        link.start_primary(1_000_000)
+        sim.schedule(10_000_000,
+                     lambda: link.send_clock_sync(sim.now_us))
+        sim.run_until(15_000_000)
         assert decoded_tokens(tap).count("I103") == 2
 
 
@@ -267,9 +269,9 @@ class TestIdleKeepalive:
                               threshold=50.0)]  # never fires
         behavior = make_behavior(points=points)
         sim, tap, link = make_link(behavior)
-        link.run_until(120.0)
-        link.start_primary(1.0)
-        sim.run_until(120.0)
+        link.run_until(120_000_000)
+        link.start_primary(1_000_000)
+        sim.run_until(120_000_000)
         tokens = decoded_tokens(tap)
         assert "U16" in tokens and "U32" in tokens
 
@@ -278,13 +280,13 @@ class TestClose:
     def test_fin_close_stops_loops(self):
         behavior = make_behavior()
         sim, tap, link = make_link(behavior)
-        link.run_until(100.0)
-        link.start_primary(1.0)
-        sim.run_until(20.0)
-        link.close(20.5)
+        link.run_until(100_000_000)
+        link.start_primary(1_000_000)
+        sim.run_until(20_000_000)
+        link.close(20_500_000)
         before = len(tap.packets)
-        sim.run_until(100.0)
+        sim.run_until(100_000_000)
         # Only the FIN handshake may follow; no new app data.
         assert len([p for p in tap.packets if p.payload
-                    and p.timestamp > 21.0]) == 0
+                    and p.time_us > 21_000_000]) == 0
         assert not link.connected

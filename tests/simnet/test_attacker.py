@@ -21,8 +21,7 @@ def victim(n_points=5):
 
 
 def attack_tokens(result: AttackResult):
-    extraction = extract_apdus(result.packets,
-                               names=result.host_names())
+    extraction = extract_apdus(result)
     return tokenize(extraction.events), extraction
 
 

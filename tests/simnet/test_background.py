@@ -36,11 +36,12 @@ class TestGenerators:
         pmu = network.add_auxiliary("PMU1")
         background = BackgroundTraffic(sim=sim, tap=tap,
                                        rng=random.Random(2))
-        background.add_iccp_peering(server, external, start=1.0,
-                                    end=30.0)
-        background.add_pmu_stream(pmu, server, start=1.0, end=30.0,
-                                  rate_hz=2.0)
-        sim.run_until(35.0)
+        background.add_iccp_peering(server, external,
+                                    start_us=1_000_000,
+                                    end_us=30_000_000)
+        background.add_pmu_stream(pmu, server, start_us=1_000_000,
+                                  end_us=30_000_000, rate_hz=2.0)
+        sim.run_until(35_000_000)
         ports = {packet.tcp.dst_port for packet in tap.packets
                  if packet.payload}
         assert ICCP_PORT in ports
@@ -57,8 +58,7 @@ class TestPipelineFiltering:
         assert ICCP_PORT in ports and C37_118_PORT in ports
 
     def test_extraction_ignores_background(self, mixed_capture):
-        extraction = extract_apdus(mixed_capture.packets,
-                                   names=mixed_capture.host_names())
+        extraction = extract_apdus(mixed_capture)
         # No parse failures and no events from auxiliary hosts.
         assert not extraction.failures
         hosts = {event.src for event in extraction.events} \
@@ -68,11 +68,9 @@ class TestPipelineFiltering:
 
     def test_flow_analysis_default_excludes_background(self,
                                                        mixed_capture):
-        names = mixed_capture.host_names()
-        iec = FlowAnalysis.from_packets("x", mixed_capture.packets,
-                                        names=names)
+        iec = FlowAnalysis.from_packets("x", mixed_capture)
         everything = FlowAnalysis.from_packets(
-            "x", mixed_capture.packets, names=names, iec104_only=False)
+            "x", mixed_capture, iec104_only=False)
         assert len(everything.flows) > len(iec.flows)
         iec_ports = {flow.key.src.port for flow in iec.flows} \
             | {flow.key.dst.port for flow in iec.flows}
@@ -103,5 +101,4 @@ class TestAckPolicyOption:
         assert pure_acks
         # The APDU-level analysis is unaffected by pure ACKs.
         from repro.analysis import extract_apdus, tokenize
-        assert tokenize(extract_apdus(
-            acked.packets, names=acked.host_names()).events)
+        assert tokenize(extract_apdus(acked).events)

@@ -12,60 +12,72 @@ from repro.simnet.capture import CaptureTap, CaptureWindow
 from repro.simnet.topology import NetworkMap
 
 
-def packet(t):
+def packet(time_us):
     segment = TCPSegment(src_port=1000, dst_port=2404, seq=0, flags=SYN)
-    return CapturedPacket.build(t, MacAddress(1), MacAddress(2),
+    return CapturedPacket.build(time_us, MacAddress(1), MacAddress(2),
                                 IPv4Address(1), IPv4Address(2), segment)
 
 
 class TestCaptureWindow:
     def test_contains(self):
-        window = CaptureWindow(start=10.0, end=20.0)
-        assert window.contains(10.0)
-        assert window.contains(19.999)
-        assert not window.contains(20.0)
-        assert not window.contains(9.999)
+        window = CaptureWindow(start_us=10_000_000, end_us=20_000_000)
+        assert window.contains(10_000_000)
+        assert window.contains(19_999_999)
+        assert not window.contains(20_000_000)
+        assert not window.contains(9_999_999)
 
     def test_duration(self):
-        assert CaptureWindow(start=1.0, end=4.0).duration == 3.0
+        window = CaptureWindow(start_us=1_000_000, end_us=4_000_000)
+        assert window.duration_us == 3_000_000
+        assert window.duration == 3.0
+
+    def test_from_seconds(self):
+        window = CaptureWindow.from_seconds(10.0, 20.0, label="Y1")
+        assert window.start_us == 10_000_000
+        assert window.end_us == 20_000_000
+        assert window.start == 10.0 and window.end == 20.0
 
     def test_validation(self):
         with pytest.raises(ValueError):
-            CaptureWindow(start=5.0, end=5.0)
+            CaptureWindow(start_us=5_000_000, end_us=5_000_000)
+        with pytest.raises(TypeError):
+            CaptureWindow(start_us=5.0, end_us=6.0)
 
 
 class TestCaptureTap:
     def test_no_windows_records_everything(self):
         tap = CaptureTap()
-        tap.observe(packet(1.0))
-        tap.observe(packet(1e6))
+        tap.observe(packet(1_000_000))
+        tap.observe(packet(10**12))
         assert len(tap.packets) == 2
 
     def test_windows_filter(self):
-        tap = CaptureTap(windows=(CaptureWindow(10.0, 20.0),
-                                  CaptureWindow(30.0, 40.0)))
-        for t in (5.0, 15.0, 25.0, 35.0, 45.0):
-            tap.observe(packet(t))
-        assert [p.timestamp for p in tap.packets] == [15.0, 35.0]
+        tap = CaptureTap(windows=(
+            CaptureWindow(10_000_000, 20_000_000),
+            CaptureWindow(30_000_000, 40_000_000)))
+        for t in (5, 15, 25, 35, 45):
+            tap.observe(packet(t * 1_000_000))
+        assert [p.time_us for p in tap.packets]             == [15_000_000, 35_000_000]
         assert tap.dropped == 3
 
     def test_window_packets(self):
-        first = CaptureWindow(10.0, 20.0)
-        tap = CaptureTap(windows=(first, CaptureWindow(30.0, 40.0)))
-        tap.observe(packet(15.0))
-        tap.observe(packet(35.0))
+        first = CaptureWindow(10_000_000, 20_000_000)
+        tap = CaptureTap(windows=(first,
+                                  CaptureWindow(30_000_000, 40_000_000)))
+        tap.observe(packet(15_000_000))
+        tap.observe(packet(35_000_000))
         assert len(tap.window_packets(first)) == 1
 
     def test_total_duration(self):
-        tap = CaptureTap(windows=(CaptureWindow(0.0, 5.0),
-                                  CaptureWindow(10.0, 12.0)))
+        tap = CaptureTap(windows=(CaptureWindow(0, 5_000_000),
+                                  CaptureWindow(10_000_000, 12_000_000)))
         assert tap.total_duration == 7.0
 
     def test_pcap_export(self, tmp_path):
         import io
         from repro.netstack.pcap import PcapReader
         tap = CaptureTap()
-        tap.observe(packet(3.0))
+        tap.observe(packet(3_000_000))
         buffer = io.BytesIO()
         assert tap.to_pcap(buffer) == 1
         buffer.seek(0)

@@ -1,17 +1,32 @@
-"""Discrete-event simulator core tests."""
+"""Discrete-event simulator core tests (integer-microsecond ticks)."""
 
 import pytest
 
-from repro.simnet.clock import SimulationError, Simulator
+from repro.simnet.clock import (
+    SimulationError,
+    Simulator,
+    seconds_to_ticks,
+    ticks_to_seconds,
+)
+
+
+class TestTickConversions:
+    def test_round_trip_whole_seconds(self):
+        assert seconds_to_ticks(2.0) == 2_000_000
+        assert ticks_to_seconds(2_000_000) == 2.0
+
+    def test_rounds_to_nearest_microsecond(self):
+        assert seconds_to_ticks(0.0000007) == 1
+        assert seconds_to_ticks(1.2345678) == 1_234_568
 
 
 class TestScheduling:
     def test_events_fire_in_time_order(self):
         sim = Simulator()
         fired = []
-        sim.schedule(3.0, lambda: fired.append("c"))
-        sim.schedule(1.0, lambda: fired.append("a"))
-        sim.schedule(2.0, lambda: fired.append("b"))
+        sim.schedule(3_000_000, lambda: fired.append("c"))
+        sim.schedule(1_000_000, lambda: fired.append("a"))
+        sim.schedule(2_000_000, lambda: fired.append("b"))
         sim.run()
         assert fired == ["a", "b", "c"]
 
@@ -19,7 +34,7 @@ class TestScheduling:
         sim = Simulator()
         fired = []
         for name in "abc":
-            sim.schedule(1.0, lambda n=name: fired.append(n))
+            sim.schedule(1_000_000, lambda n=name: fired.append(n))
         sim.run()
         assert fired == ["a", "b", "c"]
 
@@ -29,58 +44,76 @@ class TestScheduling:
 
         def first():
             fired.append("first")
-            sim.schedule_in(1.0, lambda: fired.append("second"))
+            sim.schedule_in(1_000_000, lambda: fired.append("second"))
 
-        sim.schedule(0.0, first)
+        sim.schedule(0, first)
         sim.run()
         assert fired == ["first", "second"]
 
     def test_now_tracks_event_time(self):
         sim = Simulator()
         seen = []
-        sim.schedule(2.5, lambda: seen.append(sim.now))
+        sim.schedule(2_500_000, lambda: seen.append(sim.now_us))
         sim.run()
-        assert seen == [2.5]
+        assert seen == [2_500_000]
+
+    def test_now_is_derived_float_seconds(self):
+        sim = Simulator(start_us=2_500_000)
+        assert sim.now == 2.5
 
     def test_scheduling_in_past_rejected(self):
-        sim = Simulator(start_time=10.0)
+        sim = Simulator(start_us=10_000_000)
         with pytest.raises(SimulationError):
-            sim.schedule(5.0, lambda: None)
+            sim.schedule(5_000_000, lambda: None)
 
     def test_negative_delay_rejected(self):
         sim = Simulator()
         with pytest.raises(SimulationError):
-            sim.schedule_in(-1.0, lambda: None)
+            sim.schedule_in(-1_000_000, lambda: None)
+
+    def test_float_time_rejected(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            sim.schedule(1.0, lambda: None)
+        with pytest.raises(SimulationError):
+            sim.schedule_in(1.0, lambda: None)
+        with pytest.raises(SimulationError):
+            sim.run_until(1.0)
+
+    def test_bool_time_rejected(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            sim.schedule(True, lambda: None)
 
 
 class TestRunUntil:
     def test_stops_at_boundary(self):
         sim = Simulator()
         fired = []
-        sim.schedule(1.0, lambda: fired.append(1))
-        sim.schedule(5.0, lambda: fired.append(5))
-        count = sim.run_until(2.0)
+        sim.schedule(1_000_000, lambda: fired.append(1))
+        sim.schedule(5_000_000, lambda: fired.append(5))
+        count = sim.run_until(2_000_000)
         assert count == 1 and fired == [1]
-        assert sim.now == 2.0
+        assert sim.now_us == 2_000_000
         assert sim.pending == 1
 
     def test_clock_advances_even_when_queue_empty(self):
         sim = Simulator()
-        sim.run_until(100.0)
-        assert sim.now == 100.0
+        sim.run_until(100_000_000)
+        assert sim.now_us == 100_000_000
 
     def test_boundary_inclusive(self):
         sim = Simulator()
         fired = []
-        sim.schedule(2.0, lambda: fired.append(2))
-        sim.run_until(2.0)
+        sim.schedule(2_000_000, lambda: fired.append(2))
+        sim.run_until(2_000_000)
         assert fired == [2]
 
     def test_resume_after_run_until(self):
         sim = Simulator()
         fired = []
-        sim.schedule(1.0, lambda: fired.append(1))
-        sim.schedule(3.0, lambda: fired.append(3))
-        sim.run_until(2.0)
-        sim.run_until(4.0)
+        sim.schedule(1_000_000, lambda: fired.append(1))
+        sim.schedule(3_000_000, lambda: fired.append(3))
+        sim.run_until(2_000_000)
+        sim.run_until(4_000_000)
         assert fired == [1, 3]
