@@ -15,11 +15,11 @@ Usage::
     python benchmarks/record_pipeline.py            # refresh "after"
     python benchmarks/record_pipeline.py --check    # CI regression gate
 
-``--check`` re-measures only the strict-parser metric (cheap and
-machine-stable) and exits non-zero when it is more than
-``--threshold``× (default 2.0) slower than the committed ``after``
-value. A missing or unreadable committed record downgrades the gate
-to a warning, so the first run on a fresh branch cannot fail.
+``--check`` re-measures only the cheap, machine-stable gate metrics
+(strict parser and streaming decode) and exits non-zero when any is
+more than ``--threshold``× (default 2.0) slower than the committed
+``after`` value. A missing or unreadable committed record downgrades
+the gate to a warning, so the first run on a fresh branch cannot fail.
 """
 
 from __future__ import annotations
@@ -59,9 +59,12 @@ BEFORE = {
     "repeat_acquire_wall_s": 3.475,  # no cache: acquire == regenerate
 }
 
-#: The CI gate metric: cheap to measure and independent of machine
-#: I/O, so a 2x drift reliably means a code regression.
-GATE_METRIC = "strict_parse_ns_per_frame"
+#: The CI gate metrics: cheap to measure and independent of machine
+#: I/O, so a 2x drift reliably means a code regression. The stream
+#: metric covers the repro.stream pipeline (ByteChunk -> decode ->
+#: dispatch) the same way the parser metric covers the codec.
+GATE_METRICS = ("strict_parse_ns_per_frame",
+                "stream_decode_ns_per_frame")
 
 
 def _frames(count: int = 2000) -> list[bytes]:
@@ -102,6 +105,27 @@ def measure_parsers(frame_count: int = 2000) -> dict:
             round(_best_ns(strict) / len(frames), 1),
         "tolerant_parse_ns_per_frame":
             round(_best_ns(tolerant) / len(frames), 1),
+    }
+
+
+def measure_stream(frame_count: int = 2000) -> dict:
+    """Streaming throughput: synthetic frames through the event bus."""
+    from repro.stream import (ByteChunk, ListSource, OnlineChains,
+                              StreamPipeline)
+
+    frames = _frames(frame_count)
+    chunks = [ByteChunk(time_us=(index + 1) * 1000, src="C1", dst="O1",
+                        data=frame)
+              for index, frame in enumerate(frames)]
+
+    def run():
+        pipeline = StreamPipeline(ListSource(chunks),
+                                  analyzers=[OnlineChains()])
+        pipeline.run_until_exhausted()
+
+    return {
+        "stream_decode_ns_per_frame":
+            round(_best_ns(run) / len(frames), 1),
     }
 
 
@@ -150,6 +174,21 @@ def measure_pipeline(scale: float = SCALE) -> dict:
 
     results["pcap_read_ns_per_record"] = round(
         _best_ns(read_all, rounds=3) / len(capture.packets), 1)
+
+    # Full streaming pipeline (frame -> reassemble -> decode ->
+    # dispatch with the standard analyzer set) over the same subset
+    # the batch extract_apdus metric uses.
+    from repro.stream import (CaptureSource, LiveFlowTable,
+                              OnlineChains, StreamPipeline)
+
+    def stream_all():
+        pipeline = StreamPipeline(
+            CaptureSource(subset),
+            analyzers=[LiveFlowTable(), OnlineChains()])
+        pipeline.run_until_exhausted()
+
+    results["stream_pipeline_ns_per_packet"] = round(
+        _best_ns(stream_all, rounds=3) / len(subset.packets), 1)
     return results
 
 
@@ -162,6 +201,7 @@ def build_document(after: dict) -> dict:
 
 def cmd_record(args) -> int:
     after = measure_parsers()
+    after.update(measure_stream())
     after.update(measure_pipeline())
     document = build_document(after)
     save_json(args.out, document)
@@ -173,18 +213,24 @@ def cmd_record(args) -> int:
 
 def cmd_check(args) -> int:
     committed = load_json(args.out)
-    measured = measure_parsers()[GATE_METRIC]
-    if not committed or GATE_METRIC not in committed.get("after", {}):
-        print(f"WARNING: no committed baseline at {args.out}; "
-              f"measured {GATE_METRIC}={measured} ns (gate skipped)")
-        return 0
-    baseline = committed["after"][GATE_METRIC]
-    ratio = measured / baseline
-    print(f"{GATE_METRIC}: measured {measured} ns vs committed "
-          f"{baseline} ns ({ratio:.2f}x)")
-    if ratio > args.threshold:
-        print(f"FAIL: strict parser regressed more than "
-              f"{args.threshold}x vs the committed baseline")
+    measured = measure_parsers()
+    measured.update(measure_stream())
+    failed = []
+    for metric in GATE_METRICS:
+        value = measured[metric]
+        baseline = (committed or {}).get("after", {}).get(metric)
+        if not baseline:
+            print(f"WARNING: no committed baseline for {metric} at "
+                  f"{args.out}; measured {value} ns (gate skipped)")
+            continue
+        ratio = value / baseline
+        print(f"{metric}: measured {value} ns vs committed "
+              f"{baseline} ns ({ratio:.2f}x)")
+        if ratio > args.threshold:
+            failed.append(metric)
+    if failed:
+        print(f"FAIL: regressed more than {args.threshold}x vs the "
+              f"committed baseline: {', '.join(failed)}")
         return 1
     print("OK")
     return 0

@@ -9,11 +9,10 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Iterable
 
 from ..netstack.addresses import IPv4Address
 from ..netstack.flows import FlowKind, FlowRecord, FlowTable
-from ..netstack.packet import CapturedPacket
+from ..netstack.packet import Endpoint
 from .sources import PacketSource, resolve_source
 
 
@@ -109,7 +108,7 @@ class FlowAnalysis:
             table.add(packet)
         return cls(label=label, flows=table.flows, names=names)
 
-    def _name(self, endpoint) -> str:
+    def _name(self, endpoint: Endpoint) -> str:
         return self.names.get(endpoint.address,
                               f"{endpoint.address}:{endpoint.port}")
 
@@ -182,7 +181,7 @@ class FlowAnalysis:
             outstation = self._name(initiator.dst)
             grouped.setdefault((server, outstation), []).append(flow)
 
-        pairs = []
+        pairs: list[RejectingPair] = []
         for (server, outstation), flows in sorted(grouped.items()):
             if len(flows) < min_attempts:
                 continue

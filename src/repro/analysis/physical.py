@@ -118,35 +118,45 @@ def _element_value(element) -> float | None:
     return None
 
 
+def iter_point_samples(event):
+    """Yield ``(key, time_s, value)`` for every numeric sample in one
+    decoded APDU event.
+
+    This is the per-event kernel shared by the batch
+    :func:`extract_series` and the streaming physical whitelist, so
+    the two attribute samples identically by construction:
+    monitor-direction values go to the sending outstation; set-point
+    commands to the *target* outstation (that is where the physical
+    set point applies), counted once on the ACTIVATION leg."""
+    if not isinstance(event.apdu, IFrame):
+        return
+    asdu = event.apdu.asdu
+    if asdu.type_id not in _VALUE_TYPES:
+        return
+    is_setpoint = asdu.type_id in _SETPOINT_TYPES
+    if is_setpoint and asdu.cause is not Cause.ACTIVATION:
+        return  # count each command once (skip the mirror con)
+    station = event.dst if is_setpoint else event.src
+    time_s = event.time_us / 1_000_000
+    for obj in asdu.objects:
+        value = _element_value(obj.element)
+        if value is None:
+            continue
+        yield (PointKey(station=station, ioa=obj.address,
+                        type_id=asdu.type_id), time_s, value)
+
+
 def extract_series(extraction: StreamExtraction
                    ) -> dict[PointKey, PointSeries]:
-    """Collect every numeric point series from the decoded traffic.
-
-    Monitor-direction values are attributed to the sending outstation;
-    set-point commands to the *target* outstation (that is where the
-    physical set point applies)."""
+    """Collect every numeric point series from the decoded traffic."""
     series: dict[PointKey, PointSeries] = {}
     for event in extraction.events:
-        if not isinstance(event.apdu, IFrame):
-            continue
-        asdu = event.apdu.asdu
-        if asdu.type_id not in _VALUE_TYPES:
-            continue
-        is_setpoint = asdu.type_id in _SETPOINT_TYPES
-        if is_setpoint and asdu.cause is not Cause.ACTIVATION:
-            continue  # count each command once (skip the mirror con)
-        station = event.dst if is_setpoint else event.src
-        for obj in asdu.objects:
-            value = _element_value(obj.element)
-            if value is None:
-                continue
-            key = PointKey(station=station, ioa=obj.address,
-                           type_id=asdu.type_id)
+        for key, time_s, value in iter_point_samples(event):
             entry = series.get(key)
             if entry is None:
                 entry = PointSeries(key=key)
                 series[key] = entry
-            entry.append(event.time_us / 1_000_000, value)
+            entry.append(time_s, value)
     return series
 
 

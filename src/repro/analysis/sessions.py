@@ -17,6 +17,7 @@ ablation.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Iterable, Sequence
 
 import numpy as np
 
@@ -54,7 +55,8 @@ class SessionFeatures:
     def name(self) -> str:
         return f"{self.src}->{self.dst}"
 
-    def vector(self, features=SELECTED_FEATURES) -> np.ndarray:
+    def vector(self, features: Sequence[str] = SELECTED_FEATURES
+               ) -> np.ndarray:
         return np.array([float(getattr(self, feature))
                          for feature in features])
 
@@ -72,8 +74,8 @@ def session_features(session: tuple[str, str],
     i_count = sum(1 for event in ordered if isinstance(event.apdu, IFrame))
     s_count = sum(1 for event in ordered if isinstance(event.apdu, SFrame))
     u_count = total - i_count - s_count
-    ioas = set()
-    type_ids = set()
+    ioas: set[int] = set()
+    type_ids: set[int] = set()
     for event in ordered:
         if isinstance(event.apdu, IFrame):
             type_ids.add(event.apdu.asdu.type_id)
@@ -99,7 +101,7 @@ def extract_sessions(source: StreamExtraction | PacketSource,
     """
     extraction = (source if isinstance(source, StreamExtraction)
                   else extract_apdus(source))
-    features = []
+    features: list[SessionFeatures] = []
     for session, events in sorted(extraction.by_session().items()):
         if len(events) < min_packets:
             continue
@@ -113,7 +115,7 @@ CLUSTER_ROLES = ("outlier-long-gaps", "i-heavy-spontaneous",
 
 
 def label_clusters(sessions: list[SessionFeatures],
-                   labels) -> dict[int, str]:
+                   labels: Iterable[int]) -> dict[int, str]:
     """Assign each K-means cluster one of the paper's Fig. 11 roles.
 
     Roles are matched greedily on the cluster means: the largest mean
@@ -122,12 +124,12 @@ def label_clusters(sessions: list[SessionFeatures],
     server-acknowledgement cluster (3), the highest %I the heavy
     I-format cluster (1), and the remainder the average case (2).
     """
-    import numpy as np
-    labels = np.asarray(labels)
-    cluster_ids = sorted(set(int(label) for label in labels))
-    means = {}
+    label_array = np.asarray(list(labels))
+    cluster_ids = sorted(set(int(label) for label in label_array))
+    means: dict[int, dict[str, float]] = {}
     for cluster_id in cluster_ids:
-        members = [session for session, label in zip(sessions, labels)
+        members = [session
+                   for session, label in zip(sessions, label_array)
                    if label == cluster_id]
         means[cluster_id] = {
             "dt": float(np.mean([m.dt for m in members])),
@@ -155,7 +157,7 @@ def label_clusters(sessions: list[SessionFeatures],
 
 
 def feature_matrix(sessions: list[SessionFeatures],
-                   features=SELECTED_FEATURES,
+                   features: Sequence[str] = SELECTED_FEATURES,
                    standardize: bool = True) -> np.ndarray:
     """Stack session vectors into an (n, d) matrix, optionally z-scored."""
     if not sessions:

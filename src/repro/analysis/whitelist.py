@@ -82,6 +82,33 @@ class CyberWhitelist:
         transitions.update(zip(tokens, tokens[1:]))
         self._vocabulary.update(tokens)
 
+    # -- incremental hooks (the streaming engine's learn path) --------
+
+    def learn_token(self, token: str,
+                    connection: object = GLOBAL) -> None:
+        """Incremental fit: one token with no predecessor (the first of
+        a connection). Equivalent to ``fit_sequence([token], conn)``."""
+        self.fit_sequence([token], connection)
+
+    def learn_transition(self, source: str, target: str,
+                         connection: object = GLOBAL) -> None:
+        """Incremental fit: one observed transition. A streamed
+        connection learned token-by-token ends up with exactly the
+        state ``fit_sequence`` builds from the full sequence."""
+        self.fit_sequence([source, target], connection)
+
+    def knows_connection(self, connection: object) -> bool:
+        return self._key(connection) in self._transitions
+
+    def knows_token(self, token: str) -> bool:
+        return token in self._vocabulary
+
+    def knows_transition(self, source: str, target: str,
+                         connection: object = GLOBAL) -> bool:
+        transitions = self._transitions.get(self._key(connection))
+        return (transitions is not None
+                and (source, target) in transitions)
+
     @property
     def learned_connections(self) -> list[object]:
         return sorted(self._transitions, key=str)
@@ -144,25 +171,58 @@ class PhysicalWhitelist:
 
     margin: float = 0.25
     _envelopes: dict[PointKey, Envelope] = field(default_factory=dict)
+    #: Running (min, max) per point accumulated by the incremental
+    #: learn path; :meth:`finalize` turns them into envelopes.
+    _ranges: dict[PointKey, tuple[float, float]] = (
+        field(default_factory=dict))
 
     def __post_init__(self) -> None:
         if self.margin < 0:
             raise ValueError("margin must be >= 0")
+
+    def _envelope_for(self, low: float, high: float) -> Envelope:
+        span = max(high - low, 0.05 * max(abs(low), abs(high), 1.0))
+        pad = self.margin * span
+        return Envelope(low=low - pad, high=high + pad)
 
     def fit(self, extraction: StreamExtraction) -> "PhysicalWhitelist":
         for key, series in extract_series(extraction).items():
             if len(series) == 0:
                 continue
             low, high = min(series.values), max(series.values)
-            span = max(high - low, 0.05 * max(abs(low), abs(high), 1.0))
-            pad = self.margin * span
-            self._envelopes[key] = Envelope(low=low - pad,
-                                            high=high + pad)
+            self._envelopes[key] = self._envelope_for(low, high)
+        return self
+
+    # -- incremental hooks (the streaming engine's learn path) --------
+
+    def learn_sample(self, key: PointKey, value: float) -> None:
+        """Incremental fit: fold one sample into the running range.
+
+        Call :meth:`finalize` once learning ends; a point learned
+        sample-by-sample gets exactly the envelope :meth:`fit` builds
+        from the whole series (both reduce to min/max)."""
+        bounds = self._ranges.get(key)
+        if bounds is None:
+            self._ranges[key] = (value, value)
+        else:
+            low, high = bounds
+            self._ranges[key] = (min(low, value), max(high, value))
+
+    def finalize(self) -> "PhysicalWhitelist":
+        """Turn incrementally learned ranges into envelopes."""
+        for key, (low, high) in self._ranges.items():
+            self._envelopes[key] = self._envelope_for(low, high)
+        self._ranges.clear()
         return self
 
     @property
     def point_count(self) -> int:
         return len(self._envelopes)
+
+    @property
+    def pending_point_count(self) -> int:
+        """Points with running ranges not yet finalized."""
+        return len(self._ranges)
 
     def envelope(self, key: PointKey) -> Envelope | None:
         return self._envelopes.get(key)

@@ -297,6 +297,40 @@ def cmd_lint(args: argparse.Namespace, out=sys.stdout) -> int:
     return run_lint(args, out=out)
 
 
+def cmd_monitor(args: argparse.Namespace, out=sys.stdout) -> int:
+    """Stream a (possibly growing) pcap through the online pipeline."""
+    from .stream import (EvictionPolicy, LiveFlowTable, OnlineChains,
+                         OnlineCombinedDetector, PcapTailSource,
+                         RollingSessionWindows, StreamPipeline,
+                         run_monitor)
+    names_path = args.names
+    if names_path is None:
+        candidate = _names_path(Path(args.pcap))
+        if candidate.exists():
+            names_path = str(candidate)
+    names = _load_names(names_path)
+    source = PcapTailSource(args.pcap, follow=args.follow)
+    analyzers = [LiveFlowTable(), OnlineChains(),
+                 RollingSessionWindows(), OnlineCombinedDetector()]
+    eviction = None if args.no_evict else EvictionPolicy()
+    pipeline = StreamPipeline(source, names=names, analyzers=analyzers,
+                              reassemble=args.reassemble,
+                              eviction=eviction)
+    detect_after_us = (int(args.detect_after * 1_000_000)
+                       if args.detect_after is not None else None)
+    try:
+        run_monitor(pipeline, out, json_lines=args.json,
+                    follow=args.follow, once=args.once,
+                    interval_s=args.interval,
+                    detect_after_us=detect_after_us,
+                    max_snapshots=args.snapshots)
+    except KeyboardInterrupt:  # pragma: no cover - interactive
+        print(file=out)
+    finally:
+        source.close()
+    return 0
+
+
 def cmd_hypotheses(args: argparse.Namespace, out=sys.stdout) -> int:
     """Evaluate the paper's five hypotheses on a pair of captures."""
     from .analysis import evaluate_all
@@ -378,6 +412,40 @@ def build_parser() -> argparse.ArgumentParser:
     from .devtools.staticcheck.cli import add_lint_arguments
     add_lint_arguments(lint)
     lint.set_defaults(func=cmd_lint)
+
+    monitor = sub.add_parser(
+        "monitor", help="stream a (possibly growing) pcap through the "
+                        "online analysis pipeline")
+    monitor.add_argument("pcap", help="input pcap file (may still be "
+                                      "written to with --follow)")
+    monitor.add_argument("--names",
+                         help="JSON host-name map (ip -> name); "
+                              "defaults to <pcap>.names.json if "
+                              "present")
+    monitor.add_argument("--follow", action="store_true",
+                         help="keep polling for appended packets "
+                              "(tail -f mode)")
+    monitor.add_argument("--once", action="store_true",
+                         help="drain, print one snapshot, exit")
+    monitor.add_argument("--json", action="store_true",
+                         help="JSON-lines snapshots instead of text")
+    monitor.add_argument("--interval", type=float, default=2.0,
+                         help="seconds between snapshots "
+                              "(default 2.0)")
+    monitor.add_argument("--snapshots", type=int, default=None,
+                         help="stop after N periodic snapshots")
+    monitor.add_argument("--detect-after", type=float, default=None,
+                         dest="detect_after", metavar="SECONDS",
+                         help="switch the whitelist detector from "
+                              "learn to detect once the capture clock "
+                              "passes this many seconds")
+    monitor.add_argument("--reassemble", action="store_true",
+                         help="TCP-reassemble before decoding instead "
+                              "of the paper's per-packet parse")
+    monitor.add_argument("--no-evict", action="store_true",
+                         dest="no_evict",
+                         help="disable idle-state eviction")
+    monitor.set_defaults(func=cmd_monitor)
 
     hypotheses = sub.add_parser(
         "hypotheses", help="evaluate the paper's five hypotheses over "

@@ -130,6 +130,13 @@ class FlowTable:
         for packet in packets:
             self.add(packet)
 
+    def pop_idle(self, last_time_before_us: int) -> list[FlowRecord]:
+        """Remove and return flows whose last packet predates the
+        horizon (the streaming engine's idle-flow eviction)."""
+        idle = [key for key, record in self._flows.items()
+                if record.last_time_us < last_time_before_us]
+        return [self._flows.pop(key) for key in idle]
+
     @property
     def flows(self) -> list[FlowRecord]:
         return list(self._flows.values())

@@ -38,6 +38,8 @@ class ReassemblyStats:
     retransmissions: int = 0
     out_of_order: int = 0
     gap_bytes_skipped: int = 0
+    #: Times the buffered-bytes cap forced a hole to be abandoned.
+    buffer_overflows: int = 0
 
 
 @dataclass
@@ -51,8 +53,16 @@ class StreamReassembler:
     #: Skip over holes larger than this many bytes (capture loss guard).
     max_hole: int = 1 << 20
 
+    #: Cap on total buffered out-of-order bytes. A hole held open by a
+    #: segment that never arrives (endpoint died, tap missed the rest
+    #: of the flow) would otherwise buffer every later segment forever;
+    #: at the cap the hole is abandoned: the cursor jumps to the oldest
+    #: buffered byte, the skipped gap is counted, and the buffer drains.
+    max_buffered: int = 1 << 18
+
     _next_seq: int | None = None
     _pending: dict[int, bytes] = field(default_factory=dict)
+    _pending_bytes: int = 0
     stats: ReassemblyStats = field(default_factory=ReassemblyStats)
     saw_syn: bool = False
     saw_fin: bool = False
@@ -63,7 +73,7 @@ class StreamReassembler:
 
     @property
     def pending_bytes(self) -> int:
-        return sum(len(chunk) for chunk in self._pending.values())
+        return self._pending_bytes
 
     def feed(self, seq: int, payload: bytes, syn: bool = False,
              fin: bool = False) -> bytes:
@@ -114,23 +124,53 @@ class StreamReassembler:
             return payload
         self.stats.out_of_order += 1
         existing = self._pending.get(seq)
-        if existing is None or len(payload) > len(existing):
+        if existing is None:
             self._pending[seq] = payload
+            self._pending_bytes += len(payload)
+        elif len(payload) > len(existing):
+            self._pending[seq] = payload
+            self._pending_bytes += len(payload) - len(existing)
         else:
             self.stats.retransmissions += 1
+        if self._pending_bytes > self.max_buffered:
+            delivered = bytearray()
+            # A drain stops at the next hole, so one flush may leave
+            # the buffer over the cap; repeat until it fits.
+            while self._pending_bytes > self.max_buffered \
+                    and self._pending:
+                delivered.extend(self._flush_overflow())
+            self.stats.bytes_delivered += len(delivered)
+            return bytes(delivered)
         return b""
+
+    def _flush_overflow(self) -> bytes:
+        """Abandon the open hole: jump the cursor to the oldest
+        buffered byte and drain. Keeps buffered memory bounded when
+        the missing segment never arrives."""
+        self.stats.buffer_overflows += 1
+        cursor = self._next_seq
+        assert cursor is not None
+        oldest = min(self._pending,
+                     key=lambda seq: (seq - cursor) % _SEQ_MODULO)
+        gap = (oldest - cursor) % _SEQ_MODULO
+        self.stats.gap_bytes_skipped += gap
+        self._next_seq = oldest
+        return self._drain_pending()
 
     def _drain_pending(self) -> bytes:
         out = bytearray()
         while self._pending:
             chunk = self._pending.pop(self._next_seq, None)
-            if chunk is None:
+            if chunk is not None:
+                self._pending_bytes -= len(chunk)
+            else:
                 # Check for chunks overlapping the cursor.
                 overlapping = None
                 for seq in list(self._pending):
                     if seq_after(self._next_seq, seq):
                         overlap = (self._next_seq - seq) % _SEQ_MODULO
                         chunk_data = self._pending.pop(seq)
+                        self._pending_bytes -= len(chunk_data)
                         self.stats.retransmissions += 1
                         if overlap < len(chunk_data):
                             overlapping = chunk_data[overlap:]

@@ -1,0 +1,33 @@
+"""repro.stream — online streaming analysis and monitoring engine.
+
+Push-based, bounded-memory counterpart to the batch analysis layer:
+packets flow from a :class:`~repro.stream.ingest.Source` through the
+:class:`~repro.stream.pipeline.StreamPipeline` stages into incremental
+analyzers whose state is provably consistent with the batch passes
+(see ``tests/stream/test_parity.py``). ``repro monitor`` is the CLI
+front-end; :mod:`repro.stream.eviction` keeps long-running state
+bounded.
+"""
+
+from .analyzers import (FlowTally, LiveFlowTable, OnlineChains,
+                        RollingFeatures, RollingSessionWindows,
+                        StreamAnalyzer)
+from .detector import DetectorMode, OnlineCombinedDetector
+from .eviction import (T3_MULTIPLE, EvictionPolicy, EvictionStats,
+                       default_idle_timeout_us)
+from .ingest import (ByteChunk, CaptureSource, ListSource,
+                     MergedSource, PcapTailSource, Source,
+                     TransportTap)
+from .monitor import render_json, render_text, run_monitor
+from .pipeline import STAGES, StageCounters, StreamPipeline
+
+__all__ = [
+    "ByteChunk", "CaptureSource", "DetectorMode", "EvictionPolicy",
+    "EvictionStats", "FlowTally", "ListSource", "LiveFlowTable",
+    "MergedSource", "OnlineChains", "OnlineCombinedDetector",
+    "PcapTailSource", "RollingFeatures", "RollingSessionWindows",
+    "STAGES", "Source", "StageCounters", "StreamAnalyzer",
+    "StreamPipeline", "T3_MULTIPLE", "TransportTap",
+    "default_idle_timeout_us", "render_json", "render_text",
+    "run_monitor",
+]

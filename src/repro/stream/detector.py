@@ -1,0 +1,218 @@
+"""Online cyber-physical whitelist IDS — the paper's §7 proposal, live.
+
+The batch :class:`~repro.analysis.whitelist.CombinedDetector` fits on
+one finished capture and scores another. A SOC needs the same verdicts
+*while the traffic flows*: :class:`OnlineCombinedDetector` wraps the
+same two whitelists behind a learn-then-detect mode switch and updates
+per-connection verdicts one APDU event at a time.
+
+Verdicts are provably consistent with batch: learning token-by-token
+produces exactly the transition sets ``CyberWhitelist.fit`` builds,
+running min/max produces exactly the envelopes ``PhysicalWhitelist
+.fit`` builds, and the incremental verdict accumulators reproduce
+``score``'s unseen/unknown tuples occurrence-for-occurrence (the
+parity test in ``tests/stream`` asserts this end to end).
+"""
+
+from __future__ import annotations
+
+import enum
+
+from ..analysis.apdu_stream import ApduEvent
+from ..analysis.physical import iter_point_samples
+from ..analysis.whitelist import (CombinedAlert, CyberVerdict,
+                                  CyberWhitelist, PhysicalViolation,
+                                  PhysicalWhitelist)
+from ..simnet.clock import Ticks
+from .analyzers import StreamAnalyzer
+from .eviction import EvictionStats
+
+
+class DetectorMode(enum.Enum):
+    """Learn-then-detect lifecycle of the online detector."""
+
+    LEARN = "learn"
+    DETECT = "detect"
+
+
+class _VerdictState:
+    """Incremental accumulator for one connection's cyber verdict.
+
+    Mirrors :meth:`CyberWhitelist.score` over the sequence seen so
+    far: ``unseen`` collects every not-whitelisted transition
+    occurrence (duplicates included, like the batch ``zip`` scan) and
+    ``unknown`` is an ordered dedup of never-learned tokens.
+    """
+
+    __slots__ = ("known", "tokens", "prev", "unseen", "unknown",
+                 "last_time_us")
+
+    def __init__(self, known: bool):
+        self.known = known
+        self.tokens = 0
+        self.prev: str | None = None
+        self.unseen: list[tuple[str, str]] = []
+        self.unknown: dict[str, None] = {}
+        self.last_time_us: Ticks = 0
+
+    def observe(self, whitelist: CyberWhitelist, connection,
+                token: str, time_us: Ticks) -> None:
+        self.tokens += 1
+        self.last_time_us = time_us
+        if not self.known:
+            # Batch semantics for an unknown connection: every token
+            # unknown, every transition unseen.
+            self.unknown.setdefault(token, None)
+            if self.prev is not None:
+                self.unseen.append((self.prev, token))
+        else:
+            if not whitelist.knows_token(token):
+                self.unknown.setdefault(token, None)
+            if self.prev is not None and not whitelist.knows_transition(
+                    self.prev, token, connection):
+                self.unseen.append((self.prev, token))
+        self.prev = token
+
+    def verdict(self, connection) -> CyberVerdict:
+        return CyberVerdict(connection=connection, tokens=self.tokens,
+                            unseen_transitions=tuple(self.unseen),
+                            unknown_tokens=tuple(self.unknown))
+
+
+class OnlineCombinedDetector(StreamAnalyzer):
+    """Streaming wrapper over the cyber + physical whitelists.
+
+    Starts in LEARN mode: every event grows the whitelists (clean
+    traffic assumed, as in the batch ``fit``). :meth:`switch_to_detect`
+    freezes them — finalizing the physical envelopes — and subsequent
+    events update per-connection verdicts instead.
+    """
+
+    name = "detector"
+
+    def __init__(self, cyber: CyberWhitelist | None = None,
+                 physical: PhysicalWhitelist | None = None,
+                 cyber_threshold: float = 0.2):
+        self.cyber = cyber if cyber is not None else CyberWhitelist()
+        self.physical = (physical if physical is not None
+                         else PhysicalWhitelist())
+        self.cyber_threshold = cyber_threshold
+        self.mode = DetectorMode.LEARN
+        self.events_learned = 0
+        self.events_scored = 0
+        #: LEARN-mode state: last token per connection.
+        self._learn_prev: dict[object, str] = {}
+        #: DETECT-mode state: per-connection verdict accumulators.
+        self._verdicts: dict[object, _VerdictState] = {}
+        self._violations: list[PhysicalViolation] = []
+        self._violations_by_station: dict[str,
+                                          list[PhysicalViolation]] = {}
+
+    # -- mode lifecycle ----------------------------------------------
+
+    def switch_to_detect(self) -> "OnlineCombinedDetector":
+        """Freeze the whitelists and start scoring."""
+        if self.mode is DetectorMode.DETECT:
+            return self
+        self.physical.finalize()
+        self._learn_prev.clear()
+        self.mode = DetectorMode.DETECT
+        return self
+
+    # -- event path ---------------------------------------------------
+
+    def on_event(self, event: ApduEvent) -> None:
+        if self.mode is DetectorMode.LEARN:
+            self._learn(event)
+        else:
+            self._score(event)
+
+    def _learn(self, event: ApduEvent) -> None:
+        self.events_learned += 1
+        connection = event.connection
+        token = event.token
+        prev = self._learn_prev.get(connection)
+        if prev is None:
+            self.cyber.learn_token(token, connection)
+        else:
+            self.cyber.learn_transition(prev, token, connection)
+        self._learn_prev[connection] = token
+        for key, _time_s, value in iter_point_samples(event):
+            self.physical.learn_sample(key, value)
+
+    def _score(self, event: ApduEvent) -> None:
+        self.events_scored += 1
+        connection = event.connection
+        state = self._verdicts.get(connection)
+        if state is None:
+            state = _VerdictState(
+                known=self.cyber.knows_connection(connection))
+            self._verdicts[connection] = state
+        state.observe(self.cyber, connection, event.token,
+                      event.time_us)
+        for key, time_s, value in iter_point_samples(event):
+            violation = self.physical.check_sample(key, time_s, value)
+            if violation is not None:
+                self._violations.append(violation)
+                self._violations_by_station.setdefault(
+                    violation.key.station, []).append(violation)
+
+    # -- results ------------------------------------------------------
+
+    def verdicts(self) -> list[CyberVerdict]:
+        """Per-connection cyber verdicts (batch ``score_extraction``
+        order: sorted by connection)."""
+        return [state.verdict(connection)
+                for connection, state in sorted(
+                    self._verdicts.items(),
+                    key=lambda item: str(item[0]))]
+
+    def violations(self) -> list[PhysicalViolation]:
+        return list(self._violations)
+
+    def alerts(self) -> list[CombinedAlert]:
+        """Correlated alerts, mirroring batch
+        :meth:`CombinedDetector.detect` inclusion and order."""
+        alerts = []
+        for verdict in self.verdicts():
+            connection = verdict.connection
+            station = connection[1] if isinstance(connection, tuple) \
+                else connection
+            physical = tuple(
+                self._violations_by_station.get(station, ()))
+            if verdict.is_alert(self.cyber_threshold) or physical:
+                alerts.append(CombinedAlert(connection=connection,
+                                            cyber=verdict,
+                                            physical=physical))
+        return alerts
+
+    # -- bookkeeping --------------------------------------------------
+
+    def evict(self, horizon_us: Ticks, stats: EvictionStats) -> None:
+        # Verdict accumulators for long-dead connections have already
+        # alerted (or not); only the LEARN-mode predecessor map and
+        # idle verdict states are reclaimable. Learned whitelists are
+        # the product — never evicted.
+        dead = [connection
+                for connection, state in self._verdicts.items()
+                if state.last_time_us < horizon_us
+                and not state.verdict(connection).is_alert(
+                    self.cyber_threshold)]
+        for connection in dead:
+            del self._verdicts[connection]
+
+    def snapshot(self) -> dict:
+        alerts = (self.alerts()
+                  if self.mode is DetectorMode.DETECT else [])
+        return {
+            "mode": self.mode.value,
+            "learned_connections": len(self.cyber.learned_connections),
+            "learned_points": (self.physical.point_count
+                               or self.physical.pending_point_count),
+            "events_learned": self.events_learned,
+            "events_scored": self.events_scored,
+            "alerts": len(alerts),
+            "alerted_connections": [
+                str(alert.connection) for alert in alerts[:10]],
+            "physical_violations": len(self._violations),
+        }

@@ -1,0 +1,81 @@
+"""Idle-state eviction so streaming memory stays bounded.
+
+Every stateful stage of the pipeline — the per-direction TCP
+reassemblers, the live flow table, the per-connection Markov chains,
+the rolling session windows — keys its state on a flow or host pair.
+Under an arbitrarily long run, dead keys accumulate; the eviction
+policy reclaims any entry idle longer than a timeout.
+
+The timeout is T3-scaled: a healthy IEC 104 connection is never silent
+longer than the t3 idle timer (20 s by default) because either side
+sends a TESTFR keep-alive then. An entry idle for several multiples of
+t3 is dead, not quiet — evicting it cannot lose live protocol state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..iec104.constants import ProtocolTimers
+from ..simnet.clock import Ticks, seconds_to_ticks
+
+#: Evict state idle longer than this many t3 periods.
+T3_MULTIPLE = 3.0
+
+
+def default_idle_timeout_us(
+        timers: ProtocolTimers | None = None,
+        multiple: float = T3_MULTIPLE) -> Ticks:
+    """The default idle timeout: ``multiple`` x t3, in ticks."""
+    t3 = (timers or ProtocolTimers()).t3
+    return seconds_to_ticks(t3 * multiple)
+
+
+@dataclass
+class EvictionPolicy:
+    """When and what the pipeline reclaims.
+
+    ``idle_timeout_us`` is the per-entry idle bound; ``sweep_every_us``
+    is how often the pipeline runs a sweep (sweeps walk every table, so
+    they are amortized rather than per-packet). Both are stream-time
+    ticks — eviction is driven by capture timestamps, never the wall
+    clock, so replaying a capture evicts identically every run.
+    """
+
+    idle_timeout_us: Ticks = 0
+    sweep_every_us: Ticks = 0
+
+    def __post_init__(self) -> None:
+        if not self.idle_timeout_us:
+            self.idle_timeout_us = default_idle_timeout_us()
+        if not self.sweep_every_us:
+            # Sweep once per timeout period: an entry lingers at most
+            # 2x the timeout, and sweeps stay rare.
+            self.sweep_every_us = self.idle_timeout_us
+
+    def horizon(self, now_us: Ticks) -> Ticks:
+        """Entries last touched before this tick are dead."""
+        return now_us - self.idle_timeout_us
+
+    def due(self, now_us: Ticks, last_sweep_us: Ticks) -> bool:
+        return now_us - last_sweep_us >= self.sweep_every_us
+
+
+@dataclass
+class EvictionStats:
+    """Counters reported in monitor snapshots."""
+
+    sweeps: int = 0
+    flows_evicted: int = 0
+    reassemblers_evicted: int = 0
+    chains_evicted: int = 0
+    sessions_evicted: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        return {
+            "sweeps": self.sweeps,
+            "flows_evicted": self.flows_evicted,
+            "reassemblers_evicted": self.reassemblers_evicted,
+            "chains_evicted": self.chains_evicted,
+            "sessions_evicted": self.sessions_evicted,
+        }

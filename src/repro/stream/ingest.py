@@ -1,0 +1,304 @@
+"""Packet sources for the streaming pipeline.
+
+Batch analysis consumes a finished capture; the streaming engine pulls
+from a :class:`Source` — an object that yields whatever has arrived
+*so far* and says whether more may ever come. Three adapters cover the
+workloads named in the roadmap:
+
+* :class:`PcapTailSource` — incremental classic-pcap reader that
+  tolerates a file still being written (``tail -f`` for captures);
+* :class:`CaptureSource` — follows the packet list of a live
+  :class:`~repro.simnet.scenario.SyntheticCapture` tap (or any object
+  with a ``.packets`` list) as the simulator appends to it;
+* :class:`ByteChunk` + :class:`TransportTap` — the socket_transport
+  live path, where there is no L2-L4 framing: reliable APDU byte
+  chunks enter the pipeline directly at the decode stage.
+
+Sources are pull-based: the pipeline calls :meth:`Source.poll` with a
+batch bound, which is what keeps ingest memory bounded no matter how
+fast the producer writes.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Iterable, Protocol, runtime_checkable
+
+from ..netstack.addresses import IPv4Address
+from ..netstack.packet import CapturedPacket
+from ..netstack.pcap import (MAGIC_NSEC, MAGIC_USEC, PcapError,
+                             PcapRecord)
+
+#: One classic-pcap global header (see repro.netstack.pcap).
+_GLOBAL_HEADER_SIZE = 24
+_RECORD_HEADER_SIZE = 16
+_US_PER_SECOND = 1_000_000
+
+#: Item types a source may yield (the pipeline routes on type).
+SourceItem = object
+
+
+@runtime_checkable
+class Source(Protocol):
+    """What the pipeline pulls from.
+
+    ``poll`` returns at most ``max_items`` newly available items
+    (possibly none); ``exhausted`` is True once no further item can
+    ever arrive. A tail-mode source is never exhausted.
+    """
+
+    def poll(self, max_items: int) -> list[SourceItem]:
+        ...  # pragma: no cover - protocol
+
+    @property
+    def exhausted(self) -> bool:
+        ...  # pragma: no cover - protocol
+
+
+class ListSource:
+    """Source over an already-materialized item list (tests, replays)."""
+
+    def __init__(self, items: Iterable[SourceItem]):
+        self._items = list(items)
+        self._cursor = 0
+
+    def poll(self, max_items: int) -> list[SourceItem]:
+        batch = self._items[self._cursor:self._cursor + max_items]
+        self._cursor += len(batch)
+        return batch
+
+    @property
+    def exhausted(self) -> bool:
+        return self._cursor >= len(self._items)
+
+
+class CaptureSource:
+    """Follow the (possibly still-growing) packet list of a capture tap.
+
+    Works for a finished :class:`SyntheticCapture` and for a live one
+    whose simulator is still appending: each ``poll`` picks up where
+    the previous one stopped. ``finished`` marks the producer done so
+    the pipeline can drain and stop.
+    """
+
+    def __init__(self, capture, finished: bool = True):
+        self._capture = capture
+        self._cursor = 0
+        self.finished = finished
+
+    @property
+    def _packets(self) -> list[CapturedPacket]:
+        return self._capture.packets
+
+    def host_names(self) -> dict[IPv4Address, str]:
+        names = getattr(self._capture, "host_names", None)
+        return dict(names()) if callable(names) else {}
+
+    def poll(self, max_items: int) -> list[SourceItem]:
+        packets = self._packets
+        batch = packets[self._cursor:self._cursor + max_items]
+        self._cursor += len(batch)
+        return list(batch)
+
+    @property
+    def exhausted(self) -> bool:
+        return self.finished and self._cursor >= len(self._packets)
+
+
+class PcapTailSource:
+    """Incrementally read a classic pcap file that may still grow.
+
+    Unlike :class:`~repro.netstack.pcap.PcapReader`, a short read at
+    the tail is not an error: partial header or record bytes stay
+    buffered until the writer appends the rest. With ``follow=False``
+    the source is exhausted at the first complete read of the file;
+    with ``follow=True`` it keeps polling for appended bytes forever
+    (the monitor decides when to stop).
+    """
+
+    def __init__(self, path, follow: bool = False):
+        self._stream = open(path, "rb")
+        self.follow = follow
+        self._buffer = b""
+        self._header_done = False
+        self._endian = "<"
+        self._nanoseconds = False
+        self._record_struct = struct.Struct("<IIII")
+        #: Records whose bytes were complete but whose frame bytes
+        #: failed to decode are counted by the pipeline, not here.
+        self.records_read = 0
+        self._eof_seen = False
+
+    def close(self) -> None:
+        self._stream.close()
+
+    def _parse_header(self) -> bool:
+        if len(self._buffer) < _GLOBAL_HEADER_SIZE:
+            return False
+        header = self._buffer[:_GLOBAL_HEADER_SIZE]
+        magic = struct.unpack("<I", header[:4])[0]
+        if magic in (MAGIC_USEC, MAGIC_NSEC):
+            self._endian = "<"
+        else:
+            magic = struct.unpack(">I", header[:4])[0]
+            if magic not in (MAGIC_USEC, MAGIC_NSEC):
+                raise PcapError(f"bad pcap magic 0x{magic:08x}")
+            self._endian = ">"
+        self._nanoseconds = magic == MAGIC_NSEC
+        self._record_struct = struct.Struct(self._endian + "IIII")
+        self._buffer = self._buffer[_GLOBAL_HEADER_SIZE:]
+        self._header_done = True
+        return True
+
+    def poll(self, max_items: int) -> list[SourceItem]:
+        chunk = self._stream.read(max(65536, max_items * 256))
+        if chunk:
+            self._buffer += chunk
+            self._eof_seen = False
+        else:
+            self._eof_seen = True
+        if not self._header_done and not self._parse_header():
+            return []
+        records: list[SourceItem] = []
+        unpack = self._record_struct.unpack_from
+        while len(records) < max_items:
+            if len(self._buffer) < _RECORD_HEADER_SIZE:
+                break
+            seconds, fraction, captured, original = unpack(self._buffer)
+            if len(self._buffer) < _RECORD_HEADER_SIZE + captured:
+                break
+            data = self._buffer[_RECORD_HEADER_SIZE:
+                                _RECORD_HEADER_SIZE + captured]
+            self._buffer = self._buffer[_RECORD_HEADER_SIZE + captured:]
+            if self._nanoseconds:
+                fraction //= 1000
+            records.append(PcapRecord(
+                time_us=seconds * _US_PER_SECOND + fraction,
+                data=data, original_length=original))
+            self.records_read += 1
+        return records
+
+    @property
+    def exhausted(self) -> bool:
+        if self.follow:
+            return False
+        return (self._eof_seen and self._header_done
+                and len(self._buffer) < _RECORD_HEADER_SIZE)
+
+    @property
+    def pending_bytes(self) -> int:
+        """Buffered bytes awaiting record completion."""
+        return len(self._buffer)
+
+
+class ByteChunk:
+    """Reliable APDU bytes from the live socket path.
+
+    There is no packet capture between two real endpoints — the kernel
+    already reassembled TCP — so the chunk enters the pipeline at the
+    decode stage. ``time_us`` is a caller-supplied monotone tick (the
+    tap keeps its own deterministic counter by default).
+    """
+
+    __slots__ = ("time_us", "src", "dst", "data")
+
+    def __init__(self, time_us: int, src: str, dst: str, data: bytes):
+        self.time_us = time_us
+        self.src = src
+        self.dst = dst
+        self.data = data
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"ByteChunk(time_us={self.time_us}, src={self.src!r}, "
+                f"dst={self.dst!r}, {len(self.data)} bytes)")
+
+
+class TransportTap:
+    """Buffer + Source for live endpoint byte streams.
+
+    :meth:`tap` wraps a :class:`~repro.iec104.socket_transport.
+    SocketTransport`'s receiver callback so every chunk the endpoint
+    consumes is also queued here, labelled with a (src, dst) direction.
+    Chunks are stamped with a deterministic monotone microsecond
+    counter unless the caller supplies real ticks via :meth:`push`.
+    """
+
+    def __init__(self, tick_step_us: int = 1000):
+        self._queue: list[ByteChunk] = []
+        self._now_us = 0
+        self._tick_step_us = tick_step_us
+        self.finished = False
+
+    def push(self, src: str, dst: str, data: bytes,
+             time_us: int | None = None) -> None:
+        if time_us is None:
+            self._now_us += self._tick_step_us
+            time_us = self._now_us
+        else:
+            self._now_us = max(self._now_us, time_us)
+        self._queue.append(ByteChunk(time_us=time_us, src=src,
+                                     dst=dst, data=data))
+
+    def tap(self, transport, src: str, dst: str) -> None:
+        """Interpose on ``transport.receiver`` (keeps the original)."""
+        original = transport.receiver
+
+        def receive(data: bytes) -> None:
+            self.push(src, dst, data)
+            if original is not None:
+                original(data)
+
+        transport.receiver = receive
+
+    def poll(self, max_items: int) -> list[SourceItem]:
+        batch = self._queue[:max_items]
+        del self._queue[:len(batch)]
+        return batch
+
+    @property
+    def exhausted(self) -> bool:
+        return self.finished and not self._queue
+
+
+class MergedSource:
+    """Time-ordered fan-in over several sources.
+
+    Delivery is deterministic: the buffered heads are merged by
+    ``time_us`` (ties broken by source index). A head is only released
+    while every non-exhausted source has at least one buffered item —
+    otherwise a later poll of the starved source could yield an earlier
+    timestamp and break ordering.
+    """
+
+    def __init__(self, sources: list):
+        self._sources = list(sources)
+        self._heads: list[list[SourceItem]] = [[] for _ in self._sources]
+
+    @staticmethod
+    def _time_of(item: SourceItem) -> int:
+        return getattr(item, "time_us", 0)
+
+    def poll(self, max_items: int) -> list[SourceItem]:
+        for index, source in enumerate(self._sources):
+            if not self._heads[index] and not source.exhausted:
+                self._heads[index] = list(source.poll(max_items))
+        merged: list[SourceItem] = []
+        while len(merged) < max_items:
+            candidates = [(self._time_of(head[0]), index)
+                          for index, head in enumerate(self._heads)
+                          if head]
+            if not candidates:
+                break
+            starved = any(not head and not source.exhausted
+                          for head, source in zip(self._heads,
+                                                  self._sources))
+            if starved:
+                break
+            _, index = min(candidates)
+            merged.append(self._heads[index].pop(0))
+        return merged
+
+    @property
+    def exhausted(self) -> bool:
+        return (all(source.exhausted for source in self._sources)
+                and not any(self._heads))

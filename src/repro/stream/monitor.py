@@ -1,0 +1,120 @@
+"""The ``repro monitor`` loop: periodic snapshots of a live pipeline.
+
+Drives a :class:`~repro.stream.pipeline.StreamPipeline` against a
+(possibly still-growing) capture and renders snapshots either as human
+text or as JSON lines (one document per snapshot, for piping into
+``jq`` or a dashboard).
+
+Two timing domains meet here, deliberately kept apart: *analysis* is
+driven purely by stream time (capture timestamps — deterministic on
+replay), while snapshot *pacing* uses the wall clock, injected so tests
+can run the loop without sleeping.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from typing import Callable, TextIO
+
+from ..simnet.clock import Ticks
+from .detector import OnlineCombinedDetector
+from .pipeline import StreamPipeline
+
+
+def render_json(snapshot: dict) -> str:
+    """One snapshot as a single JSON line."""
+    return json.dumps(snapshot, sort_keys=True)
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    return str(value)
+
+
+def render_text(snapshot: dict) -> str:
+    """One snapshot as an indented human-readable block."""
+    seconds = snapshot["time_us"] / 1_000_000
+    lines = [f"t={seconds:.3f}s packets={snapshot['packets']} "
+             f"events={snapshot['events']} "
+             f"failures={snapshot['failures']}"]
+    for name, data in snapshot.get("analyzers", {}).items():
+        parts = " ".join(
+            f"{key}={_fmt(value)}" for key, value in data.items()
+            if not isinstance(value, (list, dict)))
+        lines.append(f"  {name}: {parts}")
+    eviction = snapshot.get("eviction", {})
+    if eviction.get("sweeps"):
+        parts = " ".join(f"{key}={value}"
+                         for key, value in eviction.items() if value)
+        lines.append(f"  eviction: {parts}")
+    return "\n".join(lines)
+
+
+def run_monitor(pipeline: StreamPipeline, out: TextIO,
+                json_lines: bool = False,
+                follow: bool = False,
+                once: bool = False,
+                interval_s: float = 2.0,
+                detect_after_us: Ticks | None = None,
+                idle_grace: int = 3,
+                poll_sleep_s: float = 0.2,
+                max_snapshots: int | None = None,
+                sleep: Callable[[float], None] = time.sleep,
+                clock: Callable[[], float] = time.monotonic) -> int:
+    """Drive the pipeline and emit snapshots; return snapshots emitted.
+
+    ``once`` suppresses periodic snapshots: the source is drained (or,
+    with ``follow``, polled until it stays idle for ``idle_grace``
+    rounds) and exactly one final snapshot is written. Without
+    ``once``, a snapshot is written every ``interval_s`` wall seconds
+    plus one final snapshot when the source is exhausted.
+
+    ``detect_after_us`` flips every :class:`OnlineCombinedDetector`
+    analyzer from LEARN to DETECT once the stream clock passes that
+    tick (learn-then-detect on a single capture).
+    """
+    detectors = [analyzer for analyzer in pipeline.analyzers
+                 if isinstance(analyzer, OnlineCombinedDetector)]
+    switched = detect_after_us is None
+    emitted = 0
+    idle_rounds = 0
+    next_emit = clock() + interval_s
+
+    def emit() -> None:
+        nonlocal emitted
+        snapshot = pipeline.snapshot()
+        line = (render_json(snapshot) if json_lines
+                else render_text(snapshot))
+        print(line, file=out, flush=True)
+        emitted += 1
+
+    while True:
+        moved = pipeline.step()
+        if not switched and detect_after_us is not None \
+                and pipeline.now_us >= detect_after_us:
+            for detector in detectors:
+                detector.switch_to_detect()
+            switched = True
+        if moved:
+            idle_rounds = 0
+        else:
+            if pipeline.source.exhausted and not follow:
+                break
+            idle_rounds += 1
+            if once and idle_rounds >= idle_grace:
+                break
+            if not follow and pipeline.source.exhausted:
+                break
+            sleep(poll_sleep_s)
+        if not once and clock() >= next_emit:
+            emit()
+            next_emit = clock() + interval_s
+            if max_snapshots is not None and emitted >= max_snapshots:
+                return emitted
+    # Final snapshot covers everything, including events still held
+    # in the reordering buffer.
+    pipeline.flush()
+    emit()
+    return emitted

@@ -1,0 +1,402 @@
+"""The streaming event bus: frame -> reassemble -> decode -> dispatch.
+
+:class:`StreamPipeline` pulls bounded batches from a
+:class:`~repro.stream.ingest.Source` and pushes every item through
+four explicit stages:
+
+* **frame** — raw :class:`~repro.netstack.pcap.PcapRecord` bytes are
+  decoded to :class:`~repro.netstack.packet.CapturedPacket` (already
+  decoded packets from a simnet tap pass through);
+* **reassemble** — IEC 104 filtering, per-packet or per-direction TCP
+  reassembly (reusing :class:`~repro.netstack.reassembly.
+  StreamReassembler` incrementally), flow-level dispatch;
+* **decode** — APDU parsing with the shared
+  :class:`~repro.iec104.codec.TolerantParser`; live socket
+  :class:`~repro.stream.ingest.ByteChunk` items enter here directly
+  through a per-link :class:`~repro.iec104.codec.StreamDecoder`;
+* **dispatch** — delivery to the registered
+  :class:`~repro.stream.analyzers.StreamAnalyzer` instances.
+
+Every stage keeps received/emitted/filtered/error/drop counters, and
+delivery is deterministic. Two orders matter, and they are different —
+exactly as in the batch pipeline:
+
+* *decode* runs in **arrival order** (the pcap file order), because the
+  tolerant parser learns per-link profiles from the frames it has seen
+  — the same order the batch :func:`~repro.analysis.apdu_stream.
+  extract_apdus` uses;
+* *dispatch* delivers APDU events in **time_us order** through a
+  bounded reordering buffer, because the batch analyses time-sort
+  events (``tokenize``'s stable sort) before consuming them. The
+  buffer holds an event until the stream clock passes
+  ``reorder_window_us``; ties release in arrival order, matching the
+  stable sort exactly. Events that arrive too late to reorder (beyond
+  the window) are still delivered, and counted in
+  ``order_violations``.
+
+Eviction sweeps run on stream time, never the wall clock — replaying
+the same capture reproduces the same state, byte for byte.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+
+from ..analysis.apdu_stream import ApduEvent, is_iec104
+from ..iec104.codec import StreamDecoder, TolerantParser
+from ..netstack.addresses import IPv4Address
+from ..netstack.packet import CapturedPacket, FlowKey
+from ..netstack.pcap import PcapRecord
+from ..netstack.reassembly import StreamReassembler
+from ..simnet.clock import Ticks
+from .analyzers import StreamAnalyzer
+from .eviction import EvictionPolicy, EvictionStats
+from .ingest import ByteChunk, Source
+
+#: Stage names, in pipeline order.
+STAGES = ("ingest", "frame", "reassemble", "decode", "dispatch")
+
+
+class StageCounters:
+    """Per-stage accounting (drop/error counters of the event bus)."""
+
+    __slots__ = ("received", "emitted", "filtered", "errors",
+                 "dropped")
+
+    def __init__(self) -> None:
+        self.received = 0
+        self.emitted = 0
+        self.filtered = 0
+        self.errors = 0
+        self.dropped = 0
+
+    def as_dict(self) -> dict[str, int]:
+        return {"received": self.received, "emitted": self.emitted,
+                "filtered": self.filtered, "errors": self.errors,
+                "dropped": self.dropped}
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"StageCounters({self.as_dict()})"
+
+
+class StreamPipeline:
+    """Push packets through the staged bus into online analyzers.
+
+    ``reassemble=False`` (default) is the paper-faithful per-packet
+    decode; ``True`` routes payloads through per-direction
+    :class:`StreamReassembler` state first (the ablation mode).
+    ``queue_capacity`` bounds the dispatch-stage reordering buffer:
+    when it fills, the oldest buffered event is released early (still
+    deterministic — early releases are a pure function of the arrival
+    sequence). ``reorder_window_us`` is how far behind the stream
+    clock an event may arrive and still be delivered in time order.
+    """
+
+    def __init__(self, source: Source,
+                 names: dict[IPv4Address, str] | None = None,
+                 analyzers: list[StreamAnalyzer] | None = None,
+                 reassemble: bool = False,
+                 parser: TolerantParser | None = None,
+                 batch_size: int = 512,
+                 queue_capacity: int = 4096,
+                 reorder_window_us: Ticks = 5_000_000,
+                 eviction: EvictionPolicy | None = None,
+                 max_failures_kept: int = 256):
+        if batch_size <= 0:
+            raise ValueError("batch_size must be positive")
+        if queue_capacity <= 0:
+            raise ValueError("queue_capacity must be positive")
+        self.source = source
+        if names is None:
+            host_names = getattr(source, "host_names", None)
+            names = dict(host_names()) if callable(host_names) else {}
+        self.names = names
+        self.analyzers: list[StreamAnalyzer] = list(analyzers or [])
+        self.reassemble = reassemble
+        self.parser = parser if parser is not None else TolerantParser()
+        self.batch_size = batch_size
+        self.queue_capacity = queue_capacity
+        self.reorder_window_us = reorder_window_us
+        self.eviction = eviction
+        self.eviction_stats = EvictionStats()
+        self.counters = {stage: StageCounters() for stage in STAGES}
+        #: Stream clock: the largest time_us seen (never moves back).
+        self.now_us: Ticks = 0
+        #: Items that arrived with time_us behind the stream clock.
+        self.late_items = 0
+        #: Events delivered behind an already-released timestamp
+        #: (arrived later than ``reorder_window_us`` allows).
+        self.order_violations = 0
+        self.events_dispatched = 0
+        self.failures: deque = deque(maxlen=max_failures_kept)
+        self.failure_count = 0
+        #: Dispatch reorder buffer: (time_us, arrival_seq, event).
+        self._reorder: list[tuple[Ticks, int, ApduEvent]] = []
+        self._reorder_seq = 0
+        self._watermark: Ticks = -1
+        self._reassemblers: dict[FlowKey, StreamReassembler] = {}
+        self._reassembler_touch: dict[FlowKey, Ticks] = {}
+        self._decoders: dict[tuple[str, str], StreamDecoder] = {}
+        self._decoder_touch: dict[tuple[str, str], Ticks] = {}
+        self._last_sweep_us: Ticks = 0
+
+    # -- driving ------------------------------------------------------
+
+    def add_analyzer(self, analyzer: StreamAnalyzer) -> None:
+        self.analyzers.append(analyzer)
+
+    def step(self, max_items: int | None = None) -> int:
+        """Pull one bounded batch from the source and process it.
+
+        Returns the number of items ingested (0 when the source had
+        nothing new)."""
+        batch = self.source.poll(max_items or self.batch_size)
+        for item in batch:
+            self._ingest(item)
+        if batch:
+            self._release(self.now_us - self.reorder_window_us)
+            self._maybe_evict()
+        return len(batch)
+
+    def run_until_exhausted(self, max_items: int | None = None) -> int:
+        """Drain a finite source completely; return items processed.
+
+        A tail-mode (``follow``) source is never exhausted — use
+        :meth:`step` from the monitor loop instead."""
+        total = 0
+        while True:
+            moved = self.step()
+            total += moved
+            if max_items is not None and total >= max_items:
+                break
+            if not moved:
+                # Exhausted, or not exhausted but nothing deliverable
+                # (e.g. a truncated record at a non-growing tail):
+                # stop rather than spin.
+                break
+        self.flush()
+        return total
+
+    # -- stage: ingest / frame ---------------------------------------
+
+    def _ingest(self, item) -> None:
+        counters = self.counters["ingest"]
+        counters.received += 1
+        time_us = getattr(item, "time_us", self.now_us)
+        if time_us < self.now_us:
+            self.late_items += 1
+        else:
+            self.now_us = time_us
+        if isinstance(item, ByteChunk):
+            counters.emitted += 1
+            self._decode_chunk(item)
+            return
+        if isinstance(item, PcapRecord):
+            packet = self._frame(item)
+            if packet is None:
+                return
+        elif isinstance(item, CapturedPacket):
+            packet = item
+        else:
+            counters.errors += 1
+            return
+        counters.emitted += 1
+        self._reassemble(packet)
+
+    def _frame(self, record: PcapRecord) -> CapturedPacket | None:
+        counters = self.counters["frame"]
+        counters.received += 1
+        packet = CapturedPacket.decode(record.time_us, record.data)
+        if packet is None:
+            counters.errors += 1
+            return None
+        counters.emitted += 1
+        return packet
+
+    # -- stage: reassemble -------------------------------------------
+
+    def _name_for(self, address: IPv4Address, port: int) -> str:
+        name = self.names.get(address)
+        if name is not None:
+            return name
+        return f"{address}:{port}"
+
+    def _reassemble(self, packet: CapturedPacket) -> None:
+        counters = self.counters["reassemble"]
+        counters.received += 1
+        if not is_iec104(packet):
+            counters.filtered += 1
+            return
+        for analyzer in self.analyzers:
+            analyzer.on_packet(packet)
+        src = self._name_for(packet.ip.src, packet.tcp.src_port)
+        dst = self._name_for(packet.ip.dst, packet.tcp.dst_port)
+        if not self.reassemble:
+            if not packet.payload:
+                return
+            counters.emitted += 1
+            self._decode(packet.time_us, src, dst, packet.payload,
+                         packet.wire_length)
+            return
+        key = packet.flow_key
+        reassembler = self._reassemblers.get(key)
+        if reassembler is None:
+            reassembler = StreamReassembler()
+            self._reassemblers[key] = reassembler
+        self._reassembler_touch[key] = packet.time_us
+        data = reassembler.feed(packet.tcp.seq, packet.payload,
+                                syn=packet.flags.syn,
+                                fin=packet.flags.fin)
+        if not data:
+            return
+        counters.emitted += 1
+        self._decode(packet.time_us, src, dst, data,
+                     packet.wire_length)
+
+    @property
+    def retransmissions(self) -> int:
+        """Total retransmitted segments seen (reassemble mode only)."""
+        return sum(reassembler.stats.retransmissions
+                   for reassembler in self._reassemblers.values())
+
+    # -- stage: decode ------------------------------------------------
+
+    def _decode(self, time_us: Ticks, src: str, dst: str,
+                payload: bytes, wire_bytes: int) -> None:
+        counters = self.counters["decode"]
+        counters.received += 1
+        results = self.parser.parse_stream(payload,
+                                           link_key=(src, dst))
+        self._emit_results(results, time_us, src, dst, wire_bytes)
+
+    def _decode_chunk(self, chunk: ByteChunk) -> None:
+        """Live socket path: no packet framing, so a per-link
+        StreamDecoder buffers partial APDUs across chunks."""
+        counters = self.counters["decode"]
+        counters.received += 1
+        link = (chunk.src, chunk.dst)
+        decoder = self._decoders.get(link)
+        if decoder is None:
+            decoder = StreamDecoder(parser=self.parser, link_key=link)
+            self._decoders[link] = decoder
+        self._decoder_touch[link] = chunk.time_us
+        results = decoder.feed(chunk.data)
+        self._emit_results(results, chunk.time_us, chunk.src,
+                           chunk.dst, len(chunk.data))
+
+    def _emit_results(self, results, time_us: Ticks, src: str,
+                      dst: str, wire_bytes: int) -> None:
+        counters = self.counters["decode"]
+        for result in results:
+            if result.ok:
+                counters.emitted += 1
+                self._enqueue(ApduEvent(
+                    time_us=time_us, src=src, dst=dst,
+                    apdu=result.apdu, compliant=result.compliant,
+                    wire_bytes=wire_bytes))
+            else:
+                counters.errors += 1
+                self.failure_count += 1
+                self.failures.append((time_us, src, dst, result))
+
+    # -- stage: dispatch ----------------------------------------------
+
+    def _enqueue(self, event: ApduEvent) -> None:
+        """Buffer an event for time-ordered release."""
+        counters = self.counters["dispatch"]
+        counters.received += 1
+        heapq.heappush(self._reorder,
+                       (event.time_us, self._reorder_seq, event))
+        self._reorder_seq += 1
+        # Bounded queue: over capacity, release the oldest early.
+        while len(self._reorder) > self.queue_capacity:
+            self._pop_dispatch()
+
+    def _release(self, horizon_us: Ticks) -> None:
+        """Deliver every buffered event at or before the horizon."""
+        while self._reorder and self._reorder[0][0] <= horizon_us:
+            self._pop_dispatch()
+
+    def flush(self) -> None:
+        """Deliver everything still buffered (source exhausted or a
+        final snapshot is about to be taken)."""
+        while self._reorder:
+            self._pop_dispatch()
+
+    def _pop_dispatch(self) -> None:
+        time_us, _seq, event = heapq.heappop(self._reorder)
+        if time_us < self._watermark:
+            self.order_violations += 1
+        else:
+            self._watermark = time_us
+        counters = self.counters["dispatch"]
+        for analyzer in self.analyzers:
+            analyzer.on_event(event)
+            counters.emitted += 1
+        self.events_dispatched += 1
+
+    @property
+    def reorder_pending(self) -> int:
+        return len(self._reorder)
+
+    # -- eviction -----------------------------------------------------
+
+    def _maybe_evict(self) -> None:
+        if self.eviction is None:
+            return
+        if not self.eviction.due(self.now_us, self._last_sweep_us):
+            return
+        self.sweep()
+
+    def sweep(self) -> None:
+        """Run one eviction sweep now (normally driven by the policy).
+
+        Reclaims idle reassemblers and stream decoders, then lets each
+        analyzer reclaim its own idle state."""
+        if self.eviction is None:
+            return
+        horizon = self.eviction.horizon(self.now_us)
+        self.eviction_stats.sweeps += 1
+        for key in [key for key, touched
+                    in self._reassembler_touch.items()
+                    if touched < horizon]:
+            del self._reassemblers[key]
+            del self._reassembler_touch[key]
+            self.eviction_stats.reassemblers_evicted += 1
+        for link in [link for link, touched
+                     in self._decoder_touch.items()
+                     if touched < horizon]:
+            del self._decoders[link]
+            del self._decoder_touch[link]
+            self.eviction_stats.reassemblers_evicted += 1
+        for analyzer in self.analyzers:
+            analyzer.evict(horizon, self.eviction_stats)
+        self._last_sweep_us = self.now_us
+
+    @property
+    def live_reassemblers(self) -> int:
+        return len(self._reassemblers)
+
+    # -- reporting ----------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """One monitor snapshot: clock, stage counters, analyzers."""
+        document = {
+            "time_us": self.now_us,
+            "packets": self.counters["reassemble"].received,
+            "events": self.events_dispatched,
+            "failures": self.failure_count,
+            "late_items": self.late_items,
+            "order_violations": self.order_violations,
+            "reorder_pending": self.reorder_pending,
+            "stages": {stage: counters.as_dict()
+                       for stage, counters in self.counters.items()},
+            "reassemblers": self.live_reassemblers,
+            "eviction": self.eviction_stats.as_dict(),
+        }
+        analyzers = {}
+        for analyzer in self.analyzers:
+            analyzers[analyzer.name] = analyzer.snapshot()
+        document["analyzers"] = analyzers
+        return document

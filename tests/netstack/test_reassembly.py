@@ -129,3 +129,71 @@ def test_any_segmentation_reassembles(stream, sizes, rng):
     output = b"".join(reassembler.feed(seq, data)
                       for seq, data in with_dups)
     assert output == stream
+
+
+class TestBufferCap:
+    """Bounded-memory guarantee: a hole held open by a never-arriving
+    segment cannot buffer bytes without limit."""
+
+    def test_pending_bytes_tracked_incrementally(self):
+        reassembler = StreamReassembler()
+        reassembler.feed(0, b"", syn=True)
+        reassembler.feed(100, b"xxxx")
+        assert reassembler.pending_bytes == 4
+        reassembler.feed(200, b"yyyyyy")
+        assert reassembler.pending_bytes == 10
+        # Replacing a buffered chunk with a longer one at the same seq
+        # counts only the extra bytes.
+        reassembler.feed(100, b"xxxxzz")
+        assert reassembler.pending_bytes == 12
+
+    def test_overflow_abandons_hole_and_drains(self):
+        reassembler = StreamReassembler(max_buffered=16)
+        reassembler.feed(0, b"", syn=True)
+        assert reassembler.feed(1, b"a") == b"a"
+        # seq 2 never arrives; later segments pile up behind the hole.
+        assert reassembler.feed(10, b"A" * 8) == b""
+        assert reassembler.pending_bytes == 8
+        delivered = reassembler.feed(18, b"B" * 16)
+        # Cap exceeded: the hole is abandoned, the cursor jumps to the
+        # oldest buffered byte and everything contiguous drains.
+        assert delivered == b"A" * 8 + b"B" * 16
+        assert reassembler.pending_bytes == 0
+        assert reassembler.stats.buffer_overflows == 1
+        # The abandoned hole spanned seqs 2..9 (cursor 2, island at 10).
+        assert reassembler.stats.gap_bytes_skipped == 8
+        # The stream continues normally from the new cursor.
+        assert reassembler.feed(34, b"tail") == b"tail"
+
+    def test_overflow_repeats_until_under_cap(self):
+        reassembler = StreamReassembler(max_buffered=4)
+        reassembler.feed(0, b"", syn=True)
+        reassembler.feed(1, b"a")
+        # Two disjoint islands, each behind its own hole. One flush
+        # drains only up to the next hole, so getting back under the
+        # cap here takes two.
+        assert reassembler.feed(10, b"AAAA") == b""
+        delivered = reassembler.feed(100, b"B" * 6)
+        assert delivered == b"AAAA" + b"B" * 6
+        assert reassembler.pending_bytes == 0
+        assert reassembler.stats.buffer_overflows == 2
+
+    def test_overflow_never_reorders_delivered_bytes(self):
+        reassembler = StreamReassembler(max_buffered=3)
+        reassembler.feed(0, b"", syn=True)
+        reassembler.feed(1, b"x")
+        reassembler.feed(6, b"22")
+        delivered = reassembler.feed(3, b"11")
+        # "11" fills nothing (the hole at seq 2 remains) but trips the
+        # cap (4 buffered > 3); the cursor jumps to the oldest buffered
+        # seq (3) and drains until back under the cap. The second
+        # island stays buffered for its own (still plausible) hole.
+        assert delivered == b"11"
+        assert reassembler.pending_bytes == 2
+        assert reassembler.stats.buffer_overflows == 1
+        # The held-back island drains in order once its hole fills.
+        assert reassembler.feed(5, b"5") == b"522"
+
+    def test_default_cap_is_generous(self):
+        reassembler = StreamReassembler()
+        assert reassembler.max_buffered >= 1 << 16

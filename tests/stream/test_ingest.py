@@ -1,0 +1,201 @@
+"""Ingest sources: pcap tailing, capture following, live taps, fan-in."""
+
+from __future__ import annotations
+
+import io
+import struct
+
+import pytest
+
+from repro.netstack.pcap import (MAGIC_USEC, PcapError, PcapRecord,
+                                 PcapWriter)
+from repro.stream import (ByteChunk, CaptureSource, ListSource,
+                          MergedSource, PcapTailSource, TransportTap)
+
+
+def pcap_bytes(records: list[PcapRecord]) -> bytes:
+    stream = io.BytesIO()
+    writer = PcapWriter(stream)
+    writer.write_all(records)
+    return stream.getvalue()
+
+
+def records(count: int, start_us: int = 1_000_000) -> list[PcapRecord]:
+    return [PcapRecord(time_us=start_us + index * 1000,
+                       data=bytes([index % 251]) * 60)
+            for index in range(count)]
+
+
+class TestListSource:
+    def test_polls_in_batches(self):
+        source = ListSource(range(5))
+        assert source.poll(2) == [0, 1]
+        assert not source.exhausted
+        assert source.poll(10) == [2, 3, 4]
+        assert source.exhausted
+        assert source.poll(10) == []
+
+
+class TestCaptureSource:
+    class GrowingCapture:
+        def __init__(self):
+            self.packets = []
+
+    def test_follows_growth_then_drains(self):
+        capture = self.GrowingCapture()
+        source = CaptureSource(capture, finished=False)
+        assert source.poll(10) == []
+        assert not source.exhausted  # producer still running
+        capture.packets.extend(["a", "b"])
+        assert source.poll(10) == ["a", "b"]
+        capture.packets.append("c")
+        source.finished = True
+        assert not source.exhausted  # one packet still unread
+        assert source.poll(10) == ["c"]
+        assert source.exhausted
+
+    def test_host_names_absent_is_empty(self):
+        source = CaptureSource(self.GrowingCapture())
+        assert source.host_names() == {}
+
+
+class TestPcapTailSource:
+    def test_reads_complete_file(self, tmp_path):
+        wanted = records(5)
+        path = tmp_path / "done.pcap"
+        path.write_bytes(pcap_bytes(wanted))
+        source = PcapTailSource(path)
+        got = []
+        while not source.exhausted:
+            got.extend(source.poll(2))
+        source.close()
+        assert [r.time_us for r in got] == [r.time_us for r in wanted]
+        assert [r.data for r in got] == [r.data for r in wanted]
+        assert source.records_read == 5
+
+    def test_partial_tail_bytes_stay_buffered(self, tmp_path):
+        wanted = records(3)
+        data = pcap_bytes(wanted)
+        path = tmp_path / "growing.pcap"
+        # Write everything except the last record's final 7 bytes.
+        path.write_bytes(data[:-7])
+        source = PcapTailSource(path, follow=True)
+        got = source.poll(10)
+        assert len(got) == 2
+        assert source.pending_bytes > 0
+        assert not source.exhausted  # follow mode never exhausts
+        # Writer catches up; the buffered partial record completes.
+        with open(path, "ab") as stream:
+            stream.write(data[-7:])
+        assert len(source.poll(10)) == 1
+        assert source.records_read == 3
+        source.close()
+
+    def test_partial_global_header_tolerated(self, tmp_path):
+        data = pcap_bytes(records(1))
+        path = tmp_path / "header.pcap"
+        path.write_bytes(data[:10])  # half a global header
+        source = PcapTailSource(path, follow=True)
+        assert source.poll(10) == []
+        with open(path, "ab") as stream:
+            stream.write(data[10:])
+        assert len(source.poll(10)) == 1
+        source.close()
+
+    def test_non_follow_exhausts_at_eof(self, tmp_path):
+        path = tmp_path / "single.pcap"
+        path.write_bytes(pcap_bytes(records(1)))
+        source = PcapTailSource(path)
+        source.poll(10)
+        source.poll(10)  # sees EOF
+        assert source.exhausted
+        source.close()
+
+    def test_bad_magic_raises(self, tmp_path):
+        path = tmp_path / "garbage.pcap"
+        path.write_bytes(b"\xde\xad\xbe\xef" + b"\x00" * 40)
+        source = PcapTailSource(path)
+        with pytest.raises(PcapError):
+            source.poll(10)
+        source.close()
+
+    def test_big_endian_header(self, tmp_path):
+        record = records(1)[0]
+        header = struct.pack(">IHHiIII", MAGIC_USEC, 2, 4, 0, 0,
+                             65535, 1)
+        body = struct.pack(">IIII", record.time_us // 1_000_000,
+                           record.time_us % 1_000_000,
+                           len(record.data),
+                           len(record.data)) + record.data
+        path = tmp_path / "be.pcap"
+        path.write_bytes(header + body)
+        source = PcapTailSource(path)
+        got = source.poll(10)
+        assert len(got) == 1
+        assert got[0].time_us == record.time_us
+        assert got[0].data == record.data
+        source.close()
+
+
+class TestTransportTap:
+    def test_push_assigns_monotone_ticks(self):
+        tap = TransportTap(tick_step_us=10)
+        tap.push("a", "b", b"one")
+        tap.push("a", "b", b"two", time_us=500)
+        tap.push("b", "a", b"three")
+        chunks = tap.poll(10)
+        assert [chunk.time_us for chunk in chunks] == [10, 500, 510]
+        assert [chunk.data for chunk in chunks] \
+            == [b"one", b"two", b"three"]
+
+    def test_tap_interposes_and_preserves_receiver(self):
+        seen = []
+
+        class FakeTransport:
+            receiver = None
+
+        transport = FakeTransport()
+        transport.receiver = seen.append
+        tap = TransportTap()
+        tap.tap(transport, src="C1", dst="O1")
+        transport.receiver(b"\x68\x04")
+        assert seen == [b"\x68\x04"]  # original callback still runs
+        chunks = tap.poll(10)
+        assert len(chunks) == 1
+        assert (chunks[0].src, chunks[0].dst) == ("C1", "O1")
+
+    def test_exhausted_only_when_finished_and_empty(self):
+        tap = TransportTap()
+        tap.push("a", "b", b"x")
+        assert not tap.exhausted
+        tap.finished = True
+        assert not tap.exhausted
+        tap.poll(10)
+        assert tap.exhausted
+
+
+class TestMergedSource:
+    def chunk(self, time_us: int, tag: str) -> ByteChunk:
+        return ByteChunk(time_us, tag, "x", b"")
+
+    def test_merges_by_time(self):
+        left = ListSource([self.chunk(10, "L"), self.chunk(30, "L")])
+        right = ListSource([self.chunk(20, "R"), self.chunk(40, "R")])
+        merged = MergedSource([left, right])
+        out = []
+        while not merged.exhausted:
+            out.extend(merged.poll(10))
+        assert [(item.time_us, item.src) for item in out] \
+            == [(10, "L"), (20, "R"), (30, "L"), (40, "R")]
+
+    def test_holds_back_when_a_source_is_starved(self):
+        tap = TransportTap()  # live source, nothing buffered yet
+        done = ListSource([self.chunk(10, "L")])
+        merged = MergedSource([done, tap])
+        # The tap might later yield time_us < 10, so nothing moves.
+        assert merged.poll(10) == []
+        tap.push("R", "x", b"", time_us=5)
+        tap.finished = True
+        out = merged.poll(10)
+        assert [item.time_us for item in out] == [5, 10]
+        assert merged.exhausted

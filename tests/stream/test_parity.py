@@ -1,0 +1,139 @@
+"""Batch/stream parity: the streaming engine's guarantees are provable.
+
+Each test runs the incremental analyzers over the shared Y1 capture
+through a fresh :class:`StreamPipeline` (fresh parser per pass, exactly
+like every ``extract_apdus`` call builds a fresh parser) and asserts
+the result equals the corresponding whole-capture batch computation.
+Eviction stays disabled here — it trades exactness for bounded memory
+(covered by ``test_eviction``).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import ConnectionChains, FlowAnalysis
+from repro.analysis.apdu_stream import tokenize
+from repro.analysis.whitelist import CombinedDetector
+from repro.stream import (CaptureSource, LiveFlowTable, OnlineChains,
+                          OnlineCombinedDetector, StreamAnalyzer,
+                          StreamPipeline)
+
+#: Generous reorder window (stream-time) — the synthetic captures'
+#: inter-host interleave never exceeds a few seconds of disorder, and
+#: order_violations == 0 is asserted to prove the window sufficed.
+WINDOW_US = 60_000_000
+
+
+class Recorder(StreamAnalyzer):
+    """Collects every dispatched event, in delivery order."""
+
+    name = "recorder"
+
+    def __init__(self):
+        self.events = []
+
+    def on_event(self, event):
+        self.events.append(event)
+
+
+def run_stream(capture, analyzers):
+    pipeline = StreamPipeline(CaptureSource(capture),
+                              analyzers=analyzers,
+                              reorder_window_us=WINDOW_US)
+    pipeline.run_until_exhausted()
+    assert pipeline.order_violations == 0
+    return pipeline
+
+
+class TestEventParity:
+    @pytest.fixture(scope="class")
+    def streamed(self, y1_capture):
+        recorder = Recorder()
+        pipeline = run_stream(y1_capture, [recorder])
+        return pipeline, recorder
+
+    def test_event_count_and_failures(self, streamed, y1_extraction):
+        pipeline, recorder = streamed
+        assert len(recorder.events) == len(y1_extraction.events)
+        assert pipeline.failure_count == len(y1_extraction.failures)
+
+    def test_per_connection_token_sequences(self, streamed,
+                                            y1_extraction):
+        _, recorder = streamed
+        stream_by_conn = {}
+        for event in recorder.events:
+            stream_by_conn.setdefault(event.connection,
+                                      []).append(event.token)
+        batch_by_conn = {
+            connection: tokenize(events)
+            for connection, events
+            in y1_extraction.by_connection().items()}
+        assert stream_by_conn == batch_by_conn
+
+    def test_event_payload_fields(self, streamed, y1_extraction):
+        """Same (time, endpoints, APDU) multiset, not just tokens."""
+        _, recorder = streamed
+        key = (lambda e: (e.time_us, e.src, e.dst, e.token,
+                          e.compliant, e.wire_bytes))
+        assert (sorted(map(key, recorder.events))
+                == sorted(map(key, y1_extraction.events)))
+
+
+def test_flow_summary_parity(y1_capture):
+    flows = LiveFlowTable()
+    run_stream(y1_capture, [flows])
+    batch = FlowAnalysis.from_packets("y1", y1_capture).summary()
+    assert flows.summary(label="y1") == batch
+
+
+def test_markov_chain_parity(y1_capture, y1_extraction):
+    chains = OnlineChains()
+    run_stream(y1_capture, [chains])
+    batch = ConnectionChains.from_extraction(y1_extraction)
+    batch_sizes = {connection: (nodes, edges)
+                   for connection, nodes, edges in batch.sizes()}
+    assert chains.sizes() == batch_sizes
+    # Full structural parity: node order, sorted transitions, MLE
+    # probabilities — for every connection, not just the counts.
+    for connection, batch_chain in batch.chains.items():
+        assert chains.chain(connection) == batch_chain
+
+
+def test_combined_detector_parity(y1_capture, y1_extraction):
+    batch = CombinedDetector().fit(y1_extraction)
+    batch_alerts = batch.detect(y1_extraction)
+
+    detector = OnlineCombinedDetector()
+    run_stream(y1_capture, [detector])        # learn pass
+    detector.switch_to_detect()
+    run_stream(y1_capture, [detector])        # scoring pass
+    stream_alerts = detector.alerts()
+
+    # Cyber verdicts are exactly equal (connection order, every unseen
+    # transition occurrence, ordered-dedup unknown tokens).
+    assert ([alert.cyber for alert in stream_alerts]
+            == [alert.cyber for alert in batch_alerts])
+    # Physical violations agree as sets per alert: the batch checker
+    # walks series point by point while the stream sees samples in
+    # time order, so only the enumeration order differs.
+    for stream_alert, batch_alert in zip(stream_alerts, batch_alerts):
+        assert stream_alert.connection == batch_alert.connection
+        assert (sorted(stream_alert.physical,
+                       key=lambda v: (str(v.key), v.time))
+                == sorted(batch_alert.physical,
+                          key=lambda v: (str(v.key), v.time)))
+
+
+def test_detector_whitelists_match_batch_fit(y1_capture,
+                                             y1_extraction):
+    """Learning one event at a time builds the very same whitelists."""
+    batch = CombinedDetector().fit(y1_extraction)
+    detector = OnlineCombinedDetector()
+    run_stream(y1_capture, [detector])
+    detector.switch_to_detect()
+    assert (detector.cyber.learned_connections
+            == batch.cyber.learned_connections)
+    assert detector.cyber._transitions == batch.cyber._transitions
+    assert detector.cyber._vocabulary == batch.cyber._vocabulary
+    assert detector.physical._envelopes == batch.physical._envelopes

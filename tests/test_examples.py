@@ -29,6 +29,11 @@ class TestCheapExamples:
         out = run_example("live_endpoints.py", capsys)
         assert "data transfer running: master=True" in out
         assert "AGC set point" in out
+        # Streaming half: learn on live traffic, stay quiet on routine
+        # interrogation, alert on the never-seen AGC command.
+        assert "routine interrogation: 0 alerts" in out
+        assert "ALERT ('C1', 'O1'): never-seen tokens [I50]" in out
+        assert "live Markov chain" in out
 
     def test_failover_drill(self, capsys):
         out = run_example("failover_drill.py", capsys)
