@@ -19,9 +19,14 @@ This example builds that detector on the synthetic network:
 Run:  python examples/whitelist_ids.py
 """
 
+import os
+
 from repro.analysis import NgramModel, extract_apdus, tokenize
 from repro.datasets import CaptureConfig, generate_capture
 from repro.grid import ActivationSignature, BREAKER_OPEN
+
+#: CI knob: multiplies the capture time scale (0.25 = 4x faster run).
+SCALE = float(os.environ.get("REPRO_EXAMPLE_SCALE", "1"))
 
 
 def train_model(extraction) -> NgramModel:
@@ -46,7 +51,7 @@ def unseen_fraction(model: NgramModel, sequence: list[str]) -> float:
 
 def main() -> None:
     print("Training on a clean Year-1 capture...")
-    capture = generate_capture(1, CaptureConfig(time_scale=0.02))
+    capture = generate_capture(1, CaptureConfig(time_scale=0.02 * SCALE))
     extraction = extract_apdus(capture)
     model = train_model(extraction)
     print(f"  vocabulary: {sorted(model.vocabulary - {'<s>', '</s>'})}\n")

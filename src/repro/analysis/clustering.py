@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
+from typing import Iterable, Sequence
 
 import numpy as np
 
@@ -76,6 +77,7 @@ def kmeans(matrix: np.ndarray, k: int, seed: int = 0,
     for _ in range(n_init):
         centers = _kmeanspp_init(data, k, rng)
         labels = np.zeros(n, dtype=int)
+        iteration = 0
         for iteration in range(1, max_iterations + 1):
             distances = _pairwise_sq(data, centers)
             new_labels = distances.argmin(axis=1)
@@ -94,6 +96,7 @@ def kmeans(matrix: np.ndarray, k: int, seed: int = 0,
                               inertia=inertia, iterations=iteration)
         if best is None or result.inertia < best.inertia:
             best = result
+    assert best is not None  # n_init >= 1
     return best
 
 
@@ -105,7 +108,7 @@ def silhouette_score(matrix: np.ndarray, labels: np.ndarray) -> float:
     if len(unique) < 2:
         return 0.0
     distances = np.sqrt(np.maximum(_pairwise_sq(data, data), 0.0))
-    scores = []
+    scores: list[float] = []
     for index in range(len(data)):
         own = labels[index]
         own_mask = labels == own
@@ -161,10 +164,13 @@ class KSelection:
         return self.ks[int(np.argmax(curvature)) + 1]
 
 
-def select_k(matrix: np.ndarray, k_range=range(2, 9),
+def select_k(matrix: np.ndarray, k_range: Iterable[int] = range(2, 9),
              seed: int = 0) -> KSelection:
     """Evaluate the paper's three K-selection criteria."""
-    ks, sse, silhouettes, explained = [], [], [], []
+    ks: list[int] = []
+    sse: list[float] = []
+    silhouettes: list[float] = []
+    explained: list[float] = []
     for k in k_range:
         if k > len(matrix):
             break
@@ -178,7 +184,8 @@ def select_k(matrix: np.ndarray, k_range=range(2, 9),
                       explained=tuple(explained))
 
 
-def per_feature_silhouette(matrix: np.ndarray, feature_names,
+def per_feature_silhouette(matrix: np.ndarray,
+                           feature_names: Sequence[str],
                            k: int = 5, seed: int = 0) -> dict[str, float]:
     """Silhouette of clustering on each feature alone (paper's screen).
 
@@ -188,7 +195,7 @@ def per_feature_silhouette(matrix: np.ndarray, feature_names,
     data = np.asarray(matrix, dtype=float)
     if data.shape[1] != len(feature_names):
         raise ValueError("feature_names length must match matrix width")
-    scores = {}
+    scores: dict[str, float] = {}
     for index, name in enumerate(feature_names):
         column = data[:, index:index + 1]
         if len(np.unique(column)) < 2:

@@ -17,7 +17,7 @@ import enum
 from dataclasses import dataclass, field
 from typing import Sequence
 
-from .apdu_stream import ApduEvent, tokenize
+from .apdu_stream import ApduEvent, StreamExtraction, tokenize
 
 
 @dataclass(frozen=True)
@@ -185,8 +185,9 @@ class ConnectionChains:
     chains: dict[tuple[str, str], MarkovChain] = field(default_factory=dict)
 
     @classmethod
-    def from_extraction(cls, extraction) -> "ConnectionChains":
-        chains = {}
+    def from_extraction(cls, extraction: StreamExtraction
+                        ) -> "ConnectionChains":
+        chains: dict[tuple[str, str], MarkovChain] = {}
         for connection, events in sorted(
                 extraction.by_connection().items()):
             chains[connection] = MarkovChain.from_events(events)

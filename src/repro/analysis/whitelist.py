@@ -243,7 +243,7 @@ class PhysicalWhitelist:
 
     def check_extraction(self, extraction: StreamExtraction
                          ) -> list[PhysicalViolation]:
-        violations = []
+        violations: list[PhysicalViolation] = []
         for key, series in extract_series(extraction).items():
             for time, value in zip(series.times, series.values):
                 violation = self.check_sample(key, time, value)
@@ -299,12 +299,14 @@ class CombinedDetector:
         cyber_verdicts = {verdict.connection: verdict
                           for verdict in
                           self.cyber.score_extraction(extraction)}
-        violations_by_station: dict[str, list[PhysicalViolation]] = {}
+        # Keyed by object: connections are (src, dst) tuples or bare
+        # labels, and the station half of a tuple is looked up as-is.
+        violations_by_station: dict[object, list[PhysicalViolation]] = {}
         for violation in self.physical.check_extraction(extraction):
             violations_by_station.setdefault(
                 violation.key.station, []).append(violation)
 
-        alerts = []
+        alerts: list[CombinedAlert] = []
         for connection, verdict in sorted(cyber_verdicts.items(),
                                           key=lambda item: str(item[0])):
             station = connection[1] if isinstance(connection, tuple) \

@@ -45,8 +45,15 @@ def cmd_generate(args: argparse.Namespace,
                            workers=args.workers)
     capture = generate_capture(args.year, config)
     pcap_path = Path(args.out)
+    fmt = args.format
+    if fmt is None:
+        fmt = ("pcapng" if pcap_path.suffix in (".pcapng", ".ntar")
+               else "pcap")
     with open(pcap_path, "wb") as stream:
-        count = capture.to_pcap(stream)
+        if fmt == "pcapng":
+            count = capture.to_pcapng(stream)
+        else:
+            count = capture.to_pcap(stream)
     names = {str(address): name
              for address, name in capture.host_names().items()}
     names_path = _names_path(pcap_path)
@@ -297,29 +304,100 @@ def cmd_lint(args: argparse.Namespace, out=sys.stdout) -> int:
     return run_lint(args, out=out)
 
 
+def _monitor_names(explicit: str | None,
+                   paths: list[str]) -> dict[IPv4Address, str]:
+    """The host-name map: --names, else every per-capture sidecar."""
+    if explicit is not None:
+        return _load_names(explicit)
+    names: dict[IPv4Address, str] = {}
+    for path in paths:
+        candidate = _names_path(Path(path))
+        if candidate.exists():
+            names.update(_load_names(str(candidate)))
+    return names
+
+
+def _monitor_tail_source(path: str, follow: bool):
+    """A tail source for a capture path, sniffing pcap vs pcapng."""
+    from .stream import PcapngTailSource, PcapTailSource
+    with open(path, "rb") as stream:
+        fmt = sniff_format(stream)
+    if fmt == "pcapng":
+        return PcapngTailSource(path, follow=follow)
+    return PcapTailSource(path, follow=follow)
+
+
+def _parse_link_specs(specs: list[str]) -> list[tuple[str, str]]:
+    links = []
+    for spec in specs:
+        name, sep, path = spec.partition("=")
+        if not sep or not name or not path:
+            raise SystemExit(
+                f"repro monitor: --link needs NAME=PATH, got {spec!r}")
+        links.append((name, path))
+    return links
+
+
 def cmd_monitor(args: argparse.Namespace, out=sys.stdout) -> int:
-    """Stream a (possibly growing) pcap through the online pipeline."""
-    from .stream import (EvictionPolicy, LiveFlowTable, OnlineChains,
-                         OnlineCombinedDetector, PcapTailSource,
+    """Stream growing capture(s) through the online pipeline.
+
+    One positional capture runs the single-link monitor; repeated
+    ``--link NAME=PATH`` runs a fleet with one pipeline per file; a
+    positional capture plus ``--demux`` runs a fleet demultiplexed
+    from the one merged file by endpoint pair.
+    """
+    from .stream import (EvictionPolicy, FleetSupervisor, LinkDemux,
+                         LiveFlowTable, OnlineChains,
+                         OnlineCombinedDetector,
                          RollingSessionWindows, StreamPipeline,
                          run_monitor)
-    names_path = args.names
-    if names_path is None:
-        candidate = _names_path(Path(args.pcap))
-        if candidate.exists():
-            names_path = str(candidate)
-    names = _load_names(names_path)
-    source = PcapTailSource(args.pcap, follow=args.follow)
-    analyzers = [LiveFlowTable(), OnlineChains(),
-                 RollingSessionWindows(), OnlineCombinedDetector()]
-    eviction = None if args.no_evict else EvictionPolicy()
-    pipeline = StreamPipeline(source, names=names, analyzers=analyzers,
+    link_specs = _parse_link_specs(args.links or [])
+    if bool(args.pcap) == bool(link_specs):
+        raise SystemExit("repro monitor: give one capture path or "
+                         "one or more --link NAME=PATH, not both")
+    if args.demux and not args.pcap:
+        raise SystemExit(
+            "repro monitor: --demux needs a merged capture path")
+
+    def analyzers():
+        return [LiveFlowTable(), OnlineChains(),
+                RollingSessionWindows(), OnlineCombinedDetector()]
+
+    def pipeline_for(source, names, link=""):
+        eviction = None if args.no_evict else EvictionPolicy()
+        return StreamPipeline(source, names=names,
+                              analyzers=analyzers(),
                               reassemble=args.reassemble,
-                              eviction=eviction)
+                              eviction=eviction, link=link)
+
+    paths = [path for _name, path in link_specs] or [args.pcap]
+    names = _monitor_names(args.names, paths)
+    sources = []
+    target: StreamPipeline | FleetSupervisor
+    if link_specs:
+        fleet = FleetSupervisor()
+        for name, path in link_specs:
+            source = _monitor_tail_source(path, args.follow)
+            sources.append(source)
+            fleet.add_link(pipeline_for(source, names, link=name))
+        target = fleet
+    elif args.demux:
+        source = _monitor_tail_source(args.pcap, args.follow)
+        sources.append(source)
+        demux = LinkDemux(source, names=names)
+        target = FleetSupervisor(
+            demux=demux,
+            pipeline_factory=lambda link, substream:
+                pipeline_for(substream, names, link=link))
+    else:
+        source = _monitor_tail_source(args.pcap, args.follow)
+        sources.append(source)
+        target = pipeline_for(source, names,
+                              link=Path(args.pcap).stem)
     detect_after_us = (int(args.detect_after * 1_000_000)
                        if args.detect_after is not None else None)
     try:
-        run_monitor(pipeline, out, json_lines=args.json,
+        run_monitor(target, out, json_lines=args.json,
                     follow=args.follow, once=args.once,
                     interval_s=args.interval,
                     detect_after_us=detect_after_us,
@@ -327,7 +405,8 @@ def cmd_monitor(args: argparse.Namespace, out=sys.stdout) -> int:
     except KeyboardInterrupt:  # pragma: no cover - interactive
         print(file=out)
     finally:
-        source.close()
+        for source in sources:
+            source.close()
     return 0
 
 
@@ -365,7 +444,12 @@ def build_parser() -> argparse.ArgumentParser:
                                "any N; default: single-process "
                                "whole-year simulation)")
     generate.add_argument("--out", required=True,
-                          help="output pcap path")
+                          help="output capture path")
+    generate.add_argument("--format", choices=("pcap", "pcapng"),
+                          default=None,
+                          help="capture file format (default: by "
+                               "--out extension, classic pcap unless "
+                               ".pcapng)")
     generate.set_defaults(func=cmd_generate)
 
     analyze = sub.add_parser(
@@ -414,14 +498,23 @@ def build_parser() -> argparse.ArgumentParser:
     lint.set_defaults(func=cmd_lint)
 
     monitor = sub.add_parser(
-        "monitor", help="stream a (possibly growing) pcap through the "
-                        "online analysis pipeline")
-    monitor.add_argument("pcap", help="input pcap file (may still be "
-                                      "written to with --follow)")
+        "monitor", help="stream (possibly growing) captures through "
+                        "the online analysis pipeline")
+    monitor.add_argument("pcap", nargs="?", default=None,
+                         help="input pcap/pcapng file (may still be "
+                              "written to with --follow); omit when "
+                              "using --link")
+    monitor.add_argument("--link", action="append", dest="links",
+                         metavar="NAME=PATH",
+                         help="monitor a fleet: one pipeline per "
+                              "NAME=PATH capture (repeatable)")
+    monitor.add_argument("--demux", action="store_true",
+                         help="split the one merged capture into "
+                              "per-link pipelines by endpoint pair")
     monitor.add_argument("--names",
                          help="JSON host-name map (ip -> name); "
-                              "defaults to <pcap>.names.json if "
-                              "present")
+                              "defaults to the <capture>.names.json "
+                              "sidecar(s) if present")
     monitor.add_argument("--follow", action="store_true",
                          help="keep polling for appended packets "
                               "(tail -f mode)")

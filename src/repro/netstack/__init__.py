@@ -14,8 +14,8 @@ from .ip import PROTO_TCP, IPv4Error, IPv4Packet
 from .packet import CapturedPacket, Endpoint, FlowKey
 from .pcap import (LINKTYPE_ETHERNET, PcapError, PcapReader, PcapRecord,
                    PcapWriter, read_pcap, write_pcap)
-from .pcapng import (PcapngError, PcapngReader, read_pcapng,
-                     sniff_format)
+from .pcapng import (PcapngError, PcapngReader, PcapngWriter,
+                     read_pcapng, sniff_format, write_pcapng)
 from .reassembly import ReassemblyStats, StreamReassembler, seq_after
 from .tcp import (ACK, FIN_ACK, PSH_ACK, RST, RST_ACK, SYN, SYN_ACK,
                   TCPError, TCPFlags, TCPOption, TCPSegment,
@@ -27,7 +27,8 @@ __all__ = [
     "FlowKind", "FlowRecord", "FlowTable", "IPv4Address", "IPv4Error",
     "IPv4Packet", "LINKTYPE_ETHERNET", "MacAddress", "PROTO_TCP",
     "PSH_ACK", "PcapError", "PcapReader", "PcapRecord", "PcapWriter",
-    "PcapngError", "PcapngReader", "read_pcapng", "sniff_format",
+    "PcapngError", "PcapngReader", "PcapngWriter", "read_pcapng",
+    "sniff_format", "write_pcapng",
     "RST", "RST_ACK", "ReassemblyStats", "SYN", "SYN_ACK",
     "FilterError", "compile_filter", "filter_packets",
     "StreamReassembler", "TCPError", "TCPFlags", "TCPOption",

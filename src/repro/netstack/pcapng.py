@@ -1,10 +1,18 @@
-"""Minimal pcapng (pcap next generation) reader.
+"""Minimal pcapng (pcap next generation) reader and writer.
 
-Real-world captures increasingly come as pcapng; this reader supports
-the blocks needed to ingest packet data: Section Header (0x0A0D0D0A),
-Interface Description (1), Enhanced Packet (6) and Simple Packet (3).
-Options are skipped; multiple sections and interfaces are handled;
-both byte orders are supported via the section byte-order magic.
+Real-world captures increasingly come as pcapng; this module supports
+the blocks needed to round-trip packet data: Section Header
+(0x0A0D0D0A), Interface Description (1), Enhanced Packet (6) and
+Simple Packet (3). Options other than ``if_tsresol`` are skipped;
+multiple sections and interfaces are handled; both byte orders are
+supported via the section byte-order magic.
+
+The block-body parsers (:func:`parse_idb_body`,
+:func:`parse_epb_body`, :func:`parse_spb_body`) are module-level so
+the streaming tail reader (:class:`~repro.stream.ingest.
+PcapngTailSource`) shares the exact decode path of the batch
+:class:`PcapngReader` — tail/batch parity holds by construction, not
+by duplicated code.
 """
 
 from __future__ import annotations
@@ -13,7 +21,7 @@ import struct
 from dataclasses import dataclass
 from typing import BinaryIO, Iterator
 
-from .pcap import PcapRecord
+from .pcap import LINKTYPE_ETHERNET, PcapRecord
 
 SHB_TYPE = 0x0A0D0D0A
 IDB_TYPE = 0x00000001
@@ -28,10 +36,73 @@ class PcapngError(ValueError):
 
 
 @dataclass
-class _Interface:
+class Interface:
+    """One Interface Description Block's decoded state."""
+
     linktype: int
     #: Timestamp units per second (from if_tsresol; default 1e6).
     ticks_per_second: int = 1_000_000
+
+
+# Backwards-compatible alias (pre-PR 5 private name).
+_Interface = Interface
+
+
+def parse_idb_body(body: bytes, endian: str) -> Interface:
+    """Decode an Interface Description Block body (sans header)."""
+    if len(body) < 8:
+        raise PcapngError("IDB too short")
+    linktype = struct.unpack(endian + "H", body[0:2])[0]
+    interface = Interface(linktype=linktype)
+    # Walk options for if_tsresol (code 9).
+    offset = 8
+    while offset + 4 <= len(body):
+        code, length = struct.unpack(endian + "HH",
+                                     body[offset:offset + 4])
+        offset += 4
+        value = body[offset:offset + length]
+        offset += (length + 3) & ~3
+        if code == 0:
+            break
+        if code == 9 and length >= 1:
+            resol = value[0]
+            if resol & 0x80:
+                interface.ticks_per_second = 2 ** (resol & 0x7F)
+            else:
+                interface.ticks_per_second = 10 ** resol
+    return interface
+
+
+def parse_epb_body(body: bytes, endian: str,
+                   interfaces: list[Interface]) -> PcapRecord:
+    """Decode an Enhanced Packet Block body into a record."""
+    if len(body) < 20:
+        raise PcapngError("EPB too short")
+    (interface_id, ts_high, ts_low, captured,
+     original) = struct.unpack(endian + "IIIII", body[:20])
+    if interface_id >= len(interfaces):
+        raise PcapngError(
+            f"EPB references unknown interface {interface_id}")
+    ticks = (ts_high << 32) | ts_low
+    interface = interfaces[interface_id]
+    data = body[20:20 + captured]
+    if len(data) < captured:
+        raise PcapngError("EPB packet data truncated")
+    # Exact integer conversion to the canonical µs tick; decimal
+    # resolutions >= 1e6 divide evenly, coarser or binary resolutions
+    # floor deterministically.
+    time_us = ticks * 1_000_000 // interface.ticks_per_second
+    return PcapRecord(time_us=time_us, data=data,
+                      original_length=original)
+
+
+def parse_spb_body(body: bytes, endian: str) -> PcapRecord:
+    """Decode a Simple Packet Block body (no timestamp available)."""
+    if len(body) < 4:
+        raise PcapngError("SPB too short")
+    original = struct.unpack(endian + "I", body[:4])[0]
+    data = body[4:4 + original]
+    return PcapRecord(time_us=0, data=data, original_length=original)
 
 
 class PcapngReader:
@@ -40,7 +111,7 @@ class PcapngReader:
     def __init__(self, stream: BinaryIO):
         self._stream = stream
         self._endian = "<"
-        self._interfaces: list[_Interface] = []
+        self._interfaces: list[Interface] = []
         head = stream.read(8)
         if len(head) < 8:
             raise PcapngError("truncated pcapng header")
@@ -96,29 +167,6 @@ class PcapngReader:
             raise PcapngError("block length trailer mismatch")
         return block_type, body
 
-    def _parse_idb(self, body: bytes) -> None:
-        if len(body) < 8:
-            raise PcapngError("IDB too short")
-        linktype = struct.unpack(self._endian + "H", body[0:2])[0]
-        interface = _Interface(linktype=linktype)
-        # Walk options for if_tsresol (code 9).
-        offset = 8
-        while offset + 4 <= len(body):
-            code, length = struct.unpack(self._endian + "HH",
-                                         body[offset:offset + 4])
-            offset += 4
-            value = body[offset:offset + length]
-            offset += (length + 3) & ~3
-            if code == 0:
-                break
-            if code == 9 and length >= 1:
-                resol = value[0]
-                if resol & 0x80:
-                    interface.ticks_per_second = 2 ** (resol & 0x7F)
-                else:
-                    interface.ticks_per_second = 10 ** resol
-        self._interfaces.append(interface)
-
     def __iter__(self) -> Iterator[PcapRecord]:
         while True:
             block = self._next_block()
@@ -126,36 +174,13 @@ class PcapngReader:
                 return
             block_type, body = block
             if block_type == IDB_TYPE:
-                self._parse_idb(body)
+                self._interfaces.append(
+                    parse_idb_body(body, self._endian))
             elif block_type == EPB_TYPE:
-                if len(body) < 20:
-                    raise PcapngError("EPB too short")
-                (interface_id, ts_high, ts_low, captured,
-                 original) = struct.unpack(self._endian + "IIIII",
-                                           body[:20])
-                if interface_id >= len(self._interfaces):
-                    raise PcapngError(
-                        f"EPB references unknown interface "
-                        f"{interface_id}")
-                ticks = (ts_high << 32) | ts_low
-                interface = self._interfaces[interface_id]
-                data = body[20:20 + captured]
-                if len(data) < captured:
-                    raise PcapngError("EPB packet data truncated")
-                # Exact integer conversion to the canonical µs tick;
-                # decimal resolutions >= 1e6 divide evenly, coarser or
-                # binary resolutions floor deterministically.
-                time_us = ticks * 1_000_000 // interface.ticks_per_second
-                yield PcapRecord(time_us=time_us, data=data,
-                                 original_length=original)
+                yield parse_epb_body(body, self._endian,
+                                     self._interfaces)
             elif block_type == SPB_TYPE:
-                if len(body) < 4:
-                    raise PcapngError("SPB too short")
-                original = struct.unpack(self._endian + "I",
-                                         body[:4])[0]
-                data = body[4:4 + original]
-                yield PcapRecord(time_us=0, data=data,
-                                 original_length=original)
+                yield parse_spb_body(body, self._endian)
             # other block types (NRB, ISB, custom) are skipped
 
 
@@ -163,6 +188,63 @@ def read_pcapng(path) -> list[PcapRecord]:
     """Read every packet record from a pcapng file."""
     with open(path, "rb") as stream:
         return list(PcapngReader(stream))
+
+
+class PcapngWriter:
+    """Write packet records as a single-section pcapng stream.
+
+    Emits one Section Header Block plus one Interface Description
+    Block up front (microsecond resolution — the pcapng default, so
+    no ``if_tsresol`` option is needed), then one Enhanced Packet
+    Block per record. Symmetric with :class:`PcapngReader`: canonical
+    integer-µs ticks round-trip losslessly.
+    """
+
+    def __init__(self, stream: BinaryIO,
+                 linktype: int = LINKTYPE_ETHERNET,
+                 snaplen: int = 65535):
+        self._stream = stream
+        self.snaplen = snaplen
+        # SHB: magic, version 1.0, section length unknown (-1).
+        shb_body = struct.pack("<IHHq", _BYTE_ORDER_MAGIC, 1, 0, -1)
+        self._write_block(SHB_TYPE, shb_body)
+        # IDB: linktype, reserved, snaplen; no options.
+        idb_body = struct.pack("<HHI", linktype, 0, snaplen)
+        self._write_block(IDB_TYPE, idb_body)
+
+    def _write_block(self, block_type: int, body: bytes) -> None:
+        padding = (-len(body)) % 4
+        length = 12 + len(body) + padding
+        self._stream.write(struct.pack("<II", block_type, length))
+        self._stream.write(body)
+        self._stream.write(b"\x00" * padding)
+        self._stream.write(struct.pack("<I", length))
+
+    def write(self, time_us: int, data: bytes,
+              original_length: int | None = None) -> None:
+        """Append one packet as an Enhanced Packet Block."""
+        captured = data[:self.snaplen]
+        original = (original_length if original_length is not None
+                    else len(data))
+        header = struct.pack("<IIIII", 0, (time_us >> 32) & 0xFFFFFFFF,
+                             time_us & 0xFFFFFFFF, len(captured),
+                             original)
+        self._write_block(EPB_TYPE, header + captured)
+
+    def write_record(self, record: PcapRecord) -> None:
+        self.write(record.time_us, record.data,
+                   original_length=record.original_length)
+
+
+def write_pcapng(path, records) -> int:
+    """Write records (``PcapRecord`` iterables) to a pcapng file."""
+    count = 0
+    with open(path, "wb") as stream:
+        writer = PcapngWriter(stream)
+        for record in records:
+            writer.write_record(record)
+            count += 1
+    return count
 
 
 def sniff_format(stream: BinaryIO) -> str:

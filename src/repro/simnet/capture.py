@@ -122,3 +122,13 @@ class CaptureTap:
         return writer.write_all(
             PcapRecord(time_us=packet.time_us, data=packet.encode())
             for packet in self.packets)
+
+    def to_pcapng(self, stream) -> int:
+        """Write the capture as pcapng; return the record count."""
+        from ..netstack.pcapng import PcapngWriter
+        writer = PcapngWriter(stream)
+        count = 0
+        for packet in self.packets:
+            writer.write(packet.time_us, packet.encode())
+            count += 1
+        return count

@@ -90,6 +90,9 @@ class SyntheticCapture:
     def to_pcap(self, stream) -> int:
         return self.tap.to_pcap(stream)
 
+    def to_pcapng(self, stream) -> int:
+        return self.tap.to_pcapng(stream)
+
     def host_names(self) -> dict:
         return self.network.address_book()
 

@@ -15,19 +15,27 @@ from .analyzers import (FlowTally, LiveFlowTable, OnlineChains,
 from .detector import DetectorMode, OnlineCombinedDetector
 from .eviction import (T3_MULTIPLE, EvictionPolicy, EvictionStats,
                        default_idle_timeout_us)
+from .fleet import (DemuxLinkSource, FleetSupervisor, LinkDemux,
+                    LinkHealthPolicy)
 from .ingest import (ByteChunk, CaptureSource, ListSource,
-                     MergedSource, PcapTailSource, Source,
-                     TransportTap)
+                     MergedSource, PcapngTailSource, PcapTailSource,
+                     Source, TransportTap)
 from .monitor import render_json, render_text, run_monitor
-from .pipeline import STAGES, StageCounters, StreamPipeline
+from .pipeline import STAGES, StageTally, StreamPipeline
+from .snapshots import (SNAPSHOT_SCHEMA_VERSION, FleetSnapshot,
+                        LinkAnomaly, LinkHealth, LinkSnapshot,
+                        StageCounters)
 
 __all__ = [
-    "ByteChunk", "CaptureSource", "DetectorMode", "EvictionPolicy",
-    "EvictionStats", "FlowTally", "ListSource", "LiveFlowTable",
-    "MergedSource", "OnlineChains", "OnlineCombinedDetector",
-    "PcapTailSource", "RollingFeatures", "RollingSessionWindows",
-    "STAGES", "Source", "StageCounters", "StreamAnalyzer",
-    "StreamPipeline", "T3_MULTIPLE", "TransportTap",
-    "default_idle_timeout_us", "render_json", "render_text",
-    "run_monitor",
+    "ByteChunk", "CaptureSource", "DemuxLinkSource", "DetectorMode",
+    "EvictionPolicy", "EvictionStats", "FleetSnapshot",
+    "FleetSupervisor", "FlowTally", "LinkAnomaly", "LinkDemux",
+    "LinkHealth", "LinkHealthPolicy", "LinkSnapshot", "ListSource",
+    "LiveFlowTable", "MergedSource", "OnlineChains",
+    "OnlineCombinedDetector", "PcapTailSource", "PcapngTailSource",
+    "RollingFeatures", "RollingSessionWindows",
+    "SNAPSHOT_SCHEMA_VERSION", "STAGES", "Source", "StageCounters",
+    "StageTally", "StreamAnalyzer", "StreamPipeline", "T3_MULTIPLE",
+    "TransportTap", "default_idle_timeout_us", "render_json",
+    "render_text", "run_monitor",
 ]

@@ -28,11 +28,18 @@ from ..netstack.addresses import IPv4Address
 from ..netstack.packet import CapturedPacket
 from ..netstack.pcap import (MAGIC_NSEC, MAGIC_USEC, PcapError,
                              PcapRecord)
+from ..netstack.pcapng import (EPB_TYPE, IDB_TYPE, SHB_TYPE, SPB_TYPE,
+                               Interface, PcapngError, parse_epb_body,
+                               parse_idb_body, parse_spb_body)
 
 #: One classic-pcap global header (see repro.netstack.pcap).
 _GLOBAL_HEADER_SIZE = 24
 _RECORD_HEADER_SIZE = 16
+#: A pcapng block header (type + length) plus, for an SHB, the
+#: byte-order magic needed to interpret the length at all.
+_BLOCK_PROBE_SIZE = 12
 _US_PER_SECOND = 1_000_000
+_PCAPNG_BYTE_ORDER_MAGIC = 0x1A2B3C4D
 
 #: Item types a source may yield (the pipeline routes on type).
 SourceItem = object
@@ -188,6 +195,127 @@ class PcapTailSource:
     @property
     def pending_bytes(self) -> int:
         """Buffered bytes awaiting record completion."""
+        return len(self._buffer)
+
+
+class PcapngTailSource:
+    """Incrementally read a pcapng file that may still grow.
+
+    The pcapng sibling of :class:`PcapTailSource`, with the same
+    contract: a short read at the tail (half a block header, half a
+    block body) stays buffered until the writer appends the rest;
+    ``follow=False`` exhausts at the first complete read of the file,
+    ``follow=True`` polls forever. Block bodies decode through the
+    same :func:`~repro.netstack.pcapng.parse_epb_body` /
+    :func:`~repro.netstack.pcapng.parse_idb_body` helpers as the
+    batch :class:`~repro.netstack.pcapng.PcapngReader`, so tail and
+    batch reads of the same bytes yield identical records. EPB and
+    SPB blocks become records; SHB resets the section (endianness and
+    interface list); unknown block types are counted in
+    ``blocks_skipped``.
+    """
+
+    def __init__(self, path, follow: bool = False):
+        self._stream = open(path, "rb")
+        self.follow = follow
+        self._buffer = b""
+        self._endian = "<"
+        self._have_section = False
+        self._interfaces: list[Interface] = []
+        self.records_read = 0
+        self.blocks_skipped = 0
+        self._eof_seen = False
+
+    def close(self) -> None:
+        self._stream.close()
+
+    def _next_block(self) -> tuple[int, bytes] | None:
+        """Pop one complete block off the buffer, or None to wait."""
+        buffer = self._buffer
+        if len(buffer) < _BLOCK_PROBE_SIZE:
+            return None
+        # The SHB type value reads the same under either byte order,
+        # so probing with the current endianness is safe even across
+        # a section boundary that flips it.
+        block_type = struct.unpack(self._endian + "I", buffer[:4])[0]
+        if block_type == SHB_TYPE:
+            # Length interpretation needs the byte-order magic, which
+            # sits just after the header.
+            if struct.unpack("<I", buffer[8:12])[0] \
+                    == _PCAPNG_BYTE_ORDER_MAGIC:
+                endian = "<"
+            elif struct.unpack(">I", buffer[8:12])[0] \
+                    == _PCAPNG_BYTE_ORDER_MAGIC:
+                endian = ">"
+            else:
+                raise PcapngError("bad byte-order magic")
+            length = struct.unpack(endian + "I", buffer[4:8])[0]
+            if length < 16 or length % 4:
+                raise PcapngError(f"invalid SHB length {length}")
+            if len(buffer) < length:
+                return None
+            trailer = struct.unpack(endian + "I",
+                                    buffer[length - 4:length])[0]
+            if trailer != length:
+                raise PcapngError("block length trailer mismatch")
+            self._endian = endian
+            self._have_section = True
+            self._interfaces = []  # new section resets interfaces
+            self._buffer = buffer[length:]
+            return SHB_TYPE, buffer[8:length - 4]
+        if not self._have_section:
+            raise PcapngError(
+                f"not a pcapng stream (first block 0x{block_type:08x})")
+        length = struct.unpack(self._endian + "I", buffer[4:8])[0]
+        if length < 12 or length % 4:
+            raise PcapngError(f"invalid block length {length}")
+        if len(buffer) < length:
+            return None
+        trailer = struct.unpack(self._endian + "I",
+                                buffer[length - 4:length])[0]
+        if trailer != length:
+            raise PcapngError("block length trailer mismatch")
+        self._buffer = buffer[length:]
+        return block_type, buffer[8:length - 4]
+
+    def poll(self, max_items: int) -> list[SourceItem]:
+        chunk = self._stream.read(max(65536, max_items * 256))
+        if chunk:
+            self._buffer += chunk
+            self._eof_seen = False
+        else:
+            self._eof_seen = True
+        records: list[SourceItem] = []
+        while len(records) < max_items:
+            block = self._next_block()
+            if block is None:
+                break
+            block_type, body = block
+            if block_type == IDB_TYPE:
+                self._interfaces.append(
+                    parse_idb_body(body, self._endian))
+            elif block_type == EPB_TYPE:
+                records.append(parse_epb_body(body, self._endian,
+                                              self._interfaces))
+                self.records_read += 1
+            elif block_type == SPB_TYPE:
+                records.append(parse_spb_body(body, self._endian))
+                self.records_read += 1
+            elif block_type != SHB_TYPE:
+                # NRB, ISB, custom blocks: skipped, like the reader.
+                self.blocks_skipped += 1
+        return records
+
+    @property
+    def exhausted(self) -> bool:
+        if self.follow:
+            return False
+        return (self._eof_seen and self._have_section
+                and len(self._buffer) < _BLOCK_PROBE_SIZE)
+
+    @property
+    def pending_bytes(self) -> int:
+        """Buffered bytes awaiting block completion."""
         return len(self._buffer)
 
 

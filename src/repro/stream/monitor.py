@@ -1,9 +1,16 @@
-"""The ``repro monitor`` loop: periodic snapshots of a live pipeline.
+"""The ``repro monitor`` loop: periodic snapshots of live pipelines.
 
-Drives a :class:`~repro.stream.pipeline.StreamPipeline` against a
-(possibly still-growing) capture and renders snapshots either as human
-text or as JSON lines (one document per snapshot, for piping into
-``jq`` or a dashboard).
+Drives a :class:`~repro.stream.pipeline.StreamPipeline` (one link) or
+a :class:`~repro.stream.fleet.FleetSupervisor` (many) against
+(possibly still-growing) captures and renders snapshots either as
+human text or as JSON lines (one document per snapshot, for piping
+into ``jq`` or a dashboard).
+
+The renderers take the typed snapshot contract
+(:class:`~repro.stream.snapshots.LinkSnapshot` /
+:class:`~repro.stream.snapshots.FleetSnapshot`); passing the legacy
+plain-dict shape still works for one release behind a
+``DeprecationWarning``.
 
 Two timing domains meet here, deliberately kept apart: *analysis* is
 driven purely by stream time (capture timestamps — deterministic on
@@ -15,16 +22,41 @@ from __future__ import annotations
 
 import json
 import time
-from typing import Callable, TextIO
+import warnings
+from typing import Any, Callable, Mapping, TextIO, Union
 
 from ..simnet.clock import Ticks
-from .detector import OnlineCombinedDetector
+from .fleet import FleetSupervisor
 from .pipeline import StreamPipeline
+from .snapshots import FleetSnapshot, LinkSnapshot
+
+#: What the renderers accept (the dict form is deprecated).
+Snapshot = Union[LinkSnapshot, FleetSnapshot, Mapping[str, Any]]
+
+#: What the monitor loop drives.
+MonitorTarget = Union[StreamPipeline, FleetSupervisor]
 
 
-def render_json(snapshot: dict) -> str:
+def _document(snapshot: Snapshot, caller: str) -> Mapping[str, Any]:
+    """The wire-form dict of a snapshot, warning on legacy input."""
+    if isinstance(snapshot, (LinkSnapshot, FleetSnapshot)):
+        return snapshot.to_json()
+    if isinstance(snapshot, Mapping):
+        warnings.warn(
+            f"passing a plain dict to {caller}() is deprecated; pass "
+            "a LinkSnapshot or FleetSnapshot (e.g. from "
+            "StreamPipeline.link_snapshot())",
+            DeprecationWarning, stacklevel=3)
+        return snapshot
+    raise TypeError(
+        f"{caller}() takes a LinkSnapshot or FleetSnapshot, "
+        f"not {type(snapshot).__name__}")
+
+
+def render_json(snapshot: Snapshot) -> str:
     """One snapshot as a single JSON line."""
-    return json.dumps(snapshot, sort_keys=True)
+    return json.dumps(_document(snapshot, "render_json"),
+                      sort_keys=True)
 
 
 def _fmt(value: object) -> str:
@@ -33,18 +65,17 @@ def _fmt(value: object) -> str:
     return str(value)
 
 
-def render_text(snapshot: dict) -> str:
-    """One snapshot as an indented human-readable block."""
-    seconds = snapshot["time_us"] / 1_000_000
-    lines = [f"t={seconds:.3f}s packets={snapshot['packets']} "
-             f"events={snapshot['events']} "
-             f"failures={snapshot['failures']}"]
-    for name, data in snapshot.get("analyzers", {}).items():
+def _render_link_text(document: Mapping[str, Any]) -> str:
+    seconds = document["time_us"] / 1_000_000
+    lines = [f"t={seconds:.3f}s packets={document['packets']} "
+             f"events={document['events']} "
+             f"failures={document['failures']}"]
+    for name, data in document.get("analyzers", {}).items():
         parts = " ".join(
             f"{key}={_fmt(value)}" for key, value in data.items()
             if not isinstance(value, (list, dict)))
         lines.append(f"  {name}: {parts}")
-    eviction = snapshot.get("eviction", {})
+    eviction = document.get("eviction", {})
     if eviction.get("sweeps"):
         parts = " ".join(f"{key}={value}"
                          for key, value in eviction.items() if value)
@@ -52,7 +83,52 @@ def render_text(snapshot: dict) -> str:
     return "\n".join(lines)
 
 
-def run_monitor(pipeline: StreamPipeline, out: TextIO,
+def _render_fleet_text(snapshot: FleetSnapshot) -> str:
+    seconds = snapshot.time_us / 1_000_000
+    counts = snapshot.health_counts
+    lines = [f"fleet t={seconds:.3f}s links={len(snapshot.links)} "
+             f"live={counts['live']} idle={counts['idle']} "
+             f"dead={counts['dead']} packets={snapshot.packets} "
+             f"events={snapshot.events} "
+             f"failures={snapshot.failures}"]
+    for link in snapshot.links:
+        seconds = link.time_us / 1_000_000
+        status = snapshot.health.get(link.link, "?")
+        line = (f"  [{status:>4}] {link.link}: t={seconds:.3f}s "
+                f"packets={link.packets} events={link.events} "
+                f"failures={link.failures}")
+        if link.alerts:
+            line += f" alerts={link.alerts}"
+        lines.append(line)
+    if snapshot.unrouted:
+        lines.append(f"  unrouted frames: {snapshot.unrouted}")
+    if snapshot.top_anomalies:
+        parts = " ".join(
+            f"{entry.link}={entry.alerts}"
+            for entry in snapshot.top_anomalies)
+        lines.append(f"  top anomalies: {parts}")
+    return "\n".join(lines)
+
+
+def render_text(snapshot: Snapshot) -> str:
+    """One snapshot as an indented human-readable block.
+
+    A :class:`FleetSnapshot` renders as the multi-link dashboard (one
+    status line per link); a :class:`LinkSnapshot` (or the deprecated
+    dict form) renders as the single-link block.
+    """
+    if isinstance(snapshot, FleetSnapshot):
+        return _render_fleet_text(snapshot)
+    return _render_link_text(_document(snapshot, "render_text"))
+
+
+def _snapshot_of(target: MonitorTarget) -> Snapshot:
+    if isinstance(target, StreamPipeline):
+        return target.link_snapshot()
+    return target.snapshot()
+
+
+def run_monitor(target: MonitorTarget, out: TextIO,
                 json_lines: bool = False,
                 follow: bool = False,
                 once: bool = False,
@@ -63,20 +139,19 @@ def run_monitor(pipeline: StreamPipeline, out: TextIO,
                 max_snapshots: int | None = None,
                 sleep: Callable[[float], None] = time.sleep,
                 clock: Callable[[], float] = time.monotonic) -> int:
-    """Drive the pipeline and emit snapshots; return snapshots emitted.
+    """Drive a pipeline or fleet and emit snapshots; return the count.
 
-    ``once`` suppresses periodic snapshots: the source is drained (or,
-    with ``follow``, polled until it stays idle for ``idle_grace``
-    rounds) and exactly one final snapshot is written. Without
-    ``once``, a snapshot is written every ``interval_s`` wall seconds
-    plus one final snapshot when the source is exhausted.
+    ``once`` suppresses periodic snapshots: the sources are drained
+    (or, with ``follow``, polled until they stay idle for
+    ``idle_grace`` rounds) and exactly one final snapshot is written.
+    Without ``once``, a snapshot is written every ``interval_s`` wall
+    seconds plus one final snapshot when every source is exhausted.
 
-    ``detect_after_us`` flips every :class:`OnlineCombinedDetector`
-    analyzer from LEARN to DETECT once the stream clock passes that
-    tick (learn-then-detect on a single capture).
+    ``detect_after_us`` calls ``target.switch_to_detect()`` once the
+    stream clock passes that tick — every
+    :class:`OnlineCombinedDetector` flips from LEARN to DETECT, and a
+    fleet also flips detectors on links discovered later.
     """
-    detectors = [analyzer for analyzer in pipeline.analyzers
-                 if isinstance(analyzer, OnlineCombinedDetector)]
     switched = detect_after_us is None
     emitted = 0
     idle_rounds = 0
@@ -84,28 +159,25 @@ def run_monitor(pipeline: StreamPipeline, out: TextIO,
 
     def emit() -> None:
         nonlocal emitted
-        snapshot = pipeline.snapshot()
+        snapshot = _snapshot_of(target)
         line = (render_json(snapshot) if json_lines
                 else render_text(snapshot))
         print(line, file=out, flush=True)
         emitted += 1
 
     while True:
-        moved = pipeline.step()
+        moved = target.step()
         if not switched and detect_after_us is not None \
-                and pipeline.now_us >= detect_after_us:
-            for detector in detectors:
-                detector.switch_to_detect()
+                and target.now_us >= detect_after_us:
+            target.switch_to_detect()
             switched = True
         if moved:
             idle_rounds = 0
         else:
-            if pipeline.source.exhausted and not follow:
+            if target.exhausted and not follow:
                 break
             idle_rounds += 1
             if once and idle_rounds >= idle_grace:
-                break
-            if not follow and pipeline.source.exhausted:
                 break
             sleep(poll_sleep_s)
         if not once and clock() >= next_emit:
@@ -114,7 +186,7 @@ def run_monitor(pipeline: StreamPipeline, out: TextIO,
             if max_snapshots is not None and emitted >= max_snapshots:
                 return emitted
     # Final snapshot covers everything, including events still held
-    # in the reordering buffer.
-    pipeline.flush()
+    # in the reordering buffers.
+    target.flush()
     emit()
     return emitted

@@ -53,13 +53,18 @@ from ..simnet.clock import Ticks
 from .analyzers import StreamAnalyzer
 from .eviction import EvictionPolicy, EvictionStats
 from .ingest import ByteChunk, Source
+from .snapshots import LinkSnapshot, StageCounters
 
 #: Stage names, in pipeline order.
 STAGES = ("ingest", "frame", "reassemble", "decode", "dispatch")
 
 
-class StageCounters:
-    """Per-stage accounting (drop/error counters of the event bus)."""
+class StageTally:
+    """Mutable per-stage accounting (the event bus accumulator).
+
+    Snapshots expose the immutable :class:`~repro.stream.snapshots.
+    StageCounters` form via :meth:`freeze`.
+    """
 
     __slots__ = ("received", "emitted", "filtered", "errors",
                  "dropped")
@@ -76,8 +81,16 @@ class StageCounters:
                 "filtered": self.filtered, "errors": self.errors,
                 "dropped": self.dropped}
 
+    def freeze(self) -> StageCounters:
+        """The immutable snapshot form of the current counts."""
+        return StageCounters(received=self.received,
+                             emitted=self.emitted,
+                             filtered=self.filtered,
+                             errors=self.errors,
+                             dropped=self.dropped)
+
     def __repr__(self) -> str:  # pragma: no cover - debug aid
-        return f"StageCounters({self.as_dict()})"
+        return f"StageTally({self.as_dict()})"
 
 
 class StreamPipeline:
@@ -102,7 +115,8 @@ class StreamPipeline:
                  queue_capacity: int = 4096,
                  reorder_window_us: Ticks = 5_000_000,
                  eviction: EvictionPolicy | None = None,
-                 max_failures_kept: int = 256):
+                 max_failures_kept: int = 256,
+                 link: str = ""):
         if batch_size <= 0:
             raise ValueError("batch_size must be positive")
         if queue_capacity <= 0:
@@ -120,7 +134,9 @@ class StreamPipeline:
         self.reorder_window_us = reorder_window_us
         self.eviction = eviction
         self.eviction_stats = EvictionStats()
-        self.counters = {stage: StageCounters() for stage in STAGES}
+        #: Display name when the pipeline runs as one fleet member.
+        self.link = link
+        self.counters = {stage: StageTally() for stage in STAGES}
         #: Stream clock: the largest time_us seen (never moves back).
         self.now_us: Ticks = 0
         #: Items that arrived with time_us behind the stream clock.
@@ -146,6 +162,23 @@ class StreamPipeline:
     def add_analyzer(self, analyzer: StreamAnalyzer) -> None:
         self.analyzers.append(analyzer)
 
+    @property
+    def exhausted(self) -> bool:
+        """True once the source can never yield another item."""
+        return self.source.exhausted
+
+    def switch_to_detect(self) -> None:
+        """Flip every learn/detect analyzer to DETECT (idempotent).
+
+        The monitor loop calls this at ``--detect-after``; keeping it
+        on the pipeline lets a fleet supervisor apply the same switch
+        uniformly to every member (including late-discovered links).
+        """
+        from .detector import OnlineCombinedDetector
+        for analyzer in self.analyzers:
+            if isinstance(analyzer, OnlineCombinedDetector):
+                analyzer.switch_to_detect()
+
     def step(self, max_items: int | None = None) -> int:
         """Pull one bounded batch from the source and process it.
 
@@ -154,7 +187,10 @@ class StreamPipeline:
         batch = self.source.poll(max_items or self.batch_size)
         for item in batch:
             self._ingest(item)
-        if batch:
+            # Release and sweep per item, not per batch: both become
+            # pure functions of the item sequence, so a link produces
+            # byte-identical state however its feed is batched (own
+            # pcap, demuxed substream, live tap).
             self._release(self.now_us - self.reorder_window_us)
             self._maybe_evict()
         return len(batch)
@@ -380,23 +416,30 @@ class StreamPipeline:
 
     # -- reporting ----------------------------------------------------
 
+    def link_snapshot(self) -> LinkSnapshot:
+        """The typed snapshot: clock, stage counters, analyzers.
+
+        This is the contract the renderers and the fleet supervisor
+        consume; :meth:`snapshot` is its legacy dict projection.
+        """
+        return LinkSnapshot(
+            link=self.link,
+            time_us=self.now_us,
+            packets=self.counters["reassemble"].received,
+            events=self.events_dispatched,
+            failures=self.failure_count,
+            late_items=self.late_items,
+            order_violations=self.order_violations,
+            reorder_pending=self.reorder_pending,
+            reassemblers=self.live_reassemblers,
+            stages={stage: tally.freeze()
+                    for stage, tally in self.counters.items()},
+            eviction=self.eviction_stats.as_dict(),
+            analyzers={analyzer.name: analyzer.snapshot()
+                       for analyzer in self.analyzers},
+        )
+
     def snapshot(self) -> dict:
-        """One monitor snapshot: clock, stage counters, analyzers."""
-        document = {
-            "time_us": self.now_us,
-            "packets": self.counters["reassemble"].received,
-            "events": self.events_dispatched,
-            "failures": self.failure_count,
-            "late_items": self.late_items,
-            "order_violations": self.order_violations,
-            "reorder_pending": self.reorder_pending,
-            "stages": {stage: counters.as_dict()
-                       for stage, counters in self.counters.items()},
-            "reassemblers": self.live_reassemblers,
-            "eviction": self.eviction_stats.as_dict(),
-        }
-        analyzers = {}
-        for analyzer in self.analyzers:
-            analyzers[analyzer.name] = analyzer.snapshot()
-        document["analyzers"] = analyzers
-        return document
+        """The snapshot as a plain dict (the pre-schema shape plus
+        the ``schema``/``link`` keys of the versioned contract)."""
+        return self.link_snapshot().to_json()

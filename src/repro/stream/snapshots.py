@@ -1,0 +1,279 @@
+"""The typed snapshot contract of the monitoring surface.
+
+Monitor output used to be free-form ``dict``s assembled inside
+:meth:`StreamPipeline.snapshot`; every consumer (renderers, the CLI,
+dashboards) had to agree on the keys by convention. This module makes
+the contract explicit: frozen dataclasses describe exactly what a
+snapshot contains, and :meth:`to_json` is the one place that maps the
+typed form onto the versioned wire schema (``"schema": 1``).
+
+Three shapes:
+
+* :class:`StageCounters` — one pipeline stage's immutable counter set
+  (the mutable accumulator lives in the pipeline as ``StageTally`` and
+  is frozen into this at snapshot time);
+* :class:`LinkSnapshot` — everything one :class:`~repro.stream.
+  pipeline.StreamPipeline` knows at an instant. Deliberately free of
+  any fleet-relative derived state (health, rank): the same link
+  produces the byte-identical snapshot whether it runs alone under
+  ``repro monitor`` or as one member of a fleet — that is what the
+  parity suite in ``tests/stream/test_fleet.py`` pins.
+* :class:`FleetSnapshot` — the aggregate view over N links: summed
+  totals and stage counters, per-analyzer rollups, per-link health
+  classified against the fleet clock, and the top-K anomaly links.
+
+Schema history:
+
+* ``1`` — initial versioned schema (PR 5). The unversioned PR 4 dict
+  had the same link-level keys minus ``schema``/``link``.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+from ..simnet.clock import Ticks
+
+#: Version stamped into every ``to_json`` document.
+SNAPSHOT_SCHEMA_VERSION = 1
+
+#: How many links ``FleetSnapshot.top_anomalies`` keeps.
+TOP_ANOMALIES = 5
+
+
+@dataclass(frozen=True)
+class StageCounters:
+    """Immutable per-stage accounting (one stage of the event bus)."""
+
+    received: int = 0
+    emitted: int = 0
+    filtered: int = 0
+    errors: int = 0
+    dropped: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        return {"received": self.received, "emitted": self.emitted,
+                "filtered": self.filtered, "errors": self.errors,
+                "dropped": self.dropped}
+
+    def __add__(self, other: "StageCounters") -> "StageCounters":
+        return StageCounters(
+            received=self.received + other.received,
+            emitted=self.emitted + other.emitted,
+            filtered=self.filtered + other.filtered,
+            errors=self.errors + other.errors,
+            dropped=self.dropped + other.dropped)
+
+
+class LinkHealth(enum.Enum):
+    """Liveness of one link, judged by the T3-scaled eviction signal.
+
+    A healthy IEC 104 link is never silent longer than the t3 idle
+    timer (a TESTFR keep-alive is due then), so silence is graded
+    against t3 multiples — see :class:`~repro.stream.fleet.
+    LinkHealthPolicy` for the thresholds.
+    """
+
+    LIVE = "live"
+    IDLE = "idle"
+    DEAD = "dead"
+
+
+@dataclass(frozen=True)
+class LinkSnapshot:
+    """One pipeline's state at an instant (the per-link contract).
+
+    ``stages`` maps stage name to frozen :class:`StageCounters`;
+    ``analyzers`` maps analyzer name to that analyzer's own snapshot
+    dict (analyzer payloads stay open-schema — each analyzer owns its
+    keys); ``eviction`` is the :class:`~repro.stream.eviction.
+    EvictionStats` counter dict.
+    """
+
+    link: str
+    time_us: Ticks
+    packets: int
+    events: int
+    failures: int
+    late_items: int
+    order_violations: int
+    reorder_pending: int
+    reassemblers: int
+    stages: Mapping[str, StageCounters] = field(default_factory=dict)
+    eviction: Mapping[str, int] = field(default_factory=dict)
+    analyzers: Mapping[str, Mapping[str, Any]] = \
+        field(default_factory=dict)
+
+    def to_json(self) -> dict[str, Any]:
+        """The versioned wire form (plain JSON-serializable dict)."""
+        return {
+            "schema": SNAPSHOT_SCHEMA_VERSION,
+            "link": self.link,
+            "time_us": self.time_us,
+            "packets": self.packets,
+            "events": self.events,
+            "failures": self.failures,
+            "late_items": self.late_items,
+            "order_violations": self.order_violations,
+            "reorder_pending": self.reorder_pending,
+            "reassemblers": self.reassemblers,
+            "stages": {stage: counters.as_dict()
+                       for stage, counters in self.stages.items()},
+            "eviction": dict(self.eviction),
+            "analyzers": {name: dict(data)
+                          for name, data in self.analyzers.items()},
+        }
+
+    @property
+    def alerts(self) -> int:
+        """Detector alerts on this link (0 when no detector runs)."""
+        detector = self.analyzers.get("detector", {})
+        value = detector.get("alerts", 0)
+        return value if isinstance(value, int) else 0
+
+
+@dataclass(frozen=True)
+class LinkAnomaly:
+    """One entry of the fleet's top-K anomaly ranking."""
+
+    link: str
+    alerts: int
+    failures: int
+    order_violations: int
+
+    def as_dict(self) -> dict[str, Any]:
+        return {"link": self.link, "alerts": self.alerts,
+                "failures": self.failures,
+                "order_violations": self.order_violations}
+
+    @property
+    def score(self) -> tuple[int, int, int]:
+        return (self.alerts, self.failures, self.order_violations)
+
+
+@dataclass(frozen=True)
+class FleetSnapshot:
+    """The aggregate over every link of a fleet at an instant.
+
+    ``time_us`` is the fleet clock — the max of the member link clocks
+    (each link clock is its own capture's latest timestamp). Totals
+    are exact sums over ``links``; ``analyzers`` holds per-analyzer
+    rollups where every integer counter is summed across the links
+    that report it (non-numeric analyzer fields are per-link detail
+    and do not aggregate). ``health`` maps link name to a
+    :class:`LinkHealth` value string, classified by the supervisor's
+    :class:`~repro.stream.fleet.LinkHealthPolicy`. ``unrouted`` counts
+    demuxed frames that matched no link (0 without a demux).
+    """
+
+    time_us: Ticks
+    links: tuple[LinkSnapshot, ...]
+    health: Mapping[str, str] = field(default_factory=dict)
+    packets: int = 0
+    events: int = 0
+    failures: int = 0
+    late_items: int = 0
+    order_violations: int = 0
+    stages: Mapping[str, StageCounters] = field(default_factory=dict)
+    analyzers: Mapping[str, Mapping[str, int]] = \
+        field(default_factory=dict)
+    top_anomalies: tuple[LinkAnomaly, ...] = ()
+    unrouted: int = 0
+
+    @classmethod
+    def from_links(cls, links: tuple[LinkSnapshot, ...],
+                   now_us: Ticks,
+                   health: Mapping[str, str] | None = None,
+                   unrouted: int = 0) -> "FleetSnapshot":
+        """Derive every aggregate field from the member snapshots."""
+        stages: dict[str, StageCounters] = {}
+        for link in links:
+            for stage, counters in link.stages.items():
+                stages[stage] = stages.get(stage,
+                                           StageCounters()) + counters
+        anomalies = sorted(
+            (LinkAnomaly(link=link.link, alerts=link.alerts,
+                         failures=link.failures,
+                         order_violations=link.order_violations)
+             for link in links),
+            key=lambda entry: (tuple(-value for value in entry.score),
+                               entry.link))
+        top = tuple(entry for entry in anomalies[:TOP_ANOMALIES]
+                    if entry.score > (0, 0, 0))
+        return cls(
+            time_us=now_us,
+            links=links,
+            health=dict(health or {}),
+            packets=sum(link.packets for link in links),
+            events=sum(link.events for link in links),
+            failures=sum(link.failures for link in links),
+            late_items=sum(link.late_items for link in links),
+            order_violations=sum(link.order_violations
+                                 for link in links),
+            stages=stages,
+            analyzers=_rollup_analyzers(links),
+            top_anomalies=top,
+            unrouted=unrouted,
+        )
+
+    @property
+    def health_counts(self) -> dict[str, int]:
+        """Links per health class (always lists all three classes)."""
+        counts = {status.value: 0 for status in LinkHealth}
+        for status in self.health.values():
+            counts[status] = counts.get(status, 0) + 1
+        return counts
+
+    def to_json(self) -> dict[str, Any]:
+        """The versioned wire form (plain JSON-serializable dict)."""
+        return {
+            "schema": SNAPSHOT_SCHEMA_VERSION,
+            "kind": "fleet",
+            "time_us": self.time_us,
+            "link_count": len(self.links),
+            "links": {link.link: link.to_json()
+                      for link in self.links},
+            "health": dict(self.health),
+            "health_counts": self.health_counts,
+            "packets": self.packets,
+            "events": self.events,
+            "failures": self.failures,
+            "late_items": self.late_items,
+            "order_violations": self.order_violations,
+            "stages": {stage: counters.as_dict()
+                       for stage, counters in self.stages.items()},
+            "analyzers": {name: dict(data)
+                          for name, data in self.analyzers.items()},
+            "top_anomalies": [entry.as_dict()
+                              for entry in self.top_anomalies],
+            "unrouted": self.unrouted,
+        }
+
+
+def _rollup_analyzers(
+        links: tuple[LinkSnapshot, ...]) -> dict[str, dict[str, int]]:
+    """Sum every integer analyzer counter across the fleet.
+
+    Only keys whose value is an ``int`` in every link that reports
+    them aggregate (``bool`` is excluded — flags are not counts);
+    strings, floats, lists and nested dicts are per-link detail and
+    stay out of the rollup.
+    """
+    rollup: dict[str, dict[str, int]] = {}
+    skip: dict[str, set[str]] = {}
+    for link in links:
+        for name, data in link.analyzers.items():
+            totals = rollup.setdefault(name, {})
+            bad = skip.setdefault(name, set())
+            for key, value in data.items():
+                if key in bad:
+                    continue
+                if isinstance(value, bool) \
+                        or not isinstance(value, int):
+                    bad.add(key)
+                    totals.pop(key, None)
+                    continue
+                totals[key] = totals.get(key, 0) + value
+    return rollup

@@ -5,8 +5,10 @@ import struct
 
 import pytest
 
+from repro.netstack.pcap import PcapRecord
 from repro.netstack.pcapng import (PcapngError, PcapngReader,
-                                   read_pcapng, sniff_format)
+                                   PcapngWriter, read_pcapng,
+                                   sniff_format, write_pcapng)
 
 
 def pad4(data: bytes) -> bytes:
@@ -132,3 +134,52 @@ class TestFileHelper:
         path = tmp_path / "capture.pcapng"
         path.write_bytes(shb() + idb() + epb())
         assert len(read_pcapng(path)) == 1
+
+
+class TestWriter:
+    def records(self, count=4):
+        return [PcapRecord(time_us=1_000_000 + index * 250_000,
+                           data=bytes([index]) * (20 + index))
+                for index in range(count)]
+
+    def test_round_trip(self):
+        wanted = self.records()
+        stream = io.BytesIO()
+        writer = PcapngWriter(stream)
+        for record in wanted:
+            writer.write_record(record)
+        stream.seek(0)
+        got = list(PcapngReader(stream))
+        assert [(r.time_us, r.data, r.original_length) for r in got] \
+            == [(r.time_us, r.data, len(r.data)) for r in wanted]
+
+    def test_written_stream_sniffs_as_pcapng(self):
+        stream = io.BytesIO()
+        PcapngWriter(stream)
+        stream.seek(0)
+        assert sniff_format(stream) == "pcapng"
+
+    def test_write_pcapng_path_round_trip(self, tmp_path):
+        wanted = self.records(3)
+        path = tmp_path / "out.pcapng"
+        assert write_pcapng(path, wanted) == 3
+        got = read_pcapng(path)
+        assert [(r.time_us, r.data) for r in got] \
+            == [(r.time_us, r.data) for r in wanted]
+
+    def test_snaplen_truncates_but_keeps_original_length(self):
+        stream = io.BytesIO()
+        writer = PcapngWriter(stream, snaplen=8)
+        writer.write(5_000_000, b"\xAB" * 32)
+        stream.seek(0)
+        [record] = list(PcapngReader(stream))
+        assert record.data == b"\xAB" * 8
+        assert record.original_length == 32
+
+    def test_large_timestamp_spans_32_bits(self):
+        time_us = (1 << 40) + 123  # > 32 bits of microseconds
+        stream = io.BytesIO()
+        PcapngWriter(stream).write(time_us, b"\x00" * 16)
+        stream.seek(0)
+        [record] = list(PcapngReader(stream))
+        assert record.time_us == time_us

@@ -9,14 +9,25 @@ import pytest
 
 from repro.netstack.pcap import (MAGIC_USEC, PcapError, PcapRecord,
                                  PcapWriter)
+from repro.netstack.pcapng import (PcapngError, PcapngReader,
+                                   PcapngWriter)
 from repro.stream import (ByteChunk, CaptureSource, ListSource,
-                          MergedSource, PcapTailSource, TransportTap)
+                          MergedSource, PcapngTailSource,
+                          PcapTailSource, TransportTap)
 
 
 def pcap_bytes(records: list[PcapRecord]) -> bytes:
     stream = io.BytesIO()
     writer = PcapWriter(stream)
     writer.write_all(records)
+    return stream.getvalue()
+
+
+def pcapng_bytes(records: list[PcapRecord]) -> bytes:
+    stream = io.BytesIO()
+    writer = PcapngWriter(stream)
+    for record in records:
+        writer.write_record(record)
     return stream.getvalue()
 
 
@@ -134,6 +145,108 @@ class TestPcapTailSource:
         assert len(got) == 1
         assert got[0].time_us == record.time_us
         assert got[0].data == record.data
+        source.close()
+
+
+class TestPcapngTailSource:
+    def test_batch_stream_parity(self, tmp_path):
+        """Tailing a finished pcapng yields exactly the reader's
+        records (shared block parsers make this hold by construction —
+        this pins the buffering layer on top)."""
+        wanted = records(7)
+        data = pcapng_bytes(wanted)
+        path = tmp_path / "done.pcapng"
+        path.write_bytes(data)
+        batch = list(PcapngReader(io.BytesIO(data)))
+        source = PcapngTailSource(path)
+        got = []
+        while not source.exhausted:
+            got.extend(source.poll(3))
+        source.close()
+        assert [(r.time_us, r.data) for r in got] \
+            == [(r.time_us, r.data) for r in batch]
+        assert source.records_read == len(wanted)
+
+    def test_partial_block_stays_buffered(self, tmp_path):
+        wanted = records(3)
+        data = pcapng_bytes(wanted)
+        path = tmp_path / "growing.pcapng"
+        # Everything except the last block's final 9 bytes.
+        path.write_bytes(data[:-9])
+        source = PcapngTailSource(path, follow=True)
+        got = source.poll(10)
+        assert len(got) == 2
+        assert source.pending_bytes > 0
+        assert not source.exhausted  # follow mode never exhausts
+        with open(path, "ab") as stream:
+            stream.write(data[-9:])
+        assert len(source.poll(10)) == 1
+        assert source.records_read == 3
+        source.close()
+
+    def test_growth_at_every_block_boundary(self, tmp_path):
+        """Cut the file at every byte offset in turn; the buffered
+        remainder must always complete to the same record stream."""
+        wanted = records(2)
+        data = pcapng_bytes(wanted)
+        path = tmp_path / "cut.pcapng"
+        for cut in range(0, len(data), 7):
+            path.write_bytes(data[:cut])
+            source = PcapngTailSource(path, follow=True)
+            got = list(source.poll(10))
+            with open(path, "ab") as stream:
+                stream.write(data[cut:])
+            while True:
+                batch = source.poll(10)
+                if not batch:
+                    break
+                got.extend(batch)
+            source.close()
+            assert [(r.time_us, r.data) for r in got] \
+                == [(r.time_us, r.data) for r in wanted], cut
+
+    def test_partial_section_header_tolerated(self, tmp_path):
+        data = pcapng_bytes(records(1))
+        path = tmp_path / "header.pcapng"
+        path.write_bytes(data[:10])  # not even the byte-order magic
+        source = PcapngTailSource(path, follow=True)
+        assert source.poll(10) == []
+        assert not source.exhausted
+        with open(path, "ab") as stream:
+            stream.write(data[10:])
+        assert len(source.poll(10)) == 1
+        source.close()
+
+    def test_non_follow_exhausts_at_eof(self, tmp_path):
+        path = tmp_path / "single.pcapng"
+        path.write_bytes(pcapng_bytes(records(1)))
+        source = PcapngTailSource(path)
+        source.poll(10)
+        source.poll(10)  # sees EOF
+        assert source.exhausted
+        source.close()
+
+    def test_new_section_resets_endianness(self, tmp_path):
+        # A little-endian section followed by a big-endian one.
+        from tests.netstack.test_pcapng import epb, idb, shb
+        data = (shb() + idb() + epb(ticks=1_000_000)
+                + shb(">") + idb(endian=">")
+                + epb(ticks=2_000_000, endian=">"))
+        path = tmp_path / "sections.pcapng"
+        path.write_bytes(data)
+        source = PcapngTailSource(path)
+        got = []
+        while not source.exhausted:
+            got.extend(source.poll(10))
+        source.close()
+        assert [r.time_us for r in got] == [1_000_000, 2_000_000]
+
+    def test_not_pcapng_raises(self, tmp_path):
+        path = tmp_path / "classic.pcap"
+        path.write_bytes(pcap_bytes(records(1)))
+        source = PcapngTailSource(path)
+        with pytest.raises(PcapngError):
+            source.poll(10)
         source.close()
 
 

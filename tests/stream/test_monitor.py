@@ -4,14 +4,16 @@ from __future__ import annotations
 
 import io
 import json
+import warnings
 
 import pytest
 
 from repro.cli import main
+from repro.netstack.pcapng import PcapngWriter
 from repro.stream import (LiveFlowTable, OnlineChains,
-                          OnlineCombinedDetector, PcapTailSource,
-                          StreamPipeline, render_json, render_text,
-                          run_monitor)
+                          OnlineCombinedDetector, PcapngTailSource,
+                          PcapTailSource, StreamPipeline, render_json,
+                          render_text, run_monitor)
 
 
 @pytest.fixture(scope="module")
@@ -124,10 +126,49 @@ class TestRunMonitor:
         whole.close()
         assert snapshot["stages"]["frame"]["received"] == count
 
+    def test_follow_once_drains_growing_pcapng(self, pcap_path,
+                                               tmp_path):
+        """The pcap follow test above, with pcapng framing: a block
+        split across two writes must decode once the tail grows."""
+        whole = PcapTailSource(pcap_path)
+        records = []
+        while not whole.exhausted:
+            records.extend(whole.poll(512))
+        whole.close()
+        buffer = io.BytesIO()
+        writer = PcapngWriter(buffer)
+        for record in records:
+            writer.write_record(record)
+        data = buffer.getvalue()
+        growing = tmp_path / "growing.pcapng"
+        # Split inside a block body, not on a boundary.
+        growing.write_bytes(data[:len(data) // 2 + 3])
+        source = PcapngTailSource(growing, follow=True)
+        pipeline = StreamPipeline(source, analyzers=[OnlineChains()])
+        appended = []
+
+        def sleep(_seconds: float) -> None:
+            if not appended:
+                with open(growing, "ab") as stream:
+                    stream.write(data[len(data) // 2 + 3:])
+                appended.append(True)
+
+        out = io.StringIO()
+        emitted = run_monitor(pipeline, out, json_lines=True,
+                              follow=True, once=True, idle_grace=3,
+                              sleep=sleep, clock=FakeClock())
+        source.close()
+        assert emitted == 1
+        assert appended
+        snapshot = json.loads(out.getvalue())
+        assert snapshot["stages"]["frame"]["received"] == len(records)
+
 
 class TestRendering:
     def test_render_json_is_sorted_single_line(self):
-        line = render_json({"b": 1, "a": {"z": 2}})
+        # Legacy dict input: still rendered, but deprecated.
+        with pytest.warns(DeprecationWarning, match="plain dict"):
+            line = render_json({"b": 1, "a": {"z": 2}})
         assert line == '{"a": {"z": 2}, "b": 1}'
 
     def test_render_text_skips_nested_values(self):
@@ -136,11 +177,44 @@ class TestRendering:
                     "analyzers": {"chains": {"connections": 1,
                                              "largest": [{"x": 1}]}},
                     "eviction": {"sweeps": 0}}
-        text = render_text(snapshot)
+        with pytest.warns(DeprecationWarning, match="plain dict"):
+            text = render_text(snapshot)
         assert "t=1.500s" in text
         assert "chains: connections=1" in text
         assert "largest" not in text
         assert "eviction" not in text  # no sweeps yet
+
+    def test_typed_snapshot_renders_without_warning(self, pcap_path):
+        source = PcapTailSource(pcap_path)
+        pipeline = StreamPipeline(source, analyzers=[LiveFlowTable()],
+                                  link="y1")
+        pipeline.run_until_exhausted()
+        source.close()
+        snapshot = pipeline.link_snapshot()
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            line = render_json(snapshot)
+            text = render_text(snapshot)
+        document = json.loads(line)
+        assert document["schema"] == 1
+        assert document["link"] == "y1"
+        assert text.startswith("t=")
+
+    def test_typed_json_matches_legacy_dict_json(self, pcap_path):
+        """The dict projection and the typed path render identically
+        (the one-release compat guarantee)."""
+        source = PcapTailSource(pcap_path)
+        pipeline = StreamPipeline(source, analyzers=[OnlineChains()])
+        pipeline.run_until_exhausted()
+        source.close()
+        typed = render_json(pipeline.link_snapshot())
+        with pytest.warns(DeprecationWarning):
+            legacy = render_json(pipeline.snapshot())
+        assert typed == legacy
+
+    def test_render_rejects_other_types(self):
+        with pytest.raises(TypeError):
+            render_json(42)  # type: ignore[arg-type]
 
 
 class TestCli:

@@ -46,7 +46,7 @@ class TestExamplesExist:
         "quickstart.py", "malformed_traffic_forensics.py",
         "agc_event_analysis.py", "whitelist_ids.py",
         "live_endpoints.py", "failover_drill.py",
-        "operator_report.py",
+        "operator_report.py", "fleet_monitor.py",
     ])
     def test_present_and_compiles(self, name):
         path = EXAMPLES / name
