@@ -45,7 +45,7 @@ class ApduEvent:
     @property
     def timestamp(self) -> float:
         """Deprecated float-seconds view of :attr:`time_us`."""
-        warnings.warn(
+        warnings.warn(  # staticcheck: remove-in=1.1.0
             "ApduEvent.timestamp is deprecated; use ApduEvent.time_us "
             "(canonical integer microseconds)",
             DeprecationWarning, stacklevel=2)

@@ -40,7 +40,7 @@ class HostCompliance:
 
     @property
     def explanation(self) -> str:
-        if self.is_compliant:
+        if self.is_compliant or self.inferred_profile is None:
             return "IEC 104 compliant"
         return self.inferred_profile.describe()
 
@@ -121,7 +121,7 @@ class FieldDiff:
 
 def field_diffs(profile: LinkProfile) -> list[FieldDiff]:
     """Enumerate the Fig. 7-style deviations of a legacy profile."""
-    diffs = []
+    diffs: list[FieldDiff] = []
     if profile.cot_length != STANDARD_PROFILE.cot_length:
         diffs.append(FieldDiff("Cause of Transmission",
                                STANDARD_PROFILE.cot_length,

@@ -49,7 +49,7 @@ def _decode_records(records: Iterable[PcapRecord]
 
 
 def _warn_names(caller: str) -> None:
-    warnings.warn(
+    warnings.warn(  # staticcheck: remove-in=1.1.0
         f"{caller}(packets, names=...) is deprecated; pass the capture "
         "object itself (anything with .packets and .host_names())",
         DeprecationWarning, stacklevel=4)

@@ -47,7 +47,7 @@ class TimelineEntry:
     @property
     def timestamp(self) -> float:
         """Deprecated float-seconds view of :attr:`time_us`."""
-        warnings.warn(
+        warnings.warn(  # staticcheck: remove-in=1.1.0
             "TimelineEntry.timestamp is deprecated; use "
             "TimelineEntry.time_us (canonical integer microseconds)",
             DeprecationWarning, stacklevel=2)
@@ -56,7 +56,7 @@ class TimelineEntry:
     @property
     def time(self) -> float:
         """Deprecated float-seconds view of :attr:`time_us`."""
-        warnings.warn(
+        warnings.warn(  # staticcheck: remove-in=1.1.0
             "TimelineEntry.time is deprecated; use "
             "TimelineEntry.time_us (canonical integer microseconds)",
             DeprecationWarning, stacklevel=2)

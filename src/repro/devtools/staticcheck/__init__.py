@@ -19,26 +19,36 @@ See ``docs/static-analysis.md`` for rule descriptions, the
 a rule.
 """
 
+from .baseline import Baseline, fingerprint
 from .engine import RunResult, discover_files, lint_paths
-from .findings import Finding, Severity
-from .registry import (AstRule, FileContext, ProjectRule, Rule,
-                       build_rules, register, registered_rule_ids)
+from .findings import Finding, RelatedLocation, Severity
+from .project import ModuleSummary, ProjectModel, extract_summary
+from .registry import (AstRule, CrossFileRule, FileContext,
+                       ProjectRule, Rule, build_rules, register,
+                       registered_rule_ids)
 from .reporters import (FORMATTERS, format_json, format_sarif,
                         format_text)
 from .suppressions import SuppressionIndex
 
 __all__ = [
     "AstRule",
+    "Baseline",
+    "CrossFileRule",
     "FileContext",
     "Finding",
     "FORMATTERS",
+    "ModuleSummary",
+    "ProjectModel",
     "ProjectRule",
+    "RelatedLocation",
     "Rule",
     "RunResult",
     "Severity",
     "SuppressionIndex",
     "build_rules",
     "discover_files",
+    "extract_summary",
+    "fingerprint",
     "format_json",
     "format_sarif",
     "format_text",

@@ -1,0 +1,124 @@
+"""The findings baseline: a ratchet for new, stricter rules.
+
+A strict cross-file rule cannot land as a flag day on a tree that
+already violates it.  The baseline grandfathers the *pre-existing*
+findings — recorded by ``repro lint --update-baseline`` and committed
+— so CI fails only on findings that are **new** relative to it.  The
+ratchet only tightens: fixing a finding and re-recording shrinks the
+baseline; nothing is ever added to it silently.
+
+Findings are matched by a location-free fingerprint
+``sha256(path | rule_id | message)`` so that unrelated edits moving a
+finding a few lines do not un-grandfather it.  Identical findings
+(same fingerprint, e.g. one message firing twice in a file) are
+counted: the baseline allows up to the recorded count, and any excess
+is new.
+
+The file format is deliberately human-auditable JSON — each entry
+repeats the path/rule/message next to its fingerprint so a reviewer
+can see exactly what was waved through::
+
+    {"version": 1,
+     "entries": [{"fingerprint": "…", "count": 1,
+                  "path": "repro/stream/x.py",
+                  "rule": "shard-safety", "message": "…"}]}
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from .findings import Finding
+
+BASELINE_VERSION = 1
+
+#: Conventional baseline location (repo root, committed).
+DEFAULT_BASELINE_NAME = ".staticcheck-baseline.json"
+
+
+def fingerprint(finding: Finding) -> str:
+    """Location-free identity of one finding."""
+    digest = hashlib.sha256()
+    for part in (finding.path, finding.rule_id, finding.message):
+        digest.update(part.encode("utf-8"))
+        digest.update(b"\0")
+    return digest.hexdigest()[:16]
+
+
+@dataclass
+class Baseline:
+    """Grandfathered finding counts, keyed by fingerprint."""
+
+    counts: dict[str, int] = field(default_factory=dict)
+    #: fingerprint -> (path, rule, message) for the audit trail.
+    detail: dict[str, tuple[str, str, str]] = field(
+        default_factory=dict)
+
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        """Read a baseline; a missing file is the empty baseline."""
+        try:
+            raw = json.loads(path.read_text(encoding="utf-8"))
+        except FileNotFoundError:
+            return cls()
+        except (OSError, ValueError) as exc:
+            raise ValueError(f"unreadable baseline {path}: {exc}") \
+                from exc
+        baseline = cls()
+        for entry in raw.get("entries", []):
+            key = entry["fingerprint"]
+            baseline.counts[key] = int(entry.get("count", 1))
+            baseline.detail[key] = (entry.get("path", ""),
+                                    entry.get("rule", ""),
+                                    entry.get("message", ""))
+        return baseline
+
+    @classmethod
+    def from_findings(cls, findings: Iterable[Finding]) -> "Baseline":
+        baseline = cls()
+        for finding in findings:
+            key = fingerprint(finding)
+            baseline.counts[key] = baseline.counts.get(key, 0) + 1
+            baseline.detail.setdefault(
+                key, (finding.path, finding.rule_id, finding.message))
+        return baseline
+
+    def apply(self, findings: Sequence[Finding]
+              ) -> tuple[list[Finding], int]:
+        """Split findings into (new, grandfathered-count).
+
+        Findings are consumed in report order, so when a fingerprint
+        occurs more often than the baseline allows, the *later*
+        occurrences are the new ones.
+        """
+        remaining = dict(self.counts)
+        new: list[Finding] = []
+        grandfathered = 0
+        for finding in findings:
+            key = fingerprint(finding)
+            if remaining.get(key, 0) > 0:
+                remaining[key] -= 1
+                grandfathered += 1
+            else:
+                new.append(finding)
+        return new, grandfathered
+
+    def save(self, path: Path) -> None:
+        entries = [
+            {"fingerprint": key, "count": count,
+             "path": self.detail.get(key, ("", "", ""))[0],
+             "rule": self.detail.get(key, ("", "", ""))[1],
+             "message": self.detail.get(key, ("", "", ""))[2]}
+            for key, count in sorted(self.counts.items())
+        ]
+        document = {"version": BASELINE_VERSION, "entries": entries}
+        path.write_text(json.dumps(document, indent=2,
+                                   sort_keys=True) + "\n",
+                        encoding="utf-8")
+
+    def __len__(self) -> int:
+        return sum(self.counts.values())

@@ -1,22 +1,30 @@
-"""Mtime-keyed result cache for the lint engine.
+"""Persistent result cache for the two-phase lint engine.
 
 ``repro lint --self`` re-parses every source file on every run even
-though almost none of them changed between invocations. This cache
-remembers, per file, the findings (and suppression count) of the last
-run, keyed on:
+though almost none of them changed between invocations.  This cache
+remembers two kinds of results:
 
-* the file's ``(mtime_ns, size)`` stat signature, and
-* a *rule-set signature* — the selected rule ids plus a digest of the
-  staticcheck package's own sources, so editing a rule (or the
-  engine) invalidates every entry automatically.
+* **Per-file** (phase 1): the AST-rule findings, suppression count
+  and the phase-1 :class:`~.project.ModuleSummary` of each file,
+  keyed on the file's ``(mtime_ns, size)`` stat signature *and* a
+  rule-set signature.  The rule-set signature covers the selected
+  ``(rule_id, version)`` pairs plus a digest of the staticcheck
+  package's own sources — so adding a rule, bumping a rule's
+  ``version``, or editing the engine invalidates every stale clean
+  verdict instead of replaying it.
+* **Per-module cross-file** (phase 2): the cross-file findings
+  attributed to each module, keyed on the module's *deep digest* —
+  a hash over the module's summary and everything it transitively
+  imports.  That is the dependency-aware part: editing an imported
+  module changes the importer's deep digest and forces its
+  re-analysis, even though the importer's mtime never moved.
 
 The store is one JSON document under ``$REPRO_CACHE_DIR`` (default
 ``~/.cache/repro-uncharted``) — the same root as the capture cache of
 :mod:`repro.perf.cache`, kept import-independent so the linter stays
-stdlib-only and does not drag the simulation stack in. Findings are
-cached with the paths the engine produced them under (before any
-``relative_to(root)`` re-anchoring), so cached and fresh findings go
-through identical reporting.
+stdlib-only.  Findings are cached with the paths the engine produced
+them under (before any ``relative_to(root)`` re-anchoring), so cached
+and fresh findings go through identical reporting.
 
 ``repro lint --no-cache`` bypasses reads and writes entirely.
 """
@@ -28,15 +36,19 @@ import json
 import os
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Iterable, Sequence
+from typing import Any, Iterable, Mapping, Sequence
 
-from .findings import Finding, Severity
+from .findings import Finding, RelatedLocation, Severity
+from .project import ModuleSummary
 
 #: Environment variable overriding the cache location (shared with the
 #: capture cache).
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"
 
 _CACHE_FILE = "staticcheck-cache.json"
+
+#: Bump when the on-disk layout changes shape.
+_STORE_VERSION = 2
 
 #: Memoized digest of the staticcheck package sources.
 _PACKAGE_DIGEST: str | None = None
@@ -64,47 +76,72 @@ def _package_digest() -> str:
     return _PACKAGE_DIGEST
 
 
-def rules_signature(rule_ids: Iterable[str]) -> str:
-    """Cache signature of one engine configuration."""
-    document = {"rules": sorted(rule_ids), "code": _package_digest()}
+def rules_signature(
+        rules: Iterable[str | tuple[str, int]]) -> str:
+    """Cache signature of one engine configuration.
+
+    Accepts bare rule ids (version 1 implied) or ``(rule_id,
+    version)`` pairs — the pair form is what the engine feeds it, so
+    bumping a rule's ``version`` attribute invalidates every cached
+    verdict produced under the old semantics.
+    """
+    normalized = sorted(
+        [item, 1] if isinstance(item, str) else [item[0], item[1]]
+        for item in rules)
+    document = {"rules": normalized, "code": _package_digest()}
     return hashlib.sha256(
         json.dumps(document, sort_keys=True).encode()).hexdigest()
 
 
 def _encode_finding(finding: Finding) -> dict:
-    return {"path": finding.path, "line": finding.line,
-            "col": finding.col, "rule_id": finding.rule_id,
-            "message": finding.message,
-            "severity": finding.severity.name}
+    entry = {"path": finding.path, "line": finding.line,
+             "col": finding.col, "rule_id": finding.rule_id,
+             "message": finding.message,
+             "severity": finding.severity.name}
+    if finding.related:
+        entry["related"] = [
+            {"path": loc.path, "line": loc.line,
+             "message": loc.message} for loc in finding.related]
+    return entry
 
 
-def _decode_finding(raw: dict) -> Finding:
+def _decode_finding(raw: Mapping[str, Any]) -> Finding:
+    related = tuple(
+        RelatedLocation(path=loc["path"], line=loc["line"],
+                        message=loc.get("message", ""))
+        for loc in raw.get("related", ()))
     return Finding(path=raw["path"], line=raw["line"], col=raw["col"],
                    rule_id=raw["rule_id"], message=raw["message"],
-                   severity=Severity[raw["severity"]])
+                   severity=Severity[raw["severity"]],
+                   related=related)
 
 
 @dataclass
 class CachedFile:
-    """The remembered outcome of linting one unchanged file."""
+    """The remembered phase-1 outcome for one unchanged file."""
 
     findings: list[Finding]
     suppressed: int
+    summary: ModuleSummary | None = None
 
 
 class ResultCache:
-    """Per-file findings store, persisted as one JSON document."""
+    """Per-file and per-module findings store (one JSON document)."""
 
     def __init__(self, path: Path | None = None):
         self._path = path or cache_path()
-        self._entries: dict[str, dict] = {}
+        self._files: dict[str, dict] = {}
+        self._crossfile: dict[str, dict] = {}
         self._dirty = False
         try:
             loaded = json.loads(self._path.read_text())
-            if isinstance(loaded, dict):
-                self._entries = loaded
         except (OSError, ValueError):
-            pass
+            return
+        if not isinstance(loaded, dict) \
+                or loaded.get("store") != _STORE_VERSION:
+            return  # pre-versioned layouts are simply discarded
+        self._files = dict(loaded.get("files", {}))
+        self._crossfile = dict(loaded.get("crossfile", {}))
 
     @staticmethod
     def _stat(path: Path) -> tuple[int, int] | None:
@@ -114,32 +151,65 @@ class ResultCache:
             return None
         return (stat.st_mtime_ns, stat.st_size)
 
-    def get(self, path: Path, signature: str) -> CachedFile | None:
+    # -- phase 1: per-file ----------------------------------------
+
+    def get(self, path: Path, signature: str,
+            need_summary: bool = False) -> CachedFile | None:
         """Cached outcome for ``path``, or None when stale/absent."""
-        entry = self._entries.get(str(path.resolve()))
+        entry = self._files.get(str(path.resolve()))
         if entry is None or entry.get("signature") != signature:
             return None
         stat = self._stat(path)
         if stat is None or [stat[0], stat[1]] \
                 != [entry.get("mtime_ns"), entry.get("size")]:
             return None
+        raw_summary = entry.get("summary")
+        if need_summary and raw_summary is None:
+            return None
         try:
             findings = [_decode_finding(raw)
                         for raw in entry["findings"]]
             suppressed = int(entry["suppressed"])
+            summary = (ModuleSummary.from_dict(raw_summary)
+                       if raw_summary is not None else None)
         except (KeyError, TypeError, ValueError):
             return None
-        return CachedFile(findings=findings, suppressed=suppressed)
+        return CachedFile(findings=findings, suppressed=suppressed,
+                          summary=summary)
 
     def put(self, path: Path, signature: str,
-            findings: Sequence[Finding], suppressed: int) -> None:
+            findings: Sequence[Finding], suppressed: int,
+            summary: ModuleSummary | None = None) -> None:
         stat = self._stat(path)
         if stat is None:
             return
-        self._entries[str(path.resolve())] = {
+        entry: dict[str, Any] = {
             "signature": signature,
             "mtime_ns": stat[0], "size": stat[1],
             "suppressed": suppressed,
+            "findings": [_encode_finding(f) for f in findings]}
+        if summary is not None:
+            entry["summary"] = summary.to_dict()
+        self._files[str(path.resolve())] = entry
+        self._dirty = True
+
+    # -- phase 2: per-module cross-file ---------------------------
+
+    def get_crossfile(self, module: str,
+                      key: str) -> list[Finding] | None:
+        """Cached cross-file findings for ``module`` under ``key``."""
+        entry = self._crossfile.get(module)
+        if entry is None or entry.get("key") != key:
+            return None
+        try:
+            return [_decode_finding(raw) for raw in entry["findings"]]
+        except (KeyError, TypeError, ValueError):
+            return None
+
+    def put_crossfile(self, module: str, key: str,
+                      findings: Sequence[Finding]) -> None:
+        self._crossfile[module] = {
+            "key": key,
             "findings": [_encode_finding(f) for f in findings]}
         self._dirty = True
 
@@ -148,8 +218,10 @@ class ResultCache:
         if not self._dirty:
             return
         self._path.parent.mkdir(parents=True, exist_ok=True)
+        document = {"store": _STORE_VERSION, "files": self._files,
+                    "crossfile": self._crossfile}
         tmp = self._path.with_name(
             f"{self._path.name}.{os.getpid()}.tmp")
-        tmp.write_text(json.dumps(self._entries, sort_keys=True))
+        tmp.write_text(json.dumps(document, sort_keys=True))
         os.replace(tmp, self._path)
         self._dirty = False

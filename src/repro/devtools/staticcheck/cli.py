@@ -7,9 +7,13 @@ Usage::
     repro lint --self --format sarif -o lint.sarif
     repro lint --list-rules
     repro lint src --select determinism,struct-format
+    repro lint --self --baseline .staticcheck-baseline.json
+    repro lint --self --update-baseline   # re-record the ratchet
+    repro lint --self --jobs 0            # phase 1: one worker/CPU
 
-Exit status: 0 when no finding survives suppression, 1 otherwise, and
-2 for usage errors (unknown rule ids).
+Exit status: 0 when no finding survives suppression and the baseline,
+1 otherwise, and 2 for usage errors (unknown rule ids, unreadable
+baseline).
 """
 
 from __future__ import annotations
@@ -18,6 +22,7 @@ import argparse
 import sys
 from pathlib import Path
 
+from .baseline import DEFAULT_BASELINE_NAME, Baseline
 from .cache import ResultCache
 from .engine import lint_paths
 from .registry import build_rules
@@ -56,6 +61,19 @@ def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
                         dest="no_cache",
                         help="re-lint every file, ignoring the "
                              "mtime-keyed result cache")
+    parser.add_argument("--jobs", "-j", type=int, default=0,
+                        help="worker processes for phase-1 parsing "
+                             "(0 = one per CPU, 1 = serial; "
+                             "default: 0)")
+    parser.add_argument("--baseline", metavar="PATH",
+                        help="grandfather the findings recorded in "
+                             "PATH; only new findings fail "
+                             f"(default name: {DEFAULT_BASELINE_NAME})")
+    parser.add_argument("--update-baseline", action="store_true",
+                        dest="update_baseline",
+                        help="re-record every current finding into "
+                             "the baseline file and exit 0 — the "
+                             "ratchet is reset to the tree as-is")
 
 
 def run_lint(args: argparse.Namespace, out=sys.stdout) -> int:
@@ -87,13 +105,39 @@ def run_lint(args: argparse.Namespace, out=sys.stdout) -> int:
         src = project_src_root()
         paths.append(src)
         root = src.parent
+
+    update_baseline = getattr(args, "update_baseline", False)
+    baseline_arg = getattr(args, "baseline", None)
+    baseline_path: Path | None = None
+    if baseline_arg:
+        baseline_path = Path(baseline_arg)
+    elif update_baseline:
+        baseline_path = (root or Path.cwd()) / DEFAULT_BASELINE_NAME
+    baseline: Baseline | None = None
+    if baseline_path is not None and not update_baseline:
+        try:
+            baseline = Baseline.load(baseline_path)
+        except ValueError as exc:
+            print(str(exc), file=sys.stderr)
+            return 2
+
     cache = None if getattr(args, "no_cache", False) else ResultCache()
     try:
         result = lint_paths(paths, select=select, root=root,
-                            cache=cache)
+                            cache=cache,
+                            jobs=getattr(args, "jobs", None),
+                            baseline=baseline)
     except KeyError as exc:
         print(f"unknown rule id(s): {exc.args[0]}", file=sys.stderr)
         return 2
+
+    if update_baseline:
+        assert baseline_path is not None
+        recorded = Baseline.from_findings(result.findings)
+        recorded.save(baseline_path)
+        print(f"baseline: recorded {len(recorded)} finding(s) "
+              f"to {baseline_path}", file=out)
+        return 0
 
     report = FORMATTERS[args.format](result)
     if args.output:

@@ -33,13 +33,41 @@ class Severity(enum.IntEnum):
                 Severity.ERROR: "error"}[self]
 
 
+@dataclass(frozen=True)
+class RelatedLocation:
+    """A secondary anchor of a multi-file finding.
+
+    Cross-file rules point at the *other* end of a relationship —
+    the callee definition a float-seconds value flows into, the call
+    sites of an expired deprecation — rendered as SARIF
+    ``relatedLocations`` so code scanning links both ends.
+    """
+
+    path: str
+    line: int
+    message: str = ""
+
+    def render(self) -> str:
+        tail = f" ({self.message})" if self.message else ""
+        return f"{self.path}:{self.line}{tail}"
+
+
+def _relative_path(path: str, root: Path) -> str:
+    try:
+        return Path(path).resolve().relative_to(
+            root.resolve()).as_posix()
+    except ValueError:
+        return path
+
+
 @dataclass(frozen=True, order=True)
 class Finding:
     """One diagnostic produced by a rule.
 
     ``path`` is kept repo-relative by the engine so reports are
-    machine-independent (and so suppression baselines, should we ever
-    grow one, survive checkouts at different absolute paths).
+    machine-independent and baseline fingerprints survive checkouts
+    at different absolute paths.  ``related`` carries the secondary
+    locations of cross-file findings (never part of identity).
     """
 
     path: str
@@ -48,16 +76,21 @@ class Finding:
     rule_id: str = field(compare=False)
     message: str = field(compare=False)
     severity: Severity = field(compare=False, default=Severity.ERROR)
+    related: tuple[RelatedLocation, ...] = field(compare=False,
+                                                default=())
 
     def render(self) -> str:
         """``path:line:col: severity rule-id: message`` (text reporter)."""
-        return (f"{self.path}:{self.line}:{self.col}: "
+        text = (f"{self.path}:{self.line}:{self.col}: "
                 f"{self.severity.label} [{self.rule_id}] {self.message}")
+        for location in self.related:
+            text += f"\n    related: {location.render()}"
+        return text
 
     def relative_to(self, root: Path) -> "Finding":
-        """Re-anchor ``path`` relative to ``root`` when it is inside."""
-        try:
-            rel = Path(self.path).resolve().relative_to(root.resolve())
-        except ValueError:
-            return self
-        return replace(self, path=rel.as_posix())
+        """Re-anchor ``path`` (and related paths) under ``root``."""
+        return replace(
+            self, path=_relative_path(self.path, root),
+            related=tuple(replace(loc,
+                                  path=_relative_path(loc.path, root))
+                          for loc in self.related))

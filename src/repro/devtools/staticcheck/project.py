@@ -1,0 +1,809 @@
+"""Phase 1 of the whole-program pass: the project model.
+
+The per-file rules see one AST at a time; the cross-file rules (shard
+safety, schema drift, deprecation expiry, time-unit flow) need to see
+the program.  This module reduces every source file to a compact
+:class:`ModuleSummary` — imports, symbol tables, dataclass field
+inventories, module-level mutable state, ``DeprecationWarning`` sites
+and a call-edge approximation — and assembles the summaries into a
+:class:`ProjectModel` with an import graph over them.
+
+Summaries are pure data (JSON round-trippable), so the engine caches
+them per file alongside the per-file findings.  The model derives a
+*deep digest* per module — a hash over the module's own summary plus
+the summaries of everything it transitively imports — which is what
+makes cross-file result caching dependency-aware: editing
+``iec104/constants.py`` changes the deep digest of every module that
+imports it, however indirectly, even though their mtimes are
+untouched.  The mtime-only cache cannot see that.
+"""
+
+from __future__ import annotations
+
+import ast
+import hashlib
+import re
+from dataclasses import dataclass
+from typing import Any, Iterator, Mapping
+
+#: Names whose call mutates the receiver in place.
+_MUTATOR_METHODS = frozenset({
+    "append", "extend", "insert", "add", "update", "setdefault",
+    "pop", "popitem", "remove", "discard", "clear", "appendleft",
+    "extendleft", "sort", "reverse",
+})
+
+#: Constructors of mutable containers (module-level state suspects).
+_MUTABLE_CALLS = frozenset({
+    "list", "dict", "set", "bytearray", "defaultdict", "deque",
+    "Counter", "OrderedDict",
+})
+
+#: Identifier shapes that smell like a float-seconds timestamp.  Kept
+#: in sync with the per-file ``float-timestamp-eq`` rule; the
+#: cross-file ``time-unit-flow`` rule consumes the classification the
+#: extractor bakes into :class:`SuspectArg`.
+TIME_NAME_RE = re.compile(
+    r"(?:^|_)(?:time(?:stamp)?s?|ts|now|deadline|seconds)(?:_|$)"
+    r"|_s$|^t\d$")
+
+#: Integer-microsecond tick names — the canonical timebase, exempt.
+TICK_NAME_RE = re.compile(r"(?:_us|_ticks)$|^ticks?$")
+
+#: ``# staticcheck: remove-in=X.Y[.Z]`` next to a deprecation site.
+_REMOVE_IN_RE = re.compile(
+    r"#\s*staticcheck:\s*remove-in=(?P<version>\d+(?:\.\d+)*)")
+
+
+@dataclass(frozen=True)
+class FieldInfo:
+    """One dataclass field (name + annotation source text)."""
+
+    name: str
+    annotation: str
+    lineno: int
+
+
+@dataclass(frozen=True)
+class ClassInfo:
+    """One top-level class: dataclass flags, fields, JSON keys.
+
+    ``json_keys`` maps a serializer method name (``to_json`` /
+    ``as_dict``) to the string keys of the dict literal it returns;
+    a method whose return is not a plain dict literal with constant
+    keys is recorded with ``complete=False`` so rules skip it rather
+    than reason from a partial key set.
+    """
+
+    name: str
+    lineno: int
+    is_dataclass: bool = False
+    frozen: bool = False
+    slots: bool = False
+    bases: tuple[str, ...] = ()
+    fields: tuple[FieldInfo, ...] = ()
+    json_keys: tuple["JsonMethod", ...] = ()
+
+
+@dataclass(frozen=True)
+class JsonMethod:
+    """Keys emitted by one serializer method of a class."""
+
+    method: str
+    lineno: int
+    keys: tuple[str, ...] = ()
+    complete: bool = True
+
+
+@dataclass(frozen=True)
+class FunctionInfo:
+    """Callable signature approximation (positional + kw-only names)."""
+
+    name: str
+    qualname: str
+    lineno: int
+    params: tuple[str, ...] = ()
+    kwonly: tuple[str, ...] = ()
+
+
+@dataclass(frozen=True)
+class MutationSite:
+    """One statement that mutates a module-level container."""
+
+    lineno: int
+    col: int
+    how: str
+
+
+@dataclass(frozen=True)
+class MutableGlobal:
+    """A module-level mutable container and its in-function mutations."""
+
+    name: str
+    lineno: int
+    col: int
+    kind: str
+    mutations: tuple[MutationSite, ...] = ()
+
+
+@dataclass(frozen=True)
+class DeprecationSite:
+    """One ``warnings.warn(..., DeprecationWarning)`` call."""
+
+    owner: str
+    lineno: int
+    col: int
+    remove_in: str | None = None
+
+
+@dataclass(frozen=True)
+class SuspectArg:
+    """A float-seconds-shaped argument at a call site."""
+
+    position: int | None
+    keyword: str | None
+    desc: str
+
+
+@dataclass(frozen=True)
+class CallInfo:
+    """A call carrying at least one :class:`SuspectArg`."""
+
+    callee: str
+    lineno: int
+    col: int
+    suspect: tuple[SuspectArg, ...] = ()
+
+
+@dataclass(frozen=True)
+class ModuleSummary:
+    """Everything phase 2 knows about one module."""
+
+    module: str
+    path: str
+    digest: str
+    imports: tuple[str, ...] = ()
+    #: local name -> (module, symbol or None for module bindings)
+    bindings: tuple[tuple[str, str, str | None], ...] = ()
+    functions: tuple[FunctionInfo, ...] = ()
+    classes: tuple[ClassInfo, ...] = ()
+    mutable_globals: tuple[MutableGlobal, ...] = ()
+    deprecations: tuple[DeprecationSite, ...] = ()
+    suspect_calls: tuple[CallInfo, ...] = ()
+    #: terminal callee name -> (line, col) occurrences, for the
+    #: deprecation call-site inventory.
+    call_names: tuple[tuple[str, tuple[tuple[int, int], ...]], ...] = ()
+
+    def to_dict(self) -> dict[str, Any]:
+        return _encode(self)
+
+    @classmethod
+    def from_dict(cls, raw: Mapping[str, Any]) -> "ModuleSummary":
+        return _decode_summary(raw)
+
+    def binding_map(self) -> dict[str, tuple[str, str | None]]:
+        return {name: (module, symbol)
+                for name, module, symbol in self.bindings}
+
+    def function(self, name: str) -> FunctionInfo | None:
+        for info in self.functions:
+            if info.qualname == name:
+                return info
+        return None
+
+    def class_named(self, name: str) -> ClassInfo | None:
+        for info in self.classes:
+            if info.name == name:
+                return info
+        return None
+
+
+# -- summary (de)serialisation ---------------------------------------
+
+def _encode(obj: Any) -> Any:
+    if isinstance(obj, tuple):
+        return [_encode(item) for item in obj]
+    if hasattr(obj, "__dataclass_fields__"):
+        return {name: _encode(getattr(obj, name))
+                for name in obj.__dataclass_fields__}
+    return obj
+
+
+def _tup(items: Any, decode) -> tuple:
+    return tuple(decode(item) for item in items)
+
+
+def _decode_summary(raw: Mapping[str, Any]) -> ModuleSummary:
+    return ModuleSummary(
+        module=raw["module"], path=raw["path"], digest=raw["digest"],
+        imports=tuple(raw["imports"]),
+        bindings=tuple((n, m, s) for n, m, s in raw["bindings"]),
+        functions=_tup(raw["functions"], lambda f: FunctionInfo(
+            name=f["name"], qualname=f["qualname"],
+            lineno=f["lineno"], params=tuple(f["params"]),
+            kwonly=tuple(f["kwonly"]))),
+        classes=_tup(raw["classes"], _decode_class),
+        mutable_globals=_tup(
+            raw["mutable_globals"], lambda g: MutableGlobal(
+                name=g["name"], lineno=g["lineno"], col=g["col"],
+                kind=g["kind"],
+                mutations=_tup(g["mutations"], lambda m: MutationSite(
+                    lineno=m["lineno"], col=m["col"], how=m["how"])))),
+        deprecations=_tup(raw["deprecations"], lambda d:
+                          DeprecationSite(
+                              owner=d["owner"], lineno=d["lineno"],
+                              col=d["col"],
+                              remove_in=d["remove_in"])),
+        suspect_calls=_tup(raw["suspect_calls"], lambda c: CallInfo(
+            callee=c["callee"], lineno=c["lineno"], col=c["col"],
+            suspect=_tup(c["suspect"], lambda a: SuspectArg(
+                position=a["position"], keyword=a["keyword"],
+                desc=a["desc"])))),
+        call_names=tuple(
+            (name, tuple((line, col) for line, col in spots))
+            for name, spots in raw["call_names"]),
+    )
+
+
+def _decode_class(raw: Mapping[str, Any]) -> ClassInfo:
+    return ClassInfo(
+        name=raw["name"], lineno=raw["lineno"],
+        is_dataclass=raw["is_dataclass"], frozen=raw["frozen"],
+        slots=raw["slots"], bases=tuple(raw["bases"]),
+        fields=_tup(raw["fields"], lambda f: FieldInfo(
+            name=f["name"], annotation=f["annotation"],
+            lineno=f["lineno"])),
+        json_keys=_tup(raw["json_keys"], lambda m: JsonMethod(
+            method=m["method"], lineno=m["lineno"],
+            keys=tuple(m["keys"]), complete=m["complete"])))
+
+
+# -- AST helpers -----------------------------------------------------
+
+def _dotted(expr: ast.expr) -> str:
+    parts: list[str] = []
+    node = expr
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return ""
+
+
+def _terminal(expr: ast.expr) -> str | None:
+    if isinstance(expr, ast.Name):
+        return expr.id
+    if isinstance(expr, ast.Attribute):
+        return expr.attr
+    return None
+
+
+def _mutable_kind(expr: ast.expr) -> str | None:
+    """Describe a mutable container initializer, or ``None``."""
+    if isinstance(expr, ast.List):
+        return "list literal"
+    if isinstance(expr, ast.Dict):
+        return "dict literal"
+    if isinstance(expr, (ast.Set, ast.SetComp, ast.ListComp,
+                         ast.DictComp)):
+        return "set/comprehension"
+    if isinstance(expr, ast.Call):
+        name = _terminal(expr.func)
+        if name in _MUTABLE_CALLS:
+            return f"{name}()"
+    return None
+
+
+def _is_timey_expr(expr: ast.expr) -> str | None:
+    """Describe a float-seconds-shaped expression, or ``None``."""
+    if isinstance(expr, ast.Constant) and isinstance(expr.value, float):
+        return f"float literal {expr.value!r}"
+    name = _terminal(expr)
+    if name is None:
+        return None
+    if TICK_NAME_RE.search(name):
+        return None
+    if TIME_NAME_RE.search(name):
+        return f"`{_dotted(expr) or name}`"
+    return None
+
+
+def _resolve_relative(package: str, module: str | None,
+                      level: int) -> str | None:
+    """Absolute dotted module for a (possibly relative) import."""
+    if level == 0:
+        return module
+    parts = package.split(".") if package else []
+    if level - 1 > len(parts):
+        return None
+    base = parts[:len(parts) - (level - 1)]
+    if module:
+        base.append(module)
+    return ".".join(base) if base else None
+
+
+def _dataclass_flags(node: ast.ClassDef) -> tuple[bool, bool, bool]:
+    """(is_dataclass, frozen, slots) from the decorator list."""
+    for decorator in node.decorator_list:
+        target = decorator.func if isinstance(decorator, ast.Call) \
+            else decorator
+        name = _terminal(target)
+        if name != "dataclass":
+            continue
+        frozen = slots = False
+        if isinstance(decorator, ast.Call):
+            for kw in decorator.keywords:
+                if not isinstance(kw.value, ast.Constant):
+                    continue
+                if kw.arg == "frozen":
+                    frozen = bool(kw.value.value)
+                elif kw.arg == "slots":
+                    slots = bool(kw.value.value)
+        return True, frozen, slots
+    return False, False, False
+
+
+def _annotation_text(node: ast.expr) -> str:
+    try:
+        return ast.unparse(node)
+    except Exception:  # pragma: no cover - unparse is total on 3.10+
+        return ""
+
+
+def _json_methods(node: ast.ClassDef) -> Iterator[JsonMethod]:
+    for stmt in node.body:
+        if not isinstance(stmt, ast.FunctionDef) \
+                or stmt.name not in ("to_json", "as_dict"):
+            continue
+        returns = [sub for sub in ast.walk(stmt)
+                   if isinstance(sub, ast.Return)
+                   and sub.value is not None]
+        keys: list[str] = []
+        complete = len(returns) == 1
+        for ret in returns:
+            value = ret.value
+            if isinstance(value, ast.Dict) and all(
+                    isinstance(key, ast.Constant)
+                    and isinstance(key.value, str)
+                    for key in value.keys):
+                keys.extend(key.value for key in value.keys
+                            if isinstance(key, ast.Constant))
+            else:
+                complete = False
+        yield JsonMethod(method=stmt.name, lineno=stmt.lineno,
+                         keys=tuple(keys), complete=complete)
+
+
+def _params(node: ast.FunctionDef | ast.AsyncFunctionDef,
+            method: bool) -> tuple[tuple[str, ...], tuple[str, ...]]:
+    args = node.args
+    positional = [arg.arg for arg in args.posonlyargs + args.args]
+    if method and positional and positional[0] in ("self", "cls"):
+        positional = positional[1:]
+    return tuple(positional), tuple(a.arg for a in args.kwonlyargs)
+
+
+class _Extractor(ast.NodeVisitor):
+    """Single-pass walk collecting every summary ingredient."""
+
+    def __init__(self, module: str, source: str, package: str):
+        self.module = module
+        self.lines = source.splitlines()
+        self.package = package
+        self.imports: set[str] = set()
+        self.bindings: dict[str, tuple[str, str | None]] = {}
+        self.functions: list[FunctionInfo] = []
+        self.classes: list[ClassInfo] = []
+        self.globals: dict[str, MutableGlobal] = {}
+        self.mutations: dict[str, list[MutationSite]] = {}
+        self.deprecations: list[DeprecationSite] = []
+        self.suspect_calls: list[CallInfo] = []
+        self.call_names: dict[str, list[tuple[int, int]]] = {}
+        self._scope: list[str] = []
+
+    # imports -----------------------------------------------------
+
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            self.imports.add(alias.name)
+            local = alias.asname or alias.name.partition(".")[0]
+            bound = alias.name if alias.asname else \
+                alias.name.partition(".")[0]
+            self.bindings[local] = (bound, None)
+        self.generic_visit(node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        resolved = _resolve_relative(self.package, node.module,
+                                     node.level)
+        if resolved:
+            self.imports.add(resolved)
+            for alias in node.names:
+                local = alias.asname or alias.name
+                if alias.name == "*":
+                    continue
+                self.bindings[local] = (resolved, alias.name)
+                # ``from pkg import mod``: the imported name may be
+                # a submodule.  Record the dotted candidate; the
+                # model narrows it onto a known module and a plain
+                # symbol candidate falls back to ``resolved``.
+                self.imports.add(f"{resolved}.{alias.name}")
+        self.generic_visit(node)
+
+    # module-level state ------------------------------------------
+
+    def _record_global(self, target: ast.expr,
+                       value: ast.expr | None) -> None:
+        if value is None or not isinstance(target, ast.Name):
+            return
+        kind = _mutable_kind(value)
+        if kind is not None:
+            self.globals[target.id] = MutableGlobal(
+                name=target.id, lineno=target.lineno,
+                col=target.col_offset + 1, kind=kind)
+
+    # defs --------------------------------------------------------
+
+    def _visit_def(self, node: ast.FunctionDef
+                   | ast.AsyncFunctionDef) -> None:
+        method = bool(self._scope)
+        positional, kwonly = _params(node, method)
+        qualname = ".".join([*self._scope, node.name])
+        if len(self._scope) <= 1:
+            self.functions.append(FunctionInfo(
+                name=node.name, qualname=qualname,
+                lineno=node.lineno, params=positional,
+                kwonly=kwonly))
+        self._scope.append(node.name)
+        self.generic_visit(node)
+        self._scope.pop()
+
+    visit_FunctionDef = _visit_def
+    visit_AsyncFunctionDef = _visit_def
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        if not self._scope:
+            is_dc, frozen, slots = _dataclass_flags(node)
+            fields = tuple(
+                FieldInfo(name=stmt.target.id,
+                          annotation=_annotation_text(stmt.annotation),
+                          lineno=stmt.lineno)
+                for stmt in node.body
+                if isinstance(stmt, ast.AnnAssign)
+                and isinstance(stmt.target, ast.Name))
+            self.classes.append(ClassInfo(
+                name=node.name, lineno=node.lineno,
+                is_dataclass=is_dc, frozen=frozen, slots=slots,
+                bases=tuple(filter(None, (_dotted(base)
+                                          for base in node.bases))),
+                fields=fields,
+                json_keys=tuple(_json_methods(node))))
+        self._scope.append(node.name)
+        self.generic_visit(node)
+        self._scope.pop()
+
+    # mutation tracking -------------------------------------------
+
+    def visit_Global(self, node: ast.Global) -> None:
+        for name in node.names:
+            self.mutations.setdefault(name, []).append(MutationSite(
+                lineno=node.lineno, col=node.col_offset + 1,
+                how="rebound via `global`"))
+
+    def _record_mutation(self, name: str, node: ast.AST,
+                         how: str) -> None:
+        if not self._scope:
+            return  # import-time population is per-process, fine
+        self.mutations.setdefault(name, []).append(MutationSite(
+            lineno=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0) + 1, how=how))
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        if not self._scope:
+            for target in node.targets:
+                self._record_global(target, node.value)
+        for target in node.targets:
+            self._check_subscript_store(target)
+        self.generic_visit(node)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        if not self._scope:
+            self._record_global(node.target, node.value)
+        self._check_subscript_store(node.target)
+        self.generic_visit(node)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        self._check_subscript_store(node.target)
+        if isinstance(node.target, ast.Name):
+            self._record_mutation(node.target.id, node,
+                                  "augmented assignment")
+        self.generic_visit(node)
+
+    def visit_Delete(self, node: ast.Delete) -> None:
+        for target in node.targets:
+            self._check_subscript_store(target)
+        self.generic_visit(node)
+
+    def _check_subscript_store(self, target: ast.expr) -> None:
+        if isinstance(target, ast.Subscript) \
+                and isinstance(target.value, ast.Name):
+            self._record_mutation(target.value.id, target,
+                                  "item assignment")
+
+    # calls -------------------------------------------------------
+
+    def visit_Call(self, node: ast.Call) -> None:
+        callee = _dotted(node.func)
+        terminal = _terminal(node.func)
+        if terminal:
+            self.call_names.setdefault(terminal, []).append(
+                (node.lineno, node.col_offset + 1))
+            if terminal in _MUTATOR_METHODS \
+                    and isinstance(node.func, ast.Attribute) \
+                    and isinstance(node.func.value, ast.Name):
+                self._record_mutation(
+                    node.func.value.id, node, f"{terminal}() call")
+        if terminal == "warn" and self._is_deprecation(node):
+            owner = ".".join(self._scope) or "<module>"
+            self.deprecations.append(DeprecationSite(
+                owner=owner, lineno=node.lineno,
+                col=node.col_offset + 1,
+                remove_in=self._remove_in(node)))
+        if callee:
+            suspects = self._suspect_args(node)
+            if suspects:
+                self.suspect_calls.append(CallInfo(
+                    callee=callee, lineno=node.lineno,
+                    col=node.col_offset + 1, suspect=suspects))
+        self.generic_visit(node)
+
+    @staticmethod
+    def _is_deprecation(node: ast.Call) -> bool:
+        exprs = list(node.args) + [kw.value for kw in node.keywords
+                                   if kw.arg == "category"]
+        return any(_terminal(expr) == "DeprecationWarning"
+                   for expr in exprs)
+
+    def _remove_in(self, node: ast.Call) -> str | None:
+        first = max(node.lineno - 1, 1)
+        last = node.end_lineno or node.lineno
+        for lineno in range(first, last + 1):
+            if lineno > len(self.lines):
+                break
+            match = _REMOVE_IN_RE.search(self.lines[lineno - 1])
+            if match:
+                return match.group("version")
+        return None
+
+    @staticmethod
+    def _suspect_args(node: ast.Call) -> tuple[SuspectArg, ...]:
+        found: list[SuspectArg] = []
+        for position, arg in enumerate(node.args):
+            if isinstance(arg, ast.Starred):
+                continue
+            desc = _is_timey_expr(arg)
+            if desc:
+                found.append(SuspectArg(position=position,
+                                        keyword=None, desc=desc))
+        for kw in node.keywords:
+            if kw.arg is None:
+                continue
+            desc = _is_timey_expr(kw.value)
+            if desc:
+                found.append(SuspectArg(position=None,
+                                        keyword=kw.arg, desc=desc))
+        return tuple(found)
+
+
+def extract_summary(path: str, source: str, tree: ast.Module,
+                    module: str) -> ModuleSummary:
+    """Reduce one parsed file to its :class:`ModuleSummary`."""
+    # Relative imports resolve against the containing package: the
+    # module itself for an ``__init__.py``, its parent otherwise.
+    if path.endswith("__init__.py"):
+        package = module
+    else:
+        package = module.rpartition(".")[0]
+    extractor = _Extractor(module, source, package)
+    extractor.visit(tree)
+    mutable_globals = tuple(
+        MutableGlobal(
+            name=info.name, lineno=info.lineno, col=info.col,
+            kind=info.kind,
+            mutations=tuple(extractor.mutations.get(info.name, ())))
+        for info in extractor.globals.values())
+    digest = hashlib.sha256(source.encode("utf-8")).hexdigest()
+    return ModuleSummary(
+        module=module, path=path, digest=digest,
+        imports=tuple(sorted(extractor.imports)),
+        bindings=tuple(sorted(
+            (name, mod, sym)
+            for name, (mod, sym) in extractor.bindings.items())),
+        functions=tuple(extractor.functions),
+        classes=tuple(extractor.classes),
+        mutable_globals=mutable_globals,
+        deprecations=tuple(extractor.deprecations),
+        suspect_calls=tuple(extractor.suspect_calls),
+        call_names=tuple(sorted(
+            (name, tuple(spots))
+            for name, spots in extractor.call_names.items())),
+    )
+
+
+class ProjectModel:
+    """The import graph over a set of module summaries.
+
+    All derived views (closures, deep digests, reachability) are
+    memoized; the model is immutable once built.
+    """
+
+    def __init__(self, summaries: Mapping[str, ModuleSummary]):
+        self.summaries: dict[str, ModuleSummary] = dict(summaries)
+        #: module -> project modules it imports (edges inside model).
+        self.graph: dict[str, frozenset[str]] = {}
+        known = set(self.summaries)
+        for name, summary in self.summaries.items():
+            edges = set()
+            for imported in summary.imports:
+                resolved = self._narrow(imported, known)
+                if resolved and resolved != name:
+                    edges.add(resolved)
+            self.graph[name] = frozenset(edges)
+        self._closures: dict[str, frozenset[str]] = {}
+        self._deep: dict[str, str] = {}
+
+    @staticmethod
+    def _narrow(imported: str, known: set[str]) -> str | None:
+        """Map an imported dotted path onto a module in the model.
+
+        ``import repro.netstack.pcap`` resolves directly; importing a
+        package maps to its ``__init__`` module when that file is in
+        the model under the package's dotted name.
+        """
+        candidate = imported
+        while candidate:
+            if candidate in known:
+                return candidate
+            candidate = candidate.rpartition(".")[0]
+        return None
+
+    def modules(self) -> list[str]:
+        return sorted(self.summaries)
+
+    def closure(self, module: str) -> frozenset[str]:
+        """Transitive imports of ``module`` (module excluded)."""
+        cached = self._closures.get(module)
+        if cached is not None:
+            return cached
+        seen: set[str] = set()
+        stack = list(self.graph.get(module, ()))
+        while stack:
+            current = stack.pop()
+            if current in seen:
+                continue
+            seen.add(current)
+            stack.extend(self.graph.get(current, ()))
+        seen.discard(module)
+        result = frozenset(seen)
+        self._closures[module] = result
+        return result
+
+    def deep_digest(self, module: str) -> str:
+        """Hash over the module's summary and its whole closure."""
+        cached = self._deep.get(module)
+        if cached is not None:
+            return cached
+        digest = hashlib.sha256()
+        members = sorted({module, *self.closure(module)})
+        for member in members:
+            summary = self.summaries.get(member)
+            digest.update(member.encode())
+            digest.update(b"\0")
+            digest.update((summary.digest if summary else "").encode())
+            digest.update(b"\0")
+        result = digest.hexdigest()
+        self._deep[module] = result
+        return result
+
+    def reachable_from(self, root: str) -> frozenset[str]:
+        """Modules in ``root``'s package plus everything they import."""
+        prefix = root + "."
+        roots = [name for name in self.summaries
+                 if name == root or name.startswith(prefix)]
+        reachable: set[str] = set(roots)
+        for name in roots:
+            reachable |= self.closure(name)
+        return frozenset(reachable)
+
+    def resolve_callable(self, module: str, callee: str) -> \
+            tuple[str, FunctionInfo | ClassInfo] | None:
+        """Resolve a dotted call target through the import bindings.
+
+        Handles ``f(...)`` (``from x import f``), ``mod.f(...)``
+        (``import x as mod`` / ``from pkg import mod``) and
+        ``Class(...)`` constructor calls (dataclass field names act
+        as the parameter list).  Returns ``(defining_module, info)``
+        or ``None`` when the target is outside the model.
+        """
+        summary = self.summaries.get(module)
+        if summary is None:
+            return None
+        bindings = summary.binding_map()
+        head, _, rest = callee.partition(".")
+        target_module: str | None = None
+        symbol: str | None = None
+        if head in bindings:
+            bound_module, bound_symbol = bindings[head]
+            if bound_symbol is None:
+                # A module binding: the rest names the symbol (one
+                # attribute hop only — deeper chains are methods).
+                if rest and "." not in rest:
+                    target_module, symbol = bound_module, rest
+                elif rest:
+                    deeper, _, last = rest.rpartition(".")
+                    target_module = f"{bound_module}.{deeper}"
+                    symbol = last
+            elif not rest:
+                target_module, symbol = bound_module, bound_symbol
+            elif "." not in rest:
+                # ``from pkg import mod`` then ``mod.f(...)`` — the
+                # bound name is a submodule when the model knows it.
+                candidate = f"{bound_module}.{bound_symbol}"
+                if candidate in self.summaries:
+                    target_module, symbol = candidate, rest
+        elif not rest:
+            target_module, symbol = module, head
+        if target_module is None or symbol is None:
+            return None
+        target = self.summaries.get(target_module)
+        if target is None:
+            return None
+        info = target.function(symbol)
+        if info is not None:
+            return target_module, info
+        cls = target.class_named(symbol)
+        if cls is not None and cls.is_dataclass:
+            return target_module, cls
+        return None
+
+    def call_sites(self, name: str,
+                   limit: int = 5) -> list[tuple[str, int, int]]:
+        """Up to ``limit`` call sites of ``name`` across the model."""
+        sites: list[tuple[str, int, int]] = []
+        for module in self.modules():
+            summary = self.summaries[module]
+            for called, spots in summary.call_names:
+                if called != name:
+                    continue
+                for line, col in spots:
+                    sites.append((summary.path, line, col))
+        return sites[:limit]
+
+
+def callable_params(info: FunctionInfo | ClassInfo
+                    ) -> tuple[tuple[str, ...], tuple[str, ...]]:
+    """(positional, kw-only) parameter names of a resolved callable."""
+    if isinstance(info, FunctionInfo):
+        return info.params, info.kwonly
+    return tuple(field.name for field in info.fields), ()
+
+
+def summaries_digest(summaries: Mapping[str, ModuleSummary]) -> str:
+    """One hash over every summary (whole-model cache key)."""
+    digest = hashlib.sha256()
+    for name in sorted(summaries):
+        digest.update(name.encode())
+        digest.update(b"\0")
+        digest.update(summaries[name].digest.encode())
+        digest.update(b"\0")
+    return digest.hexdigest()
+
+
+__all__ = [
+    "CallInfo", "ClassInfo", "DeprecationSite", "FieldInfo",
+    "FunctionInfo", "JsonMethod", "ModuleSummary", "MutableGlobal",
+    "MutationSite", "ProjectModel", "SuspectArg", "TICK_NAME_RE",
+    "TIME_NAME_RE", "callable_params", "extract_summary",
+    "summaries_digest",
+]

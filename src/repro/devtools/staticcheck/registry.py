@@ -1,9 +1,14 @@
 """Rule base classes and the pluggable rule registry.
 
-Rules come in two flavours:
+Rules come in three flavours:
 
 * :class:`AstRule` — runs once per source file against its parsed AST
   (determinism, struct-format, hygiene rules);
+* :class:`CrossFileRule` — runs against the phase-1
+  :class:`~repro.devtools.staticcheck.project.ProjectModel`, either
+  per module (cached against the module's dependency-aware deep
+  digest) or once per model (shard-safety, schema-drift,
+  deprecation-expiry, time-unit-flow);
 * :class:`ProjectRule` — runs once per lint invocation against the
   project itself (the constants-consistency rule, which imports the
   dispatch tables and cross-checks them).
@@ -18,9 +23,12 @@ from __future__ import annotations
 import ast
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Callable, Iterable, Iterator
+from typing import TYPE_CHECKING, Callable, Iterable, Iterator
 
 from .findings import Finding, Severity
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .project import ModuleSummary, ProjectModel
 
 
 @dataclass
@@ -60,11 +68,18 @@ class FileContext:
 
 
 class Rule:
-    """Base class: subclasses set ``rule_id``/``description``."""
+    """Base class: subclasses set ``rule_id``/``description``.
+
+    ``version`` is part of the result-cache key: bump it whenever a
+    rule's semantics change in a way the staticcheck package digest
+    cannot see (external inputs such as docs tables, pyproject
+    metadata, or data files the rule reads).
+    """
 
     rule_id: str = ""
     description: str = ""
     severity: Severity = Severity.ERROR
+    version: int = 1
 
 
 class AstRule(Rule):
@@ -72,6 +87,34 @@ class AstRule(Rule):
 
     def check_file(self, ctx: FileContext) -> Iterator[Finding]:
         raise NotImplementedError  # pragma: no cover
+
+
+class CrossFileRule(Rule):
+    """A rule over the phase-1 project model.
+
+    Implement :meth:`check_module` for per-module analyses whose
+    result depends only on the module plus its transitive imports —
+    the engine caches those against the module's deep digest.
+    Implement :meth:`check_model` for genuinely global analyses
+    (always re-run).  A rule may implement both.
+    """
+
+    def check_module(self, model: "ProjectModel",
+                     summary: "ModuleSummary") -> Iterator[Finding]:
+        return iter(())
+
+    def check_model(self, model: "ProjectModel") -> Iterator[Finding]:
+        return iter(())
+
+    def module_key_extra(self, model: "ProjectModel",
+                         module: str) -> str:
+        """Extra cache-key material for :meth:`check_module`.
+
+        Override when a module's verdict depends on whole-graph
+        properties its own closure cannot see (e.g. *reverse*
+        reachability for shard-safety).
+        """
+        return ""
 
 
 class ProjectRule(Rule):

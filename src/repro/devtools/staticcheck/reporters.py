@@ -36,12 +36,14 @@ def format_text(result: RunResult) -> str:
                f"in {result.files_checked} file(s)")
     if result.suppressed:
         summary += f"; {result.suppressed} suppressed"
+    if result.baselined:
+        summary += f"; {result.baselined} baselined"
     lines.append(summary)
     return "\n".join(lines)
 
 
 def _finding_dict(finding: Finding) -> dict:
-    return {
+    entry = {
         "path": finding.path,
         "line": finding.line,
         "col": finding.col,
@@ -49,6 +51,11 @@ def _finding_dict(finding: Finding) -> dict:
         "severity": finding.severity.label,
         "message": finding.message,
     }
+    if finding.related:
+        entry["related"] = [
+            {"path": loc.path, "line": loc.line,
+             "message": loc.message} for loc in finding.related]
+    return entry
 
 
 def format_json(result: RunResult) -> str:
@@ -56,6 +63,7 @@ def format_json(result: RunResult) -> str:
         "tool": {"name": TOOL_NAME, "version": TOOL_VERSION},
         "files_checked": result.files_checked,
         "suppressed": result.suppressed,
+        "baselined": result.baselined,
         "rules": result.rule_ids,
         "findings": [_finding_dict(finding)
                      for finding in result.findings],
@@ -76,6 +84,39 @@ def _rule_metadata(rule_ids: list[str]) -> list[dict]:
             for rule_id in sorted(set(rule_ids))]
 
 
+def _sarif_result(finding: Finding) -> dict:
+    entry: dict = {
+        "ruleId": finding.rule_id,
+        "level": finding.severity.sarif_level,
+        "message": {"text": finding.message},
+        "locations": [{
+            "physicalLocation": {
+                "artifactLocation": {
+                    "uri": finding.path.replace("\\", "/")},
+                "region": {
+                    "startLine": finding.line,
+                    "startColumn": finding.col,
+                },
+            }
+        }],
+    }
+    if finding.related:
+        # Cross-file findings point at the other side of the edge
+        # (the callee definition, the docs table, the mutation site).
+        entry["relatedLocations"] = [
+            {
+                "physicalLocation": {
+                    "artifactLocation": {
+                        "uri": loc.path.replace("\\", "/")},
+                    "region": {"startLine": loc.line},
+                },
+                "message": {"text": loc.message},
+            }
+            for loc in finding.related
+        ]
+    return entry
+
+
 def format_sarif(result: RunResult) -> str:
     reported_rules = sorted({finding.rule_id
                              for finding in result.findings}
@@ -90,24 +131,8 @@ def format_sarif(result: RunResult) -> str:
                 "rules": _rule_metadata(reported_rules),
             }
         },
-        "results": [
-            {
-                "ruleId": finding.rule_id,
-                "level": finding.severity.sarif_level,
-                "message": {"text": finding.message},
-                "locations": [{
-                    "physicalLocation": {
-                        "artifactLocation": {
-                            "uri": finding.path.replace("\\", "/")},
-                        "region": {
-                            "startLine": finding.line,
-                            "startColumn": finding.col,
-                        },
-                    }
-                }],
-            }
-            for finding in result.findings
-        ],
+        "results": [_sarif_result(finding)
+                    for finding in result.findings],
     }
     document = {
         "$schema": SARIF_SCHEMA,

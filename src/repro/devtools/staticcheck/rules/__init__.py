@@ -5,4 +5,5 @@ registry; adding a module here (and importing it below) is all a new
 rule needs to appear in ``repro lint``.
 """
 
-from . import consistency, determinism, hygiene, structfmt  # noqa: F401
+from . import (consistency, crossfile, determinism,  # noqa: F401
+               hygiene, structfmt)

@@ -1,0 +1,9 @@
+"""Cross-file rules (phase 2): run against the project model.
+
+Importing this package registers the four whole-program rule
+families: shard-safety, schema-drift, deprecation-expiry and
+time-unit-flow.
+"""
+
+from . import (deprecation, schemadrift, shardsafety,  # noqa: F401
+               timeflow)

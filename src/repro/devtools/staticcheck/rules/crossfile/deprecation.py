@@ -1,0 +1,109 @@
+"""Deprecation-expiry: shims must name, and honor, a removal release.
+
+Every ``warnings.warn(..., DeprecationWarning)`` site must carry a
+``# staticcheck: remove-in=X.Y`` annotation on the call or the line
+above it.  The rule then compares each declared removal release
+against the project version in ``pyproject.toml``:
+
+* an **unannotated** site has no expiry and would live forever —
+  flagged until a removal release is declared;
+* an **expired** site (``remove_in`` <= current version) means the
+  release that was supposed to delete the shim has shipped with the
+  shim still in place — flagged, with the surviving call sites of
+  the deprecated API attached as related locations so the cleanup
+  is a guided edit, not an archaeology dig.
+
+This is inherently a whole-program judgement: the expiry depends on
+``pyproject.toml`` and the call-site inventory spans every module, so
+the rule runs model-scoped (uncached) in phase 2.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+from typing import Iterator
+
+from ...findings import Finding, RelatedLocation, Severity
+from ...project import ProjectModel
+from ...registry import CrossFileRule, register
+
+_VERSION_RE = re.compile(
+    r'^version\s*=\s*"(?P<version>\d+(?:\.\d+)*)"', re.MULTILINE)
+
+
+def _project_version(start: Path) -> str | None:
+    """``version = "X.Y.Z"`` from the nearest pyproject.toml."""
+    for directory in (start, *start.parents):
+        candidate = directory / "pyproject.toml"
+        try:
+            text = candidate.read_text(encoding="utf-8")
+        except OSError:
+            continue
+        match = _VERSION_RE.search(text)
+        if match:
+            return match.group("version")
+    return None
+
+
+def _release_tuple(version: str) -> tuple[int, ...]:
+    return tuple(int(part) for part in version.split("."))
+
+
+@register
+class DeprecationExpiryRule(CrossFileRule):
+    """Unannotated or past-due DeprecationWarning sites."""
+
+    rule_id = "deprecation-expiry"
+    description = ("every DeprecationWarning site must declare "
+                   "`# staticcheck: remove-in=X.Y`; sites whose "
+                   "release has shipped are flagged with the "
+                   "surviving call sites of the deprecated API")
+    severity = Severity.ERROR
+    version = 1
+
+    def __init__(self, current_version: str | None = None):
+        #: None -> read from the nearest pyproject.toml at run time.
+        self.current_version = current_version
+
+    def check_model(self, model: ProjectModel) -> Iterator[Finding]:
+        current = self.current_version
+        if current is None:
+            anchor = next(
+                (Path(model.summaries[name].path).parent
+                 for name in model.modules()), Path.cwd())
+            current = _project_version(anchor.resolve()) or "0"
+        current_release = _release_tuple(current)
+        for name in model.modules():
+            summary = model.summaries[name]
+            for site in summary.deprecations:
+                owner = site.owner
+                if site.remove_in is None:
+                    yield Finding(
+                        path=summary.path, line=site.lineno,
+                        col=site.col, rule_id=self.rule_id,
+                        message=(f"DeprecationWarning in `{owner}` "
+                                 "declares no removal release — "
+                                 "annotate the warn() call with "
+                                 "`# staticcheck: remove-in=X.Y`"),
+                        severity=self.severity)
+                    continue
+                if _release_tuple(site.remove_in) > current_release:
+                    continue
+                related = tuple(
+                    RelatedLocation(path=path, line=line,
+                                    message=f"`{owner}` still "
+                                            "called here")
+                    for path, line, _col
+                    in model.call_sites(owner)
+                    if not (path == summary.path
+                            and line == site.lineno))
+                yield Finding(
+                    path=summary.path, line=site.lineno,
+                    col=site.col, rule_id=self.rule_id,
+                    message=(f"deprecated API `{owner}` was due for "
+                             f"removal in {site.remove_in} and the "
+                             f"current release is {current} — "
+                             "delete the shim and migrate the "
+                             "remaining call sites"),
+                    severity=self.severity, related=related)

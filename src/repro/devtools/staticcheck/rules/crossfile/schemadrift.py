@@ -1,0 +1,214 @@
+"""Schema-drift: dataclass fields vs ``to_json`` vs the docs table.
+
+The streaming snapshot schema exists in three places that must agree:
+
+1. the snapshot dataclass field inventories in
+   ``repro/stream/snapshots.py``,
+2. the key sets their ``to_json()`` methods emit (the wire form
+   consumed by ``repro monitor`` and any external scraper), and
+3. the schema table in ``docs/streaming.md`` (the marker line
+   ``<!-- staticcheck: schema-table -->`` introduces it).
+
+A field added to the dataclass but never serialized, a key emitted
+but never documented, or a documented key that no longer exists are
+all silent contract breaks for downstream consumers.  This rule
+cross-references all three inventories and reports every disagreement
+with a related location pointing at the other side of the drift.
+
+Serializer methods the extractor could not fully resolve (return
+value not a plain dict literal with constant string keys) are marked
+``complete=False`` in the model and skipped — no reasoning from
+partial key sets.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+from typing import Iterator, Mapping
+
+from ...findings import Finding, RelatedLocation, Severity
+from ...project import ClassInfo, JsonMethod, ProjectModel
+from ...registry import CrossFileRule, register
+
+#: Marker introducing the machine-checked table in the docs.
+SCHEMA_TABLE_MARKER = "<!-- staticcheck: schema-table -->"
+
+#: Dataclass name -> docs-table column certifying its keys.
+_DEFAULT_COLUMNS: Mapping[str, str] = {
+    "LinkSnapshot": "Link",
+    "FleetSnapshot": "Fleet",
+}
+
+#: Cell values that mean "this key is present in this schema".
+_PRESENT_CELLS = frozenset({"✓", "x", "yes", "✔"})
+
+_KEY_CELL_RE = re.compile(r"`(?P<key>[^`]+)`")
+
+
+def _default_docs_path() -> Path:
+    # rules/crossfile/ -> rules -> staticcheck -> devtools -> repro
+    # -> src -> repo root.
+    return Path(__file__).resolve().parents[6] / "docs" \
+        / "streaming.md"
+
+
+def parse_schema_table(text: str) -> dict[str, dict[str, int]] | None:
+    """Column name -> {documented key -> 1-based doc line}.
+
+    Returns ``None`` when the marker or the table is missing.  The
+    table starts on the first ``|``-row after the marker; the header
+    row names the columns, the first cell of each body row holds the
+    backtick-quoted key.
+    """
+    lines = text.splitlines()
+    try:
+        start = next(index for index, line in enumerate(lines)
+                     if SCHEMA_TABLE_MARKER in line)
+    except StopIteration:
+        return None
+    header: list[str] = []
+    table: dict[str, dict[str, int]] = {}
+    for index in range(start + 1, len(lines)):
+        line = lines[index].strip()
+        if not line.startswith("|"):
+            if header:
+                break  # table ended
+            if line:
+                return None  # marker not followed by a table
+            continue
+        cells = [cell.strip() for cell in line.strip("|").split("|")]
+        if not header:
+            header = cells
+            table = {name: {} for name in header[1:]}
+            continue
+        if set(line) <= {"|", "-", " ", ":"}:
+            continue  # separator row
+        match = _KEY_CELL_RE.search(cells[0]) if cells else None
+        if match is None:
+            continue
+        key = match.group("key")
+        for column, cell in zip(header[1:], cells[1:]):
+            if cell.lower() in _PRESENT_CELLS:
+                table[column][key] = index + 1
+    return table if header else None
+
+
+def _complete_json(cls: ClassInfo) -> JsonMethod | None:
+    for method in cls.json_keys:
+        if method.complete:
+            return method
+    return None
+
+
+@register
+class SchemaDriftRule(CrossFileRule):
+    """Three-way snapshot schema consistency (fields/wire/docs)."""
+
+    rule_id = "schema-drift"
+    description = ("snapshot dataclass fields, to_json() keys and "
+                   "the docs/streaming.md schema table must agree — "
+                   "each drift is a silent contract break for "
+                   "monitor consumers")
+    severity = Severity.ERROR
+    version = 1
+
+    def __init__(self, package: str = "repro.stream",
+                 docs_path: Path | None = None,
+                 columns: Mapping[str, str] | None = None):
+        self.package = package
+        self.docs_path = docs_path or _default_docs_path()
+        self.columns = dict(columns if columns is not None
+                            else _DEFAULT_COLUMNS)
+
+    def check_model(self, model: ProjectModel) -> Iterator[Finding]:
+        prefix = self.package + "."
+        in_scope = [
+            model.summaries[name] for name in model.modules()
+            if name == self.package or name.startswith(prefix)]
+        tracked: dict[str, tuple[str, ClassInfo]] = {}
+        for summary in in_scope:
+            for cls in summary.classes:
+                yield from self._fields_vs_wire(summary.path, cls)
+                if cls.name in self.columns:
+                    tracked.setdefault(cls.name, (summary.path, cls))
+        if tracked:
+            yield from self._wire_vs_docs(tracked)
+
+    def _fields_vs_wire(self, path: str,
+                        cls: ClassInfo) -> Iterator[Finding]:
+        method = _complete_json(cls)
+        if method is None or not cls.is_dataclass:
+            return
+        emitted = set(method.keys)
+        for field_info in cls.fields:
+            if field_info.name.startswith("_"):
+                continue
+            if field_info.name not in emitted:
+                yield Finding(
+                    path=path, line=field_info.lineno, col=1,
+                    rule_id=self.rule_id,
+                    message=(f"field `{cls.name}."
+                             f"{field_info.name}` is not emitted by "
+                             f"{method.method}() — the dataclass "
+                             "and its wire form have drifted"),
+                    severity=self.severity,
+                    related=(RelatedLocation(
+                        path=path, line=method.lineno,
+                        message=f"{method.method}() defined here"),))
+
+    def _wire_vs_docs(self, tracked: Mapping[str, tuple[str,
+                                                        ClassInfo]]
+                      ) -> Iterator[Finding]:
+        docs = str(self.docs_path)
+        try:
+            text = self.docs_path.read_text(encoding="utf-8")
+        except OSError:
+            text = None
+        table = parse_schema_table(text) if text is not None else None
+        if table is None:
+            path, cls = next(iter(tracked.values()))
+            yield Finding(
+                path=docs, line=1, col=1, rule_id=self.rule_id,
+                message=(f"schema table marker "
+                         f"`{SCHEMA_TABLE_MARKER}` not found — "
+                         f"cannot certify the wire schema of "
+                         f"{', '.join(sorted(tracked))}"),
+                severity=self.severity,
+                related=(RelatedLocation(
+                    path=path, line=cls.lineno,
+                    message=f"{cls.name} defined here"),))
+            return
+        for name in sorted(tracked):
+            path, cls = tracked[name]
+            column = self.columns[name]
+            method = _complete_json(cls)
+            if method is None:
+                continue  # partial serializer: skip, don't guess
+            documented = table.get(column, {})
+            for key in sorted(set(method.keys) - set(documented)):
+                yield Finding(
+                    path=path, line=method.lineno, col=1,
+                    rule_id=self.rule_id,
+                    message=(f"key `{key}` emitted by {name}."
+                             f"{method.method}() is missing from "
+                             f"the `{column}` column of the schema "
+                             "table — document it"),
+                    severity=self.severity,
+                    related=(RelatedLocation(
+                        path=docs, line=1,
+                        message="schema table in docs"),))
+            for key, line in sorted(documented.items()):
+                if key in method.keys:
+                    continue
+                yield Finding(
+                    path=docs, line=line, col=1,
+                    rule_id=self.rule_id,
+                    message=(f"documented key `{key}` is not "
+                             f"emitted by {name}.{method.method}() "
+                             "— stale docs or a dropped wire key"),
+                    severity=self.severity,
+                    related=(RelatedLocation(
+                        path=path, line=method.lineno,
+                        message=f"{name}.{method.method}() "
+                                "defined here"),))

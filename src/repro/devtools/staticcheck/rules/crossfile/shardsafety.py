@@ -1,0 +1,155 @@
+"""Shard-safety: certify what the multiprocess fleet split needs.
+
+The ROADMAP's next scaling step shards :class:`FleetSupervisor`
+across worker processes — N links per worker, snapshots merged in the
+parent.  Two properties make that split safe, and both are *global*
+properties no per-file rule can see:
+
+* **No shared mutable module state** anywhere `repro.stream`
+  transitively imports.  A module-level registry mutated at runtime
+  diverges silently between workers: each process mutates its own
+  copy and the merged fleet view stops being the sum of its links.
+  Import-time population (decorator registries filled as modules
+  load) is fine — every worker replays it identically — so only
+  *in-function* mutations of module-level containers are flagged.
+* **Pickle-safe, immutable snapshots.**  The snapshot dataclasses are
+  the wire format between workers and the parent; they must be
+  ``@dataclass(frozen=True, slots=True)`` and must not carry fields
+  whose annotations name unpicklable machinery (locks, sockets, open
+  files, live iterators).
+
+A module with no findings under this rule is *shard-safe*: it can be
+imported and executed in a worker process without cross-process state
+divergence.  See docs/static-analysis.md for the certification
+workflow.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterator
+
+from ...findings import Finding, RelatedLocation, Severity
+from ...project import ClassInfo, ModuleSummary, ProjectModel
+from ...registry import CrossFileRule, register
+
+#: Annotation tokens that name machinery pickle cannot move between
+#: processes (or that aliases live state a worker must not share).
+_UNPICKLABLE_RE = re.compile(
+    r"\b(?:Lock|RLock|Condition|Semaphore|Event|Thread|Timer|"
+    r"socket|Socket|TextIO|BinaryIO|IO|Iterator|Generator|"
+    r"Coroutine|weakref)\b")
+
+#: Class-name suffixes that mark the inter-process wire format.
+_SNAPSHOT_SUFFIXES = ("Snapshot",)
+
+_IDENTIFIER_RE = re.compile(r"[A-Za-z_][A-Za-z0-9_]*")
+
+
+def _snapshot_closure(summary: ModuleSummary,
+                      suffixes: tuple[str, ...]) -> list[ClassInfo]:
+    """Snapshot-suffixed dataclasses plus every dataclass their field
+    annotations reference (transitively, within the module)."""
+    by_name = {cls.name: cls for cls in summary.classes
+               if cls.is_dataclass}
+    wanted = [cls for name, cls in by_name.items()
+              if name.endswith(suffixes)]
+    seen = {cls.name for cls in wanted}
+    queue = list(wanted)
+    while queue:
+        cls = queue.pop()
+        for field_info in cls.fields:
+            for token in _IDENTIFIER_RE.findall(
+                    field_info.annotation):
+                member = by_name.get(token)
+                if member is not None and member.name not in seen:
+                    seen.add(member.name)
+                    wanted.append(member)
+                    queue.append(member)
+    return sorted(wanted, key=lambda cls: cls.lineno)
+
+
+@register
+class ShardSafetyRule(CrossFileRule):
+    """Mutable module state and unsafe snapshots in the stream closure."""
+
+    rule_id = "shard-safety"
+    description = ("forbid runtime-mutated module-level state and "
+                   "non-frozen/non-slots/unpicklable snapshot "
+                   "dataclasses in everything repro.stream "
+                   "transitively imports — the multiprocess fleet "
+                   "contract")
+    severity = Severity.ERROR
+    version = 1
+
+    def __init__(self, root: str = "repro.stream",
+                 suffixes: tuple[str, ...] = _SNAPSHOT_SUFFIXES):
+        self.root = root
+        self.suffixes = suffixes
+
+    def module_key_extra(self, model: ProjectModel,
+                         module: str) -> str:
+        # Reachability is a property of the whole import graph, not
+        # of the module's own closure — fold it into the cache key so
+        # re-wiring imports re-judges the module.
+        reachable = module in model.reachable_from(self.root)
+        return f"root={self.root};reachable={int(reachable)}"
+
+    def check_module(self, model: ProjectModel,
+                     summary: ModuleSummary) -> Iterator[Finding]:
+        if summary.module not in model.reachable_from(self.root):
+            return
+        yield from self._check_mutable_state(summary)
+        yield from self._check_snapshots(summary)
+
+    def _check_mutable_state(self, summary: ModuleSummary
+                             ) -> Iterator[Finding]:
+        for state in summary.mutable_globals:
+            if not state.mutations:
+                continue  # import-time constant: replayed per worker
+            related = tuple(
+                RelatedLocation(path=summary.path,
+                                line=site.lineno,
+                                message=site.how)
+                for site in state.mutations[:3])
+            first = state.mutations[0]
+            yield Finding(
+                path=summary.path, line=state.lineno, col=state.col,
+                rule_id=self.rule_id,
+                message=(f"module-level {state.kind} `{state.name}` "
+                         f"is mutated at runtime ({first.how}, "
+                         f"line {first.lineno}) — shared mutable "
+                         "module state diverges across fleet shard "
+                         "workers; hold it on an instance or pass "
+                         "it explicitly"),
+                severity=self.severity, related=related)
+
+    def _check_snapshots(self, summary: ModuleSummary
+                         ) -> Iterator[Finding]:
+        for cls in _snapshot_closure(summary, self.suffixes):
+            missing = [flag for flag, present in
+                       (("frozen=True", cls.frozen),
+                        ("slots=True", cls.slots)) if not present]
+            if missing:
+                yield Finding(
+                    path=summary.path, line=cls.lineno, col=1,
+                    rule_id=self.rule_id,
+                    message=(f"snapshot dataclass `{cls.name}` must "
+                             "be declared @dataclass("
+                             "frozen=True, slots=True) — it is the "
+                             "worker-to-parent wire format (missing: "
+                             f"{', '.join(missing)})"),
+                    severity=self.severity)
+            for field_info in cls.fields:
+                match = _UNPICKLABLE_RE.search(field_info.annotation)
+                if match:
+                    yield Finding(
+                        path=summary.path, line=field_info.lineno,
+                        col=1, rule_id=self.rule_id,
+                        message=(f"snapshot field `{cls.name}."
+                                 f"{field_info.name}` is annotated "
+                                 f"`{field_info.annotation}` — "
+                                 f"`{match.group(0)}` cannot cross "
+                                 "a process boundary; snapshots "
+                                 "must be pickle-safe"),
+                        severity=self.severity)

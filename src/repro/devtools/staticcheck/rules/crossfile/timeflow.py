@@ -1,0 +1,82 @@
+"""Time-unit-flow: float seconds must not cross a ticks boundary.
+
+The repo's timebase is integer microseconds (``Ticks``); the per-file
+``float-timestamp-eq`` rule polices comparisons, but it cannot see a
+float-seconds value handed to a *function defined in another file*
+whose parameter is named ``*_us`` / ``*_ticks``.  That silent
+1e6-scale unit error is exactly the cross-file gap this rule closes:
+
+* phase 1 records every call whose argument *looks like* seconds
+  (``timestamp``, ``ts``, ``deadline``, a float literal, ...),
+* phase 2 resolves the callee through the import bindings to its
+  defining module, maps the argument onto the callee's parameter
+  list (dataclass constructors use their field names), and
+* flags the call when the receiving parameter's name says it wants
+  integer microseconds, attaching the callee definition as a
+  related location.
+
+Calls that cannot be resolved inside the model (stdlib, third party)
+are left alone — the rule only speaks when both sides of the edge
+are in view.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from ...findings import Finding, RelatedLocation, Severity
+from ...project import (TICK_NAME_RE, ModuleSummary, ProjectModel,
+                        callable_params)
+from ...registry import CrossFileRule, register
+
+
+@register
+class TimeUnitFlowRule(CrossFileRule):
+    """Float-seconds arguments bound to ``*_us``/``*_ticks`` params."""
+
+    rule_id = "time-unit-flow"
+    description = ("flag float-seconds-shaped arguments that bind "
+                   "to an integer-microsecond parameter of a "
+                   "callable defined in another module — a silent "
+                   "1e6-scale unit error")
+    severity = Severity.ERROR
+    version = 1
+
+    def check_module(self, model: ProjectModel,
+                     summary: ModuleSummary) -> Iterator[Finding]:
+        for call in summary.suspect_calls:
+            resolved = model.resolve_callable(summary.module,
+                                              call.callee)
+            if resolved is None:
+                continue
+            target_module, info = resolved
+            positional, kwonly = callable_params(info)
+            for arg in call.suspect:
+                if arg.keyword is not None:
+                    if arg.keyword not in positional \
+                            and arg.keyword not in kwonly:
+                        continue
+                    param = arg.keyword
+                elif arg.position is not None \
+                        and arg.position < len(positional):
+                    param = positional[arg.position]
+                else:
+                    continue
+                if not TICK_NAME_RE.search(param):
+                    continue
+                target = model.summaries[target_module]
+                yield Finding(
+                    path=summary.path, line=call.lineno,
+                    col=call.col, rule_id=self.rule_id,
+                    message=(f"{arg.desc} flows into integer-"
+                             f"microsecond parameter `{param}` of "
+                             f"`{target_module}.{info.name}` — "
+                             "convert with round(seconds * 1_000_"
+                             "000) (or Ticks helpers) before the "
+                             "call"),
+                    severity=self.severity,
+                    related=(RelatedLocation(
+                        path=target.path, line=info.lineno,
+                        message=f"`{info.name}` defined here; "
+                                f"`{param}` is integer "
+                                "microseconds"),))

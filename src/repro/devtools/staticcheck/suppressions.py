@@ -5,6 +5,7 @@ A finding on line *N* is suppressed when line *N* carries::
     ...  # staticcheck: ignore[rule-id]
     ...  # staticcheck: ignore[rule-a, rule-b]
     ...  # staticcheck: ignore            (every rule on this line)
+    ...  # staticcheck: ignore[rule-id] -- reason it is intentional
 
 and a whole file opts out of one rule with a comment anywhere in its
 first ten lines::
@@ -12,7 +13,10 @@ first ten lines::
     # staticcheck: ignore-file[rule-id]
 
 Suppressions are counted so reports can say how many findings were
-waved through — silent suppression totals hide rot.
+waved through — silent suppression totals hide rot.  The optional
+``-- reason`` tail documents *why* a finding is intentional; the
+cross-file rules (shard-safety and friends) expect one on every
+suppression so a sharding reviewer can audit the waivers.
 """
 
 from __future__ import annotations
@@ -23,7 +27,8 @@ from dataclasses import dataclass, field
 from .findings import Finding
 
 _LINE_RE = re.compile(
-    r"#\s*staticcheck:\s*ignore(?:\[(?P<ids>[^\]]*)\])?")
+    r"#\s*staticcheck:\s*ignore(?:\[(?P<ids>[^\]]*)\])?"
+    r"(?:\s*--\s*(?P<reason>.+))?")
 _FILE_RE = re.compile(
     r"#\s*staticcheck:\s*ignore-file\[(?P<ids>[^\]]*)\]")
 
@@ -47,6 +52,8 @@ class SuppressionIndex:
     by_line: dict[int, frozenset[str] | None] = field(
         default_factory=dict)
     file_wide: frozenset[str] = field(default_factory=frozenset)
+    #: line number -> the ``-- reason`` tail, when one was given.
+    reasons: dict[int, str] = field(default_factory=dict)
 
     @classmethod
     def scan(cls, source: str) -> "SuppressionIndex":
@@ -62,6 +69,9 @@ class SuppressionIndex:
             match = _LINE_RE.search(text)
             if match:
                 index.by_line[lineno] = _split_ids(match.group("ids"))
+                reason = match.group("reason")
+                if reason:
+                    index.reasons[lineno] = reason.strip()
         return index
 
     def suppresses(self, finding: Finding) -> bool:

@@ -75,7 +75,7 @@ class CapturedPacket:
     @property
     def timestamp(self) -> float:
         """Deprecated float-seconds view of :attr:`time_us`."""
-        warnings.warn(
+        warnings.warn(  # staticcheck: remove-in=1.1.0
             "CapturedPacket.timestamp is deprecated; use "
             "CapturedPacket.time_us (canonical integer microseconds)",
             DeprecationWarning, stacklevel=2)

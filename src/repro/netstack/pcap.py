@@ -59,7 +59,7 @@ class PcapRecord:
     @property
     def timestamp(self) -> float:
         """Deprecated float-seconds view of :attr:`time_us`."""
-        warnings.warn(
+        warnings.warn(  # staticcheck: remove-in=1.1.0
             "PcapRecord.timestamp is deprecated; use "
             "PcapRecord.time_us (canonical integer microseconds)",
             DeprecationWarning, stacklevel=2)

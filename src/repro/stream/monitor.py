@@ -42,7 +42,7 @@ def _document(snapshot: Snapshot, caller: str) -> Mapping[str, Any]:
     if isinstance(snapshot, (LinkSnapshot, FleetSnapshot)):
         return snapshot.to_json()
     if isinstance(snapshot, Mapping):
-        warnings.warn(
+        warnings.warn(  # staticcheck: remove-in=1.1.0
             f"passing a plain dict to {caller}() is deprecated; pass "
             "a LinkSnapshot or FleetSnapshot (e.g. from "
             "StreamPipeline.link_snapshot())",

@@ -43,7 +43,7 @@ SNAPSHOT_SCHEMA_VERSION = 1
 TOP_ANOMALIES = 5
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class StageCounters:
     """Immutable per-stage accounting (one stage of the event bus)."""
 
@@ -81,7 +81,7 @@ class LinkHealth(enum.Enum):
     DEAD = "dead"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class LinkSnapshot:
     """One pipeline's state at an instant (the per-link contract).
 
@@ -134,7 +134,7 @@ class LinkSnapshot:
         return value if isinstance(value, int) else 0
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class LinkAnomaly:
     """One entry of the fleet's top-K anomaly ranking."""
 
@@ -153,7 +153,7 @@ class LinkAnomaly:
         return (self.alerts, self.failures, self.order_violations)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class FleetSnapshot:
     """The aggregate over every link of a fleet at an instant.
 

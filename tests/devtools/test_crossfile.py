@@ -1,0 +1,677 @@
+"""Tests for the whole-program (phase 2) side of staticcheck.
+
+Covers the project model (import graph, deep digests, callable
+resolution), each cross-file rule family against a seeded fixture
+mini-package where the violation fires exactly once, the
+dependency-aware cache invalidation (editing an imported module
+re-analyses the importer even though its mtime never moved), the
+baseline ratchet, phase-1 parallelism parity, and the CLI flags.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import json
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main as repro_main
+from repro.devtools.staticcheck import (Baseline, Finding,
+                                        ModuleSummary, ProjectModel,
+                                        RelatedLocation, RunResult,
+                                        Severity, extract_summary,
+                                        fingerprint, format_sarif,
+                                        format_text, lint_paths)
+from repro.devtools.staticcheck.cache import (ResultCache,
+                                              rules_signature)
+from repro.devtools.staticcheck.cli import main as lint_main
+from repro.devtools.staticcheck.engine import (discover_files,
+                                               module_path_for)
+from repro.devtools.staticcheck.rules.crossfile.deprecation import (
+    DeprecationExpiryRule)
+from repro.devtools.staticcheck.rules.crossfile.schemadrift import (
+    SchemaDriftRule, parse_schema_table)
+from repro.devtools.staticcheck.rules.crossfile.shardsafety import (
+    ShardSafetyRule)
+from repro.devtools.staticcheck.rules.crossfile.timeflow import (
+    TimeUnitFlowRule)
+from repro.devtools.staticcheck.suppressions import SuppressionIndex
+
+
+def write_package(root: Path, name: str,
+                  files: dict[str, str]) -> Path:
+    """Materialise a fixture mini-package under ``root``."""
+    pkg = root / name
+    pkg.mkdir(parents=True, exist_ok=True)
+    (pkg / "__init__.py").write_text("")
+    for rel, code in files.items():
+        path = pkg / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(textwrap.dedent(code))
+    return pkg
+
+
+def build_model(pkg: Path) -> ProjectModel:
+    """Phase 1 by hand: summaries for every file under ``pkg``."""
+    summaries: dict[str, ModuleSummary] = {}
+    for path in discover_files([pkg]):
+        source = path.read_text()
+        module = module_path_for(path)
+        summaries[module] = extract_summary(
+            str(path), source, ast.parse(source), module)
+    return ProjectModel(summaries)
+
+
+# -- project model ---------------------------------------------------
+
+MODEL_FILES = {
+    "b.py": """
+        VALUE = 1
+
+
+        def helper(time_us):
+            return VALUE + time_us
+    """,
+    "a.py": """
+        from . import b
+        from .b import helper
+
+
+        def top():
+            return helper(b.VALUE)
+    """,
+    "c.py": "OTHER = 2\n",
+}
+
+
+def test_import_graph_and_closure(tmp_path):
+    model = build_model(write_package(tmp_path, "pkg", MODEL_FILES))
+    assert "pkg.b" in model.graph["pkg.a"]
+    assert model.closure("pkg.a") >= {"pkg.b"}
+    assert "pkg.b" not in model.closure("pkg.c")
+
+
+def test_deep_digest_tracks_transitive_imports(tmp_path):
+    pkg = write_package(tmp_path, "pkg", MODEL_FILES)
+    before = build_model(pkg).deep_digest("pkg.a")
+    (pkg / "b.py").write_text("VALUE = 22\n")
+    after = build_model(pkg).deep_digest("pkg.a")
+    assert before != after
+
+
+def test_resolve_callable_through_bindings(tmp_path):
+    model = build_model(write_package(tmp_path, "pkg", MODEL_FILES))
+    direct = model.resolve_callable("pkg.a", "helper")
+    assert direct is not None and direct[0] == "pkg.b"
+    dotted = model.resolve_callable("pkg.a", "b.helper")
+    assert dotted is not None and dotted[0] == "pkg.b"
+    assert dotted[1].params == ("time_us",)
+    assert model.resolve_callable("pkg.a", "json.dumps") is None
+
+
+def test_reachable_from_covers_package_and_imports(tmp_path):
+    model = build_model(write_package(tmp_path, "pkg", MODEL_FILES))
+    reachable = model.reachable_from("pkg")
+    assert {"pkg", "pkg.a", "pkg.b", "pkg.c"} <= reachable
+    assert model.reachable_from("elsewhere") == frozenset()
+
+
+# -- shard-safety ----------------------------------------------------
+
+MUTATED_REGISTRY = """
+    REGISTRY: dict = {}
+
+
+    def remember(key, value):
+        REGISTRY[key] = value
+"""
+
+
+def test_shard_safety_flags_runtime_mutated_global(tmp_path):
+    pkg = write_package(tmp_path, "fleet",
+                        {"state.py": MUTATED_REGISTRY})
+    result = lint_paths([pkg], rules=[ShardSafetyRule(root="fleet")])
+    assert len(result.findings) == 1
+    finding = result.findings[0]
+    assert "REGISTRY" in finding.message
+    assert finding.related and finding.related[0].line > 0
+
+
+def test_shard_safety_allows_import_time_population(tmp_path):
+    pkg = write_package(tmp_path, "fleet", {"tables.py": """
+        DISPATCH = {}
+        DISPATCH["m_sp_na"] = 1
+        FROZEN = {"a": 1}
+    """})
+    result = lint_paths([pkg], rules=[ShardSafetyRule(root="fleet")])
+    assert result.findings == []
+
+
+def test_shard_safety_ignores_unreachable_modules(tmp_path):
+    pkg = write_package(tmp_path, "other",
+                        {"state.py": MUTATED_REGISTRY})
+    result = lint_paths([pkg], rules=[ShardSafetyRule(root="fleet")])
+    assert result.findings == []
+
+
+def test_shard_safety_requires_frozen_slots_snapshot(tmp_path):
+    pkg = write_package(tmp_path, "fleet", {"snap.py": """
+        from dataclasses import dataclass
+
+
+        @dataclass
+        class WorkerSnapshot:
+            count: int
+    """})
+    result = lint_paths([pkg], rules=[ShardSafetyRule(root="fleet")])
+    assert len(result.findings) == 1
+    message = result.findings[0].message
+    assert "frozen=True" in message and "slots=True" in message
+
+
+def test_shard_safety_flags_unpicklable_snapshot_field(tmp_path):
+    pkg = write_package(tmp_path, "fleet", {"snap.py": """
+        from dataclasses import dataclass
+        from threading import Lock
+
+
+        @dataclass(frozen=True, slots=True)
+        class WorkerSnapshot:
+            count: int
+            guard: Lock
+    """})
+    result = lint_paths([pkg], rules=[ShardSafetyRule(root="fleet")])
+    assert len(result.findings) == 1
+    assert "pickle-safe" in result.findings[0].message
+
+
+def test_shard_safety_follows_field_annotation_closure(tmp_path):
+    # StageDetail is not Snapshot-suffixed but is referenced from a
+    # snapshot field, so it joins the wire format and must comply.
+    pkg = write_package(tmp_path, "fleet", {"snap.py": """
+        from dataclasses import dataclass
+
+
+        @dataclass
+        class StageDetail:
+            count: int
+
+
+        @dataclass(frozen=True, slots=True)
+        class LinkSnapshot:
+            detail: StageDetail
+    """})
+    result = lint_paths([pkg], rules=[ShardSafetyRule(root="fleet")])
+    assert len(result.findings) == 1
+    assert "StageDetail" in result.findings[0].message
+
+
+# -- schema-drift ----------------------------------------------------
+
+WIRE_SNAPSHOT = """
+    from dataclasses import dataclass
+
+
+    @dataclass(frozen=True, slots=True)
+    class ItemSnapshot:
+        name: str
+        count: int
+        extra: int
+
+        def to_json(self):
+            return {"name": self.name, "count": self.count,
+                    "undocumented": 1}
+"""
+
+DOCS_TABLE = """\
+# wire schema
+
+<!-- staticcheck: schema-table -->
+
+| Key | Item |
+| --- | --- |
+| `name` | ✓ |
+| `count` | ✓ |
+| `legacy` | ✓ |
+"""
+
+
+def schema_rule(tmp_path: Path, docs: str) -> SchemaDriftRule:
+    docs_path = tmp_path / "schema.md"
+    docs_path.write_text(docs, encoding="utf-8")
+    return SchemaDriftRule(package="wire", docs_path=docs_path,
+                           columns={"ItemSnapshot": "Item"})
+
+
+def test_schema_drift_three_way(tmp_path):
+    pkg = write_package(tmp_path, "wire",
+                        {"snap.py": WIRE_SNAPSHOT})
+    rule = schema_rule(tmp_path, DOCS_TABLE)
+    result = lint_paths([pkg], rules=[rule])
+    messages = sorted(f.message for f in result.findings)
+    assert len(messages) == 3
+    assert any("`ItemSnapshot.extra` is not emitted" in m
+               for m in messages)
+    assert any("key `undocumented` emitted" in m for m in messages)
+    assert any("documented key `legacy` is not emitted" in m
+               for m in messages)
+
+
+def test_schema_drift_clean_when_all_three_agree(tmp_path):
+    pkg = write_package(tmp_path, "wire", {"snap.py": """
+        from dataclasses import dataclass
+
+
+        @dataclass(frozen=True, slots=True)
+        class ItemSnapshot:
+            name: str
+
+            def to_json(self):
+                return {"name": self.name}
+    """})
+    docs = ("<!-- staticcheck: schema-table -->\n\n"
+            "| Key | Item |\n| --- | --- |\n| `name` | ✓ |\n")
+    result = lint_paths([pkg], rules=[schema_rule(tmp_path, docs)])
+    assert result.findings == []
+
+
+def test_schema_drift_missing_marker_is_one_finding(tmp_path):
+    pkg = write_package(tmp_path, "wire",
+                        {"snap.py": WIRE_SNAPSHOT})
+    rule = schema_rule(tmp_path, "# no table here\n")
+    result = lint_paths([pkg], rules=[rule])
+    # fields-vs-wire drift still fires; the docs side collapses to
+    # one missing-marker finding instead of per-key noise.
+    markers = [f for f in result.findings
+               if "schema table marker" in f.message]
+    assert len(markers) == 1
+
+
+def test_schema_drift_skips_partial_serializers(tmp_path):
+    pkg = write_package(tmp_path, "wire", {"snap.py": """
+        from dataclasses import dataclass
+
+
+        @dataclass(frozen=True, slots=True)
+        class ItemSnapshot:
+            name: str
+
+            def to_json(self):
+                if self.name:
+                    return {"name": self.name}
+                return dict(name="")
+    """})
+    docs = ("<!-- staticcheck: schema-table -->\n\n"
+            "| Key | Item |\n| --- | --- |\n| `name` | ✓ |\n")
+    result = lint_paths([pkg], rules=[schema_rule(tmp_path, docs)])
+    assert result.findings == []
+
+
+def test_parse_schema_table():
+    table = parse_schema_table(DOCS_TABLE)
+    assert table is not None
+    assert set(table["Item"]) == {"name", "count", "legacy"}
+    assert table["Item"]["name"] == 7  # 1-based doc line
+    assert parse_schema_table("# nothing\n") is None
+
+
+# -- deprecation-expiry ----------------------------------------------
+
+def test_deprecation_without_remove_in_is_flagged(tmp_path):
+    pkg = write_package(tmp_path, "legacy", {"shim.py": """
+        import warnings
+
+
+        def old_api():
+            warnings.warn("old_api is deprecated",
+                          DeprecationWarning, stacklevel=2)
+    """})
+    rule = DeprecationExpiryRule(current_version="1.0.0")
+    result = lint_paths([pkg], rules=[rule])
+    assert len(result.findings) == 1
+    assert "remove-in" in result.findings[0].message
+
+
+def test_expired_deprecation_lists_surviving_call_sites(tmp_path):
+    pkg = write_package(tmp_path, "legacy", {
+        "shim.py": """
+            import warnings
+
+
+            def old_api():
+                warnings.warn(  # staticcheck: remove-in=0.9
+                    "old_api is deprecated", DeprecationWarning)
+        """,
+        "user.py": """
+            from .shim import old_api
+
+
+            def use():
+                return old_api()
+        """,
+    })
+    rule = DeprecationExpiryRule(current_version="1.0.0")
+    result = lint_paths([pkg], rules=[rule])
+    assert len(result.findings) == 1
+    finding = result.findings[0]
+    assert "due for removal in 0.9" in finding.message
+    assert any(loc.path.endswith("user.py")
+               for loc in finding.related)
+
+
+def test_future_deprecation_is_clean(tmp_path):
+    pkg = write_package(tmp_path, "legacy", {"shim.py": """
+        import warnings
+
+
+        def old_api():
+            warnings.warn(  # staticcheck: remove-in=9.0
+                "old_api is deprecated", DeprecationWarning)
+    """})
+    rule = DeprecationExpiryRule(current_version="1.0.0")
+    result = lint_paths([pkg], rules=[rule])
+    assert result.findings == []
+
+
+# -- time-unit-flow --------------------------------------------------
+
+TIMEFLOW_FILES = {
+    "clockapi.py": """
+        def schedule(event, time_us):
+            return (event, time_us)
+    """,
+    "caller.py": """
+        from .clockapi import schedule
+
+
+        def run(timestamp):
+            return schedule("x", timestamp)
+    """,
+}
+
+
+def test_time_unit_flow_flags_seconds_into_us_param(tmp_path):
+    pkg = write_package(tmp_path, "timing", TIMEFLOW_FILES)
+    result = lint_paths([pkg], rules=[TimeUnitFlowRule()])
+    assert len(result.findings) == 1
+    finding = result.findings[0]
+    assert finding.path.endswith("caller.py")
+    assert "`time_us`" in finding.message
+    assert finding.related[0].path.endswith("clockapi.py")
+
+
+def test_time_unit_flow_keyword_argument(tmp_path):
+    pkg = write_package(tmp_path, "timing", {
+        "clockapi.py": TIMEFLOW_FILES["clockapi.py"],
+        "caller.py": """
+            from . import clockapi
+
+
+            def run(deadline):
+                return clockapi.schedule("x", time_us=deadline)
+        """,
+    })
+    result = lint_paths([pkg], rules=[TimeUnitFlowRule()])
+    assert len(result.findings) == 1
+    assert "`deadline`" in result.findings[0].message
+
+
+def test_time_unit_flow_accepts_tick_named_values(tmp_path):
+    pkg = write_package(tmp_path, "timing", {
+        "clockapi.py": TIMEFLOW_FILES["clockapi.py"],
+        "caller.py": """
+            from .clockapi import schedule
+
+
+            def run(start_us):
+                return schedule("x", start_us)
+        """,
+    })
+    result = lint_paths([pkg], rules=[TimeUnitFlowRule()])
+    assert result.findings == []
+
+
+def test_time_unit_flow_ignores_unresolved_callees(tmp_path):
+    pkg = write_package(tmp_path, "timing", {"caller.py": """
+        import sched
+
+
+        def run(timestamp):
+            return sched.delay("x", timestamp)
+    """})
+    result = lint_paths([pkg], rules=[TimeUnitFlowRule()])
+    assert result.findings == []
+
+
+# -- suppressions on cross-file findings -----------------------------
+
+def test_crossfile_finding_respects_suppression_with_reason(tmp_path):
+    suppressed_registry = (
+        "REGISTRY: dict = {}  "
+        "# staticcheck: ignore[shard-safety] -- process-local\n"
+        "\n"
+        "\n"
+        "def remember(key, value):\n"
+        "    REGISTRY[key] = value\n")
+    pkg = write_package(tmp_path, "fleet",
+                        {"state.py": suppressed_registry})
+    result = lint_paths([pkg], rules=[ShardSafetyRule(root="fleet")])
+    assert result.findings == []
+    assert result.suppressed == 1
+    index = SuppressionIndex.scan((pkg / "state.py").read_text())
+    assert "process-local" in "".join(index.reasons.values())
+
+
+# -- dependency-aware invalidation -----------------------------------
+
+def test_editing_imported_module_reanalyzes_importer(tmp_path):
+    pkg = write_package(tmp_path, "pkg", {
+        "b.py": "VALUE = 1\n",
+        "a.py": "from . import b\n\n\ndef get():\n"
+                "    return b.VALUE\n",
+        "c.py": "OTHER = 2\n",
+    })
+    cache_path = tmp_path / "cache.json"
+
+    def run() -> RunResult:
+        return lint_paths([pkg], select=["shard-safety"],
+                          cache=ResultCache(path=cache_path))
+
+    first = run()
+    assert set(first.reanalyzed) == {"pkg", "pkg.a", "pkg.b",
+                                     "pkg.c"}
+    second = run()
+    assert second.reanalyzed == []  # everything served from cache
+    (pkg / "b.py").write_text("VALUE = 22\n")
+    third = run()
+    # pkg.a's mtime never moved, but its deep digest changed through
+    # the edited import — the cross-file verdict is recomputed.
+    assert "pkg.a" in third.reanalyzed
+    assert "pkg.b" in third.reanalyzed
+    assert "pkg.c" not in third.reanalyzed
+
+
+def test_rule_version_is_part_of_the_signature():
+    assert rules_signature([("x", 1)]) != rules_signature([("x", 2)])
+    assert rules_signature(["x"]) == rules_signature([("x", 1)])
+
+
+def test_cache_rejects_entries_from_other_rule_version(tmp_path):
+    cache = ResultCache(path=tmp_path / "cache.json")
+    target = tmp_path / "m.py"
+    target.write_text("x = 1\n")
+    old = rules_signature([("r", 1)])
+    new = rules_signature([("r", 2)])
+    cache.put(target, old, [], 0)
+    assert cache.get(target, old) is not None
+    assert cache.get(target, new) is None
+
+
+def test_cache_entry_without_summary_misses_when_needed(tmp_path):
+    cache = ResultCache(path=tmp_path / "cache.json")
+    target = tmp_path / "m.py"
+    target.write_text("x = 1\n")
+    signature = rules_signature(["r"])
+    cache.put(target, signature, [], 0, summary=None)
+    assert cache.get(target, signature) is not None
+    assert cache.get(target, signature, need_summary=True) is None
+
+
+# -- baseline ratchet ------------------------------------------------
+
+def sample_finding(path: str = "src/x.py",
+                   message: str = "boom") -> Finding:
+    return Finding(path=path, line=3, col=1, rule_id="shard-safety",
+                   message=message, severity=Severity.ERROR)
+
+
+def test_baseline_roundtrip_and_apply(tmp_path):
+    findings = [sample_finding(), sample_finding(),
+                sample_finding(message="other")]
+    baseline = Baseline.from_findings(findings)
+    assert len(baseline) == 3
+    path = tmp_path / "baseline.json"
+    baseline.save(path)
+    loaded = Baseline.load(path)
+    new, grandfathered = loaded.apply(findings)
+    assert new == [] and grandfathered == 3
+    # one extra occurrence of a known fingerprint is new
+    new, grandfathered = loaded.apply(findings + [sample_finding()])
+    assert len(new) == 1 and grandfathered == 3
+
+
+def test_baseline_missing_file_is_empty_and_corrupt_raises(tmp_path):
+    assert len(Baseline.load(tmp_path / "absent.json")) == 0
+    corrupt = tmp_path / "corrupt.json"
+    corrupt.write_text("not json")
+    with pytest.raises(ValueError):
+        Baseline.load(corrupt)
+
+
+def test_baseline_file_is_human_auditable(tmp_path):
+    path = tmp_path / "baseline.json"
+    Baseline.from_findings([sample_finding()]).save(path)
+    document = json.loads(path.read_text())
+    entry = document["entries"][0]
+    assert entry["fingerprint"] == fingerprint(sample_finding())
+    assert entry["path"] == "src/x.py"
+    assert entry["rule"] == "shard-safety"
+
+
+def test_lint_paths_applies_baseline(tmp_path):
+    pkg = write_package(tmp_path, "fleet",
+                        {"state.py": MUTATED_REGISTRY})
+    rules = [ShardSafetyRule(root="fleet")]
+    first = lint_paths([pkg], rules=rules)
+    assert len(first.findings) == 1
+    baseline = Baseline.from_findings(first.findings)
+    second = lint_paths([pkg], rules=rules, baseline=baseline)
+    assert second.findings == [] and second.baselined == 1
+
+
+# -- phase-1 parallelism ---------------------------------------------
+
+def test_parallel_phase1_matches_serial(tmp_path):
+    files = {
+        f"mod{index}.py": """
+            def f():
+                try:
+                    return 1
+                except:
+                    raise
+        """
+        for index in range(5)}
+    pkg = write_package(tmp_path, "simnet", files)
+    serial = lint_paths([pkg], select=["bare-except"])
+    parallel = lint_paths([pkg], select=["bare-except"], jobs=2)
+    assert [f.render() for f in parallel.findings] \
+        == [f.render() for f in serial.findings]
+    assert len(serial.findings) == 5
+
+
+# -- reporters: related locations ------------------------------------
+
+def related_result() -> RunResult:
+    finding = Finding(
+        path="src/a.py", line=4, col=1, rule_id="time-unit-flow",
+        message="seconds into ticks", severity=Severity.ERROR,
+        related=(RelatedLocation(path="src/b.py", line=9,
+                                 message="callee defined here"),))
+    return RunResult(findings=[finding], files_checked=2,
+                     rule_ids=["time-unit-flow"])
+
+
+def test_sarif_carries_related_locations():
+    document = json.loads(format_sarif(related_result()))
+    result = document["runs"][0]["results"][0]
+    related = result["relatedLocations"]
+    assert related[0]["physicalLocation"]["artifactLocation"][
+        "uri"] == "src/b.py"
+    assert related[0]["message"]["text"] == "callee defined here"
+
+
+def test_text_report_renders_related_and_baselined():
+    run = related_result()
+    run.baselined = 2
+    text = format_text(run)
+    assert "related: src/b.py:9" in text
+    assert "2 baselined" in text
+
+
+# -- CLI: baseline flags ---------------------------------------------
+
+BARE_EXCEPT = """
+    def f():
+        try:
+            return 1
+        except:
+            raise
+"""
+
+
+def test_cli_baseline_ratchet_flow(tmp_path):
+    pkg = write_package(tmp_path, "simnet",
+                        {"mod.py": BARE_EXCEPT})
+    baseline_path = tmp_path / ".staticcheck-baseline.json"
+    base_args = [str(pkg), "--select", "bare-except", "--no-cache"]
+    assert lint_main(base_args, out=io.StringIO()) == 1
+    assert lint_main(base_args + ["--update-baseline", "--baseline",
+                                  str(baseline_path)],
+                     out=io.StringIO()) == 0
+    assert baseline_path.exists()
+    buffer = io.StringIO()
+    assert lint_main(base_args + ["--baseline",
+                                  str(baseline_path)],
+                     out=buffer) == 0
+    assert "1 baselined" in buffer.getvalue()
+    # a second violation is new relative to the ratchet
+    write_package(tmp_path, "simnet", {"fresh.py": BARE_EXCEPT})
+    assert lint_main(base_args + ["--baseline",
+                                  str(baseline_path)]) == 1
+
+
+def test_cli_corrupt_baseline_is_usage_error(tmp_path):
+    pkg = write_package(tmp_path, "simnet",
+                        {"mod.py": BARE_EXCEPT})
+    corrupt = tmp_path / "bad.json"
+    corrupt.write_text("not json")
+    rc = lint_main([str(pkg), "--select", "bare-except",
+                    "--no-cache", "--baseline", str(corrupt)])
+    assert rc == 2
+
+
+def test_repro_cli_accepts_baseline_flags(tmp_path):
+    pkg = write_package(tmp_path, "simnet",
+                        {"mod.py": BARE_EXCEPT})
+    baseline_path = tmp_path / "ratchet.json"
+    rc = repro_main(["lint", str(pkg), "--select", "bare-except",
+                     "--no-cache", "--update-baseline",
+                     "--baseline", str(baseline_path)])
+    assert rc == 0
+    rc = repro_main(["lint", str(pkg), "--select", "bare-except",
+                     "--no-cache", "--baseline",
+                     str(baseline_path)])
+    assert rc == 0
