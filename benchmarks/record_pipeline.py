@@ -62,9 +62,17 @@ BEFORE = {
 #: The CI gate metrics: cheap to measure and independent of machine
 #: I/O, so a 2x drift reliably means a code regression. The stream
 #: metric covers the repro.stream pipeline (ByteChunk -> decode ->
-#: dispatch) the same way the parser metric covers the codec.
+#: dispatch) the same way the parser metric covers the codec; the
+#: fleet metric covers the sharded supervisor end to end (worker
+#: spawn, per-shard demux, snapshot merge).
 GATE_METRICS = ("strict_parse_ns_per_frame",
-                "stream_decode_ns_per_frame")
+                "stream_decode_ns_per_frame",
+                "fleet_ns_per_packet_w1")
+
+#: Extra --check headroom per metric: process spawn and pipe IPC make
+#: the sharded metric far noisier than the pure-CPU gates, especially
+#: on shared single-core CI runners.
+GATE_HEADROOM = {"fleet_ns_per_packet_w1": 2.0}
 
 
 def _frames(count: int = 2000) -> list[bytes]:
@@ -127,6 +135,48 @@ def measure_stream(frame_count: int = 2000) -> dict:
         "stream_decode_ns_per_frame":
             round(_best_ns(run) / len(frames), 1),
     }
+
+
+def measure_fleet(worker_counts: tuple[int, ...] = (1, 2, 4)) -> dict:
+    """Sharded fleet wall-clock per packet, per worker count.
+
+    Times the whole sharded drive loop — worker spawn, per-shard
+    demux over one merged pcapng, pipeline analysis, typed snapshot
+    merge — so the numbers are honest end-to-end costs. On a
+    single-core host the multi-worker values record the sharding
+    *overhead* (spawn + pipe IPC on top of the same CPU); the
+    parallel win only shows up with real cores to spread over.
+    """
+    from repro.netstack.pcapng import write_pcapng
+    from repro.stream import (MonitorPipelineFactory,
+                              ShardedFleetSupervisor)
+
+    capture = generate_capture(1, CaptureConfig(time_scale=0.001))
+    names = capture.host_names()
+    records = [PcapRecord(time_us=packet.time_us, data=packet.encode())
+               for packet in capture.packets]
+    results: dict = {}
+    with tempfile.TemporaryDirectory() as tmp:
+        merged = pathlib.Path(tmp) / "merged.pcapng"
+        write_pcapng(merged, records)
+        factory = MonitorPipelineFactory(names=names)
+        for workers in worker_counts:
+            def run(workers: int = workers) -> None:
+                with ShardedFleetSupervisor(
+                        factory, workers=workers, path=str(merged),
+                        names=names) as fleet:
+                    while True:
+                        moved = fleet.step()
+                        if not moved and fleet.exhausted:
+                            break
+                        if not moved:
+                            time.sleep(0.005)
+                    fleet.flush()
+                    fleet.snapshot()
+
+            results[f"fleet_ns_per_packet_w{workers}"] = round(
+                _best_ns(run, rounds=2) / len(records), 1)
+    return results
 
 
 def measure_pipeline(scale: float = SCALE) -> dict:
@@ -202,6 +252,7 @@ def build_document(after: dict) -> dict:
 def cmd_record(args) -> int:
     after = measure_parsers()
     after.update(measure_stream())
+    after.update(measure_fleet())
     after.update(measure_pipeline())
     document = build_document(after)
     save_json(args.out, document)
@@ -215,6 +266,7 @@ def cmd_check(args) -> int:
     committed = load_json(args.out)
     measured = measure_parsers()
     measured.update(measure_stream())
+    measured.update(measure_fleet(worker_counts=(1,)))
     failed = []
     for metric in GATE_METRICS:
         value = measured[metric]
@@ -223,13 +275,14 @@ def cmd_check(args) -> int:
             print(f"WARNING: no committed baseline for {metric} at "
                   f"{args.out}; measured {value} ns (gate skipped)")
             continue
+        limit = args.threshold * GATE_HEADROOM.get(metric, 1.0)
         ratio = value / baseline
         print(f"{metric}: measured {value} ns vs committed "
-              f"{baseline} ns ({ratio:.2f}x)")
-        if ratio > args.threshold:
+              f"{baseline} ns ({ratio:.2f}x, limit {limit:.1f}x)")
+        if ratio > limit:
             failed.append(metric)
     if failed:
-        print(f"FAIL: regressed more than {args.threshold}x vs the "
+        print(f"FAIL: regressed past the per-metric limit vs the "
               f"committed baseline: {', '.join(failed)}")
         return 1
     print("OK")

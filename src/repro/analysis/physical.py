@@ -10,12 +10,13 @@ events, and assembles the series behind Figs. 18-20.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Iterator
 
 import numpy as np
 
 from ..iec104.apci import IFrame
 from ..iec104.constants import Cause, TypeID
-from .apdu_stream import StreamExtraction
+from .apdu_stream import ApduEvent, StreamExtraction
 
 #: TypeIDs whose elements carry numeric process values.
 _VALUE_TYPES = {
@@ -107,7 +108,7 @@ class PointSeries:
         return "P"
 
 
-def _element_value(element) -> float | None:
+def _element_value(element: object) -> float | None:
     value = getattr(element, "value", None)
     if value is None:
         return None
@@ -118,7 +119,8 @@ def _element_value(element) -> float | None:
     return None
 
 
-def iter_point_samples(event):
+def iter_point_samples(event: ApduEvent
+                       ) -> Iterator[tuple[PointKey, float, float]]:
     """Yield ``(key, time_s, value)`` for every numeric sample in one
     decoded APDU event.
 
@@ -229,7 +231,7 @@ def symbol_table(extraction: StreamExtraction,
         if len(series) >= 2:
             symbols.setdefault(key.type_id, set()).add(
                 series.inferred_symbol())
-    rows = []
+    rows: list[SymbolRow] = []
     for type_id, senders in sorted(stations.items(),
                                    key=lambda item: -len(item[1])):
         row_symbols = tuple(sorted(symbols.get(type_id, set())))
@@ -254,7 +256,7 @@ class InterestingEvent:
 def interesting_events(extraction: StreamExtraction, top: int = 10,
                        min_samples: int = 5) -> list[InterestingEvent]:
     """The paper's screening for variables changing more than usual."""
-    flagged = []
+    flagged: list[InterestingEvent] = []
     for key, series in extract_series(extraction).items():
         if len(series) < min_samples:
             continue
@@ -274,7 +276,7 @@ def station_series(extraction: StreamExtraction, station: str,
     ``min_samples`` defaults to 2 (a single sample has no dynamics);
     pass 1 to include rarely-reported points such as breaker statuses
     that only show their transition on the wire."""
-    matches = []
+    matches: list[PointSeries] = []
     for key, series in extract_series(extraction).items():
         if key.station != station or len(series) < min_samples:
             continue

@@ -344,13 +344,16 @@ def cmd_monitor(args: argparse.Namespace, out=sys.stdout) -> int:
     One positional capture runs the single-link monitor; repeated
     ``--link NAME=PATH`` runs a fleet with one pipeline per file; a
     positional capture plus ``--demux`` runs a fleet demultiplexed
-    from the one merged file by endpoint pair.
+    from the one merged file by endpoint pair. ``--workers N`` (on a
+    fleet) partitions the links across N worker processes.
     """
-    from .stream import (EvictionPolicy, FleetSupervisor, LinkDemux,
-                         LiveFlowTable, OnlineChains,
-                         OnlineCombinedDetector,
-                         RollingSessionWindows, StreamPipeline,
-                         run_monitor)
+    import os
+    import stat as stat_module
+
+    from .stream import (FleetSupervisor, LinkDemux,
+                         MonitorPipelineFactory,
+                         ShardedFleetSupervisor, run_monitor)
+    from .stream.monitor import MonitorTarget
     link_specs = _parse_link_specs(args.links or [])
     if bool(args.pcap) == bool(link_specs):
         raise SystemExit("repro monitor: give one capture path or "
@@ -359,43 +362,70 @@ def cmd_monitor(args: argparse.Namespace, out=sys.stdout) -> int:
         raise SystemExit(
             "repro monitor: --demux needs a merged capture path")
 
-    def analyzers():
-        return [LiveFlowTable(), OnlineChains(),
-                RollingSessionWindows(), OnlineCombinedDetector()]
-
-    def pipeline_for(source, names, link=""):
-        eviction = None if args.no_evict else EvictionPolicy()
-        return StreamPipeline(source, names=names,
-                              analyzers=analyzers(),
-                              reassemble=args.reassemble,
-                              eviction=eviction, link=link)
+    workers = args.workers
+    if workers == 0:
+        workers = os.cpu_count() or 1
+    if workers < 0:
+        raise SystemExit(
+            f"repro monitor: --workers must be >= 0, got {workers}")
 
     paths = [path for _name, path in link_specs] or [args.pcap]
+    if workers > 1:
+        if not (args.demux or link_specs):
+            raise SystemExit(
+                "repro monitor: --workers needs a fleet (--demux or "
+                "--link NAME=PATH); a single-link monitor has "
+                "nothing to shard")
+        for path in paths:
+            try:
+                regular = stat_module.S_ISREG(os.stat(path).st_mode)
+            except OSError as exc:
+                raise SystemExit(
+                    f"repro monitor: cannot stat {path!r}: {exc}")
+            if not regular:
+                hint = (" (--follow on a pipe cannot be sharded)"
+                        if args.follow else "")
+                raise SystemExit(
+                    "repro monitor: --workers needs seekable regular "
+                    "capture files — every worker opens its own "
+                    f"reader — but {path!r} is not a regular "
+                    f"file{hint}")
+
     names = _monitor_names(args.names, paths)
+    factory = MonitorPipelineFactory(names=names,
+                                     reassemble=args.reassemble,
+                                     evict=not args.no_evict)
+    detect_after_us = (int(args.detect_after * 1_000_000)
+                       if args.detect_after is not None else None)
     sources = []
-    target: StreamPipeline | FleetSupervisor
-    if link_specs:
+    sharded: ShardedFleetSupervisor | None = None
+    if workers > 1:
+        # The workers flip DETECT themselves on their own stream
+        # clocks, so the monitor loop must not also drive the switch.
+        sharded = ShardedFleetSupervisor(
+            factory, workers=workers,
+            path=args.pcap if args.demux else None,
+            links=link_specs, names=names, follow=args.follow,
+            detect_after_us=detect_after_us)
+        target: MonitorTarget = sharded
+        detect_after_us = None
+    elif link_specs:
         fleet = FleetSupervisor()
         for name, path in link_specs:
             source = _monitor_tail_source(path, args.follow)
             sources.append(source)
-            fleet.add_link(pipeline_for(source, names, link=name))
+            fleet.add_link(factory(name, source), name=name)
         target = fleet
     elif args.demux:
         source = _monitor_tail_source(args.pcap, args.follow)
         sources.append(source)
         demux = LinkDemux(source, names=names)
-        target = FleetSupervisor(
-            demux=demux,
-            pipeline_factory=lambda link, substream:
-                pipeline_for(substream, names, link=link))
+        target = FleetSupervisor(demux=demux,
+                                 pipeline_factory=factory)
     else:
         source = _monitor_tail_source(args.pcap, args.follow)
         sources.append(source)
-        target = pipeline_for(source, names,
-                              link=Path(args.pcap).stem)
-    detect_after_us = (int(args.detect_after * 1_000_000)
-                       if args.detect_after is not None else None)
+        target = factory(Path(args.pcap).stem, source)
     try:
         run_monitor(target, out, json_lines=args.json,
                     follow=args.follow, once=args.once,
@@ -407,6 +437,8 @@ def cmd_monitor(args: argparse.Namespace, out=sys.stdout) -> int:
     finally:
         for source in sources:
             source.close()
+        if sharded is not None:
+            sharded.close()
     return 0
 
 
@@ -511,6 +543,14 @@ def build_parser() -> argparse.ArgumentParser:
     monitor.add_argument("--demux", action="store_true",
                          help="split the one merged capture into "
                               "per-link pipelines by endpoint pair")
+    monitor.add_argument("--workers", type=int, default=1,
+                         metavar="N",
+                         help="shard a fleet's links across N worker "
+                              "processes (needs --demux or --link; "
+                              "0 = one per CPU core; default 1 runs "
+                              "everything in-process; captures must "
+                              "be seekable regular files since every "
+                              "worker opens its own reader)")
     monitor.add_argument("--names",
                          help="JSON host-name map (ip -> name); "
                               "defaults to the <capture>.names.json "

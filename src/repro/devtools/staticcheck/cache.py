@@ -48,7 +48,7 @@ CACHE_DIR_ENV = "REPRO_CACHE_DIR"
 _CACHE_FILE = "staticcheck-cache.json"
 
 #: Bump when the on-disk layout changes shape.
-_STORE_VERSION = 2
+_STORE_VERSION = 3
 
 #: Memoized digest of the staticcheck package sources.
 _PACKAGE_DIGEST: str | None = None

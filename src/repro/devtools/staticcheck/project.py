@@ -156,6 +156,23 @@ class CallInfo:
 
 
 @dataclass(frozen=True)
+class ClosureArg:
+    """A lambda or locally-defined function passed as a call argument.
+
+    Neither survives pickling (locals have no importable qualified
+    name), so the shard-safety rule uses these records to flag
+    factories that would have to cross a process boundary.
+    """
+
+    callee: str
+    kind: str
+    lineno: int
+    col: int
+    position: int | None = None
+    keyword: str | None = None
+
+
+@dataclass(frozen=True)
 class ModuleSummary:
     """Everything phase 2 knows about one module."""
 
@@ -170,6 +187,7 @@ class ModuleSummary:
     mutable_globals: tuple[MutableGlobal, ...] = ()
     deprecations: tuple[DeprecationSite, ...] = ()
     suspect_calls: tuple[CallInfo, ...] = ()
+    closure_args: tuple[ClosureArg, ...] = ()
     #: terminal callee name -> (line, col) occurrences, for the
     #: deprecation call-site inventory.
     call_names: tuple[tuple[str, tuple[tuple[int, int], ...]], ...] = ()
@@ -239,6 +257,11 @@ def _decode_summary(raw: Mapping[str, Any]) -> ModuleSummary:
             suspect=_tup(c["suspect"], lambda a: SuspectArg(
                 position=a["position"], keyword=a["keyword"],
                 desc=a["desc"])))),
+        closure_args=_tup(
+            raw.get("closure_args", ()), lambda a: ClosureArg(
+                callee=a["callee"], kind=a["kind"],
+                lineno=a["lineno"], col=a["col"],
+                position=a["position"], keyword=a["keyword"])),
         call_names=tuple(
             (name, tuple((line, col) for line, col in spots))
             for name, spots in raw["call_names"]),
@@ -400,8 +423,12 @@ class _Extractor(ast.NodeVisitor):
         self.mutations: dict[str, list[MutationSite]] = {}
         self.deprecations: list[DeprecationSite] = []
         self.suspect_calls: list[CallInfo] = []
+        self.closure_args: list[ClosureArg] = []
         self.call_names: dict[str, list[tuple[int, int]]] = {}
         self._scope: list[str] = []
+        #: One set of locally-defined function names per enclosing
+        #: *function* scope (closure candidates for calls inside it).
+        self._local_funcs: list[set[str]] = []
 
     # imports -----------------------------------------------------
 
@@ -455,8 +482,13 @@ class _Extractor(ast.NodeVisitor):
                 name=node.name, qualname=qualname,
                 lineno=node.lineno, params=positional,
                 kwonly=kwonly))
+        if self._local_funcs:
+            # Defined inside another function: a closure candidate.
+            self._local_funcs[-1].add(node.name)
         self._scope.append(node.name)
+        self._local_funcs.append(set())
         self.generic_visit(node)
+        self._local_funcs.pop()
         self._scope.pop()
 
     visit_FunctionDef = _visit_def
@@ -556,7 +588,35 @@ class _Extractor(ast.NodeVisitor):
                 self.suspect_calls.append(CallInfo(
                     callee=callee, lineno=node.lineno,
                     col=node.col_offset + 1, suspect=suspects))
+            self._record_closure_args(callee, node)
         self.generic_visit(node)
+
+    def _closure_kind(self, expr: ast.expr) -> str | None:
+        """Describe an unpicklable callable argument, or ``None``."""
+        if isinstance(expr, ast.Lambda):
+            return "a lambda"
+        if isinstance(expr, ast.Name):
+            for local_names in self._local_funcs:
+                if expr.id in local_names:
+                    return f"the local function `{expr.id}`"
+        return None
+
+    def _record_closure_args(self, callee: str,
+                             node: ast.Call) -> None:
+        for position, arg in enumerate(node.args):
+            kind = self._closure_kind(arg)
+            if kind:
+                self.closure_args.append(ClosureArg(
+                    callee=callee, kind=kind, lineno=arg.lineno,
+                    col=arg.col_offset + 1, position=position))
+        for kw in node.keywords:
+            if kw.arg is None:
+                continue
+            kind = self._closure_kind(kw.value)
+            if kind:
+                self.closure_args.append(ClosureArg(
+                    callee=callee, kind=kind, lineno=kw.value.lineno,
+                    col=kw.value.col_offset + 1, keyword=kw.arg))
 
     @staticmethod
     def _is_deprecation(node: ast.Call) -> bool:
@@ -625,6 +685,7 @@ def extract_summary(path: str, source: str, tree: ast.Module,
         mutable_globals=mutable_globals,
         deprecations=tuple(extractor.deprecations),
         suspect_calls=tuple(extractor.suspect_calls),
+        closure_args=tuple(extractor.closure_args),
         call_names=tuple(sorted(
             (name, tuple(spots))
             for name, spots in extractor.call_names.items())),
@@ -801,9 +862,9 @@ def summaries_digest(summaries: Mapping[str, ModuleSummary]) -> str:
 
 
 __all__ = [
-    "CallInfo", "ClassInfo", "DeprecationSite", "FieldInfo",
-    "FunctionInfo", "JsonMethod", "ModuleSummary", "MutableGlobal",
-    "MutationSite", "ProjectModel", "SuspectArg", "TICK_NAME_RE",
-    "TIME_NAME_RE", "callable_params", "extract_summary",
-    "summaries_digest",
+    "CallInfo", "ClassInfo", "ClosureArg", "DeprecationSite",
+    "FieldInfo", "FunctionInfo", "JsonMethod", "ModuleSummary",
+    "MutableGlobal", "MutationSite", "ProjectModel", "SuspectArg",
+    "TICK_NAME_RE", "TIME_NAME_RE", "callable_params",
+    "extract_summary", "summaries_digest",
 ]

@@ -17,6 +17,15 @@ properties no per-file rule can see:
   ``@dataclass(frozen=True, slots=True)`` and must not carry fields
   whose annotations name unpicklable machinery (locks, sockets, open
   files, live iterators).
+* **Picklable worker factories** (version 2).  The sharded fleet of
+  :mod:`repro.stream.shard` ships its pipeline factory into worker
+  processes, so a lambda or locally-defined function passed as the
+  ``factory`` of a shard entrypoint (``ShardedFleetSupervisor``,
+  ``WorkerConfig``, ``run_shard_worker``) can never arrive — pickle
+  has no importable name for it.  Those call sites are flagged
+  *project-wide*, not just inside the stream closure: the worker
+  entrypoints are process roots, and any caller anywhere (the CLI, a
+  script, a test) hits the boundary.
 
 A module with no findings under this rule is *shard-safe*: it can be
 imported and executed in a worker process without cross-process state
@@ -30,8 +39,16 @@ import re
 from typing import Iterator
 
 from ...findings import Finding, RelatedLocation, Severity
-from ...project import ClassInfo, ModuleSummary, ProjectModel
+from ...project import (ClassInfo, FunctionInfo, ModuleSummary,
+                        ProjectModel, callable_params)
 from ...registry import CrossFileRule, register
+
+#: Entrypoint name -> parameter names that cross a process boundary.
+_SHARD_ENTRYPOINTS = {
+    "ShardedFleetSupervisor": ("factory",),
+    "WorkerConfig": ("factory",),
+    "run_shard_worker": ("config",),
+}
 
 #: Annotation tokens that name machinery pickle cannot move between
 #: processes (or that aliases live state a worker must not share).
@@ -80,12 +97,17 @@ class ShardSafetyRule(CrossFileRule):
                    "transitively imports — the multiprocess fleet "
                    "contract")
     severity = Severity.ERROR
-    version = 1
+    version = 2
 
     def __init__(self, root: str = "repro.stream",
-                 suffixes: tuple[str, ...] = _SNAPSHOT_SUFFIXES):
+                 suffixes: tuple[str, ...] = _SNAPSHOT_SUFFIXES,
+                 shard_module: str | None = None):
         self.root = root
         self.suffixes = suffixes
+        #: The module whose entrypoints take worker factories; by
+        #: default the shard module inside ``root``'s package.
+        self.shard_module = shard_module if shard_module is not None \
+            else f"{root}.shard"
 
     def module_key_extra(self, model: ProjectModel,
                          module: str) -> str:
@@ -97,10 +119,40 @@ class ShardSafetyRule(CrossFileRule):
 
     def check_module(self, model: ProjectModel,
                      summary: ModuleSummary) -> Iterator[Finding]:
+        # Factory picklability is checked project-wide: the shard
+        # entrypoints are process roots and any caller hits the
+        # boundary, whether or not repro.stream imports it.
+        yield from self._check_closure_factories(model, summary)
         if summary.module not in model.reachable_from(self.root):
             return
         yield from self._check_mutable_state(summary)
         yield from self._check_snapshots(summary)
+
+    def _check_closure_factories(self, model: ProjectModel,
+                                 summary: ModuleSummary
+                                 ) -> Iterator[Finding]:
+        for arg in summary.closure_args:
+            resolved = _resolve_entrypoint(model, summary.module,
+                                           arg.callee,
+                                           self.shard_module)
+            if resolved is None:
+                continue
+            entrypoint, info = resolved
+            boundary = _SHARD_ENTRYPOINTS[entrypoint]
+            param = _landing_param(info, arg.position, arg.keyword)
+            if param not in boundary:
+                continue
+            yield Finding(
+                path=summary.path, line=arg.lineno, col=arg.col,
+                rule_id=self.rule_id,
+                message=(f"`{entrypoint}` ships `{param}` into a "
+                         f"worker process, but this call passes "
+                         f"{arg.kind} — pickle has no importable "
+                         "name for it, so it cannot cross the "
+                         "process boundary; use a module-level "
+                         "callable or a frozen dataclass factory "
+                         "(e.g. MonitorPipelineFactory)"),
+                severity=self.severity)
 
     def _check_mutable_state(self, summary: ModuleSummary
                              ) -> Iterator[Finding]:
@@ -153,3 +205,75 @@ class ShardSafetyRule(CrossFileRule):
                                  "a process boundary; snapshots "
                                  "must be pickle-safe"),
                         severity=self.severity)
+
+
+def _resolve_entrypoint(model: ProjectModel, module: str,
+                        callee: str, shard_module: str) -> \
+        tuple[str, FunctionInfo | ClassInfo] | None:
+    """Resolve ``callee`` onto a shard entrypoint, or ``None``.
+
+    Goes through :meth:`ProjectModel.resolve_callable` (functions and
+    dataclass constructors), with a fallback for plain classes whose
+    parameter list lives on ``__init__`` — ``ShardedFleetSupervisor``
+    is one of those.  Returns ``(entrypoint_name, info)``.
+    """
+    resolved = model.resolve_callable(module, callee)
+    if resolved is None:
+        resolved = _resolve_plain_constructor(model, module, callee)
+    if resolved is None:
+        return None
+    defining_module, info = resolved
+    if defining_module != shard_module:
+        return None
+    if isinstance(info, FunctionInfo):
+        name = info.qualname.partition(".")[0]
+    else:
+        name = info.name
+    if name not in _SHARD_ENTRYPOINTS:
+        return None
+    return name, info
+
+
+def _resolve_plain_constructor(model: ProjectModel, module: str,
+                               callee: str) -> \
+        tuple[str, FunctionInfo] | None:
+    """Resolve ``Class(...)`` where ``Class`` is not a dataclass:
+    the constructor signature is the class's ``__init__`` method."""
+    summary = model.summaries.get(module)
+    if summary is None:
+        return None
+    bindings = summary.binding_map()
+    head, _, rest = callee.partition(".")
+    target_module: str | None = None
+    symbol: str | None = None
+    if head in bindings:
+        bound_module, bound_symbol = bindings[head]
+        if bound_symbol is not None and not rest:
+            target_module, symbol = bound_module, bound_symbol
+        elif bound_symbol is None and rest and "." not in rest:
+            target_module, symbol = bound_module, rest
+    elif not rest:
+        target_module, symbol = module, head
+    if target_module is None or symbol is None:
+        return None
+    target = model.summaries.get(target_module)
+    if target is None:
+        return None
+    if target.class_named(symbol) is None:
+        return None
+    init = target.function(f"{symbol}.__init__")
+    if init is None:
+        return None
+    return target_module, init
+
+
+def _landing_param(info: FunctionInfo | ClassInfo,
+                   position: int | None,
+                   keyword: str | None) -> str | None:
+    """The parameter name a call argument lands in."""
+    if keyword is not None:
+        return keyword
+    positional, _kwonly = callable_params(info)
+    if position is not None and position < len(positional):
+        return positional[position]
+    return None

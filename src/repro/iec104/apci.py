@@ -16,8 +16,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from .asdu import ASDU
-from .constants import (CONTROL_FIELD_LENGTH, MAX_APDU_LENGTH, START_BYTE,
-                        APDUFormat, UFunction)
+from .constants import (_TYPE_TOKENS, CONTROL_FIELD_LENGTH,
+                        MAX_APDU_LENGTH, START_BYTE, APDUFormat, UFunction)
 from .errors import (ControlFieldError, FramingError, MalformedASDUError,
                      TruncatedError)
 from .profiles import STANDARD_PROFILE, LinkProfile
@@ -49,7 +49,7 @@ class IFrame:
     @property
     def token(self) -> str:
         """Paper Table 4 token (e.g. ``I36``)."""
-        return self.asdu.token
+        return _TYPE_TOKENS[self.asdu.type_id]
 
     def control_field(self) -> bytes:
         return bytes(((self.send_seq << 1) & 0xFF,
@@ -112,6 +112,62 @@ STOPDT_CON = UFrame(UFunction.STOPDT_CON)
 TESTFR_ACT = UFrame(UFunction.TESTFR_ACT)
 TESTFR_CON = UFrame(UFunction.TESTFR_CON)
 
+#: Function-bit lookup for the decode fast path: U-frames are pure
+#: singletons (frozen, field-determined), so every TESTFR/STARTDT on
+#: the wire decodes to a shared instance instead of a fresh enum
+#: round-trip plus allocation.
+_U_FRAMES = {int(frame.function): frame
+             for frame in (STARTDT_ACT, STARTDT_CON, STOPDT_ACT,
+                           STOPDT_CON, TESTFR_ACT, TESTFR_CON)}
+
+#: APCI span kinds produced by :func:`scan_apci` (the low control
+#: bits, normalized): 0 = I-format, 1 = S-format, 3 = U-format.
+SPAN_I, SPAN_S, SPAN_U = 0, 1, 3
+
+
+def scan_apci(buf: bytes, offset: int = 0,
+              limit: int | None = None
+              ) -> tuple[list[tuple[int, int, int]], int]:
+    """One-pass batch frame scan: split and classify without decoding.
+
+    Scans ``buf`` from ``offset`` for consecutive complete APCI frames
+    and returns ``(spans, stop)`` where each span is ``(start, total,
+    kind)`` — frame start offset, total octet count (2 + length) and
+    the APDU format kind (:data:`SPAN_I`/:data:`SPAN_S`/
+    :data:`SPAN_U`) read straight from the control field — and
+    ``stop`` is the offset where scanning ended: the start of a
+    trailing partial frame, of a non-0x68 byte (lost framing), or
+    ``len(buf)``.
+
+    This is the vectorized front half of the decode path: the whole
+    tail-read buffer is split and classified in one tight loop over
+    index arithmetic, and per-frame objects are only built for the
+    frames a caller actually decodes. Emitting spans (index pairs)
+    instead of slices keeps the scan allocation-free.
+
+    A frame whose declared length is shorter than a control field is
+    *not* split here — it is left at ``stop`` for the caller's error
+    path, exactly where the scalar splitter stopped.
+    """
+    spans: list[tuple[int, int, int]] = []
+    size = len(buf)
+    start_byte = START_BYTE
+    while offset + 2 <= size:
+        if buf[offset] != start_byte:
+            break
+        total = 2 + buf[offset + 1]
+        end = offset + total
+        if end > size:
+            break
+        low = (buf[offset + 2] & 0x03) if total > 2 else 0
+        # Low control bits: even -> I-format; 01 -> S; 11 -> U.
+        kind = low if low & 0x01 else SPAN_I
+        spans.append((offset, total, kind))
+        offset = end
+        if limit is not None and len(spans) >= limit:
+            break
+    return spans, offset
+
 
 def decode_apdu(data: bytes | memoryview, offset: int = 0,
                 profile: LinkProfile = STANDARD_PROFILE
@@ -144,35 +200,45 @@ def decode_apdu(data: bytes | memoryview, offset: int = 0,
         raise TruncatedError("APDU extends past buffer", needed=total,
                              available=available)
 
-    control = buf[offset + 2:offset + 2 + CONTROL_FIELD_LENGTH]
-    body = buf[offset + 2 + CONTROL_FIELD_LENGTH:offset + total]
+    # Control octets read by index (no 4-octet slice per frame).
+    control0 = buf[offset + 2]
+    control1 = buf[offset + 3]
+    control2 = buf[offset + 4]
+    control3 = buf[offset + 5]
 
-    if control[0] & 0x01 == 0:  # I-format
-        if not body:
+    if control0 & 0x01 == 0:  # I-format
+        if length == CONTROL_FIELD_LENGTH:
             raise MalformedASDUError("I-format APDU with empty ASDU")
-        send_seq = (control[0] >> 1) | (control[1] << 7)
-        recv_seq = (control[2] >> 1) | (control[3] << 7)
-        asdu = ASDU.decode(body, profile)
-        return IFrame(asdu=asdu, send_seq=send_seq, recv_seq=recv_seq), total
+        # Trusted-wire construction: the bit extraction below cannot
+        # exceed 15 bits, which is the whole of ``IFrame.__post_init__``
+        # — so skip the dataclass ``__init__`` re-validation.
+        send_seq = (control0 >> 1) | (control1 << 7)
+        recv_seq = (control2 >> 1) | (control3 << 7)
+        asdu = ASDU.decode(buf[offset + 6:offset + total], profile)
+        frame = object.__new__(IFrame)
+        fields = frame.__dict__
+        fields["asdu"] = asdu
+        fields["send_seq"] = send_seq
+        fields["recv_seq"] = recv_seq
+        return frame, total
 
-    if control[0] & 0x03 == 0x01:  # S-format
+    if control0 & 0x03 == 0x01:  # S-format
         if length != CONTROL_FIELD_LENGTH:
             raise ControlFieldError("S-format APDU must carry no ASDU")
-        if control[0] & 0xFC or control[1]:
+        if control0 & 0xFC or control1:
             raise ControlFieldError("reserved S-format bits set")
-        recv_seq = (control[2] >> 1) | (control[3] << 7)
-        return SFrame(recv_seq=recv_seq), total
+        sframe = object.__new__(SFrame)
+        sframe.__dict__["recv_seq"] = (control2 >> 1) | (control3 << 7)
+        return sframe, total
 
     # U-format (bits = 11)
     if length != CONTROL_FIELD_LENGTH:
         raise ControlFieldError("U-format APDU must carry no ASDU")
-    function_bits = control[0] & 0xFC
-    try:
-        function = UFunction(function_bits)
-    except ValueError:
+    function_bits = control0 & 0xFC
+    frame = _U_FRAMES.get(function_bits)
+    if frame is None:
         raise ControlFieldError(
-            f"invalid U-format function bits 0x{function_bits:02x}"
-        ) from None
-    if control[1] or control[2] or control[3]:
+            f"invalid U-format function bits 0x{function_bits:02x}")
+    if control1 or control2 or control3:
         raise ControlFieldError("U-format octets 4-6 must be zero")
-    return UFrame(function=function), total
+    return frame, total

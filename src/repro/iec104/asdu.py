@@ -12,7 +12,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from .constants import Cause, TypeID
+from .constants import _TYPE_TOKENS, Cause, TypeID
 from .errors import InvalidIOAError, MalformedASDUError, UnknownTypeIDError
 from .information_elements import (ELEMENT_CODECS, InformationElement,
                                    codec_for)
@@ -20,6 +20,12 @@ from .profiles import STANDARD_PROFILE, LinkProfile
 
 #: Maximum number of information objects in one ASDU (7-bit VSQ count).
 MAX_OBJECTS = 127
+
+#: Value→member lookup tables for the decode hot path: a dict probe is
+#: several times cheaper than the enum ``__call__`` protocol (which
+#: runs ``__new__``/missing-handling per conversion).
+_TYPE_BY_VALUE = {int(member): member for member in TypeID}
+_CAUSE_BY_VALUE = {int(member): member for member in Cause}
 
 
 @dataclass(frozen=True)
@@ -84,7 +90,9 @@ class ASDU:
     @property
     def token(self) -> str:
         """Paper Table 4 token, e.g. ``I36``."""
-        return self.type_id.token
+        # Direct table probe: this sits on the per-event analyzer hot
+        # path, where the ``type_id.token`` property hop shows up.
+        return _TYPE_TOKENS[self.type_id]
 
     @property
     def is_command(self) -> bool:
@@ -137,70 +145,134 @@ class ASDU:
         # Hot path: keep bytes input as-is (slice-free header reads);
         # memoryview input is materialized once.
         view = data if isinstance(data, bytes) else bytes(data)
-        header = 2 + profile.cot_length + profile.common_address_length
-        if len(view) < header:
+        cot_length = profile.cot_length
+        ca_length = profile.common_address_length
+        ioa_length = profile.ioa_length
+        header = 2 + cot_length + ca_length
+        size = len(view)
+        if size < header:
             raise MalformedASDUError(
-                f"ASDU shorter than DUI: {len(view)} < {header} octets")
+                f"ASDU shorter than DUI: {size} < {header} octets")
 
         raw_type = view[0]
-        try:
-            type_id = TypeID(raw_type)
-        except ValueError:
-            raise UnknownTypeIDError(raw_type) from None
+        type_id = _TYPE_BY_VALUE.get(raw_type)
+        if type_id is None:
+            raise UnknownTypeIDError(raw_type)
 
         count = view[1] & 0x7F
-        sequential = bool(view[1] & 0x80)
+        sequential = view[1] > 0x7F
         if count == 0:
             raise MalformedASDUError("VSQ object count is zero",
                                      type_id=raw_type)
 
         raw_cause = view[2] & 0x3F
         negative = bool(view[2] & 0x40)
-        test = bool(view[2] & 0x80)
-        try:
-            cause = Cause(raw_cause)
-        except ValueError:
+        test = view[2] > 0x7F
+        cause = _CAUSE_BY_VALUE.get(raw_cause)
+        if cause is None:
             raise MalformedASDUError(
                 f"invalid cause of transmission {raw_cause}",
-                type_id=raw_type) from None
-        originator = view[3] if profile.cot_length == 2 else 0
+                type_id=raw_type)
+        originator = view[3] if cot_length == 2 else 0
 
-        offset = 2 + profile.cot_length
-        common_address = int.from_bytes(
-            view[offset:offset + profile.common_address_length], "little")
+        offset = 2 + cot_length
+        if ca_length == 2:
+            common_address = view[offset] | view[offset + 1] << 8
+        else:
+            common_address = int.from_bytes(
+                view[offset:offset + ca_length], "little")
         offset = header
 
         codec = codec_for(type_id)
+        decode_element = codec.decode
+        # Trusted-wire construction: every ``__post_init__`` invariant
+        # of InformationObject and ASDU is guaranteed here by
+        # construction — the IOA is an unsigned little-endian read, the
+        # count is 1..127 (7-bit VSQ, zero rejected above), the
+        # originator is one raw octet, sequential addresses are built
+        # as base+index, and the codec only produces its own element
+        # type. Building via ``object.__new__`` skips re-validating
+        # what the wire already proves, which is most of the per-frame
+        # cost on the streaming path.
+        new = object.__new__
         objects: list[InformationObject] = []
+        append = objects.append
         if sequential:
-            if len(view) < offset + profile.ioa_length:
+            if size < offset + ioa_length:
                 raise MalformedASDUError("truncated sequential IOA",
                                          type_id=raw_type)
-            base = int.from_bytes(view[offset:offset + profile.ioa_length],
+            base = int.from_bytes(view[offset:offset + ioa_length],
                                   "little")
-            offset += profile.ioa_length
+            offset += ioa_length
             for index in range(count):
-                element, consumed = codec.decode(view, offset)
+                element, consumed = decode_element(view, offset)
                 offset += consumed
-                objects.append(InformationObject(base + index, element))
+                obj = new(InformationObject)
+                fields = obj.__dict__
+                fields["address"] = base + index
+                fields["element"] = element
+                append(obj)
+        elif count == 1:
+            # Single-object fast path (the dominant ASDU shape in the
+            # paper's traffic): no loop machinery.
+            end = offset + ioa_length
+            if size < end:
+                raise MalformedASDUError("truncated IOA",
+                                         type_id=raw_type)
+            if ioa_length == 3:
+                address = (view[offset] | view[offset + 1] << 8
+                           | view[offset + 2] << 16)
+            elif ioa_length == 2:
+                address = view[offset] | view[offset + 1] << 8
+            else:
+                address = view[offset]
+            element, consumed = decode_element(view, end)
+            offset = end + consumed
+            obj = new(InformationObject)
+            fields = obj.__dict__
+            fields["address"] = address
+            fields["element"] = element
+            append(obj)
         else:
             for _ in range(count):
-                if len(view) < offset + profile.ioa_length:
+                end = offset + ioa_length
+                if size < end:
                     raise MalformedASDUError("truncated IOA",
                                              type_id=raw_type)
-                address = int.from_bytes(
-                    view[offset:offset + profile.ioa_length], "little")
-                offset += profile.ioa_length
-                element, consumed = codec.decode(view, offset)
+                if ioa_length == 3:
+                    address = (view[offset] | view[offset + 1] << 8
+                               | view[offset + 2] << 16)
+                elif ioa_length == 2:
+                    address = view[offset] | view[offset + 1] << 8
+                else:
+                    address = int.from_bytes(view[offset:end], "little")
+                offset = end
+                element, consumed = decode_element(view, offset)
                 offset += consumed
-                objects.append(InformationObject(address, element))
+                obj = new(InformationObject)
+                fields = obj.__dict__
+                fields["address"] = address
+                fields["element"] = element
+                append(obj)
 
-        if offset != len(view):
+        if offset != size:
             raise MalformedASDUError(
-                f"{len(view) - offset} trailing octets after "
+                f"{size - offset} trailing octets after "
                 f"{count} information objects",
-                type_id=raw_type, trailing=len(view) - offset)
+                type_id=raw_type, trailing=size - offset)
 
+        if cls is ASDU:
+            asdu = new(ASDU)
+            fields = asdu.__dict__
+            fields["type_id"] = type_id
+            fields["cause"] = cause
+            fields["common_address"] = common_address
+            fields["objects"] = tuple(objects)
+            fields["sequential"] = sequential
+            fields["negative"] = negative
+            fields["test"] = test
+            fields["originator"] = originator
+            return asdu
         return cls(type_id=type_id, cause=cause,
                    common_address=common_address, objects=tuple(objects),
                    sequential=sequential, negative=negative, test=test,

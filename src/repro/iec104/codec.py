@@ -21,11 +21,28 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass, field
 
-from .apci import APDU, IFrame, decode_apdu
+from .apci import APDU, IFrame, decode_apdu, scan_apci
 from .constants import START_BYTE, Cause
 from .errors import IEC104Error, TruncatedError
 from .information_elements import (NormalizedValue, ScaledValue, ShortFloat)
 from .profiles import (CANDIDATE_PROFILES, STANDARD_PROFILE, LinkProfile)
+
+#: Single-byte form of the APCI start byte (kept out of the hot loops).
+_START = bytes((START_BYTE,))
+
+#: Parse-memo capacity. The memo covers APCI-only frames (6 octets:
+#: S-format acks and U-format keep-alives), which are the only frames
+#: that repeat byte-for-byte in SCADA traffic — I-frames carry an
+#: incrementing send sequence number, so two identical I-frames
+#: essentially never occur and memoizing them would be pure overhead.
+#: Results are immutable (frozen dataclasses all the way down), so
+#: sharing one result across repeats is safe. The cache is dropped
+#: wholesale when full: eviction bookkeeping would cost more than the
+#: occasional re-parse burst it saves.
+_MEMO_LIMIT = 8192
+
+#: Total octet count of an APCI-only (S/U-format) frame.
+_APCI_ONLY_LENGTH = 6
 
 
 @dataclass(frozen=True, slots=True)
@@ -44,7 +61,11 @@ class ParseResult:
     @property
     def compliant(self) -> bool:
         """True when the frame decoded under the standard profile."""
-        return self.ok and self.profile == STANDARD_PROFILE
+        # Identity check first: parsers pass the module-level profile
+        # singletons, so the dataclass field comparison rarely runs.
+        profile = self.profile
+        return self.apdu is not None and (profile is STANDARD_PROFILE
+                                          or profile == STANDARD_PROFILE)
 
 
 def split_frames(payload: bytes | memoryview) -> tuple[list[bytes], bytes]:
@@ -124,7 +145,7 @@ class ParserStats:
 
     def record(self, result: ParseResult) -> None:
         self.frames += 1
-        if result.ok:
+        if result.apdu is not None:
             self.valid += 1
             if not result.compliant:
                 self.non_compliant += 1
@@ -143,25 +164,42 @@ class StrictParser:
 
     def __init__(self) -> None:
         self.stats = ParserStats()
+        self._memo: dict[bytes, ParseResult] = {}
 
     def parse_frame(self, raw: bytes) -> ParseResult:
         """Parse one complete APDU frame under the standard profile."""
-        try:
-            apdu, _ = decode_apdu(raw, profile=STANDARD_PROFILE)
-            result = ParseResult(raw=raw, apdu=apdu,
-                                 profile=STANDARD_PROFILE)
-        except IEC104Error as exc:
-            result = ParseResult(raw=raw, error=exc)
+        if len(raw) == _APCI_ONLY_LENGTH:
+            memo = self._memo
+            result = memo.get(raw)
+            if result is None:
+                result = self._parse_raw(raw)
+                if len(memo) >= _MEMO_LIMIT:
+                    memo.clear()
+                memo[raw] = result
+        else:
+            result = self._parse_raw(raw)
         self.stats.record(result)
         return result
 
+    @staticmethod
+    def _parse_raw(raw: bytes) -> ParseResult:
+        try:
+            apdu, _ = decode_apdu(raw, profile=STANDARD_PROFILE)
+            return ParseResult(raw=raw, apdu=apdu,
+                               profile=STANDARD_PROFILE)
+        except IEC104Error as exc:
+            return ParseResult(raw=raw, error=exc)
+
     def parse_stream(self, payload: bytes) -> list[ParseResult]:
         """Parse every complete frame found in ``payload``."""
-        frames, remainder = split_frames(payload)
-        results = [self.parse_frame(frame) for frame in frames]
-        if remainder and remainder[0:1] != bytes((START_BYTE,)):
+        buf = payload if isinstance(payload, bytes) else bytes(payload)
+        spans, stop = scan_apci(buf)
+        parse = self.parse_frame
+        results = [parse(buf[start:start + total])
+                   for start, total, _kind in spans]
+        if stop < len(buf) and buf[stop] != START_BYTE:
             result = ParseResult(
-                raw=remainder,
+                raw=buf[stop:],
                 error=IEC104Error("stream desynchronized: no start byte"))
             self.stats.record(result)
             results.append(result)
@@ -183,6 +221,13 @@ class TolerantParser:
         self._candidates = candidates
         self._link_profiles: dict[object, LinkProfile] = {}
         self.stats = ParserStats()
+        #: Memo for APCI-only (S/U) frames, keyed on (raw frame,
+        #: cached link profile): the outcome of :meth:`parse_frame` —
+        #: including the inference fallback — is a pure function of
+        #: those two inputs, so repeats replay only the per-call side
+        #: effects (stats, profile learning).
+        self._memo: dict[tuple[bytes, LinkProfile | None],
+                         ParseResult] = {}
 
     @property
     def link_profiles(self) -> dict[object, LinkProfile]:
@@ -199,10 +244,55 @@ class TolerantParser:
         frames trigger profile inference.
         """
         known = self._link_profiles.get(link_key)
+        if len(raw) == _APCI_ONLY_LENGTH:
+            # S/U keep-alives are the frames that actually repeat
+            # byte-for-byte — memoize those, and only those.
+            memo = self._memo
+            key = (raw, known)
+            result = memo.get(key)
+            if result is None:
+                result = self._parse_raw(raw, known)
+                if len(memo) >= _MEMO_LIMIT:
+                    memo.clear()
+                memo[key] = result
+        elif known is not None:
+            # Pinned-profile fast path, inlined: once a link has a
+            # profile, the overwhelmingly common outcome is that it
+            # keeps decoding under it.
+            try:
+                apdu, _ = decode_apdu(raw, profile=known)
+                result = ParseResult(raw=raw, apdu=apdu, profile=known)
+            except IEC104Error:
+                result = self._parse_uncached(raw, known)
+        else:
+            result = self._parse_uncached(raw, known)
+        # Replay the profile-learning side effect on cache hits: an
+        # accepted I-frame pins its profile on the link (a no-op when
+        # the cached profile already matched).
+        if result.apdu is not None and type(result.apdu) is IFrame:
+            self._link_profiles[link_key] = result.profile
+        self.stats.record(result)
+        return result
+
+    def _parse_raw(self, raw: bytes,
+                   known: LinkProfile | None) -> ParseResult:
+        if known is not None:
+            # Pinned-profile fast path, inlined: once a link has a
+            # profile, the overwhelmingly common outcome is that it
+            # keeps decoding under it.
+            try:
+                apdu, _ = decode_apdu(raw, profile=known)
+                return ParseResult(raw=raw, apdu=apdu, profile=known)
+            except IEC104Error:
+                return self._parse_uncached(raw, known)
+        return self._parse_uncached(raw, known)
+
+    def _parse_uncached(self, raw: bytes,
+                        known: LinkProfile | None) -> ParseResult:
+        """The memo-miss path: try the known profile, else infer."""
         if known is not None:
             result = self._try_profile(raw, known)
             if result.ok:
-                self.stats.record(result)
                 return result
             # The cached profile failed — fall through and re-infer, a
             # link may legitimately change after an RTU replacement.
@@ -218,7 +308,6 @@ class TolerantParser:
                 continue
             if not isinstance(result.apdu, IFrame):
                 # Format is profile-independent; accept immediately.
-                self.stats.record(result)
                 return result
             score = _plausibility(result.apdu)
             # Prefer earlier (more standard) profiles on ties.
@@ -226,22 +315,21 @@ class TolerantParser:
                 best, best_score = result, score
 
         if best is not None:
-            self._link_profiles[link_key] = best.profile
-            self.stats.record(best)
             return best
-        failure = last_error or ParseResult(
+        return last_error or ParseResult(
             raw=raw, error=IEC104Error("no candidate profile decoded frame"))
-        self.stats.record(failure)
-        return failure
 
     def parse_stream(self, payload: bytes,
                      link_key: object = None) -> list[ParseResult]:
         """Parse every complete frame found in ``payload``."""
-        frames, remainder = split_frames(payload)
-        results = [self.parse_frame(frame, link_key) for frame in frames]
-        if remainder and remainder[0:1] != bytes((START_BYTE,)):
+        buf = payload if isinstance(payload, bytes) else bytes(payload)
+        spans, stop = scan_apci(buf)
+        parse = self.parse_frame
+        results = [parse(buf[start:start + total], link_key)
+                   for start, total, _kind in spans]
+        if stop < len(buf) and buf[stop] != START_BYTE:
             result = ParseResult(
-                raw=remainder,
+                raw=buf[stop:],
                 error=IEC104Error("stream desynchronized: no start byte"))
             self.stats.record(result)
             results.append(result)
@@ -275,30 +363,55 @@ class StreamDecoder:
 
     def feed(self, segment: bytes) -> list[ParseResult]:
         """Add a TCP segment's payload; return newly completed frames."""
-        self._buffer += segment
-        frames: list[bytes] = []
+        if not isinstance(segment, bytes):
+            segment = bytes(segment)
+        # Hot path: most feeds find an empty carry-over buffer, so the
+        # batch scan runs directly over the caller's segment with no
+        # concatenation copy.
+        buf = self._buffer + segment if self._buffer else segment
+        parser = self.parser
+        link_key = self.link_key
+        tolerant = isinstance(parser, TolerantParser)
+        parse = parser.parse_frame
+        # Fastest path: the buffer is exactly one complete frame (the
+        # common live-tap shape — one APDU per chunk). Skip the span
+        # scan and parse in place.
+        if (len(buf) > 1 and buf[0] == START_BYTE
+                and 2 + buf[1] == len(buf)):
+            self._buffer = b""
+            return [parse(buf, link_key) if tolerant else parse(buf)]
+        results: list[ParseResult] = []
+        append = results.append
+        size = len(buf)
+        offset = 0
         while True:
-            new_frames, remainder = split_frames(self._buffer)
-            frames.extend(new_frames)
-            if remainder and remainder[0] != START_BYTE:
+            spans, stop = scan_apci(buf, offset)
+            if tolerant:
+                for start, total, _kind in spans:
+                    # A span covering the whole buffer (one complete
+                    # frame per chunk — the common live-tap shape)
+                    # parses in place with no slice copy.
+                    frame = (buf if start == 0 and total == size
+                             else buf[start:start + total])
+                    append(parse(frame, link_key))
+            else:
+                for start, total, _kind in spans:
+                    frame = (buf if start == 0 and total == size
+                             else buf[start:start + total])
+                    append(parse(frame))
+            if stop < size and buf[stop] != START_BYTE:
                 # Lost framing: drop bytes until a plausible start byte
-                # and try again — more frames may follow the garbage.
-                resync = remainder.find(bytes((START_BYTE,)))
+                # and rescan — more frames may follow the garbage.
+                resync = buf.find(_START, stop)
                 if resync == -1:
-                    self.desync_bytes += len(remainder)
+                    self.desync_bytes += size - stop
                     self._buffer = b""
                     break
-                self.desync_bytes += resync
-                self._buffer = remainder[resync:]
+                self.desync_bytes += resync - stop
+                offset = resync
                 continue
-            self._buffer = remainder
+            self._buffer = buf[stop:]
             break
-        results = []
-        for frame in frames:
-            if isinstance(self.parser, TolerantParser):
-                results.append(self.parser.parse_frame(frame, self.link_key))
-            else:
-                results.append(self.parser.parse_frame(frame))
         return results
 
     @property

@@ -52,7 +52,7 @@ class UFunction(enum.IntEnum):
     @property
     def token(self) -> str:
         """Paper Table 4 token, e.g. ``U16`` for TESTFR act."""
-        return f"U{self.value >> 2}"
+        return _U_TOKENS[self]
 
     @property
     def is_act(self) -> bool:
@@ -135,7 +135,14 @@ class TypeID(enum.IntEnum):
     @property
     def token(self) -> str:
         """Paper Table 4 token for I-format APDUs, e.g. ``I36``."""
-        return f"I{self.value}"
+        return _TYPE_TOKENS[self]
+
+
+#: Precomputed token strings: the token properties sit on the per-event
+#: analyzer hot path, and enum members are singletons, so one dict probe
+#: (identity hash) replaces an f-string build per call.
+_U_TOKENS = {member: f"U{member.value >> 2}" for member in UFunction}
+_TYPE_TOKENS = {member: f"I{member.value}" for member in TypeID}
 
 
 #: Human-readable descriptions (paper Table 5, verbatim).

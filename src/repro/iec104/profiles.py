@@ -34,6 +34,19 @@ class LinkProfile:
         if self.common_address_length not in (1, 2):
             raise ValueError("common_address_length must be 1 or 2")
 
+    def __hash__(self) -> int:
+        # Same field-tuple formula the dataclass machinery would
+        # generate (equal profiles keep equal hashes), but cached in
+        # the instance ``__dict__``: profile hashes sit on the parser's
+        # memo hot path, twice per frame.
+        try:
+            return self.__dict__["_hash"]
+        except KeyError:
+            value = hash((self.cot_length, self.ioa_length,
+                          self.common_address_length))
+            self.__dict__["_hash"] = value
+            return value
+
     @property
     def is_standard(self) -> bool:
         """True iff this profile matches the IEC 104 standard."""

@@ -9,6 +9,7 @@ from __future__ import annotations
 
 import warnings
 from dataclasses import dataclass
+from functools import cached_property
 
 from .addresses import IPv4Address, MacAddress
 from .ethernet import ETHERTYPE_IPV4, EthernetFrame
@@ -81,7 +82,13 @@ class CapturedPacket:
             DeprecationWarning, stacklevel=2)
         return self.time_us / 1_000_000
 
-    @property
+    # ``cached_property`` writes to the instance ``__dict__`` directly,
+    # which a frozen (non-slots) dataclass permits: the derived views
+    # below are pure functions of the frozen fields, so caching them is
+    # invisible except to the hot-loop profiles that hit them per
+    # packet (flow tracking asks for flow_key and wire_length on every
+    # add).
+    @cached_property
     def flow_key(self) -> FlowKey:
         return FlowKey(src=Endpoint(self.ip.src, self.tcp.src_port),
                        dst=Endpoint(self.ip.dst, self.tcp.dst_port))
@@ -94,7 +101,7 @@ class CapturedPacket:
     def flags(self) -> TCPFlags:
         return self.tcp.flags
 
-    @property
+    @cached_property
     def wire_length(self) -> int:
         """Total on-wire frame length in octets."""
         return len(self.ethernet.encode())
@@ -135,5 +142,10 @@ class CapturedPacket:
             return None
         segment = TCPSegment.decode(ip_packet.payload, ip_packet.src,
                                     ip_packet.dst, verify=verify)
-        return cls(time_us=time_us, ethernet=frame, ip=ip_packet,
-                   tcp=segment)
+        packet = cls(time_us=time_us, ethernet=frame, ip=ip_packet,
+                     tcp=segment)
+        # Seed the cached wire length: Ethernet II re-encodes to the
+        # decoded bytes verbatim (14-octet header + payload), so the
+        # frame we just consumed *is* the on-wire form.
+        packet.__dict__["wire_length"] = len(frame_bytes)
+        return packet

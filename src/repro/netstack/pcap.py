@@ -202,6 +202,45 @@ def scan_records(buffer: memoryview, record_struct: struct.Struct,
         offset += captured
 
 
+def scan_complete_records(buffer: bytes, record_struct: struct.Struct,
+                          nanoseconds: bool, offset: int = 0,
+                          limit: int | None = None
+                          ) -> tuple[list[PcapRecord], int]:
+    """Batch-scan complete records out of a possibly-truncated buffer.
+
+    The tail-read counterpart of :func:`scan_records`: where the strict
+    scanner raises on truncation, this one stops — a partial header or
+    body at the end of the buffer simply is not consumed yet. Returns
+    ``(records, new_offset)`` so the caller keeps one growing buffer
+    and trims it once per poll instead of re-slicing per record.
+
+    The whole loop is index arithmetic over one precompiled
+    ``Struct.unpack_from``; only the payload bytes of complete records
+    are materialized.
+    """
+    records: list[PcapRecord] = []
+    append = records.append
+    unpack_from = record_struct.unpack_from
+    header_size = record_struct.size
+    size = len(buffer)
+    us = _US_PER_SECOND
+    while limit is None or len(records) < limit:
+        if size - offset < header_size:
+            break
+        seconds, fraction, captured, original = unpack_from(buffer,
+                                                            offset)
+        body = offset + header_size
+        if size - body < captured:
+            break
+        if nanoseconds:
+            fraction //= 1000
+        append(PcapRecord(time_us=seconds * us + fraction,
+                          data=buffer[body:body + captured],
+                          original_length=original))
+        offset = body + captured
+    return records, offset
+
+
 def write_pcap(path, records: Iterable[PcapRecord],
                snaplen: int = 65535) -> int:
     """Write ``records`` to ``path``; return the number written."""

@@ -22,6 +22,9 @@ from .ingest import (ByteChunk, CaptureSource, ListSource,
                      Source, TransportTap)
 from .monitor import render_json, render_text, run_monitor
 from .pipeline import STAGES, StageTally, StreamPipeline
+from .shard import (MonitorPipelineFactory, ShardAccept,
+                    ShardedFleetSupervisor, ShardWorkerError,
+                    WorkerConfig, run_shard_worker, shard_of)
 from .snapshots import (SNAPSHOT_SCHEMA_VERSION, FleetSnapshot,
                         LinkAnomaly, LinkHealth, LinkSnapshot,
                         StageCounters)
@@ -31,11 +34,13 @@ __all__ = [
     "EvictionPolicy", "EvictionStats", "FleetSnapshot",
     "FleetSupervisor", "FlowTally", "LinkAnomaly", "LinkDemux",
     "LinkHealth", "LinkHealthPolicy", "LinkSnapshot", "ListSource",
-    "LiveFlowTable", "MergedSource", "OnlineChains",
-    "OnlineCombinedDetector", "PcapTailSource", "PcapngTailSource",
-    "RollingFeatures", "RollingSessionWindows",
-    "SNAPSHOT_SCHEMA_VERSION", "STAGES", "Source", "StageCounters",
-    "StageTally", "StreamAnalyzer", "StreamPipeline", "T3_MULTIPLE",
-    "TransportTap", "default_idle_timeout_us", "render_json",
-    "render_text", "run_monitor",
+    "LiveFlowTable", "MergedSource", "MonitorPipelineFactory",
+    "OnlineChains", "OnlineCombinedDetector", "PcapTailSource",
+    "PcapngTailSource", "RollingFeatures", "RollingSessionWindows",
+    "SNAPSHOT_SCHEMA_VERSION", "STAGES", "ShardAccept",
+    "ShardWorkerError", "ShardedFleetSupervisor", "Source",
+    "StageCounters", "StageTally", "StreamAnalyzer", "StreamPipeline",
+    "T3_MULTIPLE", "TransportTap", "WorkerConfig",
+    "default_idle_timeout_us", "render_json", "render_text",
+    "run_monitor", "run_shard_worker", "shard_of",
 ]

@@ -143,12 +143,16 @@ class _ChainState:
         self.last_time_us: Ticks = 0
 
     def observe(self, token: str, time_us: Ticks) -> None:
-        self.nodes.setdefault(token, None)
+        nodes = self.nodes
+        if token not in nodes:
+            nodes[token] = None
         prev = self.last_token
         if prev is not None:
+            counts = self.counts
+            outgoing = self.outgoing
             pair = (prev, token)
-            self.counts[pair] = self.counts.get(pair, 0) + 1
-            self.outgoing[prev] = self.outgoing.get(prev, 0) + 1
+            counts[pair] = counts.get(pair, 0) + 1
+            outgoing[prev] = outgoing.get(prev, 0) + 1
         self.last_token = token
         self.last_time_us = time_us
 
@@ -175,10 +179,18 @@ class OnlineChains(StreamAnalyzer):
 
     def __init__(self) -> None:
         self._states: dict[tuple[str, str], _ChainState] = {}
+        #: Directional (src, dst) → undirected connection, so the
+        #: sort/startswith normalization runs once per host pair
+        #: instead of once per event.
+        self._connections: dict[tuple[str, str], tuple[str, str]] = {}
         self.evicted_count = 0
 
     def on_event(self, event: ApduEvent) -> None:
-        connection = event.connection
+        pair = (event.src, event.dst)
+        connection = self._connections.get(pair)
+        if connection is None:
+            connection = event.connection
+            self._connections[pair] = connection
         state = self._states.get(connection)
         if state is None:
             state = _ChainState()

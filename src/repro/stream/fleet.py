@@ -127,19 +127,31 @@ class LinkDemux:
     stage counters match a standalone run over a pre-split file
     exactly. Frames that do not decode to TCP/IPv4 match no link and
     count as ``unrouted``.
+
+    ``accept`` restricts the demux to a subset of links: a predicate
+    over the link *name*, consulted before any substream is created.
+    Rejected frames count as ``foreign`` — they belong to a link some
+    other demux owns (the sharded fleet runs one whole-file demux per
+    worker, each accepting only its own shard), which is a different
+    condition from ``unrouted`` (no link at all). The name is derived
+    before the predicate runs, so every demux over the same capture
+    agrees frame-for-frame on the routed/foreign/unrouted partition.
     """
 
     def __init__(self, source: Source,
-                 names: dict[IPv4Address, str] | None = None):
+                 names: dict[IPv4Address, str] | None = None,
+                 accept: Callable[[str], bool] | None = None):
         self.source = source
         if names is None:
             host_names = getattr(source, "host_names", None)
             names = dict(host_names()) if callable(host_names) else {}
         self.names = names
+        self.accept = accept
         self._links: dict[str, DemuxLinkSource] = {}
         self._new: list[str] = []
         self.routed = 0
         self.unrouted = 0
+        self.foreign = 0
 
     def link_name(self, packet: CapturedPacket) -> str:
         src = self.names.get(packet.ip.src, str(packet.ip.src))
@@ -157,6 +169,9 @@ class LinkDemux:
             self.unrouted += 1
             return
         name = self.link_name(packet)
+        if self.accept is not None and not self.accept(name):
+            self.foreign += 1
+            return
         link = self._links.get(name)
         if link is None:
             link = DemuxLinkSource(self, name)

@@ -27,7 +27,7 @@ from typing import Iterable, Protocol, runtime_checkable
 from ..netstack.addresses import IPv4Address
 from ..netstack.packet import CapturedPacket
 from ..netstack.pcap import (MAGIC_NSEC, MAGIC_USEC, PcapError,
-                             PcapRecord)
+                             PcapRecord, scan_complete_records)
 from ..netstack.pcapng import (EPB_TYPE, IDB_TYPE, SHB_TYPE, SPB_TYPE,
                                Interface, PcapngError, parse_epb_body,
                                parse_idb_body, parse_spb_body)
@@ -127,6 +127,12 @@ class PcapTailSource:
         self._stream = open(path, "rb")
         self.follow = follow
         self._buffer = b""
+        #: Consumed-bytes cursor into ``_buffer``: the batch scanner
+        #: advances it per record and the buffer is trimmed once per
+        #: poll, so a poll costs one slice however many records it
+        #: yields (the old path re-sliced the whole remainder per
+        #: record — quadratic on large polls).
+        self._offset = 0
         self._header_done = False
         self._endian = "<"
         self._nanoseconds = False
@@ -140,9 +146,10 @@ class PcapTailSource:
         self._stream.close()
 
     def _parse_header(self) -> bool:
-        if len(self._buffer) < _GLOBAL_HEADER_SIZE:
+        if len(self._buffer) - self._offset < _GLOBAL_HEADER_SIZE:
             return False
-        header = self._buffer[:_GLOBAL_HEADER_SIZE]
+        start = self._offset
+        header = self._buffer[start:start + _GLOBAL_HEADER_SIZE]
         magic = struct.unpack("<I", header[:4])[0]
         if magic in (MAGIC_USEC, MAGIC_NSEC):
             self._endian = "<"
@@ -153,36 +160,26 @@ class PcapTailSource:
             self._endian = ">"
         self._nanoseconds = magic == MAGIC_NSEC
         self._record_struct = struct.Struct(self._endian + "IIII")
-        self._buffer = self._buffer[_GLOBAL_HEADER_SIZE:]
+        self._offset = start + _GLOBAL_HEADER_SIZE
         self._header_done = True
         return True
 
     def poll(self, max_items: int) -> list[SourceItem]:
         chunk = self._stream.read(max(65536, max_items * 256))
         if chunk:
+            if self._offset:
+                self._buffer = self._buffer[self._offset:]
+                self._offset = 0
             self._buffer += chunk
             self._eof_seen = False
         else:
             self._eof_seen = True
         if not self._header_done and not self._parse_header():
             return []
-        records: list[SourceItem] = []
-        unpack = self._record_struct.unpack_from
-        while len(records) < max_items:
-            if len(self._buffer) < _RECORD_HEADER_SIZE:
-                break
-            seconds, fraction, captured, original = unpack(self._buffer)
-            if len(self._buffer) < _RECORD_HEADER_SIZE + captured:
-                break
-            data = self._buffer[_RECORD_HEADER_SIZE:
-                                _RECORD_HEADER_SIZE + captured]
-            self._buffer = self._buffer[_RECORD_HEADER_SIZE + captured:]
-            if self._nanoseconds:
-                fraction //= 1000
-            records.append(PcapRecord(
-                time_us=seconds * _US_PER_SECOND + fraction,
-                data=data, original_length=original))
-            self.records_read += 1
+        records, self._offset = scan_complete_records(
+            self._buffer, self._record_struct, self._nanoseconds,
+            offset=self._offset, limit=max_items)
+        self.records_read += len(records)
         return records
 
     @property
@@ -190,12 +187,13 @@ class PcapTailSource:
         if self.follow:
             return False
         return (self._eof_seen and self._header_done
-                and len(self._buffer) < _RECORD_HEADER_SIZE)
+                and len(self._buffer) - self._offset
+                < _RECORD_HEADER_SIZE)
 
     @property
     def pending_bytes(self) -> int:
         """Buffered bytes awaiting record completion."""
-        return len(self._buffer)
+        return len(self._buffer) - self._offset
 
 
 class PcapngTailSource:
@@ -219,6 +217,9 @@ class PcapngTailSource:
         self._stream = open(path, "rb")
         self.follow = follow
         self._buffer = b""
+        #: Consumed-bytes cursor into ``_buffer`` (same single-trim-
+        #: per-poll discipline as :class:`PcapTailSource`).
+        self._offset = 0
         self._endian = "<"
         self._have_section = False
         self._interfaces: list[Interface] = []
@@ -232,55 +233,62 @@ class PcapngTailSource:
     def _next_block(self) -> tuple[int, bytes] | None:
         """Pop one complete block off the buffer, or None to wait."""
         buffer = self._buffer
-        if len(buffer) < _BLOCK_PROBE_SIZE:
+        start = self._offset
+        if len(buffer) - start < _BLOCK_PROBE_SIZE:
             return None
         # The SHB type value reads the same under either byte order,
         # so probing with the current endianness is safe even across
         # a section boundary that flips it.
-        block_type = struct.unpack(self._endian + "I", buffer[:4])[0]
+        block_type = struct.unpack_from(self._endian + "I", buffer,
+                                        start)[0]
         if block_type == SHB_TYPE:
             # Length interpretation needs the byte-order magic, which
             # sits just after the header.
-            if struct.unpack("<I", buffer[8:12])[0] \
+            if struct.unpack_from("<I", buffer, start + 8)[0] \
                     == _PCAPNG_BYTE_ORDER_MAGIC:
                 endian = "<"
-            elif struct.unpack(">I", buffer[8:12])[0] \
+            elif struct.unpack_from(">I", buffer, start + 8)[0] \
                     == _PCAPNG_BYTE_ORDER_MAGIC:
                 endian = ">"
             else:
                 raise PcapngError("bad byte-order magic")
-            length = struct.unpack(endian + "I", buffer[4:8])[0]
+            length = struct.unpack_from(endian + "I", buffer,
+                                        start + 4)[0]
             if length < 16 or length % 4:
                 raise PcapngError(f"invalid SHB length {length}")
-            if len(buffer) < length:
+            if len(buffer) - start < length:
                 return None
-            trailer = struct.unpack(endian + "I",
-                                    buffer[length - 4:length])[0]
+            trailer = struct.unpack_from(endian + "I", buffer,
+                                         start + length - 4)[0]
             if trailer != length:
                 raise PcapngError("block length trailer mismatch")
             self._endian = endian
             self._have_section = True
             self._interfaces = []  # new section resets interfaces
-            self._buffer = buffer[length:]
-            return SHB_TYPE, buffer[8:length - 4]
+            self._offset = start + length
+            return SHB_TYPE, buffer[start + 8:start + length - 4]
         if not self._have_section:
             raise PcapngError(
                 f"not a pcapng stream (first block 0x{block_type:08x})")
-        length = struct.unpack(self._endian + "I", buffer[4:8])[0]
+        length = struct.unpack_from(self._endian + "I", buffer,
+                                    start + 4)[0]
         if length < 12 or length % 4:
             raise PcapngError(f"invalid block length {length}")
-        if len(buffer) < length:
+        if len(buffer) - start < length:
             return None
-        trailer = struct.unpack(self._endian + "I",
-                                buffer[length - 4:length])[0]
+        trailer = struct.unpack_from(self._endian + "I", buffer,
+                                     start + length - 4)[0]
         if trailer != length:
             raise PcapngError("block length trailer mismatch")
-        self._buffer = buffer[length:]
-        return block_type, buffer[8:length - 4]
+        self._offset = start + length
+        return block_type, buffer[start + 8:start + length - 4]
 
     def poll(self, max_items: int) -> list[SourceItem]:
         chunk = self._stream.read(max(65536, max_items * 256))
         if chunk:
+            if self._offset:
+                self._buffer = self._buffer[self._offset:]
+                self._offset = 0
             self._buffer += chunk
             self._eof_seen = False
         else:
@@ -311,12 +319,13 @@ class PcapngTailSource:
         if self.follow:
             return False
         return (self._eof_seen and self._have_section
-                and len(self._buffer) < _BLOCK_PROBE_SIZE)
+                and len(self._buffer) - self._offset
+                < _BLOCK_PROBE_SIZE)
 
     @property
     def pending_bytes(self) -> int:
         """Buffered bytes awaiting block completion."""
-        return len(self._buffer)
+        return len(self._buffer) - self._offset
 
 
 class ByteChunk:

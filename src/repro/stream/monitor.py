@@ -28,13 +28,15 @@ from typing import Any, Callable, Mapping, TextIO, Union
 from ..simnet.clock import Ticks
 from .fleet import FleetSupervisor
 from .pipeline import StreamPipeline
+from .shard import ShardedFleetSupervisor
 from .snapshots import FleetSnapshot, LinkSnapshot
 
 #: What the renderers accept (the dict form is deprecated).
 Snapshot = Union[LinkSnapshot, FleetSnapshot, Mapping[str, Any]]
 
 #: What the monitor loop drives.
-MonitorTarget = Union[StreamPipeline, FleetSupervisor]
+MonitorTarget = Union[StreamPipeline, FleetSupervisor,
+                      ShardedFleetSupervisor]
 
 
 def _document(snapshot: Snapshot, caller: str) -> Mapping[str, Any]:

@@ -58,6 +58,15 @@ class StageCounters:
                 "filtered": self.filtered, "errors": self.errors,
                 "dropped": self.dropped}
 
+    @classmethod
+    def from_dict(cls, data: Mapping[str, int]) -> "StageCounters":
+        """Inverse of :meth:`as_dict` (the shard wire format)."""
+        return cls(received=data.get("received", 0),
+                   emitted=data.get("emitted", 0),
+                   filtered=data.get("filtered", 0),
+                   errors=data.get("errors", 0),
+                   dropped=data.get("dropped", 0))
+
     def __add__(self, other: "StageCounters") -> "StageCounters":
         return StageCounters(
             received=self.received + other.received,
@@ -125,6 +134,39 @@ class LinkSnapshot:
             "analyzers": {name: dict(data)
                           for name, data in self.analyzers.items()},
         }
+
+    @classmethod
+    def from_json(cls, document: Mapping[str, Any]) -> "LinkSnapshot":
+        """Rebuild a snapshot from its :meth:`to_json` wire form.
+
+        This is the parent half of the sharded-fleet wire contract
+        (:mod:`repro.stream.shard`): workers serialize their link
+        snapshots with :meth:`to_json` and the supervisor rebuilds the
+        typed form here, so a merged :class:`FleetSnapshot` is derived
+        from exactly the same shapes as an in-process fleet's.
+        """
+        schema = document.get("schema")
+        if schema != SNAPSHOT_SCHEMA_VERSION:
+            raise ValueError(
+                f"unsupported snapshot schema {schema!r} "
+                f"(expected {SNAPSHOT_SCHEMA_VERSION})")
+        return cls(
+            link=document["link"],
+            time_us=document["time_us"],
+            packets=document["packets"],
+            events=document["events"],
+            failures=document["failures"],
+            late_items=document["late_items"],
+            order_violations=document["order_violations"],
+            reorder_pending=document["reorder_pending"],
+            reassemblers=document["reassemblers"],
+            stages={stage: StageCounters.from_dict(counters)
+                    for stage, counters
+                    in document.get("stages", {}).items()},
+            eviction=dict(document.get("eviction", {})),
+            analyzers={name: dict(data) for name, data
+                       in document.get("analyzers", {}).items()},
+        )
 
     @property
     def alerts(self) -> int:

@@ -209,6 +209,87 @@ def test_shard_safety_follows_field_annotation_closure(tmp_path):
     assert "StageDetail" in result.findings[0].message
 
 
+SHARD_ENTRYPOINT_FILES = {
+    "shard.py": """
+        from dataclasses import dataclass
+
+
+        class ShardedFleetSupervisor:
+            def __init__(self, factory, *, workers, path=None):
+                self.factory = factory
+
+
+        @dataclass(frozen=True)
+        class WorkerConfig:
+            shard: int
+            shards: int
+            factory: object
+
+
+        def run_shard_worker(config, conn):
+            return config
+    """,
+    "caller.py": """
+        from .shard import (ShardedFleetSupervisor, WorkerConfig,
+                            run_shard_worker)
+
+
+        def module_factory(link, source):
+            return None
+
+
+        def bad_lambda(path):
+            return ShardedFleetSupervisor(lambda link, source: None,
+                                          workers=2, path=path)
+
+
+        def bad_closure():
+            def local_factory(link, source):
+                return None
+            return WorkerConfig(shard=0, shards=1,
+                                factory=local_factory)
+
+
+        def bad_worker(conn):
+            return run_shard_worker(lambda: None, conn)
+
+
+        def fine(path):
+            return ShardedFleetSupervisor(module_factory, workers=2,
+                                          path=path)
+    """,
+}
+
+
+def test_shard_safety_flags_unpicklable_factories(tmp_path):
+    pkg = write_package(tmp_path, "fleet", SHARD_ENTRYPOINT_FILES)
+    result = lint_paths([pkg], rules=[ShardSafetyRule(root="fleet")])
+    messages = sorted(f.message for f in result.findings)
+    assert len(messages) == 3
+    assert any("`ShardedFleetSupervisor` ships `factory`" in m
+               and "a lambda" in m for m in messages)
+    assert any("`WorkerConfig` ships `factory`" in m
+               and "local function `local_factory`" in m
+               for m in messages)
+    assert any("`run_shard_worker` ships `config`" in m
+               for m in messages)
+    # The module-level factory in fine() is never flagged.
+    assert all("module_factory" not in m for m in messages)
+
+
+def test_shard_safety_factory_check_is_project_wide(tmp_path):
+    # Callers outside the stream closure still hit the process
+    # boundary: root does not reach caller.py, yet the lambda is
+    # flagged (while the reachability-gated checks stay silent).
+    pkg = write_package(tmp_path, "fleet", SHARD_ENTRYPOINT_FILES)
+    rule = ShardSafetyRule(root="fleet.nothing",
+                           shard_module="fleet.shard")
+    result = lint_paths([pkg], rules=[rule])
+    assert len(result.findings) == 3
+    assert all("worker process" in f.message
+               for f in result.findings)
+
+
 # -- schema-drift ----------------------------------------------------
 
 WIRE_SNAPSHOT = """

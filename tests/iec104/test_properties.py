@@ -4,7 +4,8 @@ import random
 
 from hypothesis import given, settings, strategies as st
 
-from repro.iec104.apci import IFrame, SFrame, UFrame, decode_apdu
+from repro.iec104.apci import (SPAN_I, SPAN_S, SPAN_U, IFrame, SFrame,
+                               UFrame, decode_apdu, scan_apci)
 from repro.iec104.asdu import ASDU, InformationObject
 from repro.iec104.codec import TolerantParser, split_frames
 from repro.iec104.constants import Cause, TypeID, UFunction
@@ -114,6 +115,85 @@ class TestStreamProperties:
         frames, remainder = split_frames(stream)
         assert len(frames) == len(asdus)
         assert remainder == b""
+
+
+#: A valid on-the-wire APDU of any format, under any profile.
+_WIRE_FRAMES = st.one_of(
+    st.builds(lambda asdu, profile, seq:
+              IFrame(asdu=asdu, send_seq=seq).encode(profile),
+              _ASDUS, _PROFILES,
+              st.integers(min_value=0, max_value=(1 << 15) - 1)),
+    st.builds(lambda seq: SFrame(recv_seq=seq).encode(),
+              st.integers(min_value=0, max_value=(1 << 15) - 1)),
+    st.builds(lambda function: UFrame(function).encode(),
+              st.sampled_from(list(UFunction))),
+)
+
+
+class TestVectorizedScanProperties:
+    """The batch splitter (`scan_apci`) must agree byte-for-byte with
+    the scalar `split_frames` on *any* byte stream — including the
+    paper's Fig. 7 pathologies: truncated tails, lost framing
+    (non-0x68 garbage), and frames sliced mid-APCI."""
+
+    @settings(max_examples=150)
+    @given(frames=st.lists(_WIRE_FRAMES, max_size=6),
+           garbage=st.binary(max_size=16),
+           cut=st.integers(min_value=0, max_value=24))
+    def test_scan_matches_scalar_split_on_any_tail(self, frames,
+                                                   garbage, cut):
+        payload = b"".join(frames) + garbage
+        payload = payload[:max(0, len(payload) - cut)]
+        expected_frames, remainder = split_frames(payload)
+        spans, stop = scan_apci(payload)
+        assert [payload[start:start + total]
+                for start, total, _kind in spans] == expected_frames
+        assert payload[stop:] == remainder
+        for start, total, kind in spans:
+            low = (payload[start + 2] & 0x03) if total > 2 else 0
+            assert kind == (low if low & 0x01 else SPAN_I)
+
+    @settings(max_examples=60)
+    @given(kinds=st.lists(st.sampled_from(["i", "s", "u"]),
+                          min_size=1, max_size=8),
+           seq=st.integers(min_value=0, max_value=(1 << 15) - 1))
+    def test_span_kinds_classify_without_decoding(self, kinds, seq):
+        asdu = ASDU(type_id=TypeID.M_SP_NA_1, cause=Cause.SPONTANEOUS,
+                    common_address=1,
+                    objects=(InformationObject(
+                        1, SinglePoint(value=True)),))
+        payload = b""
+        expected = []
+        for index, kind in enumerate(kinds):
+            if kind == "i":
+                payload += IFrame(
+                    asdu=asdu,
+                    send_seq=(seq + index) % (1 << 15)).encode()
+                expected.append(SPAN_I)
+            elif kind == "s":
+                payload += SFrame(recv_seq=seq).encode()
+                expected.append(SPAN_S)
+            else:
+                payload += UFrame(UFunction.TESTFR_ACT).encode()
+                expected.append(SPAN_U)
+        spans, stop = scan_apci(payload)
+        assert stop == len(payload)
+        assert [kind for _start, _total, kind in spans] == expected
+
+    @settings(max_examples=60)
+    @given(frames=st.lists(_WIRE_FRAMES, min_size=1, max_size=5),
+           limit=st.integers(min_value=1, max_value=3),
+           offset_frames=st.integers(min_value=0, max_value=2))
+    def test_offset_and_limit_window_the_scan(self, frames, limit,
+                                              offset_frames):
+        payload = b"".join(frames)
+        skip = min(offset_frames, len(frames))
+        offset = sum(len(frame) for frame in frames[:skip])
+        spans, stop = scan_apci(payload, offset, limit)
+        expected = frames[skip:skip + limit]
+        assert [payload[start:start + total]
+                for start, total, _kind in spans] == expected
+        assert stop == offset + sum(len(frame) for frame in expected)
 
 
 class TestFt12Properties:
