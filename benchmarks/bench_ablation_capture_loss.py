@@ -20,8 +20,7 @@ def test_ablation_capture_loss(benchmark):
             capture = generate_capture(1, CaptureConfig(
                 time_scale=max(0.01, BENCH_SCALE / 2),
                 max_outstations=16, capture_loss_probability=loss))
-            extraction = extract_apdus(capture.packets,
-                                       names=capture.host_names())
+            extraction = extract_apdus(capture)
             recovered = len(extraction.events)
             if baseline is None:
                 baseline = recovered

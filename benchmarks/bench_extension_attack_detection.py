@@ -35,8 +35,7 @@ def test_extension_attack_detection(benchmark, y1_capture,
         attack = run_attack(victim,
                             ReconnaissanceMode.ITERATIVE_SCAN,
                             scan_range=(2001, 2040))
-        attack_events = extract_apdus(attack.packets,
-                                      names=attack.host_names())
+        attack_events = extract_apdus(attack)
 
         # Score every benign connection and the attack connection.
         scores = {}

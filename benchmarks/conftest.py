@@ -33,11 +33,9 @@ def y2_capture():
 
 @pytest.fixture(scope="session")
 def y1_extraction(y1_capture):
-    return extract_apdus(y1_capture.packets,
-                         names=y1_capture.host_names())
+    return extract_apdus(y1_capture)
 
 
 @pytest.fixture(scope="session")
 def y2_extraction(y2_capture):
-    return extract_apdus(y2_capture.packets,
-                         names=y2_capture.host_names())
+    return extract_apdus(y2_capture)

@@ -179,6 +179,53 @@ def measure_fleet(worker_counts: tuple[int, ...] = (1, 2, 4)) -> dict:
     return results
 
 
+def measure_serve(clients: int = 5000, rounds: int = 3) -> dict:
+    """Snapshot fan-out cost per subscriber for one poll.
+
+    Times one ``SnapshotHub.publish`` reaching ``clients`` concurrent
+    subscribers — the serialized payload and the WebSocket frame are
+    built once and shared by reference, so this is pure wake-up and
+    delivery cost, flat in payload size. Not a CI gate metric: the
+    asyncio scheduler's wake-up cost is too host-dependent.
+    """
+    import asyncio
+
+    from repro.serve import SnapshotHub
+    from repro.stream import LinkSnapshot, StageCounters
+
+    snapshot = LinkSnapshot(
+        link="C1-O12", time_us=1_000_000, packets=100, events=90,
+        failures=0, late_items=0, order_violations=0,
+        reorder_pending=0, reassemblers=0,
+        stages={"ingest": StageCounters(received=100, emitted=100)},
+        eviction={"sweeps": 1},
+        analyzers={"chains": {"connections": 3}})
+
+    async def fanout() -> float:
+        hub = SnapshotHub()
+        hub.bind(asyncio.get_running_loop())
+
+        async def subscriber() -> int:
+            async for payload, _skipped in hub.subscribe(
+                    start_with_latest=False):
+                return payload.seq
+            return 0
+
+        tasks = [asyncio.ensure_future(subscriber())
+                 for _ in range(clients)]
+        await asyncio.sleep(0)  # let every subscriber start waiting
+        start = time.perf_counter_ns()
+        hub.publish(snapshot)
+        await asyncio.gather(*tasks)
+        elapsed = time.perf_counter_ns() - start
+        assert hub.serializations == 1
+        hub.close()
+        return float(elapsed)
+
+    best = min(asyncio.run(fanout()) for _ in range(rounds))
+    return {"serve_fanout_ns_per_client": round(best / clients, 1)}
+
+
 def measure_pipeline(scale: float = SCALE) -> dict:
     """Generation, cached re-acquisition, extraction and pcap read."""
     import os
@@ -253,6 +300,7 @@ def cmd_record(args) -> int:
     after = measure_parsers()
     after.update(measure_stream())
     after.update(measure_fleet())
+    after.update(measure_serve())
     after.update(measure_pipeline())
     document = build_document(after)
     save_json(args.out, document)

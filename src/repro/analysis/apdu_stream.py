@@ -14,7 +14,6 @@ the tolerant parser. Two modes are exposed:
 
 from __future__ import annotations
 
-import warnings
 from dataclasses import dataclass, field
 from typing import Iterable
 
@@ -31,8 +30,7 @@ from .sources import PacketSource, resolve_source
 class ApduEvent:
     """One decoded APDU with its network context.
 
-    ``time_us`` is the canonical capture time in integer microseconds;
-    the float-seconds ``timestamp`` view is deprecated.
+    ``time_us`` is the canonical capture time in integer microseconds.
     """
 
     time_us: int
@@ -41,15 +39,6 @@ class ApduEvent:
     apdu: APDU
     compliant: bool = True
     wire_bytes: int = 0
-
-    @property
-    def timestamp(self) -> float:
-        """Deprecated float-seconds view of :attr:`time_us`."""
-        warnings.warn(  # staticcheck: remove-in=1.1.0
-            "ApduEvent.timestamp is deprecated; use ApduEvent.time_us "
-            "(canonical integer microseconds)",
-            DeprecationWarning, stacklevel=2)
-        return self.time_us / 1_000_000
 
     @property
     def token(self) -> str:
@@ -142,7 +131,6 @@ def is_iec104(packet: CapturedPacket) -> bool:
 
 
 def extract_apdus(source: PacketSource,
-                  names: dict[IPv4Address, str] | None = None,
                   per_packet: bool = True,
                   parser: TolerantParser | None = None
                   ) -> StreamExtraction:
@@ -150,12 +138,10 @@ def extract_apdus(source: PacketSource,
 
     ``source`` is Capture-first: pass the capture object itself (its
     ``host_names()`` map the addresses to logical names C1, O17, ...),
-    a pcap/pcapng reader, or a plain packet iterable. The legacy
-    ``names=`` pair-threading keyword is a deprecated shim. Packets on
+    a pcap/pcapng reader, or a plain packet iterable. Packets on
     other ports are ignored, as the paper did with ICCP/C37.118.
     """
-    packets, names = resolve_source(source, names,
-                                    caller="extract_apdus")
+    packets, names = resolve_source(source, caller="extract_apdus")
     parser = parser or TolerantParser()
     extraction = StreamExtraction(events=[], parser=parser)
     reassemblers: dict[object, StreamReassembler] = {}

@@ -13,7 +13,6 @@ from typing import Iterable
 
 from ..iec104.codec import StrictParser, TolerantParser
 from ..iec104.profiles import STANDARD_PROFILE, LinkProfile
-from ..netstack.addresses import IPv4Address
 from ..netstack.packet import CapturedPacket
 from .apdu_stream import is_iec104
 from .sources import PacketSource, resolve_source
@@ -67,17 +66,15 @@ class ComplianceReport:
                 and host.strict_malformed > 0]
 
 
-def analyze_compliance(source: PacketSource,
-                       names: dict[IPv4Address, str] | None = None
-                       ) -> ComplianceReport:
+def analyze_compliance(source: PacketSource) -> ComplianceReport:
     """Compare strict vs tolerant parsing per sending host.
 
     Capture-first: pass the capture object itself (or a pcap reader /
-    packet iterable; ``names=`` is the deprecated pair-threading shim).
-    Only I-format frames discriminate between profiles, so hosts that
-    send only S/U frames (pure backups) are counted but never flagged.
+    packet iterable). Only I-format frames discriminate between
+    profiles, so hosts that send only S/U frames (pure backups) are
+    counted but never flagged.
     """
-    packets, names = resolve_source(source, names,
+    packets, names = resolve_source(source,
                                     caller="analyze_compliance")
     report = ComplianceReport()
     strict = StrictParser()

@@ -88,19 +88,17 @@ class FlowAnalysis:
     @classmethod
     def from_packets(cls, label: str,
                      source: PacketSource,
-                     names: dict[IPv4Address, str] | None = None,
                      iec104_only: bool = True) -> "FlowAnalysis":
         """Build flow records from a capture.
 
         Capture-first: ``source`` may be the capture object itself, a
-        pcap reader, or a plain packet iterable (``names=`` is the
-        deprecated pair-threading shim). ``iec104_only`` keeps only
-        port-2404 traffic — the paper's captures also carried ICCP and
-        C37.118, which its analysis set aside.
+        pcap reader, or a plain packet iterable. ``iec104_only`` keeps
+        only port-2404 traffic — the paper's captures also carried
+        ICCP and C37.118, which its analysis set aside.
         """
         from .apdu_stream import is_iec104
         packets, names = resolve_source(
-            source, names, caller="FlowAnalysis.from_packets")
+            source, caller="FlowAnalysis.from_packets")
         table = FlowTable()
         for packet in packets:
             if iec104_only and not is_iec104(packet):

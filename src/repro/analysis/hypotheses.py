@@ -18,7 +18,6 @@ from __future__ import annotations
 import enum
 from dataclasses import dataclass
 
-from ..netstack.addresses import IPv4Address
 from ..netstack.packet import CapturedPacket
 from .apdu_stream import StreamExtraction
 from .clustering import kmeans, silhouette_score
@@ -75,11 +74,9 @@ def evaluate_h1_stability(before: StreamExtraction,
         metric=stability)
 
 
-def evaluate_h2_compliance(source: PacketSource,
-                           names: dict[IPv4Address, str] | None = None
-                           ) -> HypothesisResult:
+def evaluate_h2_compliance(source: PacketSource) -> HypothesisResult:
     """H2: endpoints speak standard IEC 104 (paper: rejected)."""
-    capture = as_capture(source, names, caller="evaluate_h2_compliance")
+    capture = as_capture(source, caller="evaluate_h2_compliance")
     report = analyze_compliance(capture)
     offenders = report.fully_malformed_hosts()
     verdict = Verdict.SUPPORTED if not offenders else Verdict.REJECTED
@@ -92,11 +89,9 @@ def evaluate_h2_compliance(source: PacketSource,
         metric=float(len(offenders)))
 
 
-def evaluate_h3_flows(source: PacketSource,
-                      names: dict[IPv4Address, str] | None = None
-                      ) -> HypothesisResult:
+def evaluate_h3_flows(source: PacketSource) -> HypothesisResult:
     """H3: TCP flows are long-lived (paper: rejected)."""
-    capture = as_capture(source, names, caller="evaluate_h3_flows")
+    capture = as_capture(source, caller="evaluate_h3_flows")
     summary = FlowAnalysis.from_packets("capture", capture).summary()
     short = summary.short_fraction
     verdict = Verdict.SUPPORTED if short < 0.3 else (
@@ -158,15 +153,14 @@ def evaluate_h5_physical(extraction: StreamExtraction
 
 def evaluate_all(y1_source: PacketSource,
                  y1_extraction: StreamExtraction,
-                 y2_extraction: StreamExtraction,
-                 names: dict[IPv4Address, str] | None = None
+                 y2_extraction: StreamExtraction
                  ) -> list[HypothesisResult]:
     """Evaluate H1-H5 the way the paper does across its datasets.
 
     Capture-first: ``y1_source`` is the year-1 capture object (or
-    reader / packet iterable; ``names=`` is the deprecated shim).
+    reader / packet iterable).
     """
-    y1_capture = as_capture(y1_source, names, caller="evaluate_all")
+    y1_capture = as_capture(y1_source, caller="evaluate_all")
     return [
         evaluate_h1_stability(y1_extraction, y2_extraction),
         evaluate_h2_compliance(y1_capture),

@@ -1,19 +1,18 @@
 """Capture-first packet sources for the analysis entrypoints.
 
 The analysis API historically threaded ``(packets, names=...)`` pairs
-through every call. The canonical currency is now a *capture*: any
-object with a ``packets`` iterable and a ``host_names()`` mapping —
+through every call. The canonical currency is a *capture*: any object
+with a ``packets`` iterable and a ``host_names()`` mapping —
 :class:`repro.simnet.scenario.SyntheticCapture`, the perf cache's
 ``CachedCapture``, an :class:`repro.simnet.attacker.AttackResult`, or
 the :class:`PacketCapture` wrapper below. Raw packet iterables and
-pcap/pcapng readers are also accepted; the ``names=`` keyword remains
-as a deprecated shim.
+pcap/pcapng readers are also accepted (with an empty name map); the
+deprecated ``names=`` keyword was removed in 1.1.0.
 """
 
 from __future__ import annotations
 
 import itertools
-import warnings
 from dataclasses import dataclass, field
 from typing import Iterable, Iterator
 
@@ -48,15 +47,7 @@ def _decode_records(records: Iterable[PcapRecord]
             yield packet
 
 
-def _warn_names(caller: str) -> None:
-    warnings.warn(  # staticcheck: remove-in=1.1.0
-        f"{caller}(packets, names=...) is deprecated; pass the capture "
-        "object itself (anything with .packets and .host_names())",
-        DeprecationWarning, stacklevel=4)
-
-
 def resolve_source(source: PacketSource,
-                   names: dict[IPv4Address, str] | None = None,
                    caller: str = "this entrypoint"
                    ) -> tuple[Iterable[CapturedPacket],
                               dict[IPv4Address, str]]:
@@ -65,38 +56,31 @@ def resolve_source(source: PacketSource,
     Accepts a capture object (``.packets`` + ``.host_names()``), a
     :class:`PcapReader`/:class:`PcapngReader`, an iterable of
     :class:`PcapRecord`, or a plain iterable of
-    :class:`CapturedPacket`. An explicit ``names=`` (the legacy
-    pair-threading form) still works but emits a
-    :class:`DeprecationWarning`; it overrides the capture's own names.
+    :class:`CapturedPacket` (the latter three with an empty name map
+    — wrap in :class:`PacketCapture` to attach names).
     """
-    if names is not None:
-        _warn_names(caller)
     packets = getattr(source, "packets", None)
     host_names = getattr(source, "host_names", None)
     if packets is not None and callable(host_names):
-        resolved = dict(host_names())
-        if names:
-            resolved.update(names)
-        return packets, resolved
+        return packets, dict(host_names())
     if isinstance(source, (PcapReader, PcapngReader)):
-        return _decode_records(source), dict(names or {})
+        return _decode_records(source), {}
     iterator = iter(source)  # type: ignore[arg-type]
     try:
         first = next(iterator)
     except StopIteration:
-        return [], dict(names or {})
+        return [], {}
     rest = itertools.chain([first], iterator)
     if isinstance(first, PcapRecord):
-        return _decode_records(rest), dict(names or {})
-    return rest, dict(names or {})
+        return _decode_records(rest), {}
+    return rest, {}
 
 
 def as_capture(source: PacketSource,
-               names: dict[IPv4Address, str] | None = None,
                caller: str = "this entrypoint") -> PacketCapture:
     """Like :func:`resolve_source` but materializes a reusable
     :class:`PacketCapture` (multi-pass callers)."""
-    if isinstance(source, PacketCapture) and names is None:
+    if isinstance(source, PacketCapture):
         return source
-    packets, resolved = resolve_source(source, names, caller)
+    packets, resolved = resolve_source(source, caller)
     return PacketCapture(packets=list(packets), names=resolved)

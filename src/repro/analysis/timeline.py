@@ -12,15 +12,12 @@ took over.
 from __future__ import annotations
 
 import enum
-import warnings
 from dataclasses import dataclass, field
-from typing import Iterable
 
 from ..iec104.apci import IFrame, UFrame
 from ..iec104.constants import Cause, TypeID, UFunction
-from ..netstack.addresses import IPv4Address
-from ..netstack.packet import CapturedPacket
 from .apdu_stream import StreamExtraction, is_iec104
+from .sources import PacketSource, resolve_source
 
 
 class TimelineEvent(enum.Enum):
@@ -38,29 +35,11 @@ class TimelineEvent(enum.Enum):
 @dataclass(frozen=True)
 class TimelineEntry:
     """One lifecycle event; ``time_us`` is canonical integer
-    microseconds, the float-seconds views are deprecated."""
+    microseconds."""
 
     time_us: int
     event: TimelineEvent
     detail: str = ""
-
-    @property
-    def timestamp(self) -> float:
-        """Deprecated float-seconds view of :attr:`time_us`."""
-        warnings.warn(  # staticcheck: remove-in=1.1.0
-            "TimelineEntry.timestamp is deprecated; use "
-            "TimelineEntry.time_us (canonical integer microseconds)",
-            DeprecationWarning, stacklevel=2)
-        return self.time_us / 1_000_000
-
-    @property
-    def time(self) -> float:
-        """Deprecated float-seconds view of :attr:`time_us`."""
-        warnings.warn(  # staticcheck: remove-in=1.1.0
-            "TimelineEntry.time is deprecated; use "
-            "TimelineEntry.time_us (canonical integer microseconds)",
-            DeprecationWarning, stacklevel=2)
-        return self.time_us / 1_000_000
 
     def __str__(self) -> str:
         suffix = f" ({self.detail})" if self.detail else ""
@@ -111,24 +90,22 @@ def _host_pair(src: str, dst: str) -> tuple[str, str]:
         return (src, dst)
     if dst.startswith("C") and not src.startswith("C"):
         return (dst, src)
-    return tuple(sorted((src, dst)))
+    first, second = sorted((src, dst))
+    return (first, second)
 
 
-def build_timelines(source,
-                    extraction: StreamExtraction,
-                    names: dict[IPv4Address, str] | None = None
+def build_timelines(source: PacketSource,
+                    extraction: StreamExtraction
                     ) -> dict[tuple[str, str], ConnectionTimeline]:
     """Reconstruct lifecycle timelines from packets + decoded APDUs.
 
-    Capture-first: ``source`` may be a capture object, a pcap reader or
-    a plain packet iterable (``names=`` is the deprecated shim).
+    Capture-first: ``source`` may be a capture object, a pcap reader
+    or a plain packet iterable.
     """
-    from .sources import resolve_source
-    packets, names = resolve_source(source, names,
-                                    caller="build_timelines")
+    packets, names = resolve_source(source, caller="build_timelines")
     timelines: dict[tuple[str, str], ConnectionTimeline] = {}
 
-    def timeline_for(pair) -> ConnectionTimeline:
+    def timeline_for(pair: tuple[str, str]) -> ConnectionTimeline:
         timeline = timelines.get(pair)
         if timeline is None:
             timeline = ConnectionTimeline(connection=pair)

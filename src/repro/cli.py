@@ -338,42 +338,43 @@ def _parse_link_specs(specs: list[str]) -> list[tuple[str, str]]:
     return links
 
 
-def cmd_monitor(args: argparse.Namespace, out=sys.stdout) -> int:
-    """Stream growing capture(s) through the online pipeline.
+def _build_monitor_target(args: argparse.Namespace, prog: str):
+    """Construct the monitor/fleet target both loops drive.
 
-    One positional capture runs the single-link monitor; repeated
-    ``--link NAME=PATH`` runs a fleet with one pipeline per file; a
-    positional capture plus ``--demux`` runs a fleet demultiplexed
-    from the one merged file by endpoint pair. ``--workers N`` (on a
-    fleet) partitions the links across N worker processes.
+    Shared by ``repro monitor`` and ``repro serve``: validates the
+    capture/--link/--demux/--workers combination and returns
+    ``(target, sources, sharded, detect_after_us)``.  The caller owns
+    the cleanup of ``sources`` and ``sharded``; ``detect_after_us``
+    comes back ``None`` when the workers drive the DETECT flip
+    themselves.
     """
     import os
     import stat as stat_module
 
     from .stream import (FleetSupervisor, LinkDemux,
                          MonitorPipelineFactory,
-                         ShardedFleetSupervisor, run_monitor)
+                         ShardedFleetSupervisor)
     from .stream.monitor import MonitorTarget
     link_specs = _parse_link_specs(args.links or [])
     if bool(args.pcap) == bool(link_specs):
-        raise SystemExit("repro monitor: give one capture path or "
+        raise SystemExit(f"{prog}: give one capture path or "
                          "one or more --link NAME=PATH, not both")
     if args.demux and not args.pcap:
         raise SystemExit(
-            "repro monitor: --demux needs a merged capture path")
+            f"{prog}: --demux needs a merged capture path")
 
     workers = args.workers
     if workers == 0:
         workers = os.cpu_count() or 1
     if workers < 0:
         raise SystemExit(
-            f"repro monitor: --workers must be >= 0, got {workers}")
+            f"{prog}: --workers must be >= 0, got {workers}")
 
     paths = [path for _name, path in link_specs] or [args.pcap]
     if workers > 1:
         if not (args.demux or link_specs):
             raise SystemExit(
-                "repro monitor: --workers needs a fleet (--demux or "
+                f"{prog}: --workers needs a fleet (--demux or "
                 "--link NAME=PATH); a single-link monitor has "
                 "nothing to shard")
         for path in paths:
@@ -381,12 +382,12 @@ def cmd_monitor(args: argparse.Namespace, out=sys.stdout) -> int:
                 regular = stat_module.S_ISREG(os.stat(path).st_mode)
             except OSError as exc:
                 raise SystemExit(
-                    f"repro monitor: cannot stat {path!r}: {exc}")
+                    f"{prog}: cannot stat {path!r}: {exc}")
             if not regular:
                 hint = (" (--follow on a pipe cannot be sharded)"
                         if args.follow else "")
                 raise SystemExit(
-                    "repro monitor: --workers needs seekable regular "
+                    f"{prog}: --workers needs seekable regular "
                     "capture files — every worker opens its own "
                     f"reader — but {path!r} is not a regular "
                     f"file{hint}")
@@ -426,6 +427,21 @@ def cmd_monitor(args: argparse.Namespace, out=sys.stdout) -> int:
         source = _monitor_tail_source(args.pcap, args.follow)
         sources.append(source)
         target = factory(Path(args.pcap).stem, source)
+    return target, sources, sharded, detect_after_us
+
+
+def cmd_monitor(args: argparse.Namespace, out=sys.stdout) -> int:
+    """Stream growing capture(s) through the online pipeline.
+
+    One positional capture runs the single-link monitor; repeated
+    ``--link NAME=PATH`` runs a fleet with one pipeline per file; a
+    positional capture plus ``--demux`` runs a fleet demultiplexed
+    from the one merged file by endpoint pair. ``--workers N`` (on a
+    fleet) partitions the links across N worker processes.
+    """
+    from .stream import run_monitor
+    target, sources, sharded, detect_after_us = \
+        _build_monitor_target(args, "repro monitor")
     try:
         run_monitor(target, out, json_lines=args.json,
                     follow=args.follow, once=args.once,
@@ -439,6 +455,58 @@ def cmd_monitor(args: argparse.Namespace, out=sys.stdout) -> int:
             source.close()
         if sharded is not None:
             sharded.close()
+    return 0
+
+
+def cmd_serve(args: argparse.Namespace, out=sys.stdout) -> int:
+    """Serve live snapshots over HTTP + WebSocket (see repro.serve).
+
+    Composes the same monitor targets as ``repro monitor`` (single
+    link, fleet, demux, sharded workers) with the asyncio serving
+    stack: every poll is serialized once and broadcast to every
+    subscriber; ``--history PATH`` additionally records each poll to
+    the columnar sqlite store behind the time-travel endpoints.
+    """
+    import asyncio
+    import signal
+
+    from .serve import HistoryStore, Retention, serve_until
+    target, sources, sharded, detect_after_us = \
+        _build_monitor_target(args, "repro serve")
+    history: HistoryStore | None = None
+    if args.history is not None:
+        history = HistoryStore(
+            args.history,
+            retention=Retention(max_polls=args.retain_polls))
+
+    async def run() -> int:
+        loop = asyncio.get_running_loop()
+        stop = asyncio.Event()
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            loop.add_signal_handler(signum, stop.set)
+
+        def on_listening(host: str, port: int) -> None:
+            print(f"serving http://{host}:{port} "
+                  f"(ws://{host}:{port}/ws)", file=out, flush=True)
+
+        return await serve_until(
+            target, stop, host=args.host, port=args.port,
+            history=history, follow=args.follow,
+            interval_s=args.interval,
+            detect_after_us=detect_after_us,
+            max_polls=args.snapshots,
+            on_listening=on_listening)
+
+    try:
+        polls = asyncio.run(run())
+        print(f"served {polls} poll(s)", file=out, flush=True)
+    finally:
+        for source in sources:
+            source.close()
+        if sharded is not None:
+            sharded.close()
+        if history is not None:
+            history.close()
     return 0
 
 
@@ -529,56 +597,85 @@ def build_parser() -> argparse.ArgumentParser:
     add_lint_arguments(lint)
     lint.set_defaults(func=cmd_lint)
 
+    def add_target_arguments(
+            parser: argparse.ArgumentParser) -> None:
+        """The shared monitor-target flags of monitor and serve."""
+        parser.add_argument("pcap", nargs="?", default=None,
+                            help="input pcap/pcapng file (may still "
+                                 "be written to with --follow); omit "
+                                 "when using --link")
+        parser.add_argument("--link", action="append", dest="links",
+                            metavar="NAME=PATH",
+                            help="monitor a fleet: one pipeline per "
+                                 "NAME=PATH capture (repeatable)")
+        parser.add_argument("--demux", action="store_true",
+                            help="split the one merged capture into "
+                                 "per-link pipelines by endpoint "
+                                 "pair")
+        parser.add_argument("--workers", type=int, default=1,
+                            metavar="N",
+                            help="shard a fleet's links across N "
+                                 "worker processes (needs --demux or "
+                                 "--link; 0 = one per CPU core; "
+                                 "default 1 runs everything "
+                                 "in-process; captures must be "
+                                 "seekable regular files since every "
+                                 "worker opens its own reader)")
+        parser.add_argument("--names",
+                            help="JSON host-name map (ip -> name); "
+                                 "defaults to the <capture>."
+                                 "names.json sidecar(s) if present")
+        parser.add_argument("--follow", action="store_true",
+                            help="keep polling for appended packets "
+                                 "(tail -f mode)")
+        parser.add_argument("--interval", type=float, default=2.0,
+                            help="seconds between snapshots "
+                                 "(default 2.0)")
+        parser.add_argument("--snapshots", type=int, default=None,
+                            help="stop after N periodic snapshots")
+        parser.add_argument("--detect-after", type=float,
+                            default=None, dest="detect_after",
+                            metavar="SECONDS",
+                            help="switch the whitelist detector from "
+                                 "learn to detect once the capture "
+                                 "clock passes this many seconds")
+        parser.add_argument("--reassemble", action="store_true",
+                            help="TCP-reassemble before decoding "
+                                 "instead of the paper's per-packet "
+                                 "parse")
+        parser.add_argument("--no-evict", action="store_true",
+                            dest="no_evict",
+                            help="disable idle-state eviction")
+
     monitor = sub.add_parser(
         "monitor", help="stream (possibly growing) captures through "
                         "the online analysis pipeline")
-    monitor.add_argument("pcap", nargs="?", default=None,
-                         help="input pcap/pcapng file (may still be "
-                              "written to with --follow); omit when "
-                              "using --link")
-    monitor.add_argument("--link", action="append", dest="links",
-                         metavar="NAME=PATH",
-                         help="monitor a fleet: one pipeline per "
-                              "NAME=PATH capture (repeatable)")
-    monitor.add_argument("--demux", action="store_true",
-                         help="split the one merged capture into "
-                              "per-link pipelines by endpoint pair")
-    monitor.add_argument("--workers", type=int, default=1,
-                         metavar="N",
-                         help="shard a fleet's links across N worker "
-                              "processes (needs --demux or --link; "
-                              "0 = one per CPU core; default 1 runs "
-                              "everything in-process; captures must "
-                              "be seekable regular files since every "
-                              "worker opens its own reader)")
-    monitor.add_argument("--names",
-                         help="JSON host-name map (ip -> name); "
-                              "defaults to the <capture>.names.json "
-                              "sidecar(s) if present")
-    monitor.add_argument("--follow", action="store_true",
-                         help="keep polling for appended packets "
-                              "(tail -f mode)")
+    add_target_arguments(monitor)
     monitor.add_argument("--once", action="store_true",
                          help="drain, print one snapshot, exit")
     monitor.add_argument("--json", action="store_true",
                          help="JSON-lines snapshots instead of text")
-    monitor.add_argument("--interval", type=float, default=2.0,
-                         help="seconds between snapshots "
-                              "(default 2.0)")
-    monitor.add_argument("--snapshots", type=int, default=None,
-                         help="stop after N periodic snapshots")
-    monitor.add_argument("--detect-after", type=float, default=None,
-                         dest="detect_after", metavar="SECONDS",
-                         help="switch the whitelist detector from "
-                              "learn to detect once the capture clock "
-                              "passes this many seconds")
-    monitor.add_argument("--reassemble", action="store_true",
-                         help="TCP-reassemble before decoding instead "
-                              "of the paper's per-packet parse")
-    monitor.add_argument("--no-evict", action="store_true",
-                         dest="no_evict",
-                         help="disable idle-state eviction")
     monitor.set_defaults(func=cmd_monitor)
+
+    serve = sub.add_parser(
+        "serve", help="serve live snapshots over HTTP + WebSocket "
+                      "(see docs/streaming.md)")
+    add_target_arguments(serve)
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="bind address (default 127.0.0.1)")
+    serve.add_argument("--port", type=int, default=8104,
+                       help="TCP port; 0 picks a free one "
+                            "(default 8104)")
+    serve.add_argument("--history", default=None, metavar="PATH",
+                       help="record every poll to a columnar sqlite "
+                            "store at PATH (':memory:' for "
+                            "ephemeral) enabling /fleet/at and "
+                            "/links/<name>/history")
+    serve.add_argument("--retain-polls", type=int, default=None,
+                       dest="retain_polls", metavar="N",
+                       help="keep only the newest N polls in the "
+                            "history store (default: unbounded)")
+    serve.set_defaults(func=cmd_serve)
 
     hypotheses = sub.add_parser(
         "hypotheses", help="evaluate the paper's five hypotheses over "

@@ -38,7 +38,12 @@ SCHEMA_TABLE_MARKER = "<!-- staticcheck: schema-table -->"
 _DEFAULT_COLUMNS: Mapping[str, str] = {
     "LinkSnapshot": "Link",
     "FleetSnapshot": "Fleet",
+    "SnapshotEnvelope": "Serve",
 }
+
+#: Packages whose snapshot dataclasses the default scope covers: the
+#: stream snapshot contract and the served envelope wrapping it.
+_DEFAULT_PACKAGES = ("repro.stream", "repro.serve")
 
 #: Cell values that mean "this key is present in this schema".
 _PRESENT_CELLS = frozenset({"✓", "x", "yes", "✔"})
@@ -111,21 +116,29 @@ class SchemaDriftRule(CrossFileRule):
                    "each drift is a silent contract break for "
                    "monitor consumers")
     severity = Severity.ERROR
-    version = 1
+    version = 2
 
-    def __init__(self, package: str = "repro.stream",
+    def __init__(self,
+                 package: str | tuple[str, ...] = _DEFAULT_PACKAGES,
                  docs_path: Path | None = None,
                  columns: Mapping[str, str] | None = None):
-        self.package = package
+        # ``package`` accepts one package name or a tuple of them —
+        # the default scope spans the snapshot contract *and* the
+        # serve envelope that wraps it on the wire.
+        self.packages = ((package,) if isinstance(package, str)
+                         else tuple(package))
         self.docs_path = docs_path or _default_docs_path()
         self.columns = dict(columns if columns is not None
                             else _DEFAULT_COLUMNS)
 
+    def _in_scope(self, name: str) -> bool:
+        return any(name == package or name.startswith(package + ".")
+                   for package in self.packages)
+
     def check_model(self, model: ProjectModel) -> Iterator[Finding]:
-        prefix = self.package + "."
         in_scope = [
             model.summaries[name] for name in model.modules()
-            if name == self.package or name.startswith(prefix)]
+            if self._in_scope(name)]
         tracked: dict[str, tuple[str, ClassInfo]] = {}
         for summary in in_scope:
             for cls in summary.classes:

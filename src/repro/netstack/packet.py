@@ -7,7 +7,6 @@ needs (4-tuple, flags, payload) without re-parsing.
 
 from __future__ import annotations
 
-import warnings
 from dataclasses import dataclass
 from functools import cached_property
 
@@ -57,8 +56,7 @@ class CapturedPacket:
     """One packet as seen by the network tap (Fig. 5 of the paper).
 
     ``time_us`` is the canonical capture time in integer microseconds
-    (the simulation tick); the float-seconds ``timestamp`` view is
-    deprecated.
+    (the simulation tick).
     """
 
     time_us: int
@@ -72,15 +70,6 @@ class CapturedPacket:
             raise TypeError(
                 f"time_us must be integer microseconds, got "
                 f"{self.time_us!r}")
-
-    @property
-    def timestamp(self) -> float:
-        """Deprecated float-seconds view of :attr:`time_us`."""
-        warnings.warn(  # staticcheck: remove-in=1.1.0
-            "CapturedPacket.timestamp is deprecated; use "
-            "CapturedPacket.time_us (canonical integer microseconds)",
-            DeprecationWarning, stacklevel=2)
-        return self.time_us / 1_000_000
 
     # ``cached_property`` writes to the instance ``__dict__`` directly,
     # which a frozen (non-slots) dataclass permits: the derived views

@@ -19,7 +19,6 @@ floored to the canonical tick.
 from __future__ import annotations
 
 import struct
-import warnings
 from dataclasses import dataclass
 from typing import BinaryIO, Iterable, Iterator
 
@@ -55,15 +54,6 @@ class PcapRecord:
                 f"time_us must be integer microseconds, got "
                 f"{self.time_us!r} — use round(seconds * 1_000_000) "
                 f"to convert")
-
-    @property
-    def timestamp(self) -> float:
-        """Deprecated float-seconds view of :attr:`time_us`."""
-        warnings.warn(  # staticcheck: remove-in=1.1.0
-            "PcapRecord.timestamp is deprecated; use "
-            "PcapRecord.time_us (canonical integer microseconds)",
-            DeprecationWarning, stacklevel=2)
-        return self.time_us / _US_PER_SECOND
 
     @property
     def truncated(self) -> bool:

@@ -8,9 +8,9 @@ into ``jq`` or a dashboard).
 
 The renderers take the typed snapshot contract
 (:class:`~repro.stream.snapshots.LinkSnapshot` /
-:class:`~repro.stream.snapshots.FleetSnapshot`); passing the legacy
-plain-dict shape still works for one release behind a
-``DeprecationWarning``.
+:class:`~repro.stream.snapshots.FleetSnapshot`); the legacy plain-dict
+shape was removed in 1.1.0 — build typed snapshots (e.g. via
+:meth:`~repro.stream.pipeline.StreamPipeline.link_snapshot`).
 
 Two timing domains meet here, deliberately kept apart: *analysis* is
 driven purely by stream time (capture timestamps — deterministic on
@@ -22,7 +22,6 @@ from __future__ import annotations
 
 import json
 import time
-import warnings
 from typing import Any, Callable, Mapping, TextIO, Union
 
 from ..simnet.clock import Ticks
@@ -31,8 +30,8 @@ from .pipeline import StreamPipeline
 from .shard import ShardedFleetSupervisor
 from .snapshots import FleetSnapshot, LinkSnapshot
 
-#: What the renderers accept (the dict form is deprecated).
-Snapshot = Union[LinkSnapshot, FleetSnapshot, Mapping[str, Any]]
+#: What the renderers accept.
+Snapshot = Union[LinkSnapshot, FleetSnapshot]
 
 #: What the monitor loop drives.
 MonitorTarget = Union[StreamPipeline, FleetSupervisor,
@@ -40,16 +39,9 @@ MonitorTarget = Union[StreamPipeline, FleetSupervisor,
 
 
 def _document(snapshot: Snapshot, caller: str) -> Mapping[str, Any]:
-    """The wire-form dict of a snapshot, warning on legacy input."""
+    """The wire-form dict of a snapshot."""
     if isinstance(snapshot, (LinkSnapshot, FleetSnapshot)):
         return snapshot.to_json()
-    if isinstance(snapshot, Mapping):
-        warnings.warn(  # staticcheck: remove-in=1.1.0
-            f"passing a plain dict to {caller}() is deprecated; pass "
-            "a LinkSnapshot or FleetSnapshot (e.g. from "
-            "StreamPipeline.link_snapshot())",
-            DeprecationWarning, stacklevel=3)
-        return snapshot
     raise TypeError(
         f"{caller}() takes a LinkSnapshot or FleetSnapshot, "
         f"not {type(snapshot).__name__}")
@@ -130,7 +122,7 @@ def _snapshot_of(target: MonitorTarget) -> Snapshot:
     return target.snapshot()
 
 
-def run_monitor(target: MonitorTarget, out: TextIO,
+def run_monitor(target: MonitorTarget, out: TextIO | None,
                 json_lines: bool = False,
                 follow: bool = False,
                 once: bool = False,
@@ -140,7 +132,9 @@ def run_monitor(target: MonitorTarget, out: TextIO,
                 poll_sleep_s: float = 0.2,
                 max_snapshots: int | None = None,
                 sleep: Callable[[float], None] = time.sleep,
-                clock: Callable[[], float] = time.monotonic) -> int:
+                clock: Callable[[], float] = time.monotonic,
+                on_snapshot: Callable[[Snapshot], None] | None = None,
+                should_stop: Callable[[], bool] | None = None) -> int:
     """Drive a pipeline or fleet and emit snapshots; return the count.
 
     ``once`` suppresses periodic snapshots: the sources are drained
@@ -153,6 +147,13 @@ def run_monitor(target: MonitorTarget, out: TextIO,
     stream clock passes that tick — every
     :class:`OnlineCombinedDetector` flips from LEARN to DETECT, and a
     fleet also flips detectors on links discovered later.
+
+    Each emitted snapshot is also handed to ``on_snapshot`` (the
+    subscriber hook the serving stack attaches); ``out=None`` skips
+    rendering entirely for programmatic consumers.  ``should_stop``
+    is polled each round — when it returns true the loop winds down
+    early with the usual final flushed snapshot, which is how
+    ``repro serve`` stops a ``--follow`` monitor cleanly.
     """
     switched = detect_after_us is None
     emitted = 0
@@ -162,12 +163,17 @@ def run_monitor(target: MonitorTarget, out: TextIO,
     def emit() -> None:
         nonlocal emitted
         snapshot = _snapshot_of(target)
-        line = (render_json(snapshot) if json_lines
-                else render_text(snapshot))
-        print(line, file=out, flush=True)
+        if out is not None:
+            line = (render_json(snapshot) if json_lines
+                    else render_text(snapshot))
+            print(line, file=out, flush=True)
+        if on_snapshot is not None:
+            on_snapshot(snapshot)
         emitted += 1
 
     while True:
+        if should_stop is not None and should_stop():
+            break
         moved = target.step()
         if not switched and detect_after_us is not None \
                 and target.now_us >= detect_after_us:

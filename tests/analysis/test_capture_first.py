@@ -1,10 +1,10 @@
-"""Capture-first entrypoints and the deprecated ``names=`` shims.
+"""Capture-first entrypoints and the 1.1.0 API cutover.
 
 The analysis API's canonical input is a *capture* — anything with a
 ``.packets`` iterable and a ``host_names()`` mapping. These tests pin
 both directions of the contract: capture objects, readers and record
-iterables are accepted directly, and the legacy ``(packets, names=...)``
-pair-threading form still works but warns.
+iterables are accepted directly, and the legacy ``(packets,
+names=...)`` pair-threading shims (removed in 1.1.0) stay removed.
 """
 
 import io
@@ -101,50 +101,52 @@ class TestCaptureFirst:
         assert names == small_capture.host_names()
 
 
-class TestDeprecatedShims:
-    def test_extract_apdus_names_kwarg_warns(self, small_capture):
-        with pytest.warns(DeprecationWarning, match="extract_apdus"):
-            extraction = extract_apdus(small_capture.packets,
-                                       names=small_capture.host_names())
-        assert tokenize(extraction.events) == ["U16", "U32"]
-        assert extraction.events[0].src == "C1"
+class TestCutover110:
+    """The 1.1.0 API cutover: the deprecated shims are gone."""
 
-    def test_flow_analysis_names_kwarg_warns(self, small_capture):
-        with pytest.warns(DeprecationWarning,
-                          match="FlowAnalysis.from_packets"):
-            analysis = FlowAnalysis.from_packets(
+    def test_extract_apdus_rejects_names_kwarg(self, small_capture):
+        with pytest.raises(TypeError, match="names"):
+            extract_apdus(small_capture.packets,
+                          names=small_capture.host_names())
+
+    def test_flow_analysis_rejects_names_kwarg(self, small_capture):
+        with pytest.raises(TypeError, match="names"):
+            FlowAnalysis.from_packets(
                 "t", small_capture.packets,
                 names=small_capture.host_names())
-        assert len(analysis.flows) == 1
 
-    def test_analyze_compliance_names_kwarg_warns(self, small_capture):
-        with pytest.warns(DeprecationWarning, match="analyze_compliance"):
-            report = analyze_compliance(small_capture.packets,
-                                        names=small_capture.host_names())
-        assert report.fully_malformed_hosts() == []
+    def test_analyze_compliance_rejects_names_kwarg(self,
+                                                    small_capture):
+        with pytest.raises(TypeError, match="names"):
+            analyze_compliance(small_capture.packets,
+                               names=small_capture.host_names())
 
-    def test_explicit_names_override_capture_names(self, small_capture):
+    def test_wrapping_in_packet_capture_attaches_names(
+            self, small_capture):
         override = {address: f"X-{name}"
                     for address, name in small_capture.names.items()}
-        with pytest.warns(DeprecationWarning):
-            extraction = extract_apdus(small_capture, names=override)
+        wrapped = PacketCapture(packets=small_capture.packets,
+                                names=override)
+        extraction = extract_apdus(wrapped)
         assert extraction.events[0].src == "X-C1"
 
-    def test_apdu_event_timestamp_property_warns(self, small_capture):
+    def test_apdu_event_timestamp_property_removed(self,
+                                                   small_capture):
         event = extract_apdus(small_capture).events[0]
-        with pytest.warns(DeprecationWarning, match="time_us"):
-            assert event.timestamp == event.time_us / 1_000_000
+        with pytest.raises(AttributeError):
+            event.timestamp
 
-    def test_captured_packet_timestamp_property_warns(self, small_capture):
+    def test_captured_packet_timestamp_property_removed(
+            self, small_capture):
         packet = small_capture.packets[0]
-        with pytest.warns(DeprecationWarning, match="time_us"):
-            assert packet.timestamp == packet.time_us / 1_000_000
+        with pytest.raises(AttributeError):
+            packet.timestamp
 
-    def test_timeline_entry_timestamp_property_warns(self, small_capture):
+    def test_timeline_entry_time_views_removed(self, small_capture):
         timelines = build_timelines(small_capture,
                                     extract_apdus(small_capture))
         entry = timelines[("C1", "O1")].entries[0]
-        with pytest.warns(DeprecationWarning, match="time_us"):
-            assert entry.timestamp == entry.time_us / 1_000_000
-        with pytest.warns(DeprecationWarning, match="time_us"):
-            assert entry.time == entry.time_us / 1_000_000
+        with pytest.raises(AttributeError):
+            entry.timestamp
+        with pytest.raises(AttributeError):
+            entry.time

@@ -52,10 +52,11 @@ class TestRoundtrip:
         with pytest.raises(TypeError):
             PcapRecord(time_us=1.9999996, data=b"x")
 
-    def test_deprecated_timestamp_property(self):
+    def test_float_timestamp_view_removed(self):
+        # The deprecated float-seconds view went away in 1.1.0.
         record = PcapRecord(time_us=2_500_000, data=b"x")
-        with pytest.warns(DeprecationWarning):
-            assert record.timestamp == 2.5
+        with pytest.raises(AttributeError):
+            record.timestamp
 
     @given(st.lists(st.tuples(
         st.integers(min_value=0, max_value=10**15),

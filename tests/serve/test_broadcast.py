@@ -1,0 +1,195 @@
+"""The snapshot hub and the monitor thread it bridges.
+
+The headline test is the scaling invariant: 10 000 WebSocket
+subscribers cost exactly one serialization per poll — the instrumented
+``SnapshotHub.serializations`` counter equals the poll count, never
+the subscriber count, and every subscriber holds the *same* payload
+object by reference.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import time
+
+import pytest
+
+from repro.netstack.pcap import PcapRecord
+from repro.serve import MonitorRunner, SnapshotHub
+from repro.stream import (LinkSnapshot, ListSource, OnlineChains,
+                          StageCounters, StreamPipeline)
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+def link_snapshot(time_us: int, packets: int = 1) -> LinkSnapshot:
+    return LinkSnapshot(
+        link="C1-O12", time_us=time_us, packets=packets,
+        events=packets, failures=0, late_items=0, order_violations=0,
+        reorder_pending=0, reassemblers=0,
+        stages={"ingest": StageCounters(received=packets,
+                                        emitted=packets)})
+
+
+class TestHubPublish:
+    def test_publish_serializes_once_and_sets_latest(self):
+        hub = SnapshotHub()
+        snapshot = link_snapshot(1_000_000)
+        payload = hub.publish(snapshot)
+        assert hub.serializations == 1
+        assert hub.latest is payload
+        assert hub.seq == 1
+        document = json.loads(payload.document.decode("utf-8"))
+        assert document["seq"] == 1
+        assert document["time_us"] == 1_000_000
+        assert document["snapshot"] == snapshot.to_json()
+        # The broadcast frame wraps exactly the shared document.
+        assert payload.ws_frame.endswith(payload.document)
+
+    def test_seq_increments_per_poll(self):
+        hub = SnapshotHub()
+        for poll in range(1, 4):
+            payload = hub.publish(link_snapshot(poll * 1_000))
+            assert payload.seq == poll
+        assert hub.serializations == 3
+
+
+class TestFanOut:
+    def test_10k_subscribers_share_one_serialization(self):
+        """The acceptance-bar invariant: 10 000 subscribers, one
+        poll, exactly one serialization — all payloads one object."""
+        clients = 10_000
+
+        async def main():
+            hub = SnapshotHub()
+            hub.bind(asyncio.get_running_loop())
+            received: list = []
+
+            async def subscriber():
+                async for payload, skipped in hub.subscribe():
+                    received.append((payload, skipped))
+                    return
+
+            tasks = [asyncio.create_task(subscriber())
+                     for _ in range(clients)]
+            await asyncio.sleep(0)  # let every subscriber enqueue
+            hub.publish(link_snapshot(5_000_000))
+            await asyncio.gather(*tasks)
+            return hub, received
+
+        hub, received = run(main())
+        assert len(received) == clients
+        assert hub.serializations == 1
+        payloads = {id(payload) for payload, _skipped in received}
+        assert len(payloads) == 1  # the same object, by reference
+        assert all(skipped == 0 for _payload, skipped in received)
+
+    def test_slow_subscriber_conflates_with_skip_count(self):
+        async def main():
+            hub = SnapshotHub()
+            hub.bind(asyncio.get_running_loop())
+            hub.publish(link_snapshot(1_000))
+            stream = hub.subscribe()
+            first = await anext(stream)
+            # Three more polls land while the consumer is away.
+            for poll in range(2, 5):
+                hub.publish(link_snapshot(poll * 1_000))
+            second = await anext(stream)
+            hub.close()
+            with pytest.raises(StopAsyncIteration):
+                await anext(stream)
+            return first, second
+
+        (first, first_skipped), (second, skipped) = run(main())
+        assert first.seq == 1 and first_skipped == 0
+        assert second.seq == 4
+        assert skipped == 2  # polls 2 and 3 conflated away
+
+    def test_close_ends_waiting_subscriber(self):
+        async def main():
+            hub = SnapshotHub()
+            hub.bind(asyncio.get_running_loop())
+
+            async def subscriber():
+                return [payload async for payload, _ in
+                        hub.subscribe()]
+
+            task = asyncio.create_task(subscriber())
+            await asyncio.sleep(0)
+            hub.close()
+            return await asyncio.wait_for(task, timeout=5)
+
+        assert run(main()) == []
+
+    def test_late_subscriber_starts_with_latest(self):
+        async def main():
+            hub = SnapshotHub()
+            hub.bind(asyncio.get_running_loop())
+            hub.publish(link_snapshot(1_000))
+            hub.publish(link_snapshot(2_000))
+            stream = hub.subscribe()
+            payload, skipped = await anext(stream)
+            return payload, skipped
+
+        payload, skipped = run(main())
+        assert payload.seq == 2
+        assert skipped == 0  # nothing missed *since subscribing*
+
+
+def pipeline_target(y1_capture) -> StreamPipeline:
+    records = [PcapRecord(time_us=packet.time_us,
+                          data=packet.encode())
+               for packet in y1_capture.packets]
+    return StreamPipeline(ListSource(records),
+                          names=y1_capture.host_names(),
+                          analyzers=[OnlineChains()])
+
+
+class TestMonitorRunner:
+    def test_drains_target_and_delivers_snapshots(self, y1_capture):
+        snapshots = []
+        runner = MonitorRunner(pipeline_target(y1_capture),
+                               snapshots.append, interval_s=0.01,
+                               poll_sleep_s=0.001)
+        runner.start()
+        runner.join(timeout=60)
+        assert not runner.is_alive()
+        runner.raise_if_failed()
+        assert runner.polls >= 1
+        assert len(snapshots) == runner.polls
+        final = snapshots[-1]
+        assert final.packets == len(y1_capture.packets)
+        assert final.reorder_pending == 0  # flushed before the end
+
+    def test_stop_interrupts_a_follow_run(self, y1_capture):
+        seen = []
+        runner = MonitorRunner(pipeline_target(y1_capture),
+                               seen.append, follow=True,
+                               interval_s=0.01, poll_sleep_s=0.001)
+        runner.start()
+        deadline = time.monotonic() + 60.0
+        while not seen and time.monotonic() < deadline:
+            time.sleep(0.01)
+        runner.stop()
+        runner.join(timeout=60)
+        assert not runner.is_alive()
+        runner.raise_if_failed()
+        assert seen  # at least the final flushed snapshot
+
+    def test_failure_is_surfaced_not_swallowed(self):
+        class Exploding:
+            exhausted = False
+
+            def step(self, *args, **kwargs):
+                raise RuntimeError("boom")
+
+        runner = MonitorRunner(Exploding(), lambda snapshot: None,
+                               interval_s=0.01, poll_sleep_s=0.001)
+        runner.start()
+        runner.join(timeout=60)
+        assert runner.error is not None
+        with pytest.raises(RuntimeError, match="monitor thread"):
+            runner.raise_if_failed()

@@ -1,0 +1,243 @@
+"""The columnar history store: derived layout, time travel, bytes.
+
+The byte-stability bar: record the same deterministic 8-hour synthetic
+run into two independent stores and every query result —
+``link_history`` windows and ``fleet_at`` time-travel rebuilds — must
+serialize to byte-identical documents.  Nothing in the store may
+depend on wall clock, dict order, or connection identity.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import sqlite3
+
+import pytest
+
+from repro.serve import HistoryStore, Retention, link_columns
+from repro.serve.history import JSON_FIELDS, LINK_COLUMNS
+from repro.serve.wire import dump_document
+from repro.stream import (FleetSnapshot, LinkSnapshot, StageCounters)
+
+#: Eight hours of stream time in microseconds.
+EIGHT_HOURS_US = 8 * 3600 * 1_000_000
+
+
+def link_snapshot(link: str, time_us: int, poll: int) -> LinkSnapshot:
+    """A deterministic synthetic link snapshot for poll ``poll``."""
+    return LinkSnapshot(
+        link=link, time_us=time_us,
+        packets=poll * 7 + len(link), events=poll * 5,
+        failures=poll % 3, late_items=poll % 2,
+        order_violations=poll % 5, reorder_pending=0,
+        reassemblers=poll % 2,
+        stages={"ingest": StageCounters(received=poll * 7,
+                                        emitted=poll * 7),
+                "decode": StageCounters(received=poll * 5,
+                                        emitted=poll * 5)},
+        eviction={"sweeps": poll, "flows_evicted": poll // 4},
+        analyzers={"chains": {"connections": 1 + poll % 4},
+                   "detector": {"alerts": poll % 6,
+                                "mode": "detect"}})
+
+
+def fleet_poll(poll: int, links=("C1-O12", "C2-O3",
+                                 "C3-O7")) -> FleetSnapshot:
+    """Poll ``poll`` of the synthetic 8-hour run (5-minute cadence)."""
+    time_us = poll * 300_000_000  # one poll every 5 stream-minutes
+    members = tuple(link_snapshot(name, time_us - index * 1_000,
+                                  poll + index)
+                    for index, name in enumerate(links))
+    health = {name: "live" if poll % 4 else "idle"
+              for name in links}
+    return FleetSnapshot.from_links(members, now_us=time_us,
+                                    health=health,
+                                    unrouted=poll % 7)
+
+
+class TestDerivedLayout:
+    def test_every_snapshot_field_has_a_column(self):
+        columns = dict(link_columns())
+        fields = {field.name
+                  for field in dataclasses.fields(LinkSnapshot)}
+        assert set(columns) == fields
+
+    def test_column_types_follow_annotations(self):
+        columns = dict(LINK_COLUMNS)
+        assert columns["link"] == "TEXT NOT NULL"
+        assert columns["time_us"] == "INTEGER NOT NULL"
+        assert columns["packets"] == "INTEGER NOT NULL"
+        for name in JSON_FIELDS:
+            assert columns[name] == "TEXT NOT NULL"
+
+
+class TestRetentionValidation:
+    def test_bounds_checked(self):
+        with pytest.raises(ValueError, match="max_polls"):
+            Retention(max_polls=0)
+        with pytest.raises(ValueError, match="compact_every"):
+            Retention(compact_every=0)
+        assert Retention(max_polls=5).compact_every == 64
+
+
+class TestRecordAndRead:
+    def test_fleet_round_trip_is_exact(self):
+        with HistoryStore() as store:
+            fleet = fleet_poll(3)
+            seq = store.record(fleet)
+            document = store.fleet_at(fleet.time_us)
+        expected = fleet.to_json()
+        expected["poll_seq"] = seq
+        assert document == expected
+
+    def test_link_snapshot_records_as_one_link_poll(self):
+        with HistoryStore() as store:
+            snapshot = link_snapshot("C1-O12", 5_000_000, poll=2)
+            store.record(snapshot)
+            assert store.link_names() == ["C1-O12"]
+            polls = store.link_history("C1-O12")
+            assert len(polls) == 1
+            assert polls[0]["packets"] == snapshot.packets
+            fleet = store.fleet_at(5_000_000)
+        assert fleet["link_count"] == 1
+        assert fleet["unrouted"] == 0
+        assert fleet["health"] == {}
+
+    def test_fleet_at_picks_newest_at_or_before(self):
+        with HistoryStore() as store:
+            for poll in range(1, 6):
+                store.record(fleet_poll(poll))
+            at_poll_3 = store.fleet_at(fleet_poll(3).time_us)
+            between = store.fleet_at(fleet_poll(3).time_us
+                                     + 150_000_000)
+            too_early = store.fleet_at(0)
+            latest = store.fleet_at(EIGHT_HOURS_US)
+        assert at_poll_3["poll_seq"] == 3
+        assert between["poll_seq"] == 3  # newest <= T, not nearest
+        assert too_early is None
+        assert latest["poll_seq"] == 5
+
+    def test_link_history_window_and_limit(self):
+        with HistoryStore() as store:
+            for poll in range(1, 11):
+                store.record(fleet_poll(poll))
+            full = store.link_history("C1-O12")
+            window = store.link_history(
+                "C1-O12", since_us=fleet_poll(4).time_us,
+                until_us=fleet_poll(7).time_us)
+            newest_two = store.link_history("C1-O12", limit=2)
+        assert [poll["poll_seq"] for poll in full] == list(range(1, 11))
+        assert [poll["poll_seq"] for poll in window] == [4, 5, 6, 7]
+        # ``limit`` keeps the newest polls, returned oldest-first.
+        assert [poll["poll_seq"] for poll in newest_two] == [9, 10]
+
+    def test_span_and_polls(self):
+        with HistoryStore() as store:
+            assert store.span_us() is None
+            for poll in (2, 5):
+                store.record(fleet_poll(poll))
+            assert store.span_us() == (2 * 300_000_000,
+                                       5 * 300_000_000)
+            assert list(store.polls()) == [(1, 600_000_000),
+                                           (2, 1_500_000_000)]
+
+    def test_unknown_link_history_is_empty(self):
+        with HistoryStore() as store:
+            store.record(fleet_poll(1))
+            assert store.link_history("nope") == []
+
+
+class TestSchemaGuard:
+    def test_mismatched_store_refused(self, tmp_path):
+        path = str(tmp_path / "fleet.db")
+        HistoryStore(path).close()
+        with sqlite3.connect(path) as conn:
+            conn.execute("UPDATE meta SET value = '99' "
+                         "WHERE key = 'snapshot_schema'")
+        with pytest.raises(ValueError, match="fresh store"):
+            HistoryStore(path)
+
+    def test_reopening_a_matching_store_appends(self, tmp_path):
+        path = str(tmp_path / "fleet.db")
+        with HistoryStore(path) as store:
+            store.record(fleet_poll(1))
+        with HistoryStore(path) as store:
+            store.record(fleet_poll(2))
+            assert store.poll_count() == 2
+            assert [seq for seq, _t in store.polls()] == [1, 2]
+
+
+class TestRetention:
+    def test_compaction_drops_oldest_whole_polls(self):
+        retention = Retention(max_polls=10, compact_every=4)
+        with HistoryStore(retention=retention) as store:
+            for poll in range(1, 26):
+                store.record(fleet_poll(poll))
+            store.compact()
+            assert store.poll_count() == 10
+            kept = [seq for seq, _t in store.polls()]
+            assert kept == list(range(16, 26))
+            # No partial polls: every kept poll still has all links.
+            for seq in kept:
+                fleet = store.fleet_at(fleet_poll(seq).time_us)
+                assert fleet["link_count"] == 3
+
+    def test_auto_compaction_bounds_the_store(self):
+        retention = Retention(max_polls=5, compact_every=1)
+        with HistoryStore(retention=retention) as store:
+            for poll in range(1, 21):
+                store.record(fleet_poll(poll))
+            assert store.poll_count() == 5
+
+    def test_unbounded_store_never_compacts(self):
+        with HistoryStore() as store:
+            for poll in range(1, 8):
+                store.record(fleet_poll(poll))
+            assert store.compact() == 0
+            assert store.poll_count() == 7
+
+
+class TestByteStability:
+    """Two identical synthetic 8-hour runs → byte-identical queries."""
+
+    @staticmethod
+    def _run_store(store: HistoryStore) -> None:
+        # 96 polls at 5-minute cadence: the last poll's fleet clock
+        # lands exactly on the 8-hour mark.
+        for poll in range(1, 97):
+            store.record(fleet_poll(poll))
+
+    def test_identical_runs_are_byte_identical(self):
+        with HistoryStore() as first, HistoryStore() as second:
+            self._run_store(first)
+            self._run_store(second)
+            assert first.span_us()[1] == EIGHT_HOURS_US
+            probes = [1, 12 * 300_000_000, EIGHT_HOURS_US // 2,
+                      EIGHT_HOURS_US]
+            for time_us in probes:
+                assert dump_document(first.fleet_at(time_us) or {}) \
+                    == dump_document(second.fleet_at(time_us) or {})
+            assert first.link_names() == second.link_names()
+            windows = [dict(), dict(limit=13),
+                       dict(since_us=EIGHT_HOURS_US // 4,
+                            until_us=EIGHT_HOURS_US // 2)]
+            for link in first.link_names():
+                for window in windows:
+                    assert [dump_document(doc) for doc
+                            in first.link_history(link, **window)] \
+                        == [dump_document(doc) for doc
+                            in second.link_history(link, **window)]
+
+    def test_rebuilt_fleet_equals_live_serialization(self):
+        """A time-travel rebuild is byte-identical to what the live
+        snapshot serialized to at record time."""
+        with HistoryStore() as store:
+            fleet = fleet_poll(42)
+            seq = store.record(fleet)
+            rebuilt = store.fleet_at(fleet.time_us)
+        live = fleet.to_json()
+        live["poll_seq"] = seq
+        assert dump_document(rebuilt) == dump_document(live)
+        # And the intermediate JSON is genuinely canonical.
+        assert json.loads(dump_document(rebuilt)) == rebuilt

@@ -165,24 +165,22 @@ class TestRunMonitor:
 
 
 class TestRendering:
-    def test_render_json_is_sorted_single_line(self):
-        # Legacy dict input: still rendered, but deprecated.
-        with pytest.warns(DeprecationWarning, match="plain dict"):
-            line = render_json({"b": 1, "a": {"z": 2}})
-        assert line == '{"a": {"z": 2}, "b": 1}'
+    def test_render_rejects_plain_dicts(self):
+        # The deprecated dict shape was removed in 1.1.0.
+        with pytest.raises(TypeError, match="LinkSnapshot"):
+            render_json({"b": 1, "a": {"z": 2}})
+        with pytest.raises(TypeError, match="LinkSnapshot"):
+            render_text({"time_us": 1_500_000})
 
-    def test_render_text_skips_nested_values(self):
-        snapshot = {"time_us": 1_500_000, "packets": 3, "events": 2,
-                    "failures": 0,
-                    "analyzers": {"chains": {"connections": 1,
-                                             "largest": [{"x": 1}]}},
-                    "eviction": {"sweeps": 0}}
-        with pytest.warns(DeprecationWarning, match="plain dict"):
-            text = render_text(snapshot)
-        assert "t=1.500s" in text
-        assert "chains: connections=1" in text
-        assert "largest" not in text
-        assert "eviction" not in text  # no sweeps yet
+    def test_render_text_skips_nested_values(self, pcap_path):
+        source = PcapTailSource(pcap_path)
+        pipeline = StreamPipeline(source, analyzers=[OnlineChains()])
+        pipeline.run_until_exhausted()
+        source.close()
+        text = render_text(pipeline.link_snapshot())
+        assert text.startswith("t=")
+        assert "chains: connections=" in text
+        assert "largest" not in text  # nested detail stays out
 
     def test_typed_snapshot_renders_without_warning(self, pcap_path):
         source = PcapTailSource(pcap_path)
@@ -200,17 +198,16 @@ class TestRendering:
         assert document["link"] == "y1"
         assert text.startswith("t=")
 
-    def test_typed_json_matches_legacy_dict_json(self, pcap_path):
-        """The dict projection and the typed path render identically
-        (the one-release compat guarantee)."""
+    def test_typed_json_matches_dict_projection(self, pcap_path):
+        """``StreamPipeline.snapshot()`` (the plain-dict projection)
+        and the typed render stay in lockstep."""
         source = PcapTailSource(pcap_path)
         pipeline = StreamPipeline(source, analyzers=[OnlineChains()])
         pipeline.run_until_exhausted()
         source.close()
         typed = render_json(pipeline.link_snapshot())
-        with pytest.warns(DeprecationWarning):
-            legacy = render_json(pipeline.snapshot())
-        assert typed == legacy
+        projection = json.dumps(pipeline.snapshot(), sort_keys=True)
+        assert typed == projection
 
     def test_render_rejects_other_types(self):
         with pytest.raises(TypeError):

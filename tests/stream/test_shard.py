@@ -23,9 +23,10 @@ from repro.datasets import CaptureConfig, generate_capture
 from repro.netstack.packet import CapturedPacket
 from repro.netstack.pcap import PcapRecord, write_pcap
 from repro.netstack.pcapng import write_pcapng
-from repro.stream import (FleetSupervisor, LinkDemux, LinkSnapshot,
-                          ListSource, MonitorPipelineFactory,
-                          PcapngTailSource, ShardAccept,
+from repro.stream import (FleetSnapshot, FleetSupervisor, LinkDemux,
+                          LinkHealthPolicy, LinkSnapshot, ListSource,
+                          MonitorPipelineFactory, PcapngTailSource,
+                          PcapTailSource, ShardAccept,
                           ShardedFleetSupervisor, StageCounters,
                           WorkerConfig, render_json, shard_of)
 
@@ -149,6 +150,64 @@ class TestSnapshotWire:
             LinkSnapshot.from_json({"schema": 99, "link": "x"})
 
 
+class TestForwardCompat:
+    """A schema-1 parent must read documents from slightly newer
+    (or leaner) schema-1 writers: unknown extra keys are ignored,
+    missing optional sections default, and only an actual schema
+    version bump is a hard error with a clear message."""
+
+    BASE = {
+        "schema": 1, "link": "C1-O12", "time_us": 1_000_000,
+        "packets": 9, "events": 7, "failures": 1, "late_items": 0,
+        "order_violations": 2, "reorder_pending": 0,
+        "reassemblers": 0,
+    }
+
+    def test_unknown_extra_keys_ignored(self):
+        document = dict(self.BASE)
+        document["some_future_counter"] = 123
+        document["nested_future"] = {"a": 1}
+        snapshot = LinkSnapshot.from_json(document)
+        assert snapshot == LinkSnapshot.from_json(dict(self.BASE))
+        assert not hasattr(snapshot, "some_future_counter")
+
+    def test_missing_optional_sections_default_empty(self):
+        snapshot = LinkSnapshot.from_json(dict(self.BASE))
+        assert snapshot.stages == {}
+        assert snapshot.eviction == {}
+        assert snapshot.analyzers == {}
+        assert snapshot.alerts == 0
+
+    def test_stage_counters_unknown_keys_ignored(self):
+        counters = StageCounters.from_dict(
+            {"received": 4, "emitted": 3, "future_field": 99})
+        assert counters == StageCounters(received=4, emitted=3)
+
+    def test_stage_counters_missing_keys_default_zero(self):
+        assert StageCounters.from_dict({}) == StageCounters()
+        assert StageCounters.from_dict(
+            {"dropped": 2}) == StageCounters(dropped=2)
+
+    def test_stage_entries_with_future_keys_round_trip(self):
+        document = dict(self.BASE)
+        document["stages"] = {"ingest": {"received": 5, "emitted": 5,
+                                         "retries": 1}}
+        snapshot = LinkSnapshot.from_json(document)
+        assert snapshot.stages["ingest"] == StageCounters(received=5,
+                                                          emitted=5)
+
+    @pytest.mark.parametrize("schema", [None, 0, 2, "1"])
+    def test_schema_mismatch_is_a_clear_error(self, schema):
+        document = dict(self.BASE)
+        if schema is None:
+            del document["schema"]
+        else:
+            document["schema"] = schema
+        with pytest.raises(ValueError,
+                           match=r"unsupported snapshot schema"):
+            LinkSnapshot.from_json(document)
+
+
 # -- demux shard filtering -------------------------------------------
 
 class TestDemuxAccept:
@@ -206,7 +265,6 @@ class TestParity:
         fleet = FleetSupervisor()
         sources = []
         try:
-            from repro.stream import PcapTailSource
             for name, path in specs:
                 source = PcapTailSource(path, follow=False)
                 sources.append(source)
@@ -235,6 +293,136 @@ class TestParity:
             assert sharded.now_us == reference.time_us
             assert sharded.links == [link.link
                                      for link in reference.links]
+
+
+# -- the unrouted merge beyond the shared-file shape -----------------
+
+class TestUnroutedMerge:
+    """Parent-side ``unrouted`` merge vs single-process, all shapes.
+
+    The parent merges worker ``unrouted`` counts with *max*, which is
+    only obviously right when every worker scans the same file. These
+    tests pin the merge against the other feeding shapes: workers
+    whose demuxes saw **disjoint** partition files, and the per-link
+    fleet (disjoint files, no demux at all) — each must still match a
+    single-process run over the union.
+    """
+
+    @staticmethod
+    def _records_with_junk():
+        """A capture's records with undecodable frames interleaved.
+
+        The junk frames (not IPv4/TCP) route to no link and count as
+        ``unrouted``; their clocks sit inside the capture's span so
+        they cannot perturb any fleet clock.
+        """
+        capture = generate_capture(1, CaptureConfig(time_scale=0.001))
+        names = capture.host_names()
+        records = [PcapRecord(time_us=packet.time_us,
+                              data=packet.encode())
+                   for packet in capture.packets]
+        step = max(1, len(records) // 6)
+        merged: list[PcapRecord] = []
+        junk = 0
+        for index, record in enumerate(records):
+            merged.append(record)
+            if index % step == step - 1 and index < len(records) - 1:
+                merged.append(PcapRecord(time_us=record.time_us,
+                                         data=b"\x00" * 40))
+                junk += 1
+        assert junk >= 3
+        return names, merged, junk
+
+    def test_shared_file_parity_with_unrouted_frames(self, tmp_path):
+        names, records, junk = self._records_with_junk()
+        merged = tmp_path / "junky.pcapng"
+        write_pcapng(merged, records)
+        reference = reference_snapshot(merged, names)
+        assert reference.unrouted == junk
+        factory = MonitorPipelineFactory(names=names)
+        with ShardedFleetSupervisor(factory, workers=2,
+                                    path=str(merged),
+                                    names=names) as sharded:
+            drain(sharded)
+            sharded.flush()
+            snapshot = sharded.snapshot()
+        assert snapshot.unrouted == reference.unrouted == junk
+        assert snapshot == reference
+
+    def test_disjoint_partition_files_match_single_process(
+            self, tmp_path):
+        """Worker demuxes over *disjoint* files still merge right.
+
+        The partition mirrors what a disjoint split has to do: routed
+        frames go to the shard owning their link, frames that route
+        nowhere all land in partition 0 (there is no link name to
+        hash). The max-merge then equals the single-process count
+        because exactly one worker sees every unrouted frame.
+        """
+        names, records, junk = self._records_with_junk()
+        merged = tmp_path / "merged.pcapng"
+        write_pcapng(merged, records)
+        reference = reference_snapshot(merged, names)
+
+        shards = 2
+        parts: list[list[PcapRecord]] = [[] for _ in range(shards)]
+        for record in records:
+            packet = CapturedPacket.decode(record.time_us,
+                                           record.data)
+            if packet is None:
+                parts[0].append(record)  # nothing to hash: shard 0
+            else:
+                parts[shard_of(link_name(packet, names),
+                               shards)].append(record)
+        assert all(part for part in parts)
+
+        factory = MonitorPipelineFactory(names=names)
+        reports = []
+        for shard, part in enumerate(parts):
+            path = tmp_path / f"part{shard}.pcap"
+            write_pcap(path, part)
+            source = PcapTailSource(path, follow=False)
+            try:
+                demux = LinkDemux(source, names=names)
+                fleet = FleetSupervisor(demux=demux,
+                                        pipeline_factory=factory)
+                fleet.run_until_exhausted()
+                reports.append((fleet.link_snapshots(),
+                                fleet.now_us, demux.unrouted))
+            finally:
+                source.close()
+
+        links = tuple(sorted(
+            (snapshot for report in reports for snapshot in report[0]),
+            key=lambda snapshot: snapshot.link))
+        now = max(report[1] for report in reports)
+        unrouted = max(report[2] for report in reports)
+        assert [report[2] for report in reports] == [junk, 0]
+        policy = LinkHealthPolicy()
+        health = {snapshot.link:
+                  policy.classify(now - snapshot.time_us).value
+                  for snapshot in links}
+        snapshot = FleetSnapshot.from_links(links, now_us=now,
+                                            health=health,
+                                            unrouted=unrouted)
+        assert snapshot.unrouted == reference.unrouted == junk
+        assert snapshot == reference
+
+    def test_disjoint_link_files_unrouted_is_zero(self,
+                                                  shard_fixture):
+        names, link_paths, _merged = shard_fixture
+        specs = [(name, str(path))
+                 for name, path in sorted(link_paths.items())]
+        factory = MonitorPipelineFactory(names=names)
+        with ShardedFleetSupervisor(factory, workers=3, links=specs,
+                                    names=names) as sharded:
+            drain(sharded)
+            sharded.flush()
+            snapshot = sharded.snapshot()
+        # No demux anywhere in this shape: the max over all-zero
+        # worker reports is zero, same as a single-process per-link
+        # fleet over the same files.
+        assert snapshot.unrouted == 0
 
 
 # -- construction-time validation ------------------------------------
