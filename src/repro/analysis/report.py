@@ -9,15 +9,16 @@ def render_table(headers: Sequence[str],
                  rows: Iterable[Sequence[object]],
                  title: str | None = None) -> str:
     """Render an ASCII table with padded columns."""
-    body = [[str(cell) for cell in row] for row in rows]
-    widths = [len(header) for header in headers]
+    body: list[list[str]] = [[str(cell) for cell in row]
+                             for row in rows]
+    widths: list[int] = [len(header) for header in headers]
     for row in body:
         if len(row) != len(headers):
             raise ValueError("row width does not match headers")
         for index, cell in enumerate(row):
             widths[index] = max(widths[index], len(cell))
     separator = "-+-".join("-" * width for width in widths)
-    lines = []
+    lines: list[str] = []
     if title:
         lines.append(title)
     lines.append(" | ".join(header.ljust(width)
@@ -32,7 +33,7 @@ def render_table(headers: Sequence[str],
 def render_histogram(bins: Sequence[tuple[float, float, int]],
                      width: int = 40, title: str | None = None) -> str:
     """Render a horizontal bar histogram (Fig. 8-style)."""
-    lines = [title] if title else []
+    lines: list[str] = [title] if title else []
     peak = max((count for _, _, count in bins), default=0)
     for low, high, count in bins:
         bar = "#" * (round(width * count / peak) if peak else 0)
@@ -46,7 +47,7 @@ def render_series(times: Sequence[float], values: Sequence[float],
     """Render a coarse ASCII line chart for a time series."""
     if len(times) != len(values):
         raise ValueError("times and values must have equal length")
-    lines = [title] if title else []
+    lines: list[str] = [title] if title else []
     if not values:
         lines.append("(empty series)")
         return "\n".join(lines)
@@ -54,7 +55,7 @@ def render_series(times: Sequence[float], values: Sequence[float],
     span = (high - low) or 1.0
     t0, t1 = times[0], times[-1]
     t_span = (t1 - t0) or 1.0
-    grid = [[" "] * width for _ in range(height)]
+    grid: list[list[str]] = [[" "] * width for _ in range(height)]
     for time, value in zip(times, values):
         x = min(width - 1, int((time - t0) / t_span * (width - 1)))
         y = min(height - 1, int((value - low) / span * (height - 1)))

@@ -304,6 +304,29 @@ def cmd_lint(args: argparse.Namespace, out=sys.stdout) -> int:
     return run_lint(args, out=out)
 
 
+def cmd_scenario(args: argparse.Namespace, out=sys.stdout) -> int:
+    """List or emit the registered labeled attack scenarios."""
+    from .scenarios import all_scenarios, build_scenario
+    if args.action == "list":
+        for registered in all_scenarios():
+            spec = registered.spec
+            print(f"{spec.name:<24} {spec.family:<22} seed={spec.seed}"
+                  f" {spec.title}", file=out)
+        return 0
+    run = build_scenario(args.name, scale=args.scale)
+    pcap_path, names_path, truth_path = run.write(Path(args.out))
+    print(f"wrote {len(run.packets)} packets to {pcap_path}", file=out)
+    print(f"wrote host names to {names_path}", file=out)
+    print(f"wrote ground truth to {truth_path}", file=out)
+    return 0
+
+
+def cmd_bench(args: argparse.Namespace, out=sys.stdout) -> int:
+    """Detection benchmark over the scenario corpus."""
+    from .scenarios.bench import run_detect_bench
+    return run_detect_bench(args, out=out)
+
+
 def _monitor_names(explicit: str | None,
                    paths: list[str]) -> dict[IPv4Address, str]:
     """The host-name map: --names, else every per-capture sidecar."""
@@ -475,9 +498,12 @@ def cmd_serve(args: argparse.Namespace, out=sys.stdout) -> int:
         _build_monitor_target(args, "repro serve")
     history: HistoryStore | None = None
     if args.history is not None:
+        retain_age_us = (int(args.retain_age * 1_000_000)
+                         if args.retain_age is not None else None)
         history = HistoryStore(
             args.history,
-            retention=Retention(max_polls=args.retain_polls))
+            retention=Retention(max_polls=args.retain_polls,
+                                max_age_us=retain_age_us))
 
     async def run() -> int:
         loop = asyncio.get_running_loop()
@@ -597,6 +623,50 @@ def build_parser() -> argparse.ArgumentParser:
     add_lint_arguments(lint)
     lint.set_defaults(func=cmd_lint)
 
+    scenario = sub.add_parser(
+        "scenario", help="list or emit the registered labeled attack "
+                         "scenarios (see docs/scenarios.md)")
+    scenario_sub = scenario.add_subparsers(dest="action",
+                                           required=True)
+    scenario_list = scenario_sub.add_parser(
+        "list", help="list every registered scenario")
+    scenario_list.set_defaults(func=cmd_scenario)
+    scenario_emit = scenario_sub.add_parser(
+        "emit", help="build one scenario and write its capture, "
+                     "host-name map and ground-truth sidecar")
+    scenario_emit.add_argument("name", help="registered scenario name")
+    scenario_emit.add_argument("--out", required=True,
+                               help="output capture path (.pcapng "
+                                    "for pcapng; sidecars are written "
+                                    "next to it)")
+    scenario_emit.add_argument("--scale", type=float, default=1.0,
+                               help="time-compression factor for the "
+                                    "scenario timeline (default 1.0)")
+    scenario_emit.set_defaults(func=cmd_scenario)
+
+    bench = sub.add_parser(
+        "bench", help="seeded benchmark suites with committed "
+                      "baselines")
+    bench_sub = bench.add_subparsers(dest="suite", required=True)
+    detect = bench_sub.add_parser(
+        "detect", help="score the online detector over the labeled "
+                       "scenario corpus (writes BENCH_detect.json)")
+    detect.add_argument("--out", default="BENCH_detect.json",
+                        help="benchmark document path "
+                             "(default BENCH_detect.json)")
+    detect.add_argument("--quick", action="store_true",
+                        help="run only the scaled-down quick mode "
+                             "(the CI gate's mode)")
+    detect.add_argument("--check", action="store_true",
+                        help="re-measure and gate recall/precision "
+                             "against the committed document instead "
+                             "of rewriting it")
+    detect.add_argument("--headroom", type=float, default=0.0,
+                        help="allowed drop below the committed "
+                             "metric before --check fails "
+                             "(default 0.0 — the corpus is seeded)")
+    detect.set_defaults(func=cmd_bench)
+
     def add_target_arguments(
             parser: argparse.ArgumentParser) -> None:
         """The shared monitor-target flags of monitor and serve."""
@@ -675,6 +745,12 @@ def build_parser() -> argparse.ArgumentParser:
                        dest="retain_polls", metavar="N",
                        help="keep only the newest N polls in the "
                             "history store (default: unbounded)")
+    serve.add_argument("--retain-age", type=float, default=None,
+                       dest="retain_age", metavar="SECONDS",
+                       help="drop history polls older than this many "
+                            "seconds of capture time behind the "
+                            "newest poll (combines with "
+                            "--retain-polls; default: unbounded)")
     serve.set_defaults(func=cmd_serve)
 
     hypotheses = sub.add_parser(

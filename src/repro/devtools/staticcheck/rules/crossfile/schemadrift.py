@@ -39,11 +39,14 @@ _DEFAULT_COLUMNS: Mapping[str, str] = {
     "LinkSnapshot": "Link",
     "FleetSnapshot": "Fleet",
     "SnapshotEnvelope": "Serve",
+    "GroundTruth": "Truth",
 }
 
 #: Packages whose snapshot dataclasses the default scope covers: the
-#: stream snapshot contract and the served envelope wrapping it.
-_DEFAULT_PACKAGES = ("repro.stream", "repro.serve")
+#: stream snapshot contract, the served envelope wrapping it, and the
+#: scenario ground-truth sidecar scored against it.
+_DEFAULT_PACKAGES = ("repro.stream", "repro.serve",
+                     "repro.scenarios")
 
 #: Cell values that mean "this key is present in this schema".
 _PRESENT_CELLS = frozenset({"✓", "x", "yes", "✔"})
@@ -116,7 +119,7 @@ class SchemaDriftRule(CrossFileRule):
                    "each drift is a silent contract break for "
                    "monitor consumers")
     severity = Severity.ERROR
-    version = 2
+    version = 3
 
     def __init__(self,
                  package: str | tuple[str, ...] = _DEFAULT_PACKAGES,

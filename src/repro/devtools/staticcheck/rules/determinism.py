@@ -4,7 +4,8 @@ simulation packages.
 Every figure in the reproduction is regenerated from seeds; the paper's
 captures are proprietary, so the synthetic datasets *are* the ground
 truth.  A single ``time.time()`` or module-level ``random.random()``
-inside ``simnet/``, ``grid/`` or ``datasets/`` makes a capture
+inside ``simnet/``, ``grid/``, ``datasets/`` or ``scenarios/``
+makes a capture
 unreproducible without failing a single test — exactly the class of
 bug a linter must catch.  Simulation code must use the injected
 ``random.Random`` instance and the simulation clock
@@ -20,7 +21,7 @@ from ..findings import Finding, Severity
 from ..registry import AstRule, FileContext, register
 
 #: Packages in which the rule is enforced (dotted-path components).
-SCOPED_PACKAGES = ("simnet", "grid", "datasets")
+SCOPED_PACKAGES = ("simnet", "grid", "datasets", "scenarios")
 
 #: ``time.<attr>()`` calls that read a wall/monotonic clock.
 _WALL_CLOCKS = ("time", "time_ns", "monotonic", "monotonic_ns",

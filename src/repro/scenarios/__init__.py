@@ -1,0 +1,30 @@
+"""repro.scenarios — labeled attack scenarios + detection scoring.
+
+The subsystem that turns attacks into *measured* artifacts: a
+registry of attack scenarios built on the simnet behaviors, each
+emitting a deterministic capture plus a versioned ground-truth
+sidecar, and a scoring harness that replays the labels through the
+streaming pipeline to compute the detector's precision, recall and
+detection latency (``repro bench detect``; see ``docs/scenarios.md``).
+"""
+
+from ..analysis.labels import (ConnectionOutcome, DetectionScore,
+                               LabeledInterval, score_detections)
+from .harness import ScenarioHarness, ScenarioRun
+from .registry import (RegisteredScenario, ScenarioSpec,
+                       all_scenarios, build_scenario, get_scenario,
+                       register_scenario)
+from .score import (CorpusResult, ScenarioResult, replay_capture,
+                    score_capture, score_corpus, score_run)
+from .sidecar import (GROUND_TRUTH_SCHEMA_VERSION, GroundTruth,
+                      dump_truth, load_truth, truth_path)
+
+__all__ = [
+    "GROUND_TRUTH_SCHEMA_VERSION", "ConnectionOutcome",
+    "CorpusResult", "DetectionScore", "GroundTruth",
+    "LabeledInterval", "RegisteredScenario", "ScenarioHarness",
+    "ScenarioResult", "ScenarioRun", "ScenarioSpec", "all_scenarios",
+    "build_scenario", "dump_truth", "get_scenario", "load_truth",
+    "register_scenario", "replay_capture", "score_capture",
+    "score_corpus", "score_detections", "score_run", "truth_path",
+]

@@ -1,0 +1,384 @@
+"""The built-in attack corpus: six registered families.
+
+Each builder stages the same benign backbone — a balancing-authority
+control center polling two outstations whose measurement points move
+on deterministic sinusoids — and then mounts one attack family on top
+of it after the labeled onset:
+
+================== ==================================================
+spoofed            an unknown host connects as a master and fires a
+interrogation      general interrogation (paper §6.3.1's shortcut —
+                   one I100 reveals every point)
+rogue master       Industroyer-style iterative IOA scan + single
+                   commands (ports ``simnet.attacker`` into the
+                   registry)
+value injection    a compromised outstation reports offset values on
+                   its learned connection — only the physical
+                   envelope can see it
+command flooding   a burst of C_SC_NA_1 commands from the *learned*
+                   control-center connection against known IOAs
+switchover abuse   a standby server promotes its keep-alive-only
+                   backup connection while the primary is healthy
+                   (Fig. 16's pattern, maliciously)
+stale-data         a compromised outstation freezes its sources; no
+masking            threshold crossings → the link idles into in-band
+                   TESTFR (paper §6.3's Type 5 pathology, weaponized)
+================== ==================================================
+
+The detection path each family exercises is documented per builder
+and in ``docs/scenarios.md``.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..analysis.labels import LabeledInterval
+from ..iec104.constants import TypeID
+from ..simnet.behaviors import (SYMBOL_ACTIVE_POWER, SYMBOL_CURRENT,
+                                SYMBOL_REACTIVE_POWER, SYMBOL_STATUS,
+                                SYMBOL_VOLTAGE, OutstationBehavior,
+                                OutstationType, PointConfig,
+                                ReportMode)
+from ..simnet.clock import seconds_to_ticks, ticks_to_seconds
+from .harness import ScenarioHarness, ScenarioRun
+from .registry import ScenarioSpec, register_scenario
+
+_TAU = 2.0 * math.pi
+
+#: (symbol, base, amplitude, period_s) of the four measurement
+#: points every outstation carries.  Amplitude/period are chosen so
+#: spontaneous reporting (threshold 0.5) stays active every few
+#: seconds — a benign link must never idle past t3, or in-band
+#: TESTFR tokens would leak into the learned vocabulary.
+_MEASUREMENTS = (
+    (SYMBOL_ACTIVE_POWER, 310.0, 12.0, 60.0),
+    (SYMBOL_REACTIVE_POWER, 45.0, 9.0, 75.0),
+    (SYMBOL_VOLTAGE, 118.0, 3.0, 30.0),
+    (SYMBOL_CURRENT, 260.0, 15.0, 90.0),
+)
+
+
+def _sine(base: float, amplitude: float, period_s: float,
+          phase: float):
+    def value(t: float) -> float:
+        return base + amplitude * math.sin(_TAU * t / period_s + phase)
+    return value
+
+
+def _outstation(name: str, substation: str, base_ioa: int,
+                phase: float, wrap=None) -> OutstationBehavior:
+    """Four spontaneous measurements + one status point.
+
+    ``wrap(index, source)`` lets a scenario interpose on a
+    measurement source (value injection, stale masking).
+    """
+    points = []
+    for index, (symbol, base, amplitude,
+                period_s) in enumerate(_MEASUREMENTS):
+        source = _sine(base, amplitude, period_s,
+                       phase + index * 1.3)
+        if wrap is not None:
+            source = wrap(index, source)
+        points.append(PointConfig(
+            ioa=base_ioa + index, type_id=TypeID.M_ME_NC_1,
+            symbol=symbol, source=source,
+            mode=ReportMode.SPONTANEOUS, threshold=0.5, period=2.0))
+    points.append(PointConfig(
+        ioa=base_ioa + 9, type_id=TypeID.M_SP_NA_1,
+        symbol=SYMBOL_STATUS, source=lambda _t: 1.0,
+        mode=ReportMode.SPONTANEOUS, threshold=0.5, period=2.0))
+    return OutstationBehavior(
+        name=name, substation=substation,
+        outstation_type=OutstationType.PRIMARY_ONLY, points=points)
+
+
+def _plant(wrap=None) -> OutstationBehavior:
+    return _outstation("O-PLANT", "PLANT", base_ioa=101, phase=0.0,
+                       wrap=wrap)
+
+
+def _farm() -> OutstationBehavior:
+    return _outstation("O-FARM", "FARM", base_ioa=201, phase=0.7)
+
+
+def _benign_backbone(h: ScenarioHarness, plant: OutstationBehavior,
+                     plant_server: str = "C-BA1",
+                     farm_server: str = "C-BA1"):
+    """Start the clean traffic both whitelists train on.
+
+    Returns the plant's primary link (scenarios that attack *through*
+    the learned connection need it).  The farm outstation exists so
+    every scored capture has a connection that must stay quiet — a
+    false-positive opportunity in every scenario.
+    """
+    h.add_server(plant_server)
+    if farm_server != plant_server:
+        h.add_server(farm_server)
+    plant_link = h.make_link(plant_server, plant)
+    plant_link.start_primary(h.start_us)
+    farm_link = h.make_link(farm_server, _farm())
+    farm_link.start_primary(h.start_us + 700_000)
+    return plant_link
+
+
+def _ioas(behavior: OutstationBehavior) -> list[int]:
+    return [point.ioa for point in behavior.points]
+
+
+# -- family 1: spoofed interrogation ----------------------------------
+
+@register_scenario(ScenarioSpec(
+    name="spoofed-interrogation",
+    family="spoofed-interrogation",
+    title="unknown host connects as master, fires I100 to map every "
+          "point",
+    seed=211, attack_s=30.0,
+    tags=("recon", "unknown-connection")))
+def build_spoofed_interrogation(spec: ScenarioSpec,
+                                scale: float) -> ScenarioRun:
+    # Detection path: the (ATTACKER, O-PLANT) connection was never
+    # learned — batch semantics mark every token unknown, so the
+    # cyber whitelist alerts on the first frame.
+    h = ScenarioHarness(spec, scale)
+    plant = _plant()
+    _benign_backbone(h, plant)
+    h.add_attacker()
+    spoof = h.make_link("ATTACKER", plant)
+    h.at(h.onset_us, lambda: spoof.start_primary(h.sim.now_us))
+    h.at(h.attack_end_us, lambda: spoof.close(h.sim.now_us))
+    return h.finish(
+        attacker_endpoints=("ATTACKER",),
+        affected_ioas=_ioas(plant),
+        intervals=[h.attack_interval(
+            "spoofed general interrogation from unknown master")])
+
+
+# -- family 2: rogue master (Industroyer) -----------------------------
+
+@register_scenario(ScenarioSpec(
+    name="rogue-master",
+    family="rogue-master",
+    title="Industroyer-style iterative IOA scan, then single "
+          "commands against discovered points",
+    seed=223, attack_s=30.0,
+    tags=("recon", "commands", "industroyer")))
+def build_rogue_master(spec: ScenarioSpec,
+                       scale: float) -> ScenarioRun:
+    # Detection path: unknown connection, plus C_RD_NA_1 / C_SC_NA_1
+    # tokens that no benign link ever produced.  This is the
+    # registered form of ``simnet.attacker``'s hand-rolled run — the
+    # extension benchmark trains on a benign capture year and must
+    # score this connection's token stream > 50% unseen.
+    h = ScenarioHarness(spec, scale)
+    plant = _plant()
+    _benign_backbone(h, plant)
+    h.add_attacker()
+    spoof = h.make_link("ATTACKER", plant)
+    discovered: list[int] = []
+
+    h.at(h.onset_us, lambda: spoof.start_primary(h.sim.now_us))
+    # Industroyer probed address ranges blindly; 95..134 brackets the
+    # plant's real IOAs so a few probes land.
+    probe_start = h.onset_us + seconds_to_ticks(2.0)
+    probe_gap = seconds_to_ticks(0.25)
+    scan = range(95, 135)
+    for index, ioa in enumerate(scan):
+        def probe(ioa: int = ioa) -> None:
+            if spoof.send_read(h.sim.now_us, ioa):
+                discovered.append(ioa)
+        h.at(probe_start + index * probe_gap, probe)
+    strike_start = probe_start + len(scan) * probe_gap \
+        + seconds_to_ticks(1.0)
+    strike_gap = seconds_to_ticks(0.5)
+    command_count = 6
+    for index in range(command_count):
+        def strike(index: int = index) -> None:
+            if index < len(discovered):
+                spoof.send_single_command(
+                    h.sim.now_us, discovered[index],
+                    state=index % 2 == 0)
+        h.at(strike_start + index * strike_gap, strike)
+    last_us = strike_start + command_count * strike_gap \
+        + seconds_to_ticks(1.0)
+    h.at(last_us, lambda: spoof.close(h.sim.now_us))
+    return h.finish(
+        attacker_endpoints=("ATTACKER",),
+        affected_ioas=_ioas(plant),
+        intervals=[h.attack_interval(
+            "iterative IOA scan + single commands",
+            end_us=last_us)])
+
+
+# -- family 3: value injection ----------------------------------------
+
+@register_scenario(ScenarioSpec(
+    name="value-injection",
+    family="value-injection",
+    title="compromised outstation reports offset measurements on its "
+          "learned connection",
+    seed=227, attack_s=60.0,
+    tags=("physical", "integrity")))
+def build_value_injection(spec: ScenarioSpec,
+                          scale: float) -> ScenarioRun:
+    # Detection path: the token stream stays perfectly whitelisted —
+    # only the physical envelopes (min/max learned per point) can
+    # flag the offset values.  Exercises the PhysicalWhitelist arm
+    # of the combined detector in isolation.
+    h = ScenarioHarness(spec, scale)
+    offset = {"value": 0.0}
+
+    def wrap(index: int, source):
+        if index >= 2:  # inject P and Q, leave U and I honest
+            return source
+
+        def injected(t: float, source=source) -> float:
+            return source(t) + offset["value"]
+        return injected
+
+    plant = _plant(wrap=wrap)
+    _benign_backbone(h, plant)
+
+    def inject() -> None:
+        offset["value"] = 90.0
+
+    def restore() -> None:
+        offset["value"] = 0.0
+
+    h.at(h.onset_us, inject)
+    h.at(h.attack_end_us, restore)
+    return h.finish(
+        attacker_endpoints=("O-PLANT",),
+        affected_ioas=[101, 102],
+        intervals=[h.attack_interval(
+            "measurement offset injection (+90 on P and Q)")])
+
+
+# -- family 4: command flooding ---------------------------------------
+
+@register_scenario(ScenarioSpec(
+    name="command-flooding",
+    family="command-flooding",
+    title="C_SC_NA_1 burst from the learned control-center "
+          "connection against known IOAs",
+    seed=229, attack_s=30.0,
+    tags=("commands", "availability")))
+def build_command_flooding(spec: ScenarioSpec,
+                           scale: float) -> ScenarioRun:
+    # Detection path: the connection and its endpoints are fully
+    # learned — what alerts is the C_SC_NA_1 token itself, which no
+    # clean capture contains.  (The cyber whitelist has no rate
+    # model: a flood of *whitelisted* tokens would be invisible, so
+    # this family deliberately floods a command type instead.)
+    # The farm rides a second server so only the flooding center's
+    # connection is malicious ground truth.
+    h = ScenarioHarness(spec, scale)
+    plant = _plant()
+    plant_link = _benign_backbone(h, plant, plant_server="C-BA1",
+                                  farm_server="C-BA2")
+    command_count = 30
+    flood_gap = seconds_to_ticks(0.5)
+    targets = [point.ioa for point in plant.points[:4]]
+    for index in range(command_count):
+        def flood(index: int = index) -> None:
+            plant_link.send_single_command(
+                h.sim.now_us, targets[index % len(targets)],
+                state=index % 2 == 0)
+        h.at(h.onset_us + index * flood_gap, flood)
+    end_us = h.onset_us + command_count * flood_gap
+    return h.finish(
+        attacker_endpoints=("C-BA1",),
+        affected_ioas=targets,
+        intervals=[h.attack_interval(
+            "single-command flood from compromised control center",
+            end_us=end_us)])
+
+
+# -- family 5: switchover abuse ---------------------------------------
+
+@register_scenario(ScenarioSpec(
+    name="switchover-abuse",
+    family="switchover-abuse",
+    title="standby server promotes its keep-alive-only backup "
+          "connection while the primary is healthy",
+    seed=233, attack_s=60.0,
+    tags=("session", "switchover")))
+def build_switchover_abuse(spec: ScenarioSpec,
+                           scale: float) -> ScenarioRun:
+    # Detection path: (C-SHADOW, O-PLANT) is a *learned* connection
+    # whose whitelist holds only U16/U32 keep-alive transitions; the
+    # promotion's STARTDT + interrogation + reports are all unseen
+    # transitions on it, crossing the 0.2 fraction within a few
+    # frames (the paper's Fig. 16 switchover pattern, uninvited).
+    h = ScenarioHarness(spec, scale)
+    plant = _plant()
+    _benign_backbone(h, plant)
+    h.add_server("C-SHADOW")
+    backup = h.make_link("C-SHADOW", plant)
+    backup.start_secondary(h.start_us + 300_000)
+    h.at(h.onset_us, lambda: backup.promote(h.sim.now_us))
+    h.at(h.attack_end_us, lambda: backup.close(h.sim.now_us))
+    return h.finish(
+        attacker_endpoints=("C-SHADOW",),
+        affected_ioas=_ioas(plant),
+        intervals=[h.attack_interval(
+            "unsanctioned promotion of the standby connection")])
+
+
+# -- family 6: stale-data masking -------------------------------------
+
+@register_scenario(ScenarioSpec(
+    name="stale-data-masking",
+    family="stale-data-masking",
+    title="compromised outstation freezes its sources; the silent "
+          "link idles into in-band TESTFR",
+    seed=239, attack_s=120.0,
+    tags=("physical", "masking", "type-5")))
+def build_stale_data_masking(spec: ScenarioSpec,
+                             scale: float) -> ScenarioRun:
+    # Detection path: frozen values cross no spontaneous threshold,
+    # so the plant link goes quiet and the server's idle watch sends
+    # in-band TESTFR after t3 — a U16 token no benign phase of this
+    # capture ever produced.  Detection latency is therefore ≈ t3
+    # (20 s), the corpus's distinctly slowest catch.  attack_s must
+    # stay > 2×t3 at quick scale for the idle watch to fire.
+    h = ScenarioHarness(spec, scale)
+    frozen: dict[str, float | None] = {"at": None}
+
+    def wrap(index: int, source):
+        def masked(t: float, source=source) -> float:
+            at = frozen["at"]
+            return source(t if at is None else at)
+        return masked
+
+    plant = _plant(wrap=wrap)
+    _benign_backbone(h, plant)
+
+    def freeze() -> None:
+        frozen["at"] = ticks_to_seconds(h.onset_us)
+
+    def thaw() -> None:
+        frozen["at"] = None
+
+    h.at(h.onset_us, freeze)
+    h.at(h.attack_end_us, thaw)
+    return h.finish(
+        attacker_endpoints=("O-PLANT",),
+        affected_ioas=[101, 102, 103, 104],
+        intervals=[h.attack_interval(
+            "frozen measurement sources masking the true state")])
+
+
+#: Imported for the registry side effect; referenced so linters see a
+#: use for every builder symbol.
+BUILTIN_SCENARIOS = (
+    build_spoofed_interrogation,
+    build_rogue_master,
+    build_value_injection,
+    build_command_flooding,
+    build_switchover_abuse,
+    build_stale_data_masking,
+)
+
+#: Re-exported for scorers that want the interval type near specs.
+__all__ = ["BUILTIN_SCENARIOS", "LabeledInterval"]

@@ -1,0 +1,174 @@
+"""``repro bench detect`` — the corpus-level detection benchmark.
+
+Runs every registered scenario, scores the streaming detector against
+the ground-truth sidecars and writes ``BENCH_detect.json``; with
+``--check`` it re-measures and gates recall/precision against the
+committed document exactly like the perf gate
+(``benchmarks/record_pipeline.py``) gates throughput:
+
+* per-scenario **recall** and **precision** must not drop below the
+  committed value minus ``--headroom``;
+* the corpus-level aggregates are gated the same way;
+* a scenario present in the baseline but missing from the measured
+  corpus fails (a silently dropped scenario is a regression);
+* a missing baseline file downgrades to a warning so fresh clones
+  aren't broken.
+
+Everything in the pipeline is seeded and simulated, so identical
+trees measure identical numbers — the default headroom is 0.0 and
+any drift is a real behavior change.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Any, TextIO
+
+from .score import CorpusResult, score_corpus
+
+#: Version stamp of the benchmark document layout.
+BENCH_SCHEMA = 1
+
+#: Scale the CI quick mode runs the corpus at.
+QUICK_SCALE = 0.5
+
+#: Default benchmark document path (repo root by convention — the
+#: CLI runs from the checkout like the perf gate does).
+DEFAULT_DOCUMENT = "BENCH_detect.json"
+
+#: Metrics gated per scenario and per corpus.
+GATE_METRICS = ("recall", "precision")
+
+
+def measure_mode(scale: float) -> dict[str, Any]:
+    """One mode section of the benchmark document."""
+    return score_corpus(scale=scale).to_json()
+
+
+def check_mode(committed: dict[str, Any], measured: dict[str, Any],
+               mode: str, headroom: float) -> list[str]:
+    """Gate ``measured`` against a committed mode section.
+
+    Pure over its inputs so the regression tests can feed doctored
+    documents through the exact production gate.
+    """
+    failures: list[str] = []
+    committed_results = {record["name"]: record
+                         for record in committed.get("results", [])}
+    measured_results = {record["name"]: record
+                        for record in measured.get("results", [])}
+    for name in sorted(committed_results):
+        record = committed_results[name]
+        got = measured_results.get(name)
+        if got is None:
+            failures.append(
+                f"{mode}:{name}: scenario missing from the measured "
+                "corpus (baseline still lists it)")
+            continue
+        for metric in GATE_METRICS:
+            want = float(record["detection"][metric])
+            have = float(got["detection"][metric])
+            if have < want - headroom:
+                failures.append(
+                    f"{mode}:{name}: {metric} regressed "
+                    f"{want:.3f} -> {have:.3f} "
+                    f"(headroom {headroom:.3f})")
+    committed_corpus = committed.get("corpus", {})
+    measured_corpus = measured.get("corpus", {})
+    for metric in GATE_METRICS:
+        if metric not in committed_corpus:
+            continue
+        want = float(committed_corpus[metric])
+        have = float(measured_corpus.get(metric, 0.0))
+        if have < want - headroom:
+            failures.append(
+                f"{mode}:corpus: {metric} regressed "
+                f"{want:.3f} -> {have:.3f} "
+                f"(headroom {headroom:.3f})")
+    return failures
+
+
+def _format_latency(latency_us: Any) -> str:
+    if latency_us is None:
+        return "-"
+    return f"{int(latency_us) / 1000:.0f}ms"
+
+
+def render_mode(mode: str, section: dict[str, Any],
+                out: TextIO) -> None:
+    print(f"[{mode}] scale={section['scale']}", file=out)
+    header = (f"  {'scenario':<24} {'precision':>9} {'recall':>7} "
+              f"{'latency':>8} {'tp':>3} {'fp':>3} {'fn':>3}")
+    print(header, file=out)
+    for record in section["results"]:
+        detection = record["detection"]
+        print(f"  {record['name']:<24} "
+              f"{detection['precision']:>9.3f} "
+              f"{detection['recall']:>7.3f} "
+              f"{_format_latency(detection['detection_latency_us']):>8} "
+              f"{detection['true_positives']:>3} "
+              f"{detection['false_positives']:>3} "
+              f"{detection['false_negatives']:>3}", file=out)
+    corpus = section["corpus"]
+    print(f"  {'corpus':<24} {corpus['precision']:>9.3f} "
+          f"{corpus['recall']:>7.3f} "
+          f"{_format_latency(corpus['mean_detection_latency_us']):>8} "
+          f"{corpus['true_positives']:>3} "
+          f"{corpus['false_positives']:>3} "
+          f"{corpus['false_negatives']:>3}", file=out)
+
+
+def _corpus_to_section(corpus: CorpusResult) -> dict[str, Any]:
+    return corpus.to_json()
+
+
+def run_detect_bench(args: argparse.Namespace,
+                     out: TextIO = sys.stdout) -> int:
+    path = Path(args.out)
+    if args.check:
+        mode = "quick" if args.quick else "full"
+        if not path.exists():
+            print(f"warning: no committed {path} — record one with "
+                  f"`repro bench detect` (skipping gate)", file=out)
+            return 0
+        document = json.loads(path.read_text())
+        committed = document.get("modes", {}).get(mode)
+        if committed is None:
+            print(f"warning: committed {path} has no {mode!r} mode "
+                  f"section (skipping gate)", file=out)
+            return 0
+        scale = float(committed.get("scale",
+                                    QUICK_SCALE if args.quick
+                                    else 1.0))
+        measured = measure_mode(scale)
+        render_mode(mode, measured, out)
+        failures = check_mode(committed, measured, mode,
+                              args.headroom)
+        if failures:
+            for failure in failures:
+                print(f"FAIL {failure}", file=out)
+            return 1
+        print(f"detection gate ok ({mode}, "
+              f"headroom {args.headroom:.3f})", file=out)
+        return 0
+
+    modes = {"quick": QUICK_SCALE} if args.quick \
+        else {"full": 1.0, "quick": QUICK_SCALE}
+    if path.exists():
+        document = json.loads(path.read_text())
+        if document.get("schema") != BENCH_SCHEMA:
+            document = {"schema": BENCH_SCHEMA, "modes": {}}
+    else:
+        document = {"schema": BENCH_SCHEMA, "modes": {}}
+    document.setdefault("modes", {})
+    for mode, scale in modes.items():
+        section = measure_mode(scale)
+        document["modes"][mode] = section
+        render_mode(mode, section, out)
+    path.write_text(json.dumps(document, indent=2, sort_keys=True)
+                    + "\n")
+    print(f"wrote {path}", file=out)
+    return 0

@@ -1,0 +1,131 @@
+"""The scenario registry: frozen specs, decorated builders.
+
+A scenario is a *spec* (frozen metadata: name, attack family, seed,
+phase durations) plus a *builder* (a function that turns the spec
+into a finished :class:`~repro.scenarios.harness.ScenarioRun`).
+Builders register themselves::
+
+    @register_scenario(ScenarioSpec(name="rogue-master", ...))
+    def build_rogue_master(spec, scale):
+        harness = ScenarioHarness(spec, scale)
+        ...
+        return harness.finish(...)
+
+The registry is populated at import of :mod:`repro.scenarios.attacks`
+and is the single source of truth for ``repro scenario list``,
+``repro bench detect`` and the scenario tests.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .harness import ScenarioRun
+
+_NAME_RE = re.compile(r"^[a-z][a-z0-9]*(-[a-z0-9]+)*$")
+
+
+@dataclass(frozen=True, slots=True)
+class ScenarioSpec:
+    """Frozen description of one registered attack scenario.
+
+    Durations are in seconds of simulated time and are multiplied by
+    the run's ``scale`` (the quick bench mode runs at 0.5); specs
+    must stay valid down to scale 0.5.
+    """
+
+    #: Registry key (kebab-case, unique).
+    name: str
+    #: Attack family the scenario belongs to.
+    family: str
+    #: One-line human description for ``repro scenario list``.
+    title: str
+    #: Seed for the scenario's single ``random.Random``.
+    seed: int = 104
+    #: Clean-traffic window the detector trains on.
+    learn_s: float = 240.0
+    #: Gap between the LEARN→DETECT boundary and the attack onset
+    #: (must clear the stream reorder window with margin so scoring
+    #: never trains on attack traffic).
+    attack_delay_s: float = 40.0
+    #: Nominal attack duration (builders may derive the labeled
+    #: interval from their actual action schedule instead).
+    attack_s: float = 60.0
+    #: Free-form labels (``repro scenario list`` shows them).
+    tags: tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not _NAME_RE.match(self.name):
+            raise ValueError(
+                f"scenario name {self.name!r} must be kebab-case")
+        if not self.family:
+            raise ValueError(f"{self.name}: family must be non-empty")
+        for label, value in (("learn_s", self.learn_s),
+                             ("attack_delay_s", self.attack_delay_s),
+                             ("attack_s", self.attack_s)):
+            if value <= 0:
+                raise ValueError(
+                    f"{self.name}: {label} must be positive, "
+                    f"got {value}")
+
+
+ScenarioBuilder = Callable[[ScenarioSpec, float], "ScenarioRun"]
+
+
+@dataclass(frozen=True)
+class RegisteredScenario:
+    """A spec bound to its builder."""
+
+    spec: ScenarioSpec
+    build: ScenarioBuilder = field(compare=False)
+
+
+#: name -> registered scenario.  Populated by decoration at import of
+#: :mod:`repro.scenarios.attacks`; never mutated afterwards.
+_REGISTRY: dict[str, RegisteredScenario] = {}
+
+
+def register_scenario(spec: ScenarioSpec
+                      ) -> Callable[[ScenarioBuilder], ScenarioBuilder]:
+    """Class the decorated builder under ``spec.name``."""
+    def decorate(build: ScenarioBuilder) -> ScenarioBuilder:
+        if spec.name in _REGISTRY:
+            raise ValueError(
+                f"scenario {spec.name!r} is already registered")
+        _REGISTRY[spec.name] = RegisteredScenario(spec=spec,
+                                                  build=build)
+        return build
+    return decorate
+
+
+def all_scenarios() -> tuple[RegisteredScenario, ...]:
+    """Every registered scenario, sorted by name."""
+    _ensure_loaded()
+    return tuple(_REGISTRY[name] for name in sorted(_REGISTRY))
+
+
+def get_scenario(name: str) -> RegisteredScenario:
+    _ensure_loaded()
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY)) or "(none)"
+        raise KeyError(
+            f"unknown scenario {name!r}; registered: {known}") \
+            from None
+
+
+def build_scenario(name: str, scale: float = 1.0) -> "ScenarioRun":
+    """Build the named scenario's capture + ground truth."""
+    registered = get_scenario(name)
+    return registered.build(registered.spec, scale)
+
+
+def _ensure_loaded() -> None:
+    # The built-in attack builders live in .attacks and register on
+    # import; loading lazily here keeps `import repro.scenarios.
+    # registry` cheap and cycle-free for tests that only need specs.
+    from . import attacks  # noqa: F401

@@ -1,0 +1,228 @@
+"""Replay labeled captures through the stream pipeline and score.
+
+The scorer is deliberately the *production* path: packets go through
+a real :class:`~repro.stream.pipeline.StreamPipeline` (frame →
+decode → bounded reorder → dispatch) into a fresh
+:class:`~repro.stream.detector.OnlineCombinedDetector`.  The
+LEARN→DETECT flip, however, must be *exact* for scoring: the live
+monitor flips at batch granularity against the stream clock, and on
+a sparse capture one batch can overshoot the boundary by tens of
+seconds — enough to train the whitelists on attack packets and
+corrupt every number downstream.  The replay therefore gates the
+source at ``detect_after_us``: every packet strictly before the
+boundary is ingested *and flushed* in LEARN mode, then the detector
+flips, then the rest streams in DETECT mode through the same
+pipeline (decoder and reorder state persist across the gate).  The
+ground truth's ``attack_delay_s`` margin keeps the live monitor's
+batch-granular flip safe too; the sidecar check in
+:class:`~repro.scenarios.sidecar.GroundTruth` enforces the ordering.
+
+Matching semantics live in :mod:`repro.analysis.labels`; this module
+only wires detector output (scored connections + first-alert times)
+to a capture's :class:`~repro.scenarios.sidecar.GroundTruth`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterable, Mapping, Sequence
+
+from ..analysis.labels import DetectionScore, score_detections
+from ..netstack.addresses import IPv4Address
+from ..stream import OnlineCombinedDetector, StreamPipeline
+from .harness import ScenarioRun
+from .registry import all_scenarios
+from .sidecar import GroundTruth
+
+#: Scoring batch size (drives the replay loop, not the flip).
+SCORE_BATCH = 64
+
+
+class _GatedSource:
+    """ListSource split at the LEARN→DETECT boundary.
+
+    Serves every packet with ``time_us`` strictly before the
+    boundary first (in original order — the capture may be mildly
+    out of order, so this is a predicate split, not a prefix), then
+    reports empty until :meth:`open_detect` releases the rest.
+    """
+
+    def __init__(self, packets: Sequence[Any], boundary_us: int):
+        self._learn = [packet for packet in packets
+                       if packet.time_us < boundary_us]
+        self._detect = [packet for packet in packets
+                        if packet.time_us >= boundary_us]
+        self._items = self._learn
+        self._cursor = 0
+        self._opened = False
+
+    def open_detect(self) -> None:
+        self._items = self._detect
+        self._cursor = 0
+        self._opened = True
+
+    def poll(self, max_items: int) -> list[Any]:
+        batch = self._items[self._cursor:self._cursor + max_items]
+        self._cursor += len(batch)
+        return batch
+
+    @property
+    def exhausted(self) -> bool:
+        return self._opened and self._cursor >= len(self._detect)
+
+
+def replay_capture(packets: Sequence[Any],
+                   names: Mapping[IPv4Address, str],
+                   truth: GroundTruth,
+                   batch_size: int = SCORE_BATCH,
+                   detector: OnlineCombinedDetector | None = None
+                   ) -> OnlineCombinedDetector:
+    """Stream one labeled capture; return the flipped detector.
+
+    ``detector`` lets callers replay into a custom-configured (or
+    instrumented) detector; it must be fresh and in LEARN mode.
+    """
+    if detector is None:
+        detector = OnlineCombinedDetector()
+    source = _GatedSource(packets, truth.detect_after_us)
+    pipeline = StreamPipeline(source=source, names=dict(names),
+                              analyzers=[detector],
+                              batch_size=batch_size)
+    switched = False
+    while True:
+        moved = pipeline.step(max_items=batch_size)
+        if moved:
+            continue
+        if not switched:
+            # Every pre-boundary event — including the reorder tail —
+            # is dispatched in LEARN before the flip.
+            pipeline.flush()
+            pipeline.switch_to_detect()
+            source.open_detect()
+            switched = True
+            continue
+        if pipeline.exhausted:
+            break
+    pipeline.flush()
+    return detector
+
+
+def score_capture(packets: Sequence[Any],
+                  names: Mapping[IPv4Address, str],
+                  truth: GroundTruth,
+                  batch_size: int = SCORE_BATCH) -> DetectionScore:
+    """Precision / recall / latency of one labeled capture."""
+    detector = replay_capture(packets, names, truth,
+                              batch_size=batch_size)
+    return score_detections(
+        connections=detector.scored_connections(),
+        attacker_endpoints=truth.attacker_endpoints,
+        intervals=truth.intervals,
+        first_alerts=detector.first_alert_times())
+
+
+@dataclass(frozen=True, slots=True)
+class ScenarioResult:
+    """One scenario's scored outcome."""
+
+    name: str
+    family: str
+    scale: float
+    events_learned: int
+    events_scored: int
+    detection: DetectionScore
+
+    def to_json(self) -> dict[str, Any]:
+        return {
+            "name": self.name,
+            "family": self.family,
+            "scale": self.scale,
+            "events_learned": self.events_learned,
+            "events_scored": self.events_scored,
+            "detection": self.detection.to_json(),
+        }
+
+
+def score_run(run: ScenarioRun,
+              batch_size: int = SCORE_BATCH) -> ScenarioResult:
+    """Build-and-score glue for one finished scenario run."""
+    detector = replay_capture(run.packets, run.names, run.truth,
+                              batch_size=batch_size)
+    detection = score_detections(
+        connections=detector.scored_connections(),
+        attacker_endpoints=run.truth.attacker_endpoints,
+        intervals=run.truth.intervals,
+        first_alerts=detector.first_alert_times())
+    return ScenarioResult(
+        name=run.truth.scenario, family=run.truth.family,
+        scale=run.scale, events_learned=detector.events_learned,
+        events_scored=detector.events_scored, detection=detection)
+
+
+@dataclass(frozen=True, slots=True)
+class CorpusResult:
+    """Whole-corpus outcome at one scale."""
+
+    scale: float
+    results: tuple[ScenarioResult, ...]
+
+    @property
+    def true_positives(self) -> int:
+        return sum(r.detection.true_positives for r in self.results)
+
+    @property
+    def false_positives(self) -> int:
+        return sum(r.detection.false_positives for r in self.results)
+
+    @property
+    def false_negatives(self) -> int:
+        return sum(r.detection.false_negatives for r in self.results)
+
+    @property
+    def precision(self) -> float:
+        alerted = self.true_positives + self.false_positives
+        return self.true_positives / alerted if alerted else 1.0
+
+    @property
+    def recall(self) -> float:
+        malicious = self.true_positives + self.false_negatives
+        return self.true_positives / malicious if malicious else 1.0
+
+    @property
+    def mean_detection_latency_us(self) -> int | None:
+        latencies = [r.detection.detection_latency_us
+                     for r in self.results
+                     if r.detection.detection_latency_us is not None]
+        if not latencies:
+            return None
+        return sum(latencies) // len(latencies)
+
+    def to_json(self) -> dict[str, Any]:
+        return {
+            "scale": self.scale,
+            "results": [r.to_json() for r in self.results],
+            "corpus": {
+                "scenarios": len(self.results),
+                "true_positives": self.true_positives,
+                "false_positives": self.false_positives,
+                "false_negatives": self.false_negatives,
+                "precision": self.precision,
+                "recall": self.recall,
+                "mean_detection_latency_us":
+                    self.mean_detection_latency_us,
+            },
+        }
+
+
+def score_corpus(scale: float = 1.0,
+                 names: Iterable[str] | None = None,
+                 batch_size: int = SCORE_BATCH) -> CorpusResult:
+    """Build + score every registered scenario (or ``names``)."""
+    wanted = set(names) if names is not None else None
+    results = []
+    for registered in all_scenarios():
+        if wanted is not None and registered.spec.name not in wanted:
+            continue
+        run = registered.build(registered.spec, scale)
+        results.append(score_run(run, batch_size=batch_size))
+    return CorpusResult(scale=scale, results=tuple(results))

@@ -17,9 +17,11 @@ exactly the shapes a live snapshot is — and, because every stored
 field is stream-time deterministic (no wall clock anywhere), two
 identical runs produce byte-identical query results.
 
-Retention is poll-count based and deterministic: ``max_polls`` keeps
-the newest N polls, compaction deletes whole polls oldest-first (a
-partial poll never survives).
+Retention is deterministic over stream state: ``max_polls`` keeps the
+newest N polls, ``max_age_us`` drops polls whose fleet clock trails
+the newest poll by more than the bound (capture time, not wall
+clock), and compaction deletes whole polls oldest-first (a partial
+poll never survives; the newest poll always does).
 """
 
 from __future__ import annotations
@@ -78,21 +80,32 @@ LINK_COLUMNS = link_columns()
 class Retention:
     """How much history to keep.
 
-    ``max_polls`` bounds the store to the newest N polls (``None`` =
-    unbounded); ``compact_every`` is how many appends may pass
-    between automatic compactions.
+    ``max_polls`` bounds the store to the newest N polls;
+    ``max_age_us`` drops polls older than the bound relative to the
+    newest recorded poll's fleet clock (stream time — replaying the
+    same capture compacts identically).  Both ``None`` = unbounded;
+    both set = both enforced.  ``compact_every`` is how many appends
+    may pass between automatic compactions.
     """
 
     max_polls: Optional[int] = None
+    max_age_us: Optional[int] = None
     compact_every: int = 64
 
     def __post_init__(self) -> None:
         if self.max_polls is not None and self.max_polls < 1:
             raise ValueError(
                 f"max_polls must be >= 1, got {self.max_polls}")
+        if self.max_age_us is not None and self.max_age_us < 0:
+            raise ValueError(
+                f"max_age_us must be >= 0, got {self.max_age_us}")
         if self.compact_every < 1:
             raise ValueError(
                 f"compact_every must be >= 1, got {self.compact_every}")
+
+    @property
+    def bounded(self) -> bool:
+        return self.max_polls is not None or self.max_age_us is not None
 
 
 class HistoryStore:
@@ -185,7 +198,7 @@ class HistoryStore:
                 [(seq, *self._link_row(link)) for link in links])
             self._conn.commit()
             self._appends_since_compact += 1
-            due = (self.retention.max_polls is not None
+            due = (self.retention.bounded
                    and self._appends_since_compact
                    >= self.retention.compact_every)
         if due:
@@ -204,26 +217,50 @@ class HistoryStore:
         return tuple(values)
 
     def compact(self) -> int:
-        """Drop the oldest polls beyond the retention bound."""
-        limit = self.retention.max_polls
-        if limit is None:
+        """Drop the oldest polls beyond the retention bounds.
+
+        Both bounds reduce to a single "first surviving seq" cutoff —
+        the stricter one wins — and whole polls below it are deleted
+        oldest-first.  The age bound compares each poll's fleet clock
+        to the *newest* poll's, so the newest poll always survives.
+        """
+        retention = self.retention
+        if not retention.bounded:
             return 0
         with self._lock:
             self._appends_since_compact = 0
-            row = self._conn.execute(
-                "SELECT COUNT(*) FROM polls").fetchone()
-            excess = int(row[0]) - limit
-            if excess <= 0:
+            cutoff = 0
+            if retention.max_polls is not None:
+                row = self._conn.execute(
+                    "SELECT COUNT(*) FROM polls").fetchone()
+                excess = int(row[0]) - retention.max_polls
+                if excess > 0:
+                    cutoff = int(self._conn.execute(
+                        "SELECT seq FROM polls "
+                        "ORDER BY seq LIMIT 1 OFFSET ?",
+                        (excess,)).fetchone()[0])
+            if retention.max_age_us is not None:
+                row = self._conn.execute(
+                    "SELECT MAX(time_us) FROM polls").fetchone()
+                if row[0] is not None:
+                    horizon = int(row[0]) - retention.max_age_us
+                    survivor = self._conn.execute(
+                        "SELECT MIN(seq) FROM polls "
+                        "WHERE time_us >= ?", (horizon,)).fetchone()
+                    cutoff = max(cutoff, int(survivor[0]))
+            if cutoff <= 0:
                 return 0
-            cutoff = self._conn.execute(
-                "SELECT seq FROM polls ORDER BY seq LIMIT 1 OFFSET ?",
-                (excess,)).fetchone()[0]
+            removed = self._conn.execute(
+                "SELECT COUNT(*) FROM polls WHERE seq < ?",
+                (cutoff,)).fetchone()[0]
+            if not removed:
+                return 0
             self._conn.execute(
                 "DELETE FROM link_polls WHERE seq < ?", (cutoff,))
             self._conn.execute(
                 "DELETE FROM polls WHERE seq < ?", (cutoff,))
             self._conn.commit()
-            return excess
+            return int(removed)
 
     # -- reading ------------------------------------------------------
 

@@ -78,6 +78,15 @@ class _VerdictState:
                             unseen_transitions=tuple(self.unseen),
                             unknown_tokens=tuple(self.unknown))
 
+    def is_alert(self, threshold: float) -> bool:
+        """O(1) mirror of :meth:`CyberVerdict.is_alert` — the scoring
+        hot path checks it per event, so no tuple materialization."""
+        if self.unknown:
+            return True
+        if self.tokens < 2:
+            return False
+        return len(self.unseen) / (self.tokens - 1) > threshold
+
 
 class OnlineCombinedDetector(StreamAnalyzer):
     """Streaming wrapper over the cyber + physical whitelists.
@@ -107,6 +116,11 @@ class OnlineCombinedDetector(StreamAnalyzer):
         self._violations: list[PhysicalViolation] = []
         self._violations_by_station: dict[str,
                                           list[PhysicalViolation]] = {}
+        #: Stream time a connection's verdict first became alerting
+        #: (cyber) or first carried a physical violation.  Never
+        #: evicted: detection-latency scoring needs the first hit
+        #: even for connections long gone quiet.
+        self._first_alert_us: dict[object, Ticks] = {}
 
     # -- mode lifecycle ----------------------------------------------
 
@@ -150,12 +164,17 @@ class OnlineCombinedDetector(StreamAnalyzer):
             self._verdicts[connection] = state
         state.observe(self.cyber, connection, event.token,
                       event.time_us)
+        if connection not in self._first_alert_us \
+                and state.is_alert(self.cyber_threshold):
+            self._first_alert_us[connection] = event.time_us
         for key, time_s, value in iter_point_samples(event):
             violation = self.physical.check_sample(key, time_s, value)
             if violation is not None:
                 self._violations.append(violation)
                 self._violations_by_station.setdefault(
                     violation.key.station, []).append(violation)
+                self._first_alert_us.setdefault(connection,
+                                                event.time_us)
 
     # -- results ------------------------------------------------------
 
@@ -169,6 +188,22 @@ class OnlineCombinedDetector(StreamAnalyzer):
 
     def violations(self) -> list[PhysicalViolation]:
         return list(self._violations)
+
+    def scored_connections(self) -> list[object]:
+        """Every connection scored so far (sorted; includes evicted
+        ones that alerted) — the universe a label-aware scorer counts
+        false negatives against."""
+        keys = set(self._verdicts) | set(self._first_alert_us)
+        return sorted(keys, key=str)
+
+    def first_alert_times(self) -> dict[object, Ticks]:
+        """Connection -> stream time of its first alerting event.
+
+        The hook the scenario scoring harness replays against: paired
+        with a ground-truth sidecar it yields detection latency (µs
+        from labeled attack onset to the first true-positive event).
+        """
+        return dict(self._first_alert_us)
 
     def alerts(self) -> list[CombinedAlert]:
         """Correlated alerts, mirroring batch

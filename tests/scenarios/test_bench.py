@@ -1,0 +1,108 @@
+"""The detection benchmark gate: record, check, and fail loudly.
+
+``check_mode`` is pure over documents, so the regression tests feed
+doctored baselines through the exact production gate and assert it
+trips — the CI job's behavior is proven here, not just exercised.
+"""
+
+from __future__ import annotations
+
+import argparse
+import copy
+import io
+import json
+
+import pytest
+
+from repro.scenarios.bench import (BENCH_SCHEMA, QUICK_SCALE,
+                                   check_mode, measure_mode,
+                                   run_detect_bench)
+
+
+@pytest.fixture(scope="module")
+def measured():
+    return measure_mode(QUICK_SCALE)
+
+
+def namespace(**overrides) -> argparse.Namespace:
+    base = dict(out="BENCH_detect.json", quick=True, check=False,
+                headroom=0.0)
+    base.update(overrides)
+    return argparse.Namespace(**base)
+
+
+class TestCheckMode:
+    def test_identical_documents_pass(self, measured):
+        assert check_mode(measured, measured, "quick", 0.0) == []
+
+    def test_recall_regression_fails(self, measured):
+        doctored = copy.deepcopy(measured)
+        record = doctored["results"][0]
+        record["detection"]["recall"] = 0.0
+        record["detection"]["true_positives"] = 0
+        record["detection"]["false_negatives"] = 1
+        failures = check_mode(measured, doctored, "quick", 0.0)
+        assert any("recall regressed" in failure
+                   for failure in failures)
+
+    def test_precision_regression_fails(self, measured):
+        doctored = copy.deepcopy(measured)
+        doctored["corpus"]["precision"] = 0.5
+        failures = check_mode(measured, doctored, "quick", 0.0)
+        assert any("corpus: precision regressed" in failure
+                   for failure in failures)
+
+    def test_missing_scenario_fails(self, measured):
+        doctored = copy.deepcopy(measured)
+        dropped = doctored["results"].pop(0)
+        failures = check_mode(measured, doctored, "quick", 0.0)
+        assert any(dropped["name"] in failure
+                   and "missing" in failure for failure in failures)
+
+    def test_headroom_absorbs_small_drops(self, measured):
+        doctored = copy.deepcopy(measured)
+        name = doctored["results"][0]["name"]
+        doctored["results"][0]["detection"]["recall"] -= 0.05
+        assert check_mode(measured, doctored, "quick", 0.1) == []
+        failures = check_mode(measured, doctored, "quick", 0.01)
+        assert any(name in failure for failure in failures)
+
+
+class TestRunDetectBench:
+    def test_record_then_check_round_trips(self, tmp_path):
+        path = tmp_path / "BENCH_detect.json"
+        out = io.StringIO()
+        assert run_detect_bench(namespace(out=str(path)), out) == 0
+        document = json.loads(path.read_text())
+        assert document["schema"] == BENCH_SCHEMA
+        assert set(document["modes"]) == {"quick"}
+        section = document["modes"]["quick"]
+        assert section["scale"] == QUICK_SCALE
+        assert len(section["results"]) >= 6
+
+        out = io.StringIO()
+        assert run_detect_bench(
+            namespace(out=str(path), check=True), out) == 0
+        assert "detection gate ok" in out.getvalue()
+
+    def test_check_fails_on_seeded_regression(self, tmp_path):
+        path = tmp_path / "BENCH_detect.json"
+        out = io.StringIO()
+        assert run_detect_bench(namespace(out=str(path)), out) == 0
+        # Doctor the committed baseline *upward* so the re-measured
+        # (real) corpus reads as a regression against it.
+        document = json.loads(path.read_text())
+        section = document["modes"]["quick"]
+        section["results"][0]["detection"]["recall"] = 2.0
+        path.write_text(json.dumps(document))
+        out = io.StringIO()
+        assert run_detect_bench(
+            namespace(out=str(path), check=True), out) == 1
+        assert "recall regressed" in out.getvalue()
+
+    def test_missing_baseline_warns_not_fails(self, tmp_path):
+        out = io.StringIO()
+        path = tmp_path / "nothing-here.json"
+        assert run_detect_bench(
+            namespace(out=str(path), check=True), out) == 0
+        assert "warning" in out.getvalue()

@@ -1,0 +1,80 @@
+"""The scenario registry: specs, registration, lookup."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.scenarios import (ScenarioSpec, all_scenarios,
+                             build_scenario, get_scenario,
+                             register_scenario)
+from repro.scenarios.registry import _REGISTRY
+
+EXPECTED_FAMILIES = {
+    "spoofed-interrogation", "rogue-master", "value-injection",
+    "command-flooding", "switchover-abuse", "stale-data-masking"}
+
+
+class TestSpecValidation:
+    def spec(self, **overrides):
+        base = dict(name="demo-scenario", family="demo",
+                    title="demo", seed=1)
+        base.update(overrides)
+        return ScenarioSpec(**base)
+
+    def test_valid_spec(self):
+        spec = self.spec()
+        assert spec.learn_s > 0 and spec.attack_s > 0
+
+    @pytest.mark.parametrize("name", ["", "Bad Name", "UPPER",
+                                      "under_score", "-lead",
+                                      "trail-"])
+    def test_name_must_be_kebab_case(self, name):
+        with pytest.raises(ValueError, match="name"):
+            self.spec(name=name)
+
+    @pytest.mark.parametrize("field", ["learn_s", "attack_delay_s",
+                                       "attack_s"])
+    def test_durations_must_be_positive(self, field):
+        with pytest.raises(ValueError, match=field):
+            self.spec(**{field: 0.0})
+        with pytest.raises(ValueError, match=field):
+            self.spec(**{field: -1.0})
+
+    def test_specs_are_frozen(self):
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            self.spec().seed = 2
+
+
+class TestRegistry:
+    def test_builtin_corpus_is_registered(self):
+        scenarios = all_scenarios()
+        assert len(scenarios) >= 6
+        assert {r.spec.family for r in scenarios} \
+            >= EXPECTED_FAMILIES
+        names = [r.spec.name for r in scenarios]
+        assert names == sorted(names)
+
+    def test_seeds_are_distinct(self):
+        seeds = [r.spec.seed for r in all_scenarios()]
+        assert len(seeds) == len(set(seeds))
+
+    def test_duplicate_registration_rejected(self):
+        taken = all_scenarios()[0].spec
+        spec = dataclasses.replace(taken, title="impostor")
+        with pytest.raises(ValueError, match="already registered"):
+            @register_scenario(spec)
+            def impostor(spec, scale):  # pragma: no cover
+                raise AssertionError
+        assert _REGISTRY[taken.name].spec.title == taken.title
+
+    def test_get_scenario_unknown_name(self):
+        with pytest.raises(KeyError):
+            get_scenario("no-such-scenario")
+
+    def test_build_scenario_runs_the_builder(self):
+        run = build_scenario("command-flooding", scale=0.5)
+        assert run.truth.scenario == "command-flooding"
+        assert run.scale == 0.5
+        assert len(run.packets) > 50

@@ -197,6 +197,62 @@ class TestRetention:
             assert store.compact() == 0
             assert store.poll_count() == 7
 
+    def test_age_bound_drops_polls_behind_the_newest_clock(self):
+        # One poll every 5 stream-minutes; a 25-minute window keeps
+        # the newest poll plus the 5 polls within the bound.
+        retention = Retention(max_age_us=25 * 60 * 1_000_000,
+                              compact_every=100)
+        with HistoryStore(retention=retention) as store:
+            for poll in range(1, 21):
+                store.record(fleet_poll(poll))
+            assert store.compact() == 14
+            assert [seq for seq, _t in store.polls()] \
+                == list(range(15, 21))
+
+    def test_age_zero_keeps_only_the_newest_poll(self):
+        retention = Retention(max_age_us=0, compact_every=100)
+        with HistoryStore(retention=retention) as store:
+            for poll in range(1, 6):
+                store.record(fleet_poll(poll))
+            store.compact()
+            assert [seq for seq, _t in store.polls()] == [5]
+
+    def test_age_bound_triggers_auto_compaction(self):
+        retention = Retention(max_age_us=25 * 60 * 1_000_000,
+                              compact_every=1)
+        with HistoryStore(retention=retention) as store:
+            for poll in range(1, 21):
+                store.record(fleet_poll(poll))
+            assert store.poll_count() == 6
+
+    def test_both_bounds_stricter_wins(self):
+        # Count bound (3 polls) is stricter than the age bound
+        # (25 minutes = 6 polls) — and vice versa when flipped.
+        retention = Retention(max_polls=3,
+                              max_age_us=25 * 60 * 1_000_000,
+                              compact_every=100)
+        with HistoryStore(retention=retention) as store:
+            for poll in range(1, 21):
+                store.record(fleet_poll(poll))
+            store.compact()
+            assert [seq for seq, _t in store.polls()] \
+                == list(range(18, 21))
+        retention = Retention(max_polls=10,
+                              max_age_us=10 * 60 * 1_000_000,
+                              compact_every=100)
+        with HistoryStore(retention=retention) as store:
+            for poll in range(1, 21):
+                store.record(fleet_poll(poll))
+            store.compact()
+            assert [seq for seq, _t in store.polls()] \
+                == list(range(18, 21))
+
+    def test_age_validation(self):
+        with pytest.raises(ValueError, match="max_age_us"):
+            Retention(max_age_us=-1)
+        assert Retention(max_age_us=0).bounded
+        assert not Retention().bounded
+
 
 class TestByteStability:
     """Two identical synthetic 8-hour runs → byte-identical queries."""

@@ -146,6 +146,57 @@ class TestAttackCommand:
         assert "I102" in out.getvalue()  # the read probes
 
 
+class TestScenarioCommand:
+    def test_list_names_every_family(self):
+        out = io.StringIO()
+        assert main(["scenario", "list"], out=out) == 0
+        text = out.getvalue()
+        for name in ("spoofed-interrogation", "rogue-master",
+                     "value-injection", "command-flooding",
+                     "switchover-abuse", "stale-data-masking"):
+            assert name in text
+
+    def test_emit_writes_capture_and_sidecars(self, tmp_path):
+        pcap = tmp_path / "rogue.pcap"
+        out = io.StringIO()
+        code = main(["scenario", "emit", "rogue-master",
+                     "--out", str(pcap), "--scale", "0.5"], out=out)
+        assert code == 0
+        assert pcap.exists()
+        assert pcap.with_suffix(".names.json").exists()
+        truth = json.loads(
+            pcap.with_suffix(".truth.json").read_text())
+        assert truth["scenario"] == "rogue-master"
+        assert truth["attacker_endpoints"] == ["ATTACKER"]
+
+    def test_emitted_capture_analyzable(self, tmp_path):
+        pcap = tmp_path / "rogue.pcap"
+        main(["scenario", "emit", "rogue-master", "--out", str(pcap),
+              "--scale", "0.5"], out=io.StringIO())
+        out = io.StringIO()
+        code = main(["analyze", str(pcap),
+                     "--names", str(pcap.with_suffix(".names.json")),
+                     "--report", "typeids"], out=out)
+        assert code == 0
+        assert "I102" in out.getvalue()  # the rogue read probes
+
+
+class TestBenchDetectCommand:
+    def test_record_and_gate(self, tmp_path):
+        path = tmp_path / "BENCH_detect.json"
+        out = io.StringIO()
+        code = main(["bench", "detect", "--quick",
+                     "--out", str(path)], out=out)
+        assert code == 0
+        document = json.loads(path.read_text())
+        assert len(document["modes"]["quick"]["results"]) >= 6
+        out = io.StringIO()
+        code = main(["bench", "detect", "--quick", "--check",
+                     "--out", str(path)], out=out)
+        assert code == 0
+        assert "detection gate ok" in out.getvalue()
+
+
 class TestHypothesesCommand:
     def test_runs_on_two_captures(self, generated, tmp_path):
         pcap_y1, _ = generated
