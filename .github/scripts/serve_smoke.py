@@ -61,7 +61,7 @@ async def drive(host: str, port: int) -> None:
     assert status == 200, f"/fleet never turned 200 (last {status})"
     envelope = json.loads(body)
     snapshot = envelope["snapshot"]
-    assert snapshot["schema"] == 1, snapshot
+    assert snapshot["schema"] == 2, snapshot
     assert snapshot["packets"] > 0, snapshot
 
     # The WebSocket client: one pushed envelope frame.
@@ -73,7 +73,7 @@ async def drive(host: str, port: int) -> None:
     frame = await asyncio.wait_for(read_frame(reader), timeout=30)
     assert frame is not None
     pushed = json.loads(frame[1].decode("utf-8"))
-    assert pushed["snapshot"]["schema"] == 1, pushed
+    assert pushed["snapshot"]["schema"] == 2, pushed
     assert pushed["seq"] >= 1, pushed
     writer.write(close_frame(mask_key=TEST_MASK_KEY))
     await writer.drain()

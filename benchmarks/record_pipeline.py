@@ -67,6 +67,7 @@ BEFORE = {
 #: spawn, per-shard demux, snapshot merge).
 GATE_METRICS = ("strict_parse_ns_per_frame",
                 "stream_decode_ns_per_frame",
+                "modbus_decode_ns_per_frame",
                 "fleet_ns_per_packet_w1")
 
 #: Extra --check headroom per metric: process spawn and pipe IPC make
@@ -133,6 +134,35 @@ def measure_stream(frame_count: int = 2000) -> dict:
 
     return {
         "stream_decode_ns_per_frame":
+            round(_best_ns(run) / len(frames), 1),
+    }
+
+
+def measure_modbus(frame_count: int = 2000) -> dict:
+    """Modbus/TCP MBAP decode throughput through the stream decoder.
+
+    Mirrors the IEC 104 ``stream_decode_ns_per_frame`` gate one
+    protocol over: synthetic read-holding-registers ADUs pushed
+    byte-stream-wise through ``ModbusStreamDecoder`` — framing,
+    resync bookkeeping and PDU decode, no packet or analyzer cost.
+    """
+    from repro.protocols.modbus import (MODBUS_SPEC, ModbusAdu,
+                                        READ_HOLDING_REGISTERS)
+
+    frames = [ModbusAdu(transaction=index & 0xFFFF, unit=1,
+                        function=READ_HOLDING_REGISTERS,
+                        data=bytes([4]) + (index & 0xFFFF).to_bytes(2, "big")
+                        + ((index * 3) & 0xFFFF).to_bytes(2, "big")).encode()
+              for index in range(frame_count)]
+
+    def run():
+        parser = MODBUS_SPEC.new_parser()
+        decoder = MODBUS_SPEC.new_stream_decoder(parser, "bench")
+        for frame in frames:
+            decoder.feed(frame)
+
+    return {
+        "modbus_decode_ns_per_frame":
             round(_best_ns(run) / len(frames), 1),
     }
 
@@ -299,6 +329,7 @@ def build_document(after: dict) -> dict:
 def cmd_record(args) -> int:
     after = measure_parsers()
     after.update(measure_stream())
+    after.update(measure_modbus())
     after.update(measure_fleet())
     after.update(measure_serve())
     after.update(measure_pipeline())
@@ -314,6 +345,7 @@ def cmd_check(args) -> int:
     committed = load_json(args.out)
     measured = measure_parsers()
     measured.update(measure_stream())
+    measured.update(measure_modbus())
     measured.update(measure_fleet(worker_counts=(1,)))
     failed = []
     for metric in GATE_METRICS:

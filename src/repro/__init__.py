@@ -29,6 +29,6 @@ Quickstart::
     print(flows.summary().rows())
 """
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = ["__version__"]

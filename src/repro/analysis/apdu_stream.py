@@ -15,7 +15,7 @@ the tolerant parser. Two modes are exposed:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable
+from typing import Any, Iterable
 
 from ..iec104.apci import APDU, IFrame, UFrame
 from ..iec104.codec import ParseResult, TolerantParser
@@ -23,6 +23,7 @@ from ..iec104.constants import IEC104_PORT, TypeID
 from ..netstack.addresses import IPv4Address
 from ..netstack.packet import CapturedPacket
 from ..netstack.reassembly import StreamReassembler
+from ..protocols.base import ProtocolSpec, get_protocol
 from .sources import PacketSource, resolve_source
 
 
@@ -36,13 +37,17 @@ class ApduEvent:
     time_us: int
     src: str
     dst: str
-    apdu: APDU
+    #: The decoded protocol data unit — an IEC 104 :class:`APDU` or,
+    #: under the modbus spec, a :class:`~repro.protocols.modbus.
+    #: ModbusAdu` (anything with a ``.token`` property).
+    apdu: APDU | Any
     compliant: bool = True
     wire_bytes: int = 0
 
     @property
     def token(self) -> str:
-        """Paper Table 4 token (S, U1..U32, I<typeID>)."""
+        """Protocol token (paper Table 4 for IEC 104: S, U1..U32,
+        I<typeID>; F<fc>/X<fc> for Modbus)."""
         return self.apdu.token
 
     @property
@@ -72,7 +77,8 @@ class StreamExtraction:
     """
 
     events: list[ApduEvent]
-    parser: TolerantParser
+    #: The spec-built parser (duck-typed; TolerantParser for IEC 104).
+    parser: TolerantParser | Any
     #: Parse failures as (time_us, src, dst, result).
     failures: list[tuple[int, str, str, ParseResult]] = (
         field(default_factory=list))
@@ -132,22 +138,28 @@ def is_iec104(packet: CapturedPacket) -> bool:
 
 def extract_apdus(source: PacketSource,
                   per_packet: bool = True,
-                  parser: TolerantParser | None = None
+                  parser: TolerantParser | Any | None = None,
+                  protocol: ProtocolSpec | None = None
                   ) -> StreamExtraction:
-    """Decode every IEC 104 APDU in ``source``.
+    """Decode every APDU of one protocol in ``source``.
 
     ``source`` is Capture-first: pass the capture object itself (its
     ``host_names()`` map the addresses to logical names C1, O17, ...),
-    a pcap/pcapng reader, or a plain packet iterable. Packets on
-    other ports are ignored, as the paper did with ICCP/C37.118.
+    a pcap/pcapng reader, or a plain packet iterable. ``protocol``
+    picks the :class:`~repro.protocols.base.ProtocolSpec` whose ports
+    and parser apply (default IEC 104); packets on other ports are
+    ignored, as the paper did with ICCP/C37.118.
     """
     packets, names = resolve_source(source, caller="extract_apdus")
-    parser = parser or TolerantParser()
+    spec = protocol if protocol is not None else get_protocol("iec104")
+    parser = parser if parser is not None else spec.new_parser()
     extraction = StreamExtraction(events=[], parser=parser)
     reassemblers: dict[object, StreamReassembler] = {}
+    ports = spec.ports
 
     for packet in packets:
-        if not is_iec104(packet):
+        if (packet.tcp.src_port not in ports
+                and packet.tcp.dst_port not in ports):
             continue
         src = _name_for(packet.ip.src, packet.tcp.src_port, names)
         dst = _name_for(packet.ip.dst, packet.tcp.dst_port, names)

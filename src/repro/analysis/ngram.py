@@ -31,10 +31,18 @@ END_TOKEN = "</s>"
 
 
 def is_valid_token(token: str) -> bool:
-    """Check a token against the Table 4 grammar."""
+    """Check a token against the protocol-generic token grammar.
+
+    The IEC 104 alphabet is the paper's Table 4 (``S``, ``U1``..
+    ``U32``, ``I<typeID>`` with type IDs 1..127). The Modbus/TCP
+    alphabet layers on top (:mod:`repro.protocols.modbus`): ``F<fc>``
+    for a normal PDU and ``X<fc>`` for an exception response, with
+    function codes 1..127 — so the same Markov/whitelist models fit
+    either protocol's sequences unchanged.
+    """
     if token in TOKEN_DESCRIPTIONS or token in (START_TOKEN, END_TOKEN):
         return True
-    if token.startswith("I") and token[1:].isdigit():
+    if token[:1] in ("I", "F", "X") and token[1:].isdigit():
         return 1 <= int(token[1:]) <= 127
     return False
 

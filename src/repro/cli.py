@@ -350,14 +350,41 @@ def _monitor_tail_source(path: str, follow: bool):
     return PcapTailSource(path, follow=follow)
 
 
-def _parse_link_specs(specs: list[str]) -> list[tuple[str, str]]:
+def _check_protocol(name: str, prog: str) -> str:
+    """Validate a protocol name against the registry (clear error)."""
+    from .protocols import get_protocol
+    try:
+        get_protocol(name)
+    except ValueError as exc:
+        raise SystemExit(f"{prog}: {exc}")
+    return name
+
+
+def _parse_link_specs(specs: list[str],
+                      prog: str = "repro monitor"
+                      ) -> list[tuple[str, str, str | None]]:
+    """Parse ``NAME=PATH[@proto]`` link specs.
+
+    The optional ``@proto`` suffix binds that link to one registered
+    protocol, overriding both the ``--protocol`` default and the
+    demux's port-based auto-detect.
+    """
     links = []
     for spec in specs:
         name, sep, path = spec.partition("=")
         if not sep or not name or not path:
             raise SystemExit(
-                f"repro monitor: --link needs NAME=PATH, got {spec!r}")
-        links.append((name, path))
+                f"{prog}: --link needs NAME=PATH[@proto], "
+                f"got {spec!r}")
+        proto: str | None = None
+        if "@" in path:
+            path, _at, proto = path.rpartition("@")
+            if not path or not proto:
+                raise SystemExit(
+                    f"{prog}: --link needs NAME=PATH[@proto], "
+                    f"got {spec!r}")
+            _check_protocol(proto, prog)
+        links.append((name, path, proto))
     return links
 
 
@@ -378,7 +405,7 @@ def _build_monitor_target(args: argparse.Namespace, prog: str):
                          MonitorPipelineFactory,
                          ShardedFleetSupervisor)
     from .stream.monitor import MonitorTarget
-    link_specs = _parse_link_specs(args.links or [])
+    link_specs = _parse_link_specs(args.links or [], prog)
     if bool(args.pcap) == bool(link_specs):
         raise SystemExit(f"{prog}: give one capture path or "
                          "one or more --link NAME=PATH, not both")
@@ -393,7 +420,8 @@ def _build_monitor_target(args: argparse.Namespace, prog: str):
         raise SystemExit(
             f"{prog}: --workers must be >= 0, got {workers}")
 
-    paths = [path for _name, path in link_specs] or [args.pcap]
+    paths = [path for _name, path, _proto in link_specs] \
+        or [args.pcap]
     if workers > 1:
         if not (args.demux or link_specs):
             raise SystemExit(
@@ -416,9 +444,15 @@ def _build_monitor_target(args: argparse.Namespace, prog: str):
                     f"file{hint}")
 
     names = _monitor_names(args.names, paths)
+    default_protocol = _check_protocol(args.protocol, prog)
+    link_protocols = tuple((name, proto)
+                           for name, _path, proto in link_specs
+                           if proto is not None)
     factory = MonitorPipelineFactory(names=names,
                                      reassemble=args.reassemble,
-                                     evict=not args.no_evict)
+                                     evict=not args.no_evict,
+                                     protocol=default_protocol,
+                                     link_protocols=link_protocols)
     detect_after_us = (int(args.detect_after * 1_000_000)
                        if args.detect_after is not None else None)
     sources = []
@@ -429,13 +463,15 @@ def _build_monitor_target(args: argparse.Namespace, prog: str):
         sharded = ShardedFleetSupervisor(
             factory, workers=workers,
             path=args.pcap if args.demux else None,
-            links=link_specs, names=names, follow=args.follow,
+            links=tuple((name, path)
+                        for name, path, _proto in link_specs),
+            names=names, follow=args.follow,
             detect_after_us=detect_after_us)
         target: MonitorTarget = sharded
         detect_after_us = None
     elif link_specs:
         fleet = FleetSupervisor()
-        for name, path in link_specs:
+        for name, path, _proto in link_specs:
             source = _monitor_tail_source(path, args.follow)
             sources.append(source)
             fleet.add_link(factory(name, source), name=name)
@@ -675,9 +711,17 @@ def build_parser() -> argparse.ArgumentParser:
                                  "be written to with --follow); omit "
                                  "when using --link")
         parser.add_argument("--link", action="append", dest="links",
-                            metavar="NAME=PATH",
+                            metavar="NAME=PATH[@proto]",
                             help="monitor a fleet: one pipeline per "
-                                 "NAME=PATH capture (repeatable)")
+                                 "NAME=PATH capture (repeatable); "
+                                 "@proto binds that link to one "
+                                 "registered protocol spec")
+        parser.add_argument("--protocol", default="iec104",
+                            metavar="NAME",
+                            help="default protocol spec links bind "
+                                 "to (default iec104; per-link "
+                                 "@proto and the demux port "
+                                 "auto-detect override it)")
         parser.add_argument("--demux", action="store_true",
                             help="split the one merged capture into "
                                  "per-link pipelines by endpoint "

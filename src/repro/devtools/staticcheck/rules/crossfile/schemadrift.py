@@ -40,13 +40,15 @@ _DEFAULT_COLUMNS: Mapping[str, str] = {
     "FleetSnapshot": "Fleet",
     "SnapshotEnvelope": "Serve",
     "GroundTruth": "Truth",
+    "ProtocolSpec": "Protocol",
 }
 
 #: Packages whose snapshot dataclasses the default scope covers: the
-#: stream snapshot contract, the served envelope wrapping it, and the
-#: scenario ground-truth sidecar scored against it.
+#: stream snapshot contract, the served envelope wrapping it, the
+#: scenario ground-truth sidecar scored against it, and the protocol
+#: spec registry whose metadata rides in all three.
 _DEFAULT_PACKAGES = ("repro.stream", "repro.serve",
-                     "repro.scenarios")
+                     "repro.scenarios", "repro.protocols")
 
 #: Cell values that mean "this key is present in this schema".
 _PRESENT_CELLS = frozenset({"✓", "x", "yes", "✔"})
@@ -119,7 +121,7 @@ class SchemaDriftRule(CrossFileRule):
                    "each drift is a silent contract break for "
                    "monitor consumers")
     severity = Severity.ERROR
-    version = 3
+    version = 4
 
     def __init__(self,
                  package: str | tuple[str, ...] = _DEFAULT_PACKAGES,

@@ -17,10 +17,10 @@ Public API:
 
 from .apci import (APDU, SEQ_MODULO, STARTDT_ACT, STARTDT_CON, STOPDT_ACT,
                    STOPDT_CON, TESTFR_ACT, TESTFR_CON, IFrame, SFrame,
-                   UFrame, decode_apdu)
+                   UFrame)
 from .asdu import ASDU, InformationObject, measurement
 from .codec import (ParseResult, ParserStats, StreamDecoder, StrictParser,
-                    TolerantParser, split_frames)
+                    TolerantParser)
 from .endpoint import (EndpointStats, MasterEndpoint,
                        OutstationEndpoint, PipeTransport,
                        ReceivedMeasurement, Transport, connect_pair)
@@ -54,6 +54,33 @@ from .profiles import (CANDIDATE_PROFILES, FULL_IEC101_PROFILE,
 from .state_machine import (Action, ActionKind, ConnectionMachine,
                             TransferState, seq_distance)
 from .time_tag import CP16Time2a, CP56Time2a
+
+#: Deprecated package-level re-exports, served lazily with a warning.
+#: Callers should use the submodule (``repro.iec104.apci.decode_apdu``,
+#: ``repro.iec104.codec.split_frames``) or, protocol-generically, a
+#: :class:`~repro.protocols.base.ProtocolSpec`'s parser/decoder.
+_DEPRECATED_EXPORTS = {
+    "decode_apdu": ("repro.iec104.apci", "decode_apdu"),
+    "split_frames": ("repro.iec104.codec", "split_frames"),
+}
+
+
+def __getattr__(name: str):
+    """Serve the deprecated re-exports with a DeprecationWarning."""
+    target = _DEPRECATED_EXPORTS.get(name)
+    if target is None:
+        raise AttributeError(
+            f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+    import warnings
+    module_name, attribute = target
+    warnings.warn(
+        f"importing {name!r} from {__name__!r} is deprecated; use "
+        f"{module_name}.{attribute} or a ProtocolSpec's "
+        "parser/decoder factories instead",
+        DeprecationWarning,
+        stacklevel=2)  # staticcheck: remove-in=1.3.0
+    return getattr(importlib.import_module(module_name), attribute)
 
 __all__ = [
     "APDU", "ASDU", "Action", "ActionKind", "APDUFormat",

@@ -1,0 +1,27 @@
+"""repro.protocols — protocol specs for heterogeneous fleets.
+
+The registry behind the stream engine's protocol abstraction: each
+supported wire protocol is one frozen
+:class:`~repro.protocols.base.ProtocolSpec` (name, default ports,
+parser/decoder factories, token alphabet, display hints), looked up
+by name through :func:`~repro.protocols.base.get_protocol`.
+
+Importing this package registers the built-in specs:
+``iec104`` (the existing stack, adapted unchanged) and ``modbus``
+(Modbus/TCP end-to-end — MBAP framing, function-code PDU codec).
+"""
+
+from .base import (ProtocolSpec, all_protocols, detect_protocol,
+                   get_protocol, register_protocol, registered_names)
+from .iec104 import IEC104_SPEC
+from .modbus import (MODBUS_PORT, ModbusAdu, ModbusError,
+                     ModbusParseResult, ModbusParser,
+                     ModbusStreamDecoder, MODBUS_SPEC, scan_mbap)
+
+__all__ = [
+    "IEC104_SPEC", "MODBUS_PORT", "MODBUS_SPEC", "ModbusAdu",
+    "ModbusError", "ModbusParseResult", "ModbusParser",
+    "ModbusStreamDecoder", "ProtocolSpec", "all_protocols",
+    "detect_protocol", "get_protocol", "register_protocol",
+    "registered_names", "scan_mbap",
+]

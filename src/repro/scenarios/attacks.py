@@ -1,9 +1,9 @@
-"""The built-in attack corpus: six registered families.
+"""The built-in attack corpus: seven registered scenarios.
 
-Each builder stages the same benign backbone — a balancing-authority
-control center polling two outstations whose measurement points move
-on deterministic sinusoids — and then mounts one attack family on top
-of it after the labeled onset:
+Each IEC 104 builder stages the same benign backbone — a
+balancing-authority control center polling two outstations whose
+measurement points move on deterministic sinusoids — and then mounts
+one attack family on top of it after the labeled onset:
 
 ================== ==================================================
 spoofed            an unknown host connects as a master and fires a
@@ -25,6 +25,11 @@ masking            threshold crossings → the link idles into in-band
                    TESTFR (paper §6.3's Type 5 pathology, weaponized)
 ================== ==================================================
 
+The seventh scenario, ``modbus-value-injection``, swaps the backbone
+itself: a Modbus/TCP master polls holding registers and an unknown
+master injects forged words — the value-injection family on the
+second protocol behind :mod:`repro.protocols`.
+
 The detection path each family exercises is documented per builder
 and in ``docs/scenarios.md``.
 """
@@ -32,6 +37,7 @@ and in ``docs/scenarios.md``.
 from __future__ import annotations
 
 import math
+from typing import Callable
 
 from ..analysis.labels import LabeledInterval
 from ..iec104.constants import TypeID
@@ -369,6 +375,75 @@ def build_stale_data_masking(spec: ScenarioSpec,
             "frozen measurement sources masking the true state")])
 
 
+# -- family 7: Modbus value injection ---------------------------------
+
+def _register_bank(
+        base_address: int, phase: float
+) -> dict[int, Callable[[float], float]]:
+    """Holding registers backed by the same sinusoid generators the
+    IEC 104 outstations report (scaled into the u16 word range)."""
+    registers: dict[int, Callable[[float], float]] = {}
+    for index, (_symbol, base, amplitude,
+                period_s) in enumerate(_MEASUREMENTS):
+        registers[base_address + index] = _sine(
+            base * 10.0, amplitude * 10.0, period_s,
+            phase + index * 1.3)
+    registers[base_address + 9] = lambda _t: 1.0  # status word
+    return registers
+
+
+@register_scenario(ScenarioSpec(
+    name="modbus-value-injection",
+    family="value-injection",
+    title="unknown Modbus master writes forged words into the "
+          "plant's holding registers",
+    seed=241, attack_s=60.0,
+    tags=("modbus", "integrity", "unknown-connection")))
+def build_modbus_value_injection(spec: ScenarioSpec,
+                                 scale: float) -> ScenarioRun:
+    # Detection path: the whole capture speaks Modbus/TCP (the
+    # sidecar's ``protocol`` binds the scoring replay to the modbus
+    # spec), and the (ATTACKER, M-PLANT) connection was never
+    # learned — batch semantics mark every F6/F16 write token
+    # unknown, so the cyber whitelist alerts on the first forged
+    # word.  The benign F3 poll cycles stay whitelisted throughout.
+    h = ScenarioHarness(spec, scale)
+    plant_registers = _register_bank(100, phase=0.0)
+    h.add_server("C-BA1")
+    plant = h.make_modbus_link("C-BA1", "M-PLANT", plant_registers)
+    plant.start_polling(h.start_us, start_address=100, count=4)
+    farm = h.make_modbus_link("C-BA1", "M-FARM",
+                              _register_bank(200, phase=0.7))
+    farm.start_polling(h.start_us + 700_000, start_address=200,
+                       count=4)
+    h.add_attacker()
+    rogue = h.make_modbus_link("ATTACKER", "M-PLANT",
+                               plant_registers)
+    h.at(h.onset_us, lambda: rogue.connect(h.sim.now_us))
+    forge_start = h.onset_us + seconds_to_ticks(1.0)
+    forge_gap = seconds_to_ticks(2.0)
+    targets = (100, 101, 102, 103)
+    forge_count = 16
+    for index in range(forge_count):
+        def forge(index: int = index) -> None:
+            rogue.send_write_single(
+                h.sim.now_us, targets[index % len(targets)],
+                0xFF00 + index)
+        h.at(forge_start + index * forge_gap, forge)
+    burst_us = forge_start + forge_count * forge_gap
+    h.at(burst_us, lambda: rogue.send_write_multiple(
+        h.sim.now_us, 100, [0xFFF0, 0xFFF1, 0xFFF2, 0xFFF3]))
+    end_us = burst_us + seconds_to_ticks(1.0)
+    h.at(end_us, lambda: rogue.close(h.sim.now_us))
+    return h.finish(
+        attacker_endpoints=("ATTACKER",),
+        affected_ioas=targets,
+        intervals=[h.attack_interval(
+            "forged register writes from unknown Modbus master",
+            end_us=end_us)],
+        protocol="modbus")
+
+
 #: Imported for the registry side effect; referenced so linters see a
 #: use for every builder symbol.
 BUILTIN_SCENARIOS = (
@@ -378,6 +453,7 @@ BUILTIN_SCENARIOS = (
     build_command_flooding,
     build_switchover_abuse,
     build_stale_data_masking,
+    build_modbus_value_injection,
 )
 
 #: Re-exported for scorers that want the interval type near specs.

@@ -26,7 +26,7 @@ from __future__ import annotations
 import random
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Callable, Iterable, Sequence
+from typing import TYPE_CHECKING, Callable, Iterable, Sequence
 
 from ..analysis.labels import LabeledInterval
 from ..iec104.constants import ProtocolTimers
@@ -37,6 +37,9 @@ from ..simnet.clock import Simulator, Ticks, seconds_to_ticks
 from ..simnet.tcpsim import SimHost
 from .registry import ScenarioSpec
 from .sidecar import GroundTruth, dump_truth, truth_path
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from ..simnet.modbus import ModbusLink
 
 #: Capture time before the first link starts.
 START_US: Ticks = 1_000_000
@@ -172,6 +175,30 @@ class ScenarioHarness:
         link.run_until(None)
         return link
 
+    def make_modbus_link(self, master: str, outstation: str,
+                         registers) -> "ModbusLink":
+        """Modbus/TCP link from a registered host to ``outstation``.
+
+        ``registers`` maps holding-register address to a source
+        callable (seconds → value).  Host conventions mirror
+        :meth:`make_link`: the outstation host is created on first
+        use; the master (or attacker) must exist already.
+        """
+        from ..simnet.modbus import ModbusLink
+        if master not in self._hosts:
+            raise KeyError(f"unknown master host {master!r} — call "
+                           "add_server()/add_attacker() first")
+        if outstation not in self._hosts:
+            self.add_outstation(outstation)
+        link = ModbusLink(
+            sim=self.sim, tap=self.tap, rng=self.rng,
+            master_host=self._hosts[master],
+            outstation_host=self._hosts[outstation],
+            master_name=master, outstation_name=outstation,
+            registers=registers)
+        link.run_until(None)
+        return link
+
     # -- scheduling ---------------------------------------------------
 
     def at(self, when_us: Ticks, action: Callable[[], None]) -> None:
@@ -191,8 +218,14 @@ class ScenarioHarness:
 
     def finish(self, attacker_endpoints: Sequence[str],
                affected_ioas: Iterable[int],
-               intervals: Sequence[LabeledInterval]) -> ScenarioRun:
-        """Run the simulation out and assemble the ground truth."""
+               intervals: Sequence[LabeledInterval],
+               protocol: str = "iec104") -> ScenarioRun:
+        """Run the simulation out and assemble the ground truth.
+
+        ``protocol`` names the :class:`~repro.protocols.base.
+        ProtocolSpec` the scenario's links speak; the scorer binds
+        its replay pipeline to it (see ``GroundTruth.protocol``).
+        """
         spans = tuple(intervals)
         end_us = max([self.attack_end_us]
                      + [span.end_us for span in spans]) \
@@ -204,7 +237,7 @@ class ScenarioHarness:
             detect_after_us=self.detect_after_us,
             attacker_endpoints=tuple(attacker_endpoints),
             affected_ioas=tuple(sorted(set(affected_ioas))),
-            intervals=spans)
+            intervals=spans, protocol=protocol)
         return ScenarioRun(spec=self.spec, scale=self.scale,
                            tap=self.tap, names=dict(self.names),
                            truth=truth)

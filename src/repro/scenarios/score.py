@@ -29,6 +29,7 @@ from typing import Any, Iterable, Mapping, Sequence
 
 from ..analysis.labels import DetectionScore, score_detections
 from ..netstack.addresses import IPv4Address
+from ..protocols.base import get_protocol
 from ..stream import OnlineCombinedDetector, StreamPipeline
 from .harness import ScenarioRun
 from .registry import all_scenarios
@@ -87,7 +88,8 @@ def replay_capture(packets: Sequence[Any],
     source = _GatedSource(packets, truth.detect_after_us)
     pipeline = StreamPipeline(source=source, names=dict(names),
                               analyzers=[detector],
-                              batch_size=batch_size)
+                              batch_size=batch_size,
+                              protocol=get_protocol(truth.protocol))
     switched = False
     while True:
         moved = pipeline.step(max_items=batch_size)

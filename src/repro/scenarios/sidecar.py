@@ -36,7 +36,7 @@ class GroundTruth:
 
     #: Registry name of the scenario that produced the capture.
     scenario: str
-    #: Attack family (one of the registry's six families).
+    #: Attack family (one of the registry's families).
     family: str
     #: Seed the scenario ran with — replays must reproduce byte-
     #: identical captures from it.
@@ -53,6 +53,10 @@ class GroundTruth:
     affected_ioas: tuple[int, ...]
     #: Labeled attack intervals on the capture's ``time_us`` axis.
     intervals: tuple[LabeledInterval, ...]
+    #: Protocol spec name the capture's links speak — the scorer
+    #: binds its replay pipeline to this spec (older sidecars omit
+    #: the key; every one of them was IEC 104).
+    protocol: str = "iec104"
 
     def __post_init__(self) -> None:
         if not self.scenario:
@@ -93,6 +97,7 @@ class GroundTruth:
             "attacker_endpoints": list(self.attacker_endpoints),
             "affected_ioas": list(self.affected_ioas),
             "intervals": [span.to_json() for span in self.intervals],
+            "protocol": self.protocol,
         }
 
     @classmethod
@@ -114,7 +119,8 @@ class GroundTruth:
                 int(ioa) for ioa in document["affected_ioas"]),
             intervals=tuple(
                 LabeledInterval.from_json(span)
-                for span in document["intervals"]))
+                for span in document["intervals"]),
+            protocol=str(document.get("protocol", "iec104")))
 
 
 def dump_truth(truth: GroundTruth) -> str:

@@ -1,0 +1,279 @@
+"""Modbus/TCP agents riding the simulated TCP connections.
+
+One :class:`ModbusLink` models a master-to-outstation Modbus/TCP
+association: a SCADA master polls an outstation's holding registers
+on a jittered cadence and the outstation answers each request after
+the same frame gap :class:`~repro.simnet.agents.IEC104Link` uses.
+Registers are backed by callable sources (time-seconds → value), so
+the same deterministic sinusoid generators that feed the IEC 104
+point configs drive Modbus register values.
+
+The link speaks exactly the ADU shapes
+:mod:`repro.protocols.modbus` decodes — every emitted frame is a
+:meth:`~repro.protocols.modbus.ModbusAdu.encode` product — so the
+captures it writes replay byte-for-byte through the stream pipeline
+bound to the ``modbus`` spec.
+
+Request/response pairing follows the spec: the response echoes the
+request's transaction and unit ids; a read of any address outside
+the register map draws an exception response (function | 0x80,
+ILLEGAL DATA ADDRESS), which tokenizes as ``X<fc>``.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, Mapping
+
+from ..protocols.modbus import (MODBUS_PORT, ModbusAdu,
+                                READ_HOLDING_REGISTERS,
+                                WRITE_MULTIPLE_REGISTERS,
+                                WRITE_SINGLE_REGISTER)
+from .capture import CaptureTap
+from .clock import Simulator, Ticks, seconds_to_ticks, ticks_to_seconds
+from .tcpsim import RetransmissionModel, SimConnection, SimHost
+
+#: Gap between request and response on one connection (µs) — same
+#: application turnaround the IEC 104 agents use.
+_FRAME_GAP_US = 4000
+
+#: Modbus exception code: the requested address is not mapped.
+ILLEGAL_DATA_ADDRESS = 2
+
+
+def _u16(value: float) -> int:
+    """Quantize a register source's float to an unsigned 16-bit word."""
+    return int(round(value)) & 0xFFFF
+
+
+@dataclass
+class ModbusLinkStats:
+    """Per-link counters, useful for tests and scenario debugging."""
+
+    connections: int = 0
+    requests: int = 0
+    responses: int = 0
+    exceptions: int = 0
+    writes: int = 0
+
+
+class ModbusLink:
+    """A master-to-outstation Modbus/TCP association in the simulation.
+
+    ``registers`` maps holding-register address to a source callable
+    (simulated seconds → value); reads sample the sources at request
+    time, writes overlay the written word until :meth:`close`.
+    """
+
+    def __init__(self, sim: Simulator, tap: CaptureTap,
+                 rng: random.Random, master_host: SimHost,
+                 outstation_host: SimHost, master_name: str,
+                 outstation_name: str,
+                 registers: Mapping[int, Callable[[float], float]],
+                 unit: int = 1, poll_period_s: float = 2.0,
+                 retransmission: RetransmissionModel | None = None):
+        self._sim = sim
+        self._tap = tap
+        self._rng = rng
+        self.master_host = master_host
+        self.outstation_host = outstation_host
+        self.master_name = master_name
+        self.outstation_name = outstation_name
+        self.registers = dict(registers)
+        self.unit = unit
+        self.poll_period_s = poll_period_s
+        self._retransmission = retransmission
+
+        self._conn: SimConnection | None = None
+        self._epoch = 0
+        #: Scheduling horizon in ticks; None means unbounded.
+        self._end_us: Ticks | None = None
+        self._transaction = 0
+        self._poll_span: tuple[int, int] = (0, 1)
+        #: Written words overriding the callable sources.
+        self._overrides: dict[int, int] = {}
+        self.stats = ModbusLinkStats()
+
+    # -- lifecycle ----------------------------------------------------
+
+    @property
+    def connected(self) -> bool:
+        return (self._conn is not None and self._conn.established
+                and not self._conn.closed)
+
+    def _new_connection(self) -> SimConnection:
+        retrans = self._retransmission or RetransmissionModel()
+        return SimConnection(self._sim, self._tap, self.master_host,
+                             self.outstation_host,
+                             server_port=MODBUS_PORT, rng=self._rng,
+                             retransmission=retrans)
+
+    def connect(self, when_us: Ticks) -> Ticks:
+        """Establish a fresh TCP connection to port 502."""
+        if self.connected:
+            raise RuntimeError(f"{self._label()}: already connected")
+        self._conn = self._new_connection()
+        done = self._conn.establish(when_us)
+        self.stats.connections += 1
+        return done
+
+    def close(self, when_us: Ticks, rst: bool = False) -> None:
+        """Tear down the live connection and cancel the poll loop."""
+        self._epoch += 1
+        conn = self._conn
+        if conn is not None and conn.established and not conn.closed:
+            if rst:
+                conn.close_rst(when_us, from_client=True)
+            else:
+                conn.close_fin(when_us, from_client=True)
+
+    def run_until(self, end_us: Ticks | None) -> None:
+        """Set the horizon past which the poll loop stops."""
+        self._end_us = end_us
+
+    def _past_horizon(self, when_us: Ticks) -> bool:
+        return self._end_us is not None and when_us > self._end_us
+
+    def _label(self) -> str:
+        return f"{self.master_name}-{self.outstation_name}"
+
+    # -- frame plumbing -----------------------------------------------
+
+    def _next_transaction(self) -> int:
+        self._transaction = (self._transaction + 1) & 0xFFFF
+        return self._transaction
+
+    def _send_adu(self, when_us: Ticks, adu: ModbusAdu,
+                  from_master: bool) -> Ticks:
+        conn = self._conn
+        if conn is None:
+            raise RuntimeError(f"{self._label()}: not connected")
+        return conn.send(when_us, from_client=from_master,
+                         payload=adu.encode())
+
+    def _register_word(self, address: int, time_s: float) -> int | None:
+        override = self._overrides.get(address)
+        if override is not None:
+            return override
+        source = self.registers.get(address)
+        if source is None:
+            return None
+        return _u16(source(time_s))
+
+    def _respond(self, arrival_us: Ticks, request: ModbusAdu) -> Ticks:
+        """Outstation answers one request after the frame gap."""
+        reply_us = arrival_us + _FRAME_GAP_US
+        time_s = ticks_to_seconds(reply_us)
+        function = request.function
+        data = request.data
+        if function == READ_HOLDING_REGISTERS and len(data) == 4:
+            start = (data[0] << 8) | data[1]
+            count = (data[2] << 8) | data[3]
+            words = [self._register_word(start + index, time_s)
+                     for index in range(count)]
+            if count >= 1 and all(word is not None for word in words):
+                payload = bytearray((2 * count,))
+                for word in words:
+                    assert word is not None
+                    payload += bytes((word >> 8, word & 0xFF))
+                return self._send_response(reply_us, request,
+                                           bytes(payload))
+            return self._send_exception(reply_us, request)
+        if function == WRITE_SINGLE_REGISTER and len(data) == 4:
+            address = (data[0] << 8) | data[1]
+            self._overrides[address] = (data[2] << 8) | data[3]
+            self.stats.writes += 1
+            # The normal response is an echo of the request.
+            return self._send_response(reply_us, request, data)
+        if function == WRITE_MULTIPLE_REGISTERS and len(data) >= 6:
+            start = (data[0] << 8) | data[1]
+            count = (data[2] << 8) | data[3]
+            words = data[5:]
+            for index in range(min(count, len(words) // 2)):
+                self._overrides[start + index] = \
+                    (words[2 * index] << 8) | words[2 * index + 1]
+            self.stats.writes += count
+            return self._send_response(reply_us, request, data[:4])
+        return self._send_exception(reply_us, request)
+
+    def _send_response(self, when_us: Ticks, request: ModbusAdu,
+                       data: bytes) -> Ticks:
+        self.stats.responses += 1
+        return self._send_adu(when_us, ModbusAdu(
+            transaction=request.transaction, unit=request.unit,
+            function=request.function, data=data), from_master=False)
+
+    def _send_exception(self, when_us: Ticks,
+                        request: ModbusAdu) -> Ticks:
+        self.stats.exceptions += 1
+        return self._send_adu(when_us, ModbusAdu(
+            transaction=request.transaction, unit=request.unit,
+            function=request.function | 0x80,
+            data=bytes((ILLEGAL_DATA_ADDRESS,))), from_master=False)
+
+    def _request(self, when_us: Ticks, function: int,
+                 data: bytes) -> Ticks:
+        """Master sends one request; outstation answers in-line.
+
+        Returns the tick the response lands at the master."""
+        self.stats.requests += 1
+        request = ModbusAdu(transaction=self._next_transaction(),
+                            unit=self.unit, function=function,
+                            data=data)
+        arrival = self._send_adu(when_us, request, from_master=True)
+        return self._respond(arrival, request)
+
+    # -- master behaviours --------------------------------------------
+
+    def start_polling(self, when_us: Ticks, start_address: int,
+                      count: int) -> None:
+        """Connect and poll ``count`` registers each period."""
+        done = self.connect(when_us)
+        self._poll_span = (start_address, count)
+        self._schedule_poll(done + self._jittered_period())
+
+    def _jittered_period(self) -> Ticks:
+        return seconds_to_ticks(
+            self.poll_period_s * self._rng.uniform(0.95, 1.05))
+
+    def _schedule_poll(self, when_us: Ticks) -> None:
+        if self._past_horizon(when_us):
+            return
+        epoch = self._epoch
+        self._sim.schedule(when_us, lambda: self._poll_tick(epoch))
+
+    def _poll_tick(self, epoch: int) -> None:
+        if epoch != self._epoch or not self.connected:
+            return
+        now_us = self._sim.now_us
+        start, count = self._poll_span
+        self.send_read(now_us, start, count)
+        self._schedule_poll(now_us + self._jittered_period())
+
+    def send_read(self, when_us: Ticks, start_address: int,
+                  count: int) -> Ticks:
+        """Read ``count`` holding registers (function 3)."""
+        data = bytes((start_address >> 8, start_address & 0xFF,
+                      count >> 8, count & 0xFF))
+        return self._request(when_us, READ_HOLDING_REGISTERS, data)
+
+    def send_write_single(self, when_us: Ticks, address: int,
+                          value: int) -> Ticks:
+        """Write one holding register (function 6)."""
+        word = value & 0xFFFF
+        data = bytes((address >> 8, address & 0xFF,
+                      word >> 8, word & 0xFF))
+        return self._request(when_us, WRITE_SINGLE_REGISTER, data)
+
+    def send_write_multiple(self, when_us: Ticks, start_address: int,
+                            values: list[int]) -> Ticks:
+        """Write a block of holding registers (function 16)."""
+        count = len(values)
+        data = bytearray((start_address >> 8, start_address & 0xFF,
+                          count >> 8, count & 0xFF, 2 * count))
+        for value in values:
+            word = value & 0xFFFF
+            data += bytes((word >> 8, word & 0xFF))
+        return self._request(when_us, WRITE_MULTIPLE_REGISTERS,
+                             bytes(data))

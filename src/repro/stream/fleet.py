@@ -39,6 +39,7 @@ from ..iec104.constants import ProtocolTimers
 from ..netstack.addresses import IPv4Address
 from ..netstack.packet import CapturedPacket
 from ..netstack.pcap import PcapRecord
+from ..protocols.base import detect_protocol
 from ..simnet.clock import Ticks, seconds_to_ticks
 from .eviction import default_idle_timeout_us
 from .ingest import Source, SourceItem
@@ -87,11 +88,19 @@ class DemuxLinkSource:
     merged parent source; the per-link pipeline drains them here. The
     substream is exhausted once the parent is exhausted and the queue
     has drained.
+
+    ``protocol_hint`` is the port-based auto-detect result from the
+    link's first routed packet (a registered spec name, or ``None``
+    when no spec claims the ports). Pipeline factories consult it
+    when no explicit per-link protocol was configured; it is a plain
+    string so the hint survives pickling and every sharded worker —
+    each demuxing the whole capture — derives the identical hint.
     """
 
     def __init__(self, demux: "LinkDemux", name: str):
         self._demux = demux
         self.name = name
+        self.protocol_hint: str | None = None
         self._queue: deque = deque()
 
     def _push(self, item: SourceItem) -> None:
@@ -175,6 +184,13 @@ class LinkDemux:
         link = self._links.get(name)
         if link is None:
             link = DemuxLinkSource(self, name)
+            # Port-based protocol auto-detect, decided once by the
+            # link's first routed packet (deterministic: every demux
+            # over the same capture sees the same first packet).
+            spec = detect_protocol(packet.tcp.src_port,
+                                   packet.tcp.dst_port)
+            link.protocol_hint = spec.name if spec is not None \
+                else None
             self._links[name] = link
             self._new.append(name)
         link._push(item)

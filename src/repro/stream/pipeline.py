@@ -7,13 +7,15 @@ four explicit stages:
 * **frame** — raw :class:`~repro.netstack.pcap.PcapRecord` bytes are
   decoded to :class:`~repro.netstack.packet.CapturedPacket` (already
   decoded packets from a simnet tap pass through);
-* **reassemble** — IEC 104 filtering, per-packet or per-direction TCP
-  reassembly (reusing :class:`~repro.netstack.reassembly.
-  StreamReassembler` incrementally), flow-level dispatch;
-* **decode** — APDU parsing with the shared
-  :class:`~repro.iec104.codec.TolerantParser`; live socket
-  :class:`~repro.stream.ingest.ByteChunk` items enter here directly
-  through a per-link :class:`~repro.iec104.codec.StreamDecoder`;
+* **reassemble** — protocol port filtering (the bound
+  :class:`~repro.protocols.base.ProtocolSpec`'s ports), per-packet or
+  per-direction TCP reassembly (reusing :class:`~repro.netstack.
+  reassembly.StreamReassembler` incrementally), flow-level dispatch;
+* **decode** — frame parsing with the bound protocol's parser (IEC
+  104's shared :class:`~repro.iec104.codec.TolerantParser` by
+  default); live socket :class:`~repro.stream.ingest.ByteChunk`
+  items enter here directly through a per-link stream decoder built
+  by the spec;
 * **dispatch** — delivery to the registered
   :class:`~repro.stream.analyzers.StreamAnalyzer` instances.
 
@@ -43,9 +45,10 @@ from __future__ import annotations
 import heapq
 from collections import deque
 
-from ..analysis.apdu_stream import ApduEvent, is_iec104
-from ..iec104.codec import StreamDecoder, TolerantParser
+from ..analysis.apdu_stream import ApduEvent
+from ..iec104.codec import TolerantParser
 from ..netstack.addresses import IPv4Address
+from ..protocols.base import ProtocolSpec, get_protocol
 from ..netstack.packet import CapturedPacket, FlowKey
 from ..netstack.pcap import PcapRecord
 from ..netstack.reassembly import StreamReassembler
@@ -104,6 +107,14 @@ class StreamPipeline:
     deterministic — early releases are a pure function of the arrival
     sequence). ``reorder_window_us`` is how far behind the stream
     clock an event may arrive and still be delivered in time order.
+
+    ``protocol`` binds the pipeline to one
+    :class:`~repro.protocols.base.ProtocolSpec` (default IEC 104):
+    the spec's ports drive the reassemble-stage filter and its
+    factories build the parser and the per-link live-tap decoders.
+    A heterogeneous fleet mixes protocols by giving each link's
+    pipeline its own spec. ``parser`` overrides the spec's parser
+    (e.g. a shared or instrumented one).
     """
 
     def __init__(self, source: Source,
@@ -116,7 +127,8 @@ class StreamPipeline:
                  reorder_window_us: Ticks = 5_000_000,
                  eviction: EvictionPolicy | None = None,
                  max_failures_kept: int = 256,
-                 link: str = ""):
+                 link: str = "",
+                 protocol: ProtocolSpec | None = None):
         if batch_size <= 0:
             raise ValueError("batch_size must be positive")
         if queue_capacity <= 0:
@@ -128,7 +140,11 @@ class StreamPipeline:
         self.names = names
         self.analyzers: list[StreamAnalyzer] = list(analyzers or [])
         self.reassemble = reassemble
-        self.parser = parser if parser is not None else TolerantParser()
+        self.protocol = protocol if protocol is not None \
+            else get_protocol("iec104")
+        self._ports = self.protocol.ports
+        self.parser = parser if parser is not None \
+            else self.protocol.new_parser()
         self.batch_size = batch_size
         self.queue_capacity = queue_capacity
         self.reorder_window_us = reorder_window_us
@@ -158,7 +174,8 @@ class StreamPipeline:
         self._watermark: Ticks = -1
         self._reassemblers: dict[FlowKey, StreamReassembler] = {}
         self._reassembler_touch: dict[FlowKey, Ticks] = {}
-        self._decoders: dict[tuple[str, str], StreamDecoder] = {}
+        #: Per-link incremental decoders built by the protocol spec.
+        self._decoders: dict[tuple[str, str], object] = {}
         self._decoder_touch: dict[tuple[str, str], Ticks] = {}
         self._last_sweep_us: Ticks = 0
 
@@ -282,7 +299,9 @@ class StreamPipeline:
     def _reassemble(self, packet: CapturedPacket) -> None:
         counters = self.counters["reassemble"]
         counters.received += 1
-        if not is_iec104(packet):
+        ports = self._ports
+        if packet.tcp.src_port not in ports \
+                and packet.tcp.dst_port not in ports:
             counters.filtered += 1
             return
         for analyzer in self.analyzers:
@@ -333,7 +352,8 @@ class StreamPipeline:
         link = (chunk.src, chunk.dst)
         decoder = self._decoders.get(link)
         if decoder is None:
-            decoder = StreamDecoder(parser=self.parser, link_key=link)
+            decoder = self.protocol.new_stream_decoder(self.parser,
+                                                       link)
             self._decoders[link] = decoder
         self._decoder_touch[link] = chunk.time_us
         results = decoder.feed(chunk.data)
@@ -464,6 +484,7 @@ class StreamPipeline:
             order_violations=self.order_violations,
             reorder_pending=self.reorder_pending,
             reassemblers=self.live_reassemblers,
+            protocol=self.protocol.name,
             stages={stage: tally.freeze()
                     for stage, tally in self.counters.items()},
             eviction=self.eviction_stats.as_dict(),

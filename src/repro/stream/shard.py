@@ -50,6 +50,7 @@ from typing import Any, Mapping, Sequence
 
 from ..netstack.addresses import IPv4Address
 from ..netstack.pcapng import sniff_format
+from ..protocols.base import get_protocol
 from ..simnet.clock import Ticks
 from .analyzers import LiveFlowTable, OnlineChains, RollingSessionWindows
 from .detector import OnlineCombinedDetector
@@ -102,20 +103,41 @@ class MonitorPipelineFactory:
     so the recipe is now this frozen dataclass — the same factory
     object serves the in-process fleet, the sharded workers, and any
     test that wants monitor-equivalent pipelines.
+
+    Protocol binding is per link, resolved in priority order: an
+    explicit ``link_protocols`` entry (the CLI's ``@proto`` suffix),
+    then the source's port-based ``protocol_hint`` (set by
+    :class:`~repro.stream.fleet.LinkDemux` from the link's first
+    packet), then the factory-wide ``protocol`` default. Both are
+    plain spec *names*, not spec objects, so the factory pickles
+    across the shard process boundary and every worker resolves the
+    identical spec from its own registry.
     """
 
     names: Mapping[IPv4Address, str] = field(default_factory=dict)
     reassemble: bool = False
     evict: bool = True
+    protocol: str = "iec104"
+    link_protocols: tuple[tuple[str, str], ...] = ()
+
+    def protocol_for(self, link: str, source: Source) -> str:
+        """The spec name ``link`` binds (override > hint > default)."""
+        for name, wanted in self.link_protocols:
+            if name == link:
+                return wanted
+        hint = getattr(source, "protocol_hint", None)
+        return hint if hint is not None else self.protocol
 
     def __call__(self, link: str, source: Source) -> StreamPipeline:
         analyzers = [LiveFlowTable(), OnlineChains(),
                      RollingSessionWindows(), OnlineCombinedDetector()]
         eviction = EvictionPolicy() if self.evict else None
+        spec = get_protocol(self.protocol_for(link, source))
         return StreamPipeline(source, names=dict(self.names),
                               analyzers=analyzers,
                               reassemble=self.reassemble,
-                              eviction=eviction, link=link)
+                              eviction=eviction, link=link,
+                              protocol=spec)
 
 
 @dataclass(frozen=True)

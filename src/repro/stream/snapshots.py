@@ -26,6 +26,11 @@ Schema history:
 
 * ``1`` — initial versioned schema (PR 5). The unversioned PR 4 dict
   had the same link-level keys minus ``schema``/``link``.
+* ``2`` — adds the per-link ``protocol`` tag (the protocol
+  abstraction: each link binds one
+  :class:`~repro.protocols.base.ProtocolSpec`). ``from_json`` still
+  accepts schema-1 documents, defaulting ``protocol`` to
+  ``"iec104"`` — every schema-1 writer was IEC 104-only.
 """
 
 from __future__ import annotations
@@ -37,7 +42,11 @@ from typing import Any, Mapping
 from ..simnet.clock import Ticks
 
 #: Version stamped into every ``to_json`` document.
-SNAPSHOT_SCHEMA_VERSION = 1
+SNAPSHOT_SCHEMA_VERSION = 2
+
+#: Schemas ``from_json`` reads: the current one and schema 1 (whose
+#: documents lack ``protocol`` — IEC 104 by construction).
+_READABLE_SCHEMAS = (1, SNAPSHOT_SCHEMA_VERSION)
 
 #: How many links ``FleetSnapshot.top_anomalies`` keeps.
 TOP_ANOMALIES = 5
@@ -98,7 +107,9 @@ class LinkSnapshot:
     ``analyzers`` maps analyzer name to that analyzer's own snapshot
     dict (analyzer payloads stay open-schema — each analyzer owns its
     keys); ``eviction`` is the :class:`~repro.stream.eviction.
-    EvictionStats` counter dict.
+    EvictionStats` counter dict. ``protocol`` names the
+    :class:`~repro.protocols.base.ProtocolSpec` the link's pipeline
+    is bound to (schema 2).
     """
 
     link: str
@@ -110,6 +121,7 @@ class LinkSnapshot:
     order_violations: int
     reorder_pending: int
     reassemblers: int
+    protocol: str = "iec104"
     stages: Mapping[str, StageCounters] = field(default_factory=dict)
     eviction: Mapping[str, int] = field(default_factory=dict)
     analyzers: Mapping[str, Mapping[str, Any]] = \
@@ -128,6 +140,7 @@ class LinkSnapshot:
             "order_violations": self.order_violations,
             "reorder_pending": self.reorder_pending,
             "reassemblers": self.reassemblers,
+            "protocol": self.protocol,
             "stages": {stage: counters.as_dict()
                        for stage, counters in self.stages.items()},
             "eviction": dict(self.eviction),
@@ -146,7 +159,7 @@ class LinkSnapshot:
         from exactly the same shapes as an in-process fleet's.
         """
         schema = document.get("schema")
-        if schema != SNAPSHOT_SCHEMA_VERSION:
+        if schema not in _READABLE_SCHEMAS:
             raise ValueError(
                 f"unsupported snapshot schema {schema!r} "
                 f"(expected {SNAPSHOT_SCHEMA_VERSION})")
@@ -160,6 +173,7 @@ class LinkSnapshot:
             order_violations=document["order_violations"],
             reorder_pending=document["reorder_pending"],
             reassemblers=document["reassemblers"],
+            protocol=document.get("protocol", "iec104"),
             stages={stage: StageCounters.from_dict(counters)
                     for stage, counters
                     in document.get("stages", {}).items()},

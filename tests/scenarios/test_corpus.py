@@ -12,6 +12,7 @@ import pytest
 
 from repro.analysis import PacketCapture, extract_apdus
 from repro.netstack.pcap import read_pcap
+from repro.protocols import get_protocol
 from repro.scenarios import (all_scenarios, build_scenario, dump_truth,
                              load_truth, score_corpus, score_run)
 
@@ -63,7 +64,9 @@ class TestEmission:
         for name, run in corpus.items():
             capture = PacketCapture(packets=list(run.packets),
                                     names=run.names)
-            extraction = extract_apdus(capture)
+            extraction = extract_apdus(
+                capture,
+                protocol=get_protocol(run.truth.protocol))
             assert extraction.events, f"{name}: no APDU events"
 
     def test_attack_traffic_stays_inside_labels(self, corpus):
@@ -81,7 +84,10 @@ class TestEmission:
             checked += 1
             capture = PacketCapture(packets=list(run.packets),
                                     names=run.names)
-            for event in extract_apdus(capture).events:
+            extraction = extract_apdus(
+                capture,
+                protocol=get_protocol(run.truth.protocol))
+            for event in extraction.events:
                 if {event.src, event.dst} & attackers:
                     assert event.time_us >= run.truth.onset_us, name
         assert checked >= 2

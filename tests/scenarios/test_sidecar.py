@@ -56,6 +56,17 @@ class TestWireForm:
         truth = make_truth()
         assert GroundTruth.from_json(truth.to_json()) == truth
 
+    def test_protocol_round_trip(self):
+        truth = make_truth(protocol="modbus")
+        document = truth.to_json()
+        assert document["protocol"] == "modbus"
+        assert GroundTruth.from_json(document).protocol == "modbus"
+
+    def test_protocol_defaults_to_iec104_for_older_sidecars(self):
+        document = make_truth().to_json()
+        del document["protocol"]
+        assert GroundTruth.from_json(document).protocol == "iec104"
+
     def test_dump_is_byte_stable(self):
         assert dump_truth(make_truth()) == dump_truth(make_truth())
         assert dump_truth(make_truth()).endswith("\n")

@@ -99,7 +99,7 @@ class TestRouting:
         assert status == 200
         assert document["seq"] == 1
         assert document["snapshot"]["kind"] == "fleet"
-        assert document["snapshot"]["schema"] == 1
+        assert document["snapshot"]["schema"] == 2
         assert all(response == responses[0]
                    for response in responses)
 
@@ -134,7 +134,7 @@ class TestRouting:
         assert document["link"] == "C1-O12"
         assert document["count"] == 1
         assert document["polls"][0]["poll_seq"] == 3
-        assert document["polls"][0]["schema"] == 1
+        assert document["polls"][0]["schema"] == 2
 
     def test_history_bad_query_is_400(self, served):
         app, _hub, _history = served
@@ -300,7 +300,7 @@ class TestEndToEnd:
         results = asyncio.run(self._stack(y1_capture))
 
         envelope = results["envelope"]
-        assert envelope["snapshot"]["schema"] == 1
+        assert envelope["snapshot"]["schema"] == 2
         assert envelope["snapshot"]["packets"] > 0
 
         status, health = results["healthz"]
@@ -316,13 +316,13 @@ class TestEndToEnd:
         status, history = results["history"]
         assert status == 200
         assert history["count"] >= 1
-        assert history["polls"][0]["schema"] == 1
+        assert history["polls"][0]["schema"] == 2
 
         status, _body = results["missing"]
         assert status == 404
 
         ws_envelope = results["ws"]
-        assert ws_envelope["snapshot"]["schema"] == 1
+        assert ws_envelope["snapshot"]["schema"] == 2
         assert ws_envelope["seq"] >= 1
 
         assert results["polls"] >= 1

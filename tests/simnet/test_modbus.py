@@ -1,0 +1,142 @@
+"""Modbus/TCP link agent: polling, writes, exceptions, determinism."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.netstack.addresses import IPv4Address, MacAddress
+from repro.protocols.modbus import (MODBUS_PORT, ModbusParser,
+                                    READ_HOLDING_REGISTERS)
+from repro.simnet.capture import CaptureTap
+from repro.simnet.clock import Simulator
+from repro.simnet.modbus import ModbusLink
+from repro.simnet.tcpsim import SimHost
+
+START_US = 1_000_000
+
+REGISTERS = {
+    100: lambda t: 50.0 + (t % 5),
+    101: lambda t: 230.0,
+    102: lambda t: 0.0,
+}
+
+
+def make_link(seed: int = 11, registers=None, **kwargs):
+    sim = Simulator()
+    tap = CaptureTap()
+    master = SimHost(name="C1", ip=IPv4Address(0x0A000001),
+                     mac=MacAddress(0x020000000001))
+    outstation = SimHost(name="M1", ip=IPv4Address(0x0A010001),
+                         mac=MacAddress(0x020000000002))
+    link = ModbusLink(sim=sim, tap=tap, rng=random.Random(seed),
+                      master_host=master, outstation_host=outstation,
+                      master_name="C1", outstation_name="M1",
+                      registers=registers if registers is not None
+                      else REGISTERS, **kwargs)
+    return sim, tap, link
+
+
+def decoded_adus(tap):
+    """Decode every ADU in the tap, in time order."""
+    parser = ModbusParser()
+    adus = []
+    for packet in sorted(tap.packets, key=lambda p: p.time_us):
+        if not packet.payload:
+            continue
+        for result in parser.parse_stream(packet.payload):
+            assert result.ok, result.error
+            adus.append(result.apdu)
+    return adus
+
+
+class TestPolling:
+    def test_poll_cycle_pairs_requests_with_responses(self):
+        sim, tap, link = make_link()
+        link.run_until(START_US + 20_000_000)
+        link.start_polling(START_US, 100, 3)
+        sim.run()
+        assert link.stats.requests >= 5
+        assert link.stats.responses == link.stats.requests
+        assert link.stats.exceptions == 0
+        adus = decoded_adus(tap)
+        # Request and response alternate, pairing by transaction id.
+        for request, response in zip(adus[::2], adus[1::2]):
+            assert request.function == READ_HOLDING_REGISTERS
+            assert response.transaction == request.transaction
+            assert response.unit == request.unit
+            assert not response.is_exception
+            # fc3 response: byte count + one word per register.
+            assert response.data[0] == 2 * 3
+
+    def test_traffic_rides_port_502(self):
+        sim, tap, link = make_link()
+        link.run_until(START_US + 10_000_000)
+        link.start_polling(START_US, 100, 3)
+        sim.run()
+        assert tap.packets
+        for packet in tap.packets:
+            assert MODBUS_PORT in (packet.tcp.src_port,
+                                   packet.tcp.dst_port)
+
+    def test_identical_seeds_identical_captures(self):
+        captures = []
+        for _ in range(2):
+            sim, tap, link = make_link(seed=23)
+            link.run_until(START_US + 15_000_000)
+            link.start_polling(START_US, 100, 3)
+            sim.run()
+            captures.append([(p.time_us, p.encode())
+                             for p in tap.packets])
+        assert captures[0] == captures[1]
+
+    def test_close_stops_the_poll_loop(self):
+        sim, tap, link = make_link()
+        link.run_until(START_US + 60_000_000)
+        link.start_polling(START_US, 100, 3)
+        sim.schedule(START_US + 8_000_000,
+                     lambda: link.close(START_US + 8_000_000))
+        sim.run()
+        assert not link.connected
+        last = max(p.time_us for p in tap.packets)
+        assert last < START_US + 10_000_000
+
+
+class TestRequests:
+    def test_unmapped_read_draws_an_exception(self):
+        sim, tap, link = make_link()
+        done = link.connect(START_US)
+        link.send_read(done, 900, 2)
+        sim.run()
+        assert link.stats.exceptions == 1
+        response = decoded_adus(tap)[-1]
+        assert response.is_exception
+        assert response.token == "X3"
+
+    def test_write_single_overrides_the_source(self):
+        sim, tap, link = make_link()
+        done = link.connect(START_US)
+        done = link.send_write_single(done, 101, 0xBEEF)
+        link.send_read(done, 101, 1)
+        sim.run()
+        assert link.stats.writes == 1
+        read_response = decoded_adus(tap)[-1]
+        assert read_response.data == bytes((2, 0xBE, 0xEF))
+
+    def test_write_multiple_overrides_a_block(self):
+        sim, tap, link = make_link()
+        done = link.connect(START_US)
+        done = link.send_write_multiple(done, 100, [1, 2, 3])
+        link.send_read(done, 100, 3)
+        sim.run()
+        assert link.stats.writes == 3
+        read_response = decoded_adus(tap)[-1]
+        assert read_response.data \
+            == bytes((6, 0, 1, 0, 2, 0, 3))
+
+    def test_double_connect_is_an_error(self):
+        sim, tap, link = make_link()
+        link.connect(START_US)
+        with pytest.raises(RuntimeError, match="already connected"):
+            link.connect(START_US + 1_000_000)

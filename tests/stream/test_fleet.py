@@ -229,7 +229,7 @@ class TestFleetSnapshot:
             (link_snapshot("a", packets=3, events=2),), now_us=7,
             health={"a": "live"})
         document = snapshot.to_json()
-        assert document["schema"] == 1
+        assert document["schema"] == 2
         assert document["kind"] == "fleet"
         assert document["link_count"] == 1
         assert document["links"]["a"]["packets"] == 3

@@ -194,7 +194,7 @@ class TestRendering:
             line = render_json(snapshot)
             text = render_text(snapshot)
         document = json.loads(line)
-        assert document["schema"] == 1
+        assert document["schema"] == 2
         assert document["link"] == "y1"
         assert text.startswith("t=")
 
@@ -232,3 +232,33 @@ class TestCli:
         assert main(["monitor", str(pcap_path), "--once",
                      "--detect-after", "0.5"], out=out) == 0
         assert "detector: mode=detect" in out.getvalue()
+
+    def test_monitor_explicit_protocol_is_stamped(self, pcap_path):
+        out = io.StringIO()
+        assert main(["monitor", str(pcap_path), "--once", "--json",
+                     "--protocol", "iec104"], out=out) == 0
+        assert json.loads(out.getvalue())["protocol"] == "iec104"
+
+    def test_unknown_protocol_lists_the_registry(self, pcap_path,
+                                                 capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["monitor", str(pcap_path), "--once",
+                  "--protocol", "dnp3"], out=io.StringIO())
+        message = str(excinfo.value)
+        assert "unknown protocol 'dnp3'" in message
+        assert "iec104" in message and "modbus" in message
+
+    def test_unknown_link_protocol_suffix_rejected(self, pcap_path):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["monitor", "--once",
+                  "--link", f"L={pcap_path}@nope"],
+                 out=io.StringIO())
+        assert "unknown protocol 'nope'" in str(excinfo.value)
+
+    def test_link_protocol_suffix_binds_the_link(self, pcap_path):
+        out = io.StringIO()
+        assert main(["monitor", "--once", "--json",
+                     "--link", f"L={pcap_path}@iec104"],
+                    out=out) == 0
+        snapshot = json.loads(out.getvalue())
+        assert snapshot["links"]["L"]["protocol"] == "iec104"

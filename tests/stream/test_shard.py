@@ -151,10 +151,12 @@ class TestSnapshotWire:
 
 
 class TestForwardCompat:
-    """A schema-1 parent must read documents from slightly newer
-    (or leaner) schema-1 writers: unknown extra keys are ignored,
-    missing optional sections default, and only an actual schema
-    version bump is a hard error with a clear message."""
+    """The parent must read documents from slightly newer (or
+    leaner) writers of any readable schema (1 and 2): unknown extra
+    keys are ignored, missing optional sections default (a schema-1
+    document's missing ``protocol`` reads as ``"iec104"``), and only
+    an unreadable schema version is a hard error with a clear
+    message."""
 
     BASE = {
         "schema": 1, "link": "C1-O12", "time_us": 1_000_000,
@@ -196,7 +198,7 @@ class TestForwardCompat:
         assert snapshot.stages["ingest"] == StageCounters(received=5,
                                                           emitted=5)
 
-    @pytest.mark.parametrize("schema", [None, 0, 2, "1"])
+    @pytest.mark.parametrize("schema", [None, 0, 3, "2"])
     def test_schema_mismatch_is_a_clear_error(self, schema):
         document = dict(self.BASE)
         if schema is None:
